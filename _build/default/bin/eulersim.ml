@@ -1,0 +1,212 @@
+(* eulersim: command-line driver mirroring the original Fortran code's
+   options -- problem selection, reconstruction, Riemann solver,
+   Runge-Kutta order, CFL, and the execution backend. *)
+
+open Cmdliner
+
+let problem_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sod" | "lax" | "123" | "two-channel" | "uniform" | "pulse"
+    | "quadrant" ->
+      Ok (String.lowercase_ascii s)
+    | _ ->
+      Error
+        (`Msg
+           "expected one of: sod, lax, 123, pulse, uniform, quadrant, \
+            two-channel")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let recon_conv =
+  let parse s =
+    match Euler.Recon.of_string s with
+    | Some r -> Ok r
+    | None ->
+      Error
+        (`Msg
+           ("unknown reconstruction; available: "
+            ^ String.concat ", " Euler.Recon.all_names))
+  in
+  Arg.conv (parse, fun ppf r -> Format.pp_print_string ppf (Euler.Recon.name r))
+
+let riemann_conv =
+  let parse s =
+    match Euler.Riemann.of_string s with
+    | Some r -> Ok r
+    | None -> Error (`Msg "unknown Riemann solver (rusanov, hll, hllc, roe)")
+  in
+  Arg.conv
+    (parse, fun ppf r -> Format.pp_print_string ppf (Euler.Riemann.name r))
+
+let rk_conv =
+  let parse s =
+    match Euler.Rk.of_string s with
+    | Some r -> Ok r
+    | None -> Error (`Msg "unknown time integrator (euler1, rk2, rk3)")
+  in
+  Arg.conv (parse, fun ppf r -> Format.pp_print_string ppf (Euler.Rk.name r))
+
+let scheduler_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "seq" | "sequential" -> Ok `Seq
+    | "spmd" -> Ok `Spmd
+    | "forkjoin" | "fork-join" -> Ok `Fork_join
+    | _ -> Error (`Msg "expected seq, spmd or forkjoin")
+  in
+  let print ppf = function
+    | `Seq -> Format.pp_print_string ppf "seq"
+    | `Spmd -> Format.pp_print_string ppf "spmd"
+    | `Fork_join -> Format.pp_print_string ppf "forkjoin"
+  in
+  Arg.conv (parse, print)
+
+let run problem nx ms recon riemann rk cfl steps t_end scheduler lanes
+    fortran_style csv pgm =
+  let config = { Euler.Solver.recon; riemann; rk; cfl } in
+  let prob =
+    match problem with
+    | "sod" -> Euler.Setup.sod ~nx ()
+    | "lax" -> Euler.Setup.lax ~nx ()
+    | "123" -> Euler.Setup.test123 ~nx ()
+    | "pulse" -> Euler.Setup.acoustic_pulse ~nx ()
+    | "uniform" -> Euler.Setup.uniform ~nx ~ny:nx ()
+    | "quadrant" -> Euler.Setup.quadrant ~nx ()
+    | _ -> Euler.Setup.two_channel ~ms ~cells_per_h:(nx / 2) ()
+  in
+  let exec =
+    match scheduler with
+    | `Seq -> Parallel.Exec.sequential ()
+    | `Spmd -> Parallel.Exec.spmd ~lanes
+    | `Fork_join -> Parallel.Exec.fork_join ~lanes
+  in
+  Printf.printf "problem: %s\n" prob.Euler.Setup.description;
+  Printf.printf
+    "scheme: %s + %s + %s, CFL %g; backend: %s%s\n"
+    (Euler.Recon.name recon) (Euler.Riemann.name riemann)
+    (Euler.Rk.name rk) cfl
+    (Parallel.Exec.describe exec)
+    (if fortran_style then " (Fortran-baseline kernels)" else "");
+  let t0 = Unix.gettimeofday () in
+  let final_state, time, nsteps =
+    if fortran_style then begin
+      let f = Fortran_baseline.F_solver.of_problem ~cfl prob in
+      (match (steps, t_end) with
+       | Some n, _ -> Fortran_baseline.F_solver.run_steps f exec n
+       | None, Some t ->
+         while f.Fortran_baseline.F_solver.time < t do
+           ignore (Fortran_baseline.F_solver.step f exec)
+         done
+       | None, None -> Fortran_baseline.F_solver.run_steps f exec 100);
+      ( Fortran_baseline.F_solver.state f,
+        f.Fortran_baseline.F_solver.time,
+        f.Fortran_baseline.F_solver.steps )
+    end
+    else begin
+      let s =
+        Euler.Solver.create ~exec ~config ~bcs:prob.Euler.Setup.bcs
+          prob.Euler.Setup.state
+      in
+      (match (steps, t_end) with
+       | Some n, _ -> Euler.Solver.run_steps s n
+       | None, Some t -> Euler.Solver.run_until s t
+       | None, None -> Euler.Solver.run_steps s 100);
+      (s.Euler.Solver.state, s.Euler.Solver.time, s.Euler.Solver.steps)
+    end
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "done: %d steps to t = %.6f in %.2f s (%.2f ms/step), %d parallel \
+     regions\n"
+    nsteps time wall
+    (wall /. float_of_int (max nsteps 1) *. 1e3)
+    (Parallel.Exec.regions exec);
+  Printf.printf "mass %.6f  energy %.6f  min rho %.4f  min p %.4f\n"
+    (Euler.State.total_mass final_state)
+    (Euler.State.total_energy final_state)
+    (Euler.State.min_density final_state)
+    (Euler.State.min_pressure final_state);
+  let rho = Euler.State.density_field final_state in
+  if Euler.Grid.is_1d final_state.Euler.State.grid then
+    print_string
+      (Euler.Field_io.ascii_profile ~width:72 ~height:14
+         (Euler.State.density_profile final_state))
+  else
+    print_string
+      (Euler.Field_io.ascii_contour ~width:72 ~height:26
+         (Euler.Field_io.schlieren rho));
+  (match csv with
+   | Some path ->
+     if Euler.Grid.is_1d final_state.Euler.State.grid then begin
+       let nx = final_state.Euler.State.grid.Euler.Grid.nx in
+       Euler.Field_io.write_profile_csv ~path
+         ~columns:
+           [ ( "x",
+               Array.init nx
+                 (Euler.Grid.xc final_state.Euler.State.grid) );
+             ("rho", Euler.State.density_profile final_state);
+             ("u", Euler.State.velocity_profile final_state);
+             ("p", Euler.State.pressure_profile final_state) ]
+     end
+     else Euler.Field_io.write_field_csv ~path rho;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
+  (match pgm with
+   | Some path ->
+     Euler.Field_io.write_pgm ~path rho;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
+  Parallel.Exec.shutdown exec
+
+let cmd =
+  let problem =
+    Arg.(value & pos 0 problem_conv "sod"
+         & info [] ~docv:"PROBLEM"
+             ~doc:"sod, lax, 123, pulse, uniform, quadrant or two-channel")
+  and nx =
+    Arg.(value & opt int 200
+         & info [ "n"; "nx" ] ~docv:"N" ~doc:"grid cells per side")
+  and ms =
+    Arg.(value & opt float 2.2
+         & info [ "ms" ] ~doc:"shock Mach number (two-channel)")
+  and recon =
+    Arg.(value & opt recon_conv Euler.Recon.Weno3
+         & info [ "recon" ] ~doc:"reconstruction scheme")
+  and riemann =
+    Arg.(value & opt riemann_conv Euler.Riemann.Hllc
+         & info [ "riemann" ] ~doc:"Riemann solver")
+  and rk =
+    Arg.(value & opt rk_conv Euler.Rk.Tvd_rk3
+         & info [ "rk" ] ~doc:"time integrator")
+  and cfl = Arg.(value & opt float 0.5 & info [ "cfl" ] ~doc:"CFL number")
+  and steps =
+    Arg.(value & opt (some int) None
+         & info [ "steps" ] ~doc:"march a fixed number of steps")
+  and t_end =
+    Arg.(value & opt (some float) None
+         & info [ "t"; "time" ] ~doc:"march to a physical time")
+  and scheduler =
+    Arg.(value & opt scheduler_conv `Seq
+         & info [ "backend" ] ~doc:"seq, spmd or forkjoin")
+  and lanes =
+    Arg.(value & opt int 2 & info [ "lanes" ] ~doc:"parallel lanes")
+  and fortran_style =
+    Arg.(value & flag
+         & info [ "fortran" ]
+             ~doc:"use the Fortran-90 baseline kernels (benchmark \
+                   configuration only)")
+  and csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~doc:"write the final field/profile as CSV")
+  and pgm =
+    Arg.(value & opt (some string) None
+         & info [ "pgm" ] ~doc:"write the final density as a PGM image")
+  in
+  Cmd.v
+    (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
+    Term.(
+      const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ steps
+      $ t_end $ scheduler $ lanes $ fortran_style $ csv $ pgm)
+
+let () = exit (Cmd.eval cmd)

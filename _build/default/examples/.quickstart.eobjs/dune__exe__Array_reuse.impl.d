@@ -1,0 +1,1 @@
+examples/array_reuse.ml: Array Float Nd Printf Sac Slice Tensor Tridiag

@@ -1,0 +1,1 @@
+examples/convergence_study.ml: Array Euler Float List Printf

@@ -1,0 +1,1 @@
+examples/limiter_comparison.ml: Array Euler Float List Printf

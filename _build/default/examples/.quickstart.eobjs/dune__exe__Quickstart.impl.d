@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Euler Float Printf

@@ -1,0 +1,1 @@
+examples/sac_euler.mli:

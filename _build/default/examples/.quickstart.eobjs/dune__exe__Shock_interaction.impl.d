@@ -1,0 +1,1 @@
+examples/shock_interaction.ml: Array Euler Float List Printf Tensor

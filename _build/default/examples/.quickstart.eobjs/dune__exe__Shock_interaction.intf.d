@@ -1,0 +1,1 @@
+examples/shock_interaction.mli:

@@ -1,0 +1,38 @@
+(* Quickstart: solve the Sod shock tube and compare against the exact
+   Riemann solution.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a problem.  Setup functions return an initialised state
+     plus the boundary conditions it needs. *)
+  let problem = Euler.Setup.sod ~nx:400 () in
+
+  (* 2. Build a solver: WENO3 reconstruction in characteristic
+     variables, HLLC fluxes, 3rd-order TVD Runge-Kutta. *)
+  let solver =
+    Euler.Solver.create ~config:Euler.Solver.default_config
+      ~bcs:problem.Euler.Setup.bcs problem.Euler.Setup.state
+  in
+
+  (* 3. March to t = 0.2 (the standard comparison time). *)
+  Euler.Solver.run_until solver 0.2;
+  Printf.printf "Sod tube: %d steps to t = %.3f\n" solver.Euler.Solver.steps
+    solver.Euler.Solver.time;
+
+  (* 4. Compare with the exact solution. *)
+  let rho = Euler.State.density_profile solver.Euler.Solver.state in
+  let _, exact = Euler.Setup.sod_exact_profile ~nx:400 ~t:0.2 () in
+  let l1 = ref 0. in
+  Array.iteri
+    (fun i r ->
+      let re, _, _ = exact.(i) in
+      l1 := !l1 +. Float.abs (r -. re))
+    rho;
+  Printf.printf "L1 density error vs exact solution: %.5f\n"
+    (!l1 /. 400.);
+
+  (* 5. Look at the result. *)
+  print_string (Euler.Field_io.ascii_profile ~width:72 ~height:16 rho);
+  print_endline
+    "(left to right: post-diaphragm state, rarefaction, contact, shock)"

@@ -1,0 +1,51 @@
+(* The paper's port, end to end: the shock-tube solver written in the
+   miniature SaC dialect, compiled by the mini-sac2c pipeline
+   (inlining, constant folding, with-loop folding, unrolling, CSE,
+   DCE) and executed by the data-parallel evaluator — then validated
+   cell-by-cell against the native OCaml solver in the identical
+   benchmark configuration.
+
+     dune exec examples/sac_euler.exe *)
+
+let () =
+  let nx = 100 and steps = 60 in
+
+  (* Compile twice: without and with the paper's optimisation flags
+     (-maxoptcyc 100 -maxwlur 20). *)
+  let unopt = Sacprog.Runner.compile_euler_1d ~options:Sac.Pipeline.o0 () in
+  let opt = Sacprog.Runner.compile_euler_1d () in
+  Printf.printf
+    "mini-sac2c: optimisation converged after %d cycle(s)\n"
+    opt.Sacprog.Runner.report.Sac.Pipeline.cycles_used;
+
+  (* Show what with-loop folding did to the paper's GetDT kernel. *)
+  let getdt_src, _ = Sac.Pipeline.compile ~options:Sac.Pipeline.o0
+      Sacprog.Programs.get_dt in
+  let getdt_opt, _ = Sac.Pipeline.compile Sacprog.Programs.get_dt in
+  print_endline "\nGetDT before optimisation:";
+  print_string (Sac.Pretty.program_to_string getdt_src);
+  print_endline "\nGetDT after with-loop folding (one fold with-loop):";
+  print_string (Sac.Pretty.program_to_string getdt_opt);
+
+  (* Run both versions of the solver and the native reference. *)
+  let stats_unopt, q_unopt = Sacprog.Runner.sod_state unopt ~nx ~steps in
+  let stats_opt, q_opt = Sacprog.Runner.sod_state opt ~nx ~steps in
+  let q_native = Sacprog.Runner.native_sod_state ~nx ~steps in
+  Printf.printf
+    "\nSod tube, %d cells, %d steps (PC + Rusanov + TVD-RK3):\n" nx steps;
+  Printf.printf "  %-22s %12s %14s %12s\n" "" "with-loops" "elements"
+    "max|diff|";
+  Printf.printf "  %-22s %12d %14d %12.2e\n" "mini-SaC, -O0"
+    stats_unopt.Sac.Eval.with_loops stats_unopt.Sac.Eval.elements
+    (Sacprog.Runner.max_abs_diff q_unopt q_native);
+  Printf.printf "  %-22s %12d %14d %12.2e\n" "mini-SaC, -O3"
+    stats_opt.Sac.Eval.with_loops stats_opt.Sac.Eval.elements
+    (Sacprog.Runner.max_abs_diff q_opt q_native);
+  Printf.printf
+    "\nBoth agree with the native solver to round-off; optimisation \
+     removed %d with-loops (%.0f%% of the element traffic).\n"
+    (stats_unopt.Sac.Eval.with_loops - stats_opt.Sac.Eval.with_loops)
+    (100.
+     *. (1.
+         -. (float_of_int stats_opt.Sac.Eval.elements
+             /. float_of_int stats_unopt.Sac.Eval.elements)))

@@ -1,0 +1,49 @@
+(* The paper's §3.2 flow: two shock waves (Ms = 2.2) exhaust from
+   perpendicular channels into a quiescent chamber, diffract over the
+   solid walls, and interact — forming circular primary shocks, two
+   reflected shocks, a Mach stem between them, and contact surfaces
+   that curl into the mushroom structure of the paper's Fig. 3.
+
+     dune exec examples/shock_interaction.exe *)
+
+let () =
+  let problem = Euler.Setup.two_channel ~cells_per_h:60 () in
+  print_endline problem.Euler.Setup.description;
+  let solver =
+    Euler.Solver.create ~config:Euler.Solver.default_config
+      ~bcs:problem.Euler.Setup.bcs problem.Euler.Setup.state
+  in
+  (* Snapshots at successive times show the interaction developing. *)
+  List.iter
+    (fun t ->
+      Euler.Solver.run_until solver t;
+      let st = solver.Euler.Solver.state in
+      let rho = Euler.State.density_field st in
+      Printf.printf
+        "\n--- t = %.2f (step %d): density in [%.3f, %.3f] ---\n"
+        solver.Euler.Solver.time solver.Euler.Solver.steps
+        (Tensor.Nd.minval rho) (Tensor.Nd.maxval rho);
+      print_string
+        (Euler.Field_io.ascii_contour ~width:66 ~height:24
+           (Euler.Field_io.schlieren rho)))
+    [ 0.15; 0.3; 0.45 ];
+  (* Quantitative checks on the final flow. *)
+  let st = solver.Euler.Solver.state in
+  let post =
+    Euler.Rankine_hugoniot.post_shock ~gamma:st.Euler.State.gamma ~ms:2.2
+      ~rho0:1. ~p0:1.
+  in
+  let rho = Euler.State.density_field st in
+  let n = (Tensor.Nd.shape rho).(0) in
+  let diag = Array.init n (fun i -> Tensor.Nd.get rho [| i; i |]) in
+  let diag_max = Array.fold_left Float.max 0. diag in
+  Printf.printf
+    "\nRankine-Hugoniot post-shock density: %.3f; maximum on the \
+     diagonal: %.3f\n"
+    post.Euler.Rankine_hugoniot.rho diag_max;
+  Printf.printf
+    "The diagonal maximum exceeding the single-shock value indicates \
+     the Mach stem: %b\n"
+    (diag_max > post.Euler.Rankine_hugoniot.rho);
+  Euler.Field_io.write_pgm ~path:"shock_interaction.pgm" rho;
+  print_endline "wrote shock_interaction.pgm (density field)"

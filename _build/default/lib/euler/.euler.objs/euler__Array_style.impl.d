@@ -1,0 +1,1 @@
+lib/euler/array_style.ml: Array Bc Float Grid Nd Slice State Stencil Tensor

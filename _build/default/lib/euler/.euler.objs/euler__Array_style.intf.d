@@ -1,0 +1,1 @@
+lib/euler/array_style.mli: Bc State

@@ -1,0 +1,1 @@
+lib/euler/bc.ml: Array Grid List State

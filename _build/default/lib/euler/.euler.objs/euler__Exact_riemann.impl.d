@@ -1,0 +1,1 @@
+lib/euler/exact_riemann.ml: Array Float Gas

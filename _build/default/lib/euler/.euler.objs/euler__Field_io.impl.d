@@ -1,0 +1,1 @@
+lib/euler/field_io.ml: Array Buffer Float Fun List Printf String Tensor

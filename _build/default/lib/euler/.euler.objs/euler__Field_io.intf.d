@@ -1,0 +1,1 @@
+lib/euler/field_io.mli: Tensor

@@ -1,0 +1,1 @@
+lib/euler/grid.ml: Format

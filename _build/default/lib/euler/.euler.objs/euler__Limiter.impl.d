@@ -1,0 +1,1 @@
+lib/euler/limiter.ml: Float List String

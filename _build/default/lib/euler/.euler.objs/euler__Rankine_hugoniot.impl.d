@@ -1,0 +1,1 @@
+lib/euler/rankine_hugoniot.ml: Gas

@@ -1,0 +1,1 @@
+lib/euler/recon.ml: Array Limiter List String

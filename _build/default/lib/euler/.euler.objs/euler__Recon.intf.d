@@ -1,0 +1,1 @@
+lib/euler/recon.mli: Limiter

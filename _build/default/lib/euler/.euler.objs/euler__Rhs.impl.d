@@ -1,0 +1,1 @@
+lib/euler/rhs.ml: Array Characteristic Grid Parallel Recon Riemann State

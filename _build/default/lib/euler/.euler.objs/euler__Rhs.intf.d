@@ -1,0 +1,1 @@
+lib/euler/rhs.mli: Parallel Recon Riemann State

@@ -1,0 +1,1 @@
+lib/euler/riemann.ml: Array Characteristic Exact_riemann Float Gas List String

@@ -1,0 +1,1 @@
+lib/euler/rk.ml: Array Grid Parallel State String

@@ -1,0 +1,1 @@
+lib/euler/setup.ml: Array Bc Exact_riemann Float Gas Grid Printf Rankine_hugoniot State

@@ -1,0 +1,1 @@
+lib/euler/setup.mli: Bc State

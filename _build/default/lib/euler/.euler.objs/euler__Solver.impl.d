@@ -1,0 +1,1 @@
+lib/euler/solver.ml: Bc Float Grid Parallel Recon Rhs Riemann Rk State Time_step

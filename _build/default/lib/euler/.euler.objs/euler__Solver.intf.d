@@ -1,0 +1,1 @@
+lib/euler/solver.mli: Bc Parallel Recon Riemann Rk State

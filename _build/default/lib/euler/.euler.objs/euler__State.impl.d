@@ -1,0 +1,1 @@
+lib/euler/state.ml: Array Float Gas Grid Tensor

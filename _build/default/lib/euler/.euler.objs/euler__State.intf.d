@@ -1,0 +1,1 @@
+lib/euler/state.mli: Grid Tensor

@@ -1,0 +1,1 @@
+lib/euler/time_step.ml: Float Gas Grid Parallel State

@@ -1,0 +1,1 @@
+lib/euler/time_step.mli: Parallel State

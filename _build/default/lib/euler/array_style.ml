@@ -1,0 +1,204 @@
+open Tensor
+
+type t = {
+  st : State.t;
+  s1 : State.t;
+  s2 : State.t;
+  bcs : (Bc.side * Bc.kind) list;
+  mutable time : float;
+  mutable steps : int;
+  mutable ops : int;
+}
+
+let cfl = 0.5
+
+let create ~bcs st =
+  { st;
+    s1 = State.copy st;
+    s2 = State.copy st;
+    bcs;
+    time = 0.;
+    steps = 0;
+    ops = 0 }
+
+let state t = t.st
+let time t = t.time
+let steps t = t.steps
+let with_loops t = t.ops
+
+let with_loops_per_step t =
+  if t.steps = 0 then Float.nan
+  else float_of_int t.ops /. float_of_int t.steps
+
+(* Every whole-array operation below is one conceptual with-loop; the
+   counter is the instrumentation the scaling model consumes. *)
+let tick t = t.ops <- t.ops + 1
+
+let padded_shape (g : Grid.t) =
+  [| g.Grid.ny + (2 * g.Grid.ng); g.Grid.nx + (2 * g.Grid.ng) |]
+
+let pad t (src : State.t) k =
+  ignore t;
+  (* A view, not a copy: wrapping costs nothing, like SaC's reference
+     passing. *)
+  Nd.of_array (padded_shape src.State.grid) src.State.q.(k)
+
+let ( +! ) t = fun a b -> tick t; Nd.add a b
+let ( -! ) t = fun a b -> tick t; Nd.sub a b
+let ( *! ) t = fun a b -> tick t; Nd.mul a b
+let ( /! ) t = fun a b -> tick t; Nd.div a b
+
+let muls t a k = tick t; Nd.muls a k
+let abs_ t a = tick t; Nd.abs a
+let sqrt_ t a = tick t; Nd.sqrt a
+let max2_ t a b = tick t; Nd.max2 a b
+let maxval_ t a = tick t; Nd.maxval a
+
+let axis_vec rank ax k = Array.init rank (fun i -> if i = ax then k else 0)
+
+let left_of t ax a =
+  tick t;
+  Slice.drop (axis_vec (Nd.rank a) ax (-1)) a
+
+let right_of t ax a =
+  tick t;
+  Slice.drop (axis_vec (Nd.rank a) ax 1) a
+
+let df_dx t ~axis ~delta a =
+  tick t;
+  Stencil.df_dx_no_boundary ~axis ~delta a
+
+(* Primitive decode of a padded state, whole-array. *)
+let primitives t (src : State.t) =
+  let gamma = src.State.gamma in
+  let rho = pad t src State.i_rho
+  and mx = pad t src State.i_mx
+  and my = pad t src State.i_my
+  and en = pad t src State.i_e in
+  let u = ( /! ) t mx rho and v = ( /! ) t my rho in
+  let ke = muls t (( +! ) t (( *! ) t mx u) (( *! ) t my v)) 0.5 in
+  let p = muls t (( -! ) t en ke) (gamma -. 1.) in
+  let c = sqrt_ t (( /! ) t (muls t p gamma) rho) in
+  (rho, mx, my, en, u, v, p, c)
+
+(* The paper's getDt, §4.2: elementwise arithmetic and a maxval. *)
+let get_dt t =
+  let g = t.st.State.grid in
+  let ng = g.Grid.ng in
+  let interior a =
+    tick t;
+    Slice.sub [| ng; ng |] [| g.Grid.ny; g.Grid.nx |] a
+  in
+  let _, _, _, _, u, v, _, c = primitives t t.st in
+  let u = interior u and v = interior v and c = interior c in
+  let ev_x = muls t (( +! ) t (abs_ t u) c) (1. /. g.Grid.dx) in
+  let ev =
+    if Grid.is_1d g then ev_x
+    else
+      ( +! ) t ev_x (muls t (( +! ) t (abs_ t v) c) (1. /. g.Grid.dy))
+  in
+  cfl /. maxval_ t ev
+
+(* Rusanov flux divergence along one axis, whole-array: slices of the
+   padded arrays play the role of SaC's drop(), and the final
+   difference is literally dfDxNoBoundary. *)
+let flux_divergence t src ~axis =
+  let g = src.State.grid in
+  let ng = g.Grid.ng in
+  let rho, mx, my, en, u, v, p, c = primitives t src in
+  let un = if axis = 1 then u else v in
+  let delta = if axis = 1 then g.Grid.dx else g.Grid.dy in
+  (* Physical fluxes of every padded cell. *)
+  let mn = if axis = 1 then mx else my in
+  let f_rho = mn in
+  let f_mx =
+    if axis = 1 then ( +! ) t (( *! ) t mx u) p else ( *! ) t mx v
+  in
+  let f_my =
+    if axis = 1 then ( *! ) t my u else ( +! ) t (( *! ) t my v) p
+  in
+  let f_e = ( *! ) t un (( +! ) t en p) in
+  let speed = ( +! ) t (abs_ t un) c in
+  let smax = max2_ t (left_of t axis speed) (right_of t axis speed) in
+  let numerical q f =
+    let central =
+      muls t (( +! ) t (left_of t axis f) (right_of t axis f)) 0.5
+    in
+    let jump = ( -! ) t (right_of t axis q) (left_of t axis q) in
+    ( -! ) t central (muls t (( *! ) t smax jump) 0.5)
+  in
+  let interior a =
+    (* The swept axis shrank by 2 relative to the padded extent (one
+       interface column, then one difference); the interior block
+       starts at ng - 1 there and at ng on the other axis. *)
+    let start = [| ng; ng |] and extent = [| g.Grid.ny; g.Grid.nx |] in
+    start.(if axis = 1 then 1 else 0) <- ng - 1;
+    tick t;
+    Slice.sub start extent a
+  in
+  let one q f = interior (df_dx t ~axis ~delta (numerical q f)) in
+  [| one rho f_rho; one mx f_mx; one my f_my; one en f_e |]
+
+let rhs t src =
+  let g = src.State.grid in
+  let dx = flux_divergence t src ~axis:1 in
+  if Grid.is_1d g then Array.map (fun d -> muls t d (-1.)) dx
+  else begin
+    let dy = flux_divergence t src ~axis:0 in
+    Array.init State.nvar (fun k -> muls t (( +! ) t dx.(k) dy.(k)) (-1.))
+  end
+
+let interior_of t st k =
+  let g = st.State.grid in
+  let ng = g.Grid.ng in
+  tick t;
+  Slice.sub [| ng; ng |] [| g.Grid.ny; g.Grid.nx |] (pad t st k)
+
+(* modarray with-loop: write an interior-shaped tensor back into the
+   padded payload of [dst]. *)
+let scatter t (dst : State.t) k (interior : Nd.t) =
+  tick t;
+  let g = dst.State.grid in
+  let ng = g.Grid.ng and stride = g.Grid.row_stride in
+  let a = dst.State.q.(k) in
+  for iy = 0 to g.Grid.ny - 1 do
+    let base = ((iy + ng) * stride) + ng in
+    for ix = 0 to g.Grid.nx - 1 do
+      a.(base + ix) <- Nd.get_flat interior ((iy * g.Grid.nx) + ix)
+    done
+  done
+
+(* dst = ca * a + cb * b + cd * d, all interior tensors, then scatter. *)
+let combine t ~dst ~ca ~a ~cb ~b ~cd d =
+  for k = 0 to State.nvar - 1 do
+    let qa = interior_of t a k in
+    let term = muls t qa ca in
+    let term =
+      if cb = 0. then term
+      else ( +! ) t term (muls t (interior_of t b k) cb)
+    in
+    let term = ( +! ) t term (muls t d.(k) cd) in
+    scatter t dst k term
+  done
+
+let step t =
+  let dt = get_dt t in
+  (* TVD-RK3, with ghost refresh before every flux evaluation. *)
+  Bc.apply t.st t.bcs;
+  let d = rhs t t.st in
+  combine t ~dst:t.s1 ~ca:1. ~a:t.st ~cb:0. ~b:t.st ~cd:dt d;
+  Bc.apply t.s1 t.bcs;
+  let d = rhs t t.s1 in
+  combine t ~dst:t.s2 ~ca:0.75 ~a:t.st ~cb:0.25 ~b:t.s1 ~cd:(0.25 *. dt) d;
+  Bc.apply t.s2 t.bcs;
+  let d = rhs t t.s2 in
+  combine t ~dst:t.st ~ca:(1. /. 3.) ~a:t.st ~cb:(2. /. 3.) ~b:t.s2
+    ~cd:(2. /. 3. *. dt) d;
+  t.time <- t.time +. dt;
+  t.steps <- t.steps + 1;
+  dt
+
+let run_steps t n =
+  for _ = 1 to n do
+    ignore (step t)
+  done

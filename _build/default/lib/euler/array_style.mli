@@ -1,0 +1,44 @@
+(** The benchmark solver written in SaC's whole-array style.
+
+    This module is the semantic twin of the SaC source the paper
+    describes: every operation is a whole-array expression (a
+    with-loop), intermediate arrays are materialised, and the paper's
+    kernels appear literally — [getDt] as elementwise arithmetic plus
+    [maxval], flux differences as [drop]-and-subtract
+    ([dfDxNoBoundary]).  It implements exactly the §5 benchmark
+    configuration: first-order piecewise-constant reconstruction,
+    Rusanov fluxes and 3rd-order TVD Runge-Kutta.
+
+    It must agree with {!Solver} run under {!Solver.benchmark_config}
+    to round-off (an integration test enforces this), and its
+    instrumented with-loop count per step is what the scaling model
+    charges the {e unfused} SaC executable with; sac2c's with-loop
+    folding (demonstrated by the [Sac] library's optimiser) reduces
+    that count for the published Fig. 4 configuration. *)
+
+type t
+
+val create : bcs:(Bc.side * Bc.kind) list -> State.t -> t
+(** Takes ownership of the state.  The state's grid must have at
+    least one ghost layer. *)
+
+val state : t -> State.t
+val time : t -> float
+val steps : t -> int
+
+val cfl : float
+(** Fixed at 0.5, matching {!Solver.benchmark_config}. *)
+
+val get_dt : t -> float
+(** The paper's [getDt], computed with whole-array operations. *)
+
+val step : t -> float
+(** One CFL-limited TVD-RK3 step; returns the [dt] taken. *)
+
+val run_steps : t -> int -> unit
+
+val with_loops : t -> int
+(** Total whole-array operations (with-loops) executed so far. *)
+
+val with_loops_per_step : t -> float
+(** Average with-loops per time step ([nan] before the first step). *)

@@ -1,0 +1,114 @@
+type side = West | East | South | North
+
+type kind =
+  | Outflow
+  | Reflective
+  | Inflow of { rho : float; u : float; v : float; p : float }
+  | Segmented of (float * float * kind) list
+
+let side_name = function
+  | West -> "west"
+  | East -> "east"
+  | South -> "south"
+  | North -> "north"
+
+(* Copy cell [src] to cell [dst], optionally negating one momentum
+   component. *)
+let copy_cell (st : State.t) ~src_ix ~src_iy ~dst_ix ~dst_iy ~negate =
+  let s = Grid.offset st.State.grid src_ix src_iy
+  and d = Grid.offset st.State.grid dst_ix dst_iy in
+  for k = 0 to State.nvar - 1 do
+    let v = st.State.q.(k).(s) in
+    st.State.q.(k).(d) <- (if k = negate then -.v else v)
+  done
+
+let set_cell st ~ix ~iy ~rho ~u ~v ~p = State.set_primitive st ix iy ~rho ~u ~v ~p
+
+(* For a ghost cell at layer [gl] (1-based), the mirror interior cell
+   for reflective walls is layer [gl - 1] counted inward, and the
+   nearest interior cell for outflow is layer 0. *)
+let fill_ghost st side ~along ~gl kind =
+  let g = st.State.grid in
+  let nx = g.Grid.nx and ny = g.Grid.ny in
+  let place ~ghost ~mirror ~nearest ~negate =
+    match kind with
+    | Outflow ->
+      let six, siy = nearest in
+      let dix, diy = ghost in
+      copy_cell st ~src_ix:six ~src_iy:siy ~dst_ix:dix ~dst_iy:diy
+        ~negate:(-1)
+    | Reflective ->
+      let six, siy = mirror in
+      let dix, diy = ghost in
+      copy_cell st ~src_ix:six ~src_iy:siy ~dst_ix:dix ~dst_iy:diy ~negate
+    | Inflow { rho; u; v; p } ->
+      let dix, diy = ghost in
+      set_cell st ~ix:dix ~iy:diy ~rho ~u ~v ~p
+    | Segmented _ -> assert false
+  in
+  match side with
+  | West ->
+    place
+      ~ghost:(-gl, along)
+      ~mirror:(gl - 1, along)
+      ~nearest:(0, along) ~negate:State.i_mx
+  | East ->
+    place
+      ~ghost:(nx - 1 + gl, along)
+      ~mirror:(nx - gl, along)
+      ~nearest:(nx - 1, along) ~negate:State.i_mx
+  | South ->
+    place
+      ~ghost:(along, -gl)
+      ~mirror:(along, gl - 1)
+      ~nearest:(along, 0) ~negate:State.i_my
+  | North ->
+    place
+      ~ghost:(along, ny - 1 + gl)
+      ~mirror:(along, ny - gl)
+      ~nearest:(along, ny - 1) ~negate:State.i_my
+
+let segment_kind segments coord =
+  let rec find = function
+    | [] -> Reflective
+    | (a, b, k) :: rest -> if coord >= a && coord < b then k else find rest
+  in
+  match find segments with
+  | Segmented _ -> invalid_arg "Bc: nested Segmented"
+  | k -> k
+
+let apply_side st side kind =
+  let g = st.State.grid in
+  let along_range =
+    match side with
+    | West | East -> (-g.Grid.ng, g.Grid.ny + g.Grid.ng - 1)
+    | South | North -> (-g.Grid.ng, g.Grid.nx + g.Grid.ng - 1)
+  in
+  let coord_of along =
+    match side with
+    | West | East -> Grid.yc g along
+    | South | North -> Grid.xc g along
+  in
+  let lo, hi = along_range in
+  for along = lo to hi do
+    let k =
+      match kind with
+      | Segmented segments -> segment_kind segments (coord_of along)
+      | k -> k
+    in
+    (match k with
+     | Segmented _ -> invalid_arg "Bc: nested Segmented"
+     | _ -> ());
+    for gl = 1 to g.Grid.ng do
+      fill_ghost st side ~along ~gl k
+    done
+  done
+
+let apply st sides =
+  let kind_of side =
+    match List.assoc_opt side sides with Some k -> k | None -> Outflow
+  in
+  apply_side st West (kind_of West);
+  apply_side st East (kind_of East);
+  apply_side st South (kind_of South);
+  apply_side st North (kind_of North)

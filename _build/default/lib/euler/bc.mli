@@ -1,0 +1,37 @@
+(** Boundary conditions via ghost-cell filling.
+
+    The two-channel problem (paper §3.2) needs all three kinds: solid
+    walls (reflective), supersonic inflow holding the Rankine-Hugoniot
+    post-shock state (the channel exits, where "the flow variables in
+    the exit sections are not changed during the computation" because
+    the exit flow is supersonic at Ms = 2.2), and non-reflecting
+    outflow elsewhere.  [Segmented] composes different conditions along
+    one side, as the left and bottom boundaries require. *)
+
+type side = West | East | South | North
+
+type kind =
+  | Outflow
+      (** Zero-gradient extrapolation. *)
+  | Reflective
+      (** Solid wall: mirrored state with the normal velocity
+          negated. *)
+  | Inflow of { rho : float; u : float; v : float; p : float }
+      (** Fixed primitive state in the ghost cells. *)
+  | Segmented of (float * float * kind) list
+      (** [(a, b, k)] applies [k] where the along-boundary coordinate
+          (y for West/East, x for South/North) lies in [\[a, b)].
+          Uncovered stretches default to [Reflective].  Nesting
+          [Segmented] is not allowed. *)
+
+val apply_side : State.t -> side -> kind -> unit
+(** Fill the ghost layers of one side.
+    @raise Invalid_argument on nested [Segmented]. *)
+
+val apply : State.t -> (side * kind) list -> unit
+(** Fill all four sides; sides absent from the list get [Outflow].
+    West/East are filled over the full padded height first, then
+    South/North over the full padded width, so corner ghosts end up
+    consistent. *)
+
+val side_name : side -> string

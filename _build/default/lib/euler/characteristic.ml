@@ -1,0 +1,104 @@
+type basis = { l : float array; r : float array; un : float; c : float }
+
+(* Eigenvector matrices for the x-split Euler equations in the rotated
+   frame (rho, rho*un, rho*ut, E); see e.g. Toro, "Riemann Solvers and
+   Numerical Methods for Fluid Dynamics", ch. 3.  Rows of [l] /
+   columns of [r] are ordered (un-c, un entropy, un shear, un+c). *)
+let build ~gamma ~rho ~un ~ut ~p =
+  if not (Gas.is_physical ~rho ~p) then
+    invalid_arg "Characteristic: non-physical state";
+  let c = Gas.sound_speed ~gamma ~rho ~p in
+  let q2 = (un *. un) +. (ut *. ut) in
+  let h = (c *. c /. (gamma -. 1.)) +. (q2 /. 2.) in
+  let b1 = (gamma -. 1.) /. (c *. c) in
+  let b2 = b1 *. q2 /. 2. in
+  let l =
+    [| (b2 +. (un /. c)) /. 2.;
+       ((-.b1 *. un) -. (1. /. c)) /. 2.;
+       -.b1 *. ut /. 2.;
+       b1 /. 2.;
+       1. -. b2;
+       b1 *. un;
+       b1 *. ut;
+       -.b1;
+       -.ut;
+       0.;
+       1.;
+       0.;
+       (b2 -. (un /. c)) /. 2.;
+       ((-.b1 *. un) +. (1. /. c)) /. 2.;
+       -.b1 *. ut /. 2.;
+       b1 /. 2. |]
+  in
+  let r =
+    [| 1.;
+       1.;
+       0.;
+       1.;
+       un -. c;
+       un;
+       0.;
+       un +. c;
+       ut;
+       ut;
+       1.;
+       ut;
+       h -. (un *. c);
+       q2 /. 2.;
+       ut;
+       h +. (un *. c) |]
+  in
+  { l; r; un; c }
+
+let of_state ~gamma ~rho ~un ~ut ~p = build ~gamma ~rho ~un ~ut ~p
+
+let of_roe_average ~gamma ~left ~right =
+  let rho_l, un_l, ut_l, p_l = left and rho_r, un_r, ut_r, p_r = right in
+  if not (Gas.is_physical ~rho:rho_l ~p:p_l)
+     || not (Gas.is_physical ~rho:rho_r ~p:p_r)
+  then invalid_arg "Characteristic.of_roe_average: non-physical state";
+  let wl = Float.sqrt rho_l and wr = Float.sqrt rho_r in
+  let inv = 1. /. (wl +. wr) in
+  let un = ((wl *. un_l) +. (wr *. un_r)) *. inv in
+  let ut = ((wl *. ut_l) +. (wr *. ut_r)) *. inv in
+  let h_of rho unx utx p =
+    (Gas.total_energy ~gamma ~rho ~u:unx ~v:utx ~p +. p) /. rho
+  in
+  let h =
+    ((wl *. h_of rho_l un_l ut_l p_l) +. (wr *. h_of rho_r un_r ut_r p_r))
+    *. inv
+  in
+  let q2 = (un *. un) +. (ut *. ut) in
+  let c2 = (gamma -. 1.) *. (h -. (q2 /. 2.)) in
+  let c2 = Float.max c2 1e-14 in
+  (* Recover an equivalent (rho, p) pair so we can share [build]. *)
+  let rho = wl *. wr in
+  let p = c2 *. rho /. gamma in
+  build ~gamma ~rho ~un ~ut ~p
+
+let to_characteristic b q w =
+  let l = b.l in
+  for row = 0 to 3 do
+    let o = row * 4 in
+    w.(row) <-
+      (l.(o) *. q.(0))
+      +. (l.(o + 1) *. q.(1))
+      +. (l.(o + 2) *. q.(2))
+      +. (l.(o + 3) *. q.(3))
+  done
+
+let from_characteristic b w q =
+  let r = b.r in
+  for row = 0 to 3 do
+    let o = row * 4 in
+    q.(row) <-
+      (r.(o) *. w.(0))
+      +. (r.(o + 1) *. w.(1))
+      +. (r.(o + 2) *. w.(2))
+      +. (r.(o + 3) *. w.(3))
+  done
+
+let eigenvalues b = (b.un -. b.c, b.un, b.un, b.un +. b.c)
+
+let left_matrix b = Array.copy b.l
+let right_matrix b = Array.copy b.r

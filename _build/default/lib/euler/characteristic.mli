@@ -1,0 +1,47 @@
+(** Local characteristic decomposition of the Euler flux Jacobian.
+
+    The paper's reconstruction "is applied to the so-called (local)
+    characteristic variables rather than to the primitive ... or the
+    conservative variables".  This module supplies the eigenvector
+    bases that map conserved 4-vectors to characteristic space and
+    back, for a sweep direction described by a normal velocity [un] and
+    a transverse velocity [ut].
+
+    Conserved vectors here are always ordered
+    [(rho, rho un, rho ut, E)], i.e. already rotated into the sweep
+    frame; the pencil gather/scatter in {!Rhs} performs that rotation.
+    Characteristic fields are ordered by wave speed:
+    [un - c], [un] (entropy), [un] (shear), [un + c]. *)
+
+type basis
+(** Left and right eigenvector matrices of one interface. *)
+
+val of_state :
+  gamma:float -> rho:float -> un:float -> ut:float -> p:float -> basis
+(** Basis evaluated at a single (average) state.
+    @raise Invalid_argument on non-physical input. *)
+
+val of_roe_average :
+  gamma:float ->
+  left:float * float * float * float ->
+  right:float * float * float * float ->
+  basis
+(** Basis at the Roe average of two primitive states
+    [(rho, un, ut, p)] — the density-weighted average that makes the
+    linearised problem exactly conservative across a single jump. *)
+
+val to_characteristic : basis -> float array -> float array -> unit
+(** [to_characteristic b q w] stores [L q] into [w]; both arrays have
+    length 4. *)
+
+val from_characteristic : basis -> float array -> float array -> unit
+(** [from_characteristic b w q] stores [R w] into [q]. *)
+
+val eigenvalues : basis -> float * float * float * float
+(** Wave speeds [(un - c, un, un, un + c)] of the basis state. *)
+
+val left_matrix : basis -> float array
+(** Row-major 4x4 copy of [L] (for tests). *)
+
+val right_matrix : basis -> float array
+(** Row-major 4x4 copy of [R] (for tests). *)

@@ -1,0 +1,137 @@
+(* Exact Riemann solver following Toro, "Riemann Solvers and Numerical
+   Methods for Fluid Dynamics", ch. 4. *)
+
+type star = { p_star : float; u_star : float; iterations : int }
+
+(* Pressure function of one side and its derivative. *)
+let side_f ~gamma ~rho ~p ~c pstar =
+  if pstar > p then begin
+    (* Shock branch. *)
+    let a = 2. /. ((gamma +. 1.) *. rho)
+    and b = (gamma -. 1.) /. (gamma +. 1.) *. p in
+    let sq = Float.sqrt (a /. (pstar +. b)) in
+    let f = (pstar -. p) *. sq in
+    let df = sq *. (1. -. ((pstar -. p) /. (2. *. (pstar +. b)))) in
+    (f, df)
+  end
+  else begin
+    (* Rarefaction branch. *)
+    let ex = (gamma -. 1.) /. (2. *. gamma) in
+    let pr = pstar /. p in
+    let f = 2. *. c /. (gamma -. 1.) *. ((pr ** ex) -. 1.) in
+    let df = 1. /. (rho *. c) *. (pr ** (-.(gamma +. 1.) /. (2. *. gamma))) in
+    (f, df)
+  end
+
+let solve ?(tol = 1e-12) ~gamma ~left ~right () =
+  let rho_l, u_l, p_l = left and rho_r, u_r, p_r = right in
+  if not (Gas.is_physical ~rho:rho_l ~p:p_l)
+     || not (Gas.is_physical ~rho:rho_r ~p:p_r)
+  then invalid_arg "Exact_riemann.solve: non-physical state";
+  let c_l = Gas.sound_speed ~gamma ~rho:rho_l ~p:p_l
+  and c_r = Gas.sound_speed ~gamma ~rho:rho_r ~p:p_r in
+  let du = u_r -. u_l in
+  (* Vacuum generation check (Toro eq. 4.40). *)
+  if 2. *. (c_l +. c_r) /. (gamma -. 1.) <= du then
+    failwith "Exact_riemann.solve: initial states generate vacuum";
+  (* Two-rarefaction initial guess, robust for the problems we run. *)
+  let z = (gamma -. 1.) /. (2. *. gamma) in
+  let p0 =
+    let num = c_l +. c_r -. ((gamma -. 1.) /. 2. *. du) in
+    let den = (c_l /. (p_l ** z)) +. (c_r /. (p_r ** z)) in
+    (num /. den) ** (1. /. z)
+  in
+  let p0 = Float.max p0 (1e-8 *. Float.min p_l p_r) in
+  let rec newton p iter =
+    let f_l, df_l = side_f ~gamma ~rho:rho_l ~p:p_l ~c:c_l p
+    and f_r, df_r = side_f ~gamma ~rho:rho_r ~p:p_r ~c:c_r p in
+    let f = f_l +. f_r +. du in
+    let p' = p -. (f /. (df_l +. df_r)) in
+    let p' = if p' <= 0. then p /. 2. else p' in
+    if Float.abs (p' -. p) /. (0.5 *. (p' +. p)) < tol || iter >= 100 then
+      (p', iter + 1)
+    else newton p' (iter + 1)
+  in
+  let p_star, iterations = newton p0 0 in
+  let f_l, _ = side_f ~gamma ~rho:rho_l ~p:p_l ~c:c_l p_star
+  and f_r, _ = side_f ~gamma ~rho:rho_r ~p:p_r ~c:c_r p_star in
+  let u_star = (0.5 *. (u_l +. u_r)) +. (0.5 *. (f_r -. f_l)) in
+  { p_star; u_star; iterations }
+
+let sample ~gamma ~left ~right ~xi =
+  let rho_l, u_l, p_l = left and rho_r, u_r, p_r = right in
+  let { p_star; u_star; _ } = solve ~gamma ~left ~right () in
+  let c_l = Gas.sound_speed ~gamma ~rho:rho_l ~p:p_l
+  and c_r = Gas.sound_speed ~gamma ~rho:rho_r ~p:p_r in
+  let gm1 = gamma -. 1. and gp1 = gamma +. 1. in
+  if xi <= u_star then begin
+    (* Left of the contact. *)
+    if p_star > p_l then begin
+      (* Left shock. *)
+      let s_l =
+        u_l -. (c_l *. Float.sqrt ((gp1 /. (2. *. gamma) *. (p_star /. p_l))
+                                   +. (gm1 /. (2. *. gamma))))
+      in
+      if xi <= s_l then (rho_l, u_l, p_l)
+      else begin
+        let pr = p_star /. p_l in
+        let rho =
+          rho_l *. ((pr +. (gm1 /. gp1)) /. ((gm1 /. gp1 *. pr) +. 1.))
+        in
+        (rho, u_star, p_star)
+      end
+    end
+    else begin
+      (* Left rarefaction. *)
+      let sh_l = u_l -. c_l in
+      let c_star_l = c_l *. ((p_star /. p_l) ** (gm1 /. (2. *. gamma))) in
+      let st_l = u_star -. c_star_l in
+      if xi <= sh_l then (rho_l, u_l, p_l)
+      else if xi >= st_l then
+        (rho_l *. ((p_star /. p_l) ** (1. /. gamma)), u_star, p_star)
+      else begin
+        (* Inside the fan. *)
+        let u = 2. /. gp1 *. (c_l +. (gm1 /. 2. *. u_l) +. xi) in
+        let c = 2. /. gp1 *. (c_l +. (gm1 /. 2. *. (u_l -. xi))) in
+        let rho = rho_l *. ((c /. c_l) ** (2. /. gm1)) in
+        let p = p_l *. ((c /. c_l) ** (2. *. gamma /. gm1)) in
+        (rho, u, p)
+      end
+    end
+  end
+  else begin
+    (* Right of the contact: mirror of the left logic. *)
+    if p_star > p_r then begin
+      let s_r =
+        u_r +. (c_r *. Float.sqrt ((gp1 /. (2. *. gamma) *. (p_star /. p_r))
+                                   +. (gm1 /. (2. *. gamma))))
+      in
+      if xi >= s_r then (rho_r, u_r, p_r)
+      else begin
+        let pr = p_star /. p_r in
+        let rho =
+          rho_r *. ((pr +. (gm1 /. gp1)) /. ((gm1 /. gp1 *. pr) +. 1.))
+        in
+        (rho, u_star, p_star)
+      end
+    end
+    else begin
+      let sh_r = u_r +. c_r in
+      let c_star_r = c_r *. ((p_star /. p_r) ** (gm1 /. (2. *. gamma))) in
+      let st_r = u_star +. c_star_r in
+      if xi >= sh_r then (rho_r, u_r, p_r)
+      else if xi <= st_r then
+        (rho_r *. ((p_star /. p_r) ** (1. /. gamma)), u_star, p_star)
+      else begin
+        let u = 2. /. gp1 *. (-.c_r +. (gm1 /. 2. *. u_r) +. xi) in
+        let c = 2. /. gp1 *. (c_r -. (gm1 /. 2. *. (u_r -. xi))) in
+        let rho = rho_r *. ((c /. c_r) ** (2. /. gm1)) in
+        let p = p_r *. ((c /. c_r) ** (2. *. gamma /. gm1)) in
+        (rho, u, p)
+      end
+    end
+  end
+
+let profile ~gamma ~left ~right ~x0 ~t ~xs =
+  if t <= 0. then invalid_arg "Exact_riemann.profile: t must be positive";
+  Array.map (fun x -> sample ~gamma ~left ~right ~xi:((x -. x0) /. t)) xs

@@ -1,0 +1,41 @@
+(** Exact solution of the 1D Riemann problem (Godunov/Toro).
+
+    Used as ground truth for the Sod shock-tube runs (paper Fig. 1):
+    the numerical profiles are compared against [sample]d exact
+    solutions.  States are primitive triples [(rho, u, p)]. *)
+
+type star = {
+  p_star : float;      (** pressure in the star region *)
+  u_star : float;      (** velocity in the star region *)
+  iterations : int;    (** Newton iterations used *)
+}
+
+val solve :
+  ?tol:float ->
+  gamma:float ->
+  left:float * float * float ->
+  right:float * float * float ->
+  unit ->
+  star
+(** Newton iteration on the pressure function.
+    @raise Invalid_argument on non-physical input states.
+    @raise Failure if the states generate vacuum. *)
+
+val sample :
+  gamma:float ->
+  left:float * float * float ->
+  right:float * float * float ->
+  xi:float ->
+  float * float * float
+(** Self-similar solution [(rho, u, p)] at [xi = x / t]. *)
+
+val profile :
+  gamma:float ->
+  left:float * float * float ->
+  right:float * float * float ->
+  x0:float ->
+  t:float ->
+  xs:float array ->
+  (float * float * float) array
+(** Solution at time [t > 0] on sample points [xs], with the initial
+    discontinuity at [x0]. *)

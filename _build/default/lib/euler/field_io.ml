@@ -1,0 +1,166 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_profile_csv ~path ~columns =
+  match columns with
+  | [] -> invalid_arg "Field_io.write_profile_csv: no columns"
+  | (_, first) :: rest ->
+    let n = Array.length first in
+    List.iter
+      (fun (name, c) ->
+        if Array.length c <> n then
+          invalid_arg
+            ("Field_io.write_profile_csv: ragged column " ^ name))
+      rest;
+    with_out path (fun oc ->
+        output_string oc (String.concat "," (List.map fst columns));
+        output_char oc '\n';
+        for i = 0 to n - 1 do
+          let row =
+            List.map (fun (_, c) -> Printf.sprintf "%.10g" c.(i)) columns
+          in
+          output_string oc (String.concat "," row);
+          output_char oc '\n'
+        done)
+
+let require_rank2 name t =
+  if Tensor.Nd.rank t <> 2 then invalid_arg (name ^ ": rank must be 2")
+
+let write_field_csv ~path t =
+  require_rank2 "Field_io.write_field_csv" t;
+  let s = Tensor.Nd.shape t in
+  with_out path (fun oc ->
+      for iy = 0 to s.(0) - 1 do
+        for ix = 0 to s.(1) - 1 do
+          if ix > 0 then output_char oc ',';
+          output_string oc
+            (Printf.sprintf "%.10g" (Tensor.Nd.get t [| iy; ix |]))
+        done;
+        output_char oc '\n'
+      done)
+
+let range t =
+  let lo = Tensor.Nd.minval t and hi = Tensor.Nd.maxval t in
+  if hi -. lo < 1e-300 then (lo, lo +. 1.) else (lo, hi)
+
+let write_pgm ~path ?(invert = false) t =
+  require_rank2 "Field_io.write_pgm" t;
+  let s = Tensor.Nd.shape t in
+  let lo, hi = range t in
+  with_out path (fun oc ->
+      Printf.fprintf oc "P5\n%d %d\n255\n" s.(1) s.(0);
+      for iy = s.(0) - 1 downto 0 do
+        for ix = 0 to s.(1) - 1 do
+          let v = (Tensor.Nd.get t [| iy; ix |] -. lo) /. (hi -. lo) in
+          let v = if invert then 1. -. v else v in
+          output_byte oc
+            (int_of_float (Float.min 255. (Float.max 0. (v *. 255.))))
+        done
+      done)
+
+let write_vtk ~path ?(origin = (0., 0.)) ?(spacing = (1., 1.)) fields =
+  (match fields with
+   | [] -> invalid_arg "Field_io.write_vtk: no fields"
+   | (_, first) :: rest ->
+     require_rank2 "Field_io.write_vtk" first;
+     List.iter
+       (fun (name, t) ->
+         require_rank2 "Field_io.write_vtk" t;
+         if Tensor.Nd.shape t <> Tensor.Nd.shape first then
+           invalid_arg ("Field_io.write_vtk: shape mismatch in " ^ name))
+       rest);
+  let _, first = List.hd fields in
+  let s = Tensor.Nd.shape first in
+  let ny = s.(0) and nx = s.(1) in
+  let ox, oy = origin and dx, dy = spacing in
+  with_out path (fun oc ->
+      output_string oc "# vtk DataFile Version 3.0\n";
+      output_string oc "shockwaves field output\n";
+      output_string oc "ASCII\n";
+      output_string oc "DATASET STRUCTURED_POINTS\n";
+      (* Cell data on an (nx+1) x (ny+1) point lattice. *)
+      Printf.fprintf oc "DIMENSIONS %d %d 1\n" (nx + 1) (ny + 1);
+      Printf.fprintf oc "ORIGIN %g %g 0\n" ox oy;
+      Printf.fprintf oc "SPACING %g %g 1\n" dx dy;
+      Printf.fprintf oc "CELL_DATA %d\n" (nx * ny);
+      List.iter
+        (fun (name, t) ->
+          Printf.fprintf oc "SCALARS %s double 1\n" name;
+          output_string oc "LOOKUP_TABLE default\n";
+          for iy = 0 to ny - 1 do
+            for ix = 0 to nx - 1 do
+              Printf.fprintf oc "%.10g\n" (Tensor.Nd.get t [| iy; ix |])
+            done
+          done)
+        fields)
+
+let ramp = " .:-=+*#%@"
+
+let ascii_contour ?(width = 72) ?(height = 28) t =
+  require_rank2 "Field_io.ascii_contour" t;
+  let s = Tensor.Nd.shape t in
+  let lo, hi = range t in
+  let buf = Buffer.create (width * height) in
+  for ry = height - 1 downto 0 do
+    for rx = 0 to width - 1 do
+      let iy = ry * s.(0) / height and ix = rx * s.(1) / width in
+      let v = (Tensor.Nd.get t [| iy; ix |] -. lo) /. (hi -. lo) in
+      let k =
+        int_of_float (v *. float_of_int (String.length ramp - 1))
+      in
+      let k = max 0 (min (String.length ramp - 1) k) in
+      Buffer.add_char buf ramp.[k]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let ascii_profile ?(width = 72) ?(height = 16) ys =
+  let n = Array.length ys in
+  if n = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min Float.infinity ys
+    and hi = Array.fold_left Float.max Float.neg_infinity ys in
+    let hi = if hi -. lo < 1e-300 then lo +. 1. else hi in
+    let rows = Array.make_matrix height width ' ' in
+    for rx = 0 to width - 1 do
+      let i = rx * n / width in
+      let v = (ys.(i) -. lo) /. (hi -. lo) in
+      let ry =
+        min (height - 1) (int_of_float (v *. float_of_int (height - 1)))
+      in
+      rows.(ry).(rx) <- '*'
+    done;
+    let buf = Buffer.create ((width + 1) * height) in
+    for ry = height - 1 downto 0 do
+      Buffer.add_string buf (String.init width (fun i -> rows.(ry).(i)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end
+
+let schlieren rho =
+  require_rank2 "Field_io.schlieren" rho;
+  let s = Tensor.Nd.shape rho in
+  let ny = s.(0) and nx = s.(1) in
+  let get iy ix = Tensor.Nd.get rho [| iy; ix |] in
+  let grad =
+    Tensor.Nd.init [| ny; nx |] (fun iv ->
+        let iy = iv.(0) and ix = iv.(1) in
+        let dx =
+          if nx = 1 then 0.
+          else if ix = 0 then get iy 1 -. get iy 0
+          else if ix = nx - 1 then get iy (nx - 1) -. get iy (nx - 2)
+          else (get iy (ix + 1) -. get iy (ix - 1)) /. 2.
+        and dy =
+          if ny = 1 then 0.
+          else if iy = 0 then get 1 ix -. get 0 ix
+          else if iy = ny - 1 then get (ny - 1) ix -. get (ny - 2) ix
+          else (get (iy + 1) ix -. get (iy - 1) ix) /. 2.
+        in
+        Float.sqrt ((dx *. dx) +. (dy *. dy)))
+  in
+  let gmax = Tensor.Nd.maxval grad in
+  if gmax <= 0. then Tensor.Nd.map (fun _ -> 1.) grad
+  else Tensor.Nd.map (fun g -> Float.exp (-15. *. g /. gmax)) grad

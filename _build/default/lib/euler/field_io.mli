@@ -1,0 +1,45 @@
+(** Output of profiles and 2D fields: CSV, PGM images and terminal
+    ASCII contours — the reproduction's stand-ins for the paper's
+    figures. *)
+
+val write_profile_csv :
+  path:string ->
+  columns:(string * float array) list ->
+  unit
+(** Writes columns of equal length with a header row.
+    @raise Invalid_argument on ragged columns or an empty list. *)
+
+val write_field_csv : path:string -> Tensor.Nd.t -> unit
+(** Rank-2 tensor as rows of comma-separated values. *)
+
+val write_pgm : path:string -> ?invert:bool -> Tensor.Nd.t -> unit
+(** Rank-2 tensor as an 8-bit PGM image, linearly scaled to the
+    field's range (rows are flipped so increasing y points up).
+    @raise Invalid_argument unless rank 2. *)
+
+val write_vtk :
+  path:string ->
+  ?origin:float * float ->
+  ?spacing:float * float ->
+  (string * Tensor.Nd.t) list ->
+  unit
+(** Writes named rank-2 scalar fields on a structured grid as a legacy
+    ASCII VTK file (STRUCTURED_POINTS + CELL_DATA), loadable by
+    ParaView/VisIt.
+    @raise Invalid_argument on an empty list, non-rank-2 fields or
+    mismatched shapes. *)
+
+val ascii_contour : ?width:int -> ?height:int -> Tensor.Nd.t -> string
+(** Down-samples a rank-2 field to a character raster using a density
+    ramp — a quick terminal look at the Fig. 3 flow structure. *)
+
+val ascii_profile :
+  ?width:int -> ?height:int -> float array -> string
+(** Renders a 1D profile as a character plot (the Fig. 1 shock-tube
+    snapshots). *)
+
+val schlieren : Tensor.Nd.t -> Tensor.Nd.t
+(** Numerical schlieren [exp (-k |grad rho| / max |grad rho|)]: the
+    visualisation CFD papers (including this one's Fig. 3) use to
+    expose shocks, slip lines and contact surfaces.  Gradients are
+    one-sided at the domain edge. *)

@@ -1,0 +1,14 @@
+let gamma_air = 1.4
+
+let pressure ~gamma ~rho ~mx ~my ~e =
+  (gamma -. 1.) *. (e -. (((mx *. mx) +. (my *. my)) /. (2. *. rho)))
+
+let total_energy ~gamma ~rho ~u ~v ~p =
+  (p /. (gamma -. 1.)) +. (0.5 *. rho *. ((u *. u) +. (v *. v)))
+
+let sound_speed ~gamma ~rho ~p = Float.sqrt (gamma *. p /. rho)
+
+let enthalpy ~gamma ~rho ~mx ~my ~e =
+  (e +. pressure ~gamma ~rho ~mx ~my ~e) /. rho
+
+let is_physical ~rho ~p = rho > 0. && p > 0.

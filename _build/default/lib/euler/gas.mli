@@ -1,0 +1,28 @@
+(** Perfect-gas thermodynamics.
+
+    The Euler system (paper Eq. 1-3) closes with the perfect-gas
+    equation of state [p = (gamma - 1) (E - rho (u^2+v^2)/2)].  All
+    functions here are scalar; whole-field conversions live in
+    {!State}. *)
+
+val gamma_air : float
+(** Ratio of specific heats for air, 1.4 (paper Eq. 3). *)
+
+val pressure :
+  gamma:float -> rho:float -> mx:float -> my:float -> e:float -> float
+(** Pressure from conserved variables (densities of mass, x- and
+    y-momentum, total energy). *)
+
+val total_energy :
+  gamma:float -> rho:float -> u:float -> v:float -> p:float -> float
+(** Total energy density from primitive variables. *)
+
+val sound_speed : gamma:float -> rho:float -> p:float -> float
+(** [sqrt (gamma p / rho)]. *)
+
+val enthalpy :
+  gamma:float -> rho:float -> mx:float -> my:float -> e:float -> float
+(** Specific total enthalpy [H = (E + p) / rho]. *)
+
+val is_physical : rho:float -> p:float -> bool
+(** Positive density and pressure. *)

@@ -1,0 +1,42 @@
+type t = {
+  nx : int;
+  ny : int;
+  ng : int;
+  dx : float;
+  dy : float;
+  x0 : float;
+  y0 : float;
+  row_stride : int;
+  cells : int;
+}
+
+let make ?(ng = 3) ?(x0 = 0.) ?(y0 = 0.) ~nx ~ny ~lx ~ly () =
+  if nx < 1 || ny < 1 then invalid_arg "Grid.make: need at least one cell";
+  if lx <= 0. || (ny > 1 && ly <= 0.) then
+    invalid_arg "Grid.make: domain lengths must be positive";
+  if ng < 1 then invalid_arg "Grid.make: need at least one ghost layer";
+  let row_stride = nx + (2 * ng) in
+  { nx;
+    ny;
+    ng;
+    dx = lx /. float_of_int nx;
+    dy = (if ny = 1 then lx /. float_of_int nx else ly /. float_of_int ny);
+    x0;
+    y0;
+    row_stride;
+    cells = row_stride * (ny + (2 * ng)) }
+
+let make_1d ?ng ?x0 ~nx ~lx () = make ?ng ?x0 ~nx ~ny:1 ~lx ~ly:1. ()
+
+let is_1d g = g.ny = 1
+
+let offset g ix iy = ((iy + g.ng) * g.row_stride) + ix + g.ng
+
+let xc g ix = g.x0 +. ((float_of_int ix +. 0.5) *. g.dx)
+let yc g iy = g.y0 +. ((float_of_int iy +. 0.5) *. g.dy)
+
+let interior_cells g = g.nx * g.ny
+
+let pp ppf g =
+  Format.fprintf ppf "grid %dx%d (ng=%d, dx=%g, dy=%g)" g.nx g.ny g.ng g.dx
+    g.dy

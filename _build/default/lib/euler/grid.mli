@@ -1,0 +1,51 @@
+(** Cartesian finite-volume grids with ghost layers.
+
+    Cells are indexed [(ix, iy)] with [0 <= ix < nx], [0 <= iy < ny] on
+    the interior; [ng] ghost layers surround it on every side.  Storage
+    offsets returned by {!offset} address flat row-major payloads of
+    extent [(ny + 2 ng) * (nx + 2 ng)], x fastest — the layout every
+    kernel in this package shares.  A 1D grid is simply [ny = 1]; the
+    solver code is dimension-agnostic, mirroring the SaC port's reuse
+    of one function body for both cases. *)
+
+type t = private {
+  nx : int;          (** interior cells along x *)
+  ny : int;          (** interior cells along y (1 for 1D problems) *)
+  ng : int;          (** ghost layers on each side *)
+  dx : float;        (** cell width *)
+  dy : float;        (** cell height (irrelevant when [ny = 1]) *)
+  x0 : float;        (** x coordinate of the interior's lower edge *)
+  y0 : float;        (** y coordinate of the interior's lower edge *)
+  row_stride : int;  (** [nx + 2 ng] *)
+  cells : int;       (** total padded cell count *)
+}
+
+val make :
+  ?ng:int -> ?x0:float -> ?y0:float ->
+  nx:int -> ny:int -> lx:float -> ly:float -> unit -> t
+(** [make ~nx ~ny ~lx ~ly ()] builds a grid covering \[x0, x0+lx\] x
+    \[y0, y0+ly\] with [nx * ny] cells and [ng] ghost layers (default
+    3, enough for every stencil in {!Recon}).
+    @raise Invalid_argument on non-positive sizes or [ng < 1]. *)
+
+val make_1d : ?ng:int -> ?x0:float -> nx:int -> lx:float -> unit -> t
+(** A grid with [ny = 1]. *)
+
+val is_1d : t -> bool
+
+val offset : t -> int -> int -> int
+(** [offset g ix iy] is the flat offset of interior cell [(ix, iy)];
+    ghost cells are reached with negative indices or indices beyond
+    [nx-1]/[ny-1] (bounds are the caller's responsibility, as kernels
+    index ghosts deliberately). *)
+
+val xc : t -> int -> float
+(** Centre x-coordinate of interior column [ix]. *)
+
+val yc : t -> int -> float
+(** Centre y-coordinate of interior row [iy]. *)
+
+val interior_cells : t -> int
+(** [nx * ny]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type kind = Minmod | Van_leer | Superbee | Monotonized_central
+
+let all =
+  [ ("minmod", Minmod);
+    ("vanleer", Van_leer);
+    ("superbee", Superbee);
+    ("mc", Monotonized_central) ]
+
+let name = function
+  | Minmod -> "minmod"
+  | Van_leer -> "vanleer"
+  | Superbee -> "superbee"
+  | Monotonized_central -> "mc"
+
+let of_string s = List.assoc_opt (String.lowercase_ascii s) all
+
+let minmod a b =
+  if a *. b <= 0. then 0.
+  else if Float.abs a < Float.abs b then a
+  else b
+
+let van_leer a b =
+  if a *. b <= 0. then 0. else 2. *. a *. b /. (a +. b)
+
+let superbee a b =
+  if a *. b <= 0. then 0.
+  else begin
+    let s = if a > 0. then 1. else -1. in
+    let aa = Float.abs a and ab = Float.abs b in
+    s *. Float.max (Float.min (2. *. aa) ab) (Float.min aa (2. *. ab))
+  end
+
+let minmod3 a b c =
+  if a > 0. && b > 0. && c > 0. then Float.min a (Float.min b c)
+  else if a < 0. && b < 0. && c < 0. then Float.max a (Float.max b c)
+  else 0.
+
+let monotonized_central a b =
+  minmod3 ((a +. b) /. 2.) (2. *. a) (2. *. b)
+
+let apply = function
+  | Minmod -> minmod
+  | Van_leer -> van_leer
+  | Superbee -> superbee
+  | Monotonized_central -> monotonized_central

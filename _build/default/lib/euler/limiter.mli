@@ -1,0 +1,32 @@
+(** Slope limiters for TVD reconstruction.
+
+    A limiter combines the backward and forward one-sided differences
+    of a cell into a monotone slope.  All limiters are symmetric
+    ([phi a b = phi b a]), vanish when the differences have opposite
+    sign (so no interpolation happens across a discontinuity — the
+    requirement §3 of the paper stresses), and reduce to the centred
+    slope in smooth regions. *)
+
+type kind = Minmod | Van_leer | Superbee | Monotonized_central
+(** The slope-limiter menu of the original Fortran code ("TVD
+    reconstructions of the 2nd and 3rd orders with various slope
+    limiters"). *)
+
+val all : (string * kind) list
+(** Name/value pairs for CLI parsing and sweep benchmarks. *)
+
+val name : kind -> string
+
+val of_string : string -> kind option
+
+val apply : kind -> float -> float -> float
+(** [apply kind a b] limits the pair of one-sided differences
+    [a = q_i - q_{i-1}] and [b = q_{i+1} - q_i]. *)
+
+val minmod : float -> float -> float
+val van_leer : float -> float -> float
+val superbee : float -> float -> float
+val monotonized_central : float -> float -> float
+
+val minmod3 : float -> float -> float -> float
+(** Three-argument minmod, used by the third-order reconstruction. *)

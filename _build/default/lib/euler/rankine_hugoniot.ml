@@ -1,0 +1,25 @@
+type post_shock = {
+  rho : float;
+  u : float;
+  p : float;
+  shock_speed : float;
+}
+
+let post_shock ~gamma ~ms ~rho0 ~p0 =
+  if ms < 1. then invalid_arg "Rankine_hugoniot.post_shock: ms must be >= 1";
+  if not (Gas.is_physical ~rho:rho0 ~p:p0) then
+    invalid_arg "Rankine_hugoniot.post_shock: non-physical quiescent state";
+  let c0 = Gas.sound_speed ~gamma ~rho:rho0 ~p:p0 in
+  let m2 = ms *. ms in
+  let p =
+    p0 *. (1. +. (2. *. gamma /. (gamma +. 1.) *. (m2 -. 1.)))
+  in
+  let rho =
+    rho0 *. ((gamma +. 1.) *. m2) /. (((gamma -. 1.) *. m2) +. 2.)
+  in
+  let u = 2. /. (gamma +. 1.) *. c0 *. (ms -. (1. /. ms)) in
+  { rho; u; p; shock_speed = ms *. c0 }
+
+let mach_behind ~gamma ~ms =
+  let { rho; u; p; _ } = post_shock ~gamma ~ms ~rho0:1. ~p0:1. in
+  u /. Gas.sound_speed ~gamma ~rho ~p

@@ -1,0 +1,26 @@
+(** Rankine-Hugoniot relations for a moving normal shock.
+
+    The two-channel setup imposes, at each channel exit, the state
+    behind a shock of Mach number [Ms] travelling into quiescent gas —
+    "the flow variables are equal to the values behind the shock waves
+    calculated from the Rankine-Hugoniot relations" (paper §3.2). *)
+
+type post_shock = {
+  rho : float;  (** density behind the shock *)
+  u : float;    (** gas speed behind the shock, in the direction of
+                    shock propagation *)
+  p : float;    (** pressure behind the shock *)
+  shock_speed : float;  (** laboratory-frame shock speed [Ms * c0] *)
+}
+
+val post_shock :
+  gamma:float -> ms:float -> rho0:float -> p0:float -> post_shock
+(** State behind a shock of Mach number [ms >= 1] running into gas at
+    rest with density [rho0] and pressure [p0].
+    @raise Invalid_argument if [ms < 1] or the quiescent state is
+    non-physical. *)
+
+val mach_behind : gamma:float -> ms:float -> float
+(** Flow Mach number [u2 / c2] behind the shock; exceeds 1 for
+    [ms] above about 2.07 in air — which is why the paper can hold the
+    exit state fixed at [Ms = 2.2]. *)

@@ -1,0 +1,155 @@
+type kind =
+  | Piecewise_constant
+  | Tvd2 of Limiter.kind
+  | Tvd3 of Limiter.kind
+  | Weno3
+  | Weno5
+
+let name = function
+  | Piecewise_constant -> "pc"
+  | Tvd2 lim -> "tvd2:" ^ Limiter.name lim
+  | Tvd3 lim -> "tvd3:" ^ Limiter.name lim
+  | Weno3 -> "weno3"
+  | Weno5 -> "weno5"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "pc" -> Some Piecewise_constant
+  | "weno3" -> Some Weno3
+  | "weno5" -> Some Weno5
+  | "tvd2" -> Some (Tvd2 Limiter.Minmod)
+  | "tvd3" -> Some (Tvd3 Limiter.Minmod)
+  | s -> (
+    match String.index_opt s ':' with
+    | None -> None
+    | Some i -> (
+      let scheme = String.sub s 0 i
+      and lim = String.sub s (i + 1) (String.length s - i - 1) in
+      match (scheme, Limiter.of_string lim) with
+      | "tvd2", Some l -> Some (Tvd2 l)
+      | "tvd3", Some l -> Some (Tvd3 l)
+      | _ -> None))
+
+let all_names =
+  "pc" :: "weno3" :: "weno5"
+  :: List.concat_map
+       (fun (lname, _) -> [ "tvd2:" ^ lname; "tvd3:" ^ lname ])
+       Limiter.all
+
+let ghost_needed = function
+  | Piecewise_constant -> 1
+  | Tvd2 _ | Tvd3 _ | Weno3 -> 2
+  | Weno5 -> 3
+
+let stencil_width = function
+  | Piecewise_constant | Tvd2 _ | Tvd3 _ | Weno3 -> 4
+  | Weno5 -> 6
+
+let order = function
+  | Piecewise_constant -> 1
+  | Tvd2 _ -> 2
+  | Tvd3 _ | Weno3 -> 3
+  | Weno5 -> 5
+
+let weno_eps = 1e-6
+
+(* Left-biased WENO3 around cell w1: candidate stencils
+   {w1,w2} (central) and {w0,w1} (upwind). *)
+let weno3_weights w0 w1 w2 =
+  let b0 = (w2 -. w1) *. (w2 -. w1)
+  and b1 = (w1 -. w0) *. (w1 -. w0) in
+  let a0 = 2. /. 3. /. ((weno_eps +. b0) *. (weno_eps +. b0))
+  and a1 = 1. /. 3. /. ((weno_eps +. b1) *. (weno_eps +. b1)) in
+  let s = a0 +. a1 in
+  (a0 /. s, a1 /. s)
+
+let weno3_biased w0 w1 w2 =
+  let o0, o1 = weno3_weights w0 w1 w2 in
+  (o0 *. ((w1 +. w2) /. 2.)) +. (o1 *. (((3. *. w1) -. w0) /. 2.))
+
+(* Left-biased WENO5 on cells w0..w4 centred at w2 (Jiang & Shu):
+   smoothness indicators and ideal weights (0.1, 0.6, 0.3). *)
+let weno5_smoothness w =
+  let sq x = x *. x in
+  let b0 =
+    (13. /. 12. *. sq (w.(0) -. (2. *. w.(1)) +. w.(2)))
+    +. (0.25 *. sq (w.(0) -. (4. *. w.(1)) +. (3. *. w.(2))))
+  and b1 =
+    (13. /. 12. *. sq (w.(1) -. (2. *. w.(2)) +. w.(3)))
+    +. (0.25 *. sq (w.(1) -. w.(3)))
+  and b2 =
+    (13. /. 12. *. sq (w.(2) -. (2. *. w.(3)) +. w.(4)))
+    +. (0.25 *. sq ((3. *. w.(2)) -. (4. *. w.(3)) +. w.(4)))
+  in
+  (b0, b1, b2)
+
+let weno5_weights w =
+  if Array.length w <> 5 then
+    invalid_arg "Recon.weno5_weights: window must have 5 cells";
+  let b0, b1, b2 = weno5_smoothness w in
+  let a0 = 0.1 /. ((weno_eps +. b0) *. (weno_eps +. b0))
+  and a1 = 0.6 /. ((weno_eps +. b1) *. (weno_eps +. b1))
+  and a2 = 0.3 /. ((weno_eps +. b2) *. (weno_eps +. b2)) in
+  let s = a0 +. a1 +. a2 in
+  (a0 /. s, a1 /. s, a2 /. s)
+
+let weno5_biased w =
+  let o0, o1, o2 = weno5_weights w in
+  let q0 =
+    ((2. *. w.(0)) -. (7. *. w.(1)) +. (11. *. w.(2))) /. 6.
+  and q1 = (-.w.(1) +. (5. *. w.(2)) +. (2. *. w.(3))) /. 6.
+  and q2 = ((2. *. w.(2)) +. (5. *. w.(3)) -. w.(4)) /. 6. in
+  (o0 *. q0) +. (o1 *. q1) +. (o2 *. q2)
+
+(* Third-order (kappa = 1/3) MUSCL: the unlimited interface slope is
+   (2 dp + dm) / 3, clipped against both one-sided differences scaled
+   by a limiter-dependent compression factor (larger factors are less
+   dissipative but squeeze discontinuities harder).  For smooth data
+   (dm = dp) the clip is inactive and the reconstruction is exact for
+   parabolas. *)
+let tvd3_compression = function
+  | Limiter.Minmod -> 1.
+  | Limiter.Van_leer -> 1.5
+  | Limiter.Monotonized_central -> 2.
+  | Limiter.Superbee -> 2.
+
+let tvd3_left lim dm dp =
+  (* Half the limited slope: the correction added on the high side of
+     the cell whose one-sided differences are dm (backward) and dp
+     (forward). *)
+  let b = tvd3_compression lim in
+  let s = Limiter.minmod3 (((2. *. dp) +. dm) /. 3.) (b *. dm) (b *. dp) in
+  s /. 2.
+
+let left_right kind w0 w1 w2 w3 =
+  match kind with
+  | Piecewise_constant -> (w1, w2)
+  | Tvd2 lim ->
+    let phi = Limiter.apply lim in
+    let wl = w1 +. (0.5 *. phi (w1 -. w0) (w2 -. w1))
+    and wr = w2 -. (0.5 *. phi (w2 -. w1) (w3 -. w2)) in
+    (wl, wr)
+  | Tvd3 lim ->
+    let wl = w1 +. tvd3_left lim (w1 -. w0) (w2 -. w1)
+    and wr = w2 -. tvd3_left lim (w3 -. w2) (w2 -. w1) in
+    (wl, wr)
+  | Weno3 ->
+    let wl = weno3_biased w0 w1 w2 and wr = weno3_biased w3 w2 w1 in
+    (wl, wr)
+  | Weno5 ->
+    invalid_arg "Recon.left_right: weno5 needs a 6-cell window"
+
+let left_right_window kind w =
+  let width = stencil_width kind in
+  if Array.length w <> width then
+    invalid_arg "Recon.left_right_window: window length mismatch";
+  match kind with
+  | Piecewise_constant | Tvd2 _ | Tvd3 _ | Weno3 ->
+    left_right kind w.(0) w.(1) w.(2) w.(3)
+  | Weno5 ->
+    (* Interface between w.(2) and w.(3): the left state uses cells
+       w0..w4 biased at w2, the right state the reversed window
+       w5..w1 biased at w3. *)
+    let wl = weno5_biased [| w.(0); w.(1); w.(2); w.(3); w.(4) |] in
+    let wr = weno5_biased [| w.(5); w.(4); w.(3); w.(2); w.(1) |] in
+    (wl, wr)

@@ -1,0 +1,66 @@
+(** Monotone reconstruction of interface states.
+
+    A scheme takes a window of cell averages centred on an interface
+    (in one characteristic field) and produces the left and right
+    interface values.  Implemented schemes are the paper's menu —
+    piecewise-constant (1st order), TVD of 2nd and 3rd order with
+    selectable slope limiters, 3rd-order WENO "which automatically
+    assigns the zero weight to the stencils crossing a discontinuity"
+    — plus 5th-order WENO as the natural extension the WENO family
+    was built for.
+
+    Windows are symmetric around the interface: a scheme of
+    {!stencil_width} [2k] reads cells [i-k+1 .. i+k] and reconstructs
+    the states at the interface between cells [i] and [i+1] (window
+    offsets [k-1] and [k]). *)
+
+type kind =
+  | Piecewise_constant
+  | Tvd2 of Limiter.kind
+  | Tvd3 of Limiter.kind
+  | Weno3
+  | Weno5
+
+val name : kind -> string
+(** e.g. ["tvd2:minmod"], ["weno3"]. *)
+
+val of_string : string -> kind option
+(** Parses [pc], [tvd2:<limiter>], [tvd3:<limiter>], [weno3], [weno5]
+    (a bare [tvd2]/[tvd3] defaults to minmod). *)
+
+val all_names : string list
+(** Every parseable scheme name, for CLI help and sweeps. *)
+
+val ghost_needed : kind -> int
+(** Stencil half-width: 1 for PC, 2 for the 4-point schemes, 3 for
+    WENO5.  Grids must carry at least this many ghost layers. *)
+
+val stencil_width : kind -> int
+(** Window length consumed by {!left_right_window}: [2 * ghost_needed]
+    (with a minimum of 4 so PC shares the common path). *)
+
+val order : kind -> int
+(** Formal order of accuracy in smooth regions. *)
+
+val left_right_window : kind -> float array -> float * float
+(** [(w_left, w_right)] at the central interface of the window.
+    @raise Invalid_argument if the window length is not
+    [stencil_width]. *)
+
+val left_right : kind -> float -> float -> float -> float -> float * float
+(** Four-point convenience wrapper: [left_right k w0 w1 w2 w3] is the
+    interface between cells 1 and 2.
+    @raise Invalid_argument for schemes needing a wider stencil
+    ([Weno5]). *)
+
+val weno3_weights : float -> float -> float -> float * float
+(** [weno3_weights w0 w1 w2] returns the normalised nonlinear weights
+    [(omega0, omega1)] of the left-biased WENO3 reconstruction using
+    cells [(w0, w1, w2)] around the central cell [w1]; exposed for the
+    discontinuity-rejection tests. *)
+
+val weno5_weights : float array -> float * float * float
+(** Normalised nonlinear weights of the left-biased WENO5
+    reconstruction on a 5-cell window [w0..w4] centred at [w2]
+    (ideal: 0.1, 0.6, 0.3).
+    @raise Invalid_argument unless the window has length 5. *)

@@ -1,0 +1,164 @@
+type config = {
+  recon : Recon.kind;
+  riemann : Riemann.kind;
+}
+
+let positivity_floor = 1e-12
+
+(* Primitive decoding of a rotated conserved 4-vector. *)
+let prim ~gamma q0 q1 q2 q3 =
+  let rho = q0 in
+  let un = q1 /. rho and ut = q2 /. rho in
+  let p = (gamma -. 1.) *. (q3 -. (((q1 *. q1) +. (q2 *. q2)) /. (2. *. rho))) in
+  (rho, un, ut, p)
+
+let line_fluxes ~gamma cfg ~n ~ng ~rho ~mn ~mt ~en ~fx =
+  let needed = Recon.ghost_needed cfg.recon in
+  if ng < needed then
+    invalid_arg "Rhs.line_fluxes: not enough ghost layers";
+  let f = Array.make 4 0. in
+  let use_characteristic =
+    match cfg.recon with Recon.Piecewise_constant -> false | _ -> true
+  in
+  let width = Recon.stencil_width cfg.recon in
+  let half = width / 2 in
+  (* Characteristic-space scratch, reused across interfaces. *)
+  let qs = Array.make 4 0.
+  and wst = Array.make (width * 4) 0.
+  and window = Array.make width 0.
+  and wl = Array.make 4 0.
+  and wr = Array.make 4 0.
+  and ql = Array.make 4 0.
+  and qr = Array.make 4 0. in
+  for j = 0 to n do
+    (* Interface j sits between pencil cells (j-1+ng) and (j+ng). *)
+    let cl = j - 1 + ng and cr = j + ng in
+    let rho_l, un_l, ut_l, p_l =
+      prim ~gamma rho.(cl) mn.(cl) mt.(cl) en.(cl)
+    and rho_r, un_r, ut_r, p_r =
+      prim ~gamma rho.(cr) mn.(cr) mt.(cr) en.(cr)
+    in
+    let rho_l, un_l, ut_l, p_l, rho_r, un_r, ut_r, p_r =
+      if not use_characteristic then
+        (rho_l, un_l, ut_l, p_l, rho_r, un_r, ut_r, p_r)
+      else begin
+        let basis =
+          Characteristic.of_roe_average ~gamma
+            ~left:(rho_l, un_l, ut_l, p_l)
+            ~right:(rho_r, un_r, ut_r, p_r)
+        in
+        (* Project the stencil onto characteristic space. *)
+        for s = 0 to width - 1 do
+          let c = j - half + s + ng in
+          qs.(0) <- rho.(c);
+          qs.(1) <- mn.(c);
+          qs.(2) <- mt.(c);
+          qs.(3) <- en.(c);
+          Characteristic.to_characteristic basis qs wl;
+          wst.(s * 4) <- wl.(0);
+          wst.((s * 4) + 1) <- wl.(1);
+          wst.((s * 4) + 2) <- wl.(2);
+          wst.((s * 4) + 3) <- wl.(3)
+        done;
+        for k = 0 to 3 do
+          for s = 0 to width - 1 do
+            window.(s) <- wst.((s * 4) + k)
+          done;
+          let a, b = Recon.left_right_window cfg.recon window in
+          wl.(k) <- a;
+          wr.(k) <- b
+        done;
+        Characteristic.from_characteristic basis wl ql;
+        Characteristic.from_characteristic basis wr qr;
+        let rl, ul, tl, pl = prim ~gamma ql.(0) ql.(1) ql.(2) ql.(3)
+        and rr, ur, tr, pr = prim ~gamma qr.(0) qr.(1) qr.(2) qr.(3) in
+        (* Positivity guard: fall back to first order across strong
+           discontinuities where the high-order state went negative. *)
+        let rl, ul, tl, pl =
+          if rl > positivity_floor && pl > positivity_floor then
+            (rl, ul, tl, pl)
+          else (rho_l, un_l, ut_l, p_l)
+        and rr, ur, tr, pr =
+          if rr > positivity_floor && pr > positivity_floor then
+            (rr, ur, tr, pr)
+          else (rho_r, un_r, ut_r, p_r)
+        in
+        (rl, ul, tl, pl, rr, ur, tr, pr)
+      end
+    in
+    Riemann.flux_into cfg.riemann ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r
+      ~un_r ~ut_r ~p_r ~f;
+    let o = j * 4 in
+    fx.(o) <- f.(0);
+    fx.(o + 1) <- f.(1);
+    fx.(o + 2) <- f.(2);
+    fx.(o + 3) <- f.(3)
+  done
+
+let compute cfg exec (st : State.t) dqdt =
+  let g = st.State.grid in
+  let ng = g.Grid.ng
+  and nx = g.Grid.nx
+  and ny = g.Grid.ny
+  and stride = g.Grid.row_stride in
+  let gamma = st.State.gamma in
+  if ng < Recon.ghost_needed cfg.recon then
+    invalid_arg "Rhs.compute: not enough ghost layers";
+  let q_rho = st.State.q.(State.i_rho)
+  and q_mx = st.State.q.(State.i_mx)
+  and q_my = st.State.q.(State.i_my)
+  and q_e = st.State.q.(State.i_e) in
+  let d_rho = dqdt.(State.i_rho)
+  and d_mx = dqdt.(State.i_mx)
+  and d_my = dqdt.(State.i_my)
+  and d_e = dqdt.(State.i_e) in
+  (* --- x sweep: one parallel region over rows ------------------- *)
+  Parallel.Exec.parallel_for exec ~lo:0 ~hi:ny (fun iy ->
+      let len = nx + (2 * ng) in
+      let rho = Array.make len 0.
+      and mn = Array.make len 0.
+      and mt = Array.make len 0.
+      and en = Array.make len 0.
+      and fx = Array.make ((nx + 1) * 4) 0. in
+      let base = (iy + ng) * stride in
+      Array.blit q_rho base rho 0 len;
+      Array.blit q_mx base mn 0 len;
+      Array.blit q_my base mt 0 len;
+      Array.blit q_e base en 0 len;
+      line_fluxes ~gamma cfg ~n:nx ~ng ~rho ~mn ~mt ~en ~fx;
+      let inv_dx = 1. /. g.Grid.dx in
+      for i = 0 to nx - 1 do
+        let o = base + i + ng in
+        let jl = i * 4 and jr = (i + 1) * 4 in
+        d_rho.(o) <- -.(fx.(jr) -. fx.(jl)) *. inv_dx;
+        d_mx.(o) <- -.(fx.(jr + 1) -. fx.(jl + 1)) *. inv_dx;
+        d_my.(o) <- -.(fx.(jr + 2) -. fx.(jl + 2)) *. inv_dx;
+        d_e.(o) <- -.(fx.(jr + 3) -. fx.(jl + 3)) *. inv_dx
+      done);
+  (* --- y sweep: one parallel region over columns ----------------- *)
+  if ny > 1 then
+    Parallel.Exec.parallel_for exec ~lo:0 ~hi:nx (fun ix ->
+        let len = ny + (2 * ng) in
+        let rho = Array.make len 0.
+        and mn = Array.make len 0.
+        and mt = Array.make len 0.
+        and en = Array.make len 0.
+        and fx = Array.make ((ny + 1) * 4) 0. in
+        for c = 0 to len - 1 do
+          let o = (c * stride) + ix + ng in
+          rho.(c) <- q_rho.(o);
+          (* The rotated frame swaps normal and transverse momenta. *)
+          mn.(c) <- q_my.(o);
+          mt.(c) <- q_mx.(o);
+          en.(c) <- q_e.(o)
+        done;
+        line_fluxes ~gamma cfg ~n:ny ~ng ~rho ~mn ~mt ~en ~fx;
+        let inv_dy = 1. /. g.Grid.dy in
+        for i = 0 to ny - 1 do
+          let o = ((i + ng) * stride) + ix + ng in
+          let jl = i * 4 and jr = (i + 1) * 4 in
+          d_rho.(o) <- d_rho.(o) -. ((fx.(jr) -. fx.(jl)) *. inv_dy);
+          d_my.(o) <- d_my.(o) -. ((fx.(jr + 1) -. fx.(jl + 1)) *. inv_dy);
+          d_mx.(o) <- d_mx.(o) -. ((fx.(jr + 2) -. fx.(jl + 2)) *. inv_dy);
+          d_e.(o) <- d_e.(o) -. ((fx.(jr + 3) -. fx.(jl + 3)) *. inv_dy)
+        done)

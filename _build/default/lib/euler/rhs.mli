@@ -1,0 +1,45 @@
+(** Finite-volume right-hand side: [dQ/dt = -dF/dx - dG/dy].
+
+    One call performs the paper's stages 1 and 2 — reconstruction of
+    interface states from cell averages (in local characteristic
+    variables) and evaluation of numerical fluxes by approximate
+    Riemann solvers — and assembles the flux divergence.  Both sweep
+    directions share one pencil kernel; the x/y distinction is only a
+    gather/scatter permutation, which is what lets the same code serve
+    1D and 2D problems.
+
+    Parallelisation: the x-sweep is one data-parallel region over grid
+    rows, the y-sweep one region over columns.  This coarse granularity
+    corresponds to what sac2c emits {e after} with-loop folding. *)
+
+type config = {
+  recon : Recon.kind;
+  riemann : Riemann.kind;
+}
+
+val compute :
+  config -> Parallel.Exec.t -> State.t -> float array array -> unit
+(** [compute cfg exec st dqdt] fills the interior cells of [dqdt]
+    (same layout as [st.q]) with the flux divergence; ghost entries are
+    left untouched.  Ghost layers of [st] must already hold boundary
+    values.
+    @raise Invalid_argument if the grid has fewer ghost layers than the
+    reconstruction needs. *)
+
+val line_fluxes :
+  gamma:float ->
+  config ->
+  n:int ->
+  ng:int ->
+  rho:float array ->
+  mn:float array ->
+  mt:float array ->
+  en:float array ->
+  fx:float array ->
+  unit
+(** The shared pencil kernel, exposed for tests.  Inputs are pencil
+    buffers of length [n + 2 ng] holding density, normal momentum,
+    transverse momentum and energy; on return [fx] (length
+    [(n + 1) * 4]) holds the interface fluxes, [fx.((j * 4) + k)]
+    being component [k] of the flux through interface [j] (between
+    cells [j - 1] and [j]). *)

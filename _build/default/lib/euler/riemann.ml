@@ -1,0 +1,217 @@
+type kind = Rusanov | Hll | Hllc | Roe | Exact
+
+let all =
+  [ ("rusanov", Rusanov); ("hll", Hll); ("hllc", Hllc); ("roe", Roe);
+    ("exact", Exact) ]
+
+let name = function
+  | Rusanov -> "rusanov"
+  | Hll -> "hll"
+  | Hllc -> "hllc"
+  | Roe -> "roe"
+  | Exact -> "exact"
+
+let of_string s = List.assoc_opt (String.lowercase_ascii s) all
+
+let physical_flux_into ~gamma ~rho ~un ~ut ~p ~f =
+  let e = Gas.total_energy ~gamma ~rho ~u:un ~v:ut ~p in
+  let m = rho *. un in
+  f.(0) <- m;
+  f.(1) <- (m *. un) +. p;
+  f.(2) <- m *. ut;
+  f.(3) <- un *. (e +. p)
+
+(* Roe-averaged normal velocity and sound speed, for wave-speed
+   estimates shared by HLL/HLLC. *)
+let roe_un_c ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r =
+  let wl = Float.sqrt rho_l and wr = Float.sqrt rho_r in
+  let inv = 1. /. (wl +. wr) in
+  let un = ((wl *. un_l) +. (wr *. un_r)) *. inv in
+  let ut = ((wl *. ut_l) +. (wr *. ut_r)) *. inv in
+  let h rho u v p = (Gas.total_energy ~gamma ~rho ~u ~v ~p +. p) /. rho in
+  let hh =
+    ((wl *. h rho_l un_l ut_l p_l) +. (wr *. h rho_r un_r ut_r p_r)) *. inv
+  in
+  let q2 = (un *. un) +. (ut *. ut) in
+  let c = Float.sqrt (Float.max ((gamma -. 1.) *. (hh -. (q2 /. 2.))) 1e-14) in
+  (un, c)
+
+let check_physical rho p =
+  if not (Gas.is_physical ~rho ~p) then
+    invalid_arg "Riemann: non-physical input state"
+
+let rusanov ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f =
+  let c_l = Gas.sound_speed ~gamma ~rho:rho_l ~p:p_l
+  and c_r = Gas.sound_speed ~gamma ~rho:rho_r ~p:p_r in
+  let smax =
+    Float.max (Float.abs un_l +. c_l) (Float.abs un_r +. c_r)
+  in
+  let e_l = Gas.total_energy ~gamma ~rho:rho_l ~u:un_l ~v:ut_l ~p:p_l
+  and e_r = Gas.total_energy ~gamma ~rho:rho_r ~u:un_r ~v:ut_r ~p:p_r in
+  let m_l = rho_l *. un_l and m_r = rho_r *. un_r in
+  let avg fl fr du = (0.5 *. (fl +. fr)) -. (0.5 *. smax *. du) in
+  f.(0) <- avg m_l m_r (rho_r -. rho_l);
+  f.(1) <-
+    avg ((m_l *. un_l) +. p_l) ((m_r *. un_r) +. p_r)
+      ((rho_r *. un_r) -. (rho_l *. un_l));
+  f.(2) <- avg (m_l *. ut_l) (m_r *. ut_r)
+      ((rho_r *. ut_r) -. (rho_l *. ut_l));
+  f.(3) <- avg (un_l *. (e_l +. p_l)) (un_r *. (e_r +. p_r)) (e_r -. e_l)
+
+(* Einfeldt wave-speed estimates. *)
+let hll_speeds ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r =
+  let c_l = Gas.sound_speed ~gamma ~rho:rho_l ~p:p_l
+  and c_r = Gas.sound_speed ~gamma ~rho:rho_r ~p:p_r in
+  let u_roe, c_roe =
+    roe_un_c ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r
+  in
+  let sl = Float.min (un_l -. c_l) (u_roe -. c_roe)
+  and sr = Float.max (un_r +. c_r) (u_roe +. c_roe) in
+  (sl, sr)
+
+let hll ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f =
+  let sl, sr =
+    hll_speeds ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r
+  in
+  if sl >= 0. then physical_flux_into ~gamma ~rho:rho_l ~un:un_l ~ut:ut_l ~p:p_l ~f
+  else if sr <= 0. then
+    physical_flux_into ~gamma ~rho:rho_r ~un:un_r ~ut:ut_r ~p:p_r ~f
+  else begin
+    let fl = Array.make 4 0. and fr = Array.make 4 0. in
+    physical_flux_into ~gamma ~rho:rho_l ~un:un_l ~ut:ut_l ~p:p_l ~f:fl;
+    physical_flux_into ~gamma ~rho:rho_r ~un:un_r ~ut:ut_r ~p:p_r ~f:fr;
+    let e_l = Gas.total_energy ~gamma ~rho:rho_l ~u:un_l ~v:ut_l ~p:p_l
+    and e_r = Gas.total_energy ~gamma ~rho:rho_r ~u:un_r ~v:ut_r ~p:p_r in
+    let du k =
+      match k with
+      | 0 -> rho_r -. rho_l
+      | 1 -> (rho_r *. un_r) -. (rho_l *. un_l)
+      | 2 -> (rho_r *. ut_r) -. (rho_l *. ut_l)
+      | _ -> e_r -. e_l
+    in
+    let inv = 1. /. (sr -. sl) in
+    for k = 0 to 3 do
+      f.(k) <-
+        (((sr *. fl.(k)) -. (sl *. fr.(k))) +. (sl *. sr *. du k)) *. inv
+    done
+  end
+
+let hllc ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f =
+  let sl, sr =
+    hll_speeds ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r
+  in
+  if sl >= 0. then physical_flux_into ~gamma ~rho:rho_l ~un:un_l ~ut:ut_l ~p:p_l ~f
+  else if sr <= 0. then
+    physical_flux_into ~gamma ~rho:rho_r ~un:un_r ~ut:ut_r ~p:p_r ~f
+  else begin
+    (* Toro's contact-wave speed. *)
+    let s_star =
+      ((p_r -. p_l)
+       +. (rho_l *. un_l *. (sl -. un_l))
+       -. (rho_r *. un_r *. (sr -. un_r)))
+      /. ((rho_l *. (sl -. un_l)) -. (rho_r *. (sr -. un_r)))
+    in
+    let side rho un ut p s =
+      let e = Gas.total_energy ~gamma ~rho ~u:un ~v:ut ~p in
+      let coef = rho *. (s -. un) /. (s -. s_star) in
+      let u_star =
+        [| coef;
+           coef *. s_star;
+           coef *. ut;
+           coef
+           *. ((e /. rho)
+               +. ((s_star -. un)
+                   *. (s_star +. (p /. (rho *. (s -. un)))))) |]
+      in
+      let u = [| rho; rho *. un; rho *. ut; e |] in
+      let fk = Array.make 4 0. in
+      physical_flux_into ~gamma ~rho ~un ~ut ~p ~f:fk;
+      for k = 0 to 3 do
+        f.(k) <- fk.(k) +. (s *. (u_star.(k) -. u.(k)))
+      done
+    in
+    if s_star >= 0. then side rho_l un_l ut_l p_l sl
+    else side rho_r un_r ut_r p_r sr
+  end
+
+(* Harten's entropy fix: smooth |lambda| near zero to keep expansion
+   shocks out of transonic rarefactions. *)
+let entropy_fixed_abs lambda eps =
+  let a = Float.abs lambda in
+  if a >= eps || eps <= 0. then a
+  else (((lambda *. lambda) /. eps) +. eps) /. 2.
+
+let roe ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f =
+  let basis =
+    Characteristic.of_roe_average ~gamma
+      ~left:(rho_l, un_l, ut_l, p_l)
+      ~right:(rho_r, un_r, ut_r, p_r)
+  in
+  let e_l = Gas.total_energy ~gamma ~rho:rho_l ~u:un_l ~v:ut_l ~p:p_l
+  and e_r = Gas.total_energy ~gamma ~rho:rho_r ~u:un_r ~v:ut_r ~p:p_r in
+  let du =
+    [| rho_r -. rho_l;
+       (rho_r *. un_r) -. (rho_l *. un_l);
+       (rho_r *. ut_r) -. (rho_l *. ut_l);
+       e_r -. e_l |]
+  in
+  let alpha = Array.make 4 0. in
+  Characteristic.to_characteristic basis du alpha;
+  let l1, l2, l3, l4 = Characteristic.eigenvalues basis in
+  let c_roe = (l4 -. l1) /. 2. in
+  let eps = 0.1 *. c_roe in
+  let lam =
+    [| entropy_fixed_abs l1 eps;
+       Float.abs l2;
+       Float.abs l3;
+       entropy_fixed_abs l4 eps |]
+  in
+  let fl = Array.make 4 0. and fr = Array.make 4 0. in
+  physical_flux_into ~gamma ~rho:rho_l ~un:un_l ~ut:ut_l ~p:p_l ~f:fl;
+  physical_flux_into ~gamma ~rho:rho_r ~un:un_r ~ut:ut_r ~p:p_r ~f:fr;
+  (* dissipation = R |Lambda| alpha *)
+  let w = [| lam.(0) *. alpha.(0);
+             lam.(1) *. alpha.(1);
+             lam.(2) *. alpha.(2);
+             lam.(3) *. alpha.(3) |] in
+  let diss = Array.make 4 0. in
+  Characteristic.from_characteristic basis w diss;
+  for k = 0 to 3 do
+    f.(k) <- (0.5 *. (fl.(k) +. fr.(k))) -. (0.5 *. diss.(k))
+  done
+
+(* Godunov's scheme: sample the exact similarity solution at x/t = 0
+   and take its physical flux.  The Euler equations advect the
+   transverse velocity passively, so it upwinds with the contact. *)
+let exact_flux ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f =
+  let rho, un, p =
+    Exact_riemann.sample ~gamma ~left:(rho_l, un_l, p_l)
+      ~right:(rho_r, un_r, p_r) ~xi:0.
+  in
+  let star =
+    Exact_riemann.solve ~gamma ~left:(rho_l, un_l, p_l)
+      ~right:(rho_r, un_r, p_r) ()
+  in
+  let ut =
+    if star.Exact_riemann.u_star >= 0. then ut_l else ut_r
+  in
+  physical_flux_into ~gamma ~rho ~un ~ut ~p ~f
+
+let flux_into kind ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+  =
+  check_physical rho_l p_l;
+  check_physical rho_r p_r;
+  match kind with
+  | Rusanov ->
+    rusanov ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+  | Hll -> hll ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+  | Hllc -> hllc ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+  | Roe -> roe ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+  | Exact ->
+    exact_flux ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f
+
+let flux kind ~gamma ~left ~right =
+  let rho_l, un_l, ut_l, p_l = left and rho_r, un_r, ut_r, p_r = right in
+  let f = Array.make 4 0. in
+  flux_into kind ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r ~un_r ~ut_r ~p_r ~f;
+  f

@@ -1,0 +1,46 @@
+(** Approximate Riemann solvers for interface fluxes.
+
+    All solvers work in the rotated frame of a sweep: states are given
+    as primitives [(rho, un, ut, p)] where [un] is the velocity normal
+    to the interface and [ut] the transverse one, and the returned flux
+    vector is ordered [(mass, normal momentum, transverse momentum,
+    energy)].  The paper's code "includes a few options for the
+    approximate Riemann solver"; we provide the standard menu. *)
+
+type kind = Rusanov | Hll | Hllc | Roe | Exact
+(** [Rusanov] — local Lax-Friedrichs, the most dissipative and
+    cheapest; [Hll] — two-wave solver with Einfeldt speed estimates;
+    [Hllc] — HLL with a restored contact wave; [Roe] — linearised
+    solver with a Harten entropy fix; [Exact] — Godunov's original
+    scheme: the flux of the exact Riemann solution sampled on the
+    interface (the transverse velocity upwinds with the contact). *)
+
+val all : (string * kind) list
+val name : kind -> string
+val of_string : string -> kind option
+
+val flux_into :
+  kind ->
+  gamma:float ->
+  rho_l:float -> un_l:float -> ut_l:float -> p_l:float ->
+  rho_r:float -> un_r:float -> ut_r:float -> p_r:float ->
+  f:float array ->
+  unit
+(** Computes the numerical flux through the interface separating the
+    two states and stores its 4 components in [f].  Allocation-free:
+    safe for per-interface use in hot loops.
+    @raise Invalid_argument on non-physical input states. *)
+
+val flux :
+  kind ->
+  gamma:float ->
+  left:float * float * float * float ->
+  right:float * float * float * float ->
+  float array
+(** Convenience wrapper around {!flux_into}. *)
+
+val physical_flux_into :
+  gamma:float ->
+  rho:float -> un:float -> ut:float -> p:float -> f:float array -> unit
+(** The exact Euler flux [F(Q)] of a single state (used by tests and
+    by the consistency property [flux q q = F(q)]). *)

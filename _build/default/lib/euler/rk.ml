@@ -1,0 +1,74 @@
+type kind = Euler1 | Tvd_rk2 | Tvd_rk3
+
+let name = function
+  | Euler1 -> "euler1"
+  | Tvd_rk2 -> "rk2"
+  | Tvd_rk3 -> "rk3"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "euler1" | "rk1" -> Some Euler1
+  | "rk2" | "tvd-rk2" -> Some Tvd_rk2
+  | "rk3" | "tvd-rk3" -> Some Tvd_rk3
+  | _ -> None
+
+let stages = function Euler1 -> 1 | Tvd_rk2 -> 2 | Tvd_rk3 -> 3
+let order = stages
+
+type workspace = {
+  s1 : State.t;
+  s2 : State.t;
+  dqdt : float array array;
+}
+
+let make_workspace (st : State.t) =
+  { s1 = State.copy st;
+    s2 = State.copy st;
+    dqdt =
+      Array.init State.nvar (fun _ ->
+          Array.make st.State.grid.Grid.cells 0.) }
+
+(* dst = ca * a + cb * b + cd * dt * d on interior cells, one parallel
+   region over rows. *)
+let combine exec (g : Grid.t) ~dst ~ca ~a ~cb ~b ~cd d =
+  let nx = g.Grid.nx
+  and ng = g.Grid.ng
+  and stride = g.Grid.row_stride in
+  Parallel.Exec.parallel_for exec ~lo:0 ~hi:g.Grid.ny (fun iy ->
+      let base = ((iy + ng) * stride) + ng in
+      for k = 0 to State.nvar - 1 do
+        let dk = dst.(k) and ak = a.(k) and bk = b.(k) and ddk = d.(k) in
+        for i = base to base + nx - 1 do
+          dk.(i) <- (ca *. ak.(i)) +. (cb *. bk.(i)) +. (cd *. ddk.(i))
+        done
+      done)
+
+let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
+  let g = st.State.grid in
+  let q = st.State.q
+  and q1 = ws.s1.State.q
+  and q2 = ws.s2.State.q
+  and d = ws.dqdt in
+  match kind with
+  | Euler1 ->
+    bc st;
+    rhs st d;
+    combine exec g ~dst:q ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d
+  | Tvd_rk2 ->
+    bc st;
+    rhs st d;
+    combine exec g ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d;
+    bc ws.s1;
+    rhs ws.s1 d;
+    combine exec g ~dst:q ~ca:0.5 ~a:q ~cb:0.5 ~b:q1 ~cd:(0.5 *. dt) d
+  | Tvd_rk3 ->
+    bc st;
+    rhs st d;
+    combine exec g ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d;
+    bc ws.s1;
+    rhs ws.s1 d;
+    combine exec g ~dst:q2 ~ca:0.75 ~a:q ~cb:0.25 ~b:q1 ~cd:(0.25 *. dt) d;
+    bc ws.s2;
+    rhs ws.s2 d;
+    combine exec g ~dst:q ~ca:(1. /. 3.) ~a:q ~cb:(2. /. 3.) ~b:q2
+      ~cd:(2. /. 3. *. dt) d

@@ -1,0 +1,33 @@
+(** Strong-stability-preserving (TVD) Runge-Kutta time advancement —
+    the paper's stage 3, "the 2nd or 3rd order TVD Runge-Kutta
+    schemes" (we also keep forward Euler for convergence studies).
+
+    Each stage refreshes the ghost cells, evaluates the flux
+    divergence and forms a convex combination of states, so the TVD
+    property of the spatial operator is preserved. *)
+
+type kind = Euler1 | Tvd_rk2 | Tvd_rk3
+
+val name : kind -> string
+val of_string : string -> kind option
+val stages : kind -> int
+val order : kind -> int
+
+type workspace
+(** Scratch states and flux-divergence storage, reusable across
+    steps. *)
+
+val make_workspace : State.t -> workspace
+
+val step :
+  kind ->
+  rhs:(State.t -> float array array -> unit) ->
+  bc:(State.t -> unit) ->
+  exec:Parallel.Exec.t ->
+  dt:float ->
+  State.t ->
+  workspace ->
+  unit
+(** Advances the state in place by [dt].  [rhs] must fill interior
+    flux divergences (see {!Rhs.compute}); [bc] must fill ghost
+    layers.  Interior updates run as one parallel region per stage. *)

@@ -1,0 +1,121 @@
+type problem = {
+  state : State.t;
+  bcs : (Bc.side * Bc.kind) list;
+  description : string;
+}
+
+let riemann_1d ?(gamma = Gas.gamma_air) ~nx ~left ~right ~x_diaphragm
+    ~description () =
+  let grid = Grid.make_1d ~nx ~lx:1. () in
+  let st = State.create ~gamma grid in
+  let rho_l, u_l, p_l = left and rho_r, u_r, p_r = right in
+  State.init_primitive st (fun ~x ~y:_ ->
+      if x < x_diaphragm then (rho_l, u_l, 0., p_l)
+      else (rho_r, u_r, 0., p_r));
+  { state = st;
+    bcs = [ (Bc.West, Bc.Outflow); (Bc.East, Bc.Outflow) ];
+    description }
+
+let sod_left = (1., 0., 1.)
+let sod_right = (0.125, 0., 0.1)
+
+let sod ?gamma ~nx () =
+  riemann_1d ?gamma ~nx ~left:sod_left ~right:sod_right ~x_diaphragm:0.5
+    ~description:"Sod shock tube" ()
+
+let lax ?gamma ~nx () =
+  riemann_1d ?gamma ~nx ~left:(0.445, 0.698, 3.528) ~right:(0.5, 0., 0.571)
+    ~x_diaphragm:0.5 ~description:"Lax problem" ()
+
+let test123 ?gamma ~nx () =
+  riemann_1d ?gamma ~nx ~left:(1., -2., 0.4) ~right:(1., 2., 0.4)
+    ~x_diaphragm:0.5 ~description:"Einfeldt 1-2-3 test" ()
+
+let uniform ?(gamma = Gas.gamma_air) ?(rho = 1.) ?(u = 0.3) ?(v = -0.2)
+    ?(p = 1.) ~nx ~ny () =
+  let grid = Grid.make ~nx ~ny ~lx:1. ~ly:1. () in
+  let st = State.create ~gamma grid in
+  let v = if ny = 1 then 0. else v in
+  State.init_primitive st (fun ~x:_ ~y:_ -> (rho, u, v, p));
+  { state = st;
+    bcs =
+      [ (Bc.West, Bc.Outflow);
+        (Bc.East, Bc.Outflow);
+        (Bc.South, Bc.Outflow);
+        (Bc.North, Bc.Outflow) ];
+    description = "uniform flow" }
+
+let acoustic_pulse ?(gamma = Gas.gamma_air) ~nx () =
+  let grid = Grid.make_1d ~nx ~lx:1. () in
+  let st = State.create ~gamma grid in
+  let rho0 = 1. and p0 = 1. and amp = 1e-3 in
+  let c0 = Gas.sound_speed ~gamma ~rho:rho0 ~p:p0 in
+  State.init_primitive st (fun ~x ~y:_ ->
+      (* A right-running simple wave: perturbations related by the
+         acoustic invariants so the pulse advects cleanly. *)
+      let s = amp *. Float.exp (-200. *. ((x -. 0.5) ** 2.)) in
+      let rho = rho0 *. (1. +. s) in
+      let p = p0 *. (1. +. (gamma *. s)) in
+      let u = c0 *. s in
+      (rho, u, 0., p));
+  { state = st;
+    bcs = [ (Bc.West, Bc.Outflow); (Bc.East, Bc.Outflow) ];
+    description = "smooth acoustic pulse" }
+
+let two_channel ?(gamma = Gas.gamma_air) ?(ms = 2.2) ~cells_per_h () =
+  if cells_per_h < 2 then
+    invalid_arg "Setup.two_channel: need at least 2 cells per channel width";
+  let h = 1. in
+  let n = 2 * cells_per_h in
+  let grid = Grid.make ~nx:n ~ny:n ~lx:(2. *. h) ~ly:(2. *. h) () in
+  let st = State.create ~gamma grid in
+  let rho0 = 1. and p0 = 1. in
+  State.init_primitive st (fun ~x:_ ~y:_ -> (rho0, 0., 0., p0));
+  let post = Rankine_hugoniot.post_shock ~gamma ~ms ~rho0 ~p0 in
+  let from_west =
+    Bc.Inflow { rho = post.Rankine_hugoniot.rho;
+                u = post.Rankine_hugoniot.u;
+                v = 0.;
+                p = post.Rankine_hugoniot.p }
+  and from_south =
+    Bc.Inflow { rho = post.Rankine_hugoniot.rho;
+                u = 0.;
+                v = post.Rankine_hugoniot.u;
+                p = post.Rankine_hugoniot.p }
+  in
+  { state = st;
+    bcs =
+      [ (Bc.West, Bc.Segmented [ (0., h, from_west) ]);
+        (Bc.South, Bc.Segmented [ (0., h, from_south) ]);
+        (Bc.East, Bc.Outflow);
+        (Bc.North, Bc.Outflow) ];
+    description =
+      Printf.sprintf
+        "two-channel shock interaction (Ms = %g, %dx%d cells)" ms n n }
+
+let quadrant ?(gamma = Gas.gamma_air) ~nx () =
+  let grid = Grid.make ~nx ~ny:nx ~lx:1. ~ly:1. () in
+  let st = State.create ~gamma grid in
+  (* Lax & Liu, configuration 3. *)
+  State.init_primitive st (fun ~x ~y ->
+      match (x < 0.5, y < 0.5) with
+      | false, false -> (1.5, 0., 0., 1.5)
+      | true, false -> (0.5323, 1.206, 0., 0.3)
+      | true, true -> (0.138, 1.206, 1.206, 0.029)
+      | false, true -> (0.5323, 0., 1.206, 0.3));
+  { state = st;
+    bcs =
+      [ (Bc.West, Bc.Outflow);
+        (Bc.East, Bc.Outflow);
+        (Bc.South, Bc.Outflow);
+        (Bc.North, Bc.Outflow) ];
+    description = "2D Riemann quadrant problem (Lax-Liu #3)" }
+
+let sod_exact_profile ?(gamma = Gas.gamma_air) ~nx ~t () =
+  let grid = Grid.make_1d ~nx ~lx:1. () in
+  let xs = Array.init nx (fun ix -> Grid.xc grid ix) in
+  let sol =
+    Exact_riemann.profile ~gamma ~left:sod_left ~right:sod_right ~x0:0.5 ~t
+      ~xs
+  in
+  (xs, sol)

@@ -1,0 +1,65 @@
+(** Initial/boundary-value problems from the paper and standard
+    validation cases.
+
+    Each setup returns an initialised {!State.t} plus the boundary
+    conditions it needs, ready to hand to {!Solver.create}. *)
+
+type problem = {
+  state : State.t;
+  bcs : (Bc.side * Bc.kind) list;
+  description : string;
+}
+
+val sod : ?gamma:float -> nx:int -> unit -> problem
+(** The Sod shock tube (paper §3.1): diaphragm at [x = 0.5] of a unit
+    domain, top state [(rho, u, p) = (1, 0, 1)], bottom state
+    [(0.125, 0, 0.1)].  Outflow at both ends.  The standard comparison
+    time is [t = 0.2]. *)
+
+val lax : ?gamma:float -> nx:int -> unit -> problem
+(** Lax's problem — a stronger shock-tube test:
+    left [(0.445, 0.698, 3.528)], right [(0.5, 0, 0.571)];
+    compare at [t = 0.13]. *)
+
+val test123 : ?gamma:float -> nx:int -> unit -> problem
+(** Einfeldt's 1-2-3 double-rarefaction test
+    ([(1, -2, 0.4)] / [(1, 2, 0.4)]): near-vacuum centre, exercises
+    the positivity fallback; compare at [t = 0.15]. *)
+
+val uniform :
+  ?gamma:float -> ?rho:float -> ?u:float -> ?v:float -> ?p:float ->
+  nx:int -> ny:int -> unit -> problem
+(** A constant state with outflow boundaries; any scheme must keep it
+    exactly stationary. *)
+
+val acoustic_pulse : ?gamma:float -> nx:int -> unit -> problem
+(** A smooth, small-amplitude 1D density/pressure perturbation on a
+    uniform flow; stays smooth long enough for convergence-order
+    measurements. *)
+
+val two_channel :
+  ?gamma:float -> ?ms:float -> cells_per_h:int -> unit -> problem
+(** The paper's §3.2 unsteady shock-interaction problem.  The domain
+    is [2h x 2h] (here [h = 1]); [cells_per_h] cells resolve one
+    channel width, so the paper's production grid is
+    [cells_per_h = 200] (400x400 cells).  The left boundary carries a
+    channel exit over [y < h] and a solid wall above; the bottom
+    boundary a channel exit over [x < h] and a wall to the right;
+    the far boundaries are outflow.  Exit states come from the
+    Rankine-Hugoniot relations at [ms] (default 2.2, supersonic
+    behind the shock, so the exit state is constant in time).
+    The gas is initially quiescent: [(rho, p) = (1, 1)] at rest. *)
+
+val quadrant : ?gamma:float -> nx:int -> unit -> problem
+(** A 2D Riemann problem (Lax-Liu configuration 3) on the unit square:
+    four constant states meeting at (0.5, 0.5), outflow everywhere.
+    Produces interacting shocks and a characteristic mushroom jet
+    along the diagonal; used as the 2D cross-validation case for the
+    mini-SaC port (its clamp padding matches outflow ghosts). *)
+
+val sod_exact_profile :
+  ?gamma:float -> nx:int -> t:float -> unit ->
+  float array * (float * float * float) array
+(** Cell-centre coordinates and the exact [(rho, u, p)] at each for
+    the Sod problem at time [t] — ground truth for Fig. 1 error
+    metrics. *)

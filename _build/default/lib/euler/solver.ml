@@ -1,0 +1,74 @@
+type config = {
+  recon : Recon.kind;
+  riemann : Riemann.kind;
+  rk : Rk.kind;
+  cfl : float;
+}
+
+let default_config =
+  { recon = Recon.Weno3;
+    riemann = Riemann.Hllc;
+    rk = Rk.Tvd_rk3;
+    cfl = 0.5 }
+
+let benchmark_config =
+  { recon = Recon.Piecewise_constant;
+    riemann = Riemann.Rusanov;
+    rk = Rk.Tvd_rk3;
+    cfl = 0.5 }
+
+type t = {
+  config : config;
+  bcs : (Bc.side * Bc.kind) list;
+  exec : Parallel.Exec.t;
+  state : State.t;
+  workspace : Rk.workspace;
+  mutable time : float;
+  mutable steps : int;
+}
+
+let create ?exec ~config ~bcs state =
+  let exec =
+    match exec with Some e -> e | None -> Parallel.Exec.sequential ()
+  in
+  if state.State.grid.Grid.ng < Recon.ghost_needed config.recon then
+    invalid_arg "Solver.create: grid lacks ghost layers for this scheme";
+  { config;
+    bcs;
+    exec;
+    state;
+    workspace = Rk.make_workspace state;
+    time = 0.;
+    steps = 0 }
+
+let step_dt s dt =
+  let rhs_cfg =
+    { Rhs.recon = s.config.recon; riemann = s.config.riemann }
+  in
+  Rk.step s.config.rk
+    ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
+    ~bc:(fun st -> Bc.apply st s.bcs)
+    ~exec:s.exec ~dt s.state s.workspace;
+  s.time <- s.time +. dt;
+  s.steps <- s.steps + 1
+
+let step s =
+  let dt = Time_step.dt ~cfl:s.config.cfl s.exec s.state in
+  step_dt s dt;
+  dt
+
+let run_steps s n =
+  for _ = 1 to n do
+    ignore (step s)
+  done
+
+let run_until s target =
+  while s.time < target -. 1e-14 do
+    let dt = Time_step.dt ~cfl:s.config.cfl s.exec s.state in
+    let dt = Float.min dt (target -. s.time) in
+    step_dt s dt
+  done
+
+let regions_per_step s =
+  if s.steps = 0 then Float.nan
+  else float_of_int (Parallel.Exec.regions s.exec) /. float_of_int s.steps

@@ -1,0 +1,58 @@
+(** Time-marching driver tying the stages together.
+
+    A solver owns a state, the scheme configuration, boundary
+    conditions and an execution scheduler.  Each {!step} computes the
+    CFL time step (GetDT), then advances one TVD Runge-Kutta step; the
+    successive reiteration of the three stages is the paper's §3
+    computational procedure. *)
+
+type config = {
+  recon : Recon.kind;
+  riemann : Riemann.kind;
+  rk : Rk.kind;
+  cfl : float;
+}
+
+val default_config : config
+(** WENO3 + HLLC + TVD-RK3, CFL 0.5 — the paper's §3 choice for the
+    flow computations ("the latter technique is used in the examples
+    of flow computation"). *)
+
+val benchmark_config : config
+(** Piecewise-constant + Rusanov + TVD-RK3 — the §5 benchmark choice
+    ("third order Runge-Kutta TVD method and first order piecewise
+    constant reconstruction"). *)
+
+type t = {
+  config : config;
+  bcs : (Bc.side * Bc.kind) list;
+  exec : Parallel.Exec.t;
+  state : State.t;
+  workspace : Rk.workspace;
+  mutable time : float;
+  mutable steps : int;
+}
+
+val create :
+  ?exec:Parallel.Exec.t ->
+  config:config ->
+  bcs:(Bc.side * Bc.kind) list ->
+  State.t ->
+  t
+(** Wraps a freshly initialised state (defaults to the sequential
+    scheduler).  The state is owned by the solver afterwards. *)
+
+val step : t -> float
+(** Advances one time step and returns the [dt] taken. *)
+
+val run_steps : t -> int -> unit
+(** [run_steps s n] advances [n] steps (the benchmark mode: the paper
+    runs 1000 steps regardless of physical time). *)
+
+val run_until : t -> float -> unit
+(** Advances until [s.time] reaches the target, clipping the last
+    step so the target is hit exactly. *)
+
+val regions_per_step : t -> float
+(** Instrumented parallel regions per time step so far (input to the
+    scaling cost model); [nan] before the first step. *)

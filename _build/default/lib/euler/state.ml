@@ -1,0 +1,142 @@
+type t = { grid : Grid.t; gamma : float; q : float array array }
+
+let nvar = 4
+let i_rho = 0
+let i_mx = 1
+let i_my = 2
+let i_e = 3
+
+let create ?(gamma = Gas.gamma_air) (grid : Grid.t) =
+  { grid; gamma; q = Array.init nvar (fun _ -> Array.make grid.Grid.cells 0.) }
+
+let copy t =
+  { t with q = Array.map Array.copy t.q }
+
+let blit ~src ~dst =
+  if src.grid != dst.grid && src.grid <> dst.grid then
+    invalid_arg "State.blit: grids differ";
+  Array.iteri
+    (fun k a -> Array.blit a 0 dst.q.(k) 0 (Array.length a))
+    src.q
+
+let set_primitive t ix iy ~rho ~u ~v ~p =
+  let o = Grid.offset t.grid ix iy in
+  t.q.(i_rho).(o) <- rho;
+  t.q.(i_mx).(o) <- rho *. u;
+  t.q.(i_my).(o) <- rho *. v;
+  t.q.(i_e).(o) <- Gas.total_energy ~gamma:t.gamma ~rho ~u ~v ~p
+
+let primitive t ix iy =
+  let o = Grid.offset t.grid ix iy in
+  let rho = t.q.(i_rho).(o)
+  and mx = t.q.(i_mx).(o)
+  and my = t.q.(i_my).(o)
+  and e = t.q.(i_e).(o) in
+  let p = Gas.pressure ~gamma:t.gamma ~rho ~mx ~my ~e in
+  (rho, mx /. rho, my /. rho, p)
+
+let sound_speed t ix iy =
+  let rho, _, _, p = primitive t ix iy in
+  Gas.sound_speed ~gamma:t.gamma ~rho ~p
+
+let init_primitive t f =
+  let g = t.grid in
+  for iy = -g.Grid.ng to g.Grid.ny + g.Grid.ng - 1 do
+    for ix = -g.Grid.ng to g.Grid.nx + g.Grid.ng - 1 do
+      let rho, u, v, p = f ~x:(Grid.xc g ix) ~y:(Grid.yc g iy) in
+      set_primitive t ix iy ~rho ~u ~v ~p
+    done
+  done
+
+let interior_sum t k =
+  let g = t.grid in
+  let vol = g.Grid.dx *. if Grid.is_1d g then 1. else g.Grid.dy in
+  let s = ref 0. in
+  for iy = 0 to g.Grid.ny - 1 do
+    for ix = 0 to g.Grid.nx - 1 do
+      s := !s +. t.q.(k).(Grid.offset g ix iy)
+    done
+  done;
+  !s *. vol
+
+let total_mass t = interior_sum t i_rho
+let total_energy t = interior_sum t i_e
+let total_momentum_x t = interior_sum t i_mx
+let total_momentum_y t = interior_sum t i_my
+
+let interior_min f t =
+  let g = t.grid in
+  let m = ref Float.infinity in
+  for iy = 0 to g.Grid.ny - 1 do
+    for ix = 0 to g.Grid.nx - 1 do
+      let v = f t ix iy in
+      if v < !m then m := v
+    done
+  done;
+  !m
+
+let min_density = interior_min (fun t ix iy ->
+    let rho, _, _, _ = primitive t ix iy in
+    rho)
+
+let min_pressure = interior_min (fun t ix iy ->
+    let _, _, _, p = primitive t ix iy in
+    p)
+
+let field_of f t =
+  let g = t.grid in
+  Tensor.Nd.init [| g.Grid.ny; g.Grid.nx |] (fun iv ->
+      f t iv.(1) iv.(0))
+
+let density_field =
+  field_of (fun t ix iy ->
+      let rho, _, _, _ = primitive t ix iy in
+      rho)
+
+let pressure_field =
+  field_of (fun t ix iy ->
+      let _, _, _, p = primitive t ix iy in
+      p)
+
+let velocity_x_field =
+  field_of (fun t ix iy ->
+      let _, u, _, _ = primitive t ix iy in
+      u)
+
+let velocity_y_field =
+  field_of (fun t ix iy ->
+      let _, _, v, _ = primitive t ix iy in
+      v)
+
+let profile_of f t =
+  Array.init t.grid.Grid.nx (fun ix -> f t ix 0)
+
+let density_profile =
+  profile_of (fun t ix iy ->
+      let rho, _, _, _ = primitive t ix iy in
+      rho)
+
+let pressure_profile =
+  profile_of (fun t ix iy ->
+      let _, _, _, p = primitive t ix iy in
+      p)
+
+let velocity_profile =
+  profile_of (fun t ix iy ->
+      let _, u, _, _ = primitive t ix iy in
+      u)
+
+let max_abs_diff a b =
+  if a.grid <> b.grid then invalid_arg "State.max_abs_diff: grids differ";
+  let g = a.grid in
+  let m = ref 0. in
+  for k = 0 to nvar - 1 do
+    for iy = 0 to g.Grid.ny - 1 do
+      for ix = 0 to g.Grid.nx - 1 do
+        let o = Grid.offset g ix iy in
+        let d = Float.abs (a.q.(k).(o) -. b.q.(k).(o)) in
+        if d > !m then m := d
+      done
+    done
+  done;
+  !m

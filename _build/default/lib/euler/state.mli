@@ -1,0 +1,75 @@
+(** Conserved-variable fields [Q = (rho, rho u, rho v, E)] on a grid.
+
+    One flat payload per conserved variable, padded with the grid's
+    ghost layers (structure-of-arrays, the layout both the Fortran
+    original and SaC's compiled with-loops use).  1D problems carry a
+    zero [rho v] component through the same code paths. *)
+
+type t = {
+  grid : Grid.t;
+  gamma : float;
+  q : float array array;
+  (** [q.(k)] for [k] in [0..3] = mass, x-momentum, y-momentum and
+      total-energy densities, each of length [grid.cells]. *)
+}
+
+val nvar : int
+(** Number of conserved variables (4). *)
+
+val i_rho : int
+val i_mx : int
+val i_my : int
+val i_e : int
+(** Variable indices into [q]. *)
+
+val create : ?gamma:float -> Grid.t -> t
+(** Zero-filled state (unphysical until initialised). *)
+
+val copy : t -> t
+val blit : src:t -> dst:t -> unit
+
+val set_primitive :
+  t -> int -> int -> rho:float -> u:float -> v:float -> p:float -> unit
+(** Set one cell (interior or ghost) from primitive variables. *)
+
+val primitive : t -> int -> int -> float * float * float * float
+(** [(rho, u, v, p)] of a cell. *)
+
+val sound_speed : t -> int -> int -> float
+
+val init_primitive :
+  t -> (x:float -> y:float -> float * float * float * float) -> unit
+(** Initialise {e all} cells (ghosts included) from a pointwise
+    primitive prescription [(rho, u, v, p)] evaluated at cell
+    centres. *)
+
+val total_mass : t -> float
+(** Interior integral of [rho] (cell volumes included). *)
+
+val total_energy : t -> float
+val total_momentum_x : t -> float
+val total_momentum_y : t -> float
+
+val min_density : t -> float
+(** Minimum interior density — positivity watchdog. *)
+
+val min_pressure : t -> float
+
+val density_field : t -> Tensor.Nd.t
+(** Interior density as a [ny x nx] tensor (ghosts stripped). *)
+
+val pressure_field : t -> Tensor.Nd.t
+val velocity_x_field : t -> Tensor.Nd.t
+val velocity_y_field : t -> Tensor.Nd.t
+
+val density_profile : t -> float array
+(** Interior density along the first row — the 1D diagnostic used for
+    Sod-tube comparisons. *)
+
+val pressure_profile : t -> float array
+val velocity_profile : t -> float array
+
+val max_abs_diff : t -> t -> float
+(** Largest interior difference over all conserved variables; used to
+    check that independent implementations agree.
+    @raise Invalid_argument if grids differ. *)

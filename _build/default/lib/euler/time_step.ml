@@ -1,0 +1,14 @@
+let max_eigenvalue exec (st : State.t) =
+  let g = st.State.grid in
+  let nx = g.Grid.nx and ny = g.Grid.ny in
+  let one_d = Grid.is_1d g in
+  Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:(nx * ny) (fun cell ->
+      let ix = cell mod nx and iy = cell / nx in
+      let rho, u, v, p = State.primitive st ix iy in
+      let c = Gas.sound_speed ~gamma:st.State.gamma ~rho ~p in
+      let ev_x = (Float.abs u +. c) /. g.Grid.dx in
+      if one_d then ev_x else ev_x +. ((Float.abs v +. c) /. g.Grid.dy))
+
+let dt ~cfl exec st =
+  if cfl <= 0. then invalid_arg "Time_step.dt: cfl must be positive";
+  cfl /. max_eigenvalue exec st

@@ -1,0 +1,13 @@
+(** CFL time-step control — the paper's GetDT kernel.
+
+    [EV = (|u| + c) / dx + (|v| + c) / dy] is maximised over the
+    interior (a parallel reduction) and the step is [CFL / EVmax],
+    exactly the Fortran excerpt in the paper's §4.2. *)
+
+val max_eigenvalue : Parallel.Exec.t -> State.t -> float
+(** Largest [EV] over interior cells.  For 1D grids ([ny = 1]) only
+    the x term contributes. *)
+
+val dt : cfl:float -> Parallel.Exec.t -> State.t -> float
+(** [cfl /. max_eigenvalue].
+    @raise Invalid_argument if [cfl] is not positive. *)

@@ -1,0 +1,1 @@
+lib/fortran_baseline/f_solver.ml: Array Euler Float List Parallel Storage

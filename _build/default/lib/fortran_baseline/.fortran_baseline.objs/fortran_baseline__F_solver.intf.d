@@ -1,0 +1,1 @@
+lib/fortran_baseline/f_solver.mli: Euler Parallel Storage

@@ -1,0 +1,1 @@
+lib/fortran_baseline/storage.mli: Euler

@@ -1,0 +1,67 @@
+(** The Fortran-90 baseline solver: the same numerics as
+    {!Euler.Solver} (any reconstruction/Riemann/RK configuration;
+    defaulting to the §5 benchmark one), written the way the original
+    code is — explicit
+    DO-loop nests over mutable whole-program arrays, one subroutine
+    per stage ([ComputePrimitives], [GetDT], [FluxX], [FluxY],
+    [FluxDiv], stage updates, boundary fill).
+
+    Auto-parallelisation is emulated by running each loop nest through
+    a {!Parallel.Exec.t} scheduler at a chosen granularity:
+    [Outer] parallelises the [iy] loop of each nest (one region per
+    nest), [Inner] parallelises the [ix] loop inside a sequential
+    [iy] loop (one region per row per nest) — the behaviour of a
+    conservative auto-paralleliser that cannot prove the outer loop
+    independent, and the regime in which the paper's Fortran runs
+    stopped scaling.  An integration test checks the results agree
+    with {!Euler.Solver} and {!Euler.Array_style} to round-off. *)
+
+type autopar = Outer | Inner
+
+val autopar_name : autopar -> string
+
+type t = {
+  storage : Storage.t;
+  bcs : (Euler.Bc.side * Euler.Bc.kind) list;
+  autopar : autopar;
+  recon : Euler.Recon.kind;
+  riemann : Euler.Riemann.kind;
+  rk : Euler.Rk.kind;
+  mutable time : float;
+  mutable steps : int;
+}
+
+val create :
+  ?autopar:autopar ->
+  ?config:Euler.Solver.config ->
+  bcs:(Euler.Bc.side * Euler.Bc.kind) list ->
+  Storage.t ->
+  t
+(** Default granularity is [Inner]; default [config] is the §5
+    benchmark configuration.  The original Fortran code offers the
+    full menu, so every {!Euler.Solver.config} is accepted: TVD/WENO
+    reconstructions run face-at-a-time with the identical
+    characteristic projection and Riemann kernels as the reference
+    solver.  The CFL number lives in the storage record.
+    @raise Invalid_argument if the grid lacks ghost layers for the
+    reconstruction. *)
+
+val of_problem :
+  ?autopar:autopar -> ?config:Euler.Solver.config -> ?cfl:float ->
+  Euler.Setup.problem -> t
+(** Builds baseline storage from a {!Euler.Setup} problem (state is
+    copied, not shared). *)
+
+val get_dt : t -> Parallel.Exec.t -> float
+(** The GetDT subroutine (paper §4.2): max-reduction of
+    [(|Ux| + C) / Dx + (|Uy| + C) / Dy] then [CFL / EVmax].  Requires
+    primitives to be current; {!step} manages that ordering, call this
+    directly only in tests (it refreshes primitives itself). *)
+
+val step : t -> Parallel.Exec.t -> float
+(** One CFL-limited TVD-RK3 step; returns [dt]. *)
+
+val run_steps : t -> Parallel.Exec.t -> int -> unit
+
+val state : t -> Euler.State.t
+(** Copy of the current conserved fields, for comparisons. *)

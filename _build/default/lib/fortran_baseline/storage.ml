@@ -1,0 +1,46 @@
+type t = {
+  grid : Euler.Grid.t;
+  gam : float;
+  cfl : float;
+  qc : float array array;
+  qp : float array array;
+  q0 : float array array;
+  dq : float array array;
+  fx : float array array;
+  fy : float array array;
+}
+
+let i_ux = 0
+let i_uy = 1
+let i_pc = 2
+let i_rc = 3
+
+let alloc (grid : Euler.Grid.t) =
+  Array.init 4 (fun _ -> Array.make grid.Euler.Grid.cells 0.)
+
+let create ?(cfl = 0.5) ~gamma grid =
+  { grid;
+    gam = gamma;
+    cfl;
+    qc = alloc grid;
+    qp = alloc grid;
+    q0 = alloc grid;
+
+    dq = alloc grid;
+    fx = alloc grid;
+    fy = alloc grid }
+
+let of_state ?cfl (st : Euler.State.t) =
+  let s = create ?cfl ~gamma:st.Euler.State.gamma st.Euler.State.grid in
+  for k = 0 to 3 do
+    Array.blit st.Euler.State.q.(k) 0 s.qc.(k) 0
+      (Array.length st.Euler.State.q.(k))
+  done;
+  s
+
+let to_state s =
+  let st = Euler.State.create ~gamma:s.gam s.grid in
+  for k = 0 to 3 do
+    Array.blit s.qc.(k) 0 st.Euler.State.q.(k) 0 (Array.length s.qc.(k))
+  done;
+  st

@@ -1,0 +1,38 @@
+(** Fortran-style storage: the COMMON-block analogue.
+
+    Everything the original code keeps in [USE Cons / USE Vars]
+    modules lives in one mutable record: conserved fields [qc],
+    primitive fields [qp] (in the original's ordering
+    [QP(1..4) = Ux, Uy, Pc, Rc]), Runge-Kutta stage copies, the flux
+    work arrays and the scalar parameters.  Arrays are flat with the
+    same padded row-major layout as {!Euler.State} so results can be
+    compared cell-by-cell. *)
+
+type t = {
+  grid : Euler.Grid.t;
+  gam : float;
+  cfl : float;
+  qc : float array array;   (** conserved, 4 x cells *)
+  qp : float array array;   (** primitive: Ux, Uy, Pc, Rc *)
+  q0 : float array array;   (** state at step start (RK combination) *)
+  dq : float array array;   (** flux divergence *)
+  fx : float array array;   (** x-face fluxes, face (i+1/2, j) at offset of cell i *)
+  fy : float array array;   (** y-face fluxes, face (i, j+1/2) at offset of cell j *)
+}
+
+val i_ux : int
+val i_uy : int
+val i_pc : int
+val i_rc : int
+(** Indices into [qp], matching the paper's [QP] ordering. *)
+
+val create : ?cfl:float -> gamma:float -> Euler.Grid.t -> t
+(** Zero-filled storage. *)
+
+val of_state : ?cfl:float -> Euler.State.t -> t
+(** Copies an initialised solver state (e.g. from {!Euler.Setup})
+    into Fortran storage. *)
+
+val to_state : t -> Euler.State.t
+(** Copies the conserved fields out for comparison with the OCaml/SaC
+    implementations. *)

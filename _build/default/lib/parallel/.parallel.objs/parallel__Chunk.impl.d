@@ -1,0 +1,1 @@
+lib/parallel/chunk.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/parallel/exec.ml: Array Atomic Chunk Domain Float Fork_join Pool Printf

@@ -1,0 +1,1 @@
+lib/parallel/exec.mli: Chunk

@@ -1,0 +1,1 @@
+lib/parallel/fork_join.ml: Array Atomic Chunk Domain

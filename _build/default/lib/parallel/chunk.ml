@@ -1,0 +1,42 @@
+type range = { lo : int; hi : int }
+
+type schedule = Static | Dynamic of int
+
+let schedule_name = function
+  | Static -> "static"
+  | Dynamic n -> Printf.sprintf "dynamic:%d" n
+
+let schedule_of_string s =
+  match String.lowercase_ascii s with
+  | "static" -> Some Static
+  | "dynamic" -> Some (Dynamic 16)
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "dynamic" -> (
+      match
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some n when n > 0 -> Some (Dynamic n)
+      | _ -> None)
+    | _ -> None)
+
+let length r = r.hi - r.lo
+
+let chunk_of ~lo ~hi ~parts ~which =
+  if parts <= 0 then invalid_arg "Chunk.chunk_of: parts must be positive";
+  if hi < lo then invalid_arg "Chunk.chunk_of: negative range";
+  if which < 0 || which >= parts then
+    invalid_arg "Chunk.chunk_of: chunk index out of range";
+  let n = hi - lo in
+  let base = n / parts and extra = n mod parts in
+  (* The first [extra] chunks get one additional element. *)
+  let start =
+    lo + (which * base) + min which extra
+  in
+  let len = base + if which < extra then 1 else 0 in
+  { lo = start; hi = start + len }
+
+let split ~lo ~hi ~parts =
+  if parts <= 0 then invalid_arg "Chunk.split: parts must be positive";
+  if hi < lo then invalid_arg "Chunk.split: negative range";
+  Array.init parts (fun which -> chunk_of ~lo ~hi ~parts ~which)

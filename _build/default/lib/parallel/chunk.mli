@@ -1,0 +1,33 @@
+(** Static partitioning of iteration ranges.
+
+    Both schedulers split a half-open range [\[lo, hi)] into [p]
+    contiguous chunks whose sizes differ by at most one — the
+    [OMP_SCHEDULE=STATIC] policy the paper found fastest for the
+    Fortran code, and the distribution SaC's SPMD backend uses. *)
+
+type range = { lo : int; hi : int }
+(** Half-open: the indices [lo .. hi-1]. *)
+
+type schedule = Static | Dynamic of int
+(** Work distribution policy, mirroring OMP_SCHEDULE: [Static] gives
+    each lane one contiguous chunk up front; [Dynamic n] hands out
+    chunks of [n] iterations from a shared counter as lanes go idle.
+    The paper tried both through environment variables and found "a
+    negligible difference"; both are provided so that claim can be
+    exercised. *)
+
+val schedule_name : schedule -> string
+val schedule_of_string : string -> schedule option
+(** Parses ["static"] and ["dynamic"] / ["dynamic:N"]. *)
+
+val length : range -> int
+
+val split : lo:int -> hi:int -> parts:int -> range array
+(** [split ~lo ~hi ~parts] cuts [\[lo, hi)] into exactly [parts]
+    ranges (some possibly empty when the range is short), preserving
+    order and covering every index exactly once.
+    @raise Invalid_argument if [parts <= 0] or [hi < lo]. *)
+
+val chunk_of : lo:int -> hi:int -> parts:int -> which:int -> range
+(** The [which]-th range of {!split}, computed without allocating the
+    whole partition. *)

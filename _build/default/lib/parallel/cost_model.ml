@@ -1,0 +1,59 @@
+type params = {
+  spin_base_s : float;
+  spin_slope_s : float;
+  fork_base_s : float;
+  fork_slope_s : float;
+  bandwidth_cap : float;
+}
+
+let default =
+  { spin_base_s = 0.3e-6;
+    spin_slope_s = 0.05e-6;
+    fork_base_s = 1.5e-6;
+    fork_slope_s = 0.4e-6;
+    bandwidth_cap = 11. }
+
+type scheduler = Spin_barrier | Os_fork_join
+
+type workload = {
+  serial_s : float;
+  parallel_s : float;
+  regions_per_step : float;
+}
+
+let overhead_per_region params scheduler ~cores =
+  if cores <= 1 then 0.
+  else begin
+    let p = float_of_int cores in
+    match scheduler with
+    | Spin_barrier -> params.spin_base_s +. (params.spin_slope_s *. p)
+    | Os_fork_join -> params.fork_base_s +. (params.fork_slope_s *. p)
+  end
+
+let effective_speedup params ~cores =
+  Float.min (float_of_int cores) params.bandwidth_cap
+
+let predict_step params scheduler w ~cores =
+  if cores < 1 then invalid_arg "Cost_model.predict_step: cores must be >= 1";
+  w.serial_s
+  +. (w.parallel_s /. effective_speedup params ~cores)
+  +. (w.regions_per_step *. overhead_per_region params scheduler ~cores)
+
+let predict_run params scheduler w ~steps ~cores =
+  float_of_int steps *. predict_step params scheduler w ~cores
+
+let speedup params scheduler w ~cores =
+  predict_step params scheduler w ~cores:1
+  /. predict_step params scheduler w ~cores
+
+let crossover params ~fast_serial ~scalable ~max_cores =
+  let fs_sched, fs_w = fast_serial and sc_sched, sc_w = scalable in
+  let rec go p =
+    if p > max_cores then None
+    else if
+      predict_step params sc_sched sc_w ~cores:p
+      < predict_step params fs_sched fs_w ~cores:p
+    then Some p
+    else go (p + 1)
+  in
+  go 1

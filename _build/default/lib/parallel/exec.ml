@@ -1,0 +1,84 @@
+type kind =
+  | Sequential
+  | Spmd of Pool.t
+  | Fork_join_sched of int
+
+type t = { kind : kind; count : int Atomic.t }
+
+let sequential () = { kind = Sequential; count = Atomic.make 0 }
+
+let spmd ~lanes = { kind = Spmd (Pool.create ~lanes); count = Atomic.make 0 }
+
+let fork_join ~lanes =
+  if lanes < 1 then invalid_arg "Exec.fork_join: lanes must be >= 1";
+  { kind = Fork_join_sched lanes; count = Atomic.make 0 }
+
+let lanes t =
+  match t.kind with
+  | Sequential -> 1
+  | Spmd pool -> Pool.lanes pool
+  | Fork_join_sched n -> n
+
+let parallel_for ?schedule t ~lo ~hi body =
+  if hi > lo then begin
+    Atomic.incr t.count;
+    match t.kind with
+    | Sequential ->
+      for i = lo to hi - 1 do
+        body i
+      done
+    | Spmd pool -> Pool.parallel_for ?schedule pool ~lo ~hi body
+    | Fork_join_sched n ->
+      (* The fork/join backend models OpenMP static scheduling only;
+         a dynamic request falls back to static. *)
+      Fork_join.parallel_for ~lanes:n ~lo ~hi body
+  end
+
+let reduce_chunk body (r : Chunk.range) =
+  let acc = ref Float.neg_infinity in
+  for i = r.Chunk.lo to r.Chunk.hi - 1 do
+    let v = body i in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+let parallel_reduce_max t ~lo ~hi body =
+  if hi <= lo then Float.neg_infinity
+  else begin
+    Atomic.incr t.count;
+    match t.kind with
+    | Sequential -> reduce_chunk body { Chunk.lo; hi }
+    | Spmd pool ->
+      let parts = Pool.lanes pool in
+      let partial = Array.make parts Float.neg_infinity in
+      Pool.run pool (fun lane ->
+          partial.(lane) <-
+            reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:lane));
+      Array.fold_left Float.max Float.neg_infinity partial
+    | Fork_join_sched parts ->
+      let partial = Array.make parts Float.neg_infinity in
+      let spawned =
+        Array.init (parts - 1) (fun k ->
+            Domain.spawn (fun () ->
+                partial.(k + 1) <-
+                  reduce_chunk body
+                    (Chunk.chunk_of ~lo ~hi ~parts ~which:(k + 1))))
+      in
+      partial.(0) <- reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:0);
+      Array.iter Domain.join spawned;
+      Array.fold_left Float.max Float.neg_infinity partial
+  end
+
+let regions t = Atomic.get t.count
+let reset_regions t = Atomic.set t.count 0
+
+let shutdown t =
+  match t.kind with
+  | Spmd pool -> Pool.shutdown pool
+  | Sequential | Fork_join_sched _ -> ()
+
+let describe t =
+  match t.kind with
+  | Sequential -> "sequential"
+  | Spmd pool -> Printf.sprintf "spmd(%d)" (Pool.lanes pool)
+  | Fork_join_sched n -> Printf.sprintf "fork-join(%d)" n

@@ -1,0 +1,46 @@
+(** Scheduler abstraction used by the solvers.
+
+    The Euler kernels are written against this interface so the same
+    numerics can run sequentially, on the SPMD pool (SaC's execution
+    model) or with per-region fork/join (the OpenMP model).  Every
+    scheduler counts the parallel regions it executes; the cost model
+    turns those counts plus measured sequential times into predicted
+    multi-core wall clocks. *)
+
+type t
+
+val sequential : unit -> t
+(** Runs loops inline.  Regions are still counted, so a sequential run
+    doubles as the instrumentation pass. *)
+
+val spmd : lanes:int -> t
+(** SPMD pool scheduler (see {!Pool}).  Call {!shutdown} when done. *)
+
+val fork_join : lanes:int -> t
+(** Per-region spawn/join scheduler (see {!Fork_join}). *)
+
+val lanes : t -> int
+(** Number of execution lanes (1 for {!sequential}). *)
+
+val parallel_for :
+  ?schedule:Chunk.schedule -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** One data-parallel region over [\[lo, hi)]; [schedule] (default
+    static) selects the SPMD pool's work distribution, mirroring
+    OMP_SCHEDULE. *)
+
+val parallel_reduce_max :
+  t -> lo:int -> hi:int -> (int -> float) -> float
+(** Parallel maximum of [f i] over the range (the GetDT pattern);
+    returns [neg_infinity] on an empty range.  Each lane folds its
+    chunk locally; partial results are combined after the barrier. *)
+
+val regions : t -> int
+(** Parallel regions executed through this scheduler so far. *)
+
+val reset_regions : t -> unit
+
+val shutdown : t -> unit
+(** Releases pool workers for {!spmd}; a no-op otherwise. *)
+
+val describe : t -> string
+(** Human-readable name, e.g. ["spmd(8)"]. *)

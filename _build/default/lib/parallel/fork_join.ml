@@ -1,0 +1,27 @@
+let regions = Atomic.make 0
+
+let parallel_for ~lanes ~lo ~hi body =
+  if lanes < 1 then invalid_arg "Fork_join.parallel_for: lanes must be >= 1";
+  if hi > lo then begin
+    Atomic.incr regions;
+    if lanes = 1 then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else begin
+      let chunk which () =
+        let r = Chunk.chunk_of ~lo ~hi ~parts:lanes ~which in
+        for i = r.Chunk.lo to r.Chunk.hi - 1 do
+          body i
+        done
+      in
+      let spawned =
+        Array.init (lanes - 1) (fun k -> Domain.spawn (chunk (k + 1)))
+      in
+      chunk 0 ();
+      Array.iter Domain.join spawned
+    end
+  end
+
+let regions_executed () = Atomic.get regions
+let reset_regions () = Atomic.set regions 0

@@ -1,0 +1,19 @@
+(** Per-region thread creation, modelling OpenMP-style auto-parallel
+    loops.
+
+    Each {!parallel_for} spawns fresh domains and joins them through
+    the kernel, exactly the cost profile the paper blames for the
+    Fortran code's poor scaling ("overhead of communication between the
+    threads").  The overhead is real here, not simulated: domain spawn
+    and join are OS-level operations. *)
+
+val parallel_for : lanes:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lanes ~lo ~hi body] runs [body i] for every
+    [i] in [\[lo, hi)], statically chunked over [lanes] freshly
+    spawned lanes (the caller runs chunk 0).
+    @raise Invalid_argument if [lanes < 1]. *)
+
+val regions_executed : unit -> int
+(** Global count of fork/join regions since program start. *)
+
+val reset_regions : unit -> unit

@@ -1,0 +1,100 @@
+type t = {
+  lanes : int;
+  mutable workers : unit Domain.t array;
+  generation : int Atomic.t;
+  finished : int Atomic.t;
+  mutable job : int -> unit;
+  mutable stopping : bool;
+  mutable barriers : int;
+  mutable alive : bool;
+}
+
+(* Spin politely: pure spinning on a machine with fewer cores than
+   lanes would starve the lane holding the work, so after a burst of
+   cpu_relax we yield the OS thread. *)
+let spin_until pred =
+  let spins = ref 0 in
+  while not (pred ()) do
+    incr spins;
+    if !spins land 1023 = 0 then Thread.yield () else Domain.cpu_relax ()
+  done
+
+let worker_loop pool id =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    spin_until (fun () -> Atomic.get pool.generation > !seen);
+    incr seen;
+    if pool.stopping then running := false
+    else begin
+      (try pool.job id with _ -> ());
+      Atomic.incr pool.finished
+    end
+  done;
+  Atomic.incr pool.finished
+
+let create ~lanes =
+  if lanes < 1 then invalid_arg "Pool.create: lanes must be >= 1";
+  let pool =
+    { lanes;
+      workers = [||];
+      generation = Atomic.make 0;
+      finished = Atomic.make 0;
+      job = ignore;
+      stopping = false;
+      barriers = 0;
+      alive = true }
+  in
+  pool.workers <-
+    Array.init (lanes - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let lanes pool = pool.lanes
+
+let run pool f =
+  if not pool.alive then invalid_arg "Pool.run: pool is shut down";
+  pool.job <- f;
+  Atomic.set pool.finished 0;
+  Atomic.incr pool.generation;
+  f 0;
+  spin_until (fun () -> Atomic.get pool.finished = pool.lanes - 1);
+  pool.barriers <- pool.barriers + 1
+
+let parallel_for ?(schedule = Chunk.Static) pool ~lo ~hi body =
+  if hi > lo then
+    match schedule with
+    | Chunk.Static ->
+      run pool (fun lane ->
+          let r = Chunk.chunk_of ~lo ~hi ~parts:pool.lanes ~which:lane in
+          for i = r.Chunk.lo to r.Chunk.hi - 1 do
+            body i
+          done)
+    | Chunk.Dynamic chunk ->
+      let next = Atomic.make lo in
+      run pool (fun _lane ->
+          let continue = ref true in
+          while !continue do
+            let start = Atomic.fetch_and_add next chunk in
+            if start >= hi then continue := false
+            else
+              for i = start to min hi (start + chunk) - 1 do
+                body i
+              done
+          done)
+
+let barriers_crossed pool = pool.barriers
+
+let shutdown pool =
+  if pool.alive then begin
+    pool.alive <- false;
+    pool.stopping <- true;
+    Atomic.set pool.finished 0;
+    Atomic.incr pool.generation;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ~lanes f =
+  let pool = create ~lanes in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,44 @@
+(** Persistent SPMD worker pool with spin-wait synchronisation.
+
+    This models the SaC Pthread backend the paper credits for its
+    scalability: worker threads are created {e once}, parked on a spin
+    loop, and released by a shared-memory flag — no kernel call on the
+    critical path of a parallel region.  Contrast {!Fork_join}, which
+    pays thread creation and kernel-level joins per region, as the
+    OpenMP-style auto-parallelised Fortran does.
+
+    The pool runs on real OCaml domains, so on a machine with [c]
+    hardware cores at most [c] lanes run truly concurrently; lane
+    counts beyond that still execute correctly (the OS timeshares). *)
+
+type t
+
+val create : lanes:int -> t
+(** [create ~lanes] starts a pool with [lanes] execution lanes: the
+    calling domain plus [lanes - 1] parked worker domains.
+    @raise Invalid_argument if [lanes < 1]. *)
+
+val lanes : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f lane_id] on every lane (ids
+    [0 .. lanes-1], the caller being lane 0) and spin-waits until all
+    lanes finish — one SPMD region with two barrier crossings.
+    Not reentrant: [f] must not call {!run} on the same pool. *)
+
+val parallel_for :
+  ?schedule:Chunk.schedule -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Data-parallel loop over [\[lo, hi)]; default [Static]
+    distribution (the paper's fastest OMP_SCHEDULE setting), or
+    [Dynamic n] self-scheduling from a shared counter. *)
+
+val barriers_crossed : t -> int
+(** Number of release/join barrier pairs executed so far — the
+    instrumentation the cost model consumes. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the workers.  The pool must not be used
+    afterwards; calling [shutdown] twice is harmless. *)
+
+val with_pool : lanes:int -> (t -> 'a) -> 'a
+(** Scoped creation: shuts the pool down even if the body raises. *)

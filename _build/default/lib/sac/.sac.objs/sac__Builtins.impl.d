@@ -1,0 +1,1 @@
+lib/sac/builtins.ml: Array Ast Float Tensor Value

@@ -1,0 +1,1 @@
+lib/sac/builtins.mli: Ast Value

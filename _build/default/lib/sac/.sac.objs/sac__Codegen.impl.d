@@ -1,0 +1,1 @@
+lib/sac/codegen.ml: Ast Buffer Filename Float List Overload Printf Set String Sys Types

@@ -1,0 +1,1 @@
+lib/sac/codegen.mli: Ast

@@ -1,0 +1,1 @@
+lib/sac/eval.ml: Array Ast Builtins Float List Overload Parallel Printf Tensor Value

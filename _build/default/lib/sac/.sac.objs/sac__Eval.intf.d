@@ -1,0 +1,1 @@
+lib/sac/eval.mli: Ast Parallel Value

@@ -1,0 +1,1 @@
+lib/sac/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/sac/opt_dce.ml: Ast List Set String

@@ -1,0 +1,1 @@
+lib/sac/opt_fold.ml: Ast Float List Option

@@ -1,0 +1,1 @@
+lib/sac/opt_fuse.ml: Ast Float List Typecheck Types

@@ -1,0 +1,1 @@
+lib/sac/opt_specialize.ml: Ast Hashtbl List Option Overload Typecheck Types

@@ -1,0 +1,1 @@
+lib/sac/opt_unroll.ml: Ast List

@@ -1,0 +1,1 @@
+lib/sac/overload.ml: Ast List Printf String Types

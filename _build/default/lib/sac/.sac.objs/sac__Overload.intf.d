@@ -1,0 +1,1 @@
+lib/sac/overload.mli: Ast

@@ -1,0 +1,1 @@
+lib/sac/pipeline.ml: Opt_copy Opt_cse Opt_dce Opt_fold Opt_fuse Opt_inline Opt_specialize Opt_unroll Parser Typecheck

@@ -1,0 +1,1 @@
+lib/sac/pretty.ml: Ast List Printf String Types

@@ -1,0 +1,1 @@
+lib/sac/stdlib_sac.mli:

@@ -1,0 +1,1 @@
+lib/sac/typecheck.ml: Ast Builtins Hashtbl List Overload Printf String Types

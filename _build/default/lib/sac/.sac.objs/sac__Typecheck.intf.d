@@ -1,0 +1,1 @@
+lib/sac/typecheck.mli: Ast

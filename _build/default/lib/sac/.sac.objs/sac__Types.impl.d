@@ -1,0 +1,1 @@
+lib/sac/types.ml: Ast List String

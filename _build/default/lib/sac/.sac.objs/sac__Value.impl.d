@@ -1,0 +1,1 @@
+lib/sac/value.ml: Array Format String Tensor

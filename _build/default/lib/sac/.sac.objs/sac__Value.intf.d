@@ -1,0 +1,1 @@
+lib/sac/value.mli: Format Tensor

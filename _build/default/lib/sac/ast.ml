@@ -1,0 +1,178 @@
+type base_ty = Tdouble | Tint | Tbool
+
+type shape_info = Aks of int list | Akd of int | Aud
+
+type ty = { base : base_ty; shape : shape_info }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type foldop = Fsum | Fprod | Fmax | Fmin
+
+type withgen =
+  | Genarray of expr * expr
+  | Modarray of expr
+  | Fold of foldop * expr
+
+and expr =
+  | Dbl of float
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Vec of expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+  | Idx of expr * expr
+  | With of wloop
+
+and wloop = {
+  ivar : string;
+  lb : expr;
+  ub : expr;
+  body : expr;
+  gen : withgen;
+}
+
+type stmt =
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * expr * stmt list
+  | Return of expr
+
+type param = { pname : string; pty : ty }
+
+type fundef = {
+  fname : string;
+  ret : ty;
+  params : param list;
+  fbody : stmt list;
+  finline : bool;
+}
+
+type program = fundef list
+
+let scalar base = { base; shape = Aks [] }
+let vec_ty base n = { base; shape = Aks [ n ] }
+
+let lookup_fun prog name = List.find_opt (fun f -> f.fname = name) prog
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+  | Ge -> ">=" | And -> "&&" | Or -> "||"
+
+let foldop_name = function
+  | Fsum -> "+" | Fprod -> "*" | Fmax -> "max" | Fmin -> "min"
+
+let equal_expr (a : expr) (b : expr) = a = b
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s$%d" prefix !counter
+
+let rec free_vars_acc bound acc e =
+  match e with
+  | Dbl _ | Int _ | Bool _ -> acc
+  | Var v -> if List.mem v bound || List.mem v acc then acc else v :: acc
+  | Vec es -> List.fold_left (free_vars_acc bound) acc es
+  | Binop (_, a, b) -> free_vars_acc bound (free_vars_acc bound acc a) b
+  | Unop (_, a) -> free_vars_acc bound acc a
+  | Cond (c, a, b) ->
+    free_vars_acc bound (free_vars_acc bound (free_vars_acc bound acc c) a) b
+  | Call (_, es) -> List.fold_left (free_vars_acc bound) acc es
+  | Idx (a, i) -> free_vars_acc bound (free_vars_acc bound acc a) i
+  | With w ->
+    let acc = free_vars_acc bound acc w.lb in
+    let acc = free_vars_acc bound acc w.ub in
+    let inner = w.ivar :: bound in
+    let acc = free_vars_acc inner acc w.body in
+    (match w.gen with
+     | Genarray (s, d) ->
+       free_vars_acc bound (free_vars_acc bound acc s) d
+     | Modarray a -> free_vars_acc bound acc a
+     | Fold (_, n) -> free_vars_acc bound acc n)
+
+let free_vars e = List.rev (free_vars_acc [] [] e)
+
+let rec subst su e =
+  match e with
+  | Dbl _ | Int _ | Bool _ -> e
+  | Var v -> (match List.assoc_opt v su with Some r -> r | None -> e)
+  | Vec es -> Vec (List.map (subst su) es)
+  | Binop (op, a, b) -> Binop (op, subst su a, subst su b)
+  | Unop (op, a) -> Unop (op, subst su a)
+  | Cond (c, a, b) -> Cond (subst su c, subst su a, subst su b)
+  | Call (f, es) -> Call (f, List.map (subst su) es)
+  | Idx (a, i) -> Idx (subst su a, subst su i)
+  | With w ->
+    let su' = List.filter (fun (v, _) -> v <> w.ivar) su in
+    (* Rename the binder if a substituted expression mentions it. *)
+    let captures =
+      List.exists (fun (_, r) -> List.mem w.ivar (free_vars r)) su'
+    in
+    let w =
+      if captures then rename_ivar (fresh_name w.ivar) w else w
+    in
+    let su' = List.filter (fun (v, _) -> v <> w.ivar) su in
+    With
+      { w with
+        lb = subst su w.lb;
+        ub = subst su w.ub;
+        body = subst su' w.body;
+        gen =
+          (match w.gen with
+           | Genarray (s, d) -> Genarray (subst su s, subst su d)
+           | Modarray a -> Modarray (subst su a)
+           | Fold (op, n) -> Fold (op, subst su n)) }
+
+and rename_ivar fresh w =
+  { w with ivar = fresh; body = subst [ (w.ivar, Var fresh) ] w.body }
+
+let rec expr_size e =
+  match e with
+  | Dbl _ | Int _ | Bool _ | Var _ -> 1
+  | Vec es -> 1 + List.fold_left (fun a x -> a + expr_size x) 0 es
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Unop (_, a) -> 1 + expr_size a
+  | Cond (c, a, b) -> 1 + expr_size c + expr_size a + expr_size b
+  | Call (_, es) -> 1 + List.fold_left (fun a x -> a + expr_size x) 0 es
+  | Idx (a, i) -> 1 + expr_size a + expr_size i
+  | With w ->
+    1 + expr_size w.lb + expr_size w.ub + expr_size w.body
+    + (match w.gen with
+       | Genarray (s, d) -> expr_size s + expr_size d
+       | Modarray a -> expr_size a
+       | Fold (_, n) -> expr_size n)
+
+let rec map_expr f e =
+  let g = map_expr f in
+  let e' =
+    match e with
+    | Dbl _ | Int _ | Bool _ | Var _ -> e
+    | Vec es -> Vec (List.map g es)
+    | Binop (op, a, b) -> Binop (op, g a, g b)
+    | Unop (op, a) -> Unop (op, g a)
+    | Cond (c, a, b) -> Cond (g c, g a, g b)
+    | Call (fn, es) -> Call (fn, List.map g es)
+    | Idx (a, i) -> Idx (g a, g i)
+    | With w ->
+      With
+        { w with
+          lb = g w.lb;
+          ub = g w.ub;
+          body = g w.body;
+          gen =
+            (match w.gen with
+             | Genarray (s, d) -> Genarray (g s, g d)
+             | Modarray a -> Modarray (g a)
+             | Fold (op, n) -> Fold (op, g n)) }
+  in
+  f e'

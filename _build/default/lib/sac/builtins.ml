@@ -1,0 +1,233 @@
+open Value
+
+let err msg = raise (Type_error msg)
+
+(* ---------------- binary arithmetic ---------------- *)
+
+let float_op = function
+  | Ast.Add -> ( +. )
+  | Ast.Sub -> ( -. )
+  | Ast.Mul -> ( *. )
+  | Ast.Div -> ( /. )
+  | Ast.Mod -> Float.rem
+  | _ -> assert false
+
+let int_op = function
+  | Ast.Add -> ( + )
+  | Ast.Sub -> ( - )
+  | Ast.Mul -> ( * )
+  | Ast.Div ->
+    fun a b -> if b = 0 then raise Division_by_zero else a / b
+  | Ast.Mod ->
+    fun a b -> if b = 0 then raise Division_by_zero else a mod b
+  | _ -> assert false
+
+let cmp_op : Ast.binop -> float -> float -> bool = function
+  | Ast.Eq -> ( = )
+  | Ast.Ne -> ( <> )
+  | Ast.Lt -> ( < )
+  | Ast.Le -> ( <= )
+  | Ast.Gt -> ( > )
+  | Ast.Ge -> ( >= )
+  | _ -> assert false
+
+let ivec_zip op a b =
+  if Array.length a <> Array.length b then
+    err "int vector arithmetic: length mismatch";
+  Array.init (Array.length a) (fun i -> op a.(i) b.(i))
+
+let arith ~note op a b =
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+    match (a, b) with
+    | Vint x, Vint y -> Vint (int_op op x y)
+    | (Vdbl _ | Vint _), (Vdbl _ | Vint _) ->
+      Vdbl (float_op op (to_float a) (to_float b))
+    | Vdarr x, Vdarr y ->
+      note (max (Tensor.Nd.size x) (Tensor.Nd.size y));
+      Vdarr (Tensor.Nd.map2 (float_op op) x y)
+    | Vdarr x, (Vdbl _ | Vint _) ->
+      note (Tensor.Nd.size x);
+      let k = to_float b in
+      Vdarr (Tensor.Nd.map (fun v -> float_op op v k) x)
+    | (Vdbl _ | Vint _), Vdarr y ->
+      note (Tensor.Nd.size y);
+      let k = to_float a in
+      Vdarr (Tensor.Nd.map (fun v -> float_op op k v) y)
+    | Vivec x, Vivec y -> Vivec (ivec_zip (int_op op) x y)
+    | Vivec x, Vint k -> Vivec (Array.map (fun v -> int_op op v k) x)
+    | Vint k, Vivec y -> Vivec (Array.map (fun v -> int_op op k v) y)
+    | _ -> err ("bad operands for " ^ Ast.binop_name op))
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    match (a, b) with
+    | Vbool x, Vbool y ->
+      (match op with
+       | Ast.Eq -> Vbool (x = y)
+       | Ast.Ne -> Vbool (x <> y)
+       | _ -> err "booleans only compare with == and !=")
+    | Vivec x, Vivec y ->
+      (match op with
+       | Ast.Eq -> Vbool (x = y)
+       | Ast.Ne -> Vbool (x <> y)
+       | _ -> err "int vectors only compare with == and !=")
+    | (Vdbl _ | Vint _), (Vdbl _ | Vint _) ->
+      Vbool (cmp_op op (to_float a) (to_float b))
+    | _ -> err ("bad operands for " ^ Ast.binop_name op))
+  | Ast.And -> Vbool (to_bool a && to_bool b)
+  | Ast.Or -> Vbool (to_bool a || to_bool b)
+
+let unary ~note op v =
+  match (op, v) with
+  | Ast.Neg, Vint n -> Vint (-n)
+  | Ast.Neg, Vdbl x -> Vdbl (-.x)
+  | Ast.Neg, Vdarr t ->
+    note (Tensor.Nd.size t);
+    Vdarr (Tensor.Nd.neg t)
+  | Ast.Neg, Vivec iv -> Vivec (Array.map (fun x -> -x) iv)
+  | Ast.Neg, Vbool _ -> err "cannot negate a boolean"
+  | Ast.Not, Vbool b -> Vbool (not b)
+  | Ast.Not, _ -> err "! expects a boolean"
+
+(* ---------------- builtin functions ---------------- *)
+
+let elementwise ~note name f = function
+  | [ Vdbl x ] -> Vdbl (f x)
+  | [ Vint n ] -> Vdbl (f (float_of_int n))
+  | [ Vdarr t ] ->
+    note (Tensor.Nd.size t);
+    Vdarr (Tensor.Nd.map f t)
+  | _ -> err (name ^ " expects one numeric argument")
+
+let reduction ~note name f = function
+  | [ Vdarr t ] ->
+    note (Tensor.Nd.size t);
+    Vdbl (f t)
+  | [ Vdbl x ] -> Vdbl x
+  | _ -> err (name ^ " expects a double array")
+
+let scalar2 name f = function
+  | [ a; b ] -> (
+    match (a, b) with
+    | Vint x, Vint y -> Vint (if f (float_of_int x) (float_of_int y) then x else y)
+    | _ -> Vdbl (if f (to_float a) (to_float b) then to_float a else to_float b))
+  | _ -> err (name ^ " expects two numeric arguments")
+
+let names =
+  [ "dim"; "shape"; "drop"; "take"; "sum"; "maxval"; "minval"; "fabs";
+    "abs"; "sqrt"; "exp"; "log"; "min"; "max"; "zeros"; "genarray_const";
+    "reshape"; "modarray_set"; "pow"; "reverse" ]
+
+let call ~note name args =
+  match name with
+  | "dim" -> (
+    match args with
+    | [ Vdarr t ] -> Some (Vint (Tensor.Nd.rank t))
+    | [ Vivec _ ] -> Some (Vint 1)
+    | [ (Vdbl _ | Vint _) ] -> Some (Vint 0)
+    | _ -> err "dim expects one array argument")
+  | "shape" -> (
+    match args with
+    | [ Vdarr t ] -> Some (Vivec (Tensor.Nd.shape t))
+    | [ Vivec v ] -> Some (Vivec [| Array.length v |])
+    | [ (Vdbl _ | Vint _) ] -> Some (Vivec [||])
+    | _ -> err "shape expects one array argument")
+  | "drop" -> (
+    match args with
+    | [ Vivec ofs; Vdarr t ] ->
+      note (Tensor.Nd.size t);
+      Some (Vdarr (Tensor.Slice.drop ofs t))
+    | [ Vint k; Vivec v ] ->
+      (* drop on int vectors (shape surgery) *)
+      let n = Array.length v in
+      let k' = abs k in
+      if k' > n then err "drop: vector too short"
+      else
+        Some
+          (Vivec
+             (if k >= 0 then Array.sub v k (n - k)
+              else Array.sub v 0 (n - k')))
+    | _ -> err "drop expects (int vector, double array) or (int, int vector)")
+  | "take" -> (
+    match args with
+    | [ Vivec cnt; Vdarr t ] ->
+      note (Tensor.Nd.size t);
+      Some (Vdarr (Tensor.Slice.take cnt t))
+    | [ Vint k; Vivec v ] ->
+      let n = Array.length v in
+      let k' = abs k in
+      if k' > n then err "take: vector too short"
+      else
+        Some
+          (Vivec
+             (if k >= 0 then Array.sub v 0 k else Array.sub v (n - k') k'))
+    | _ -> err "take expects (int vector, double array) or (int, int vector)")
+  | "sum" -> (
+    match args with
+    | [ Vivec v ] -> Some (Vint (Array.fold_left ( + ) 0 v))
+    | _ -> Some (reduction ~note "sum" Tensor.Nd.sum args))
+  | "maxval" -> Some (reduction ~note "maxval" Tensor.Nd.maxval args)
+  | "minval" -> Some (reduction ~note "minval" Tensor.Nd.minval args)
+  | "fabs" | "abs" -> (
+    match args with
+    | [ Vint n ] -> Some (Vint (abs n))
+    | _ -> Some (elementwise ~note name Float.abs args))
+  | "sqrt" -> Some (elementwise ~note "sqrt" Float.sqrt args)
+  | "exp" -> Some (elementwise ~note "exp" Float.exp args)
+  | "log" -> Some (elementwise ~note "log" Float.log args)
+  | "min" -> (
+    match args with
+    | [ Vdarr a; Vdarr b ] ->
+      note (Tensor.Nd.size a);
+      Some (Vdarr (Tensor.Nd.min2 a b))
+    | _ -> Some (scalar2 "min" ( <= ) args))
+  | "max" -> (
+    match args with
+    | [ Vdarr a; Vdarr b ] ->
+      note (Tensor.Nd.size a);
+      Some (Vdarr (Tensor.Nd.max2 a b))
+    | _ -> Some (scalar2 "max" ( >= ) args))
+  | "zeros" -> (
+    match args with
+    | [ Vint n ] when n >= 0 -> Some (Vivec (Array.make n 0))
+    | _ -> err "zeros expects a non-negative integer")
+  | "genarray_const" -> (
+    match args with
+    | [ Vivec s; v ] ->
+      let x = to_float v in
+      note (Tensor.Shape.size s);
+      Some (Vdarr (Tensor.Nd.create s x))
+    | _ -> err "genarray_const expects (shape, value)")
+  | "reshape" -> (
+    match args with
+    | [ Vivec s; Vdarr t ] ->
+      if Tensor.Shape.size s <> Tensor.Nd.size t then
+        err "reshape: element count mismatch"
+      else begin
+        note (Tensor.Nd.size t);
+        Some
+          (Vdarr
+             (Tensor.Nd.init_flat s (fun i -> Tensor.Nd.get_flat t i)))
+      end
+    | _ -> err "reshape expects (shape, double array)")
+  | "modarray_set" -> (
+    match args with
+    | [ Vdarr t; Vivec iv; v ] ->
+      note (Tensor.Nd.size t);
+      let t' = Tensor.Nd.copy t in
+      Tensor.Nd.set t' iv (to_float v);
+      Some (Vdarr t')
+    | _ -> err "modarray_set expects (array, index, value)")
+  | "reverse" -> (
+    match args with
+    | [ Vivec v ] ->
+      let n = Array.length v in
+      Some (Vivec (Array.init n (fun i -> v.(n - 1 - i))))
+    | [ Vdarr t ] when Tensor.Nd.rank t = 1 ->
+      note (Tensor.Nd.size t);
+      Some (Vdarr (Tensor.Slice.reverse 0 t))
+    | _ -> err "reverse expects an int vector or a rank-1 double array")
+  | "pow" -> (
+    match args with
+    | [ a; b ] -> Some (Vdbl (to_float a ** to_float b))
+    | _ -> err "pow expects two numeric arguments")
+  | _ -> None

@@ -1,0 +1,33 @@
+(** The standard library of the mini-SaC dialect.
+
+    Whole-array semantics follow SaC: binary arithmetic maps
+    elementwise over equal-shaped arrays and broadcasts scalars;
+    [drop]/[take] follow the SaC conventions implemented in
+    {!Tensor.Slice}.  Each call that touches every element of an array
+    counts as one implicit with-loop; {!Eval} charges those to its
+    statistics through the [note] callback. *)
+
+val arith :
+  note:(int -> unit) ->
+  Ast.binop -> Value.t -> Value.t -> Value.t
+(** Applies a binary operator.  [note n] is invoked with the element
+    count whenever the operation maps over an array.
+    @raise Value.Type_error on operand mismatch
+    @raise Division_by_zero on integer division by zero. *)
+
+val unary : note:(int -> unit) -> Ast.unop -> Value.t -> Value.t
+
+val call :
+  note:(int -> unit) ->
+  string -> Value.t list -> Value.t option
+(** Builtin function dispatch; [None] when the name is not a builtin.
+    Provided: [dim], [shape], [drop], [take], [sum], [maxval],
+    [minval], [fabs], [abs], [sqrt], [exp], [log], [min], [max],
+    [zeros], [genarray_const] (SaC's [genarray(shape, value)] without
+    a with-loop), [reshape], [modarray_set] (functional single-cell
+    update), [pow], [reverse] (int vectors and rank-1 arrays).
+    @raise Value.Type_error on bad arguments. *)
+
+val names : string list
+(** All builtin names (reserved: user functions may not redefine
+    them). *)

@@ -1,0 +1,35 @@
+(** A compiled backend: mini-SaC to standalone OCaml source.
+
+    The paper's conclusion discusses sac2c's coming backends (CUDA,
+    Microgrid) as the payoff of the language's abstraction; this
+    module is the reproduction's equivalent — a code generator that
+    turns a (typically optimised) program into a single self-contained
+    OCaml compilation unit.  The emitted file embeds a small runtime
+    (the value representation and the builtin/with-loop semantics of
+    {!Eval}) and one OCaml function per SaC function; overloaded
+    names get per-instance functions plus a dispatcher that tests
+    runtime shapes in specificity order.
+
+    Restrictions (checked, {!Unsupported} otherwise): inside a
+    function body an [if] whose branches mix returning and falling
+    through, or a [return] inside a [for] loop, cannot be expressed as
+    a single OCaml expression and is rejected.  The shipped programs
+    and everything the optimiser emits satisfy both. *)
+
+exception Unsupported of string
+
+val emit_program : ?entry:string -> Ast.program -> string
+(** Emits the runtime plus all functions.  With [entry], also emits a
+    [main] that reads arguments from the command line (int, float or
+    [v1,v2,...] vectors), calls the entry function and prints the
+    result in {!Value.to_string} syntax — so a compiled program's
+    output can be compared verbatim with the interpreter's. *)
+
+val compile_and_run :
+  ?workdir:string -> entry:string -> args:string list -> Ast.program ->
+  (string, string) result
+(** Convenience harness used by tests and the [sacc -compile] flag:
+    writes the emitted source to [workdir] (a fresh temporary
+    directory by default), compiles it with [ocamlfind ocamlopt] (or
+    [ocamlopt]), runs it with [args] and returns its stdout.
+    [Error] carries the failing phase's output. *)

@@ -1,0 +1,248 @@
+open Ast
+
+type stats = {
+  mutable with_loops : int;
+  mutable elements : int;
+  mutable calls : int;
+}
+
+let fresh_stats () = { with_loops = 0; elements = 0; calls = 0 }
+
+exception Error of string
+
+type ctx = {
+  prog : program;
+  st : stats;
+  exec : Parallel.Exec.t option;
+  parallel_threshold : int;
+}
+
+let make_ctx ?exec ?(parallel_threshold = 1024) prog =
+  List.iter
+    (fun f ->
+      if List.mem f.fname Builtins.names then
+        raise (Error ("function redefines builtin: " ^ f.fname)))
+    prog;
+  { prog; st = fresh_stats (); exec; parallel_threshold }
+
+let stats ctx = ctx.st
+
+let err msg = raise (Error msg)
+
+let note ctx n =
+  ctx.st.with_loops <- ctx.st.with_loops + 1;
+  ctx.st.elements <- ctx.st.elements + n
+
+(* The runtime type of a value is always fully shape-known. *)
+let ty_of_value = function
+  | Value.Vdbl _ -> scalar Tdouble
+  | Value.Vint _ -> scalar Tint
+  | Value.Vbool _ -> scalar Tbool
+  | Value.Vdarr t ->
+    { base = Tdouble;
+      shape = Aks (Array.to_list (Tensor.Nd.shape t)) }
+  | Value.Vivec v -> { base = Tint; shape = Aks [ Array.length v ] }
+
+let lookup env v =
+  match List.assoc_opt v env with
+  | Some x -> x
+  | None -> err ("unbound variable " ^ v)
+
+(* Index-space iteration for with-loops: bounds are equal-length int
+   vectors. *)
+let frame_of lb ub =
+  let l = Value.to_ivec lb and u = Value.to_ivec ub in
+  if Array.length l <> Array.length u then
+    err "with-loop bounds have different lengths";
+  (l, u)
+
+let frame_size l u =
+  let n = ref 1 in
+  Array.iteri (fun i li -> n := !n * max 0 (u.(i) - li)) l;
+  !n
+
+let index_of_flat l u flat =
+  let rank = Array.length l in
+  let idx = Array.make rank 0 in
+  let rem = ref flat in
+  for d = rank - 1 downto 0 do
+    let ext = u.(d) - l.(d) in
+    idx.(d) <- l.(d) + (!rem mod ext);
+    rem := !rem / ext
+  done;
+  idx
+
+let rec eval_expr ctx env e =
+  match e with
+  | Dbl x -> Value.Vdbl x
+  | Int n -> Value.Vint n
+  | Bool b -> Value.Vbool b
+  | Var v -> lookup env v
+  | Vec es ->
+    let vs = List.map (eval_expr ctx env) es in
+    (* A literal vector is an int vector if every element is an int,
+       otherwise a rank-1 double array. *)
+    if List.for_all (function Value.Vint _ -> true | _ -> false) vs then
+      Value.Vivec (Array.of_list (List.map Value.to_int vs))
+    else
+      Value.Vdarr
+        (Tensor.Nd.of_list1 (List.map Value.to_float vs))
+  | Binop (op, a, b) ->
+    let va = eval_expr ctx env a in
+    (* Short-circuit booleans. *)
+    (match (op, va) with
+     | And, Value.Vbool false -> Value.Vbool false
+     | Or, Value.Vbool true -> Value.Vbool true
+     | _ -> Builtins.arith ~note:(note ctx) op va (eval_expr ctx env b))
+  | Unop (op, a) -> Builtins.unary ~note:(note ctx) op (eval_expr ctx env a)
+  | Cond (c, a, b) ->
+    if Value.to_bool (eval_expr ctx env c) then eval_expr ctx env a
+    else eval_expr ctx env b
+  | Call (f, args) -> (
+    let vs = List.map (eval_expr ctx env) args in
+    match lookup_fun ctx.prog f with
+    | Some _ -> (
+      (* Dynamic overload resolution on the exact runtime types. *)
+      match Overload.resolve ctx.prog f (List.map ty_of_value vs) with
+      | Ok fd -> call_fun ctx fd vs
+      | Error msg -> err msg)
+    | None -> (
+      match Builtins.call ~note:(note ctx) f vs with
+      | Some v -> v
+      | None -> err ("unknown function " ^ f)))
+  | Idx (a, i) -> (
+    let va = eval_expr ctx env a
+    and vi = eval_expr ctx env i in
+    match (va, vi) with
+    | Value.Vdarr t, Value.Vivec iv ->
+      if Array.length iv <> Tensor.Nd.rank t then
+        err "index rank does not match array rank";
+      (try Value.Vdbl (Tensor.Nd.get t iv)
+       with Invalid_argument _ -> err "index out of bounds")
+    | Value.Vdarr t, Value.Vint i when Tensor.Nd.rank t = 1 ->
+      (try Value.Vdbl (Tensor.Nd.get t [| i |])
+       with Invalid_argument _ -> err "index out of bounds")
+    | Value.Vivec v, Value.Vint i ->
+      if i < 0 || i >= Array.length v then err "index out of bounds"
+      else Value.Vint v.(i)
+    | Value.Vivec v, Value.Vivec [| i |] ->
+      if i < 0 || i >= Array.length v then err "index out of bounds"
+      else Value.Vint v.(i)
+    | _ -> err "bad indexing operands")
+  | With w -> eval_with ctx env w
+
+and eval_with ctx env w =
+  let l, u = frame_of (eval_expr ctx env w.lb) (eval_expr ctx env w.ub) in
+  let count = frame_size l u in
+  let body_at idx =
+    Value.to_float
+      (eval_expr ctx ((w.ivar, Value.Vivec idx) :: env) w.body)
+  in
+  let fill_partition data shape =
+    let strides = Tensor.Shape.strides shape in
+    let offset_of idx =
+      let o = ref 0 in
+      Array.iteri (fun d x -> o := !o + (x * strides.(d))) idx;
+      !o
+    in
+    let write flat =
+      let idx = index_of_flat l u flat in
+      data.(offset_of idx) <- body_at idx
+    in
+    match ctx.exec with
+    | Some exec when count >= ctx.parallel_threshold ->
+      Parallel.Exec.parallel_for exec ~lo:0 ~hi:count write
+    | _ ->
+      for flat = 0 to count - 1 do
+        write flat
+      done
+  in
+  note ctx count;
+  match w.gen with
+  | Genarray (shp, dflt) ->
+    let shape = Value.to_ivec (eval_expr ctx env shp) in
+    if Array.length shape <> Array.length l then
+      err "genarray shape rank does not match with-loop bounds";
+    Array.iteri
+      (fun d ext ->
+        if l.(d) < 0 || u.(d) > ext then
+          err "with-loop partition exceeds genarray shape")
+      shape;
+    let d = Value.to_float (eval_expr ctx env dflt) in
+    let data = Array.make (Tensor.Shape.size shape) d in
+    if count > 0 then fill_partition data shape;
+    Value.Vdarr (Tensor.Nd.of_array shape data)
+  | Modarray src ->
+    let t = Value.to_tensor (eval_expr ctx env src) in
+    let shape = Tensor.Nd.shape t in
+    if Array.length shape <> Array.length l then
+      err "modarray rank does not match with-loop bounds";
+    Array.iteri
+      (fun d ext ->
+        if l.(d) < 0 || u.(d) > ext then
+          err "with-loop partition exceeds modarray shape")
+      shape;
+    let data = Array.init (Tensor.Nd.size t) (fun i -> Tensor.Nd.get_flat t i) in
+    if count > 0 then fill_partition data shape;
+    Value.Vdarr (Tensor.Nd.of_array shape data)
+  | Fold (op, neutral) ->
+    let acc = ref (Value.to_float (eval_expr ctx env neutral)) in
+    let f =
+      match op with
+      | Fsum -> ( +. )
+      | Fprod -> ( *. )
+      | Fmax -> Float.max
+      | Fmin -> Float.min
+    in
+    (* Folds run sequentially: SaC only parallelises them under
+       -foldparallel, and the paper compiles with -nofoldparallel. *)
+    for flat = 0 to count - 1 do
+      acc := f !acc (body_at (index_of_flat l u flat))
+    done;
+    Value.Vdbl !acc
+
+and call_fun ctx fd args =
+  if List.length args <> List.length fd.params then
+    err
+      (Printf.sprintf "%s expects %d arguments, got %d" fd.fname
+         (List.length fd.params) (List.length args));
+  ctx.st.calls <- ctx.st.calls + 1;
+  let env =
+    List.map2 (fun p v -> (p.pname, v)) fd.params args
+  in
+  match exec_stmts ctx env fd.fbody with
+  | `Ret v -> v
+  | `Env _ -> err (fd.fname ^ " finished without return")
+
+and exec_stmts ctx env = function
+  | [] -> `Env env
+  | s :: rest -> (
+    match exec_stmt ctx env s with
+    | `Ret v -> `Ret v
+    | `Env env' -> exec_stmts ctx env' rest)
+
+and exec_stmt ctx env = function
+  | Assign (v, e) -> `Env ((v, eval_expr ctx env e) :: env)
+  | Return e -> `Ret (eval_expr ctx env e)
+  | If (c, then_, else_) ->
+    if Value.to_bool (eval_expr ctx env c) then exec_stmts ctx env then_
+    else exec_stmts ctx env else_
+  | For (v, init, cond, stepe, body) ->
+    let rec loop env =
+      if Value.to_bool (eval_expr ctx env cond) then begin
+        match exec_stmts ctx env body with
+        | `Ret r -> `Ret r
+        | `Env env' ->
+          loop ((v, eval_expr ctx env' stepe) :: env')
+      end
+      else `Env env
+    in
+    loop ((v, eval_expr ctx env init) :: env)
+
+let run_fun ctx name args =
+  match lookup_fun ctx.prog name with
+  | Some _ -> (
+    match Overload.resolve ctx.prog name (List.map ty_of_value args) with
+    | Ok fd -> call_fun ctx fd args
+    | Error msg -> err msg)
+  | None -> err ("no such function: " ^ name)

@@ -1,0 +1,46 @@
+(** Evaluator for mini-SaC programs.
+
+    A tree-walking interpreter over {!Ast} with the runtime behaviour
+    the paper describes: with-loops are data-parallel (an optional
+    {!Parallel.Exec.t} runs genarray/modarray partitions through the
+    SPMD pool), and execution statistics count every with-loop — both
+    explicit [with] constructs and the implicit ones hidden in
+    whole-array arithmetic — so the effect of with-loop folding is
+    directly measurable. *)
+
+type stats = {
+  mutable with_loops : int;
+      (** with-loops executed: explicit [with]s plus every whole-array
+          builtin operation. *)
+  mutable elements : int;
+      (** total elements those loops computed. *)
+  mutable calls : int;  (** user-function invocations *)
+}
+
+val fresh_stats : unit -> stats
+
+exception Error of string
+
+type ctx
+
+val make_ctx :
+  ?exec:Parallel.Exec.t ->
+  ?parallel_threshold:int ->
+  Ast.program ->
+  ctx
+(** [exec] runs explicit with-loop partitions of at least
+    [parallel_threshold] elements (default 1024) as parallel regions;
+    omit it for sequential evaluation. *)
+
+val stats : ctx -> stats
+
+val eval_expr : ctx -> (string * Value.t) list -> Ast.expr -> Value.t
+(** Evaluates an expression in the given environment.
+    @raise Error on unbound variables, arity mismatches or bad
+    with-loop frames
+    @raise Value.Type_error on dynamically ill-typed operations. *)
+
+val run_fun : ctx -> string -> Value.t list -> Value.t
+(** Calls a program function by name.
+    @raise Error if the function is missing, the arity differs, or
+    the body finishes without [return]. *)

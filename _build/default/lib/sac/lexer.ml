@@ -1,0 +1,138 @@
+type token =
+  | IDENT of string
+  | INTLIT of int
+  | DBLLIT of float
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string
+
+let keywords =
+  [ "double"; "int"; "bool"; "inline"; "return"; "if"; "else"; "for";
+    "with"; "genarray"; "modarray"; "fold"; "true"; "false" ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INTLIT n -> Printf.sprintf "integer %d" n
+  | DBLLIT x -> Printf.sprintf "double %g" x
+  | KW s -> Printf.sprintf "keyword %s" s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Error (Printf.sprintf "%d:%d: %s" !line !col msg))
+  in
+  let advance () =
+    (if !pos < n then
+       if src.[!pos] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = toks := { tok; line = !line; col = !col } :: !toks in
+  let two_char_puncts = [ "=="; "!="; "<="; ">="; "&&"; "||"; "->" ] in
+  let single_puncts = "(){}[],;:?=+-*/%<>!.|" in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let s = String.sub src start (!pos - start) in
+      emit (if List.mem s keywords then KW s else IDENT s)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      let is_float = ref false in
+      (* A dot counts as part of the number only when followed by a
+         digit, so vector extents like [3] and member-ish dots stay
+         unambiguous. *)
+      if
+        !pos < n
+        && src.[!pos] = '.'
+        && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        advance ();
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        advance ();
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then advance ();
+        if not (!pos < n && is_digit src.[!pos]) then
+          fail "malformed exponent";
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done
+      end;
+      let s = String.sub src start (!pos - start) in
+      if !is_float then emit (DBLLIT (float_of_string s))
+      else
+        match int_of_string_opt s with
+        | Some v -> emit (INTLIT v)
+        | None -> fail ("integer literal too large: " ^ s)
+    end
+    else begin
+      let pair =
+        match peek 1 with
+        | Some c2 ->
+          let s = Printf.sprintf "%c%c" c c2 in
+          if List.mem s two_char_puncts then Some s else None
+        | None -> None
+      in
+      match pair with
+      | Some s ->
+        emit (PUNCT s);
+        advance ();
+        advance ()
+      | None ->
+        if String.contains single_puncts c then begin
+          emit (PUNCT (String.make 1 c));
+          advance ()
+        end
+        else fail (Printf.sprintf "unexpected character '%c'" c)
+    end
+  done;
+  emit EOF;
+  List.rev !toks

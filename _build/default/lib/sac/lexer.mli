@@ -1,0 +1,26 @@
+(** Hand-written lexer for the mini-SaC dialect. *)
+
+type token =
+  | IDENT of string
+  | INTLIT of int
+  | DBLLIT of float
+  | KW of string
+      (** keywords: double int bool inline return if else for with
+          genarray modarray fold true false *)
+  | PUNCT of string
+      (** operators and delimiters, multi-character ones
+          pre-assembled: [== != <= >= && || ( ) { } \[ \] , ; : ? = +
+          - * / % < > ! .] *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string
+(** Raised on unexpected characters or malformed literals, with a
+    [line:col] prefix. *)
+
+val tokenize : string -> located list
+(** Turns source text into tokens; [//] line comments and [/* */]
+    block comments are skipped.  The result always ends with [EOF]. *)
+
+val describe : token -> string

@@ -1,0 +1,30 @@
+open Ast
+
+(* [table] maps copy variables to their sources. *)
+let apply table e = subst table e
+
+let invalidate table v =
+  List.filter
+    (fun (copy, src) -> copy <> v && src <> Var v)
+    table
+
+let rec walk table = function
+  | [] -> []
+  | Assign (v, e) :: rest -> (
+    let e' = apply table e in
+    let table = invalidate table v in
+    match e' with
+    | Var w when w <> v ->
+      Assign (v, e') :: walk ((v, Var w) :: table) rest
+    | _ -> Assign (v, e') :: walk table rest)
+  | Return e :: rest -> Return (apply table e) :: walk table rest
+  | If (c, a, b) :: rest ->
+    (* Branches inherit the table; conservatively drop it after. *)
+    If (apply table c, walk table a, walk table b) :: walk [] rest
+  | For (v, i, c, s, body) :: rest ->
+    (* Loop bodies re-execute: only copies whose names the loop never
+       writes stay valid, which the empty table approximates. *)
+    For (v, apply table i, c, s, walk [] body) :: walk [] rest
+
+let run prog =
+  List.map (fun fd -> { fd with fbody = walk [] fd.fbody }) prog

@@ -1,0 +1,9 @@
+(** Copy propagation.
+
+    Assignments of the form [x = y] (variable to variable) are
+    propagated into later uses of [x] within the same straight-line
+    stretch, until either name is reassigned; DCE then removes the
+    copies.  Inlining introduces many of these (parameter bindings),
+    so this pass runs right after it in the cycle. *)
+
+val run : Ast.program -> Ast.program

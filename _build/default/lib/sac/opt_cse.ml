@@ -1,0 +1,46 @@
+open Ast
+
+(* Is the expression worth sharing?  Variables and literals are not. *)
+let worthwhile = function
+  | Var _ | Dbl _ | Int _ | Bool _ -> false
+  | e -> expr_size e >= 3
+
+(* Replace occurrences of known expressions by their variables,
+   biggest first (map_expr is bottom-up, so inner replacements happen
+   first, which keeps equal subtrees canonical). *)
+let replace_known table e =
+  map_expr
+    (fun sub ->
+      match
+        List.find_opt (fun (known, _) -> equal_expr known sub) table
+      with
+      | Some (_, v) -> Var v
+      | None -> sub)
+    e
+
+let invalidate table v =
+  List.filter
+    (fun (known, var) -> var <> v && not (List.mem v (free_vars known)))
+    table
+
+let rec walk table = function
+  | [] -> []
+  | Assign (v, e) :: rest ->
+    let e' = replace_known table e in
+    let table = invalidate table v in
+    let table =
+      if worthwhile e' && not (List.mem v (free_vars e')) then
+        (e', v) :: table
+      else table
+    in
+    Assign (v, e') :: walk table rest
+  | Return e :: rest -> Return (replace_known table e) :: walk table rest
+  | If (c, a, b) :: rest ->
+    (* Branches start from the current table but do not export it. *)
+    If (replace_known table c, walk table a, walk table b)
+    :: walk [] rest
+  | For (v, i, c, s, b) :: rest ->
+    For (v, replace_known table i, c, s, walk [] b) :: walk [] rest
+
+let run prog =
+  List.map (fun fd -> { fd with fbody = walk [] fd.fbody }) prog

@@ -1,0 +1,10 @@
+(** Common-subexpression elimination at assignment granularity.
+
+    Within straight-line stretches of a (pure) function body, a second
+    assignment of an expression structurally equal to an earlier one
+    is replaced by a copy of the earlier variable, and later
+    occurrences of the whole expression inside other right-hand sides
+    are replaced by the variable.  Tables reset at [if]/[for]
+    boundaries (conservative but sufficient for kernel bodies). *)
+
+val run : Ast.program -> Ast.program

@@ -1,0 +1,96 @@
+open Ast
+
+module S = Set.Make (String)
+
+let uses e = S.of_list (free_vars e)
+
+(* Backward liveness over a statement list; returns the rewritten
+   list and the live-in set. *)
+let rec sweep stmts =
+  match stmts with
+  | [] -> ([], S.empty)
+  | s :: rest -> (
+    let rest', live_after = sweep rest in
+    match s with
+    | Assign (v, e) ->
+      if S.mem v live_after then
+        (Assign (v, e) :: rest', S.union (uses e) (S.remove v live_after))
+      else (rest', live_after)
+    | Return e -> (Return e :: rest', S.union (uses e) live_after)
+    | If (c, a, b) ->
+      let a', la = sweep_branch a live_after in
+      let b', lb = sweep_branch b live_after in
+      ( If (c, a', b') :: rest',
+        S.union (uses c) (S.union la lb) )
+    | For (v, i, c, st, body) ->
+      (* Anything read in the loop may be read on any iteration; keep
+         all assignments inside whose targets are read in the loop or
+         live after it. *)
+      let body_reads =
+        List.fold_left
+          (fun acc s -> S.union acc (stmt_reads s))
+          (S.union (uses c) (uses st))
+          body
+      in
+      let live_in_body = S.union live_after body_reads in
+      let body' = keep_live body live_in_body in
+      ( For (v, i, c, st, body') :: rest',
+        S.union (uses i)
+          (S.remove v (S.union live_after body_reads)) ))
+
+and sweep_branch stmts live_after =
+  let stmts', live = sweep_with stmts live_after in
+  (stmts', live)
+
+and sweep_with stmts live_after =
+  (* Like [sweep] but seeded with a live-out set. *)
+  match stmts with
+  | [] -> ([], live_after)
+  | s :: rest -> (
+    let rest', live = sweep_with rest live_after in
+    match s with
+    | Assign (v, e) ->
+      if S.mem v live then
+        (Assign (v, e) :: rest', S.union (uses e) (S.remove v live))
+      else (rest', live)
+    | Return e -> (Return e :: rest', S.union (uses e) live)
+    | If (c, a, b) ->
+      let a', la = sweep_with a live in
+      let b', lb = sweep_with b live in
+      (If (c, a', b') :: rest', S.union (uses c) (S.union la lb))
+    | For (v, i, c, st, body) ->
+      let body_reads =
+        List.fold_left
+          (fun acc s -> S.union acc (stmt_reads s))
+          (S.union (uses c) (uses st))
+          body
+      in
+      let body' = keep_live body (S.union live body_reads) in
+      ( For (v, i, c, st, body') :: rest',
+        S.union (uses i) (S.remove v (S.union live body_reads)) ))
+
+and stmt_reads = function
+  | Assign (_, e) | Return e -> uses e
+  | If (c, a, b) ->
+    List.fold_left
+      (fun acc s -> S.union acc (stmt_reads s))
+      (uses c) (a @ b)
+  | For (_, i, c, st, body) ->
+    List.fold_left
+      (fun acc s -> S.union acc (stmt_reads s))
+      (S.union (uses i) (S.union (uses c) (uses st)))
+      body
+
+and keep_live body live =
+  List.filter
+    (function
+      | Assign (v, _) -> S.mem v live
+      | Return _ | If _ | For _ -> true)
+    body
+
+let run prog =
+  List.map
+    (fun fd ->
+      let body', _ = sweep fd.fbody in
+      { fd with fbody = body' })
+    prog

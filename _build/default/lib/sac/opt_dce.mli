@@ -1,0 +1,9 @@
+(** Dead-code elimination.
+
+    Assignments whose variable is never read before being shadowed
+    (or before the function ends) are deleted; the language is pure,
+    so dropping them cannot change behaviour.  Conservative around
+    [for] loops: everything read anywhere in a loop body, condition
+    or step counts as live throughout. *)
+
+val run : Ast.program -> Ast.program

@@ -1,0 +1,133 @@
+open Ast
+
+let as_int_vec es =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Int n :: rest -> go (n :: acc) rest
+    | _ -> None
+  in
+  go [] es
+
+let fold_arith_int op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Mod -> if b = 0 then None else Some (a mod b)
+  | _ -> None
+
+let fold_arith_dbl op a b =
+  match op with
+  | Add -> Some (a +. b)
+  | Sub -> Some (a -. b)
+  | Mul -> Some (a *. b)
+  | Div -> Some (a /. b)
+  | Mod -> Some (Float.rem a b)
+  | _ -> None
+
+let fold_cmp op a b =
+  match op with
+  | Eq -> Some (a = b)
+  | Ne -> Some (a <> b)
+  | Lt -> Some (a < b)
+  | Le -> Some (a <= b)
+  | Gt -> Some (a > b)
+  | Ge -> Some (a >= b)
+  | _ -> None
+
+let step e =
+  match e with
+  | Binop (op, Int a, Int b) -> (
+    match fold_arith_int op a b with
+    | Some n -> Int n
+    | None -> (
+      match fold_cmp op (float_of_int a) (float_of_int b) with
+      | Some v -> Bool v
+      | None -> e))
+  | Binop (op, ((Dbl _ | Int _) as a), ((Dbl _ | Int _) as b)) -> (
+    (* Mixed or double scalars (the all-int case matched above). *)
+    let f = function Dbl x -> x | Int n -> float_of_int n | _ -> 0. in
+    match fold_arith_dbl op (f a) (f b) with
+    | Some x -> Dbl x
+    | None -> (
+      match fold_cmp op (f a) (f b) with
+      | Some v -> Bool v
+      | None -> e))
+  | Binop (And, Bool a, Bool b) -> Bool (a && b)
+  | Binop (Or, Bool a, Bool b) -> Bool (a || b)
+  | Binop (And, Bool false, _) | Binop (And, _, Bool false) -> Bool false
+  | Binop (Or, Bool true, _) | Binop (Or, _, Bool true) -> Bool true
+  | Binop (And, Bool true, x) | Binop (And, x, Bool true) -> x
+  | Binop (Or, Bool false, x) | Binop (Or, x, Bool false) -> x
+  | Binop (op, Vec a, Vec b) -> (
+    (* Literal int-vector arithmetic, used heavily by bound
+       expressions after inlining. *)
+    match (as_int_vec a, as_int_vec b) with
+    | Some xs, Some ys when List.length xs = List.length ys -> (
+      match op with
+      | Add | Sub | Mul | Div | Mod -> (
+        let zs =
+          List.map2 (fun x y -> fold_arith_int op x y) xs ys
+        in
+        if List.for_all Option.is_some zs then
+          Vec (List.map (fun z -> Int (Option.get z)) zs)
+        else e)
+      | Eq -> Bool (xs = ys)
+      | Ne -> Bool (xs <> ys)
+      | _ -> e)
+    | _ -> e)
+  | Binop (op, Vec a, Int k) -> (
+    match as_int_vec a with
+    | Some xs when (match op with Add | Sub | Mul | Div | Mod -> true | _ -> false) ->
+      let zs = List.map (fun x -> fold_arith_int op x k) xs in
+      if List.for_all Option.is_some zs then
+        Vec (List.map (fun z -> Int (Option.get z)) zs)
+      else e
+    | _ -> e)
+  (* Identities. *)
+  | Binop ((Add | Sub), x, Vec zs)
+    when zs <> [] && List.for_all (fun z -> z = Int 0) zs ->
+    x
+  | Binop (Add, Vec zs, x)
+    when zs <> [] && List.for_all (fun z -> z = Int 0) zs ->
+    x
+  (* Only integer-literal identities are type-preserving: [x + 0.0]
+     would turn an int expression into ... an int expression, where
+     the original promoted to double. *)
+  | Binop (Add, x, Int 0) | Binop (Add, Int 0, x) -> x
+  | Binop (Sub, x, Int 0) -> x
+  | Binop (Mul, x, Int 1) | Binop (Mul, Int 1, x) -> x
+  | Binop (Div, x, Int 1) -> x
+  | Unop (Neg, Int n) -> Int (-n)
+  | Unop (Neg, Dbl x) -> Dbl (-.x)
+  | Unop (Neg, Unop (Neg, x)) -> x
+  | Unop (Not, Bool b) -> Bool (not b)
+  | Unop (Not, Unop (Not, x)) -> x
+  | Cond (Bool true, a, _) -> a
+  | Cond (Bool false, _, b) -> b
+  | Call ("fabs", [ Dbl x ]) -> Dbl (Float.abs x)
+  | Call ("sqrt", [ Dbl x ]) when x >= 0. -> Dbl (Float.sqrt x)
+  | Call ("dim", [ Vec es ]) when as_int_vec es <> None -> Int 1
+  | Call ("shape", [ Vec es ]) when as_int_vec es <> None ->
+    Vec [ Int (List.length es) ]
+  | Call ("zeros", [ Int n ]) when n >= 0 ->
+    Vec (List.init n (fun _ -> Int 0))
+  | e -> e
+
+let expr e = map_expr step e
+
+let rec stmt s =
+  match s with
+  | Assign (v, e) -> Assign (v, expr e)
+  | Return e -> Return (expr e)
+  | If (c, a, b) -> (
+    match expr c with
+    | Bool true -> If (Bool true, List.map stmt a, [])
+    | Bool false -> If (Bool false, [], List.map stmt b)
+    | c' -> If (c', List.map stmt a, List.map stmt b))
+  | For (v, init, cond, step_e, body) ->
+    For (v, expr init, expr cond, expr step_e, List.map stmt body)
+
+let run prog =
+  List.map (fun fd -> { fd with fbody = List.map stmt fd.fbody }) prog

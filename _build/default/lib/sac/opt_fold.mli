@@ -1,0 +1,10 @@
+(** Constant folding and algebraic simplification.
+
+    Evaluates operator applications whose operands are literals
+    (scalar arithmetic, comparisons, literal int-vector arithmetic,
+    [Cond] with a literal condition) and applies the safe algebraic
+    identities [x + 0], [0 + x], [x - 0], [x * 1], [1 * x], [x / 1]
+    (float [x * 0] is {e not} folded: NaN and infinity semantics). *)
+
+val expr : Ast.expr -> Ast.expr
+val run : Ast.program -> Ast.program

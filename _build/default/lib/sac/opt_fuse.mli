@@ -1,0 +1,35 @@
+(** With-loop folding: the optimisation the paper credits for SaC's
+    performance ("SaC collates the many small operations on the
+    arrays into fewer larger operations").
+
+    Every whole-array expression tree — elementwise arithmetic,
+    [drop]/[take] shifts, elementwise builtins and nested genarray
+    with-loops whose partition covers their frame — is rewritten into
+    a {e single} explicit with-loop whose body is scalar arithmetic
+    over indexed reads:
+
+    {v
+    (drop([1], a) - drop([-1], a)) / delta
+    ==>
+    with { ([0] <= iv < shape(a) - [1]) :
+           (a[iv + [1]] - a[iv]) / delta; }
+    : genarray(shape(a) - [1], 0.0)
+    v}
+
+    The rewrite needs the static rank of the result (from the
+    {!Typecheck} lattice) and fires only when it eliminates at least
+    one intermediate array.  Expressions it cannot prove elementwise
+    are left untouched. *)
+
+val run : Ast.program -> Ast.program
+(** The program must be well-typed ({!Typecheck.check_program});
+    ill-typed subexpressions are simply not fused. *)
+
+val fused_count : Ast.program -> Ast.program -> int
+(** Number of array-valued operations eliminated between two versions
+    of a program (a simple static proxy: difference in array-op node
+    counts).  Used by the flag-ablation benchmark. *)
+
+val array_op_nodes : Ast.program -> int
+(** Static count of nodes that execute as whole-array operations
+    (array arithmetic, array builtins, with-loops). *)

@@ -1,0 +1,218 @@
+open Ast
+
+(* A callee is inlinable when its body is assignments followed by a
+   single return and it does not call itself. *)
+let straight_line fd =
+  let rec split acc = function
+    | [ Return e ] -> Some (List.rev acc, e)
+    | Assign (v, e) :: rest -> split ((v, e) :: acc) rest
+    | _ -> None
+  in
+  split [] fd.fbody
+
+let rec calls_self name e =
+  match e with
+  | Call (f, args) ->
+    f = name || List.exists (calls_self name) args
+  | Binop (_, a, b) -> calls_self name a || calls_self name b
+  | Unop (_, a) -> calls_self name a
+  | Cond (c, a, b) ->
+    calls_self name c || calls_self name a || calls_self name b
+  | Vec es -> List.exists (calls_self name) es
+  | Idx (a, i) -> calls_self name a || calls_self name i
+  | With w ->
+    calls_self name w.lb || calls_self name w.ub || calls_self name w.body
+    || (match w.gen with
+        | Genarray (s, d) -> calls_self name s || calls_self name d
+        | Modarray a -> calls_self name a
+        | Fold (_, n) -> calls_self name n)
+  | Dbl _ | Int _ | Bool _ | Var _ -> false
+
+let body_size fd =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + (match s with
+         | Assign (_, e) | Return e -> expr_size e
+         | If _ | For _ -> 1000))
+    0 fd.fbody
+
+let inlinable ~auto_threshold prog fd =
+  (* Overloaded names need call-site resolution; leave them to the
+     evaluator's dynamic dispatch. *)
+  (not (Overload.is_overloaded prog fd.fname))
+  && (fd.finline || (auto_threshold > 0 && body_size fd <= auto_threshold))
+  && Option.is_some (straight_line fd)
+  && (let body_calls =
+        List.exists
+          (function
+            | Assign (_, e) | Return e -> calls_self fd.fname e
+            | If _ | For _ -> true)
+          fd.fbody
+      in
+      not body_calls)
+  && Option.is_some (lookup_fun prog fd.fname)
+
+(* Expand one call: returns hoisted statements and the replacement
+   expression. *)
+let expand fd args =
+  match straight_line fd with
+  | None -> assert false
+  | Some (assigns, ret) ->
+    (* Bind parameters, then replay the callee's assignments with
+       fresh names. *)
+    let param_binds =
+      List.map2 (fun p a -> (p.pname, a)) fd.params args
+    in
+    (* Parameters become fresh variables so argument expressions are
+       evaluated once (SaC is pure, but duplication would blow up
+       expression sizes). *)
+    let fresh_params =
+      List.map (fun (v, a) -> (v, fresh_name v, a)) param_binds
+    in
+    let su0 =
+      List.map (fun (v, fv, _) -> (v, Var fv)) fresh_params
+    in
+    let hoisted0 =
+      List.map (fun (_, fv, a) -> Assign (fv, a)) fresh_params
+    in
+    let su, hoisted =
+      List.fold_left
+        (fun (su, out) (v, e) ->
+          let fv = fresh_name v in
+          let e' = subst su e in
+          ((v, Var fv) :: List.remove_assoc v su, Assign (fv, e') :: out))
+        (su0, List.rev hoisted0)
+        assigns
+    in
+    (List.rev hoisted, subst su ret)
+
+(* Rewrite an expression, collecting hoisted statements for every
+   inlined call. *)
+let rec rewrite_expr candidates e =
+  match e with
+  | Dbl _ | Int _ | Bool _ | Var _ -> ([], e)
+  | Vec es ->
+    let hs, es' = rewrite_list candidates es in
+    (hs, Vec es')
+  | Binop (op, a, b) ->
+    let ha, a' = rewrite_expr candidates a in
+    let hb, b' = rewrite_expr candidates b in
+    (ha @ hb, Binop (op, a', b'))
+  | Unop (op, a) ->
+    let ha, a' = rewrite_expr candidates a in
+    (ha, Unop (op, a'))
+  | Cond (c, a, b) ->
+    (* Hoisting out of a conditional would change what gets evaluated;
+       the language is pure so evaluating both is safe. *)
+    let hc, c' = rewrite_expr candidates c in
+    let ha, a' = rewrite_expr candidates a in
+    let hb, b' = rewrite_expr candidates b in
+    (hc @ ha @ hb, Cond (c', a', b'))
+  | Idx (a, i) ->
+    let ha, a' = rewrite_expr candidates a in
+    let hi, i' = rewrite_expr candidates i in
+    (ha @ hi, Idx (a', i'))
+  | Call (f, args) -> (
+    let hs, args' = rewrite_list candidates args in
+    match List.assoc_opt f candidates with
+    | Some fd when List.length args' = List.length fd.params ->
+      let hoisted, ret = expand fd args' in
+      (hs @ hoisted, ret)
+    | _ -> (hs, Call (f, args')))
+  | With w ->
+    (* Only bound and generator positions may hoist; the body runs
+       once per index, so calls inside it stay (they will be expanded
+       when the with-loop body itself is revisited as an expression
+       rewrite — hoisting them out would need the index variable).
+       Inlining inside the body is done via substitution-free local
+       rewriting: hoisted statements would capture [ivar], so we keep
+       body calls intact unless they hoist nothing. *)
+    let hlb, lb' = rewrite_expr candidates w.lb in
+    let hub, ub' = rewrite_expr candidates w.ub in
+    let hbody, body' = rewrite_expr candidates w.body in
+    let hgen, gen' =
+      match w.gen with
+      | Genarray (s, d) ->
+        let hs, s' = rewrite_expr candidates s in
+        let hd, d' = rewrite_expr candidates d in
+        (hs @ hd, Genarray (s', d'))
+      | Modarray a ->
+        let ha, a' = rewrite_expr candidates a in
+        (ha, Modarray a')
+      | Fold (op, n) ->
+        let hn, n' = rewrite_expr candidates n in
+        (hn, Fold (op, n'))
+    in
+    (* Body hoists are safe only if they depend on the index variable
+       neither directly nor through an earlier unsafe hoist; unsafe
+       ones are substituted back into the body expression. *)
+    let safe_rev, _, unsafe_rev =
+      List.fold_left
+        (fun (safe, unsafe_vars, unsafe) s ->
+          match s with
+          | Assign (v, e) ->
+            let fv = free_vars e in
+            if
+              List.mem w.ivar fv
+              || List.exists (fun u -> List.mem u fv) unsafe_vars
+            then (safe, v :: unsafe_vars, s :: unsafe)
+            else (s :: safe, unsafe_vars, unsafe)
+          | s -> (s :: safe, unsafe_vars, unsafe))
+        ([], [], []) hbody
+    in
+    let safe = List.rev safe_rev and unsafe = List.rev unsafe_rev in
+    let body'' =
+      List.fold_right
+        (fun s acc ->
+          match s with
+          | Assign (v, e) -> subst [ (v, e) ] acc
+          | _ -> acc)
+        unsafe body'
+    in
+    (hlb @ hub @ hgen @ safe, With { w with lb = lb'; ub = ub'; body = body''; gen = gen' })
+
+and rewrite_list candidates es =
+  List.fold_right
+    (fun e (hs, acc) ->
+      let h, e' = rewrite_expr candidates e in
+      (h @ hs, e' :: acc))
+    es ([], [])
+
+let rec rewrite_stmt candidates s =
+  match s with
+  | Assign (v, e) ->
+    let hs, e' = rewrite_expr candidates e in
+    hs @ [ Assign (v, e') ]
+  | Return e ->
+    let hs, e' = rewrite_expr candidates e in
+    hs @ [ Return e' ]
+  | If (c, a, b) ->
+    let hc, c' = rewrite_expr candidates c in
+    hc
+    @ [ If
+          ( c',
+            List.concat_map (rewrite_stmt candidates) a,
+            List.concat_map (rewrite_stmt candidates) b ) ]
+  | For (v, init, cond, step, body) ->
+    let hi, init' = rewrite_expr candidates init in
+    (* cond and step re-evaluate each iteration: hoisting would change
+       freshness of their variables, but hoisted assignments are pure
+       and their inputs only change if they mention loop-carried
+       variables; be conservative and refuse to inline there. *)
+    hi @ [ For (v, init', cond, step, List.concat_map (rewrite_stmt candidates) body) ]
+
+let run ?(auto_threshold = 0) prog =
+  let candidates =
+    List.filter_map
+      (fun fd ->
+        if inlinable ~auto_threshold prog fd then Some (fd.fname, fd)
+        else None)
+      prog
+  in
+  List.map
+    (fun fd ->
+      (* Do not inline a function into itself. *)
+      let candidates = List.remove_assoc fd.fname candidates in
+      { fd with fbody = List.concat_map (rewrite_stmt candidates) fd.fbody })
+    prog

@@ -1,0 +1,15 @@
+(** Function inlining.
+
+    Calls to functions declared [inline] (and, above the [auto]
+    threshold, other small straight-line functions) are replaced by
+    their bodies: the callee's assignments are hoisted — with freshly
+    renamed locals — in front of the statement containing the call,
+    and the call expression becomes the callee's return expression.
+    Only non-recursive callees whose bodies are straight-line
+    (assignments followed by one return) are inlined; that covers the
+    kernels the paper shows, and it is the enabling step for
+    with-loop folding across function boundaries. *)
+
+val run : ?auto_threshold:int -> Ast.program -> Ast.program
+(** [auto_threshold] (default 0 = disabled): also inline unmarked
+    functions whose body size is at most the threshold. *)

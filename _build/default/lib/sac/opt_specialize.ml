@@ -1,0 +1,150 @@
+open Ast
+
+let max_clones_per_function = 4
+
+let infer prog env e =
+  try Some (Typecheck.infer_expr prog env e) with
+  | Typecheck.Error _ -> None
+
+(* Narrow the callee's parameters to the call site's argument types.
+   Only the shape component narrows, and only when the argument is
+   strictly more precise; int-to-double promoted scalars keep the
+   declared parameter. *)
+let narrowed_params fd arg_tys =
+  List.map2
+    (fun p a ->
+      if
+        a.base = p.pty.base
+        && Types.sub_shape a.shape p.pty.shape
+        && a.shape <> p.pty.shape
+      then { p with pty = { p.pty with shape = a.shape } }
+      else p)
+    fd.params arg_tys
+
+let signature params = List.map (fun p -> p.pty) params
+
+(* ------------------------------------------------------------------ *)
+(* Environment-tracked walk over every call site.  [visit] receives    *)
+(* the callee name and inferred argument types and returns the name    *)
+(* to call instead.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_expr prog env visit e =
+  let w = walk_expr prog env visit in
+  match e with
+  | Dbl _ | Int _ | Bool _ | Var _ -> e
+  | Vec es -> Vec (List.map w es)
+  | Binop (op, a, b) -> Binop (op, w a, w b)
+  | Unop (op, a) -> Unop (op, w a)
+  | Cond (c, a, b) -> Cond (w c, w a, w b)
+  | Idx (a, i) -> Idx (w a, w i)
+  | Call (f, args) ->
+    let args = List.map w args in
+    let arg_tys = List.map (infer prog env) args in
+    if List.for_all Option.is_some arg_tys then
+      Call (visit f (List.map Option.get arg_tys), args)
+    else Call (f, args)
+  | With wl ->
+    let rank =
+      match infer prog env wl.lb with
+      | Some { shape = Aks [ n ]; _ } -> Aks [ n ]
+      | _ -> Akd 1
+    in
+    let env' = (wl.ivar, { base = Tint; shape = rank }) :: env in
+    With
+      { wl with
+        lb = w wl.lb;
+        ub = w wl.ub;
+        body = walk_expr prog env' visit wl.body;
+        gen =
+          (match wl.gen with
+           | Genarray (s, d) -> Genarray (w s, w d)
+           | Modarray a -> Modarray (w a)
+           | Fold (op, n) -> Fold (op, w n)) }
+
+let rec walk_stmts prog env visit = function
+  | [] -> []
+  | Assign (v, e) :: rest ->
+    let e' = walk_expr prog env visit e in
+    let env' =
+      match infer prog env e' with
+      | Some t -> (v, t) :: List.remove_assoc v env
+      | None -> List.remove_assoc v env
+    in
+    Assign (v, e') :: walk_stmts prog env' visit rest
+  | Return e :: rest ->
+    Return (walk_expr prog env visit e) :: walk_stmts prog env visit rest
+  | If (c, a, b) :: rest ->
+    (* Branch environments are joined conservatively by dropping
+       branch-local variables for the continuation. *)
+    If
+      ( walk_expr prog env visit c,
+        walk_stmts prog env visit a,
+        walk_stmts prog env visit b )
+    :: walk_stmts prog env visit rest
+  | For (v, i, c, s, body) :: rest ->
+    (* Loop-carried shapes may generalise; keep only the declared
+       knowledge (drop assigned variables) inside and after. *)
+    let assigned =
+      List.filter_map
+        (function Assign (x, _) -> Some x | _ -> None)
+        body
+    in
+    let env_in =
+      (v, scalar Tint)
+      :: List.filter (fun (x, _) -> not (List.mem x assigned)) env
+    in
+    For
+      ( v,
+        walk_expr prog env visit i,
+        walk_expr prog env_in visit c,
+        walk_expr prog env_in visit s,
+        walk_stmts prog env_in visit body )
+    :: walk_stmts prog env_in visit rest
+
+(* ------------------------------------------------------------------ *)
+
+let run prog =
+  (* clone table: (fname, narrowed signature) -> clone name *)
+  let clones = Hashtbl.create 16 in
+  let clone_count = Hashtbl.create 16 in
+  let new_funs = ref [] in
+  let visit f arg_tys =
+    match Overload.candidates prog f with
+    | [ fd ]
+      when (not fd.finline)
+           && List.length fd.params = List.length arg_tys ->
+      let params' = narrowed_params fd arg_tys in
+      if signature params' = signature fd.params then f
+      else begin
+        let key = (f, signature params') in
+        match Hashtbl.find_opt clones key with
+        | Some clone -> clone
+        | None ->
+          let used = try Hashtbl.find clone_count f with Not_found -> 0 in
+          if used >= max_clones_per_function then f
+          else begin
+            let clone_name = fresh_name (f ^ "_spec") in
+            let clone = { fd with fname = clone_name; params = params' } in
+            (* Validate: the body must still type under the narrowed
+               parameters. *)
+            let candidate = prog @ [ clone ] in
+            match Typecheck.check_fun candidate clone with
+            | () ->
+              Hashtbl.add clones key clone_name;
+              Hashtbl.replace clone_count f (used + 1);
+              new_funs := clone :: !new_funs;
+              clone_name
+            | exception Typecheck.Error _ -> f
+          end
+      end
+    | _ -> f
+  in
+  let rewritten =
+    List.map
+      (fun fd ->
+        let env = List.map (fun p -> (p.pname, p.pty)) fd.params in
+        { fd with fbody = walk_stmts prog env visit fd.fbody })
+      prog
+  in
+  rewritten @ List.rev !new_funs

@@ -1,0 +1,22 @@
+(** Shape specialisation of rank-generic functions.
+
+    The paper's §4.2 makes a point of it: "the SaC compiler always
+    calculates the dimensionality needed for this function from its
+    calls and therefore no penalty is paid for the generic type of
+    qp".  This pass does that calculation: a call to a function with
+    [double\[+\]] / [double\[.\]]-style parameters whose inferred
+    argument types are strictly more precise gets redirected to a
+    clone whose parameter types are narrowed to the call site's —
+    giving downstream passes (fusion, unrolling) static rank and
+    extent information.
+
+    Clones are deduplicated per narrowed signature, validated by the
+    type checker before any call is rewritten (a body that is only
+    well-typed generically keeps its generic callee), and capped per
+    function.  Overloaded names are left to dynamic dispatch. *)
+
+val max_clones_per_function : int
+
+val run : Ast.program -> Ast.program
+(** The program must be well-typed.  New functions carry fresh
+    [$]-names, so they cannot collide with source identifiers. *)

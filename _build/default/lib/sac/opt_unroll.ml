@@ -1,0 +1,92 @@
+open Ast
+
+let literal_vec = function
+  | Vec es ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Int n :: rest -> go (n :: acc) rest
+      | _ -> None
+    in
+    go [] es
+  | _ -> None
+
+let indices lb ub =
+  (* All index vectors of the literal frame, row-major. *)
+  let rank = List.length lb in
+  let rec go d =
+    if d = rank then [ [] ]
+    else begin
+      let lo = List.nth lb d and hi = List.nth ub d in
+      let rest = go (d + 1) in
+      List.concat_map
+        (fun i -> List.map (fun idx -> i :: idx) rest)
+        (List.init (max 0 (hi - lo)) (fun k -> lo + k))
+    end
+  in
+  go 0
+
+let frame_points lb ub =
+  List.fold_left2 (fun acc l u -> acc * max 0 (u - l)) 1 lb ub
+
+let body_at w idx =
+  subst [ (w.ivar, Vec (List.map (fun i -> Int i) idx)) ] w.body
+
+let step ~max_size e =
+  match e with
+  | With w -> (
+    match (literal_vec w.lb, literal_vec w.ub) with
+    | Some lb, Some ub when List.length lb = List.length ub -> (
+      let n = frame_points lb ub in
+      if n > max_size then e
+      else
+        match w.gen with
+        | Genarray (shp, dflt) -> (
+          match literal_vec shp with
+          | Some [ ext ] when List.length lb = 1 ->
+            (* Rank-1: expand to a vector literal; cells outside the
+               partition keep the default. *)
+            let lo = List.hd lb and hi = List.hd ub in
+            Vec
+              (List.init ext (fun i ->
+                   if i >= lo && i < hi then body_at w [ i ] else dflt))
+          | _ -> e)
+        | Fold (op, neutral) ->
+          let combine =
+            match op with
+            | Fsum -> fun a b -> Binop (Add, a, b)
+            | Fprod -> fun a b -> Binop (Mul, a, b)
+            | Fmax -> fun a b -> Call ("max", [ a; b ])
+            | Fmin -> fun a b -> Call ("min", [ a; b ])
+          in
+          List.fold_left
+            (fun acc idx -> combine acc (body_at w idx))
+            neutral (indices lb ub)
+        | Modarray src ->
+          List.fold_left
+            (fun acc idx ->
+              Call
+                ( "modarray_set",
+                  [ acc;
+                    Vec (List.map (fun i -> Int i) idx);
+                    body_at w idx ] ))
+            src (indices lb ub))
+    | _ -> e)
+  | e -> e
+
+let expr ~max_size e = map_expr (step ~max_size) e
+
+let rec stmt ~max_size s =
+  match s with
+  | Assign (v, e) -> Assign (v, expr ~max_size e)
+  | Return e -> Return (expr ~max_size e)
+  | If (c, a, b) ->
+    If (expr ~max_size c, List.map (stmt ~max_size) a,
+        List.map (stmt ~max_size) b)
+  | For (v, i, c, st, b) ->
+    For (v, expr ~max_size i, expr ~max_size c, expr ~max_size st,
+         List.map (stmt ~max_size) b)
+
+let run ?(max_size = 20) prog =
+  List.map
+    (fun fd -> { fd with fbody = List.map (stmt ~max_size) fd.fbody })
+    prog

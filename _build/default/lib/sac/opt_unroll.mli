@@ -1,0 +1,14 @@
+(** With-loop unrolling (sac2c's [-maxwlur]).
+
+    A with-loop whose frame is fully literal and contains at most
+    [max_size] index points is expanded at compile time: rank-1
+    genarrays become vector literals, folds become chains of their
+    combining operator, tiny modarrays become chains of functional
+    single-cell updates.  The paper compiles its solver with
+    [-maxwlur 20]. *)
+
+val run : ?max_size:int -> Ast.program -> Ast.program
+(** Default [max_size] is 20, the paper's setting. *)
+
+val expr : max_size:int -> Ast.expr -> Ast.expr
+(** Expression-level rewrite, for tests. *)

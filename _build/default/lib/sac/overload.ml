@@ -1,0 +1,54 @@
+open Ast
+
+let arg_ok arg param =
+  Types.subtype arg param
+  || (Types.is_scalar arg && Types.is_scalar param && arg.base = Tint
+      && param.base = Tdouble)
+
+let candidates prog name =
+  List.filter (fun fd -> fd.fname = name) prog
+
+let is_overloaded prog name =
+  match candidates prog name with _ :: _ :: _ -> true | _ -> false
+
+let applicable arg_tys fd =
+  List.length fd.params = List.length arg_tys
+  && List.for_all2 (fun a p -> arg_ok a p.pty) arg_tys fd.params
+
+(* fd1 at least as specific as fd2: every parameter of fd1 would be
+   accepted by fd2. *)
+let at_least_as_specific fd1 fd2 =
+  List.length fd1.params = List.length fd2.params
+  && List.for_all2
+       (fun p1 p2 -> Types.subtype p1.pty p2.pty)
+       fd1.params fd2.params
+
+let same_signature fd1 fd2 =
+  List.length fd1.params = List.length fd2.params
+  && List.for_all2 (fun p1 p2 -> p1.pty = p2.pty) fd1.params fd2.params
+
+let resolve prog name arg_tys =
+  match candidates prog name with
+  | [] -> Error (Printf.sprintf "unknown function %s" name)
+  | cands -> (
+    match List.filter (applicable arg_tys) cands with
+    | [] ->
+      Error
+        (Printf.sprintf
+           "no instance of %s accepts arguments (%s)" name
+           (String.concat ", " (List.map Types.to_string arg_tys)))
+    | [ fd ] -> Ok fd
+    | applicables -> (
+      let minimal =
+        List.filter
+          (fun fd ->
+            List.for_all (at_least_as_specific fd) applicables)
+          applicables
+      in
+      match minimal with
+      | [ fd ] -> Ok fd
+      | _ ->
+        Error
+          (Printf.sprintf
+             "ambiguous call to overloaded %s with arguments (%s)" name
+             (String.concat ", " (List.map Types.to_string arg_tys)))))

@@ -1,0 +1,32 @@
+(** Function overloading on the shape lattice.
+
+    SaC lets several functions share a name as long as their parameter
+    types differ; a call binds to the {e most specific} applicable
+    instance — the paper's §2 claims this "far exceeds the
+    capabilities of Fortran".  Specificity is pointwise subtyping of
+    the parameter lists: a [double\[3\]] instance beats a
+    [double\[.\]] instance beats a [double\[+\]] one.
+
+    Resolution is used twice: statically by {!Typecheck} (on inferred
+    argument types) and dynamically by {!Eval} (on the exact runtime
+    types of the argument values, which are always AKS). *)
+
+val arg_ok : Ast.ty -> Ast.ty -> bool
+(** Argument acceptance: subtyping plus int-to-double scalar
+    promotion. *)
+
+val candidates : Ast.program -> string -> Ast.fundef list
+(** All definitions sharing the name. *)
+
+val is_overloaded : Ast.program -> string -> bool
+
+val resolve :
+  Ast.program -> string -> Ast.ty list ->
+  (Ast.fundef, string) result
+(** [resolve prog name arg_types] picks the unique most-specific
+    applicable instance.  [Error] carries a human-readable reason:
+    no such function, no applicable instance, or an ambiguity. *)
+
+val same_signature : Ast.fundef -> Ast.fundef -> bool
+(** Identical parameter type lists (such duplicates are rejected at
+    type checking). *)

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the mini-SaC dialect.
+
+    Grammar sketch (see README for the full syntax):
+    {v
+    fundef  := ['inline'] type ID '(' [param {',' param}] ')' block
+    type    := ('double'|'int'|'bool') ['[' dims ']']
+    dims    := '+' | '*' | (INT|'.') {',' (INT|'.')}
+    stmt    := ID '=' expr ';' | 'return' '(' expr ')' ';'
+             | 'if' '(' expr ')' block ['else' block]
+             | 'for' '(' ID '=' expr ';' expr ';' ID '=' expr ')' block
+    expr    := C-like precedence, plus '[e, ...]' vectors, 'a[iv]'
+               indexing, 'c ? a : b', and
+               'with' '{' '(' e '<=' ID '<' e ')' ':' expr ';' '}'
+               ':' ('genarray' '(' e ',' e ')' | 'modarray' '(' e ')'
+                   | 'fold' '(' ('+'|'*'|'max'|'min') ',' e ')')
+    v}
+    Bound expressions in with-loops are parsed at additive precedence,
+    so the [<=] and [<] of the generator frame never clash with
+    comparison operators. *)
+
+exception Error of string
+(** Parse error with a [line:col] prefix. *)
+
+val parse_program : string -> Ast.program
+(** @raise Error on syntax errors (also re-raises {!Lexer.Error}). *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression (used by tests and the REPL-ish
+    driver). *)

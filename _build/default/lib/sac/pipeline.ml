@@ -1,0 +1,77 @@
+type options = {
+  maxoptcyc : int;
+  maxwlur : int;
+  do_fuse : bool;
+  do_inline : bool;
+  do_cse : bool;
+  do_dce : bool;
+  do_copy : bool;
+  do_specialize : bool;
+  inline_auto_threshold : int;
+}
+
+let default_options =
+  { maxoptcyc = 100;
+    maxwlur = 20;
+    do_fuse = true;
+    do_inline = true;
+    do_cse = true;
+    do_dce = true;
+    do_copy = true;
+    do_specialize = true;
+    inline_auto_threshold = 0 }
+
+let o0 =
+  { maxoptcyc = 0;
+    maxwlur = 0;
+    do_fuse = false;
+    do_inline = false;
+    do_cse = false;
+    do_dce = false;
+    do_copy = false;
+    do_specialize = false;
+    inline_auto_threshold = 0 }
+
+type report = {
+  cycles_used : int;
+  array_ops_before : int;
+  array_ops_after : int;
+}
+
+let cycle options prog =
+  let prog =
+    if options.do_inline then
+      Opt_inline.run ~auto_threshold:options.inline_auto_threshold prog
+    else prog
+  in
+  let prog = if options.do_copy then Opt_copy.run prog else prog in
+  let prog = if options.do_specialize then Opt_specialize.run prog else prog in
+  let prog = Opt_fold.run prog in
+  let prog = if options.do_fuse then Opt_fuse.run prog else prog in
+  let prog =
+    if options.maxwlur > 0 then Opt_unroll.run ~max_size:options.maxwlur prog
+    else prog
+  in
+  let prog = Opt_fold.run prog in
+  let prog = if options.do_cse then Opt_cse.run prog else prog in
+  let prog = if options.do_dce then Opt_dce.run prog else prog in
+  prog
+
+let optimize ?(options = default_options) prog =
+  Typecheck.check_program prog;
+  let before = Opt_fuse.array_op_nodes prog in
+  let rec go prog n =
+    if n >= options.maxoptcyc then (prog, n)
+    else begin
+      let prog' = cycle options prog in
+      Typecheck.check_program prog';
+      if prog' = prog then (prog', n + 1) else go prog' (n + 1)
+    end
+  in
+  let prog', cycles_used = go prog 0 in
+  ( prog',
+    { cycles_used;
+      array_ops_before = before;
+      array_ops_after = Opt_fuse.array_op_nodes prog' } )
+
+let compile ?options src = optimize ?options (Parser.parse_program src)

@@ -1,0 +1,95 @@
+open Ast
+
+let prec_of = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec expr ?(prec = 0) e =
+  match e with
+  | Dbl x ->
+    let s = Printf.sprintf "%.17g" x in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' (* nan/inf *)
+    then s
+    else s ^ ".0"
+  | Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Bool b -> string_of_bool b
+  | Var v -> v
+  | Vec es ->
+    "[" ^ String.concat ", " (List.map (expr ~prec:0) es) ^ "]"
+  | Binop (op, a, b) ->
+    let p = prec_of op in
+    let s =
+      Printf.sprintf "%s %s %s"
+        (expr ~prec:p a) (binop_name op)
+        (expr ~prec:(p + 1) b)
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+  | Unop (Neg, a) -> "-" ^ expr ~prec:10 a
+  | Unop (Not, a) -> "!" ^ expr ~prec:10 a
+  | Cond (c, a, b) ->
+    let s =
+      Printf.sprintf "%s ? %s : %s" (expr ~prec:1 c) (expr ~prec:0 a)
+        (expr ~prec:0 b)
+    in
+    if prec > 0 then "(" ^ s ^ ")" else s
+  | Call (f, args) ->
+    f ^ "(" ^ String.concat ", " (List.map (expr ~prec:0) args) ^ ")"
+  | Idx (a, i) -> Printf.sprintf "%s[%s]" (expr ~prec:10 a) (expr ~prec:0 i)
+  | With w ->
+    let gen =
+      match w.gen with
+      | Genarray (s, d) ->
+        Printf.sprintf "genarray(%s, %s)" (expr ~prec:0 s) (expr ~prec:0 d)
+      | Modarray a -> Printf.sprintf "modarray(%s)" (expr ~prec:0 a)
+      | Fold (op, n) ->
+        Printf.sprintf "fold(%s, %s)" (foldop_name op) (expr ~prec:0 n)
+    in
+    Printf.sprintf "with { (%s <= %s < %s) : %s; } : %s"
+      (expr ~prec:0 w.lb) w.ivar (expr ~prec:0 w.ub)
+      (expr ~prec:0 w.body) gen
+
+let expr_to_string e = expr ~prec:0 e
+
+let pad indent = String.make indent ' '
+
+let rec stmt ?(indent = 0) s =
+  let p = pad indent in
+  match s with
+  | Assign (v, e) -> Printf.sprintf "%s%s = %s;" p v (expr_to_string e)
+  | Return e -> Printf.sprintf "%sreturn (%s);" p (expr_to_string e)
+  | If (c, then_, else_) ->
+    let body b =
+      String.concat "\n" (List.map (stmt ~indent:(indent + 2)) b)
+    in
+    if else_ = [] then
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" p (expr_to_string c)
+        (body then_) p
+    else
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" p
+        (expr_to_string c) (body then_) p (body else_) p
+  | For (v, init, cond, step, body) ->
+    Printf.sprintf "%sfor (%s = %s; %s; %s = %s) {\n%s\n%s}" p v
+      (expr_to_string init) (expr_to_string cond) v (expr_to_string step)
+      (String.concat "\n" (List.map (stmt ~indent:(indent + 2)) body))
+      p
+
+let stmt_to_string ?indent s = stmt ?indent s
+
+let fundef_to_string fd =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun pr -> Types.to_string pr.pty ^ " " ^ pr.pname)
+         fd.params)
+  in
+  Printf.sprintf "%s%s %s(%s) {\n%s\n}"
+    (if fd.finline then "inline " else "")
+    (Types.to_string fd.ret) fd.fname params
+    (String.concat "\n" (List.map (stmt ~indent:2) fd.fbody))
+
+let program_to_string prog =
+  String.concat "\n\n" (List.map fundef_to_string prog) ^ "\n"

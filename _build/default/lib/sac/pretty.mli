@@ -1,0 +1,7 @@
+(** Pretty-printing of mini-SaC programs (round-trips through
+    {!Parser}). *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val fundef_to_string : Ast.fundef -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,62 @@
+let prelude =
+  {|
+// ---- mini-SaC standard library --------------------------------------
+
+// 0.0, 1.0, ..., n-1 as doubles.
+inline double[.] iota(int n) {
+  return ({ [i] -> 1.0 * i | [n] });
+}
+
+// n points from a to b inclusive (n >= 2).
+inline double[.] linspace(double a, double b, int n) {
+  return ({ [i] -> a + (b - a) * (1.0 * i) / (1.0 * (n - 1)) | [n] });
+}
+
+// The paper's set-notation example.
+inline double[.,.] transpose(double[.,.] m) {
+  return ({ [i, j] -> m[j, i] | reverse(shape(m)) });
+}
+
+// Vector concatenation.
+inline double[.] concat_v(double[.] a, double[.] b) {
+  na = shape(a)[0];
+  return ({ [i] -> (i < na ? a[i] : b[i - na]) | [na + shape(b)[0]] });
+}
+
+// Arithmetic mean of a vector.
+inline double mean(double[.] a) {
+  return (sum(a) / (1.0 * shape(a)[0]));
+}
+
+// Euclidean norm, any rank.
+inline double l2norm(double[+] a) {
+  return (sqrt(sum(a * a)));
+}
+
+// Dot product.
+inline double dot(double[.] a, double[.] b) {
+  return (sum(a * b));
+}
+
+// Clamp every element into [lo, hi].
+inline double[+] clamp(double[+] a, double lo, double hi) {
+  return (min(max(a, genarray_const(shape(a), lo)),
+              genarray_const(shape(a), hi)));
+}
+
+// Matrix product: a fold with-loop nested inside a genarray.
+double[.,.] matmul(double[.,.] a, double[.,.] b) {
+  n = shape(a)[0];
+  p = shape(a)[1];
+  m = shape(b)[1];
+  return (with { ([0, 0] <= iv < [n, m]) :
+      (with { ([0] <= kv < [p]) :
+          a[iv[0], kv[0]] * b[kv[0], iv[1]]; }
+       : fold(+, 0.0)); }
+    : genarray([n, m], 0.0));
+}
+
+// ---------------------------------------------------------------------
+|}
+
+let with_prelude src = prelude ^ "\n" ^ src

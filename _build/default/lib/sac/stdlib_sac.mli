@@ -1,0 +1,19 @@
+(** A small standard library written in the mini-SaC dialect itself.
+
+    The paper's compiler configuration pins "stdlib 1120" and the
+    solver calls [MathArray::fabs]; in the same spirit these helpers
+    are ordinary mini-SaC source, compiled together with user code —
+    so the optimiser folds through them exactly as it does through
+    user functions.
+
+    Provided: [iota], [transpose] (the §2 set-notation example),
+    [concat_v], [mean], [l2norm], [dot], [matmul] (a fold nested in a
+    genarray), [clamp], [linspace]. *)
+
+val prelude : string
+(** The library source. *)
+
+val with_prelude : string -> string
+(** [with_prelude src] prepends the library to a program.  User
+    definitions may overload the library names (instances with
+    identical signatures are rejected by the type checker as usual). *)

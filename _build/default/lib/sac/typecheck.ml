@@ -1,0 +1,343 @@
+open Ast
+
+exception Error of string
+
+let err ctx msg = raise (Error (ctx ^ ": " ^ msg))
+
+let ivec_ty n =
+  match n with
+  | Some k -> { base = Tint; shape = Aks [ k ] }
+  | None -> { base = Tint; shape = Akd 1 }
+
+let is_ivec t =
+  t.base = Tint
+  && (match Types.rank_of t.shape with Some 1 -> true | _ -> false)
+
+let ivec_length t =
+  match t.shape with Aks [ n ] -> Some n | _ -> None
+
+(* Accept an argument for a parameter: subtyping plus scalar int ->
+   double promotion. *)
+let arg_ok = Overload.arg_ok
+
+let rec infer ctx prog env e =
+  match e with
+  | Dbl _ -> scalar Tdouble
+  | Int _ -> scalar Tint
+  | Bool _ -> scalar Tbool
+  | Var v -> (
+    match List.assoc_opt v env with
+    | Some t -> t
+    | None -> err ctx ("unbound variable " ^ v))
+  | Vec [] -> err ctx "empty vector literal"
+  | Vec es ->
+    let ts = List.map (infer ctx prog env) es in
+    List.iter
+      (fun t ->
+        if not (Types.is_scalar t) then
+          err ctx "vector literals take scalar elements";
+        if t.base = Tbool then err ctx "vector literals cannot hold booleans")
+      ts;
+    let base =
+      if List.exists (fun t -> t.base = Tdouble) ts then Tdouble else Tint
+    in
+    { base; shape = Aks [ List.length ts ] }
+  | Binop (op, a, b) -> infer_binop ctx prog env op a b
+  | Unop (Neg, a) -> (
+    let t = infer ctx prog env a in
+    match t.base with
+    | Tdouble | Tint -> t
+    | Tbool -> err ctx "cannot negate a boolean")
+  | Unop (Not, a) ->
+    let t = infer ctx prog env a in
+    if t = scalar Tbool then t else err ctx "! expects a boolean"
+  | Cond (c, a, b) ->
+    let tc = infer ctx prog env c in
+    if tc <> scalar Tbool then err ctx "condition must be a boolean";
+    let ta = infer ctx prog env a and tb = infer ctx prog env b in
+    if ta.base <> tb.base then (
+      match Types.promote ta tb with
+      | Some t -> t
+      | None -> err ctx "branches of ?: have different types")
+    else { base = ta.base; shape = Types.join_shape ta.shape tb.shape }
+  | Call (f, args) -> infer_call ctx prog env f args
+  | Idx (a, i) -> (
+    let ta = infer ctx prog env a and ti = infer ctx prog env i in
+    match ta.base with
+    | Tdouble -> (
+      if ti.base = Tint && Types.is_scalar ti then begin
+        (* a[i] sugar on rank-1 arrays *)
+        match Types.rank_of ta.shape with
+        | Some 1 | None -> scalar Tdouble
+        | Some _ -> err ctx "scalar index on a higher-rank array"
+      end
+      else if is_ivec ti then begin
+        match (Types.rank_of ta.shape, ivec_length ti) with
+        | Some r, Some k when r <> k ->
+          err ctx "index vector rank does not match array rank"
+        | _ -> scalar Tdouble
+      end
+      else err ctx "index must be an int vector")
+    | Tint ->
+      if is_ivec ta && ti.base = Tint then scalar Tint
+      else err ctx "bad indexing operands"
+    | Tbool -> err ctx "cannot index a boolean")
+  | With w -> infer_with ctx prog env w
+
+and infer_binop ctx prog env op a b =
+  let ta = infer ctx prog env a and tb = infer ctx prog env b in
+  match op with
+  | Add | Sub | Mul | Div | Mod -> (
+    if ta.base = Tbool || tb.base = Tbool then
+      err ctx "arithmetic on booleans";
+    match (Types.is_scalar ta, Types.is_scalar tb) with
+    | true, true -> (
+      match Types.promote ta tb with
+      | Some t -> t
+      | None -> err ctx "bad scalar arithmetic")
+    | false, true ->
+      if tb.base = Tbool then err ctx "arithmetic on booleans" else ta
+    | true, false -> tb
+    | false, false -> (
+      if ta.base <> tb.base then
+        err ctx "elementwise arithmetic on arrays of different base types";
+      match Types.meet_shape ta.shape tb.shape with
+      | Some s -> { base = ta.base; shape = s }
+      | None -> err ctx "elementwise arithmetic on incompatible shapes"))
+  | Eq | Ne ->
+    if ta.base <> tb.base then err ctx "comparison of different base types"
+    else scalar Tbool
+  | Lt | Le | Gt | Ge ->
+    if
+      Types.is_scalar ta && Types.is_scalar tb
+      && ta.base <> Tbool && tb.base <> Tbool
+    then scalar Tbool
+    else err ctx "ordering comparisons need numeric scalars"
+  | And | Or ->
+    if ta = scalar Tbool && tb = scalar Tbool then scalar Tbool
+    else err ctx "&& and || expect booleans"
+
+and builtin_sig ctx prog env name args =
+  let ts = List.map (infer ctx prog env) args in
+  let arity n =
+    if List.length ts <> n then
+      err ctx (Printf.sprintf "%s expects %d arguments" name n)
+  in
+  let darr t = t.base = Tdouble in
+  match (name, ts) with
+  | "dim", [ _ ] -> scalar Tint
+  | "shape", [ t ] ->
+    ivec_ty (Types.rank_of t.shape)
+  | ("drop" | "take"), [ off; arr ] when is_ivec off && darr arr ->
+    (* Extents change, rank survives. *)
+    { base = Tdouble;
+      shape =
+        (match Types.rank_of arr.shape with
+         | Some r -> Akd r
+         | None -> Aud) }
+  | ("drop" | "take"), [ k; v ] when k = scalar Tint && is_ivec v ->
+    ivec_ty None
+  | "sum", [ t ] when is_ivec t -> scalar Tint
+  | ("sum" | "maxval" | "minval"), [ t ] when darr t || t = scalar Tint ->
+    scalar Tdouble
+  | ("fabs" | "sqrt" | "exp" | "log"), [ t ]
+    when t.base <> Tbool ->
+    arity 1;
+    if Types.is_scalar t then scalar Tdouble else { t with base = Tdouble }
+  | "abs", [ t ] when t.base <> Tbool -> t
+  | ("min" | "max"), [ a; b ] -> (
+    match (Types.is_scalar a, Types.is_scalar b) with
+    | true, true -> (
+      match Types.promote a b with
+      | Some t -> t
+      | None -> err ctx (name ^ ": bad operands"))
+    | false, false when a.base = Tdouble && b.base = Tdouble -> (
+      match Types.meet_shape a.shape b.shape with
+      | Some s -> { base = Tdouble; shape = s }
+      | None -> err ctx (name ^ ": incompatible shapes"))
+    | _ -> err ctx (name ^ ": bad operands"))
+  | "zeros", [ t ] when t = scalar Tint -> ivec_ty None
+  | "reverse", [ t ] when is_ivec t -> t
+  | "reverse", [ t ]
+    when t.base = Tdouble && Types.rank_of t.shape = Some 1 ->
+    t
+  | "genarray_const", [ s; v ]
+    when is_ivec s && Types.is_scalar v && v.base <> Tbool ->
+    { base = Tdouble;
+      shape =
+        (match ivec_length s with Some k -> Akd k | None -> Aud) }
+  | "reshape", [ s; arr ] when is_ivec s && darr arr ->
+    { base = Tdouble;
+      shape = (match ivec_length s with Some k -> Akd k | None -> Aud) }
+  | "modarray_set", [ arr; iv; v ]
+    when darr arr && is_ivec iv && Types.is_scalar v && v.base <> Tbool ->
+    arr
+  | "pow", [ a; b ]
+    when Types.is_scalar a && Types.is_scalar b
+         && a.base <> Tbool && b.base <> Tbool ->
+    scalar Tdouble
+  | _ ->
+    err ctx
+      (Printf.sprintf "bad arguments to builtin %s (%s)" name
+         (String.concat ", " (List.map Types.to_string ts)))
+
+and infer_call ctx prog env f args =
+  match lookup_fun prog f with
+  | Some _ -> (
+    let arg_tys = List.map (infer ctx prog env) args in
+    match Overload.resolve prog f arg_tys with
+    | Ok fd -> fd.ret
+    | Error msg -> err ctx msg)
+  | None ->
+    if List.mem f Builtins.names then builtin_sig ctx prog env f args
+    else err ctx ("unknown function " ^ f)
+
+and infer_with ctx prog env w =
+  let tlb = infer ctx prog env w.lb and tub = infer ctx prog env w.ub in
+  if not (is_ivec tlb && is_ivec tub) then
+    err ctx "with-loop bounds must be int vectors";
+  let rank =
+    match (ivec_length tlb, ivec_length tub) with
+    | Some a, Some b ->
+      if a <> b then err ctx "with-loop bounds have different lengths";
+      Some a
+    | Some a, None | None, Some a -> Some a
+    | None, None -> None
+  in
+  let env' = (w.ivar, ivec_ty rank) :: env in
+  let tbody = infer ctx prog env' w.body in
+  if not (Types.is_scalar tbody && tbody.base <> Tbool) then
+    err ctx "with-loop body must produce a numeric scalar";
+  match w.gen with
+  | Genarray (s, d) -> (
+    let ts = infer ctx prog env s in
+    if not (is_ivec ts) then err ctx "genarray shape must be an int vector";
+    let td = infer ctx prog env d in
+    if not (Types.is_scalar td && td.base <> Tbool) then
+      err ctx "genarray default must be a numeric scalar";
+    (* A literal shape gives full AKS information. *)
+    match s with
+    | Vec es when List.for_all (function Int _ -> true | _ -> false) es ->
+      { base = Tdouble;
+        shape = Aks (List.map (function Int n -> n | _ -> 0) es) }
+    | _ -> (
+      match (ivec_length ts, rank) with
+      | Some k, _ | None, Some k -> { base = Tdouble; shape = Akd k }
+      | None, None -> { base = Tdouble; shape = Aud }))
+  | Modarray a ->
+    let ta = infer ctx prog env a in
+    if ta.base <> Tdouble then err ctx "modarray source must be a double array";
+    ta
+  | Fold (_, n) ->
+    let tn = infer ctx prog env n in
+    if not (Types.is_scalar tn && tn.base <> Tbool) then
+      err ctx "fold neutral must be a numeric scalar";
+    scalar Tdouble
+
+let infer_expr prog env e = infer "<expr>" prog env e
+
+(* Conservative: does this statement list return on every path? *)
+let rec always_returns stmts =
+  List.exists
+    (function
+      | Return _ -> true
+      | If (_, a, b) -> always_returns a && always_returns b
+      | Assign _ | For _ -> false)
+    stmts
+
+let rec check_stmts ctx prog env = function
+  | [] -> env
+  | s :: rest ->
+    let env' = check_stmt ctx prog env s in
+    check_stmts ctx prog env' rest
+
+and check_stmt ctx prog env = function
+  | Assign (v, e) ->
+    let t = infer ctx prog env e in
+    (v, t) :: List.remove_assoc v env
+  | Return e ->
+    let t = infer ctx prog env e in
+    let ret = List.assoc "$ret" env in
+    if not (arg_ok t ret) then
+      err ctx
+        (Printf.sprintf "return type %s is not a subtype of declared %s"
+           (Types.to_string t) (Types.to_string ret));
+    env
+  | If (c, then_, else_) ->
+    let tc = infer ctx prog env c in
+    if tc <> scalar Tbool then err ctx "if condition must be a boolean";
+    let env_t = check_stmts ctx prog env then_
+    and env_e = check_stmts ctx prog env else_ in
+    (* Keep variables visible on both paths, joining their types. *)
+    List.filter_map
+      (fun (v, t1) ->
+        match List.assoc_opt v env_e with
+        | Some t2 when t1.base = t2.base ->
+          Some (v, { base = t1.base;
+                     shape = Types.join_shape t1.shape t2.shape })
+        | Some _ | None -> None)
+      env_t
+  | For (v, init, cond, step, body) ->
+    let t0 = infer ctx prog env init in
+    (* Iterate to a fixpoint of the recurrence variable types (the
+       loop body may generalise shapes). *)
+    let rec stabilise env_loop iters =
+      let tc = infer ctx prog env_loop cond in
+      if tc <> scalar Tbool then err ctx "for condition must be a boolean";
+      let env_body = check_stmts ctx prog env_loop body in
+      let tstep = infer ctx prog env_body step in
+      if tstep.base <> t0.base then
+        err ctx ("for-loop index " ^ v ^ " changes base type");
+      let joined =
+        List.filter_map
+          (fun (name, t1) ->
+            match List.assoc_opt name env_body with
+            | Some t2 when t1.base = t2.base ->
+              Some
+                (name,
+                 { base = t1.base;
+                   shape = Types.join_shape t1.shape t2.shape })
+            | Some _ | None -> if name = "$ret" then Some (name, t1) else None)
+          env_loop
+      in
+      if joined = env_loop || iters > 4 then joined
+      else stabilise joined (iters + 1)
+    in
+    stabilise ((v, t0) :: List.remove_assoc v env) 0
+
+let check_fun prog fd =
+  let ctx = "function " ^ fd.fname in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.pname then
+        err ctx ("duplicate parameter " ^ p.pname);
+      Hashtbl.add seen p.pname ())
+    fd.params;
+  let env =
+    ("$ret", fd.ret) :: List.map (fun p -> (p.pname, p.pty)) fd.params
+  in
+  ignore (check_stmts ctx prog env fd.fbody);
+  if not (always_returns fd.fbody) then
+    err ctx "not all paths end in a return"
+
+let check_program prog =
+  (* Overloads may share a name; exact signature duplicates and
+     builtin shadowing are rejected. *)
+  List.iteri
+    (fun i fd ->
+      if List.mem fd.fname Builtins.names then
+        raise (Error ("function redefines builtin: " ^ fd.fname));
+      List.iteri
+        (fun j other ->
+          if
+            j < i && other.fname = fd.fname
+            && Overload.same_signature fd other
+          then
+            raise
+              (Error
+                 ("duplicate definition of " ^ fd.fname
+                  ^ " with an identical signature")))
+        prog)
+    prog;
+  List.iter (check_fun prog) prog

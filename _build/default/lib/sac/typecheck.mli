@@ -1,0 +1,28 @@
+(** Shape-aware type checking of mini-SaC programs.
+
+    Every function body is checked against its declared signature:
+    whole-array arithmetic requires statically consistent shapes
+    (their {!Types.meet_shape} must exist), with-loop frames must be
+    integer vectors of matching rank, calls require arguments to be
+    subtypes of the declared parameter types (with int-to-double
+    scalar promotion), and both [return] paths and conditional
+    branches are joined on the lattice.
+
+    Dimensionality propagates through calls the way the paper
+    describes for sac2c: a call to a [double\[+\]] function with a
+    [double\[.,.\]] argument is checked at the call site, so "no
+    penalty is paid for the generic type" — and no per-rank code has
+    to be written. *)
+
+exception Error of string
+(** Message carries the offending function's name. *)
+
+val infer_expr :
+  Ast.program -> (string * Ast.ty) list -> Ast.expr -> Ast.ty
+(** Expression type in a given variable environment.
+    @raise Error on ill-typed expressions. *)
+
+val check_fun : Ast.program -> Ast.fundef -> unit
+val check_program : Ast.program -> unit
+(** @raise Error on the first ill-typed function (duplicate function
+    names and builtin redefinitions are also rejected). *)

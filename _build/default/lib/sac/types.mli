@@ -1,0 +1,34 @@
+(** The SaC array-type lattice and its operations.
+
+    Shape information is ordered
+    [AKS (known shape) <= AKD (known rank) <= AUD (unknown rank)];
+    a type is a subtype of another when the base types agree and the
+    shape information refines it.  This is the subtyping that lets one
+    mini-SaC function body serve arguments of any rank — the paper's
+    §2 selling point. *)
+
+val sub_shape : Ast.shape_info -> Ast.shape_info -> bool
+(** [sub_shape a b]: does [a] refine [b]? *)
+
+val subtype : Ast.ty -> Ast.ty -> bool
+
+val join_shape : Ast.shape_info -> Ast.shape_info -> Ast.shape_info
+(** Least upper bound: the most precise information valid for both. *)
+
+val meet_shape :
+  Ast.shape_info -> Ast.shape_info -> Ast.shape_info option
+(** Greatest lower bound, [None] when the shapes are incompatible
+    (e.g. two different known shapes).  Used to type elementwise
+    operations: the operands' static shapes must be consistent and
+    the result carries the more precise one. *)
+
+val rank_of : Ast.shape_info -> int option
+val is_scalar : Ast.ty -> bool
+val is_array : Ast.ty -> bool
+
+val promote : Ast.ty -> Ast.ty -> Ast.ty option
+(** Numeric scalar promotion: int with double gives double; [None]
+    when the bases cannot combine arithmetically. *)
+
+val shape_to_string : Ast.shape_info -> string
+val to_string : Ast.ty -> string

@@ -1,0 +1,58 @@
+type t =
+  | Vdbl of float
+  | Vint of int
+  | Vbool of bool
+  | Vdarr of Tensor.Nd.t
+  | Vivec of int array
+
+exception Type_error of string
+
+let to_float = function
+  | Vdbl x -> x
+  | Vint n -> float_of_int n
+  | v ->
+    raise
+      (Type_error
+         ("expected a numeric scalar, got "
+          ^ (match v with
+             | Vbool _ -> "a boolean"
+             | Vdarr _ -> "a double array"
+             | Vivec _ -> "an int vector"
+             | Vdbl _ | Vint _ -> assert false)))
+
+let to_int = function
+  | Vint n -> n
+  | _ -> raise (Type_error "expected an integer")
+
+let to_bool = function
+  | Vbool b -> b
+  | _ -> raise (Type_error "expected a boolean")
+
+let to_tensor = function
+  | Vdarr t -> t
+  | Vdbl x -> Tensor.Nd.scalar x
+  | _ -> raise (Type_error "expected a double array")
+
+let to_ivec = function
+  | Vivec v -> v
+  | _ -> raise (Type_error "expected an int vector")
+
+let equal a b =
+  match (a, b) with
+  | Vdbl x, Vdbl y -> x = y
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vdarr x, Vdarr y -> Tensor.Nd.equal x y
+  | Vivec x, Vivec y -> x = y
+  | _ -> false
+
+let pp ppf = function
+  | Vdbl x -> Format.fprintf ppf "%g" x
+  | Vint n -> Format.fprintf ppf "%d" n
+  | Vbool b -> Format.fprintf ppf "%b" b
+  | Vdarr t -> Tensor.Nd.pp ppf t
+  | Vivec v ->
+    Format.fprintf ppf "[%s]"
+      (String.concat "," (Array.to_list (Array.map string_of_int v)))
+
+let to_string v = Format.asprintf "%a" pp v

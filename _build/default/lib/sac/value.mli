@@ -1,0 +1,32 @@
+(** Runtime values of the mini-SaC evaluator.
+
+    Double arrays are {!Tensor.Nd} tensors; integer arrays are
+    restricted to rank-1 vectors, which is all SaC programs need them
+    for (shapes, index vectors, bounds). *)
+
+type t =
+  | Vdbl of float
+  | Vint of int
+  | Vbool of bool
+  | Vdarr of Tensor.Nd.t
+  | Vivec of int array
+
+exception Type_error of string
+
+val to_float : t -> float
+(** Numeric scalars coerce ([Vint] promotes); everything else is a
+    [Type_error]. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_tensor : t -> Tensor.Nd.t
+(** A [Vdbl] is accepted as a rank-0 tensor. *)
+
+val to_ivec : t -> int array
+(** A [Vint] is {e not} accepted: index vectors must be explicit. *)
+
+val equal : t -> t -> bool
+(** Structural; tensors compare exactly. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/sacprog/programs.mli:

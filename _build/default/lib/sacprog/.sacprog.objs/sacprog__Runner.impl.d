@@ -1,0 +1,1 @@
+lib/sacprog/runner.ml: Array Euler Programs Sac Tensor

@@ -1,0 +1,1 @@
+lib/sacprog/runner.mli: Parallel Sac Tensor

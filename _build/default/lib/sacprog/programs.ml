@@ -1,0 +1,322 @@
+let df_dx_no_boundary =
+  {|
+inline double[.] dfDxNoBoundary(double[.] dqc, double delta) {
+  return ((drop([1], dqc) - drop([-1], dqc)) / delta);
+}
+|}
+
+let get_dt =
+  {|
+double getDt(double[+] u, double[+] p, double[+] rho,
+             double gam, double delta, double cfl) {
+  c = sqrt(gam * p / rho);
+  d = fabs(u);
+  ev = (d + c) / delta;
+  return (cfl / maxval(ev));
+}
+|}
+
+let euler_1d =
+  {|
+// 1D compressible Euler solver, benchmark configuration of the paper:
+// piecewise-constant reconstruction + Rusanov fluxes + TVD-RK3.
+// State q : double[.,.] of shape [3, n]: rows rho, rho*u, E.
+
+inline double u_of(double[.,.] q, int i) {
+  return (q[1, i] / q[0, i]);
+}
+
+inline double p_of(double[.,.] q, int i, double gam) {
+  return ((gam - 1.0) * (q[2, i] - q[1, i] * q[1, i] / (2.0 * q[0, i])));
+}
+
+inline double c_of(double[.,.] q, int i, double gam) {
+  return (sqrt(gam * p_of(q, i, gam) / q[0, i]));
+}
+
+// Zero-gradient padding by one ghost cell on each side.
+inline double[.,.] pad1(double[.,.] q) {
+  n = shape(q)[1];
+  return (with { ([0, 0] <= iv < [3, n + 2]) :
+      q[iv[0], min(max(iv[1] - 1, 0), n - 1)]; }
+    : genarray([3, n + 2], 0.0));
+}
+
+// Physical flux component k of padded cell i.
+inline double phys_flux(double[.,.] qp, int k, int i, double gam) {
+  return (k == 0 ? qp[1, i]
+          : (k == 1 ? qp[1, i] * u_of(qp, i) + p_of(qp, i, gam)
+                    : u_of(qp, i) * (qp[2, i] + p_of(qp, i, gam))));
+}
+
+// Rusanov numerical fluxes through the n+1 interfaces of the padded
+// state.
+inline double[.,.] rusanov(double[.,.] qp, double gam) {
+  n1 = shape(qp)[1] - 1;
+  return (with { ([0, 0] <= iv < [3, n1]) :
+      0.5 * (phys_flux(qp, iv[0], iv[1], gam)
+             + phys_flux(qp, iv[0], iv[1] + 1, gam))
+      - 0.5 * max(fabs(u_of(qp, iv[1])) + c_of(qp, iv[1], gam),
+                  fabs(u_of(qp, iv[1] + 1)) + c_of(qp, iv[1] + 1, gam))
+           * (qp[iv[0], iv[1] + 1] - qp[iv[0], iv[1]]); }
+    : genarray([3, n1], 0.0));
+}
+
+// L(q) = -dF/dx on the interior.
+inline double[.,.] rhs(double[.,.] q, double gam, double dx) {
+  f = rusanov(pad1(q), gam);
+  n = shape(q)[1];
+  return (with { ([0, 0] <= iv < [3, n]) :
+      -(f[iv[0], iv[1] + 1] - f[iv[0], iv[1]]) / dx; }
+    : genarray([3, n], 0.0));
+}
+
+// The paper's GetDT: CFL over the largest wave speed.
+inline double getdt(double[.,.] q, double gam, double dx, double cfl) {
+  n = shape(q)[1];
+  ev = with { ([0] <= iv < [n]) :
+      (fabs(u_of(q, iv[0])) + c_of(q, iv[0], gam)) / dx; }
+    : fold(max, 0.0);
+  return (cfl / ev);
+}
+
+// ca*a + cb*b + cd*d, the TVD-RK stage combination.
+inline double[.,.] axpy3(double[.,.] a, double ca, double[.,.] b, double cb,
+                  double[.,.] d, double cd) {
+  n = shape(a)[1];
+  return (with { ([0, 0] <= iv < [3, n]) :
+      ca * a[iv] + cb * b[iv] + cd * d[iv]; }
+    : genarray([3, n], 0.0));
+}
+
+// One CFL-limited TVD-RK3 step.
+inline double[.,.] step(double[.,.] q, double gam, double dx, double cfl) {
+  dt = getdt(q, gam, dx, cfl);
+  q1 = axpy3(q, 1.0, q, 0.0, rhs(q, gam, dx), dt);
+  q2 = axpy3(q, 0.75, q1, 0.25, rhs(q1, gam, dx), 0.25 * dt);
+  return (axpy3(q, 1.0 / 3.0, q2, 2.0 / 3.0, rhs(q2, gam, dx),
+                2.0 / 3.0 * dt));
+}
+
+// March a fixed number of steps (the paper's benchmark mode).
+double[.,.] run(double[.,.] q0, int steps, double gam, double dx,
+                double cfl) {
+  q = q0;
+  for (s = 0; s < steps; s = s + 1) {
+    q = step(q, gam, dx, cfl);
+  }
+  return (q);
+}
+
+// Sod tube initial state on n cells of a unit domain: left state
+// (1, 0, 1), right state (0.125, 0, 0.1), diaphragm at x = 0.5.
+double[.,.] sod_init(int n) {
+  return (with { ([0, 0] <= iv < [3, n]) :
+      (2 * iv[1] + 1 < n
+       ? (iv[0] == 0 ? 1.0 : (iv[0] == 1 ? 0.0 : 1.0 / 0.4))
+       : (iv[0] == 0 ? 0.125 : (iv[0] == 1 ? 0.0 : 0.1 / 0.4))); }
+    : genarray([3, n], 0.0));
+}
+|}
+
+let euler_2d =
+  {|
+// 2D compressible Euler solver in the benchmark configuration:
+// piecewise-constant reconstruction + Rusanov fluxes + TVD-RK3.
+// State q : double[.,.,.] of shape [4, ny, nx]:
+// planes rho, rho*u, rho*v, E.  Zero-gradient (outflow) boundaries.
+
+inline double u2_of(double[.,.,.] q, int j, int i) {
+  return (q[1, j, i] / q[0, j, i]);
+}
+
+inline double v2_of(double[.,.,.] q, int j, int i) {
+  return (q[2, j, i] / q[0, j, i]);
+}
+
+inline double p2_of(double[.,.,.] q, int j, int i, double gam) {
+  return ((gam - 1.0)
+          * (q[3, j, i]
+             - (q[1, j, i] * q[1, j, i] + q[2, j, i] * q[2, j, i])
+               / (2.0 * q[0, j, i])));
+}
+
+inline double c2_of(double[.,.,.] q, int j, int i, double gam) {
+  return (sqrt(gam * p2_of(q, j, i, gam) / q[0, j, i]));
+}
+
+// Zero-gradient padding by one ghost cell on every side of both
+// space axes (clamped indexing).
+inline double[.,.,.] pad2(double[.,.,.] q) {
+  ny = shape(q)[1];
+  nx = shape(q)[2];
+  return (with { ([0, 0, 0] <= iv < [4, ny + 2, nx + 2]) :
+      q[iv[0],
+        min(max(iv[1] - 1, 0), ny - 1),
+        min(max(iv[2] - 1, 0), nx - 1)]; }
+    : genarray([4, ny + 2, nx + 2], 0.0));
+}
+
+// Physical flux component k in the x direction at padded cell (j, i).
+inline double phys_fx(double[.,.,.] qp, int k, int j, int i, double gam) {
+  return (k == 0 ? qp[1, j, i]
+          : (k == 1 ? qp[1, j, i] * u2_of(qp, j, i) + p2_of(qp, j, i, gam)
+             : (k == 2 ? qp[2, j, i] * u2_of(qp, j, i)
+                       : u2_of(qp, j, i) * (qp[3, j, i] + p2_of(qp, j, i, gam)))));
+}
+
+// ... and in the y direction.
+inline double phys_fy(double[.,.,.] qp, int k, int j, int i, double gam) {
+  return (k == 0 ? qp[2, j, i]
+          : (k == 1 ? qp[1, j, i] * v2_of(qp, j, i)
+             : (k == 2 ? qp[2, j, i] * v2_of(qp, j, i) + p2_of(qp, j, i, gam)
+                       : v2_of(qp, j, i) * (qp[3, j, i] + p2_of(qp, j, i, gam)))));
+}
+
+inline double speed_of(double[.,.,.] qp, double un, int j, int i,
+                       double gam) {
+  return (fabs(un) + c2_of(qp, j, i, gam));
+}
+
+// Rusanov fluxes through x-interfaces: fx[k, j, i] is the flux
+// between padded cells (j+1, i) and (j+1, i+1).
+inline double[.,.,.] rusanov_x(double[.,.,.] qp, double gam) {
+  ny = shape(qp)[1] - 2;
+  nx1 = shape(qp)[2] - 1;
+  return (with { ([0, 0, 0] <= iv < [4, ny, nx1]) :
+      0.5 * (phys_fx(qp, iv[0], iv[1] + 1, iv[2], gam)
+             + phys_fx(qp, iv[0], iv[1] + 1, iv[2] + 1, gam))
+      - 0.5 * max(speed_of(qp, u2_of(qp, iv[1] + 1, iv[2]),
+                           iv[1] + 1, iv[2], gam),
+                  speed_of(qp, u2_of(qp, iv[1] + 1, iv[2] + 1),
+                           iv[1] + 1, iv[2] + 1, gam))
+           * (qp[iv[0], iv[1] + 1, iv[2] + 1] - qp[iv[0], iv[1] + 1, iv[2]]); }
+    : genarray([4, ny, nx1], 0.0));
+}
+
+// Rusanov fluxes through y-interfaces: fy[k, j, i] is the flux
+// between padded cells (j, i+1) and (j+1, i+1).
+inline double[.,.,.] rusanov_y(double[.,.,.] qp, double gam) {
+  ny1 = shape(qp)[1] - 1;
+  nx = shape(qp)[2] - 2;
+  return (with { ([0, 0, 0] <= iv < [4, ny1, nx]) :
+      0.5 * (phys_fy(qp, iv[0], iv[1], iv[2] + 1, gam)
+             + phys_fy(qp, iv[0], iv[1] + 1, iv[2] + 1, gam))
+      - 0.5 * max(speed_of(qp, v2_of(qp, iv[1], iv[2] + 1),
+                           iv[1], iv[2] + 1, gam),
+                  speed_of(qp, v2_of(qp, iv[1] + 1, iv[2] + 1),
+                           iv[1] + 1, iv[2] + 1, gam))
+           * (qp[iv[0], iv[1] + 1, iv[2] + 1] - qp[iv[0], iv[1], iv[2] + 1]); }
+    : genarray([4, ny1, nx], 0.0));
+}
+
+// L(q) = -dF/dx - dG/dy on the interior.
+inline double[.,.,.] rhs2(double[.,.,.] q, double gam, double dx,
+                          double dy) {
+  qp = pad2(q);
+  fx = rusanov_x(qp, gam);
+  fy = rusanov_y(qp, gam);
+  ny = shape(q)[1];
+  nx = shape(q)[2];
+  return (with { ([0, 0, 0] <= iv < [4, ny, nx]) :
+      -(fx[iv[0], iv[1], iv[2] + 1] - fx[iv[0], iv[1], iv[2]]) / dx
+      - (fy[iv[0], iv[1] + 1, iv[2]] - fy[iv[0], iv[1], iv[2]]) / dy; }
+    : genarray([4, ny, nx], 0.0));
+}
+
+// GetDT in two dimensions, exactly the paper's §4.2 kernel.
+inline double getdt2(double[.,.,.] q, double gam, double dx, double dy,
+                     double cfl) {
+  ny = shape(q)[1];
+  nx = shape(q)[2];
+  ev = with { ([0, 0] <= iv < [ny, nx]) :
+      (fabs(u2_of(q, iv[0], iv[1])) + c2_of(q, iv[0], iv[1], gam)) / dx
+      + (fabs(v2_of(q, iv[0], iv[1])) + c2_of(q, iv[0], iv[1], gam)) / dy; }
+    : fold(max, 0.0);
+  return (cfl / ev);
+}
+
+inline double[.,.,.] axpy2(double[.,.,.] a, double ca, double[.,.,.] b,
+                           double cb, double[.,.,.] d, double cd) {
+  return (with { (shape(a) * 0 <= iv < shape(a)) :
+      ca * a[iv] + cb * b[iv] + cd * d[iv]; }
+    : genarray(shape(a), 0.0));
+}
+
+inline double[.,.,.] step2(double[.,.,.] q, double gam, double dx,
+                           double dy, double cfl) {
+  dt = getdt2(q, gam, dx, dy, cfl);
+  q1 = axpy2(q, 1.0, q, 0.0, rhs2(q, gam, dx, dy), dt);
+  q2 = axpy2(q, 0.75, q1, 0.25, rhs2(q1, gam, dx, dy), 0.25 * dt);
+  return (axpy2(q, 1.0 / 3.0, q2, 2.0 / 3.0, rhs2(q2, gam, dx, dy),
+                2.0 / 3.0 * dt));
+}
+
+double[.,.,.] run2(double[.,.,.] q0, int steps, double gam, double dx,
+                   double dy, double cfl) {
+  q = q0;
+  for (s = 0; s < steps; s = s + 1) {
+    q = step2(q, gam, dx, dy, cfl);
+  }
+  return (q);
+}
+
+// The 2D Riemann quadrant problem (Lax-Liu configuration 3) on an
+// n x n unit square; gam = 1.4 hard-wired into the energies.
+double[.,.,.] quadrant_init(int n) {
+  return (with { ([0, 0, 0] <= iv < [4, n, n]) :
+      (2 * iv[2] + 1 > n
+       ? (2 * iv[1] + 1 > n
+          // upper right: rho 1.5, u 0, v 0, p 1.5
+          ? (iv[0] == 0 ? 1.5 : (iv[0] == 3 ? 1.5 / 0.4 : 0.0))
+          // lower right: rho 0.5323, v 1.206, p 0.3
+          : (iv[0] == 0 ? 0.5323
+             : (iv[0] == 1 ? 0.0
+                : (iv[0] == 2 ? 0.5323 * 1.206
+                   : 0.3 / 0.4 + 0.5 * 0.5323 * 1.206 * 1.206))))
+       : (2 * iv[1] + 1 > n
+          // upper left: rho 0.5323, u 1.206, p 0.3
+          ? (iv[0] == 0 ? 0.5323
+             : (iv[0] == 1 ? 0.5323 * 1.206
+                : (iv[0] == 2 ? 0.0
+                   : 0.3 / 0.4 + 0.5 * 0.5323 * 1.206 * 1.206)))
+          // lower left: rho 0.138, u 1.206, v 1.206, p 0.029
+          : (iv[0] == 0 ? 0.138
+             : (iv[0] == 3
+                ? 0.029 / 0.4 + 0.5 * 0.138 * (1.206 * 1.206 + 1.206 * 1.206)
+                : 0.138 * 1.206)))); }
+    : genarray([4, n, n], 0.0));
+}
+|}
+
+let poisson_1d =
+  {|
+// Thomas algorithm for the 1D Dirichlet Poisson problem
+// (-u'' = f, u = 0 at both ends), written with the for-loop
+// recurrence construct and functional array updates.
+double[.] poisson1d(double[.] f, double dx) {
+  n = shape(f)[0];
+  cp = genarray_const([n], 0.0);
+  dp = genarray_const([n], 0.0);
+  cp = modarray_set(cp, [0], -0.5);
+  dp = modarray_set(dp, [0], f[0] * dx * dx / 2.0);
+  for (i = 1; i < n; i = i + 1) {
+    m = 2.0 + cp[i - 1];
+    cp = modarray_set(cp, [i], -1.0 / m);
+    dp = modarray_set(dp, [i], (f[i] * dx * dx + dp[i - 1]) / m);
+  }
+  u = genarray_const([n], 0.0);
+  u = modarray_set(u, [n - 1], dp[n - 1]);
+  for (i = n - 2; i >= 0; i = i - 1) {
+    u = modarray_set(u, [i], dp[i] - cp[i] * u[i + 1]);
+  }
+  return (u);
+}
+|}
+
+let all =
+  [ ("dfdx", df_dx_no_boundary);
+    ("getdt", get_dt);
+    ("euler1d", euler_1d);
+    ("euler2d", euler_2d);
+    ("poisson1d", poisson_1d) ]

@@ -1,0 +1,34 @@
+(** Mini-SaC source code of the paper's kernels and solver.
+
+    [df_dx_no_boundary] and [get_dt] are the two kernels the paper
+    prints in §4; [euler_1d] is the complete 1D shock-tube solver in
+    the §5 benchmark configuration (piecewise-constant reconstruction,
+    Rusanov fluxes, TVD-RK3, CFL time step), written whole-array
+    style.  The conserved state is a [double\[3, n\]] array with rows
+    (rho, rho u, E). *)
+
+val df_dx_no_boundary : string
+(** The paper's §4.1 kernel, verbatim semantics. *)
+
+val get_dt : string
+(** The paper's §4.2 kernel for any-rank fields (the [double\[+\]]
+    argument type the paper highlights). *)
+
+val euler_1d : string
+(** Functions: [pad1] (zero-gradient ghosts), [rusanov] (interface
+    fluxes), [rhs] (flux divergence), [getdt], [axpy3] (RK linear
+    combination), [step] (one TVD-RK3 step), [run] (time loop),
+    [sod_init] (the Sod initial state). *)
+
+val euler_2d : string
+(** The full 2D solver in the same configuration, on a
+    [double\[4, ny, nx\]] state with outflow boundaries, plus the 2D
+    Riemann quadrant initial state ([quadrant_init]). *)
+
+val poisson_1d : string
+(** The Thomas-algorithm Poisson solver written with for-loop
+    recurrences and functional array updates — the sequential-code
+    counterpoint to the data-parallel solvers. *)
+
+val all : (string * string) list
+(** Named programs, for the [sacc] driver. *)

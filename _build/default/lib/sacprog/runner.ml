@@ -1,0 +1,72 @@
+type compiled = {
+  program : Sac.Ast.program;
+  report : Sac.Pipeline.report;
+}
+
+let compile_euler_1d ?options () =
+  let program, report = Sac.Pipeline.compile ?options Programs.euler_1d in
+  { program; report }
+
+let sod_state ?exec compiled ~nx ~steps =
+  let ctx = Sac.Eval.make_ctx ?exec compiled.program in
+  let q0 = Sac.Eval.run_fun ctx "sod_init" [ Sac.Value.Vint nx ] in
+  let result =
+    Sac.Eval.run_fun ctx "run"
+      [ q0;
+        Sac.Value.Vint steps;
+        Sac.Value.Vdbl Euler.Gas.gamma_air;
+        Sac.Value.Vdbl (1. /. float_of_int nx);
+        Sac.Value.Vdbl 0.5 ]
+  in
+  (Sac.Eval.stats ctx, Sac.Value.to_tensor result)
+
+let native_sod_state ~nx ~steps =
+  let prob = Euler.Setup.sod ~nx () in
+  let solver =
+    Euler.Solver.create ~config:Euler.Solver.benchmark_config
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  Euler.Solver.run_steps solver steps;
+  let st = solver.Euler.Solver.state in
+  Tensor.Nd.init [| 3; nx |] (fun iv ->
+      let o = Euler.Grid.offset st.Euler.State.grid iv.(1) 0 in
+      let k =
+        match iv.(0) with
+        | 0 -> Euler.State.i_rho
+        | 1 -> Euler.State.i_mx
+        | _ -> Euler.State.i_e
+      in
+      st.Euler.State.q.(k).(o))
+
+let compile_euler_2d ?options () =
+  let program, report = Sac.Pipeline.compile ?options Programs.euler_2d in
+  { program; report }
+
+let quadrant_state ?exec compiled ~n ~steps =
+  let ctx = Sac.Eval.make_ctx ?exec compiled.program in
+  let q0 = Sac.Eval.run_fun ctx "quadrant_init" [ Sac.Value.Vint n ] in
+  let d = 1. /. float_of_int n in
+  let result =
+    Sac.Eval.run_fun ctx "run2"
+      [ q0;
+        Sac.Value.Vint steps;
+        Sac.Value.Vdbl Euler.Gas.gamma_air;
+        Sac.Value.Vdbl d;
+        Sac.Value.Vdbl d;
+        Sac.Value.Vdbl 0.5 ]
+  in
+  (Sac.Eval.stats ctx, Sac.Value.to_tensor result)
+
+let native_quadrant_state ~n ~steps =
+  let prob = Euler.Setup.quadrant ~nx:n () in
+  let solver =
+    Euler.Solver.create ~config:Euler.Solver.benchmark_config
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  Euler.Solver.run_steps solver steps;
+  let st = solver.Euler.Solver.state in
+  Tensor.Nd.init [| 4; n; n |] (fun iv ->
+      let o = Euler.Grid.offset st.Euler.State.grid iv.(2) iv.(1) in
+      st.Euler.State.q.(iv.(0)).(o))
+
+let max_abs_diff = Tensor.Nd.max_abs_diff

@@ -1,0 +1,44 @@
+(** Compile and run the embedded mini-SaC programs, and bridge their
+    values to the native solver's state for validation.
+
+    This is the reproduction's counterpart of the paper's SaC port:
+    the same Sod problem, run through the mini-SaC pipeline
+    (optionally optimised), compared cell-by-cell against
+    {!Euler.Solver} in the identical benchmark configuration. *)
+
+type compiled = {
+  program : Sac.Ast.program;
+  report : Sac.Pipeline.report;
+}
+
+val compile_euler_1d : ?options:Sac.Pipeline.options -> unit -> compiled
+(** Parse, type-check and optimise {!Programs.euler_1d}. *)
+
+val sod_state :
+  ?exec:Parallel.Exec.t -> compiled -> nx:int -> steps:int ->
+  Sac.Eval.stats * Tensor.Nd.t
+(** Runs the mini-SaC solver [steps] steps on an [nx]-cell Sod tube
+    (gamma 1.4, CFL 0.5) and returns the evaluator statistics plus
+    the final [3 x nx] conserved state. *)
+
+val native_sod_state : nx:int -> steps:int -> Tensor.Nd.t
+(** The same run through {!Euler.Solver} under
+    {!Euler.Solver.benchmark_config}, delivered in the same [3 x nx]
+    layout for comparison. *)
+
+val compile_euler_2d : ?options:Sac.Pipeline.options -> unit -> compiled
+(** Parse, type-check and optimise {!Programs.euler_2d}. *)
+
+val quadrant_state :
+  ?exec:Parallel.Exec.t -> compiled -> n:int -> steps:int ->
+  Sac.Eval.stats * Tensor.Nd.t
+(** Runs the mini-SaC 2D solver on an [n x n] quadrant problem and
+    returns the statistics plus the final [4 x n x n] conserved
+    state. *)
+
+val native_quadrant_state : n:int -> steps:int -> Tensor.Nd.t
+(** The same run through {!Euler.Solver} (benchmark configuration,
+    outflow boundaries) in the same [4 x n x n] layout. *)
+
+val max_abs_diff : Tensor.Nd.t -> Tensor.Nd.t -> float
+(** Convenience re-export of {!Tensor.Nd.max_abs_diff}. *)

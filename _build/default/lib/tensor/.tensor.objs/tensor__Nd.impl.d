@@ -1,0 +1,1 @@
+lib/tensor/nd.ml: Array Float Format List Printf Shape

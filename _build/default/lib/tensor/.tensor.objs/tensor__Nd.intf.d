@@ -1,0 +1,1 @@
+lib/tensor/nd.mli: Format Shape

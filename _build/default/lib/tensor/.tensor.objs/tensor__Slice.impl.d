@@ -1,0 +1,1 @@
+lib/tensor/slice.ml: Array Nd Shape

@@ -1,0 +1,1 @@
+lib/tensor/stencil.ml: Array Nd Slice

@@ -1,0 +1,1 @@
+lib/tensor/tridiag.ml: Array Float List Nd Slice

@@ -1,0 +1,1 @@
+lib/tensor/tridiag.mli: Nd

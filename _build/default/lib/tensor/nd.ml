@@ -1,0 +1,146 @@
+type t = { shape : Shape.t; data : float array }
+
+let create s x = { shape = Array.copy s; data = Array.make (Shape.size s) x }
+
+let scalar x = { shape = Shape.scalar; data = [| x |] }
+
+let init s f =
+  let n = Shape.size s in
+  let data = Array.make n 0. in
+  if n > 0 then begin
+    let pos = ref 0 in
+    Shape.iter s (fun iv ->
+        data.(!pos) <- f iv;
+        incr pos)
+  end;
+  { shape = Array.copy s; data }
+
+let init_flat s f =
+  { shape = Array.copy s; data = Array.init (Shape.size s) f }
+
+let of_array s data =
+  if Array.length data <> Shape.size s then
+    invalid_arg "Nd.of_array: payload length does not match shape";
+  { shape = Array.copy s; data }
+
+let of_list1 xs = of_array [| List.length xs |] (Array.of_list xs)
+
+let of_list2 rows =
+  match rows with
+  | [] -> of_array [| 0; 0 |] [||]
+  | r0 :: _ ->
+    let ncols = List.length r0 in
+    if List.exists (fun r -> List.length r <> ncols) rows then
+      invalid_arg "Nd.of_list2: ragged rows";
+    let nrows = List.length rows in
+    of_array [| nrows; ncols |] (Array.of_list (List.concat rows))
+
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let shape t = Array.copy t.shape
+let rank t = Shape.rank t.shape
+let size t = Array.length t.data
+
+let get t iv = t.data.(Shape.to_flat t.shape iv)
+let set t iv x = t.data.(Shape.to_flat t.shape iv) <- x
+let get_flat t i = t.data.(i)
+let set_flat t i x = t.data.(i) <- x
+
+let to_scalar t =
+  if Array.length t.data <> 1 then invalid_arg "Nd.to_scalar: not a scalar";
+  t.data.(0)
+
+let map f t =
+  { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if Shape.equal a.shape b.shape then
+    { shape = Array.copy a.shape;
+      data = Array.init (Array.length a.data)
+               (fun i -> f a.data.(i) b.data.(i)) }
+  else if Shape.rank a.shape = 0 then
+    let x = a.data.(0) in
+    { shape = Array.copy b.shape; data = Array.map (fun y -> f x y) b.data }
+  else if Shape.rank b.shape = 0 then
+    let y = b.data.(0) in
+    { shape = Array.copy a.shape; data = Array.map (fun x -> f x y) a.data }
+  else
+    invalid_arg
+      (Printf.sprintf "Nd.map2: shape mismatch %s vs %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let neg = map (fun x -> -.x)
+let abs = map Float.abs
+let sqrt = map Float.sqrt
+let min2 = map2 Float.min
+let max2 = map2 Float.max
+
+let adds t x = map (fun y -> y +. x) t
+let subs t x = map (fun y -> y -. x) t
+let muls t x = map (fun y -> y *. x) t
+let divs t x = map (fun y -> y /. x) t
+
+let fold f init t = Array.fold_left f init t.data
+
+let sum t = fold ( +. ) 0. t
+
+let maxval t =
+  if Array.length t.data = 0 then invalid_arg "Nd.maxval: empty tensor";
+  fold Float.max Float.neg_infinity t
+
+let minval t =
+  if Array.length t.data = 0 then invalid_arg "Nd.minval: empty tensor";
+  fold Float.min Float.infinity t
+
+let equal ?(eps = 0.) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let rec go i =
+    i < 0
+    || (Float.abs (a.data.(i) -. b.data.(i)) <= eps && go (i - 1))
+  in
+  go (Array.length a.data - 1)
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Nd.max_abs_diff: shape mismatch";
+  let m = ref 0. in
+  for i = 0 to Array.length a.data - 1 do
+    let d = Float.abs (a.data.(i) -. b.data.(i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let l1_dist a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Nd.l1_dist: shape mismatch";
+  let n = Array.length a.data in
+  if n = 0 then 0.
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. Float.abs (a.data.(i) -. b.data.(i))
+    done;
+    !s /. float_of_int n
+  end
+
+let pp ppf t =
+  let rec go ppf (s : Shape.t) off =
+    if Array.length s = 0 then Format.fprintf ppf "%g" t.data.(off)
+    else begin
+      let inner = Shape.size (Array.sub s 1 (Array.length s - 1)) in
+      Format.fprintf ppf "[@[";
+      for i = 0 to s.(0) - 1 do
+        if i > 0 then Format.fprintf ppf ",@ ";
+        go ppf (Array.sub s 1 (Array.length s - 1)) (off + (i * inner))
+      done;
+      Format.fprintf ppf "@]]"
+    end
+  in
+  go ppf t.shape 0
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,119 @@
+(** Dense, row-major tensors of double-precision floats.
+
+    This is the storage substrate shared by the Euler solver, the
+    Fortran-style baseline and the mini-SaC evaluator.  The API mirrors
+    the whole-array style of FORTRAN-90 and SaC: elementwise arithmetic
+    over entire tensors, reductions ([maxval], [sum]) and index-space
+    builders ([init], the analogue of a SaC [with]-loop in genarray
+    mode).
+
+    Elementwise binary operations require both operands to have equal
+    shapes, or one of them to be a scalar (rank 0); this matches the
+    only implicit broadcast SaC permits. *)
+
+type t = private { shape : Shape.t; data : float array }
+(** A tensor.  [data] is the row-major flat payload of length
+    [Shape.size shape].  The record is exposed read-only so kernels can
+    run tight loops over [data]; use the constructors below to build
+    values that maintain the length invariant. *)
+
+(** {1 Construction} *)
+
+val create : Shape.t -> float -> t
+(** [create s x] is the tensor of shape [s] with every element [x]. *)
+
+val scalar : float -> t
+(** A rank-0 tensor. *)
+
+val init : Shape.t -> (int array -> float) -> t
+(** [init s f] builds a tensor whose element at index [iv] is [f iv]
+    (SaC: [with ... : genarray]).  The index array passed to [f] is
+    reused between calls. *)
+
+val init_flat : Shape.t -> (int -> float) -> t
+(** Like {!init} but the builder receives the row-major flat offset. *)
+
+val of_array : Shape.t -> float array -> t
+(** Wraps an existing flat payload (no copy).
+    @raise Invalid_argument if the length does not match the shape. *)
+
+val of_list1 : float list -> t
+(** Rank-1 tensor from a list. *)
+
+val of_list2 : float list list -> t
+(** Rank-2 tensor from rows.
+    @raise Invalid_argument if rows have unequal lengths. *)
+
+val copy : t -> t
+
+(** {1 Access} *)
+
+val shape : t -> Shape.t
+val rank : t -> int
+val size : t -> int
+
+val get : t -> int array -> float
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val set : t -> int array -> float -> unit
+(** In-place update; used only by imperative kernels, never by the
+    whole-array API. *)
+
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val to_scalar : t -> float
+(** @raise Invalid_argument if the tensor does not have exactly one
+    element. *)
+
+(** {1 Whole-array arithmetic} *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** @raise Invalid_argument unless the shapes are equal or one operand
+    is a scalar (which is then broadcast). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val sqrt : t -> t
+val min2 : t -> t -> t
+val max2 : t -> t -> t
+
+val adds : t -> float -> t
+val subs : t -> float -> t
+val muls : t -> float -> t
+val divs : t -> float -> t
+(** Scalar variants of the elementwise operations. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val maxval : t -> float
+(** FORTRAN's MAXVAL.  @raise Invalid_argument on an empty tensor. *)
+
+val minval : t -> float
+(** @raise Invalid_argument on an empty tensor. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+(** {1 Comparison and printing} *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Shape equality plus elementwise comparison within absolute
+    tolerance [eps] (default [0.], i.e. exact). *)
+
+val max_abs_diff : t -> t -> float
+(** L-infinity distance.  @raise Invalid_argument on shape mismatch. *)
+
+val l1_dist : t -> t -> float
+(** Mean absolute difference, the norm used to compare profiles against
+    the exact Sod solution.  @raise Invalid_argument on shape
+    mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,114 @@
+type t = int array
+
+let scalar : t = [||]
+
+let of_list xs =
+  let s = Array.of_list xs in
+  Array.iter
+    (fun e ->
+      if e < 0 then invalid_arg "Shape.of_list: negative extent")
+    s;
+  s
+
+let to_list = Array.to_list
+
+let rank (s : t) = Array.length s
+
+let size (s : t) = Array.fold_left ( * ) 1 s
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+let extent (s : t) ax =
+  if ax < 0 || ax >= Array.length s then
+    invalid_arg "Shape.extent: axis out of range";
+  s.(ax)
+
+let strides (s : t) =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let valid_index (s : t) idx =
+  Array.length idx = Array.length s
+  &&
+  let rec go i =
+    i < 0 || (idx.(i) >= 0 && idx.(i) < s.(i) && go (i - 1))
+  in
+  go (Array.length s - 1)
+
+let to_flat (s : t) idx =
+  if not (valid_index s idx) then invalid_arg "Shape.to_flat: bad index";
+  let off = ref 0 in
+  for i = 0 to Array.length s - 1 do
+    off := (!off * s.(i)) + idx.(i)
+  done;
+  !off
+
+let of_flat (s : t) off =
+  if off < 0 || off >= size s then invalid_arg "Shape.of_flat: bad offset";
+  let n = Array.length s in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for i = n - 1 downto 0 do
+    idx.(i) <- !rem mod s.(i);
+    rem := !rem / s.(i)
+  done;
+  idx
+
+(* Row-major iteration with a single reused index buffer: increment the
+   last axis and carry leftwards, which avoids a division per element. *)
+let iter (s : t) f =
+  let n = Array.length s in
+  if size s > 0 then begin
+    let idx = Array.make n 0 in
+    let continue = ref true in
+    while !continue do
+      f idx;
+      let i = ref (n - 1) in
+      let carrying = ref true in
+      while !carrying && !i >= 0 do
+        idx.(!i) <- idx.(!i) + 1;
+        if idx.(!i) < s.(!i) then carrying := false
+        else begin
+          idx.(!i) <- 0;
+          decr i
+        end
+      done;
+      if !carrying then continue := false
+    done
+  end
+
+let fold (s : t) f init =
+  let acc = ref init in
+  iter s (fun idx -> acc := f !acc idx);
+  !acc
+
+let broadcastable a b = equal a b || rank a = 0 || rank b = 0
+
+let drop_axis (s : t) ax =
+  if ax < 0 || ax >= Array.length s then
+    invalid_arg "Shape.drop_axis: axis out of range";
+  Array.init
+    (Array.length s - 1)
+    (fun i -> if i < ax then s.(i) else s.(i + 1))
+
+let concat (a : t) (b : t) = Array.append a b
+
+let is_prefix (p : t) (s : t) =
+  Array.length p <= Array.length s
+  &&
+  let rec go i = i < 0 || (p.(i) = s.(i) && go (i - 1)) in
+  go (Array.length p - 1)
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "[%s]"
+    (String.concat "," (Array.to_list (Array.map string_of_int s)))
+
+let to_string s = Format.asprintf "%a" pp s

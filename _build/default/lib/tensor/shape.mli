@@ -1,0 +1,81 @@
+(** Array shapes and row-major index arithmetic.
+
+    A shape is a vector of non-negative extents, one per axis.  Rank-0
+    shapes describe scalars.  All tensors in {!Nd} are stored flat in
+    row-major (C / SaC) order; this module provides the conversions
+    between multi-dimensional indices and flat offsets that the rest of
+    the library relies on. *)
+
+type t = int array
+(** A shape; element [i] is the extent of axis [i].  Shapes are
+    conceptually immutable: no function in this library mutates a shape
+    it is given, and functions returning shapes always return fresh
+    arrays. *)
+
+val scalar : t
+(** The rank-0 shape. *)
+
+val of_list : int list -> t
+(** [of_list xs] builds a shape from extents [xs].
+    @raise Invalid_argument if any extent is negative. *)
+
+val to_list : t -> int list
+
+val rank : t -> int
+(** Number of axes. *)
+
+val size : t -> int
+(** Total number of elements ([1] for the scalar shape, [0] if any
+    extent is zero). *)
+
+val equal : t -> t -> bool
+
+val extent : t -> int -> int
+(** [extent s ax] is the extent along axis [ax].
+    @raise Invalid_argument if [ax] is out of range. *)
+
+val strides : t -> int array
+(** Row-major strides: [strides s].(i) is the flat-offset step of a
+    unit move along axis [i].  The last axis has stride 1. *)
+
+val valid_index : t -> int array -> bool
+(** Whether an index vector lies inside the shape's index space (same
+    rank, each component in [0, extent)). *)
+
+val to_flat : t -> int array -> int
+(** Row-major linearisation of an index vector.
+    @raise Invalid_argument if the index is invalid. *)
+
+val of_flat : t -> int -> int array
+(** Inverse of {!to_flat}.
+    @raise Invalid_argument if the offset is out of range. *)
+
+val iter : t -> (int array -> unit) -> unit
+(** [iter s f] applies [f] to every index vector of [s] in row-major
+    order.  The index array passed to [f] is reused between calls; [f]
+    must copy it if it needs to retain it. *)
+
+val fold : t -> ('a -> int array -> 'a) -> 'a -> 'a
+(** Row-major fold over the index space, with the same reuse caveat as
+    {!iter}. *)
+
+val broadcastable : t -> t -> bool
+(** [broadcastable a b] is true when [a] and [b] are equal or one of
+    them is the scalar shape (the only implicit broadcast SaC-style
+    whole-array arithmetic permits). *)
+
+val drop_axis : t -> int -> t
+(** [drop_axis s ax] removes axis [ax].
+    @raise Invalid_argument if [ax] is out of range. *)
+
+val concat : t -> t -> t
+(** Shape concatenation: [concat a b] has rank [rank a + rank b]. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p s] is true when [p] equals the first [rank p] axes of
+    [s]; used for SaC-style frame/cell decompositions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [\[e0,e1,...\]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,168 @@
+let full_vector name rank_t v =
+  if Array.length v > rank_t then
+    invalid_arg (name ^ ": offset vector longer than tensor rank");
+  Array.init rank_t (fun i -> if i < Array.length v then v.(i) else 0)
+
+(* Shared slab extraction: start/extent must be in range.  Runs as a
+   single odometer sweep with an incrementally maintained source
+   offset — this is the hot path of every whole-array drop/take. *)
+let slab start extent t =
+  let s = Nd.shape t in
+  let r = Array.length s in
+  if Array.length start <> r || Array.length extent <> r then
+    invalid_arg "Slice.sub: rank mismatch";
+  for i = 0 to r - 1 do
+    if start.(i) < 0 || extent.(i) < 0 || start.(i) + extent.(i) > s.(i)
+    then invalid_arg "Slice.sub: slab out of range"
+  done;
+  let n = Shape.size extent in
+  let out = Array.make n 0. in
+  if n > 0 then begin
+    let strides = Shape.strides s in
+    let src = t.Nd.data in
+    let base = ref 0 in
+    for i = 0 to r - 1 do
+      base := !base + (start.(i) * strides.(i))
+    done;
+    if r = 0 then out.(0) <- src.(!base)
+    else begin
+      let inner = extent.(r - 1) in
+      let idx = Array.make r 0 in
+      let off = ref !base in
+      let pos = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (* Copy one contiguous innermost run. *)
+        Array.blit src !off out !pos inner;
+        pos := !pos + inner;
+        (* Advance the outer axes. *)
+        let d = ref (r - 2) in
+        let carrying = ref true in
+        while !carrying && !d >= 0 do
+          idx.(!d) <- idx.(!d) + 1;
+          off := !off + strides.(!d);
+          if idx.(!d) < extent.(!d) then carrying := false
+          else begin
+            off := !off - (extent.(!d) * strides.(!d));
+            idx.(!d) <- 0;
+            decr d
+          end
+        done;
+        if !carrying then continue := false
+      done
+    end
+  end;
+  Nd.of_array (Array.copy extent) out
+
+let sub start extent t = slab start extent t
+
+let drop ofs t =
+  let s = Nd.shape t in
+  let r = Array.length s in
+  let ofs = full_vector "Slice.drop" r ofs in
+  let start = Array.make r 0
+  and extent = Array.make r 0 in
+  for i = 0 to r - 1 do
+    let k = ofs.(i) in
+    let kept = s.(i) - abs k in
+    if kept < 0 then invalid_arg "Slice.drop: dropping more than extent";
+    start.(i) <- (if k >= 0 then k else 0);
+    extent.(i) <- kept
+  done;
+  slab start extent t
+
+let take cnt t =
+  let s = Nd.shape t in
+  let r = Array.length s in
+  let given = Array.length cnt in
+  if given > r then invalid_arg "Slice.take: count vector longer than rank";
+  let start = Array.make r 0
+  and extent = Array.make r 0 in
+  for i = 0 to r - 1 do
+    if i >= given then begin
+      (* Axes beyond the supplied vector keep their full extent. *)
+      start.(i) <- 0;
+      extent.(i) <- s.(i)
+    end
+    else begin
+      let k = cnt.(i) in
+      if abs k > s.(i) then invalid_arg "Slice.take: taking more than extent";
+      start.(i) <- (if k >= 0 then 0 else s.(i) + k);
+      extent.(i) <- abs k
+    end
+  done;
+  slab start extent t
+
+let shift ax k t =
+  let s = Nd.shape t in
+  let r = Array.length s in
+  if ax < 0 || ax >= r then invalid_arg "Slice.shift: axis out of range";
+  if s.(ax) = 0 then invalid_arg "Slice.shift: empty axis";
+  let hi = s.(ax) - 1 in
+  Nd.init s (fun iv ->
+      let src = Array.copy iv in
+      let j = iv.(ax) - k in
+      src.(ax) <- (if j < 0 then 0 else if j > hi then hi else j);
+      Nd.get t src)
+
+let reverse ax t =
+  let s = Nd.shape t in
+  if ax < 0 || ax >= Array.length s then
+    invalid_arg "Slice.reverse: axis out of range";
+  let hi = s.(ax) - 1 in
+  Nd.init s (fun iv ->
+      let src = Array.copy iv in
+      src.(ax) <- hi - iv.(ax);
+      Nd.get t src)
+
+let concat ax a b =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  let r = Array.length sa in
+  if Array.length sb <> r then invalid_arg "Slice.concat: rank mismatch";
+  if ax < 0 || ax >= r then invalid_arg "Slice.concat: axis out of range";
+  for i = 0 to r - 1 do
+    if i <> ax && sa.(i) <> sb.(i) then
+      invalid_arg "Slice.concat: extents differ off the join axis"
+  done;
+  let s = Array.copy sa in
+  s.(ax) <- sa.(ax) + sb.(ax);
+  Nd.init s (fun iv ->
+      if iv.(ax) < sa.(ax) then Nd.get a iv
+      else begin
+        let src = Array.copy iv in
+        src.(ax) <- iv.(ax) - sa.(ax);
+        Nd.get b src
+      end)
+
+let transpose t =
+  let s = Nd.shape t in
+  if Array.length s <> 2 then invalid_arg "Slice.transpose: rank must be 2";
+  Nd.init [| s.(1); s.(0) |] (fun iv -> Nd.get t [| iv.(1); iv.(0) |])
+
+let row m i =
+  let s = Nd.shape m in
+  if Array.length s <> 2 then invalid_arg "Slice.row: rank must be 2";
+  if i < 0 || i >= s.(0) then invalid_arg "Slice.row: row out of range";
+  Nd.init [| s.(1) |] (fun iv -> Nd.get m [| i; iv.(0) |])
+
+let col m j =
+  let s = Nd.shape m in
+  if Array.length s <> 2 then invalid_arg "Slice.col: rank must be 2";
+  if j < 0 || j >= s.(1) then invalid_arg "Slice.col: column out of range";
+  Nd.init [| s.(0) |] (fun iv -> Nd.get m [| iv.(0); j |])
+
+let pad_edge widths t =
+  let s = Nd.shape t in
+  let r = Array.length s in
+  if Array.length widths <> r then invalid_arg "Slice.pad_edge: rank mismatch";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Slice.pad_edge: negative width")
+    widths;
+  let s' = Array.init r (fun i -> s.(i) + (2 * widths.(i))) in
+  Nd.init s' (fun iv ->
+      let src =
+        Array.init r (fun i ->
+            let j = iv.(i) - widths.(i) in
+            if j < 0 then 0 else if j >= s.(i) then s.(i) - 1 else j)
+      in
+      Nd.get t src)

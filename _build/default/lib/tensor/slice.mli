@@ -1,0 +1,54 @@
+(** Structural tensor operations with SaC semantics.
+
+    [drop] and [take] follow SaC's conventions: the offset vector may be
+    shorter than the tensor's rank (remaining axes are untouched), and a
+    negative count acts from the end of the axis.  These are the
+    primitives the paper's [dfDxNoBoundary] kernel is built from. *)
+
+val drop : int array -> Nd.t -> Nd.t
+(** [drop ofs t]: for each axis [i < Array.length ofs], remove
+    [ofs.(i)] leading elements if positive, or [-ofs.(i)] trailing
+    elements if negative.
+    @raise Invalid_argument if more is dropped than an axis holds or if
+    [ofs] is longer than the rank. *)
+
+val take : int array -> Nd.t -> Nd.t
+(** [take cnt t]: for each axis [i], keep the first [cnt.(i)] elements
+    if positive, or the last [-cnt.(i)] if negative.
+    @raise Invalid_argument on overflow or rank mismatch. *)
+
+val sub : int array -> int array -> Nd.t -> Nd.t
+(** [sub start extent t] extracts the rectangular slab of the given
+    [extent] whose lowest corner is [start]; both vectors must have the
+    tensor's full rank.
+    @raise Invalid_argument if the slab is not contained in [t]. *)
+
+val shift : int -> int -> Nd.t -> Nd.t
+(** [shift ax k t] is [t] translated by [k] along axis [ax], with
+    elements shifted past the edge discarded and vacated positions
+    filled by edge replication (the boundary-extension used when
+    padding ghost cells).
+    @raise Invalid_argument if [ax] is out of range or axis is empty. *)
+
+val reverse : int -> Nd.t -> Nd.t
+(** [reverse ax t] flips [t] along axis [ax]. *)
+
+val concat : int -> Nd.t -> Nd.t -> Nd.t
+(** [concat ax a b] joins two tensors along [ax]; all other extents
+    must agree.  @raise Invalid_argument otherwise. *)
+
+val transpose : Nd.t -> Nd.t
+(** Rank-2 transpose ({i cf.} SaC's [{ \[i,j\] -> m\[j,i\] }]).
+    @raise Invalid_argument unless the tensor has rank 2. *)
+
+val row : Nd.t -> int -> Nd.t
+(** [row m i] extracts row [i] of a rank-2 tensor as a rank-1 tensor. *)
+
+val col : Nd.t -> int -> Nd.t
+(** [col m j] extracts column [j] of a rank-2 tensor. *)
+
+val pad_edge : int array -> Nd.t -> Nd.t
+(** [pad_edge widths t] extends every axis [i] by [widths.(i)] ghost
+    elements on both ends, replicating the edge value — the vector
+    extension step the paper applies before differencing.
+    @raise Invalid_argument on rank mismatch or negative width. *)

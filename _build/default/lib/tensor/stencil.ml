@@ -1,0 +1,38 @@
+let axis_vector rank ax k =
+  Array.init rank (fun i -> if i = ax then k else 0)
+
+let check_axis name t ax min_extent =
+  let s = Nd.shape t in
+  if ax < 0 || ax >= Array.length s then
+    invalid_arg (name ^ ": axis out of range");
+  if s.(ax) < min_extent then invalid_arg (name ^ ": axis too short")
+
+let right_neighbour ~axis t =
+  check_axis "Stencil.right_neighbour" t axis 1;
+  Slice.drop (axis_vector (Nd.rank t) axis 1) t
+
+let left_neighbour ~axis t =
+  check_axis "Stencil.left_neighbour" t axis 1;
+  Slice.drop (axis_vector (Nd.rank t) axis (-1)) t
+
+let df_dx_no_boundary ~axis ~delta t =
+  check_axis "Stencil.df_dx_no_boundary" t axis 2;
+  Nd.divs (Nd.sub (right_neighbour ~axis t) (left_neighbour ~axis t)) delta
+
+let central_difference ~axis ~delta t =
+  check_axis "Stencil.central_difference" t axis 3;
+  let r = Nd.rank t in
+  let fwd = Slice.drop (axis_vector r axis 2) t
+  and bwd = Slice.drop (axis_vector r axis (-2)) t in
+  Nd.divs (Nd.sub fwd bwd) (2. *. delta)
+
+let interior ~axis ~ghost t =
+  if ghost < 0 then invalid_arg "Stencil.interior: negative ghost width";
+  check_axis "Stencil.interior" t axis (2 * ghost);
+  let r = Nd.rank t in
+  Slice.drop (axis_vector r axis ghost)
+    (Slice.drop (axis_vector r axis (-ghost)) t)
+
+let midpoint_average ~axis t =
+  check_axis "Stencil.midpoint_average" t axis 2;
+  Nd.muls (Nd.add (right_neighbour ~axis t) (left_neighbour ~axis t)) 0.5

@@ -1,0 +1,32 @@
+(** Finite-difference stencils expressed as whole-array operations.
+
+    These are the building blocks the paper's SaC port uses: a
+    difference of a tensor with its own shifted copy, written without
+    materialising ghost copies element-by-element.  All functions
+    operate along a chosen axis so the same code serves the 1D and 2D
+    solvers (the reuse the paper advertises). *)
+
+val df_dx_no_boundary : axis:int -> delta:float -> Nd.t -> Nd.t
+(** The paper's [dfDxNoBoundary]: one-sided difference of neighbouring
+    pairs divided by the grid spacing.  The result is one element
+    shorter than the input along [axis]:
+    [r.(i) = (t.(i+1) - t.(i)) / delta].
+    @raise Invalid_argument if the axis has fewer than 2 elements. *)
+
+val central_difference : axis:int -> delta:float -> Nd.t -> Nd.t
+(** Second-order centred difference on the interior,
+    [(t.(i+1) - t.(i-1)) / (2 delta)]; two elements shorter than the
+    input along [axis]. *)
+
+val left_neighbour : axis:int -> Nd.t -> Nd.t
+(** All elements but the last along [axis] ([drop \[-1\]]). *)
+
+val right_neighbour : axis:int -> Nd.t -> Nd.t
+(** All elements but the first along [axis] ([drop \[1\]]). *)
+
+val interior : axis:int -> ghost:int -> Nd.t -> Nd.t
+(** Strip [ghost] cells from both ends of [axis]. *)
+
+val midpoint_average : axis:int -> Nd.t -> Nd.t
+(** Face-centred average [(t.(i) + t.(i+1)) / 2]; one element shorter
+    along [axis]. *)

@@ -1,0 +1,14 @@
+(** Umbrella module for the array substrate.
+
+    [Tensor.Shape] — shapes and row-major index arithmetic;
+    [Tensor.Nd] — dense float tensors with whole-array arithmetic;
+    [Tensor.Slice] — SaC-style [drop]/[take] and friends;
+    [Tensor.Stencil] — finite-difference building blocks;
+    [Tensor.Tridiag] — tridiagonal (Thomas) solves, the paper's §2
+    row-wise/column-wise reuse example. *)
+
+module Shape = Shape
+module Nd = Nd
+module Slice = Slice
+module Stencil = Stencil
+module Tridiag = Tridiag

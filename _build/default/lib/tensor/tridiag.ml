@@ -1,0 +1,84 @@
+let solve ~lower ~diag ~upper ~rhs =
+  let n = Array.length diag in
+  if n = 0 then invalid_arg "Tridiag.solve: empty system";
+  if
+    Array.length lower <> n || Array.length upper <> n
+    || Array.length rhs <> n
+  then invalid_arg "Tridiag.solve: length mismatch";
+  (* Forward elimination into scratch copies. *)
+  let c' = Array.make n 0. and d' = Array.make n 0. in
+  if diag.(0) = 0. then invalid_arg "Tridiag.solve: zero pivot";
+  c'.(0) <- upper.(0) /. diag.(0);
+  d'.(0) <- rhs.(0) /. diag.(0);
+  for i = 1 to n - 1 do
+    let m = diag.(i) -. (lower.(i) *. c'.(i - 1)) in
+    if m = 0. then invalid_arg "Tridiag.solve: zero pivot";
+    c'.(i) <- upper.(i) /. m;
+    d'.(i) <- (rhs.(i) -. (lower.(i) *. d'.(i - 1))) /. m
+  done;
+  (* Back substitution. *)
+  let x = Array.make n 0. in
+  x.(n - 1) <- d'.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+  done;
+  x
+
+let poisson_1d ~dx t =
+  if Nd.rank t <> 1 then invalid_arg "Tridiag.poisson_1d: rank must be 1";
+  let n = Nd.size t in
+  let s = dx *. dx in
+  let rhs = Array.init n (fun i -> Nd.get_flat t i *. s) in
+  let x =
+    solve
+      ~lower:(Array.make n (-1.))
+      ~diag:(Array.make n 2.)
+      ~upper:(Array.make n (-1.))
+      ~rhs
+  in
+  Nd.of_array [| n |] x
+
+let poisson_rows ~dx t =
+  if Nd.rank t <> 2 then invalid_arg "Tridiag.poisson_rows: rank must be 2";
+  let s = Nd.shape t in
+  let rows =
+    List.init s.(0) (fun i -> poisson_1d ~dx (Slice.row t i))
+  in
+  Nd.init [| s.(0); s.(1) |] (fun iv ->
+      Nd.get (List.nth rows iv.(0)) [| iv.(1) |])
+
+let poisson_cols ~dx t = Slice.transpose (poisson_rows ~dx (Slice.transpose t))
+
+let residual_line ~dx get n rhs_get =
+  let m = ref 0. in
+  let s = dx *. dx in
+  for i = 0 to n - 1 do
+    let um = if i = 0 then 0. else get (i - 1)
+    and uc = get i
+    and up = if i = n - 1 then 0. else get (i + 1) in
+    let r = ((-.um +. (2. *. uc) -. up) /. s) -. rhs_get i in
+    if Float.abs r > !m then m := Float.abs r
+  done;
+  !m
+
+let poisson_residual ~dx ~solution ~rhs =
+  match Nd.rank solution with
+  | 1 ->
+    residual_line ~dx
+      (fun i -> Nd.get_flat solution i)
+      (Nd.size solution)
+      (fun i -> Nd.get_flat rhs i)
+  | 2 ->
+    let s = Nd.shape solution in
+    let worst = ref 0. in
+    for row = 0 to s.(0) - 1 do
+      let r =
+        residual_line ~dx
+          (fun i -> Nd.get solution [| row; i |])
+          s.(1)
+          (fun i -> Nd.get rhs [| row; i |])
+      in
+      if r > !worst then worst := r
+    done;
+    !worst
+  | _ -> invalid_arg "Tridiag.poisson_residual: rank must be 1 or 2"

@@ -1,0 +1,39 @@
+(** Tridiagonal systems (Thomas algorithm) over tensors.
+
+    This is the paper's §2 reuse example: "a function that contains a
+    tridiagonal solver for a one-dimensional Poisson equation can be
+    applied to a two dimensional array (acting row-wise) and then
+    applied again column-wise by using two transpositions, all without
+    changing a single line of code in the solver definition". *)
+
+val solve :
+  lower:float array ->
+  diag:float array ->
+  upper:float array ->
+  rhs:float array ->
+  float array
+(** Thomas algorithm for a tridiagonal system of [n] unknowns:
+    [lower.(i) * x.(i-1) + diag.(i) * x.(i) + upper.(i) * x.(i+1) =
+    rhs.(i)] (the first [lower] and last [upper] entries are ignored).
+    No pivoting: the matrix must be diagonally dominant, as Poisson
+    matrices are.
+    @raise Invalid_argument on length mismatches or [n = 0]. *)
+
+val poisson_1d : dx:float -> Nd.t -> Nd.t
+(** Solves the 1D discrete Poisson problem [-u'' = f] with
+    homogeneous Dirichlet boundaries on a rank-1 right-hand side
+    ([(-u_{i-1} + 2 u_i - u_{i+1}) / dx^2 = f_i]).
+    @raise Invalid_argument unless the tensor has rank 1. *)
+
+val poisson_rows : dx:float -> Nd.t -> Nd.t
+(** The same solver applied to every row of a rank-2 tensor — the
+    unchanged 1D kernel acting row-wise. *)
+
+val poisson_cols : dx:float -> Nd.t -> Nd.t
+(** Column-wise application via the two transpositions of the paper:
+    [transpose (poisson_rows (transpose t))]. *)
+
+val poisson_residual : dx:float -> solution:Nd.t -> rhs:Nd.t -> float
+(** Largest absolute residual of the 1D operator applied along the
+    last axis (rank 1 or 2) — the verification both example and tests
+    use. *)

@@ -1,0 +1,1 @@
+test/test_euler.ml: Alcotest Array Euler Filename Float Hashtbl List Option Parallel Printf QCheck2 QCheck_alcotest String Sys Tensor

@@ -1,0 +1,1 @@
+test/test_fortran.ml: Alcotest Euler Fortran_baseline List Parallel

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Euler Float Fortran_baseline List Parallel QCheck2 QCheck_alcotest Sac Sacprog Tensor

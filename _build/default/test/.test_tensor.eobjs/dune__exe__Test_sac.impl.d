@@ -1,0 +1,1 @@
+test/test_sac.ml: Alcotest Float List Option Parallel Printf QCheck2 QCheck_alcotest Sac Sacprog Tensor

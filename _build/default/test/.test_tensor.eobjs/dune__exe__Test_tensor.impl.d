@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float List Nd QCheck2 QCheck_alcotest Shape Slice Stencil Tensor Tridiag

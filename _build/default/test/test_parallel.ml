@@ -1,0 +1,373 @@
+(* Tests for the parallel runtime: chunking, SPMD pool, fork/join and
+   the scaling cost model.  Lane counts stay small so the suite runs on
+   a single-core container. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Chunk                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunk_cover () =
+  let ranges = Parallel.Chunk.split ~lo:3 ~hi:20 ~parts:5 in
+  check_int "count" 5 (Array.length ranges);
+  check_int "first lo" 3 ranges.(0).Parallel.Chunk.lo;
+  check_int "last hi" 20 ranges.(4).Parallel.Chunk.hi;
+  (* Contiguous cover. *)
+  for i = 0 to 3 do
+    check_int "contiguous" ranges.(i).Parallel.Chunk.hi
+      ranges.(i + 1).Parallel.Chunk.lo
+  done;
+  (* Balanced: sizes differ by at most one. *)
+  let sizes = Array.map Parallel.Chunk.length ranges in
+  let mn = Array.fold_left min max_int sizes
+  and mx = Array.fold_left max min_int sizes in
+  check_bool "balanced" true (mx - mn <= 1)
+
+let test_chunk_more_parts_than_work () =
+  let ranges = Parallel.Chunk.split ~lo:0 ~hi:2 ~parts:4 in
+  let total = Array.fold_left (fun a r -> a + Parallel.Chunk.length r) 0 ranges in
+  check_int "total" 2 total
+
+let test_chunk_empty () =
+  let ranges = Parallel.Chunk.split ~lo:5 ~hi:5 ~parts:3 in
+  Array.iter (fun r -> check_int "empty" 0 (Parallel.Chunk.length r)) ranges
+
+let test_chunk_of_matches_split () =
+  let lo = 1 and hi = 103 and parts = 7 in
+  let ranges = Parallel.Chunk.split ~lo ~hi ~parts in
+  for which = 0 to parts - 1 do
+    let r = Parallel.Chunk.chunk_of ~lo ~hi ~parts ~which in
+    check_int "lo" ranges.(which).Parallel.Chunk.lo r.Parallel.Chunk.lo;
+    check_int "hi" ranges.(which).Parallel.Chunk.hi r.Parallel.Chunk.hi
+  done
+
+let test_chunk_invalid () =
+  check_bool "parts=0 raises" true
+    (try
+       ignore (Parallel.Chunk.split ~lo:0 ~hi:4 ~parts:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pool (SPMD)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_parallel_for () =
+  Parallel.Pool.with_pool ~lanes:4 (fun pool ->
+      let n = 10_000 in
+      let a = Array.make n 0 in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> a.(i) <- i);
+      let sum = Array.fold_left ( + ) 0 a in
+      check_int "sum 0..n-1" (n * (n - 1) / 2) sum)
+
+let test_pool_lane_ids () =
+  Parallel.Pool.with_pool ~lanes:3 (fun pool ->
+      let seen = Array.make 3 false in
+      Parallel.Pool.run pool (fun lane -> seen.(lane) <- true);
+      Array.iteri
+        (fun i s -> check_bool (Printf.sprintf "lane %d ran" i) true s)
+        seen)
+
+let test_pool_many_regions () =
+  (* Reuse of parked workers across many regions is the whole point of
+     the SPMD design; make sure repeated regions stay correct. *)
+  Parallel.Pool.with_pool ~lanes:2 (fun pool ->
+      let acc = Array.make 100 0 in
+      for round = 1 to 50 do
+        Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+            acc.(i) <- acc.(i) + round)
+      done;
+      let expected = 50 * 51 / 2 in
+      Array.iteri
+        (fun i v -> check_int (Printf.sprintf "acc(%d)" i) expected v)
+        acc;
+      check_int "barriers" 50 (Parallel.Pool.barriers_crossed pool))
+
+let test_pool_single_lane () =
+  Parallel.Pool.with_pool ~lanes:1 (fun pool ->
+      let hits = ref 0 in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun _ -> incr hits);
+      check_int "all iterations" 10 !hits)
+
+let test_pool_dynamic_schedule () =
+  (* Dynamic self-scheduling covers the range exactly once, like
+     static (the paper's OMP_SCHEDULE experiment: "negligible
+     difference" beyond distribution policy). *)
+  Parallel.Pool.with_pool ~lanes:3 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n (Atomic.make 0) in
+      for i = 0 to n - 1 do
+        hits.(i) <- Atomic.make 0
+      done;
+      Parallel.Pool.parallel_for ~schedule:(Parallel.Chunk.Dynamic 7) pool
+        ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          check_int (Printf.sprintf "cell %d once" i) 1 (Atomic.get c))
+        hits)
+
+let test_schedule_parsing () =
+  check_bool "static" true
+    (Parallel.Chunk.schedule_of_string "static" = Some Parallel.Chunk.Static);
+  check_bool "dynamic default" true
+    (Parallel.Chunk.schedule_of_string "dynamic"
+     = Some (Parallel.Chunk.Dynamic 16));
+  check_bool "dynamic sized" true
+    (Parallel.Chunk.schedule_of_string "dynamic:4"
+     = Some (Parallel.Chunk.Dynamic 4));
+  check_bool "junk" true (Parallel.Chunk.schedule_of_string "guided" = None);
+  Alcotest.(check string) "name" "dynamic:4"
+    (Parallel.Chunk.schedule_name (Parallel.Chunk.Dynamic 4))
+
+let test_exec_dynamic_matches_static () =
+  let run schedule =
+    let sched = Parallel.Exec.spmd ~lanes:2 in
+    let a = Array.make 500 0. in
+    Parallel.Exec.parallel_for ?schedule sched ~lo:0 ~hi:500 (fun i ->
+        a.(i) <- Float.sqrt (float_of_int i));
+    Parallel.Exec.shutdown sched;
+    a
+  in
+  let s = run None
+  and d = run (Some (Parallel.Chunk.Dynamic 13)) in
+  Alcotest.(check (array (float 0.))) "identical results" s d
+
+(* ------------------------------------------------------------------ *)
+(* Fork_join                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_join_correct () =
+  let n = 5_000 in
+  let a = Array.make n 0 in
+  Parallel.Fork_join.parallel_for ~lanes:3 ~lo:0 ~hi:n (fun i ->
+      a.(i) <- 2 * i);
+  let sum = Array.fold_left ( + ) 0 a in
+  check_int "sum" (n * (n - 1)) sum
+
+let test_fork_join_region_count () =
+  Parallel.Fork_join.reset_regions ();
+  for _ = 1 to 7 do
+    Parallel.Fork_join.parallel_for ~lanes:2 ~lo:0 ~hi:4 ignore
+  done;
+  (* Empty ranges do not count. *)
+  Parallel.Fork_join.parallel_for ~lanes:2 ~lo:0 ~hi:0 ignore;
+  check_int "regions" 7 (Parallel.Fork_join.regions_executed ())
+
+(* ------------------------------------------------------------------ *)
+(* Exec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let exec_kinds () =
+  [ ("sequential", Parallel.Exec.sequential ());
+    ("spmd", Parallel.Exec.spmd ~lanes:2);
+    ("fork-join", Parallel.Exec.fork_join ~lanes:2) ]
+
+let test_exec_parallel_for () =
+  List.iter
+    (fun (name, sched) ->
+      let a = Array.make 1000 0. in
+      Parallel.Exec.parallel_for sched ~lo:0 ~hi:1000 (fun i ->
+          a.(i) <- float_of_int i);
+      check_float (name ^ " sum") 499500. (Array.fold_left ( +. ) 0. a);
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_exec_reduce_max () =
+  List.iter
+    (fun (name, sched) ->
+      (* max of i*(100-i) over [0,100) is at i=50. *)
+      let v =
+        Parallel.Exec.parallel_reduce_max sched ~lo:0 ~hi:100 (fun i ->
+            float_of_int (i * (100 - i)))
+      in
+      check_float (name ^ " argmax value") 2500. v;
+      let empty =
+        Parallel.Exec.parallel_reduce_max sched ~lo:5 ~hi:5 (fun _ -> 1.)
+      in
+      check_bool (name ^ " empty") true (empty = Float.neg_infinity);
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_exec_region_counting () =
+  let sched = Parallel.Exec.sequential () in
+  Parallel.Exec.parallel_for sched ~lo:0 ~hi:10 ignore;
+  Parallel.Exec.parallel_for sched ~lo:0 ~hi:10 ignore;
+  ignore (Parallel.Exec.parallel_reduce_max sched ~lo:0 ~hi:4 float_of_int);
+  check_int "three regions" 3 (Parallel.Exec.regions sched);
+  Parallel.Exec.reset_regions sched;
+  check_int "reset" 0 (Parallel.Exec.regions sched);
+  (* Empty region does not count. *)
+  Parallel.Exec.parallel_for sched ~lo:0 ~hi:0 ignore;
+  check_int "empty not counted" 0 (Parallel.Exec.regions sched)
+
+let test_exec_describe () =
+  Alcotest.(check string) "seq" "sequential"
+    (Parallel.Exec.describe (Parallel.Exec.sequential ()));
+  let s = Parallel.Exec.spmd ~lanes:2 in
+  Alcotest.(check string) "spmd" "spmd(2)" (Parallel.Exec.describe s);
+  Parallel.Exec.shutdown s;
+  Alcotest.(check string) "fj" "fork-join(3)"
+    (Parallel.Exec.describe (Parallel.Exec.fork_join ~lanes:3))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_sac =
+  (* Few fused regions per step, SaC-style. *)
+  { Parallel.Cost_model.serial_s = 0.001;
+    parallel_s = 0.10;
+    regions_per_step = 12. }
+
+let sample_fortran =
+  (* Inner-loop auto-parallelisation: one region per row per loop
+     nest, thousands per step. *)
+  { Parallel.Cost_model.serial_s = 0.001;
+    parallel_s = 0.07;
+    regions_per_step = 12_000. }
+
+let p = Parallel.Cost_model.default
+
+let test_model_one_core_no_overhead () =
+  let t =
+    Parallel.Cost_model.predict_step p Parallel.Cost_model.Spin_barrier
+      sample_sac ~cores:1
+  in
+  check_float "1 core = serial + parallel" 0.101 t
+
+let test_model_spin_scales () =
+  let t1 =
+    Parallel.Cost_model.predict_step p Spin_barrier sample_sac ~cores:1
+  and t8 =
+    Parallel.Cost_model.predict_step p Spin_barrier sample_sac ~cores:8
+  and t16 =
+    Parallel.Cost_model.predict_step p Spin_barrier sample_sac ~cores:16
+  in
+  check_bool "8 cores faster" true (t8 < t1 /. 4.);
+  check_bool "16 cores not slower than 8" true (t16 <= t8 *. 1.05)
+
+let test_model_fork_join_degrades () =
+  (* With many tiny regions, fork/join overhead eventually dominates:
+     the paper's Fortran curve degrades beyond a few cores. *)
+  let t cores =
+    Parallel.Cost_model.predict_step p Os_fork_join
+      { sample_fortran with parallel_s = 0.04 }
+      ~cores
+  in
+  check_bool "more cores eventually slower" true (t 16 > t 2)
+
+let test_model_speedup_monotone_small () =
+  let s2 = Parallel.Cost_model.speedup p Spin_barrier sample_sac ~cores:2
+  and s4 = Parallel.Cost_model.speedup p Spin_barrier sample_sac ~cores:4 in
+  check_bool "s2 > 1" true (s2 > 1.5);
+  check_bool "s4 > s2" true (s4 > s2)
+
+let test_model_crossover () =
+  (* SaC slower sequentially but scalable; Fortran fast at 1 core but
+     burdened with fork/join overhead: a crossover must exist. *)
+  let sac = { sample_sac with parallel_s = 0.2 } in
+  let fortran = { sample_fortran with parallel_s = 0.05 } in
+  match
+    Parallel.Cost_model.crossover p
+      ~fast_serial:(Parallel.Cost_model.Os_fork_join, fortran)
+      ~scalable:(Parallel.Cost_model.Spin_barrier, sac)
+      ~max_cores:16
+  with
+  | None -> Alcotest.fail "expected a crossover"
+  | Some c ->
+    check_bool "crossover beyond 1 core" true (c > 1);
+    check_bool "crossover within 16" true (c <= 16)
+
+let test_model_bandwidth_cap () =
+  let uncapped = { p with Parallel.Cost_model.bandwidth_cap = 1000. } in
+  let t16_capped =
+    Parallel.Cost_model.predict_step p Spin_barrier sample_sac ~cores:16
+  and t16_free =
+    Parallel.Cost_model.predict_step uncapped Spin_barrier sample_sac
+      ~cores:16
+  in
+  check_bool "cap slows the 16-core run" true (t16_capped > t16_free)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_chunks_partition =
+  QCheck2.Test.make ~name:"chunks partition the range" ~count:300
+    QCheck2.Gen.(
+      let* lo = int_range 0 50 in
+      let* len = int_range 0 200 in
+      let* parts = int_range 1 17 in
+      return (lo, lo + len, parts))
+    (fun (lo, hi, parts) ->
+      let ranges = Parallel.Chunk.split ~lo ~hi ~parts in
+      let total =
+        Array.fold_left (fun a r -> a + Parallel.Chunk.length r) 0 ranges
+      in
+      let contiguous = ref (ranges.(0).Parallel.Chunk.lo = lo) in
+      for i = 0 to parts - 2 do
+        if ranges.(i).Parallel.Chunk.hi <> ranges.(i + 1).Parallel.Chunk.lo
+        then contiguous := false
+      done;
+      total = hi - lo
+      && !contiguous
+      && ranges.(parts - 1).Parallel.Chunk.hi = hi)
+
+let prop_model_overhead_monotone =
+  QCheck2.Test.make ~name:"overhead grows with cores" ~count:100
+    QCheck2.Gen.(int_range 2 64)
+    (fun cores ->
+      let open Parallel.Cost_model in
+      overhead_per_region p Os_fork_join ~cores
+      >= overhead_per_region p Os_fork_join ~cores:(cores - 1)
+      && overhead_per_region p Spin_barrier ~cores
+         < overhead_per_region p Os_fork_join ~cores)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_chunks_partition; prop_model_overhead_monotone ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "chunk",
+        [ Alcotest.test_case "cover" `Quick test_chunk_cover;
+          Alcotest.test_case "more parts than work" `Quick
+            test_chunk_more_parts_than_work;
+          Alcotest.test_case "empty" `Quick test_chunk_empty;
+          Alcotest.test_case "chunk_of matches split" `Quick
+            test_chunk_of_matches_split;
+          Alcotest.test_case "invalid" `Quick test_chunk_invalid ] );
+      ( "pool",
+        [ Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+          Alcotest.test_case "lane ids" `Quick test_pool_lane_ids;
+          Alcotest.test_case "many regions" `Quick test_pool_many_regions;
+          Alcotest.test_case "single lane" `Quick test_pool_single_lane;
+          Alcotest.test_case "dynamic schedule" `Quick
+            test_pool_dynamic_schedule;
+          Alcotest.test_case "schedule parsing" `Quick test_schedule_parsing;
+          Alcotest.test_case "dynamic matches static" `Quick
+            test_exec_dynamic_matches_static ] );
+      ( "fork_join",
+        [ Alcotest.test_case "correct" `Quick test_fork_join_correct;
+          Alcotest.test_case "region count" `Quick
+            test_fork_join_region_count ] );
+      ( "exec",
+        [ Alcotest.test_case "parallel_for" `Quick test_exec_parallel_for;
+          Alcotest.test_case "reduce max" `Quick test_exec_reduce_max;
+          Alcotest.test_case "region counting" `Quick
+            test_exec_region_counting;
+          Alcotest.test_case "describe" `Quick test_exec_describe ] );
+      ( "cost_model",
+        [ Alcotest.test_case "one core" `Quick test_model_one_core_no_overhead;
+          Alcotest.test_case "spin scales" `Quick test_model_spin_scales;
+          Alcotest.test_case "fork/join degrades" `Quick
+            test_model_fork_join_degrades;
+          Alcotest.test_case "speedup monotone" `Quick
+            test_model_speedup_monotone_small;
+          Alcotest.test_case "crossover" `Quick test_model_crossover;
+          Alcotest.test_case "bandwidth cap" `Quick test_model_bandwidth_cap
+        ] );
+      ("properties", qcheck_cases) ]

@@ -1,0 +1,455 @@
+(* Unit and property tests for the tensor substrate. *)
+
+open Tensor
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let nd_testable =
+  Alcotest.testable Nd.pp (fun a b -> Nd.equal ~eps:1e-12 a b)
+
+(* ------------------------------------------------------------------ *)
+(* Shape                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shape_basics () =
+  let s = Shape.of_list [ 3; 4; 5 ] in
+  check_int "rank" 3 (Shape.rank s);
+  check_int "size" 60 (Shape.size s);
+  check_int "extent" 4 (Shape.extent s 1);
+  check_bool "equal" true (Shape.equal s [| 3; 4; 5 |]);
+  check_bool "not equal" false (Shape.equal s [| 3; 4 |]);
+  check_int "scalar size" 1 (Shape.size Shape.scalar);
+  check_int "scalar rank" 0 (Shape.rank Shape.scalar)
+
+let test_shape_negative_extent () =
+  Alcotest.check_raises "negative extent"
+    (Invalid_argument "Shape.of_list: negative extent") (fun () ->
+      ignore (Shape.of_list [ 2; -1 ]))
+
+let test_shape_strides () =
+  let s = [| 2; 3; 4 |] in
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s);
+  Alcotest.(check (array int)) "rank1" [| 1 |] (Shape.strides [| 7 |]);
+  Alcotest.(check (array int)) "rank0" [||] (Shape.strides [||])
+
+let test_shape_flat_roundtrip () =
+  let s = [| 3; 4; 5 |] in
+  for off = 0 to Shape.size s - 1 do
+    check_int "roundtrip" off (Shape.to_flat s (Shape.of_flat s off))
+  done
+
+let test_shape_to_flat_order () =
+  (* Row-major: last axis varies fastest. *)
+  let s = [| 2; 3 |] in
+  check_int "[0,0]" 0 (Shape.to_flat s [| 0; 0 |]);
+  check_int "[0,2]" 2 (Shape.to_flat s [| 0; 2 |]);
+  check_int "[1,0]" 3 (Shape.to_flat s [| 1; 0 |]);
+  check_int "[1,2]" 5 (Shape.to_flat s [| 1; 2 |])
+
+let test_shape_iter_order () =
+  let s = [| 2; 2 |] in
+  let seen = ref [] in
+  Shape.iter s (fun iv -> seen := Array.copy iv :: !seen);
+  let got = List.rev !seen in
+  Alcotest.(check (list (array int)))
+    "row-major order"
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+    got
+
+let test_shape_iter_counts () =
+  let count s =
+    let n = ref 0 in
+    Shape.iter s (fun _ -> incr n);
+    !n
+  in
+  check_int "3x4" 12 (count [| 3; 4 |]);
+  check_int "scalar" 1 (count [||]);
+  check_int "empty axis" 0 (count [| 3; 0; 2 |])
+
+let test_shape_misc () =
+  check_bool "broadcastable scalar" true
+    (Shape.broadcastable [||] [| 3; 3 |]);
+  check_bool "broadcastable equal" true
+    (Shape.broadcastable [| 2 |] [| 2 |]);
+  check_bool "not broadcastable" false
+    (Shape.broadcastable [| 2 |] [| 3 |]);
+  Alcotest.(check (array int))
+    "drop_axis" [| 3; 5 |]
+    (Shape.drop_axis [| 3; 4; 5 |] 1);
+  Alcotest.(check (array int))
+    "concat" [| 2; 3; 4 |]
+    (Shape.concat [| 2 |] [| 3; 4 |]);
+  check_bool "is_prefix yes" true (Shape.is_prefix [| 2; 3 |] [| 2; 3; 4 |]);
+  check_bool "is_prefix no" false (Shape.is_prefix [| 3 |] [| 2; 3 |]);
+  Alcotest.(check string) "to_string" "[2,3]" (Shape.to_string [| 2; 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Nd                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_nd_create_get () =
+  let t = Nd.create [| 2; 3 |] 1.5 in
+  check_float "fill" 1.5 (Nd.get t [| 1; 2 |]);
+  check_int "size" 6 (Nd.size t);
+  check_int "rank" 2 (Nd.rank t);
+  let u = Nd.init [| 2; 3 |] (fun iv -> float_of_int ((iv.(0) * 10) + iv.(1))) in
+  check_float "init [1,2]" 12. (Nd.get u [| 1; 2 |]);
+  check_float "init [0,0]" 0. (Nd.get u [| 0; 0 |]);
+  check_float "flat access" 12. (Nd.get_flat u 5)
+
+let test_nd_of_list2 () =
+  let m = Nd.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  check_float "m[1][0]" 3. (Nd.get m [| 1; 0 |]);
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Nd.of_list2: ragged rows") (fun () ->
+      ignore (Nd.of_list2 [ [ 1. ]; [ 2.; 3. ] ]))
+
+let test_nd_arithmetic () =
+  let a = Nd.of_list1 [ 1.; 2.; 3. ]
+  and b = Nd.of_list1 [ 10.; 20.; 30. ] in
+  Alcotest.check nd_testable "add" (Nd.of_list1 [ 11.; 22.; 33. ])
+    (Nd.add a b);
+  Alcotest.check nd_testable "sub" (Nd.of_list1 [ -9.; -18.; -27. ])
+    (Nd.sub a b);
+  Alcotest.check nd_testable "mul" (Nd.of_list1 [ 10.; 40.; 90. ])
+    (Nd.mul a b);
+  Alcotest.check nd_testable "div" (Nd.of_list1 [ 0.1; 0.1; 0.1 ])
+    (Nd.div a b);
+  Alcotest.check nd_testable "scalar broadcast"
+    (Nd.of_list1 [ 11.; 12.; 13. ])
+    (Nd.add a (Nd.scalar 10.));
+  Alcotest.check nd_testable "muls" (Nd.of_list1 [ 2.; 4.; 6. ])
+    (Nd.muls a 2.);
+  Alcotest.check nd_testable "neg" (Nd.of_list1 [ -1.; -2.; -3. ]) (Nd.neg a)
+
+let test_nd_shape_mismatch () =
+  let a = Nd.of_list1 [ 1.; 2. ] and b = Nd.of_list1 [ 1.; 2.; 3. ] in
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Nd.add a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_nd_reductions () =
+  let t = Nd.of_list2 [ [ 1.; -5. ]; [ 3.; 2. ] ] in
+  check_float "sum" 1. (Nd.sum t);
+  check_float "maxval" 3. (Nd.maxval t);
+  check_float "minval" (-5.) (Nd.minval t);
+  check_float "abs maxval" 5. (Nd.maxval (Nd.abs t))
+
+let test_nd_distances () =
+  let a = Nd.of_list1 [ 0.; 1.; 2. ] and b = Nd.of_list1 [ 1.; 1.; 0. ] in
+  check_float "linf" 2. (Nd.max_abs_diff a b);
+  check_float "l1" 1. (Nd.l1_dist a b)
+
+let test_nd_to_scalar () =
+  check_float "to_scalar" 7. (Nd.to_scalar (Nd.scalar 7.));
+  Alcotest.(check bool) "to_scalar raises" true
+    (try
+       ignore (Nd.to_scalar (Nd.of_list1 [ 1.; 2. ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Slice                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v123456 = Nd.of_list1 [ 1.; 2.; 3.; 4.; 5.; 6. ]
+
+let test_slice_drop () =
+  Alcotest.check nd_testable "drop front"
+    (Nd.of_list1 [ 3.; 4.; 5.; 6. ])
+    (Slice.drop [| 2 |] v123456);
+  Alcotest.check nd_testable "drop back"
+    (Nd.of_list1 [ 1.; 2.; 3.; 4. ])
+    (Slice.drop [| -2 |] v123456);
+  Alcotest.check nd_testable "drop nothing" v123456
+    (Slice.drop [| 0 |] v123456);
+  let m = Nd.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  Alcotest.check nd_testable "drop 2d first row only"
+    (Nd.of_list2 [ [ 4.; 5.; 6. ] ])
+    (Slice.drop [| 1 |] m);
+  Alcotest.check nd_testable "drop 2d both axes"
+    (Nd.of_list2 [ [ 5.; 6. ] ])
+    (Slice.drop [| 1; 1 |] m)
+
+let test_slice_take () =
+  Alcotest.check nd_testable "take front"
+    (Nd.of_list1 [ 1.; 2. ])
+    (Slice.take [| 2 |] v123456);
+  Alcotest.check nd_testable "take back"
+    (Nd.of_list1 [ 5.; 6. ])
+    (Slice.take [| -2 |] v123456);
+  let m = Nd.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  Alcotest.check nd_testable "take short vector keeps later axes"
+    (Nd.of_list2 [ [ 1.; 2.; 3. ] ])
+    (Slice.take [| 1 |] m)
+
+let test_slice_sub () =
+  let m =
+    Nd.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ]; [ 7.; 8.; 9. ] ]
+  in
+  Alcotest.check nd_testable "inner slab"
+    (Nd.of_list2 [ [ 5.; 6. ] ])
+    (Slice.sub [| 1; 1 |] [| 1; 2 |] m)
+
+let test_slice_shift () =
+  Alcotest.check nd_testable "shift right, edge replicate"
+    (Nd.of_list1 [ 1.; 1.; 2.; 3.; 4.; 5. ])
+    (Slice.shift 0 1 v123456);
+  Alcotest.check nd_testable "shift left"
+    (Nd.of_list1 [ 2.; 3.; 4.; 5.; 6.; 6. ])
+    (Slice.shift 0 (-1) v123456)
+
+let test_slice_reverse_concat () =
+  Alcotest.check nd_testable "reverse"
+    (Nd.of_list1 [ 6.; 5.; 4.; 3.; 2.; 1. ])
+    (Slice.reverse 0 v123456);
+  Alcotest.check nd_testable "concat"
+    (Nd.of_list1 [ 1.; 2.; 9. ])
+    (Slice.concat 0 (Nd.of_list1 [ 1.; 2. ]) (Nd.of_list1 [ 9. ]))
+
+let test_slice_transpose () =
+  let m = Nd.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  Alcotest.check nd_testable "transpose"
+    (Nd.of_list2 [ [ 1.; 4. ]; [ 2.; 5. ]; [ 3.; 6. ] ])
+    (Slice.transpose m);
+  Alcotest.check nd_testable "double transpose id" m
+    (Slice.transpose (Slice.transpose m));
+  Alcotest.check nd_testable "row" (Nd.of_list1 [ 4.; 5.; 6. ])
+    (Slice.row m 1);
+  Alcotest.check nd_testable "col" (Nd.of_list1 [ 2.; 5. ]) (Slice.col m 1)
+
+let test_slice_pad_edge () =
+  Alcotest.check nd_testable "pad 1d"
+    (Nd.of_list1 [ 1.; 1.; 2.; 3.; 3. ])
+    (Slice.pad_edge [| 1 |] (Nd.of_list1 [ 1.; 2.; 3. ]));
+  let m = Nd.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let p = Slice.pad_edge [| 1; 0 |] m in
+  Alcotest.check nd_testable "pad rows only"
+    (Nd.of_list2 [ [ 1.; 2. ]; [ 1.; 2. ]; [ 3.; 4. ]; [ 3.; 4. ] ])
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Stencil                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stencil_df_dx () =
+  (* The paper's dfDxNoBoundary on [1,4,9,16] with delta=1:
+     differences 3,5,7. *)
+  let t = Nd.of_list1 [ 1.; 4.; 9.; 16. ] in
+  Alcotest.check nd_testable "df_dx"
+    (Nd.of_list1 [ 3.; 5.; 7. ])
+    (Stencil.df_dx_no_boundary ~axis:0 ~delta:1. t);
+  Alcotest.check nd_testable "df_dx delta=2"
+    (Nd.of_list1 [ 1.5; 2.5; 3.5 ])
+    (Stencil.df_dx_no_boundary ~axis:0 ~delta:2. t)
+
+let test_stencil_df_dx_2d () =
+  let m = Nd.of_list2 [ [ 0.; 1.; 3. ]; [ 10.; 20.; 40. ] ] in
+  Alcotest.check nd_testable "axis 1"
+    (Nd.of_list2 [ [ 1.; 2. ]; [ 10.; 20. ] ])
+    (Stencil.df_dx_no_boundary ~axis:1 ~delta:1. m);
+  Alcotest.check nd_testable "axis 0"
+    (Nd.of_list2 [ [ 10.; 19.; 37. ] ])
+    (Stencil.df_dx_no_boundary ~axis:0 ~delta:1. m)
+
+let test_stencil_central () =
+  (* f(x) = x^2 on integers: central difference is exactly 2x. *)
+  let t = Nd.init [| 7 |] (fun iv -> float_of_int (iv.(0) * iv.(0))) in
+  Alcotest.check nd_testable "central of x^2"
+    (Nd.of_list1 [ 2.; 4.; 6.; 8.; 10. ])
+    (Stencil.central_difference ~axis:0 ~delta:1. t)
+
+let test_stencil_interior_average () =
+  let t = Nd.of_list1 [ 9.; 1.; 2.; 3.; 9. ] in
+  Alcotest.check nd_testable "interior"
+    (Nd.of_list1 [ 1.; 2.; 3. ])
+    (Stencil.interior ~axis:0 ~ghost:1 t);
+  Alcotest.check nd_testable "midpoint"
+    (Nd.of_list1 [ 5.; 1.5; 2.5; 6. ])
+    (Stencil.midpoint_average ~axis:0 t)
+
+(* ------------------------------------------------------------------ *)
+(* Tridiag                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_tridiag_known_system () =
+  (* [2 -1; -1 2] x = [1; 1] has solution [1; 1]. *)
+  let x =
+    Tridiag.solve ~lower:[| 0.; -1. |] ~diag:[| 2.; 2. |]
+      ~upper:[| -1.; 0. |] ~rhs:[| 1.; 1. |]
+  in
+  check_float "x0" 1. x.(0);
+  check_float "x1" 1. x.(1)
+
+let test_tridiag_identity () =
+  let x =
+    Tridiag.solve ~lower:[| 0.; 0.; 0. |] ~diag:[| 1.; 1.; 1. |]
+      ~upper:[| 0.; 0.; 0. |] ~rhs:[| 4.; 5.; 6. |]
+  in
+  Alcotest.(check (array (float 1e-12))) "identity" [| 4.; 5.; 6. |] x
+
+let test_tridiag_rejects_bad () =
+  check_bool "length mismatch" true
+    (try
+       ignore
+         (Tridiag.solve ~lower:[| 0. |] ~diag:[| 1.; 1. |]
+            ~upper:[| 0.; 0. |] ~rhs:[| 1.; 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tridiag_poisson_residual () =
+  let n = 40 in
+  let dx = 1. /. float_of_int (n + 1) in
+  let rhs = Nd.init [| n |] (fun iv -> Float.cos (float_of_int iv.(0))) in
+  let u = Tridiag.poisson_1d ~dx rhs in
+  check_bool "residual tiny" true
+    (Tridiag.poisson_residual ~dx ~solution:u ~rhs < 1e-10)
+
+let test_tridiag_rowwise_columnwise () =
+  (* The paper's §2 reuse: the 1D solver applied row-wise, and
+     column-wise via two transpositions, solves each pencil. *)
+  let dx = 0.1 in
+  let rhs =
+    Nd.init [| 3; 20 |] (fun iv ->
+        Float.sin (float_of_int ((iv.(0) * 7) + iv.(1))))
+  in
+  let u = Tridiag.poisson_rows ~dx rhs in
+  check_bool "row-wise residual" true
+    (Tridiag.poisson_residual ~dx ~solution:u ~rhs < 1e-10);
+  let ut = Tridiag.poisson_cols ~dx (Slice.transpose rhs) in
+  check_bool "column-wise equals row-wise modulo transposes" true
+    (Nd.max_abs_diff (Slice.transpose ut) u < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_shape_gen =
+  QCheck2.Gen.(
+    let* r = int_range 0 3 in
+    let* dims = list_size (return r) (int_range 1 5) in
+    return (Array.of_list dims))
+
+let tensor_gen =
+  QCheck2.Gen.(
+    let* s = small_shape_gen in
+    let n = Shape.size s in
+    let* xs = list_size (return n) (float_range (-100.) 100.) in
+    return (Nd.of_array s (Array.of_list xs)))
+
+let prop_flat_roundtrip =
+  QCheck2.Test.make ~name:"shape flat/index roundtrip" ~count:200
+    small_shape_gen (fun s ->
+      let n = Shape.size s in
+      let ok = ref true in
+      for off = 0 to n - 1 do
+        if Shape.to_flat s (Shape.of_flat s off) <> off then ok := false
+      done;
+      !ok)
+
+let prop_add_commutes =
+  QCheck2.Test.make ~name:"add commutes" ~count:200
+    QCheck2.Gen.(pair tensor_gen tensor_gen)
+    (fun (a, b) ->
+      QCheck2.assume (Shape.equal (Nd.shape a) (Nd.shape b));
+      Nd.equal ~eps:0. (Nd.add a b) (Nd.add b a))
+
+let prop_drop_take_complement =
+  QCheck2.Test.make ~name:"drop n + take n partitions a vector" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 20 in
+      let* k = int_range 0 n in
+      let* xs = list_size (return n) (float_range (-10.) 10.) in
+      return (k, Nd.of_list1 xs))
+    (fun (k, v) ->
+      let front = Slice.take [| k |] v and rest = Slice.drop [| k |] v in
+      Nd.equal ~eps:0. v (Slice.concat 0 front rest))
+
+let prop_reverse_involution =
+  QCheck2.Test.make ~name:"reverse is an involution" ~count:200 tensor_gen
+    (fun t ->
+      QCheck2.assume (Nd.rank t >= 1);
+      Nd.equal ~eps:0. t (Slice.reverse 0 (Slice.reverse 0 t)))
+
+let prop_sum_linear =
+  QCheck2.Test.make ~name:"sum is linear under muls" ~count:200
+    QCheck2.Gen.(pair tensor_gen (float_range (-5.) 5.))
+    (fun (t, k) ->
+      Float.abs (Nd.sum (Nd.muls t k) -. (k *. Nd.sum t))
+      <= 1e-9 *. (1. +. Float.abs (k *. Nd.sum t)))
+
+let prop_pad_interior_id =
+  QCheck2.Test.make ~name:"interior of pad_edge is identity" ~count:200
+    QCheck2.Gen.(pair (int_range 0 3) tensor_gen)
+    (fun (g, t) ->
+      QCheck2.assume (Nd.rank t = 1 && Nd.size t >= 1);
+      let padded = Slice.pad_edge [| g |] t in
+      g = 0 || Nd.equal ~eps:0. t (Stencil.interior ~axis:0 ~ghost:g padded))
+
+let prop_maxval_bound =
+  QCheck2.Test.make ~name:"maxval bounds every element" ~count:200 tensor_gen
+    (fun t ->
+      QCheck2.assume (Nd.size t > 0);
+      let m = Nd.maxval t in
+      Nd.fold (fun acc x -> acc && x <= m) true t)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_flat_roundtrip;
+      prop_add_commutes;
+      prop_drop_take_complement;
+      prop_reverse_involution;
+      prop_sum_linear;
+      prop_pad_interior_id;
+      prop_maxval_bound ]
+
+let () =
+  Alcotest.run "tensor"
+    [ ( "shape",
+        [ Alcotest.test_case "basics" `Quick test_shape_basics;
+          Alcotest.test_case "negative extent" `Quick
+            test_shape_negative_extent;
+          Alcotest.test_case "strides" `Quick test_shape_strides;
+          Alcotest.test_case "flat roundtrip" `Quick
+            test_shape_flat_roundtrip;
+          Alcotest.test_case "to_flat order" `Quick test_shape_to_flat_order;
+          Alcotest.test_case "iter order" `Quick test_shape_iter_order;
+          Alcotest.test_case "iter counts" `Quick test_shape_iter_counts;
+          Alcotest.test_case "misc" `Quick test_shape_misc ] );
+      ( "nd",
+        [ Alcotest.test_case "create/get" `Quick test_nd_create_get;
+          Alcotest.test_case "of_list2" `Quick test_nd_of_list2;
+          Alcotest.test_case "arithmetic" `Quick test_nd_arithmetic;
+          Alcotest.test_case "shape mismatch" `Quick test_nd_shape_mismatch;
+          Alcotest.test_case "reductions" `Quick test_nd_reductions;
+          Alcotest.test_case "distances" `Quick test_nd_distances;
+          Alcotest.test_case "to_scalar" `Quick test_nd_to_scalar ] );
+      ( "slice",
+        [ Alcotest.test_case "drop" `Quick test_slice_drop;
+          Alcotest.test_case "take" `Quick test_slice_take;
+          Alcotest.test_case "sub" `Quick test_slice_sub;
+          Alcotest.test_case "shift" `Quick test_slice_shift;
+          Alcotest.test_case "reverse/concat" `Quick
+            test_slice_reverse_concat;
+          Alcotest.test_case "transpose/row/col" `Quick test_slice_transpose;
+          Alcotest.test_case "pad_edge" `Quick test_slice_pad_edge ] );
+      ( "stencil",
+        [ Alcotest.test_case "df_dx 1d" `Quick test_stencil_df_dx;
+          Alcotest.test_case "df_dx 2d" `Quick test_stencil_df_dx_2d;
+          Alcotest.test_case "central difference" `Quick test_stencil_central;
+          Alcotest.test_case "interior/midpoint" `Quick
+            test_stencil_interior_average ] );
+      ( "tridiag",
+        [ Alcotest.test_case "known system" `Quick test_tridiag_known_system;
+          Alcotest.test_case "identity" `Quick test_tridiag_identity;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_tridiag_rejects_bad;
+          Alcotest.test_case "poisson residual" `Quick
+            test_tridiag_poisson_residual;
+          Alcotest.test_case "row-wise/column-wise reuse" `Quick
+            test_tridiag_rowwise_columnwise ] );
+      ("properties", qcheck_cases) ]
