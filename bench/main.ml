@@ -39,14 +39,15 @@ let fig1 () =
   let nx = if !quick then 200 else 400 in
   let times = [ 0.066; 0.132; 0.2 ] in
   let prob = Euler.Setup.sod ~nx () in
-  let s =
-    Euler.Solver.create ~config:Euler.Solver.default_config
-      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  let inst =
+    Engine.Registry.create ~config:Euler.Solver.default_config "reference"
+      prob
   in
   List.iter
     (fun t ->
-      Euler.Solver.run_until s t;
-      let rho = Euler.State.density_profile s.Euler.Solver.state in
+      ignore (Engine.Run.run_until inst t);
+      let st = Engine.Backend.state inst in
+      let rho = Euler.State.density_profile st in
       let xs, exact = Euler.Setup.sod_exact_profile ~nx ~t () in
       let l1 = ref 0. in
       Array.iteri
@@ -63,8 +64,8 @@ let fig1 () =
           [ ("x", xs);
             ("rho", rho);
             ("rho_exact", Array.map (fun (r, _, _) -> r) exact);
-            ("u", Euler.State.velocity_profile s.Euler.Solver.state);
-            ("p", Euler.State.pressure_profile s.Euler.Solver.state) ])
+            ("u", Euler.State.velocity_profile st);
+            ("p", Euler.State.pressure_profile st) ])
     times;
   (* Scheme comparison at the final time: the expected ordering is
      PC > TVD2 > WENO3 in L1 error. *)
@@ -75,12 +76,9 @@ let fig1 () =
       let prob = Euler.Setup.sod ~nx () in
       let config =
         { Euler.Solver.default_config with Euler.Solver.recon } in
-      let s =
-        Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
-          prob.Euler.Setup.state
-      in
-      Euler.Solver.run_until s 0.2;
-      let rho = Euler.State.density_profile s.Euler.Solver.state in
+      let s = Engine.Registry.create ~config "reference" prob in
+      ignore (Engine.Run.run_until s 0.2);
+      let rho = Euler.State.density_profile (Engine.Backend.state s) in
       let l1 = ref 0. in
       Array.iteri
         (fun i r ->
@@ -107,12 +105,12 @@ let fig3 () =
   let t_end = 0.5 in
   let prob = Euler.Setup.two_channel ~cells_per_h () in
   Printf.printf "%s\n" prob.Euler.Setup.description;
-  let s =
-    Euler.Solver.create ~config:Euler.Solver.default_config
-      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  let inst =
+    Engine.Registry.create ~config:Euler.Solver.default_config "reference"
+      prob
   in
-  let (), wall = time_it (fun () -> Euler.Solver.run_until s t_end) in
-  let st = s.Euler.Solver.state in
+  let m = Engine.Run.run_until inst t_end in
+  let st = Engine.Backend.state inst in
   let rho = Euler.State.density_field st in
   let post =
     Euler.Rankine_hugoniot.post_shock ~gamma:Euler.Gas.gamma_air ~ms:2.2
@@ -120,7 +118,8 @@ let fig3 () =
   in
   Printf.printf
     "ran to t = %.3f in %d steps (%.1f s wall)\n"
-    s.Euler.Solver.time s.Euler.Solver.steps wall;
+    m.Engine.Metrics.sim_time m.Engine.Metrics.steps
+    m.Engine.Metrics.wall_s;
   Printf.printf "post-shock (RH) state: rho = %.4f, u = %.4f, p = %.4f\n"
     post.Euler.Rankine_hugoniot.rho post.Euler.Rankine_hugoniot.u
     post.Euler.Rankine_hugoniot.p;
@@ -163,63 +162,76 @@ let fig3 () =
 
 type measured = {
   label : string;
+  backend : string;  (* registry key *)
   seconds_per_step : float;
   regions_per_step : float;
   scheduler : Parallel.Cost_model.scheduler;
+  metrics : Engine.Metrics.t;
+  in_model : bool;
+      (* whether the row feeds the multicore cost model (the
+         interpreted mini-SaC row is measured on a different, 1D
+         problem, so its wall clock is not commensurable) *)
 }
 
+(* How each registered backend is measured for the Fig. 4 table.  The
+   sweep is driven by the registry, so a backend added there appears
+   here by its own name unless given a paper label below.
+
+   The fused reference solver stands in for the sac2c -O3 executable
+   (the paper benchmarks SaC after aggressive with-loop folding);
+   the whole-array twin is the same program before folding, every
+   array operation materialising a temporary; the Fortran rows are
+   the baseline at both auto-parallelisation granularities; the
+   interpreted mini-SaC program is measured on a small 1D Sod tube
+   (the interpreter is orders of magnitude off native speed). *)
+let fig4_plan ~n ~steps_f ~steps_a name =
+  let two_channel () = Euler.Setup.two_channel ~cells_per_h:(n / 2) () in
+  match name with
+  | "reference" ->
+    Some ("SaC (sac2c -O3)", two_channel (), steps_f, true)
+  | "array" -> Some ("SaC (no WLF)", two_channel (), steps_a, true)
+  | "fortran" -> Some ("Fortran -autopar", two_channel (), steps_f, true)
+  | "fortran-outer" ->
+    Some ("Fortran (outer ap.)", two_channel (), steps_f, true)
+  | "sacprog" ->
+    Some
+      ("mini-SaC (interp., 1D)", Euler.Setup.sod ~nx:100 (), steps_a, false)
+  | other -> Some (other, two_channel (), steps_a, true)
+
+(* The model charges the unfused SaC row one region per with-loop (the
+   instrumented count), and the others their scheduler-region count. *)
+let model_regions_per_step (m : Engine.Metrics.t) =
+  match List.assoc_opt "with-loops/step" m.Engine.Metrics.notes with
+  | Some w -> w
+  | None ->
+    (match List.assoc_opt "with-loops" m.Engine.Metrics.notes with
+     | Some w when m.Engine.Metrics.steps > 0 ->
+       w /. float_of_int m.Engine.Metrics.steps
+     | _ -> Engine.Metrics.regions_per_step m)
+
+let measure_backend ~label ~backend ~problem ~steps ~in_model =
+  let exec = Parallel.Exec.sequential () in
+  let inst =
+    Engine.Registry.create ~exec ~config:Euler.Solver.benchmark_config
+      backend problem
+  in
+  let m = Engine.Run.run_steps inst steps in
+  { label;
+    backend;
+    seconds_per_step = m.Engine.Metrics.wall_s /. float_of_int steps;
+    regions_per_step = model_regions_per_step m;
+    scheduler = Engine.Backend.cost_scheduler inst;
+    metrics = m;
+    in_model }
+
 let measure_implementations ~n ~steps_f ~steps_a =
-  (* Fortran-90 baseline at both autopar granularities. *)
-  let measure_fortran autopar label =
-    let p = Euler.Setup.two_channel ~cells_per_h:(n / 2) () in
-    let f = Fortran_baseline.F_solver.of_problem ~autopar p in
-    let exec = Parallel.Exec.sequential () in
-    let (), t =
-      time_it (fun () -> Fortran_baseline.F_solver.run_steps f exec steps_f)
-    in
-    { label;
-      seconds_per_step = t /. float_of_int steps_f;
-      regions_per_step =
-        float_of_int (Parallel.Exec.regions exec) /. float_of_int steps_f;
-      scheduler = Parallel.Cost_model.Os_fork_join }
-  in
-  let fortran =
-    measure_fortran Fortran_baseline.F_solver.Inner "Fortran -autopar"
-  in
-  let fortran_outer =
-    measure_fortran Fortran_baseline.F_solver.Outer "Fortran (outer ap.)"
-  in
-  (* The SaC executable the paper benchmarks is compiled with
-     -maxoptcyc 100, i.e. after aggressive with-loop folding: its
-     whole-array semantics execute as few fused data-parallel regions
-     (the Sac library demonstrates the folding itself on the solver
-     source).  The fused implementation is that executable. *)
-  let sac =
-    let p = Euler.Setup.two_channel ~cells_per_h:(n / 2) () in
-    let exec = Parallel.Exec.sequential () in
-    let s = Euler.Solver.create ~exec
-        ~config:Euler.Solver.benchmark_config ~bcs:p.Euler.Setup.bcs
-        p.Euler.Setup.state in
-    let (), t = time_it (fun () -> Euler.Solver.run_steps s steps_f) in
-    { label = "SaC (sac2c -O3)";
-      seconds_per_step = t /. float_of_int steps_f;
-      regions_per_step = Euler.Solver.regions_per_step s;
-      scheduler = Parallel.Cost_model.Spin_barrier }
-  in
-  (* Ablation: the same whole-array program before with-loop folding,
-     every array operation materialising a temporary -- what the SaC
-     run would cost with fusion disabled. *)
-  let unfused =
-    let p = Euler.Setup.two_channel ~cells_per_h:(n / 2) () in
-    let a = Euler.Array_style.create ~bcs:p.Euler.Setup.bcs
-        p.Euler.Setup.state in
-    let (), t = time_it (fun () -> Euler.Array_style.run_steps a steps_a) in
-    { label = "SaC (no WLF)";
-      seconds_per_step = t /. float_of_int steps_a;
-      regions_per_step = Euler.Array_style.with_loops_per_step a;
-      scheduler = Parallel.Cost_model.Spin_barrier }
-  in
-  [ fortran; sac; unfused; fortran_outer ]
+  List.filter_map
+    (fun backend ->
+      match fig4_plan ~n ~steps_f ~steps_a backend with
+      | None -> None
+      | Some (label, problem, steps, in_model) ->
+        Some (measure_backend ~label ~backend ~problem ~steps ~in_model))
+    (Engine.Registry.names ())
 
 let fig4_table ~n ~steps ~title ~csv impls =
   header title;
@@ -227,14 +239,33 @@ let fig4_table ~n ~steps ~title ~csv impls =
   List.iter
     (fun m ->
       Printf.printf
-        "%-18s measured %8.2f ms/step, %8.0f parallel regions/step\n"
-        m.label (m.seconds_per_step *. 1e3) m.regions_per_step)
+        "%-22s measured %8.2f ms/step, %8.0f parallel regions/step%s\n"
+        m.label (m.seconds_per_step *. 1e3) m.regions_per_step
+        (if m.in_model then "" else "  [not in scaling model]"))
     impls;
+  Printf.printf "\nper-region timing buckets (engine instrumentation):\n";
+  List.iter
+    (fun m ->
+      Printf.printf "%-22s" m.label;
+      (match m.metrics.Engine.Metrics.buckets with
+       | [] -> print_string " (no instrumented regions)"
+       | buckets ->
+         List.iter
+           (fun (r, (b : Parallel.Exec.bucket)) ->
+             Printf.printf "  %s %d x %.2f ms"
+               (Parallel.Exec.region_name r)
+               b.Parallel.Exec.count
+               (b.Parallel.Exec.total_ns /. 1e6
+                /. float_of_int (max b.Parallel.Exec.count 1)))
+           buckets);
+      print_newline ())
+    impls;
+  let model = List.filter (fun m -> m.in_model) impls in
   let cores = [ 1; 2; 4; 6; 8; 12; 16 ] in
   Printf.printf
     "\npredicted wall clock of %d time steps on the %dx%d grid (seconds):\n"
     steps n n;
-  Printf.printf "%-18s" "cores";
+  Printf.printf "%-22s" "cores";
   List.iter (fun c -> Printf.printf "%9d" c) cores;
   print_newline ();
   let rows =
@@ -252,14 +283,15 @@ let fig4_table ~n ~steps ~title ~csv impls =
                 ~cores:c)
             cores
         in
-        Printf.printf "%-18s" m.label;
+        Printf.printf "%-22s" m.label;
         List.iter (fun t -> Printf.printf "%9.1f" t) preds;
         print_newline ();
         (m, preds))
-      impls
+      model
   in
-  (match impls with
-   | fortran :: sac :: _ ->
+  let by_backend key = List.find_opt (fun m -> m.backend = key) model in
+  (match (by_backend "fortran", by_backend "reference") with
+   | Some fortran, Some sac ->
      let fw m =
        { Parallel.Cost_model.serial_s = 0.;
          parallel_s = m.seconds_per_step;

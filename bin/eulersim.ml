@@ -1,6 +1,7 @@
 (* eulersim: command-line driver mirroring the original Fortran code's
    options -- problem selection, reconstruction, Riemann solver,
-   Runge-Kutta order, CFL, and the execution backend. *)
+   Runge-Kutta order, CFL -- plus the engine layer's backend registry
+   (--backend) and scheduler selection (--sched). *)
 
 open Cmdliner
 
@@ -47,6 +48,18 @@ let rk_conv =
   in
   Arg.conv (parse, fun ppf r -> Format.pp_print_string ppf (Euler.Rk.name r))
 
+let backend_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    if Option.is_some (Engine.Registry.find s) then Ok s
+    else
+      Error
+        (`Msg
+           ("unknown backend; available: "
+            ^ String.concat ", " (Engine.Registry.names ())))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let scheduler_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -62,9 +75,27 @@ let scheduler_conv =
   in
   Arg.conv (parse, print)
 
-let run problem nx ms recon riemann rk cfl steps t_end scheduler lanes
-    fortran_style csv pgm =
-  let config = { Euler.Solver.recon; riemann; rk; cfl } in
+(* The whole-array and mini-SaC backends implement only the §5
+   benchmark scheme; rather than erroring out, downgrade the scheme
+   and say so. *)
+let effective_config backend (config : Euler.Solver.config) =
+  let b = Euler.Solver.benchmark_config in
+  match backend with
+  | "array" | "sacprog"
+    when config.recon <> b.recon || config.riemann <> b.riemann
+         || config.rk <> b.rk ->
+    Printf.printf
+      "note: backend %s supports only the benchmark scheme; using \
+       piecewise-constant + rusanov + rk3\n"
+      backend;
+    { b with cfl = config.cfl }
+  | _ -> config
+
+let run problem nx ms recon riemann rk cfl steps t_end backend scheduler
+    lanes csv pgm =
+  let config =
+    effective_config backend { Euler.Solver.recon; riemann; rk; cfl }
+  in
   let prob =
     match problem with
     | "sod" -> Euler.Setup.sod ~nx ()
@@ -82,79 +113,54 @@ let run problem nx ms recon riemann rk cfl steps t_end scheduler lanes
     | `Fork_join -> Parallel.Exec.fork_join ~lanes
   in
   Printf.printf "problem: %s\n" prob.Euler.Setup.description;
-  Printf.printf
-    "scheme: %s + %s + %s, CFL %g; backend: %s%s\n"
-    (Euler.Recon.name recon) (Euler.Riemann.name riemann)
-    (Euler.Rk.name rk) cfl
-    (Parallel.Exec.describe exec)
-    (if fortran_style then " (Fortran-baseline kernels)" else "");
-  let t0 = Unix.gettimeofday () in
-  let final_state, time, nsteps =
-    if fortran_style then begin
-      let f = Fortran_baseline.F_solver.of_problem ~cfl prob in
-      (match (steps, t_end) with
-       | Some n, _ -> Fortran_baseline.F_solver.run_steps f exec n
-       | None, Some t ->
-         while f.Fortran_baseline.F_solver.time < t do
-           ignore (Fortran_baseline.F_solver.step f exec)
-         done
-       | None, None -> Fortran_baseline.F_solver.run_steps f exec 100);
-      ( Fortran_baseline.F_solver.state f,
-        f.Fortran_baseline.F_solver.time,
-        f.Fortran_baseline.F_solver.steps )
-    end
-    else begin
-      let s =
-        Euler.Solver.create ~exec ~config ~bcs:prob.Euler.Setup.bcs
-          prob.Euler.Setup.state
-      in
-      (match (steps, t_end) with
-       | Some n, _ -> Euler.Solver.run_steps s n
-       | None, Some t -> Euler.Solver.run_until s t
-       | None, None -> Euler.Solver.run_steps s 100);
-      (s.Euler.Solver.state, s.Euler.Solver.time, s.Euler.Solver.steps)
-    end
+  Printf.printf "scheme: %s + %s + %s, CFL %g; backend: %s; sched: %s\n"
+    (Euler.Recon.name config.recon)
+    (Euler.Riemann.name config.riemann)
+    (Euler.Rk.name config.rk)
+    config.cfl backend
+    (Parallel.Exec.describe exec);
+  let inst =
+    try Engine.Registry.create ~exec ~config backend prob
+    with Invalid_argument msg ->
+      Parallel.Exec.shutdown exec;
+      Printf.eprintf "eulersim: %s\n" msg;
+      exit 2
   in
-  let wall = Unix.gettimeofday () -. t0 in
-  Printf.printf
-    "done: %d steps to t = %.6f in %.2f s (%.2f ms/step), %d parallel \
-     regions\n"
-    nsteps time wall
-    (wall /. float_of_int (max nsteps 1) *. 1e3)
-    (Parallel.Exec.regions exec);
+  let metrics =
+    match (steps, t_end) with
+    | Some n, _ -> Engine.Run.run_steps inst n
+    | None, Some t -> Engine.Run.run_until inst t
+    | None, None -> Engine.Run.run_steps inst 100
+  in
+  print_endline (Engine.Metrics.to_string metrics);
+  Printf.printf "%.2f ms/step\n"
+    (metrics.Engine.Metrics.wall_s
+     /. float_of_int (max metrics.Engine.Metrics.steps 1)
+     *. 1e3);
+  let final_state = Engine.Backend.state inst in
   Printf.printf "mass %.6f  energy %.6f  min rho %.4f  min p %.4f\n"
     (Euler.State.total_mass final_state)
     (Euler.State.total_energy final_state)
     (Euler.State.min_density final_state)
     (Euler.State.min_pressure final_state);
-  let rho = Euler.State.density_field final_state in
-  if Euler.Grid.is_1d final_state.Euler.State.grid then
+  let is_1d = Euler.Grid.is_1d final_state.Euler.State.grid in
+  if is_1d then
     print_string
       (Euler.Field_io.ascii_profile ~width:72 ~height:14
          (Euler.State.density_profile final_state))
   else
     print_string
       (Euler.Field_io.ascii_contour ~width:72 ~height:26
-         (Euler.Field_io.schlieren rho));
+         (Euler.Field_io.schlieren (Euler.State.density_field final_state)));
   (match csv with
    | Some path ->
-     if Euler.Grid.is_1d final_state.Euler.State.grid then begin
-       let nx = final_state.Euler.State.grid.Euler.Grid.nx in
-       Euler.Field_io.write_profile_csv ~path
-         ~columns:
-           [ ( "x",
-               Array.init nx
-                 (Euler.Grid.xc final_state.Euler.State.grid) );
-             ("rho", Euler.State.density_profile final_state);
-             ("u", Euler.State.velocity_profile final_state);
-             ("p", Euler.State.pressure_profile final_state) ]
-     end
-     else Euler.Field_io.write_field_csv ~path rho;
+     if is_1d then Engine.Run.emit ~profile_csv:path inst
+     else Engine.Run.emit ~field_csv:path inst;
      Printf.printf "wrote %s\n" path
    | None -> ());
   (match pgm with
    | Some path ->
-     Euler.Field_io.write_pgm ~path rho;
+     Engine.Run.emit ~pgm:path inst;
      Printf.printf "wrote %s\n" path
    | None -> ());
   Parallel.Exec.shutdown exec
@@ -186,16 +192,16 @@ let cmd =
   and t_end =
     Arg.(value & opt (some float) None
          & info [ "t"; "time" ] ~doc:"march to a physical time")
+  and backend =
+    Arg.(value & opt backend_conv "reference"
+         & info [ "backend" ]
+             ~doc:"solver implementation: reference, array, fortran, \
+                   fortran-outer or sacprog")
   and scheduler =
     Arg.(value & opt scheduler_conv `Seq
-         & info [ "backend" ] ~doc:"seq, spmd or forkjoin")
+         & info [ "sched" ] ~doc:"scheduler: seq, spmd or forkjoin")
   and lanes =
     Arg.(value & opt int 2 & info [ "lanes" ] ~doc:"parallel lanes")
-  and fortran_style =
-    Arg.(value & flag
-         & info [ "fortran" ]
-             ~doc:"use the Fortran-90 baseline kernels (benchmark \
-                   configuration only)")
   and csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"write the final field/profile as CSV")
@@ -207,6 +213,6 @@ let cmd =
     (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
     Term.(
       const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ steps
-      $ t_end $ scheduler $ lanes $ fortran_style $ csv $ pgm)
+      $ t_end $ backend $ scheduler $ lanes $ csv $ pgm)
 
 let () = exit (Cmd.eval cmd)

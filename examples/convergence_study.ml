@@ -14,12 +14,9 @@
 let sod_error ~recon ~nx =
   let prob = Euler.Setup.sod ~nx () in
   let config = { Euler.Solver.default_config with Euler.Solver.recon } in
-  let s =
-    Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
-      prob.Euler.Setup.state
-  in
-  Euler.Solver.run_until s 0.2;
-  let rho = Euler.State.density_profile s.Euler.Solver.state in
+  let s = Engine.Registry.create ~config "reference" prob in
+  ignore (Engine.Run.run_until s 0.2);
+  let rho = Euler.State.density_profile (Engine.Backend.state s) in
   let _, exact = Euler.Setup.sod_exact_profile ~nx ~t:0.2 () in
   let l1 = ref 0. in
   Array.iteri
@@ -35,12 +32,9 @@ let pulse_error ~recon ~nx =
   let run n =
     let prob = Euler.Setup.acoustic_pulse ~nx:n () in
     let config = { Euler.Solver.default_config with Euler.Solver.recon } in
-    let s =
-      Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
-        prob.Euler.Setup.state
-    in
-    Euler.Solver.run_until s 0.1;
-    Euler.State.density_profile s.Euler.Solver.state
+    let s = Engine.Registry.create ~config "reference" prob in
+    ignore (Engine.Run.run_until s 0.1);
+    Euler.State.density_profile (Engine.Backend.state s)
   in
   let coarse = run nx and fine = run (4 * nx) in
   let err = ref 0. in

@@ -5,9 +5,9 @@
 
      dune exec examples/limiter_comparison.exe *)
 
-let l1_error ~nx ~t ~left ~right solver =
-  let grid = (solver.Euler.Solver.state).Euler.State.grid in
-  let rho = Euler.State.density_profile solver.Euler.Solver.state in
+let l1_error ~nx ~t ~left ~right (st : Euler.State.t) =
+  let grid = st.Euler.State.grid in
+  let rho = Euler.State.density_profile st in
   let err = ref 0. in
   for i = 0 to nx - 1 do
     let re, _, _ =
@@ -32,12 +32,10 @@ let run_case name setup ~t ~left ~right =
       (fun recon ->
         let prob = setup () in
         let config = { Euler.Solver.default_config with Euler.Solver.recon } in
-        let solver =
-          Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
-            prob.Euler.Setup.state
-        in
-        Euler.Solver.run_until solver t;
-        (Euler.Recon.name recon, l1_error ~nx:200 ~t ~left ~right solver))
+        let inst = Engine.Registry.create ~config "reference" prob in
+        ignore (Engine.Run.run_until inst t);
+        ( Euler.Recon.name recon,
+          l1_error ~nx:200 ~t ~left ~right (Engine.Backend.state inst) ))
       schemes
   in
   List.iter

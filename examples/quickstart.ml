@@ -8,20 +8,26 @@ let () =
      plus the boundary conditions it needs. *)
   let problem = Euler.Setup.sod ~nx:400 () in
 
-  (* 2. Build a solver: WENO3 reconstruction in characteristic
-     variables, HLLC fluxes, 3rd-order TVD Runge-Kutta. *)
-  let solver =
-    Euler.Solver.create ~config:Euler.Solver.default_config
-      ~bcs:problem.Euler.Setup.bcs problem.Euler.Setup.state
+  (* 2. Instantiate a backend from the engine registry — "reference"
+     is the fused solver; "array", "fortran", "fortran-outer" and
+     "sacprog" are the paper's other implementations of the same
+     numerics.  The config picks WENO3 reconstruction in
+     characteristic variables, HLLC fluxes, 3rd-order TVD
+     Runge-Kutta. *)
+  let inst =
+    Engine.Registry.create ~config:Euler.Solver.default_config "reference"
+      problem
   in
 
-  (* 3. March to t = 0.2 (the standard comparison time). *)
-  Euler.Solver.run_until solver 0.2;
-  Printf.printf "Sod tube: %d steps to t = %.3f\n" solver.Euler.Solver.steps
-    solver.Euler.Solver.time;
+  (* 3. March to t = 0.2 (the standard comparison time) through the
+     shared driver; it returns wall-clock and region metrics. *)
+  let metrics = Engine.Run.run_until inst 0.2 in
+  Printf.printf "Sod tube: %d steps to t = %.3f (%.2f s)\n"
+    metrics.Engine.Metrics.steps metrics.Engine.Metrics.sim_time
+    metrics.Engine.Metrics.wall_s;
 
   (* 4. Compare with the exact solution. *)
-  let rho = Euler.State.density_profile solver.Euler.Solver.state in
+  let rho = Euler.State.density_profile (Engine.Backend.state inst) in
   let _, exact = Euler.Setup.sod_exact_profile ~nx:400 ~t:0.2 () in
   let l1 = ref 0. in
   Array.iteri

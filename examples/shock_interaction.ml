@@ -9,26 +9,25 @@
 let () =
   let problem = Euler.Setup.two_channel ~cells_per_h:60 () in
   print_endline problem.Euler.Setup.description;
-  let solver =
-    Euler.Solver.create ~config:Euler.Solver.default_config
-      ~bcs:problem.Euler.Setup.bcs problem.Euler.Setup.state
+  let inst =
+    Engine.Registry.create ~config:Euler.Solver.default_config "reference"
+      problem
   in
   (* Snapshots at successive times show the interaction developing. *)
   List.iter
     (fun t ->
-      Euler.Solver.run_until solver t;
-      let st = solver.Euler.Solver.state in
-      let rho = Euler.State.density_field st in
+      let m = Engine.Run.run_until inst t in
+      let rho = Euler.State.density_field (Engine.Backend.state inst) in
       Printf.printf
         "\n--- t = %.2f (step %d): density in [%.3f, %.3f] ---\n"
-        solver.Euler.Solver.time solver.Euler.Solver.steps
+        m.Engine.Metrics.sim_time m.Engine.Metrics.steps
         (Tensor.Nd.minval rho) (Tensor.Nd.maxval rho);
       print_string
         (Euler.Field_io.ascii_contour ~width:66 ~height:24
            (Euler.Field_io.schlieren rho)))
     [ 0.15; 0.3; 0.45 ];
   (* Quantitative checks on the final flow. *)
-  let st = solver.Euler.Solver.state in
+  let st = Engine.Backend.state inst in
   let post =
     Euler.Rankine_hugoniot.post_shock ~gamma:st.Euler.State.gamma ~ms:2.2
       ~rho0:1. ~p0:1.

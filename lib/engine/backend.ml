@@ -1,0 +1,55 @@
+type spec = {
+  problem : Euler.Setup.problem;
+  config : Euler.Solver.config;
+  exec : Parallel.Exec.t;
+}
+
+let spec ?exec ?(config = Euler.Solver.benchmark_config) problem =
+  let exec =
+    match exec with Some e -> e | None -> Parallel.Exec.sequential ()
+  in
+  { problem; config; exec }
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  val create : spec -> t
+  val dt : t -> float
+  val step_dt : t -> float -> unit
+  val time : t -> float
+  val steps : t -> int
+  val state : t -> Euler.State.t
+  val exec : t -> Parallel.Exec.t
+  val notes : t -> (string * float) list
+  val cost_scheduler : Parallel.Cost_model.scheduler
+end
+
+type instance =
+  | Instance : (module BACKEND with type t = 'a) * 'a -> instance
+
+let make (module B : BACKEND) s = Instance ((module B), B.create s)
+
+let name (Instance ((module B), _)) = B.name
+let dt (Instance ((module B), b)) = B.dt b
+let step_dt (Instance ((module B), b)) d = B.step_dt b d
+let time (Instance ((module B), b)) = B.time b
+let steps (Instance ((module B), b)) = B.steps b
+let state (Instance ((module B), b)) = B.state b
+let exec (Instance ((module B), b)) = B.exec b
+let notes (Instance ((module B), b)) = B.notes b
+let cost_scheduler (Instance ((module B), _)) = B.cost_scheduler
+
+let step inst =
+  let d = dt inst in
+  step_dt inst d;
+  d
+
+let metrics ?(wall_s = 0.) inst =
+  { Metrics.backend = name inst;
+    steps = steps inst;
+    sim_time = time inst;
+    wall_s;
+    regions = Parallel.Exec.regions (exec inst);
+    buckets = Parallel.Exec.buckets (exec inst);
+    notes = notes inst }

@@ -1,0 +1,88 @@
+(** The engine's backend interface.
+
+    The repository deliberately carries four implementations of the
+    same numerics — the fused reference solver, the SaC whole-array
+    style, the Fortran DO-loop baseline, and the interpreted mini-SaC
+    program.  Each is packaged as a {!BACKEND} so one driver
+    ({!Run}) owns the time loop, CFL clamping and instrumentation for
+    all of them, and so any two can be cross-validated
+    ({!Validate}). *)
+
+type spec = {
+  problem : Euler.Setup.problem;  (** state is copied at creation *)
+  config : Euler.Solver.config;
+  exec : Parallel.Exec.t;  (** scheduler; also the metrics sink *)
+}
+
+val spec :
+  ?exec:Parallel.Exec.t ->
+  ?config:Euler.Solver.config ->
+  Euler.Setup.problem ->
+  spec
+(** Defaults: a fresh sequential scheduler and
+    {!Euler.Solver.benchmark_config} (the §5 benchmark numerics that
+    every backend supports). *)
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  (** Registry key, e.g. ["reference"]. *)
+
+  val create : spec -> t
+  (** Copies the problem state; the spec's scheduler is owned by the
+      backend afterwards.
+      @raise Invalid_argument if the backend cannot represent the
+      spec (e.g. the mini-SaC backend is 1D, benchmark-config
+      only). *)
+
+  val dt : t -> float
+  (** CFL-limited step size at the current state (GetDT). *)
+
+  val step_dt : t -> float -> unit
+  (** Advance exactly one RK step of the given size.  [dt] followed by
+      [step_dt] must perform the same work as the backend's historical
+      fused step — drivers rely on that to clamp [dt] without
+      perturbing measurements. *)
+
+  val time : t -> float
+  val steps : t -> int
+
+  val state : t -> Euler.State.t
+  (** Current conserved fields (interior meaningful; may be a copy). *)
+
+  val exec : t -> Parallel.Exec.t
+
+  val notes : t -> (string * float) list
+  (** Backend-specific metrics extras (e.g. with-loop counts). *)
+
+  val cost_scheduler : Parallel.Cost_model.scheduler
+  (** Which synchronisation regime the scaling model should charge
+      this backend with: spin barriers for the SaC-side
+      implementations, kernel fork/join for the Fortran baseline. *)
+end
+
+type instance =
+  | Instance : (module BACKEND with type t = 'a) * 'a -> instance
+      (** A backend packed with a live solver of its own state type. *)
+
+val make : (module BACKEND) -> spec -> instance
+
+(** Accessors dispatching through the packed module. *)
+
+val name : instance -> string
+val dt : instance -> float
+val step_dt : instance -> float -> unit
+val time : instance -> float
+val steps : instance -> int
+val state : instance -> Euler.State.t
+val exec : instance -> Parallel.Exec.t
+val notes : instance -> (string * float) list
+val cost_scheduler : instance -> Parallel.Cost_model.scheduler
+
+val step : instance -> float
+(** [dt] then [step_dt]; returns the [dt] taken. *)
+
+val metrics : ?wall_s:float -> instance -> Metrics.t
+(** Snapshot of the instance's lifetime counters ([wall_s] defaults
+    to 0 — the driver fills it in). *)

@@ -1,0 +1,197 @@
+let benchmark_scheme_only ~name (c : Euler.Solver.config) =
+  let b = Euler.Solver.benchmark_config in
+  if c.recon <> b.recon || c.riemann <> b.riemann || c.rk <> b.rk then
+    invalid_arg
+      (Printf.sprintf
+         "Engine backend %S implements only the benchmark scheme \
+          (piecewise-constant + Rusanov + TVD-RK3)"
+         name)
+
+module Reference : Backend.BACKEND = struct
+  type t = Euler.Solver.t
+
+  let name = "reference"
+
+  let create (s : Backend.spec) =
+    Euler.Solver.create ~exec:s.exec ~config:s.config
+      ~bcs:s.problem.Euler.Setup.bcs
+      (Euler.State.copy s.problem.Euler.Setup.state)
+
+  let dt = Euler.Solver.dt
+  let step_dt = Euler.Solver.step_dt
+  let time (s : t) = s.Euler.Solver.time
+  let steps (s : t) = s.Euler.Solver.steps
+  let state (s : t) = s.Euler.Solver.state
+  let exec (s : t) = s.Euler.Solver.exec
+  let notes _ = []
+  let cost_scheduler = Parallel.Cost_model.Spin_barrier
+end
+
+module Array_style : Backend.BACKEND = struct
+  type t = Euler.Array_style.t
+
+  let name = "array"
+
+  let create (s : Backend.spec) =
+    benchmark_scheme_only ~name s.config;
+    Euler.Array_style.create ~cfl:s.config.Euler.Solver.cfl ~exec:s.exec
+      ~bcs:s.problem.Euler.Setup.bcs
+      (Euler.State.copy s.problem.Euler.Setup.state)
+
+  let dt = Euler.Array_style.get_dt
+  let step_dt = Euler.Array_style.step_dt
+  let time = Euler.Array_style.time
+  let steps = Euler.Array_style.steps
+  let state = Euler.Array_style.state
+  let exec = Euler.Array_style.exec
+
+  let notes t =
+    [ ("with-loops", float_of_int (Euler.Array_style.with_loops t));
+      ("with-loops/step", Euler.Array_style.with_loops_per_step t) ]
+
+  let cost_scheduler = Parallel.Cost_model.Spin_barrier
+end
+
+module Make_fortran (A : sig
+  val name : string
+  val autopar : Fortran_baseline.F_solver.autopar
+end) : Backend.BACKEND = struct
+  type t = {
+    f : Fortran_baseline.F_solver.t;
+    exec : Parallel.Exec.t;
+  }
+
+  let name = A.name
+
+  let create (s : Backend.spec) =
+    { f =
+        Fortran_baseline.F_solver.of_problem ~autopar:A.autopar
+          ~config:s.config s.problem;
+      exec = s.exec }
+
+  let dt t = Fortran_baseline.F_solver.dt t.f t.exec
+  let step_dt t d = Fortran_baseline.F_solver.step_dt t.f t.exec d
+  let time t = t.f.Fortran_baseline.F_solver.time
+  let steps t = t.f.Fortran_baseline.F_solver.steps
+  let state t = Fortran_baseline.F_solver.state t.f
+  let exec t = t.exec
+  let notes _ = []
+  let cost_scheduler = Parallel.Cost_model.Os_fork_join
+end
+
+module Fortran = Make_fortran (struct
+  let name = "fortran"
+  let autopar = Fortran_baseline.F_solver.Inner
+end)
+
+module Fortran_outer = Make_fortran (struct
+  let name = "fortran-outer"
+  let autopar = Fortran_baseline.F_solver.Outer
+end)
+
+module Sacprog : Backend.BACKEND = struct
+  type t = {
+    ctx : Sac.Eval.ctx;
+    template : Euler.State.t;  (* grid + gamma + ghost layout *)
+    mutable q : Sac.Value.t;  (* [3, nx] conserved state *)
+    gam : float;
+    dx : float;
+    cfl : float;
+    exec : Parallel.Exec.t;
+    mutable time : float;
+    mutable steps : int;
+  }
+
+  let name = "sacprog"
+
+  let create (s : Backend.spec) =
+    benchmark_scheme_only ~name s.config;
+    let st = s.problem.Euler.Setup.state in
+    let g = st.Euler.State.grid in
+    if not (Euler.Grid.is_1d g) then
+      invalid_arg "Engine backend \"sacprog\" is 1D only";
+    let compiled = Sacprog.Runner.compile_euler_1d () in
+    let ctx = Sac.Eval.make_ctx ~exec:s.exec compiled.Sacprog.Runner.program in
+    let q =
+      Tensor.Nd.init [| 3; g.Euler.Grid.nx |] (fun iv ->
+          let o = Euler.Grid.offset g iv.(1) 0 in
+          let k =
+            match iv.(0) with
+            | 0 -> Euler.State.i_rho
+            | 1 -> Euler.State.i_mx
+            | _ -> Euler.State.i_e
+          in
+          st.Euler.State.q.(k).(o))
+    in
+    { ctx;
+      template = Euler.State.copy st;
+      q = Sac.Value.Vdarr q;
+      gam = st.Euler.State.gamma;
+      dx = g.Euler.Grid.dx;
+      cfl = s.config.Euler.Solver.cfl;
+      exec = s.exec;
+      time = 0.;
+      steps = 0 }
+
+  (* The interpreter's with-loops already run (and are counted)
+     through [exec] when large enough; [timed] additionally charges
+     the whole evaluator call to a bucket so the mini-SaC backend
+     reports the same instrumentation shape as the native ones. *)
+  let dt t =
+    Parallel.Exec.timed t.exec Parallel.Exec.Reduce (fun () ->
+        Sac.Value.to_float
+          (Sac.Eval.run_fun t.ctx "dt_of"
+             [ t.q;
+               Sac.Value.Vdbl t.gam;
+               Sac.Value.Vdbl t.dx;
+               Sac.Value.Vdbl t.cfl ]))
+
+  let step_dt t dt =
+    let q =
+      Parallel.Exec.timed t.exec Parallel.Exec.Rhs (fun () ->
+          Sac.Eval.run_fun t.ctx "step_dt"
+            [ t.q;
+              Sac.Value.Vdbl dt;
+              Sac.Value.Vdbl t.gam;
+              Sac.Value.Vdbl t.dx ])
+    in
+    t.q <- q;
+    t.time <- t.time +. dt;
+    t.steps <- t.steps + 1
+
+  let time t = t.time
+  let steps t = t.steps
+
+  let state t =
+    let st = Euler.State.copy t.template in
+    let g = st.Euler.State.grid in
+    let q = Sac.Value.to_tensor t.q in
+    for ix = 0 to g.Euler.Grid.nx - 1 do
+      let o = Euler.Grid.offset g ix 0 in
+      st.Euler.State.q.(Euler.State.i_rho).(o)
+        <- Tensor.Nd.get q [| 0; ix |];
+      st.Euler.State.q.(Euler.State.i_mx).(o)
+        <- Tensor.Nd.get q [| 1; ix |];
+      st.Euler.State.q.(Euler.State.i_my).(o) <- 0.;
+      st.Euler.State.q.(Euler.State.i_e).(o)
+        <- Tensor.Nd.get q [| 2; ix |]
+    done;
+    st
+
+  let exec t = t.exec
+
+  let notes t =
+    let s = Sac.Eval.stats t.ctx in
+    [ ("with-loops", float_of_int s.Sac.Eval.with_loops);
+      ("elements", float_of_int s.Sac.Eval.elements);
+      ("calls", float_of_int s.Sac.Eval.calls) ]
+
+  let cost_scheduler = Parallel.Cost_model.Spin_barrier
+end
+
+let builtin : (module Backend.BACKEND) list =
+  [ (module Reference);
+    (module Array_style);
+    (module Fortran);
+    (module Fortran_outer);
+    (module Sacprog) ]

@@ -1,0 +1,29 @@
+(** The built-in backends: one wrapper per solver implementation in
+    the repository.
+
+    - ["reference"] — {!Euler.Solver}, the fused kernels standing in
+      for sac2c's fully optimised output (any scheme configuration).
+    - ["array"] — {!Euler.Array_style}, the unfused whole-array SaC
+      style (benchmark scheme only).
+    - ["fortran"] / ["fortran-outer"] —
+      {!Fortran_baseline.F_solver} with inner-/outer-loop
+      auto-parallelisation (any scheme configuration).
+    - ["sacprog"] — the interpreted mini-SaC program
+      {!Sacprog.Programs.euler_1d} run through the [Sac] compiler
+      pipeline (1D, benchmark scheme only; evaluator calls are
+      charged coarsely to the reduce/rhs buckets). *)
+
+module Reference : Backend.BACKEND
+module Array_style : Backend.BACKEND
+
+module Make_fortran (_ : sig
+  val name : string
+  val autopar : Fortran_baseline.F_solver.autopar
+end) : Backend.BACKEND
+
+module Fortran : Backend.BACKEND
+module Fortran_outer : Backend.BACKEND
+module Sacprog : Backend.BACKEND
+
+val builtin : (module Backend.BACKEND) list
+(** What {!Registry} serves, in presentation order. *)

@@ -1,0 +1,34 @@
+type t = {
+  backend : string;
+  steps : int;
+  sim_time : float;
+  wall_s : float;
+  regions : int;
+  buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
+  notes : (string * float) list;
+}
+
+let regions_per_step m =
+  if m.steps = 0 then 0.
+  else float_of_int m.regions /. float_of_int m.steps
+
+let bucket m region = List.assoc_opt region m.buckets
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>%s: %d steps to t=%.6g in %.3f s (%d regions, %.2f/step)"
+    m.backend m.steps m.sim_time m.wall_s m.regions (regions_per_step m);
+  List.iter
+    (fun (r, (b : Parallel.Exec.bucket)) ->
+      Format.fprintf ppf "@,  %-10s %8d regions  %10.3f ms total  %8.1f us max"
+        (Parallel.Exec.region_name r)
+        b.Parallel.Exec.count
+        (b.Parallel.Exec.total_ns /. 1e6)
+        (b.Parallel.Exec.max_ns /. 1e3))
+    m.buckets;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "@,  %-10s %g" k v)
+    m.notes;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,32 @@
+(** Uniform per-run instrumentation, reported identically by every
+    backend so the paper's implementations can be compared
+    side-by-side: step and region counts, wall clock, and the
+    scheduler's per-region-kind timing buckets. *)
+
+type t = {
+  backend : string;  (** registry name of the backend that ran *)
+  steps : int;  (** time steps taken since the backend was created *)
+  sim_time : float;  (** simulated time reached *)
+  wall_s : float;  (** wall-clock seconds of this driver call *)
+  regions : int;
+      (** parallel regions executed through the backend's scheduler
+          (equals {!Parallel.Exec.regions} of its exec) *)
+  buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
+      (** per-region-kind wall-time buckets (rhs, bc, reduce,
+          rk-combine), from {!Parallel.Exec.buckets} *)
+  notes : (string * float) list;
+      (** backend-specific extras, e.g. the with-loop counts of the
+          array-style and mini-SaC implementations *)
+}
+
+val regions_per_step : t -> float
+(** Parallel regions per time step — the cost model's key input.
+    [0.] before the first step. *)
+
+val bucket : t -> Parallel.Exec.region -> Parallel.Exec.bucket option
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering (used by [eulersim] and the
+    bench harness). *)
+
+val to_string : t -> string

@@ -1,0 +1,20 @@
+let all () = Backends.builtin
+
+let names () =
+  List.map (fun (module B : Backend.BACKEND) -> B.name) (all ())
+
+let find key =
+  List.find_opt
+    (fun (module B : Backend.BACKEND) -> String.equal B.name key)
+    (all ())
+
+let find_exn key =
+  match find key with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine.Registry: unknown backend %S (have: %s)" key
+         (String.concat ", " (names ())))
+
+let create ?exec ?config key problem =
+  Backend.make (find_exn key) (Backend.spec ?exec ?config problem)

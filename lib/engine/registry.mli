@@ -1,0 +1,25 @@
+(** String-keyed lookup of the built-in backends, so drivers (the
+    [eulersim] CLI's [--backend] flag, the bench harness's
+    implementation sweep, tests) select implementations by name. *)
+
+val names : unit -> string list
+(** ["reference"; "array"; "fortran"; "fortran-outer"; "sacprog"]. *)
+
+val all : unit -> (module Backend.BACKEND) list
+
+val find : string -> (module Backend.BACKEND) option
+
+val find_exn : string -> (module Backend.BACKEND)
+(** @raise Invalid_argument on an unknown name, listing the known
+    ones. *)
+
+val create :
+  ?exec:Parallel.Exec.t ->
+  ?config:Euler.Solver.config ->
+  string ->
+  Euler.Setup.problem ->
+  Backend.instance
+(** [create key problem] looks the backend up and instantiates it on
+    the problem (state copied).  Defaults as {!Backend.spec}.
+    @raise Invalid_argument on an unknown name or a spec the backend
+    rejects. *)

@@ -1,0 +1,46 @@
+let now () = Unix.gettimeofday ()
+
+type snapshot_trigger = Steps of int | Sim_time of float
+
+let run_steps ?on_step inst n =
+  let t0 = now () in
+  for _ = 1 to n do
+    let d = Backend.step inst in
+    match on_step with None -> () | Some f -> f inst d
+  done;
+  Backend.metrics ~wall_s:(now () -. t0) inst
+
+let run_until ?on_step inst target =
+  let t0 = now () in
+  while Backend.time inst < target -. 1e-14 do
+    let d = Backend.dt inst in
+    let d = Float.min d (target -. Backend.time inst) in
+    Backend.step_dt inst d;
+    (match on_step with None -> () | Some f -> f inst d)
+  done;
+  Backend.metrics ~wall_s:(now () -. t0) inst
+
+let emit ?profile_csv ?field_csv ?pgm inst =
+  let st = Backend.state inst in
+  (match profile_csv with
+   | None -> ()
+   | Some path ->
+     let g = st.Euler.State.grid in
+     let xs =
+       Array.init g.Euler.Grid.nx (fun ix -> Euler.Grid.xc g ix)
+     in
+     Euler.Field_io.write_profile_csv ~path
+       ~columns:
+         [ ("x", xs);
+           ("rho", Euler.State.density_profile st);
+           ("u", Euler.State.velocity_profile st);
+           ("p", Euler.State.pressure_profile st) ]);
+  (match field_csv with
+   | None -> ()
+   | Some path ->
+     Euler.Field_io.write_field_csv ~path (Euler.State.density_field st));
+  match pgm with
+  | None -> ()
+  | Some path ->
+    Euler.Field_io.write_pgm ~path
+      (Euler.Field_io.schlieren (Euler.State.density_field st))

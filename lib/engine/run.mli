@@ -1,0 +1,36 @@
+(** The shared time-marching driver.
+
+    Exactly one time loop exists in the system: this one.  It asks the
+    backend for the CFL step, clamps it when a target time must be hit
+    exactly, advances, and wraps the whole march in wall-clock and
+    region instrumentation, so every implementation is measured — and
+    emits output — identically. *)
+
+type snapshot_trigger = Steps of int | Sim_time of float
+
+val run_steps :
+  ?on_step:(Backend.instance -> float -> unit) ->
+  Backend.instance ->
+  int ->
+  Metrics.t
+(** March a fixed number of CFL-limited steps (the paper's benchmark
+    mode).  [on_step] observes the instance and the [dt] just taken
+    after every step (snapshots, progress). *)
+
+val run_until :
+  ?on_step:(Backend.instance -> float -> unit) ->
+  Backend.instance ->
+  float ->
+  Metrics.t
+(** March until the backend's time reaches the target, clipping the
+    final step so it is hit exactly. *)
+
+val emit :
+  ?profile_csv:string ->
+  ?field_csv:string ->
+  ?pgm:string ->
+  Backend.instance ->
+  unit
+(** Write standard outputs of the current state: a 1D
+    [x, rho, u, p] profile CSV, the density field as CSV, and/or a
+    numerical-schlieren PGM image. *)

@@ -1,0 +1,70 @@
+type divergence = {
+  var : string;
+  max_abs : float;
+  l1 : float;
+}
+
+type report = {
+  backend_a : string;
+  backend_b : string;
+  steps : int;
+  divergences : divergence list;
+  max_abs : float;
+}
+
+let var_names = [| "rho"; "rho*u"; "rho*v"; "E" |]
+
+let divergences (a : Euler.State.t) (b : Euler.State.t) =
+  let g = a.Euler.State.grid in
+  if b.Euler.State.grid <> g then
+    invalid_arg "Engine.Validate: backends ran on different grids";
+  let cells = float_of_int (Euler.Grid.interior_cells g) in
+  List.init Euler.State.nvar (fun k ->
+      let max_abs = ref 0. and sum = ref 0. in
+      for iy = 0 to g.Euler.Grid.ny - 1 do
+        for ix = 0 to g.Euler.Grid.nx - 1 do
+          let o = Euler.Grid.offset g ix iy in
+          let d =
+            Float.abs (a.Euler.State.q.(k).(o) -. b.Euler.State.q.(k).(o))
+          in
+          if d > !max_abs then max_abs := d;
+          sum := !sum +. d
+        done
+      done;
+      { var = var_names.(k); max_abs = !max_abs; l1 = !sum /. cells })
+
+let compare_states ~backend_a ~backend_b ~steps a b =
+  let divergences = divergences a b in
+  { backend_a;
+    backend_b;
+    steps;
+    divergences;
+    max_abs =
+      List.fold_left
+        (fun m (d : divergence) -> Float.max m d.max_abs)
+        0. divergences }
+
+let cross_check ?config ?(steps = 10) a b problem =
+  let run key =
+    let inst = Registry.create ?config key problem in
+    ignore (Run.run_steps inst steps);
+    (inst, Backend.state inst)
+  in
+  let ia, sa = run a in
+  let ib, sb = run b in
+  compare_states ~backend_a:(Backend.name ia) ~backend_b:(Backend.name ib)
+    ~steps sa sb
+
+let within report tol = report.max_abs <= tol
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s vs %s after %d steps (max %.3e):"
+    r.backend_a r.backend_b r.steps r.max_abs;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@,  %-6s max|d| = %.3e  L1 = %.3e" d.var
+        d.max_abs d.l1)
+    r.divergences;
+  Format.fprintf ppf "@]"
+
+let to_string r = Format.asprintf "%a" pp r

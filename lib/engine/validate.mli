@@ -1,0 +1,43 @@
+(** Cross-backend validation: run any two registered backends on the
+    same problem and quantify how far their conserved fields drift
+    apart — the engine-level generalisation of the repository's
+    pairwise agreement tests. *)
+
+type divergence = {
+  var : string;  (** ["rho"], ["rho*u"], ["rho*v"], ["E"] *)
+  max_abs : float;  (** max interior absolute difference *)
+  l1 : float;  (** mean interior absolute difference *)
+}
+
+type report = {
+  backend_a : string;
+  backend_b : string;
+  steps : int;
+  divergences : divergence list;  (** one per conserved variable *)
+  max_abs : float;  (** largest {!divergence.max_abs} *)
+}
+
+val divergences :
+  Euler.State.t -> Euler.State.t -> divergence list
+(** Per-variable interior differences of two states.
+    @raise Invalid_argument if the grids differ. *)
+
+val cross_check :
+  ?config:Euler.Solver.config ->
+  ?steps:int ->
+  string ->
+  string ->
+  Euler.Setup.problem ->
+  report
+(** [cross_check a b problem] instantiates backends [a] and [b] on
+    (independent copies of) the problem, marches each [steps]
+    (default 10) CFL-limited steps through {!Run.run_steps}, and
+    compares the final states.  [config] defaults to the benchmark
+    scheme, which all backends support.
+    @raise Invalid_argument on unknown names or rejected specs. *)
+
+val within : report -> float -> bool
+(** [within r tol] — did the fields agree to [tol] everywhere? *)
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

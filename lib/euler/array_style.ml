@@ -5,6 +5,11 @@ type t = {
   s1 : State.t;
   s2 : State.t;
   bcs : (Bc.side * Bc.kind) list;
+  cfl : float;
+  exec : Parallel.Exec.t;
+  (* Instrumentation only: with-loops never run through a scheduler
+     here, but phase wall times are charged to its buckets so the
+     engine layer reports uniform metrics. *)
   mutable time : float;
   mutable steps : int;
   mutable ops : int;
@@ -12,11 +17,16 @@ type t = {
 
 let cfl = 0.5
 
-let create ~bcs st =
+let create ?(cfl = cfl) ?exec ~bcs st =
+  let exec =
+    match exec with Some e -> e | None -> Parallel.Exec.sequential ()
+  in
   { st;
     s1 = State.copy st;
     s2 = State.copy st;
     bcs;
+    cfl;
+    exec;
     time = 0.;
     steps = 0;
     ops = 0 }
@@ -24,6 +34,7 @@ let create ~bcs st =
 let state t = t.st
 let time t = t.time
 let steps t = t.steps
+let exec t = t.exec
 let with_loops t = t.ops
 
 let with_loops_per_step t =
@@ -97,7 +108,7 @@ let get_dt t =
     else
       ( +! ) t ev_x (muls t (( +! ) t (abs_ t v) c) (1. /. g.Grid.dy))
   in
-  cfl /. maxval_ t ev
+  t.cfl /. maxval_ t ev
 
 (* Rusanov flux divergence along one axis, whole-array: slices of the
    padded arrays play the role of SaC's drop(), and the final
@@ -181,21 +192,34 @@ let combine t ~dst ~ca ~a ~cb ~b ~cd d =
     scatter t dst k term
   done
 
-let step t =
-  let dt = get_dt t in
+let get_dt t =
+  Parallel.Exec.timed t.exec Parallel.Exec.Reduce (fun () -> get_dt t)
+
+let step_dt t dt =
+  let timed r f = Parallel.Exec.timed t.exec r f in
+  let bc st = timed Parallel.Exec.Bc (fun () -> Bc.apply st t.bcs) in
+  let rhs src = timed Parallel.Exec.Rhs (fun () -> rhs t src) in
+  let combine ~dst ~ca ~a ~cb ~b ~cd d =
+    timed Parallel.Exec.Rk_combine (fun () ->
+        combine t ~dst ~ca ~a ~cb ~b ~cd d)
+  in
   (* TVD-RK3, with ghost refresh before every flux evaluation. *)
-  Bc.apply t.st t.bcs;
-  let d = rhs t t.st in
-  combine t ~dst:t.s1 ~ca:1. ~a:t.st ~cb:0. ~b:t.st ~cd:dt d;
-  Bc.apply t.s1 t.bcs;
-  let d = rhs t t.s1 in
-  combine t ~dst:t.s2 ~ca:0.75 ~a:t.st ~cb:0.25 ~b:t.s1 ~cd:(0.25 *. dt) d;
-  Bc.apply t.s2 t.bcs;
-  let d = rhs t t.s2 in
-  combine t ~dst:t.st ~ca:(1. /. 3.) ~a:t.st ~cb:(2. /. 3.) ~b:t.s2
+  bc t.st;
+  let d = rhs t.st in
+  combine ~dst:t.s1 ~ca:1. ~a:t.st ~cb:0. ~b:t.st ~cd:dt d;
+  bc t.s1;
+  let d = rhs t.s1 in
+  combine ~dst:t.s2 ~ca:0.75 ~a:t.st ~cb:0.25 ~b:t.s1 ~cd:(0.25 *. dt) d;
+  bc t.s2;
+  let d = rhs t.s2 in
+  combine ~dst:t.st ~ca:(1. /. 3.) ~a:t.st ~cb:(2. /. 3.) ~b:t.s2
     ~cd:(2. /. 3. *. dt) d;
   t.time <- t.time +. dt;
-  t.steps <- t.steps + 1;
+  t.steps <- t.steps + 1
+
+let step t =
+  let dt = get_dt t in
+  step_dt t dt;
   dt
 
 let run_steps t n =

@@ -18,19 +18,33 @@
 
 type t
 
-val create : bcs:(Bc.side * Bc.kind) list -> State.t -> t
+val create :
+  ?cfl:float ->
+  ?exec:Parallel.Exec.t ->
+  bcs:(Bc.side * Bc.kind) list ->
+  State.t ->
+  t
 (** Takes ownership of the state.  The state's grid must have at
-    least one ghost layer. *)
+    least one ghost layer.  [cfl] defaults to {!cfl}; [exec] (default
+    a fresh sequential scheduler) is used for instrumentation only —
+    phase wall times are charged to its timing buckets, no with-loop
+    runs through it. *)
 
 val state : t -> State.t
 val time : t -> float
 val steps : t -> int
+val exec : t -> Parallel.Exec.t
 
 val cfl : float
-(** Fixed at 0.5, matching {!Solver.benchmark_config}. *)
+(** The default CFL number, 0.5, matching
+    {!Solver.benchmark_config}. *)
 
 val get_dt : t -> float
 (** The paper's [getDt], computed with whole-array operations. *)
+
+val step_dt : t -> float -> unit
+(** One TVD-RK3 step of the given size (the engine driver's entry
+    point). *)
 
 val step : t -> float
 (** One CFL-limited TVD-RK3 step; returns the [dt] taken. *)

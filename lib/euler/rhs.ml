@@ -113,7 +113,7 @@ let compute cfg exec (st : State.t) dqdt =
   and d_my = dqdt.(State.i_my)
   and d_e = dqdt.(State.i_e) in
   (* --- x sweep: one parallel region over rows ------------------- *)
-  Parallel.Exec.parallel_for exec ~lo:0 ~hi:ny (fun iy ->
+  Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rhs ~lo:0 ~hi:ny (fun iy ->
       let len = nx + (2 * ng) in
       let rho = Array.make len 0.
       and mn = Array.make len 0.
@@ -137,7 +137,7 @@ let compute cfg exec (st : State.t) dqdt =
       done);
   (* --- y sweep: one parallel region over columns ----------------- *)
   if ny > 1 then
-    Parallel.Exec.parallel_for exec ~lo:0 ~hi:nx (fun ix ->
+    Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rhs ~lo:0 ~hi:nx (fun ix ->
         let len = ny + (2 * ng) in
         let rho = Array.make len 0.
         and mn = Array.make len 0.

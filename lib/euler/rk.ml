@@ -34,7 +34,7 @@ let combine exec (g : Grid.t) ~dst ~ca ~a ~cb ~b ~cd d =
   let nx = g.Grid.nx
   and ng = g.Grid.ng
   and stride = g.Grid.row_stride in
-  Parallel.Exec.parallel_for exec ~lo:0 ~hi:g.Grid.ny (fun iy ->
+  Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rk_combine ~lo:0 ~hi:g.Grid.ny (fun iy ->
       let base = ((iy + ng) * stride) + ng in
       for k = 0 to State.nvar - 1 do
         let dk = dst.(k) and ak = a.(k) and bk = b.(k) and ddk = d.(k) in

@@ -47,13 +47,17 @@ let step_dt s dt =
   in
   Rk.step s.config.rk
     ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
-    ~bc:(fun st -> Bc.apply st s.bcs)
+    ~bc:(fun st ->
+      Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
+          Bc.apply st s.bcs))
     ~exec:s.exec ~dt s.state s.workspace;
   s.time <- s.time +. dt;
   s.steps <- s.steps + 1
 
+let dt s = Time_step.dt ~cfl:s.config.cfl s.exec s.state
+
 let step s =
-  let dt = Time_step.dt ~cfl:s.config.cfl s.exec s.state in
+  let dt = dt s in
   step_dt s dt;
   dt
 

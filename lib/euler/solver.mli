@@ -42,6 +42,14 @@ val create :
 (** Wraps a freshly initialised state (defaults to the sequential
     scheduler).  The state is owned by the solver afterwards. *)
 
+val dt : t -> float
+(** The CFL time step at the current state (GetDT); {!step} is
+    exactly [step_dt] of this value. *)
+
+val step_dt : t -> float -> unit
+(** Advances one step of the given size — the entry point the engine
+    driver uses so the time loop can clamp [dt] externally. *)
+
 val step : t -> float
 (** Advances one time step and returns the [dt] taken. *)
 

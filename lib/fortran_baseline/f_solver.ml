@@ -13,6 +13,10 @@ type t = {
   rk : Euler.Rk.kind;
   mutable time : float;
   mutable steps : int;
+  mutable stage_ready : bool;
+  (* Ghosts filled and primitives decoded for the current [qc]; lets
+     [dt] followed by [step_dt] share one BC/primitives pass, exactly
+     as the fused original [step] did. *)
 }
 
 let create ?(autopar = Inner) ?(config = Euler.Solver.benchmark_config)
@@ -28,7 +32,8 @@ let create ?(autopar = Inner) ?(config = Euler.Solver.benchmark_config)
     riemann = config.Euler.Solver.riemann;
     rk = config.Euler.Solver.rk;
     time = 0.;
-    steps = 0 }
+    steps = 0;
+    stage_ready = false }
 
 let of_problem ?autopar ?config ?cfl (p : Euler.Setup.problem) =
   create ?autopar ?config ~bcs:p.Euler.Setup.bcs
@@ -38,10 +43,11 @@ let state t = Storage.to_state t.storage
 
 (* Run a DO iy / DO ix nest at the configured granularity.  [iy] range
    is inclusive, as in Fortran. *)
-let nest t exec ~iy_min ~iy_max body_row =
+let nest ?region t exec ~iy_min ~iy_max body_row =
   match t.autopar with
   | Outer ->
-    Parallel.Exec.parallel_for exec ~lo:iy_min ~hi:(iy_max + 1) body_row
+    Parallel.Exec.parallel_for ?region exec ~lo:iy_min ~hi:(iy_max + 1)
+      body_row
   | Inner ->
     for iy = iy_min to iy_max do
       body_row iy
@@ -49,14 +55,14 @@ let nest t exec ~iy_min ~iy_max body_row =
 
 (* Inner dimension of a nest: a parallel region per row under [Inner],
    a plain loop under [Outer]. *)
-let row t exec ~ix_min ~ix_max body =
+let row ?region t exec ~ix_min ~ix_max body =
   match t.autopar with
   | Outer ->
     for ix = ix_min to ix_max do
       body ix
     done
   | Inner ->
-    Parallel.Exec.parallel_for exec ~lo:ix_min ~hi:(ix_max + 1) body
+    Parallel.Exec.parallel_for ?region exec ~lo:ix_min ~hi:(ix_max + 1) body
 
 (* SUBROUTINE ComputePrimitives: decode QP from QC over the whole
    padded array (ghosts included; they are current after the BC
@@ -65,8 +71,11 @@ let compute_primitives t exec =
   let s = t.storage in
   let g = s.grid in
   let ng = g.Euler.Grid.ng in
-  nest t exec ~iy_min:(-ng) ~iy_max:(g.Euler.Grid.ny + ng - 1) (fun iy ->
-      row t exec ~ix_min:(-ng) ~ix_max:(g.Euler.Grid.nx + ng - 1) (fun ix ->
+  let region = Parallel.Exec.Rhs in
+  nest ~region t exec ~iy_min:(-ng) ~iy_max:(g.Euler.Grid.ny + ng - 1)
+    (fun iy ->
+      row ~region t exec ~ix_min:(-ng) ~ix_max:(g.Euler.Grid.nx + ng - 1)
+        (fun ix ->
           let o = Euler.Grid.offset g ix iy in
           let rc = s.qc.(0).(o) in
           let ux = s.qc.(1).(o) /. rc in
@@ -118,10 +127,6 @@ let get_dt_raw t exec =
       !m
   in
   s.cfl /. ev_max
-
-let get_dt t exec =
-  compute_primitives t exec;
-  get_dt_raw t exec
 
 (* Rusanov flux between the cells at offsets [ol] and [or_]; matches
    Riemann.rusanov so the implementations can be compared cell by
@@ -231,9 +236,11 @@ let flux_x t exec =
   let pc = t.recon = Euler.Recon.Piecewise_constant
            && t.riemann = Euler.Riemann.Rusanov in
   let half = Euler.Recon.stencil_width t.recon / 2 in
-  nest t exec ~iy_min:0 ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
+  nest ~region:Parallel.Exec.Rhs t exec ~iy_min:0
+    ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
       let f = Array.make 4 0. in
-      row t exec ~ix_min:(-1) ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
+      row ~region:Parallel.Exec.Rhs t exec ~ix_min:(-1)
+        ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
           let ol = Euler.Grid.offset g ix iy in
           let f0, (k1, f1), (k2, f2), f3 =
             if pc then begin
@@ -261,9 +268,11 @@ let flux_y t exec =
   let pc = t.recon = Euler.Recon.Piecewise_constant
            && t.riemann = Euler.Riemann.Rusanov in
   let half = Euler.Recon.stencil_width t.recon / 2 in
-  nest t exec ~iy_min:(-1) ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
+  nest ~region:Parallel.Exec.Rhs t exec ~iy_min:(-1)
+    ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
       let f = Array.make 4 0. in
-      row t exec ~ix_min:0 ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
+      row ~region:Parallel.Exec.Rhs t exec ~ix_min:0
+        ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
           let ol = Euler.Grid.offset g ix iy in
           let f0, (k1, f1), (k2, f2), f3 =
             if pc then begin
@@ -289,8 +298,10 @@ let flux_div t exec =
   let g = s.grid in
   let one_d = Euler.Grid.is_1d g in
   let inv_dx = 1. /. g.Euler.Grid.dx and inv_dy = 1. /. g.Euler.Grid.dy in
-  nest t exec ~iy_min:0 ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
-      row t exec ~ix_min:0 ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
+  nest ~region:Parallel.Exec.Rhs t exec ~iy_min:0
+    ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
+      row ~region:Parallel.Exec.Rhs t exec ~ix_min:0
+        ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
           let o = Euler.Grid.offset g ix iy in
           let ox = Euler.Grid.offset g (ix - 1) iy
           and oy = Euler.Grid.offset g ix (iy - 1) in
@@ -307,8 +318,10 @@ let flux_div t exec =
 let update t exec ~ca ~cb ~cd =
   let s = t.storage in
   let g = s.grid in
-  nest t exec ~iy_min:0 ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
-      row t exec ~ix_min:0 ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
+  nest ~region:Parallel.Exec.Rk_combine t exec ~iy_min:0
+    ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
+      row ~region:Parallel.Exec.Rk_combine t exec ~ix_min:0
+        ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
           let o = Euler.Grid.offset g ix iy in
           for k = 0 to 3 do
             s.qc.(k).(o) <-
@@ -319,8 +332,10 @@ let update t exec ~ca ~cb ~cd =
 let save_q0 t exec =
   let s = t.storage in
   let g = s.grid in
-  nest t exec ~iy_min:0 ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
-      row t exec ~ix_min:0 ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
+  nest ~region:Parallel.Exec.Rk_combine t exec ~iy_min:0
+    ~iy_max:(g.Euler.Grid.ny - 1) (fun iy ->
+      row ~region:Parallel.Exec.Rk_combine t exec ~ix_min:0
+        ~ix_max:(g.Euler.Grid.nx - 1) (fun ix ->
           let o = Euler.Grid.offset g ix iy in
           for k = 0 to 3 do
             s.q0.(k).(o) <- s.qc.(k).(o)
@@ -410,19 +425,34 @@ let apply_bc t =
   fill Euler.Bc.South;
   fill Euler.Bc.North
 
+(* Ghost fill + primitive decode for the current [qc] (the fill is
+   charged to the Bc timing bucket); a no-op when already current, so
+   [dt] followed by [step_dt] costs exactly what the fused [step]
+   did. *)
+let prepare t exec =
+  if not t.stage_ready then begin
+    Parallel.Exec.timed exec Parallel.Exec.Bc (fun () -> apply_bc t);
+    compute_primitives t exec;
+    t.stage_ready <- true
+  end
+
+let get_dt t exec =
+  prepare t exec;
+  get_dt_raw t exec
+
+let dt = get_dt
+
 let stage t exec =
-  apply_bc t;
+  Parallel.Exec.timed exec Parallel.Exec.Bc (fun () -> apply_bc t);
   compute_primitives t exec;
   flux_x t exec;
   if not (Euler.Grid.is_1d t.storage.grid) then flux_y t exec;
   flux_div t exec
 
-let step t exec =
-  apply_bc t;
-  compute_primitives t exec;
-  let dt = get_dt_raw t exec in
+let step_dt t exec dt =
+  prepare t exec;
   save_q0 t exec;
-  (* Stage 1 reuses the primitives just computed. *)
+  (* Stage 1 reuses the primitives [prepare] just computed. *)
   flux_x t exec;
   if not (Euler.Grid.is_1d t.storage.grid) then flux_y t exec;
   flux_div t exec;
@@ -439,6 +469,11 @@ let step t exec =
      update t exec ~ca:(1. /. 3.) ~cb:(2. /. 3.) ~cd:(2. /. 3. *. dt));
   t.time <- t.time +. dt;
   t.steps <- t.steps + 1;
+  t.stage_ready <- false
+
+let step t exec =
+  let dt = get_dt t exec in
+  step_dt t exec dt;
   dt
 
 let run_steps t exec n =

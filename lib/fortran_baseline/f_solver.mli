@@ -29,6 +29,11 @@ type t = {
   rk : Euler.Rk.kind;
   mutable time : float;
   mutable steps : int;
+  mutable stage_ready : bool;
+      (** Ghost cells and primitive arrays are current for [qc];
+          maintained by {!dt} / {!step_dt} so splitting a step into
+          "compute dt, then advance" does not redo the boundary fill
+          and primitive decode. *)
 }
 
 val create :
@@ -53,10 +58,17 @@ val of_problem :
     copied, not shared). *)
 
 val get_dt : t -> Parallel.Exec.t -> float
-(** The GetDT subroutine (paper §4.2): max-reduction of
-    [(|Ux| + C) / Dx + (|Uy| + C) / Dy] then [CFL / EVmax].  Requires
-    primitives to be current; {!step} manages that ordering, call this
-    directly only in tests (it refreshes primitives itself). *)
+(** The GetDT subroutine (paper §4.2): refreshes ghost cells and
+    primitives if stale, then max-reduces
+    [(|Ux| + C) / Dx + (|Uy| + C) / Dy] and returns [CFL / EVmax]. *)
+
+val dt : t -> Parallel.Exec.t -> float
+(** Alias of {!get_dt}, matching the engine backend vocabulary. *)
+
+val step_dt : t -> Parallel.Exec.t -> float -> unit
+(** Advances one RK step of the given size (the engine driver's entry
+    point; [dt] followed by [step_dt] performs exactly the work of the
+    fused {!step}). *)
 
 val step : t -> Parallel.Exec.t -> float
 (** One CFL-limited TVD-RK3 step; returns [dt]. *)

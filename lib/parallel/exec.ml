@@ -3,15 +3,56 @@ type kind =
   | Spmd of Pool.t
   | Fork_join_sched of int
 
-type t = { kind : kind; count : int Atomic.t }
+type region = Rhs | Bc | Reduce | Rk_combine | Other
 
-let sequential () = { kind = Sequential; count = Atomic.make 0 }
+let region_name = function
+  | Rhs -> "rhs"
+  | Bc -> "bc"
+  | Reduce -> "reduce"
+  | Rk_combine -> "rk-combine"
+  | Other -> "other"
 
-let spmd ~lanes = { kind = Spmd (Pool.create ~lanes); count = Atomic.make 0 }
+let all_regions = [ Rhs; Bc; Reduce; Rk_combine; Other ]
+
+let region_index = function
+  | Rhs -> 0
+  | Bc -> 1
+  | Reduce -> 2
+  | Rk_combine -> 3
+  | Other -> 4
+
+type bucket = { count : int; total_ns : float; max_ns : float }
+
+(* Buckets are mutated without synchronisation: regions are always
+   issued from the orchestrating domain (workers run *inside* a
+   region, they never open one), so there is a single writer. *)
+type slot = {
+  mutable b_count : int;
+  mutable b_total_ns : float;
+  mutable b_max_ns : float;
+}
+
+type t = {
+  kind : kind;
+  count : int Atomic.t;
+  slots : slot array; (* indexed by region_index *)
+}
+
+let make_slots () =
+  Array.init (List.length all_regions) (fun _ ->
+      { b_count = 0; b_total_ns = 0.; b_max_ns = 0. })
+
+let sequential () =
+  { kind = Sequential; count = Atomic.make 0; slots = make_slots () }
+
+let spmd ~lanes =
+  { kind = Spmd (Pool.create ~lanes);
+    count = Atomic.make 0;
+    slots = make_slots () }
 
 let fork_join ~lanes =
   if lanes < 1 then invalid_arg "Exec.fork_join: lanes must be >= 1";
-  { kind = Fork_join_sched lanes; count = Atomic.make 0 }
+  { kind = Fork_join_sched lanes; count = Atomic.make 0; slots = make_slots () }
 
 let lanes t =
   match t.kind with
@@ -19,19 +60,33 @@ let lanes t =
   | Spmd pool -> Pool.lanes pool
   | Fork_join_sched n -> n
 
-let parallel_for ?schedule t ~lo ~hi body =
+let record t region ns =
+  let s = t.slots.(region_index region) in
+  s.b_count <- s.b_count + 1;
+  s.b_total_ns <- s.b_total_ns +. ns;
+  if ns > s.b_max_ns then s.b_max_ns <- ns
+
+let timed t region f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  record t region ((Unix.gettimeofday () -. t0) *. 1e9);
+  r
+
+let parallel_for ?schedule ?(region = Other) t ~lo ~hi body =
   if hi > lo then begin
     Atomic.incr t.count;
-    match t.kind with
-    | Sequential ->
-      for i = lo to hi - 1 do
-        body i
-      done
-    | Spmd pool -> Pool.parallel_for ?schedule pool ~lo ~hi body
-    | Fork_join_sched n ->
-      (* The fork/join backend models OpenMP static scheduling only;
-         a dynamic request falls back to static. *)
-      Fork_join.parallel_for ~lanes:n ~lo ~hi body
+    let t0 = Unix.gettimeofday () in
+    (match t.kind with
+     | Sequential ->
+       for i = lo to hi - 1 do
+         body i
+       done
+     | Spmd pool -> Pool.parallel_for ?schedule pool ~lo ~hi body
+     | Fork_join_sched n ->
+       (* The fork/join backend models OpenMP static scheduling only;
+          a dynamic request falls back to static. *)
+       Fork_join.parallel_for ~lanes:n ~lo ~hi body);
+    record t region ((Unix.gettimeofday () -. t0) *. 1e9)
   end
 
 let reduce_chunk body (r : Chunk.range) =
@@ -42,35 +97,65 @@ let reduce_chunk body (r : Chunk.range) =
   done;
   !acc
 
-let parallel_reduce_max t ~lo ~hi body =
+let parallel_reduce_max ?(region = Reduce) t ~lo ~hi body =
   if hi <= lo then Float.neg_infinity
   else begin
     Atomic.incr t.count;
-    match t.kind with
-    | Sequential -> reduce_chunk body { Chunk.lo; hi }
-    | Spmd pool ->
-      let parts = Pool.lanes pool in
-      let partial = Array.make parts Float.neg_infinity in
-      Pool.run pool (fun lane ->
-          partial.(lane) <-
-            reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:lane));
-      Array.fold_left Float.max Float.neg_infinity partial
-    | Fork_join_sched parts ->
-      let partial = Array.make parts Float.neg_infinity in
-      let spawned =
-        Array.init (parts - 1) (fun k ->
-            Domain.spawn (fun () ->
-                partial.(k + 1) <-
-                  reduce_chunk body
-                    (Chunk.chunk_of ~lo ~hi ~parts ~which:(k + 1))))
-      in
-      partial.(0) <- reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:0);
-      Array.iter Domain.join spawned;
-      Array.fold_left Float.max Float.neg_infinity partial
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match t.kind with
+      | Sequential -> reduce_chunk body { Chunk.lo; hi }
+      | Spmd pool ->
+        let parts = Pool.lanes pool in
+        let partial = Array.make parts Float.neg_infinity in
+        Pool.run pool (fun lane ->
+            partial.(lane) <-
+              reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:lane));
+        Array.fold_left Float.max Float.neg_infinity partial
+      | Fork_join_sched parts ->
+        (* Clamp the team to the iteration count: a shorter range would
+           otherwise spawn domains that only ever see empty chunks. *)
+        let parts = min parts (hi - lo) in
+        let partial = Array.make parts Float.neg_infinity in
+        let spawned =
+          Array.init (parts - 1) (fun k ->
+              Domain.spawn (fun () ->
+                  partial.(k + 1) <-
+                    reduce_chunk body
+                      (Chunk.chunk_of ~lo ~hi ~parts ~which:(k + 1))))
+        in
+        partial.(0) <-
+          reduce_chunk body (Chunk.chunk_of ~lo ~hi ~parts ~which:0);
+        Array.iter Domain.join spawned;
+        Array.fold_left Float.max Float.neg_infinity partial
+    in
+    record t region ((Unix.gettimeofday () -. t0) *. 1e9);
+    result
   end
 
 let regions t = Atomic.get t.count
 let reset_regions t = Atomic.set t.count 0
+
+let buckets t =
+  List.filter_map
+    (fun r ->
+      let s = t.slots.(region_index r) in
+      if s.b_count = 0 then None
+      else
+        Some
+          ( r,
+            { count = s.b_count;
+              total_ns = s.b_total_ns;
+              max_ns = s.b_max_ns } ))
+    all_regions
+
+let reset_buckets t =
+  Array.iter
+    (fun s ->
+      s.b_count <- 0;
+      s.b_total_ns <- 0.;
+      s.b_max_ns <- 0.)
+    t.slots
 
 let shutdown t =
   match t.kind with

@@ -3,15 +3,32 @@
     The Euler kernels are written against this interface so the same
     numerics can run sequentially, on the SPMD pool (SaC's execution
     model) or with per-region fork/join (the OpenMP model).  Every
-    scheduler counts the parallel regions it executes; the cost model
-    turns those counts plus measured sequential times into predicted
-    multi-core wall clocks. *)
+    scheduler counts the parallel regions it executes {e and} buckets
+    their wall time by region kind; the cost model turns the counts
+    plus measured sequential times into predicted multi-core wall
+    clocks, and the engine layer surfaces the buckets as
+    per-backend instrumentation. *)
 
 type t
 
+(** Labels classifying what a region computes, so instrumentation can
+    attribute time to the solver stages the paper discusses: flux/RHS
+    evaluation, boundary fill, reductions (GetDT) and Runge-Kutta
+    stage combinations. *)
+type region = Rhs | Bc | Reduce | Rk_combine | Other
+
+val region_name : region -> string
+(** ["rhs"], ["bc"], ["reduce"], ["rk-combine"], ["other"]. *)
+
+val all_regions : region list
+
+type bucket = { count : int; total_ns : float; max_ns : float }
+(** Accumulated timing of one region kind: number of regions executed,
+    total and maximum wall time in nanoseconds. *)
+
 val sequential : unit -> t
-(** Runs loops inline.  Regions are still counted, so a sequential run
-    doubles as the instrumentation pass. *)
+(** Runs loops inline.  Regions are still counted and timed, so a
+    sequential run doubles as the instrumentation pass. *)
 
 val spmd : lanes:int -> t
 (** SPMD pool scheduler (see {!Pool}).  Call {!shutdown} when done. *)
@@ -23,21 +40,41 @@ val lanes : t -> int
 (** Number of execution lanes (1 for {!sequential}). *)
 
 val parallel_for :
-  ?schedule:Chunk.schedule -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+  ?schedule:Chunk.schedule ->
+  ?region:region ->
+  t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** One data-parallel region over [\[lo, hi)]; [schedule] (default
     static) selects the SPMD pool's work distribution, mirroring
-    OMP_SCHEDULE. *)
+    OMP_SCHEDULE.  [region] (default [Other]) labels the timing
+    bucket the region is charged to. *)
 
 val parallel_reduce_max :
-  t -> lo:int -> hi:int -> (int -> float) -> float
+  ?region:region -> t -> lo:int -> hi:int -> (int -> float) -> float
 (** Parallel maximum of [f i] over the range (the GetDT pattern);
     returns [neg_infinity] on an empty range.  Each lane folds its
-    chunk locally; partial results are combined after the barrier. *)
+    chunk locally; partial results are combined after the barrier.
+    Charged to the [Reduce] bucket by default.  Under the fork/join
+    scheduler the spawned team is clamped to the iteration count, so
+    a short range never spawns domains with empty chunks. *)
+
+val timed : t -> region -> (unit -> 'a) -> 'a
+(** [timed t region f] runs [f] inline, charging its wall time to
+    [region]'s bucket.  Unlike {!parallel_for} this does {e not}
+    count as a parallel region ({!regions} is unchanged) — it exists
+    so sequential stages (e.g. the ghost-cell fill) appear in the
+    same instrumentation stream as the parallel ones. *)
 
 val regions : t -> int
 (** Parallel regions executed through this scheduler so far. *)
 
 val reset_regions : t -> unit
+
+val buckets : t -> (region * bucket) list
+(** Non-empty timing buckets, in {!all_regions} order.  Buckets are
+    updated single-writer (regions are only ever opened from the
+    orchestrating domain). *)
+
+val reset_buckets : t -> unit
 
 val shutdown : t -> unit
 (** Releases pool workers for {!spmd}; a no-op otherwise. *)

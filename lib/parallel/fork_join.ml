@@ -4,6 +4,9 @@ let parallel_for ~lanes ~lo ~hi body =
   if lanes < 1 then invalid_arg "Fork_join.parallel_for: lanes must be >= 1";
   if hi > lo then begin
     Atomic.incr regions;
+    (* Clamp the team to the iteration count so short ranges do not
+       spawn domains that only ever see empty chunks. *)
+    let lanes = min lanes (hi - lo) in
     if lanes = 1 then
       for i = lo to hi - 1 do
         body i

@@ -98,6 +98,20 @@ inline double[.,.] step(double[.,.] q, double gam, double dx, double cfl) {
                 2.0 / 3.0 * dt));
 }
 
+// Externally drivable entry points: the engine's shared time loop
+// computes dt (possibly clamping it to hit a target time) and then
+// advances by exactly that dt.
+double dt_of(double[.,.] q, double gam, double dx, double cfl) {
+  return (getdt(q, gam, dx, cfl));
+}
+
+double[.,.] step_dt(double[.,.] q, double dt, double gam, double dx) {
+  q1 = axpy3(q, 1.0, q, 0.0, rhs(q, gam, dx), dt);
+  q2 = axpy3(q, 0.75, q1, 0.25, rhs(q1, gam, dx), 0.25 * dt);
+  return (axpy3(q, 1.0 / 3.0, q2, 2.0 / 3.0, rhs(q2, gam, dx),
+                2.0 / 3.0 * dt));
+}
+
 // March a fixed number of steps (the paper's benchmark mode).
 double[.,.] run(double[.,.] q0, int steps, double gam, double dx,
                 double cfl) {

@@ -79,10 +79,22 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val div : t -> t -> t
 val neg : t -> t
+
 val abs : t -> t
+(** Elementwise absolute value.  [abs] and [sqrt] deliberately carry
+    the SaC/F90 intrinsic names and therefore shadow [Stdlib.abs] /
+    [Stdlib.sqrt] under [open Nd]; this signature pins their tensor
+    types so a mistaken scalar use is a type error, not a silent
+    rebinding.  Qualify as [Float.abs] / [Float.sqrt] (or [Stdlib.-])
+    for scalars in code that opens this module. *)
+
 val sqrt : t -> t
+
 val min2 : t -> t -> t
 val max2 : t -> t -> t
+(** Elementwise minimum/maximum of two tensors ([min2]/[max2] rather
+    than [min]/[max], so {!maxval}-style reductions and the polymorphic
+    [Stdlib.min]/[Stdlib.max] stay unshadowed). *)
 
 val adds : t -> float -> t
 val subs : t -> float -> t

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 health check: build everything, run the full test suite, and
+# exercise the engine-driven bench harness end to end on the Fig. 1
+# experiment (fast, no multicore hardware needed).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- fig1 --quick
+
+echo "check.sh: all green"

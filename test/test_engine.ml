@@ -1,0 +1,200 @@
+(* Tests for the engine layer: registry lookup, the shared driver's
+   step accounting and instrumentation, cross-backend validation on
+   the Sod tube, and the scheduler's per-region timing buckets. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+
+let sod () = Euler.Setup.sod ~nx:64 ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "registered backends"
+    [ "reference"; "array"; "fortran"; "fortran-outer"; "sacprog" ]
+    (Engine.Registry.names ())
+
+let test_registry_find () =
+  List.iter
+    (fun key ->
+      check_bool key true (Option.is_some (Engine.Registry.find key)))
+    (Engine.Registry.names ());
+  check_bool "unknown is None" true
+    (Option.is_none (Engine.Registry.find "cuda"));
+  Alcotest.check_raises "find_exn reports the known names"
+    (Invalid_argument
+       "Engine.Registry: unknown backend \"cuda\" (have: reference, \
+        array, fortran, fortran-outer, sacprog)")
+    (fun () -> ignore (Engine.Registry.find_exn "cuda"))
+
+let test_registry_rejects_bad_spec () =
+  (* The mini-SaC program is 1D only. *)
+  let prob2d = Euler.Setup.quadrant ~nx:8 () in
+  check_bool "sacprog rejects 2D" true
+    (try
+       ignore (Engine.Registry.create "sacprog" prob2d);
+       false
+     with Invalid_argument _ -> true);
+  (* The whole-array twin implements only the benchmark scheme. *)
+  check_bool "array rejects WENO" true
+    (try
+       ignore
+         (Engine.Registry.create ~config:Euler.Solver.default_config
+            "array" (sod ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Shared driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_steps_accounting () =
+  let inst = Engine.Registry.create "reference" (sod ()) in
+  let m = Engine.Run.run_steps inst 5 in
+  check_int "steps" 5 m.Engine.Metrics.steps;
+  check_bool "time advanced" true (m.Engine.Metrics.sim_time > 0.);
+  (* The reference benchmark-config 1D step opens 3 rhs + 3 rk-combine
+     regions plus 1 reduce for GetDT = 7 regions per step. *)
+  check_int "regions" 35 m.Engine.Metrics.regions;
+  check_int "regions matches exec" 35
+    (Parallel.Exec.regions (Engine.Backend.exec inst));
+  check_float "regions/step" 7. (Engine.Metrics.regions_per_step m)
+
+let test_run_until_hits_target () =
+  let inst = Engine.Registry.create "reference" (sod ()) in
+  let m = Engine.Run.run_until inst 0.05 in
+  check_float "exact target" 0.05 m.Engine.Metrics.sim_time;
+  (* A second call is a no-op: the target is already reached. *)
+  let m2 = Engine.Run.run_until inst 0.05 in
+  check_int "no extra steps" m.Engine.Metrics.steps m2.Engine.Metrics.steps
+
+let test_driver_equals_native_loop () =
+  (* The engine's clamped loop must reproduce Solver.run_until
+     exactly. *)
+  let prob = sod () in
+  let inst = Engine.Registry.create "reference" prob in
+  ignore (Engine.Run.run_until inst 0.1);
+  let solver =
+    Euler.Solver.create ~config:Euler.Solver.benchmark_config
+      ~bcs:prob.Euler.Setup.bcs
+      (Euler.State.copy prob.Euler.Setup.state)
+  in
+  Euler.Solver.run_until solver 0.1;
+  check_float "identical fields" 0.
+    (Euler.State.max_abs_diff
+       (Engine.Backend.state inst)
+       solver.Euler.Solver.state)
+
+let test_timing_buckets () =
+  let inst = Engine.Registry.create "reference" (sod ()) in
+  let m = Engine.Run.run_steps inst 4 in
+  let bucket r =
+    match Engine.Metrics.bucket m r with
+    | Some b -> b
+    | None ->
+      Alcotest.failf "missing bucket %s" (Parallel.Exec.region_name r)
+  in
+  let rhs = bucket Parallel.Exec.Rhs in
+  let bc = bucket Parallel.Exec.Bc in
+  let reduce = bucket Parallel.Exec.Reduce in
+  let rk = bucket Parallel.Exec.Rk_combine in
+  check_int "3 rhs regions/step" 12 rhs.Parallel.Exec.count;
+  check_int "3 bc fills/step" 12 bc.Parallel.Exec.count;
+  check_int "1 reduce/step" 4 reduce.Parallel.Exec.count;
+  check_int "3 rk combines/step" 12 rk.Parallel.Exec.count;
+  List.iter
+    (fun (b : Parallel.Exec.bucket) ->
+      check_bool "time accumulated" true (b.total_ns >= 0.);
+      check_bool "max <= total" true (b.max_ns <= b.total_ns +. 1e-6))
+    [ rhs; bc; reduce; rk ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend validation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_check_native_backends () =
+  List.iter
+    (fun other ->
+      let r = Engine.Validate.cross_check "reference" other (sod ()) in
+      if not (Engine.Validate.within r 1e-8) then
+        Alcotest.failf "reference vs %s diverged:\n%s" other
+          (Engine.Validate.to_string r))
+    [ "array"; "fortran"; "fortran-outer" ]
+
+let test_cross_check_sacprog () =
+  let r = Engine.Validate.cross_check "reference" "sacprog" (sod ()) in
+  if not (Engine.Validate.within r 1e-6) then
+    Alcotest.failf "reference vs sacprog diverged:\n%s"
+      (Engine.Validate.to_string r)
+
+let test_cross_check_report_shape () =
+  let r = Engine.Validate.cross_check ~steps:3 "reference" "array" (sod ()) in
+  check_int "steps recorded" 3 r.Engine.Validate.steps;
+  Alcotest.(check (list string))
+    "one divergence per conserved variable"
+    [ "rho"; "rho*u"; "rho*v"; "E" ]
+    (List.map
+       (fun (d : Engine.Validate.divergence) -> d.Engine.Validate.var)
+       r.Engine.Validate.divergences);
+  List.iter
+    (fun (d : Engine.Validate.divergence) ->
+      check_bool "l1 <= max_abs" true
+        (d.Engine.Validate.l1 <= d.Engine.Validate.max_abs +. 1e-30))
+    r.Engine.Validate.divergences
+
+(* ------------------------------------------------------------------ *)
+(* Backend notes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_array_notes_with_loops () =
+  let inst = Engine.Registry.create "array" (sod ()) in
+  let m = Engine.Run.run_steps inst 2 in
+  match List.assoc_opt "with-loops" m.Engine.Metrics.notes with
+  | None -> Alcotest.fail "array backend should report with-loops"
+  | Some n -> check_bool "counted some with-loops" true (n > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Reduce clamp (satellite: fork/join with lanes > range)              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_join_reduce_short_range () =
+  let exec = Parallel.Exec.fork_join ~lanes:8 in
+  let m =
+    Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:3 (fun i ->
+        float_of_int (10 - i))
+  in
+  check_float "max over short range" 10. m;
+  check_float "empty range" neg_infinity
+    (Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:0 (fun _ -> 1.))
+
+let () =
+  Alcotest.run "engine"
+    [ ( "registry",
+        [ Alcotest.test_case "names" `Quick test_registry_names;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "bad specs" `Quick
+            test_registry_rejects_bad_spec ] );
+      ( "driver",
+        [ Alcotest.test_case "run_steps accounting" `Quick
+            test_run_steps_accounting;
+          Alcotest.test_case "run_until target" `Quick
+            test_run_until_hits_target;
+          Alcotest.test_case "matches native loop" `Quick
+            test_driver_equals_native_loop;
+          Alcotest.test_case "timing buckets" `Quick test_timing_buckets ] );
+      ( "validate",
+        [ Alcotest.test_case "native backends" `Slow
+            test_cross_check_native_backends;
+          Alcotest.test_case "sacprog" `Slow test_cross_check_sacprog;
+          Alcotest.test_case "report shape" `Quick
+            test_cross_check_report_shape ] );
+      ( "metrics",
+        [ Alcotest.test_case "array with-loops" `Quick
+            test_array_notes_with_loops ] );
+      ( "exec",
+        [ Alcotest.test_case "fork/join short reduce" `Quick
+            test_fork_join_reduce_short_range ] ) ]
