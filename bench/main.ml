@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- everything, scaled sizes
      dune exec bench/main.exe -- fig1    -- one experiment
-     experiments: fig1 fig3 fig4 fig4-large table-flags micro
+     experiments: fig1 fig3 fig4 fig4-large table-flags micro hotpath
      options: --quick (smaller grids), --out DIR (artefact directory)
 
    The machine this reproduction runs on has a single hardware core;
@@ -22,9 +22,9 @@ let ensure_out () =
 let path name = Filename.concat !out_dir name
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Parallel.Clock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Parallel.Clock.now_s () -. t0)
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -513,6 +513,155 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path allocation benchmark (BENCH_hotpath.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-arena allocation of the hot path, measured with this same
+   driver (sequential exec, one warm-up step, cells_per_h = 64, i.e.
+   the 128x128 two-channel grid) before the per-lane pencil arenas
+   landed.  Recorded in the JSON artefact so the before/after ratio
+   travels with it; only comparable to a full-size (non --quick)
+   run. *)
+let hotpath_baseline =
+  [ ("reference weno3+hllc", 31_224_748., 62.29);
+    ("reference pc+rusanov", 6_165_958., 12.37) ]
+
+type hot_row = {
+  h_backend : string;
+  h_scheme : string;
+  h_cells : int;
+  h_lanes : int;
+  h_steps : int;
+  h_ms_per_step : float;
+  h_minor_per_step : float;
+  h_promoted_per_step : float;
+  h_cells_per_s : float;
+}
+
+let hotpath_measure ~backend ~config ~problem ~steps =
+  let exec = Parallel.Exec.sequential () in
+  let inst = Engine.Registry.create ~exec ~config backend problem in
+  (* One unmeasured step grows the workspace arenas and warms the
+     caches, so the measured loop sees the steady-state hot path. *)
+  ignore (Engine.Backend.step inst);
+  let m = Engine.Run.run_steps inst steps in
+  let fsteps = float_of_int steps in
+  { h_backend = backend;
+    h_scheme =
+      Printf.sprintf "%s+%s"
+        (Euler.Recon.name config.Euler.Solver.recon)
+        (Euler.Riemann.name config.Euler.Solver.riemann);
+    h_cells = m.Engine.Metrics.cells;
+    h_lanes = Parallel.Exec.lanes exec;
+    h_steps = steps;
+    h_ms_per_step = m.Engine.Metrics.wall_s /. fsteps *. 1e3;
+    h_minor_per_step = m.Engine.Metrics.minor_words /. fsteps;
+    h_promoted_per_step = m.Engine.Metrics.promoted_words /. fsteps;
+    h_cells_per_s =
+      (if m.Engine.Metrics.wall_s <= 0. then 0.
+       else float_of_int m.Engine.Metrics.cells *. fsteps
+            /. m.Engine.Metrics.wall_s) }
+
+let hotpath () =
+  header "Hot path -- GC pressure and throughput per backend";
+  ensure_out ();
+  let cells_per_h = if !quick then 8 else 64 in
+  let steps = if !quick then 5 else 10 in
+  let sac_nx = if !quick then 40 else 100 in
+  let sac_steps = if !quick then 2 else 4 in
+  let two_channel () = Euler.Setup.two_channel ~cells_per_h () in
+  (* Every registry backend runs the benchmark scheme it supports; the
+     reference solver additionally runs the paper's flow-computation
+     scheme (WENO3 + HLLC), which is the headline row for the
+     allocation comparison.  The interpreted mini-SaC backend is 1D
+     and orders of magnitude slower, so it gets a small Sod tube. *)
+  let plan =
+    ("reference", Euler.Solver.default_config, two_channel (), steps)
+    :: List.map
+         (fun backend ->
+           if backend = "sacprog" then
+             ( backend, Euler.Solver.benchmark_config,
+               Euler.Setup.sod ~nx:sac_nx (), sac_steps )
+           else
+             (backend, Euler.Solver.benchmark_config, two_channel (), steps))
+         (Engine.Registry.names ())
+  in
+  let rows, errors =
+    List.fold_left
+      (fun (rows, errs) (backend, config, problem, steps) ->
+        match hotpath_measure ~backend ~config ~problem ~steps with
+        | row -> (row :: rows, errs)
+        | exception e -> (rows, (backend, Printexc.to_string e) :: errs))
+      ([], []) plan
+  in
+  let rows = List.rev rows and errors = List.rev errors in
+  Printf.printf "%-16s %-14s %8s %6s %12s %14s %12s %12s\n" "backend"
+    "scheme" "cells" "lanes" "ms/step" "minor w/step" "promoted" "cells/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %-14s %8d %6d %12.2f %14.0f %12.0f %12.3g\n"
+        r.h_backend r.h_scheme r.h_cells r.h_lanes r.h_ms_per_step
+        r.h_minor_per_step r.h_promoted_per_step r.h_cells_per_s)
+    rows;
+  if not !quick then begin
+    Printf.printf "\npre-arena baseline (same driver, same grid):\n";
+    List.iter
+      (fun (label, words, ms) ->
+        Printf.printf "  %-24s %14.0f minor words/step  %8.2f ms/step\n"
+          label words ms)
+      hotpath_baseline;
+    (match
+       List.find_opt
+         (fun r -> r.h_backend = "reference" && r.h_scheme = "weno3+hllc")
+         rows
+     with
+     | Some r when r.h_minor_per_step > 0. ->
+       let _, before, _ = List.hd hotpath_baseline in
+       Printf.printf "  headline reduction: %.1fx fewer minor words/step\n"
+         (before /. r.h_minor_per_step)
+     | _ -> ())
+  end;
+  let oc = open_out (path "BENCH_hotpath.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"hotpath-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc "  \"baseline\": {\n";
+  Printf.fprintf oc
+    "    \"note\": \"pre-arena hot path, 128x128 two-channel, sequential, \
+     one warm-up step; compare against a non-quick run\",\n";
+  let pr_baseline i (label, words, ms) =
+    Printf.fprintf oc
+      "    \"%s\": { \"minor_words_per_step\": %.0f, \"ms_per_step\": %.2f \
+       }%s\n"
+      (String.map (fun c -> if c = ' ' then '_' else c) label)
+      words ms
+      (if i = List.length hotpath_baseline - 1 then "" else ",")
+  in
+  List.iteri pr_baseline hotpath_baseline;
+  Printf.fprintf oc "  },\n  \"backends\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"scheme\": \"%s\", \"cells\": %d, \
+         \"lanes\": %d, \"steps\": %d, \"time_per_step_s\": %.6e, \
+         \"minor_words_per_step\": %.1f, \"promoted_words_per_step\": \
+         %.1f, \"cells_per_second\": %.6e }%s\n"
+        r.h_backend r.h_scheme r.h_cells r.h_lanes r.h_steps
+        (r.h_ms_per_step /. 1e3)
+        r.h_minor_per_step r.h_promoted_per_step r.h_cells_per_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_hotpath.json");
+  if errors <> [] then begin
+    List.iter
+      (fun (backend, msg) ->
+        Printf.eprintf "hotpath: backend %s failed: %s\n" backend msg)
+      errors;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -520,7 +669,8 @@ let experiments =
     ("fig4", fig4);
     ("fig4-large", fig4_large);
     ("table-flags", table_flags);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("hotpath", hotpath) ]
 
 let () =
   let chosen = ref [] in

@@ -45,11 +45,14 @@ let step inst =
   step_dt inst d;
   d
 
-let metrics ?(wall_s = 0.) inst =
+let metrics ?(wall_s = 0.) ?(minor_words = 0.) ?(promoted_words = 0.) inst =
   { Metrics.backend = name inst;
     steps = steps inst;
     sim_time = time inst;
     wall_s;
+    cells = Euler.Grid.interior_cells (state inst).Euler.State.grid;
+    minor_words;
+    promoted_words;
     regions = Parallel.Exec.regions (exec inst);
     buckets = Parallel.Exec.buckets (exec inst);
     notes = notes inst }

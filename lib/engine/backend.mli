@@ -83,6 +83,11 @@ val cost_scheduler : instance -> Parallel.Cost_model.scheduler
 val step : instance -> float
 (** [dt] then [step_dt]; returns the [dt] taken. *)
 
-val metrics : ?wall_s:float -> instance -> Metrics.t
-(** Snapshot of the instance's lifetime counters ([wall_s] defaults
-    to 0 — the driver fills it in). *)
+val metrics :
+  ?wall_s:float ->
+  ?minor_words:float ->
+  ?promoted_words:float ->
+  instance -> Metrics.t
+(** Snapshot of the instance's lifetime counters.  [wall_s],
+    [minor_words] and [promoted_words] default to 0 — the driver
+    measures them around its stepping loop and fills them in. *)

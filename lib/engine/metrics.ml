@@ -3,6 +3,9 @@ type t = {
   steps : int;
   sim_time : float;
   wall_s : float;
+  cells : int;
+  minor_words : float;
+  promoted_words : float;
   regions : int;
   buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
   notes : (string * float) list;
@@ -12,19 +15,37 @@ let regions_per_step m =
   if m.steps = 0 then 0.
   else float_of_int m.regions /. float_of_int m.steps
 
+let minor_words_per_step m =
+  if m.steps = 0 then 0. else m.minor_words /. float_of_int m.steps
+
+let promoted_words_per_step m =
+  if m.steps = 0 then 0. else m.promoted_words /. float_of_int m.steps
+
+let cells_per_second m =
+  if m.wall_s <= 0. then 0.
+  else float_of_int (m.steps * m.cells) /. m.wall_s
+
 let bucket m region = List.assoc_opt region m.buckets
 
 let pp ppf m =
   Format.fprintf ppf
     "@[<v>%s: %d steps to t=%.6g in %.3f s (%d regions, %.2f/step)"
     m.backend m.steps m.sim_time m.wall_s m.regions (regions_per_step m);
+  if m.steps > 0 then
+    Format.fprintf ppf
+      "@,  gc: %.0f minor words/step (%.0f promoted), %.3g cells/s"
+      (minor_words_per_step m)
+      (promoted_words_per_step m)
+      (cells_per_second m);
   List.iter
     (fun (r, (b : Parallel.Exec.bucket)) ->
-      Format.fprintf ppf "@,  %-10s %8d regions  %10.3f ms total  %8.1f us max"
+      Format.fprintf ppf
+        "@,  %-10s %8d regions  %10.3f ms total  %8.1f us max  %12.0f words"
         (Parallel.Exec.region_name r)
         b.Parallel.Exec.count
         (b.Parallel.Exec.total_ns /. 1e6)
-        (b.Parallel.Exec.max_ns /. 1e3))
+        (b.Parallel.Exec.max_ns /. 1e3)
+        b.Parallel.Exec.minor_words)
     m.buckets;
   List.iter
     (fun (k, v) -> Format.fprintf ppf "@,  %-10s %g" k v)

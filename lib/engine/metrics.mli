@@ -1,19 +1,28 @@
 (** Uniform per-run instrumentation, reported identically by every
     backend so the paper's implementations can be compared
-    side-by-side: step and region counts, wall clock, and the
-    scheduler's per-region-kind timing buckets. *)
+    side-by-side: step and region counts, wall clock, GC pressure,
+    and the scheduler's per-region-kind buckets. *)
 
 type t = {
   backend : string;  (** registry name of the backend that ran *)
   steps : int;  (** time steps taken since the backend was created *)
   sim_time : float;  (** simulated time reached *)
   wall_s : float;  (** wall-clock seconds of this driver call *)
+  cells : int;  (** interior cells of the grid the backend ran on *)
+  minor_words : float;
+      (** minor-heap words allocated during this driver call, sampled
+          with [Gc.minor_words] on the orchestrating domain (exact
+          under a sequential exec; lane 0's share under parallel
+          execs, since OCaml 5 GC counters are domain-local) *)
+  promoted_words : float;
+      (** words promoted to the major heap during this driver call *)
   regions : int;
       (** parallel regions executed through the backend's scheduler
           (equals {!Parallel.Exec.regions} of its exec) *)
   buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
-      (** per-region-kind wall-time buckets (rhs, bc, reduce,
-          rk-combine), from {!Parallel.Exec.buckets} *)
+      (** per-region-kind instrumentation buckets (rhs, bc, reduce,
+          rk-combine), from {!Parallel.Exec.buckets} — wall time plus
+          minor/promoted words per region kind *)
   notes : (string * float) list;
       (** backend-specific extras, e.g. the with-loop counts of the
           array-style and mini-SaC implementations *)
@@ -22,6 +31,18 @@ type t = {
 val regions_per_step : t -> float
 (** Parallel regions per time step — the cost model's key input.
     [0.] before the first step. *)
+
+val minor_words_per_step : t -> float
+(** Minor-heap words allocated per step.  Derived as
+    [minor_words / steps], so it is meaningful when the instance was
+    fresh at the start of the measured call (the bench and validation
+    drivers always run that way); [0.] before the first step. *)
+
+val promoted_words_per_step : t -> float
+
+val cells_per_second : t -> float
+(** Throughput: interior cell updates per wall-clock second
+    ([steps * cells / wall_s]); [0.] when no wall time was recorded. *)
 
 val bucket : t -> Parallel.Exec.region -> Parallel.Exec.bucket option
 

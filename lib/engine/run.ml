@@ -1,16 +1,25 @@
-let now () = Unix.gettimeofday ()
+(* Monotonic wall clock plus domain-local GC counters around the
+   stepping loop; both feed the derived per-step telemetry in
+   Metrics.  Counters are sampled on this (the orchestrating) domain,
+   which is exact for sequential execs and lane 0's share otherwise. *)
+let now () = Parallel.Clock.now_s ()
 
 type snapshot_trigger = Steps of int | Sim_time of float
 
 let run_steps ?on_step inst n =
+  let m0, p0, _ = Gc.counters () in
   let t0 = now () in
   for _ = 1 to n do
     let d = Backend.step inst in
     match on_step with None -> () | Some f -> f inst d
   done;
-  Backend.metrics ~wall_s:(now () -. t0) inst
+  let wall_s = now () -. t0 in
+  let m1, p1, _ = Gc.counters () in
+  Backend.metrics ~wall_s ~minor_words:(m1 -. m0) ~promoted_words:(p1 -. p0)
+    inst
 
 let run_until ?on_step inst target =
+  let m0, p0, _ = Gc.counters () in
   let t0 = now () in
   while Backend.time inst < target -. 1e-14 do
     let d = Backend.dt inst in
@@ -18,7 +27,10 @@ let run_until ?on_step inst target =
     Backend.step_dt inst d;
     (match on_step with None -> () | Some f -> f inst d)
   done;
-  Backend.metrics ~wall_s:(now () -. t0) inst
+  let wall_s = now () -. t0 in
+  let m1, p1, _ = Gc.counters () in
+  Backend.metrics ~wall_s ~minor_words:(m1 -. m0) ~promoted_words:(p1 -. p0)
+    inst
 
 let emit ?profile_csv ?field_csv ?pgm inst =
   let st = Backend.state inst in

@@ -45,3 +45,37 @@ val left_matrix : basis -> float array
 
 val right_matrix : basis -> float array
 (** Row-major 4x4 copy of [R] (for tests). *)
+
+(** {1 Allocation-free variants}
+
+    The hot path evaluates a basis per cell interface; boxing a
+    record plus two fresh matrices there makes the minor GC the speed
+    limit.  These variants write into caller-owned scratch instead
+    and are bitwise-identical to the record API (pinned by tests). *)
+
+val build_into :
+  gamma:float ->
+  rho:float -> un:float -> ut:float -> p:float ->
+  l:float array -> r:float array -> unit
+(** [build_into] evaluates the basis of a single state, storing the
+    row-major 4x4 left/right eigenvector matrices into [l] and [r]
+    (length >= 16 each).
+    @raise Invalid_argument on non-physical input. *)
+
+val roe_into :
+  gamma:float ->
+  pr:float array ->
+  l:float array -> r:float array -> ev:float array -> unit
+(** Basis at the Roe average of the two primitive states packed in
+    [pr] as [rho_l; un_l; ut_l; p_l; rho_r; un_r; ut_r; p_r] (the
+    pencil kernel's scratch layout).  Also stores the wave speeds
+    [un - c; un; un; un + c] of the average state into [ev]
+    (length >= 4).  Equivalent to {!of_roe_average} +
+    {!eigenvalues}, without boxing anything.
+    @raise Invalid_argument on non-physical input. *)
+
+val project_into : float array -> float array -> float array -> unit
+(** [project_into m q w] stores the 4x4 mat-vec [M q] into [w], [m]
+    being row-major as produced by {!build_into}.  With the [l]
+    matrix this maps conserved to characteristic variables; with [r]
+    it maps back. *)

@@ -153,3 +153,113 @@ let left_right_window kind w =
     let wl = weno5_biased [| w.(0); w.(1); w.(2); w.(3); w.(4) |] in
     let wr = weno5_biased [| w.(5); w.(4); w.(3); w.(2); w.(1) |] in
     (wl, wr)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free out-parameter variant for the per-interface hot
+   path.  Returning a float tuple (or calling the closure from
+   Limiter.apply, or building the reversed WENO5 window) boxes words
+   per characteristic field per interface, so the limiter and WENO
+   formulas are transcribed inline here, term for term; the
+   bitwise-equality test in test_euler pins this path to
+   [left_right_window]. *)
+
+let limit lim a b =
+  match lim with
+  | Limiter.Minmod ->
+    if a *. b <= 0. then 0.
+    else if Float.abs a < Float.abs b then a
+    else b
+  | Limiter.Van_leer ->
+    if a *. b <= 0. then 0. else 2. *. a *. b /. (a +. b)
+  | Limiter.Superbee ->
+    if a *. b <= 0. then 0.
+    else begin
+      let s = if a > 0. then 1. else -1. in
+      let aa = Float.abs a and ab = Float.abs b in
+      s *. Float.max (Float.min (2. *. aa) ab) (Float.min aa (2. *. ab))
+    end
+  | Limiter.Monotonized_central ->
+    let x = (a +. b) /. 2. and y = 2. *. a and z = 2. *. b in
+    if x > 0. && y > 0. && z > 0. then Float.min x (Float.min y z)
+    else if x < 0. && y < 0. && z < 0. then Float.max x (Float.max y z)
+    else 0.
+
+let minmod3 a b c =
+  if a > 0. && b > 0. && c > 0. then Float.min a (Float.min b c)
+  else if a < 0. && b < 0. && c < 0. then Float.max a (Float.max b c)
+  else 0.
+
+let left_right_into kind w ~wl ~wr ~k =
+  match kind with
+  | Piecewise_constant ->
+    wl.(k) <- w.(1);
+    wr.(k) <- w.(2)
+  | Tvd2 lim ->
+    wl.(k) <- w.(1) +. (0.5 *. limit lim (w.(1) -. w.(0)) (w.(2) -. w.(1)));
+    wr.(k) <- w.(2) -. (0.5 *. limit lim (w.(2) -. w.(1)) (w.(3) -. w.(2)))
+  | Tvd3 lim ->
+    let b = tvd3_compression lim in
+    let dm = w.(1) -. w.(0) and dp = w.(2) -. w.(1) in
+    let sl = minmod3 (((2. *. dp) +. dm) /. 3.) (b *. dm) (b *. dp) in
+    let dm = w.(3) -. w.(2) and dp = w.(2) -. w.(1) in
+    let sr = minmod3 (((2. *. dp) +. dm) /. 3.) (b *. dm) (b *. dp) in
+    wl.(k) <- w.(1) +. (sl /. 2.);
+    wr.(k) <- w.(2) -. (sr /. 2.)
+  | Weno3 ->
+    (* Left state: biased at w.(1) on (w.(0), w.(1), w.(2)). *)
+    let b0 = (w.(2) -. w.(1)) *. (w.(2) -. w.(1))
+    and b1 = (w.(1) -. w.(0)) *. (w.(1) -. w.(0)) in
+    let a0 = 2. /. 3. /. ((weno_eps +. b0) *. (weno_eps +. b0))
+    and a1 = 1. /. 3. /. ((weno_eps +. b1) *. (weno_eps +. b1)) in
+    let s = a0 +. a1 in
+    wl.(k) <-
+      ((a0 /. s) *. ((w.(1) +. w.(2)) /. 2.))
+      +. ((a1 /. s) *. (((3. *. w.(1)) -. w.(0)) /. 2.));
+    (* Right state: biased at w.(2) on the reversed triple
+       (w.(3), w.(2), w.(1)). *)
+    let b0 = (w.(1) -. w.(2)) *. (w.(1) -. w.(2))
+    and b1 = (w.(2) -. w.(3)) *. (w.(2) -. w.(3)) in
+    let a0 = 2. /. 3. /. ((weno_eps +. b0) *. (weno_eps +. b0))
+    and a1 = 1. /. 3. /. ((weno_eps +. b1) *. (weno_eps +. b1)) in
+    let s = a0 +. a1 in
+    wr.(k) <-
+      ((a0 /. s) *. ((w.(2) +. w.(1)) /. 2.))
+      +. ((a1 /. s) *. (((3. *. w.(2)) -. w.(3)) /. 2.))
+  | Weno5 ->
+    (* Left state: biased at w.(2) on cells w.(0)..w.(4). *)
+    let d0 = w.(0) -. (2. *. w.(1)) +. w.(2)
+    and e0 = w.(0) -. (4. *. w.(1)) +. (3. *. w.(2))
+    and d1 = w.(1) -. (2. *. w.(2)) +. w.(3)
+    and e1 = w.(1) -. w.(3)
+    and d2 = w.(2) -. (2. *. w.(3)) +. w.(4)
+    and e2 = (3. *. w.(2)) -. (4. *. w.(3)) +. w.(4) in
+    let b0 = (13. /. 12. *. (d0 *. d0)) +. (0.25 *. (e0 *. e0))
+    and b1 = (13. /. 12. *. (d1 *. d1)) +. (0.25 *. (e1 *. e1))
+    and b2 = (13. /. 12. *. (d2 *. d2)) +. (0.25 *. (e2 *. e2)) in
+    let a0 = 0.1 /. ((weno_eps +. b0) *. (weno_eps +. b0))
+    and a1 = 0.6 /. ((weno_eps +. b1) *. (weno_eps +. b1))
+    and a2 = 0.3 /. ((weno_eps +. b2) *. (weno_eps +. b2)) in
+    let s = a0 +. a1 +. a2 in
+    let q0 = ((2. *. w.(0)) -. (7. *. w.(1)) +. (11. *. w.(2))) /. 6.
+    and q1 = (-.w.(1) +. (5. *. w.(2)) +. (2. *. w.(3))) /. 6.
+    and q2 = ((2. *. w.(2)) +. (5. *. w.(3)) -. w.(4)) /. 6. in
+    wl.(k) <- ((a0 /. s) *. q0) +. ((a1 /. s) *. q1) +. ((a2 /. s) *. q2);
+    (* Right state: biased at w.(3) on the reversed window
+       w.(5)..w.(1). *)
+    let d0 = w.(5) -. (2. *. w.(4)) +. w.(3)
+    and e0 = w.(5) -. (4. *. w.(4)) +. (3. *. w.(3))
+    and d1 = w.(4) -. (2. *. w.(3)) +. w.(2)
+    and e1 = w.(4) -. w.(2)
+    and d2 = w.(3) -. (2. *. w.(2)) +. w.(1)
+    and e2 = (3. *. w.(3)) -. (4. *. w.(2)) +. w.(1) in
+    let b0 = (13. /. 12. *. (d0 *. d0)) +. (0.25 *. (e0 *. e0))
+    and b1 = (13. /. 12. *. (d1 *. d1)) +. (0.25 *. (e1 *. e1))
+    and b2 = (13. /. 12. *. (d2 *. d2)) +. (0.25 *. (e2 *. e2)) in
+    let a0 = 0.1 /. ((weno_eps +. b0) *. (weno_eps +. b0))
+    and a1 = 0.6 /. ((weno_eps +. b1) *. (weno_eps +. b1))
+    and a2 = 0.3 /. ((weno_eps +. b2) *. (weno_eps +. b2)) in
+    let s = a0 +. a1 +. a2 in
+    let q0 = ((2. *. w.(5)) -. (7. *. w.(4)) +. (11. *. w.(3))) /. 6.
+    and q1 = (-.w.(4) +. (5. *. w.(3)) +. (2. *. w.(2))) /. 6.
+    and q2 = ((2. *. w.(3)) +. (5. *. w.(2)) -. w.(1)) /. 6. in
+    wr.(k) <- ((a0 /. s) *. q0) +. ((a1 /. s) *. q1) +. ((a2 /. s) *. q2)

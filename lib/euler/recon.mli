@@ -59,6 +59,16 @@ val weno3_weights : float -> float -> float -> float * float
     cells [(w0, w1, w2)] around the central cell [w1]; exposed for the
     discontinuity-rejection tests. *)
 
+val left_right_into :
+  kind -> float array -> wl:float array -> wr:float array -> k:int -> unit
+(** Allocation-free variant of {!left_right_window} for the hot path:
+    reads the window from the first {!stencil_width} entries of [w]
+    and stores the reconstructed states into [wl.(k)] and [wr.(k)] —
+    [k] being the characteristic field the window belongs to, so the
+    four fields of one interface land in two shared 4-vectors.
+    Bitwise-identical to {!left_right_window} (pinned by tests).
+    Does {e not} validate the window length. *)
+
 val weno5_weights : float array -> float * float * float
 (** Normalised nonlinear weights of the left-biased WENO5
     reconstruction on a 5-cell window [w0..w4] centred at [w2]

@@ -5,95 +5,193 @@ type config = {
 
 let positivity_floor = 1e-12
 
-(* Primitive decoding of a rotated conserved 4-vector. *)
-let prim ~gamma q0 q1 q2 q3 =
-  let rho = q0 in
-  let un = q1 /. rho and ut = q2 /. rho in
-  let p = (gamma -. 1.) *. (q3 -. (((q1 *. q1) +. (q2 *. q2)) /. (2. *. rho))) in
-  (rho, un, ut, p)
+(* ------------------------------------------------------------------ *)
+(* Workspace slot assignment (per lane).  The exec's arena is only
+   used by this module today; these constants are the convention that
+   keeps the two sweeps (which share slots — each row rewrites every
+   entry it reads) from colliding with the per-interface scratch. *)
 
-let line_fluxes ~gamma cfg ~n ~ng ~rho ~mn ~mt ~en ~fx =
+let slot_rho = 0
+let slot_mn = 1
+let slot_mt = 2
+let slot_en = 3
+let slot_fx = 4
+let slot_wst = 5
+let slot_window = 6
+let slot_qs = 7
+let slot_wl = 8
+let slot_wr = 9
+let slot_ql = 10
+let slot_qr = 11
+let slot_pr = 12
+let slot_cl = 13
+let slot_cr = 14
+let slot_ev = 15
+let slot_f = 16
+let slot_rcl = 17
+let slot_rcr = 18
+let slot_rev = 19
+let slot_rv0 = 20
+let slot_rv1 = 21
+let slot_rv2 = 22
+let slot_rv3 = 23
+let slot_rv4 = 24
+let slot_rv5 = 25
+
+(* Per-interface scratch of the pencil kernel.  All arrays are
+   rewritten before they are read, so they can come from a lane's
+   arena with stale contents. *)
+type scratch = {
+  wst : float array; (* width*4: stencil in characteristic space *)
+  window : float array; (* width: one characteristic field *)
+  qs : float array; (* 4: gathered conserved vector *)
+  wl : float array; (* 4: left reconstructed characteristic state *)
+  wr : float array; (* 4: right state *)
+  ql : float array; (* 4: left state back in conserved variables *)
+  qr : float array; (* 4 *)
+  pr : float array; (* 8: packed left/right primitives for the solver *)
+  cl : float array; (* 16: projection basis, left eigenvectors *)
+  cr : float array; (* 16: right eigenvectors *)
+  ev : float array; (* 4: basis wave speeds (unused here) *)
+  f : float array; (* 4: interface flux *)
+  rs : Riemann.scratch;
+}
+
+let scratch_of_workspace ws ~lane ~width =
+  let b slot n = Parallel.Workspace.buffer ws ~lane ~slot n in
+  { wst = b slot_wst (width * 4);
+    window = b slot_window width;
+    qs = b slot_qs 4;
+    wl = b slot_wl 4;
+    wr = b slot_wr 4;
+    ql = b slot_ql 4;
+    qr = b slot_qr 4;
+    pr = b slot_pr 8;
+    cl = b slot_cl 16;
+    cr = b slot_cr 16;
+    ev = b slot_ev 4;
+    f = b slot_f 4;
+    rs =
+      { Riemann.cl = b slot_rcl 16;
+        cr = b slot_rcr 16;
+        ev = b slot_rev 4;
+        v0 = b slot_rv0 4;
+        v1 = b slot_rv1 4;
+        v2 = b slot_rv2 4;
+        v3 = b slot_rv3 4;
+        v4 = b slot_rv4 4;
+        v5 = b slot_rv5 4 } }
+
+let fresh_scratch ~width =
+  { wst = Array.make (width * 4) 0.;
+    window = Array.make width 0.;
+    qs = Array.make 4 0.;
+    wl = Array.make 4 0.;
+    wr = Array.make 4 0.;
+    ql = Array.make 4 0.;
+    qr = Array.make 4 0.;
+    pr = Array.make 8 0.;
+    cl = Array.make 16 0.;
+    cr = Array.make 16 0.;
+    ev = Array.make 4 0.;
+    f = Array.make 4 0.;
+    rs = Riemann.make_scratch () }
+
+(* The pencil kernel.  The primitive decode and positivity guard are
+   written out inline (no tuples, no helper calls with float
+   arguments): without flambda each of those would box words per
+   interface, and this loop runs once per interface per sweep per RK
+   stage. *)
+let line_fluxes_into ~gamma cfg s ~n ~ng ~rho ~mn ~mt ~en ~fx =
   let needed = Recon.ghost_needed cfg.recon in
-  if ng < needed then
-    invalid_arg "Rhs.line_fluxes: not enough ghost layers";
-  let f = Array.make 4 0. in
+  if ng < needed then invalid_arg "Rhs.line_fluxes: not enough ghost layers";
   let use_characteristic =
     match cfg.recon with Recon.Piecewise_constant -> false | _ -> true
   in
   let width = Recon.stencil_width cfg.recon in
   let half = width / 2 in
-  (* Characteristic-space scratch, reused across interfaces. *)
-  let qs = Array.make 4 0.
-  and wst = Array.make (width * 4) 0.
-  and window = Array.make width 0.
-  and wl = Array.make 4 0.
-  and wr = Array.make 4 0.
-  and ql = Array.make 4 0.
-  and qr = Array.make 4 0. in
+  let pr = s.pr and f = s.f in
   for j = 0 to n do
     (* Interface j sits between pencil cells (j-1+ng) and (j+ng). *)
     let cl = j - 1 + ng and cr = j + ng in
-    let rho_l, un_l, ut_l, p_l =
-      prim ~gamma rho.(cl) mn.(cl) mt.(cl) en.(cl)
-    and rho_r, un_r, ut_r, p_r =
-      prim ~gamma rho.(cr) mn.(cr) mt.(cr) en.(cr)
-    in
-    let rho_l, un_l, ut_l, p_l, rho_r, un_r, ut_r, p_r =
-      if not use_characteristic then
-        (rho_l, un_l, ut_l, p_l, rho_r, un_r, ut_r, p_r)
-      else begin
-        let basis =
-          Characteristic.of_roe_average ~gamma
-            ~left:(rho_l, un_l, ut_l, p_l)
-            ~right:(rho_r, un_r, ut_r, p_r)
-        in
-        (* Project the stencil onto characteristic space. *)
-        for s = 0 to width - 1 do
-          let c = j - half + s + ng in
-          qs.(0) <- rho.(c);
-          qs.(1) <- mn.(c);
-          qs.(2) <- mt.(c);
-          qs.(3) <- en.(c);
-          Characteristic.to_characteristic basis qs wl;
-          wst.(s * 4) <- wl.(0);
-          wst.((s * 4) + 1) <- wl.(1);
-          wst.((s * 4) + 2) <- wl.(2);
-          wst.((s * 4) + 3) <- wl.(3)
+    let q1 = mn.(cl) and q2 = mt.(cl) in
+    let rho_l = rho.(cl) in
+    pr.(0) <- rho_l;
+    pr.(1) <- q1 /. rho_l;
+    pr.(2) <- q2 /. rho_l;
+    pr.(3) <-
+      (gamma -. 1.)
+      *. (en.(cl) -. (((q1 *. q1) +. (q2 *. q2)) /. (2. *. rho_l)));
+    let q1 = mn.(cr) and q2 = mt.(cr) in
+    let rho_r = rho.(cr) in
+    pr.(4) <- rho_r;
+    pr.(5) <- q1 /. rho_r;
+    pr.(6) <- q2 /. rho_r;
+    pr.(7) <-
+      (gamma -. 1.)
+      *. (en.(cr) -. (((q1 *. q1) +. (q2 *. q2)) /. (2. *. rho_r)));
+    if use_characteristic then begin
+      Characteristic.roe_into ~gamma ~pr ~l:s.cl ~r:s.cr ~ev:s.ev;
+      (* Project the stencil onto characteristic space. *)
+      for st = 0 to width - 1 do
+        let c = j - half + st + ng in
+        s.qs.(0) <- rho.(c);
+        s.qs.(1) <- mn.(c);
+        s.qs.(2) <- mt.(c);
+        s.qs.(3) <- en.(c);
+        Characteristic.project_into s.cl s.qs s.wl;
+        s.wst.(st * 4) <- s.wl.(0);
+        s.wst.((st * 4) + 1) <- s.wl.(1);
+        s.wst.((st * 4) + 2) <- s.wl.(2);
+        s.wst.((st * 4) + 3) <- s.wl.(3)
+      done;
+      for k = 0 to 3 do
+        for st = 0 to width - 1 do
+          s.window.(st) <- s.wst.((st * 4) + k)
         done;
-        for k = 0 to 3 do
-          for s = 0 to width - 1 do
-            window.(s) <- wst.((s * 4) + k)
-          done;
-          let a, b = Recon.left_right_window cfg.recon window in
-          wl.(k) <- a;
-          wr.(k) <- b
-        done;
-        Characteristic.from_characteristic basis wl ql;
-        Characteristic.from_characteristic basis wr qr;
-        let rl, ul, tl, pl = prim ~gamma ql.(0) ql.(1) ql.(2) ql.(3)
-        and rr, ur, tr, pr = prim ~gamma qr.(0) qr.(1) qr.(2) qr.(3) in
-        (* Positivity guard: fall back to first order across strong
-           discontinuities where the high-order state went negative. *)
-        let rl, ul, tl, pl =
-          if rl > positivity_floor && pl > positivity_floor then
-            (rl, ul, tl, pl)
-          else (rho_l, un_l, ut_l, p_l)
-        and rr, ur, tr, pr =
-          if rr > positivity_floor && pr > positivity_floor then
-            (rr, ur, tr, pr)
-          else (rho_r, un_r, ut_r, p_r)
-        in
-        (rl, ul, tl, pl, rr, ur, tr, pr)
+        Recon.left_right_into cfg.recon s.window ~wl:s.wl ~wr:s.wr ~k
+      done;
+      Characteristic.project_into s.cr s.wl s.ql;
+      Characteristic.project_into s.cr s.wr s.qr;
+      (* Positivity guard: fall back to first order across strong
+         discontinuities where the high-order state went negative;
+         otherwise overwrite [pr] with the reconstructed primitives. *)
+      let rl = s.ql.(0) in
+      let u1 = s.ql.(1) and u2 = s.ql.(2) in
+      let pl =
+        (gamma -. 1.)
+        *. (s.ql.(3) -. (((u1 *. u1) +. (u2 *. u2)) /. (2. *. rl)))
+      in
+      if rl > positivity_floor && pl > positivity_floor then begin
+        pr.(0) <- rl;
+        pr.(1) <- u1 /. rl;
+        pr.(2) <- u2 /. rl;
+        pr.(3) <- pl
+      end;
+      let rr = s.qr.(0) in
+      let u1 = s.qr.(1) and u2 = s.qr.(2) in
+      let pp =
+        (gamma -. 1.)
+        *. (s.qr.(3) -. (((u1 *. u1) +. (u2 *. u2)) /. (2. *. rr)))
+      in
+      if rr > positivity_floor && pp > positivity_floor then begin
+        pr.(4) <- rr;
+        pr.(5) <- u1 /. rr;
+        pr.(6) <- u2 /. rr;
+        pr.(7) <- pp
       end
-    in
-    Riemann.flux_into cfg.riemann ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r
-      ~un_r ~ut_r ~p_r ~f;
+    end;
+    Riemann.flux_pr_into cfg.riemann ~gamma ~pr ~s:s.rs ~f;
     let o = j * 4 in
     fx.(o) <- f.(0);
     fx.(o + 1) <- f.(1);
     fx.(o + 2) <- f.(2);
     fx.(o + 3) <- f.(3)
   done
+
+let line_fluxes ~gamma cfg ~n ~ng ~rho ~mn ~mt ~en ~fx =
+  let s = fresh_scratch ~width:(Recon.stencil_width cfg.recon) in
+  line_fluxes_into ~gamma cfg s ~n ~ng ~rho ~mn ~mt ~en ~fx
 
 let compute cfg exec (st : State.t) dqdt =
   let g = st.State.grid in
@@ -112,20 +210,30 @@ let compute cfg exec (st : State.t) dqdt =
   and d_mx = dqdt.(State.i_mx)
   and d_my = dqdt.(State.i_my)
   and d_e = dqdt.(State.i_e) in
+  let ws = Parallel.Exec.workspace exec in
+  let width = Recon.stencil_width cfg.recon in
+  (* Pencil buffers come from the lane's arena: allocated on first
+     touch, then reused across rows, columns, stages and steps.  Both
+     sweeps fully rewrite the prefix they read, so sharing slots is
+     safe. *)
   (* --- x sweep: one parallel region over rows ------------------- *)
-  Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rhs ~lo:0 ~hi:ny (fun iy ->
+  Parallel.Exec.parallel_for_lanes exec ~region:Parallel.Exec.Rhs ~lo:0
+    ~hi:ny (fun ~lane iy ->
       let len = nx + (2 * ng) in
-      let rho = Array.make len 0.
-      and mn = Array.make len 0.
-      and mt = Array.make len 0.
-      and en = Array.make len 0.
-      and fx = Array.make ((nx + 1) * 4) 0. in
+      let rho = Parallel.Workspace.buffer ws ~lane ~slot:slot_rho len
+      and mn = Parallel.Workspace.buffer ws ~lane ~slot:slot_mn len
+      and mt = Parallel.Workspace.buffer ws ~lane ~slot:slot_mt len
+      and en = Parallel.Workspace.buffer ws ~lane ~slot:slot_en len
+      and fx =
+        Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((nx + 1) * 4)
+      in
+      let s = scratch_of_workspace ws ~lane ~width in
       let base = (iy + ng) * stride in
       Array.blit q_rho base rho 0 len;
       Array.blit q_mx base mn 0 len;
       Array.blit q_my base mt 0 len;
       Array.blit q_e base en 0 len;
-      line_fluxes ~gamma cfg ~n:nx ~ng ~rho ~mn ~mt ~en ~fx;
+      line_fluxes_into ~gamma cfg s ~n:nx ~ng ~rho ~mn ~mt ~en ~fx;
       let inv_dx = 1. /. g.Grid.dx in
       for i = 0 to nx - 1 do
         let o = base + i + ng in
@@ -137,13 +245,17 @@ let compute cfg exec (st : State.t) dqdt =
       done);
   (* --- y sweep: one parallel region over columns ----------------- *)
   if ny > 1 then
-    Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rhs ~lo:0 ~hi:nx (fun ix ->
+    Parallel.Exec.parallel_for_lanes exec ~region:Parallel.Exec.Rhs ~lo:0
+      ~hi:nx (fun ~lane ix ->
         let len = ny + (2 * ng) in
-        let rho = Array.make len 0.
-        and mn = Array.make len 0.
-        and mt = Array.make len 0.
-        and en = Array.make len 0.
-        and fx = Array.make ((ny + 1) * 4) 0. in
+        let rho = Parallel.Workspace.buffer ws ~lane ~slot:slot_rho len
+        and mn = Parallel.Workspace.buffer ws ~lane ~slot:slot_mn len
+        and mt = Parallel.Workspace.buffer ws ~lane ~slot:slot_mt len
+        and en = Parallel.Workspace.buffer ws ~lane ~slot:slot_en len
+        and fx =
+          Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((ny + 1) * 4)
+        in
+        let s = scratch_of_workspace ws ~lane ~width in
         for c = 0 to len - 1 do
           let o = (c * stride) + ix + ng in
           rho.(c) <- q_rho.(o);
@@ -152,7 +264,7 @@ let compute cfg exec (st : State.t) dqdt =
           mt.(c) <- q_mx.(o);
           en.(c) <- q_e.(o)
         done;
-        line_fluxes ~gamma cfg ~n:ny ~ng ~rho ~mn ~mt ~en ~fx;
+        line_fluxes_into ~gamma cfg s ~n:ny ~ng ~rho ~mn ~mt ~en ~fx;
         let inv_dy = 1. /. g.Grid.dy in
         for i = 0 to ny - 1 do
           let o = ((i + ng) * stride) + ix + ng in

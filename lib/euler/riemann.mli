@@ -27,8 +27,39 @@ val flux_into :
   f:float array ->
   unit
 (** Computes the numerical flux through the interface separating the
-    two states and stores its 4 components in [f].  Allocation-free:
-    safe for per-interface use in hot loops.
+    two states and stores its 4 components in [f].
+    @raise Invalid_argument on non-physical input states. *)
+
+type scratch = {
+  cl : float array; (* length >= 16: Roe-basis left eigenvectors *)
+  cr : float array; (* length >= 16: right eigenvectors *)
+  ev : float array; (* length >= 4: Roe wave speeds *)
+  v0 : float array; (* length >= 4 each: 4-vector temporaries *)
+  v1 : float array;
+  v2 : float array;
+  v3 : float array;
+  v4 : float array;
+  v5 : float array;
+}
+(** Caller-owned temporaries for {!flux_pr_into} — a handful of small
+    float arrays allocated once (per lane) and reused across
+    interfaces.  Transparent so the pencil kernel can assemble one
+    from its per-lane arena buffers; contents are overwritten before
+    use, so buffers may be shared with anything that does not live
+    across a flux call. *)
+
+val make_scratch : unit -> scratch
+(** Fresh minimally-sized scratch (for tests and one-off callers). *)
+
+val flux_pr_into :
+  kind -> gamma:float -> pr:float array -> s:scratch -> f:float array -> unit
+(** Allocation-free variant of {!flux_into} for the hot path: the two
+    primitive states are packed in [pr] as
+    [rho_l; un_l; ut_l; p_l; rho_r; un_r; ut_r; p_r] (the pencil
+    kernel's scratch layout) and every temporary lives in [s].
+    Bitwise-identical to {!flux_into} (pinned by tests).  [Exact]
+    still allocates internally — Godunov's solver is iterative and
+    not on the default hot path.
     @raise Invalid_argument on non-physical input states. *)
 
 val flux :

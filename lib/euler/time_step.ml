@@ -1,11 +1,28 @@
+(* The reduction body is written without State.primitive: its tuple
+   return would box four floats per cell per step.  The arithmetic is
+   a term-for-term transcription of State.primitive + Gas.sound_speed
+   (same operation order, so the dt sequence is bit-identical). *)
 let max_eigenvalue exec (st : State.t) =
   let g = st.State.grid in
   let nx = g.Grid.nx and ny = g.Grid.ny in
   let one_d = Grid.is_1d g in
+  let gamma = st.State.gamma in
+  let q_rho = st.State.q.(State.i_rho)
+  and q_mx = st.State.q.(State.i_mx)
+  and q_my = st.State.q.(State.i_my)
+  and q_e = st.State.q.(State.i_e) in
   Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:(nx * ny) (fun cell ->
       let ix = cell mod nx and iy = cell / nx in
-      let rho, u, v, p = State.primitive st ix iy in
-      let c = Gas.sound_speed ~gamma:st.State.gamma ~rho ~p in
+      let o = Grid.offset g ix iy in
+      let rho = q_rho.(o)
+      and mx = q_mx.(o)
+      and my = q_my.(o)
+      and e = q_e.(o) in
+      let p =
+        (gamma -. 1.) *. (e -. (((mx *. mx) +. (my *. my)) /. (2. *. rho)))
+      in
+      let u = mx /. rho and v = my /. rho in
+      let c = Float.sqrt (gamma *. p /. rho) in
       let ev_x = (Float.abs u +. c) /. g.Grid.dx in
       if one_d then ev_x else ev_x +. ((Float.abs v +. c) /. g.Grid.dy))
 

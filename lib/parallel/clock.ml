@@ -1,0 +1,5 @@
+external now_ns : unit -> (float[@unboxed])
+  = "shockwaves_clock_monotonic_ns_byte" "shockwaves_clock_monotonic_ns"
+[@@noalloc]
+
+let now_s () = now_ns () *. 1e-9

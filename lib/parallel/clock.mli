@@ -1,0 +1,16 @@
+(** Monotonic, allocation-free time source for instrumentation.
+
+    [Unix.gettimeofday] is wall-clock time: it can step backwards under
+    NTP adjustment, and every call boxes a fresh float.  Region timing
+    wants neither, so the schedulers sample this module instead.  The
+    external is [[@unboxed] [@@noalloc]]: a sample compiles to a plain C
+    call returning an unboxed double. *)
+
+external now_ns : unit -> (float[@unboxed])
+  = "shockwaves_clock_monotonic_ns_byte" "shockwaves_clock_monotonic_ns"
+[@@noalloc]
+(** Nanoseconds since an arbitrary fixed origin.  Monotonic:
+    successive samples never decrease. *)
+
+val now_s : unit -> float
+(** {!now_ns} scaled to seconds, for coarse wall-clock accounting. *)

@@ -1,0 +1,29 @@
+/* Monotonic clock for region timing.
+ *
+ * CLOCK_MONOTONIC via clock_gettime: never jumps backwards (unlike
+ * gettimeofday under NTP adjustment) and, exposed through an
+ * [@unboxed] [@@noalloc] external, costs no OCaml heap allocation per
+ * sample -- which matters once timestamps are taken around every
+ * parallel region of every RK stage. */
+
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+/* Nanoseconds since an arbitrary epoch, as a double.  A double holds
+ * integers exactly up to 2^53 ns (~104 days of uptime); beyond that
+ * the resolution degrades gracefully to a few ns, which is still far
+ * below scheduling noise. */
+double shockwaves_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double) ts.tv_sec * 1e9 + (double) ts.tv_nsec;
+}
+
+CAMLprim value shockwaves_clock_monotonic_ns_byte(value unit)
+{
+  return caml_copy_double(shockwaves_clock_monotonic_ns(unit));
+}

@@ -21,38 +21,57 @@ let region_index = function
   | Rk_combine -> 3
   | Other -> 4
 
-type bucket = { count : int; total_ns : float; max_ns : float }
+type bucket = {
+  count : int;
+  total_ns : float;
+  max_ns : float;
+  minor_words : float;
+  promoted_words : float;
+}
 
 (* Buckets are mutated without synchronisation: regions are always
    issued from the orchestrating domain (workers run *inside* a
-   region, they never open one), so there is a single writer. *)
+   region, they never open one), so there is a single writer.  The GC
+   counters are likewise sampled on the orchestrating domain only; in
+   OCaml 5 they are domain-local, so under a parallel exec they cover
+   lane 0's share of the work — exact for [sequential], which is the
+   instrumentation pass. *)
 type slot = {
   mutable b_count : int;
   mutable b_total_ns : float;
   mutable b_max_ns : float;
+  mutable b_minor_words : float;
+  mutable b_promoted_words : float;
 }
 
 type t = {
   kind : kind;
   count : int Atomic.t;
   slots : slot array; (* indexed by region_index *)
+  workspace : Workspace.t;
 }
 
 let make_slots () =
   Array.init (List.length all_regions) (fun _ ->
-      { b_count = 0; b_total_ns = 0.; b_max_ns = 0. })
+      { b_count = 0;
+        b_total_ns = 0.;
+        b_max_ns = 0.;
+        b_minor_words = 0.;
+        b_promoted_words = 0. })
 
-let sequential () =
-  { kind = Sequential; count = Atomic.make 0; slots = make_slots () }
-
-let spmd ~lanes =
-  { kind = Spmd (Pool.create ~lanes);
+let make kind ~lanes =
+  { kind;
     count = Atomic.make 0;
-    slots = make_slots () }
+    slots = make_slots ();
+    workspace = Workspace.create ~lanes () }
+
+let sequential () = make Sequential ~lanes:1
+
+let spmd ~lanes = make (Spmd (Pool.create ~lanes)) ~lanes
 
 let fork_join ~lanes =
   if lanes < 1 then invalid_arg "Exec.fork_join: lanes must be >= 1";
-  { kind = Fork_join_sched lanes; count = Atomic.make 0; slots = make_slots () }
+  make (Fork_join_sched lanes) ~lanes
 
 let lanes t =
   match t.kind with
@@ -60,34 +79,47 @@ let lanes t =
   | Spmd pool -> Pool.lanes pool
   | Fork_join_sched n -> n
 
-let record t region ns =
+let workspace t = t.workspace
+
+let record t region ns minor promoted =
   let s = t.slots.(region_index region) in
   s.b_count <- s.b_count + 1;
   s.b_total_ns <- s.b_total_ns +. ns;
-  if ns > s.b_max_ns then s.b_max_ns <- ns
+  if ns > s.b_max_ns then s.b_max_ns <- ns;
+  s.b_minor_words <- s.b_minor_words +. minor;
+  s.b_promoted_words <- s.b_promoted_words +. promoted
 
 let timed t region f =
-  let t0 = Unix.gettimeofday () in
+  let m0, p0, _ = Gc.counters () in
+  let t0 = Clock.now_ns () in
   let r = f () in
-  record t region ((Unix.gettimeofday () -. t0) *. 1e9);
+  let ns = Clock.now_ns () -. t0 in
+  let m1, p1, _ = Gc.counters () in
+  record t region ns (m1 -. m0) (p1 -. p0);
   r
 
-let parallel_for ?schedule ?(region = Other) t ~lo ~hi body =
+let parallel_for_lanes ?schedule ?(region = Other) t ~lo ~hi body =
   if hi > lo then begin
     Atomic.incr t.count;
-    let t0 = Unix.gettimeofday () in
+    let m0, p0, _ = Gc.counters () in
+    let t0 = Clock.now_ns () in
     (match t.kind with
      | Sequential ->
        for i = lo to hi - 1 do
-         body i
+         body ~lane:0 i
        done
-     | Spmd pool -> Pool.parallel_for ?schedule pool ~lo ~hi body
+     | Spmd pool -> Pool.parallel_for_lanes ?schedule pool ~lo ~hi body
      | Fork_join_sched n ->
        (* The fork/join backend models OpenMP static scheduling only;
           a dynamic request falls back to static. *)
-       Fork_join.parallel_for ~lanes:n ~lo ~hi body);
-    record t region ((Unix.gettimeofday () -. t0) *. 1e9)
+       Fork_join.parallel_for_lanes ~lanes:n ~lo ~hi body);
+    let ns = Clock.now_ns () -. t0 in
+    let m1, p1, _ = Gc.counters () in
+    record t region ns (m1 -. m0) (p1 -. p0)
   end
+
+let parallel_for ?schedule ?region t ~lo ~hi body =
+  parallel_for_lanes ?schedule ?region t ~lo ~hi (fun ~lane:_ i -> body i)
 
 let reduce_chunk body (r : Chunk.range) =
   let acc = ref Float.neg_infinity in
@@ -101,7 +133,8 @@ let parallel_reduce_max ?(region = Reduce) t ~lo ~hi body =
   if hi <= lo then Float.neg_infinity
   else begin
     Atomic.incr t.count;
-    let t0 = Unix.gettimeofday () in
+    let m0, p0, _ = Gc.counters () in
+    let t0 = Clock.now_ns () in
     let result =
       match t.kind with
       | Sequential -> reduce_chunk body { Chunk.lo; hi }
@@ -129,7 +162,9 @@ let parallel_reduce_max ?(region = Reduce) t ~lo ~hi body =
         Array.iter Domain.join spawned;
         Array.fold_left Float.max Float.neg_infinity partial
     in
-    record t region ((Unix.gettimeofday () -. t0) *. 1e9);
+    let ns = Clock.now_ns () -. t0 in
+    let m1, p1, _ = Gc.counters () in
+    record t region ns (m1 -. m0) (p1 -. p0);
     result
   end
 
@@ -146,7 +181,9 @@ let buckets t =
           ( r,
             { count = s.b_count;
               total_ns = s.b_total_ns;
-              max_ns = s.b_max_ns } ))
+              max_ns = s.b_max_ns;
+              minor_words = s.b_minor_words;
+              promoted_words = s.b_promoted_words } ))
     all_regions
 
 let reset_buckets t =
@@ -154,7 +191,9 @@ let reset_buckets t =
     (fun s ->
       s.b_count <- 0;
       s.b_total_ns <- 0.;
-      s.b_max_ns <- 0.)
+      s.b_max_ns <- 0.;
+      s.b_minor_words <- 0.;
+      s.b_promoted_words <- 0.)
     t.slots
 
 let shutdown t =

@@ -22,9 +22,20 @@ val region_name : region -> string
 
 val all_regions : region list
 
-type bucket = { count : int; total_ns : float; max_ns : float }
-(** Accumulated timing of one region kind: number of regions executed,
-    total and maximum wall time in nanoseconds. *)
+type bucket = {
+  count : int;
+  total_ns : float;
+  max_ns : float;
+  minor_words : float;
+  promoted_words : float;
+}
+(** Accumulated instrumentation of one region kind: number of regions
+    executed, total and maximum monotonic wall time in nanoseconds
+    (sampled via {!Clock}), and the minor-heap words allocated and
+    promoted while the region ran.  GC counters are sampled on the
+    orchestrating domain and are domain-local in OCaml 5: exact under
+    {!sequential} (the instrumentation pass), lane 0's share only
+    under {!spmd}/{!fork_join}. *)
 
 val sequential : unit -> t
 (** Runs loops inline.  Regions are still counted and timed, so a
@@ -39,6 +50,12 @@ val fork_join : lanes:int -> t
 val lanes : t -> int
 (** Number of execution lanes (1 for {!sequential}). *)
 
+val workspace : t -> Workspace.t
+(** The per-lane scratch arena owned by this scheduler, sized to
+    {!lanes} lanes.  Kernels running under [parallel_for_lanes] index
+    it with the lane id they receive; buffers are allocated once and
+    reused across rows, stages and steps. *)
+
 val parallel_for :
   ?schedule:Chunk.schedule ->
   ?region:region ->
@@ -47,6 +64,16 @@ val parallel_for :
     static) selects the SPMD pool's work distribution, mirroring
     OMP_SCHEDULE.  [region] (default [Other]) labels the timing
     bucket the region is charged to. *)
+
+val parallel_for_lanes :
+  ?schedule:Chunk.schedule ->
+  ?region:region ->
+  t -> lo:int -> hi:int -> (lane:int -> int -> unit) -> unit
+(** Like {!parallel_for}, but the body receives the id of the lane
+    executing it, always in [\[0, lanes t)] — the key into
+    {!workspace} scratch.  Every index in [\[lo, hi)] is executed
+    exactly once under both static and dynamic schedules; under
+    {!sequential} the lane is always [0]. *)
 
 val parallel_reduce_max :
   ?region:region -> t -> lo:int -> hi:int -> (int -> float) -> float

@@ -1,6 +1,6 @@
 let regions = Atomic.make 0
 
-let parallel_for ~lanes ~lo ~hi body =
+let parallel_for_lanes ~lanes ~lo ~hi body =
   if lanes < 1 then invalid_arg "Fork_join.parallel_for: lanes must be >= 1";
   if hi > lo then begin
     Atomic.incr regions;
@@ -9,22 +9,27 @@ let parallel_for ~lanes ~lo ~hi body =
     let lanes = min lanes (hi - lo) in
     if lanes = 1 then
       for i = lo to hi - 1 do
-        body i
+        body ~lane:0 i
       done
     else begin
       let chunk which () =
         let r = Chunk.chunk_of ~lo ~hi ~parts:lanes ~which in
         for i = r.Chunk.lo to r.Chunk.hi - 1 do
-          body i
+          body ~lane:which i
         done
       in
       let spawned =
         Array.init (lanes - 1) (fun k -> Domain.spawn (chunk (k + 1)))
       in
       chunk 0 ();
+      (* Domain.join re-raises a worker's exception here, so a
+         crashing chunk fails loudly on the orchestrating domain. *)
       Array.iter Domain.join spawned
     end
   end
+
+let parallel_for ~lanes ~lo ~hi body =
+  parallel_for_lanes ~lanes ~lo ~hi (fun ~lane:_ i -> body i)
 
 let regions_executed () = Atomic.get regions
 let reset_regions () = Atomic.set regions 0

@@ -13,6 +13,13 @@ val parallel_for : lanes:int -> lo:int -> hi:int -> (int -> unit) -> unit
     spawned lanes (the caller runs chunk 0).
     @raise Invalid_argument if [lanes < 1]. *)
 
+val parallel_for_lanes :
+  lanes:int -> lo:int -> hi:int -> (lane:int -> int -> unit) -> unit
+(** Like {!parallel_for}, but the body receives the index of the lane
+    running it.  The team is clamped to the iteration count, so the
+    lane indices seen by the body always lie in
+    [\[0, min lanes (hi - lo))]. *)
+
 val regions_executed : unit -> int
 (** Global count of fork/join regions since program start. *)
 

@@ -3,6 +3,7 @@ type t = {
   mutable workers : unit Domain.t array;
   generation : int Atomic.t;
   finished : int Atomic.t;
+  error : (exn * Printexc.raw_backtrace) option Atomic.t;
   mutable job : int -> unit;
   mutable stopping : bool;
   mutable barriers : int;
@@ -19,6 +20,13 @@ let spin_until pred =
     if !spins land 1023 = 0 then Thread.yield () else Domain.cpu_relax ()
   done
 
+(* A lane that raises must still reach the barrier, or the whole pool
+   deadlocks; the first exception per barrier is parked here and
+   re-raised by [run] on the orchestrating domain. *)
+let record_error pool exn =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set pool.error None (Some (exn, bt)))
+
 let worker_loop pool id =
   let seen = ref 0 in
   let running = ref true in
@@ -27,7 +35,7 @@ let worker_loop pool id =
     incr seen;
     if pool.stopping then running := false
     else begin
-      (try pool.job id with _ -> ());
+      (try pool.job id with e -> record_error pool e);
       Atomic.incr pool.finished
     end
   done;
@@ -40,6 +48,7 @@ let create ~lanes =
       workers = [||];
       generation = Atomic.make 0;
       finished = Atomic.make 0;
+      error = Atomic.make None;
       job = ignore;
       stopping = false;
       barriers = 0;
@@ -57,31 +66,37 @@ let run pool f =
   pool.job <- f;
   Atomic.set pool.finished 0;
   Atomic.incr pool.generation;
-  f 0;
+  (try f 0 with e -> record_error pool e);
   spin_until (fun () -> Atomic.get pool.finished = pool.lanes - 1);
-  pool.barriers <- pool.barriers + 1
+  pool.barriers <- pool.barriers + 1;
+  match Atomic.exchange pool.error None with
+  | None -> ()
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
 
-let parallel_for ?(schedule = Chunk.Static) pool ~lo ~hi body =
+let parallel_for_lanes ?(schedule = Chunk.Static) pool ~lo ~hi body =
   if hi > lo then
     match schedule with
     | Chunk.Static ->
       run pool (fun lane ->
           let r = Chunk.chunk_of ~lo ~hi ~parts:pool.lanes ~which:lane in
           for i = r.Chunk.lo to r.Chunk.hi - 1 do
-            body i
+            body ~lane i
           done)
     | Chunk.Dynamic chunk ->
       let next = Atomic.make lo in
-      run pool (fun _lane ->
+      run pool (fun lane ->
           let continue = ref true in
           while !continue do
             let start = Atomic.fetch_and_add next chunk in
             if start >= hi then continue := false
             else
               for i = start to min hi (start + chunk) - 1 do
-                body i
+                body ~lane i
               done
           done)
+
+let parallel_for ?schedule pool ~lo ~hi body =
+  parallel_for_lanes ?schedule pool ~lo ~hi (fun ~lane:_ i -> body i)
 
 let barriers_crossed pool = pool.barriers
 

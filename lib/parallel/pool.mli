@@ -24,13 +24,28 @@ val run : t -> (int -> unit) -> unit
 (** [run pool f] executes [f lane_id] on every lane (ids
     [0 .. lanes-1], the caller being lane 0) and spin-waits until all
     lanes finish — one SPMD region with two barrier crossings.
-    Not reentrant: [f] must not call {!run} on the same pool. *)
+    Not reentrant: [f] must not call {!run} on the same pool.
+
+    If any lane raises, the lane still reaches the barrier (so the
+    pool stays consistent) and the {e first} exception recorded during
+    the region is re-raised here, on the orchestrating domain, with
+    its original backtrace.  The pool remains usable afterwards. *)
 
 val parallel_for :
   ?schedule:Chunk.schedule -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Data-parallel loop over [\[lo, hi)]; default [Static]
     distribution (the paper's fastest OMP_SCHEDULE setting), or
     [Dynamic n] self-scheduling from a shared counter. *)
+
+val parallel_for_lanes :
+  ?schedule:Chunk.schedule ->
+  t -> lo:int -> hi:int -> (lane:int -> int -> unit) -> unit
+(** Like {!parallel_for}, but the body also receives the id of the
+    lane executing it — the key a kernel needs to index per-lane
+    scratch (see {!Workspace}).  Under [Static] each lane runs one
+    contiguous chunk; under [Dynamic n] lanes self-schedule, so the
+    indices a lane sees are not contiguous, but every index is still
+    executed exactly once by exactly one lane. *)
 
 val barriers_crossed : t -> int
 (** Number of release/join barrier pairs executed so far — the

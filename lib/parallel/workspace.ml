@@ -1,0 +1,34 @@
+type t = {
+  tables : float array array array; (* tables.(lane).(slot) *)
+  growths : int Atomic.t;
+}
+
+let create ?(slots = 32) ~lanes () =
+  if lanes < 1 then invalid_arg "Workspace.create: lanes must be >= 1";
+  if slots < 1 then invalid_arg "Workspace.create: slots must be >= 1";
+  { tables = Array.init lanes (fun _ -> Array.make slots [||]);
+    growths = Atomic.make 0 }
+
+let lanes t = Array.length t.tables
+let slots t = Array.length t.tables.(0)
+
+let buffer t ~lane ~slot n =
+  if lane < 0 || lane >= Array.length t.tables then
+    invalid_arg "Workspace.buffer: lane out of range";
+  let table = t.tables.(lane) in
+  if slot < 0 || slot >= Array.length table then
+    invalid_arg "Workspace.buffer: slot out of range";
+  if n < 0 then invalid_arg "Workspace.buffer: negative length";
+  let buf = table.(slot) in
+  if Array.length buf >= n then buf
+  else begin
+    (* Grow past the request so a sweep over mildly varying row
+       lengths settles after a handful of reallocations. *)
+    let cap = max n (max 8 (2 * Array.length buf)) in
+    let buf = Array.make cap 0. in
+    table.(slot) <- buf;
+    Atomic.incr t.growths;
+    buf
+  end
+
+let growths t = Atomic.get t.growths

@@ -1,0 +1,48 @@
+(** Per-lane scratch arenas for allocation-free kernels.
+
+    The hot path of the Euler solvers needs a handful of float buffers
+    per pencil sweep (primitive pencils, characteristic stencils,
+    eigenvector matrices, Riemann scratch).  Allocating them per row
+    per RK stage makes the minor GC, not the flux arithmetic, the
+    speed limit.  A workspace holds one buffer table per execution
+    lane; kernels ask for [buffer ws ~lane ~slot n] at the top of a
+    row and get the same (possibly larger) array back every time, so
+    after the first touch the steady-state allocation rate is zero.
+
+    Buffers are grown on demand and never shrink.  Each lane owns its
+    table exclusively — a lane must only ever request buffers under
+    its own index, which the [parallel_for_lanes] primitives
+    guarantee — so no synchronisation is needed on the lookup path.
+
+    Slot indices are a convention between the kernels sharing one
+    workspace (see the [slot_*] constants in [Euler.Rhs]); two kernels
+    reusing the same slot for different purposes is fine as long as
+    they rewrite the contents they depend on, which allocation-free
+    kernels do anyway. *)
+
+type t
+
+val create : ?slots:int -> lanes:int -> unit -> t
+(** [create ~lanes ()] makes an arena with [lanes] independent buffer
+    tables of [slots] (default 32) slots each.  All buffers start
+    empty; storage appears on first request.
+    @raise Invalid_argument if [lanes < 1] or [slots < 1]. *)
+
+val lanes : t -> int
+
+val slots : t -> int
+
+val buffer : t -> lane:int -> slot:int -> int -> float array
+(** [buffer t ~lane ~slot n] returns the float array cached at
+    [(lane, slot)], growing it first if it is shorter than [n].  The
+    result has length [>= n] and retains whatever the previous user
+    of the slot left in it — callers must write before they read.
+    Growing reallocates; steady state returns the cached array with
+    no allocation.
+    @raise Invalid_argument if [lane] or [slot] is out of range or
+    [n < 0]. *)
+
+val growths : t -> int
+(** Number of buffer (re)allocations performed so far, across all
+    lanes — telemetry: in an allocation-free steady state this
+    stops increasing after the first step. *)

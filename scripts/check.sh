@@ -1,12 +1,30 @@
 #!/bin/sh
 # Tier-1 health check: build everything, run the full test suite, and
 # exercise the engine-driven bench harness end to end on the Fig. 1
-# experiment (fast, no multicore hardware needed).
+# experiment (fast, no multicore hardware needed), plus a hot-path
+# bench smoke: every registry backend on a tiny grid, with the emitted
+# BENCH_hotpath.json validated for shape.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune exec bench/main.exe -- fig1 --quick
+
+smoke_dir="bench_out/smoke"
+dune exec bench/main.exe -- hotpath --quick --out "$smoke_dir"
+json="$smoke_dir/BENCH_hotpath.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "hotpath-v1" and (.backends | length > 0)' "$json" \
+    >/dev/null || { echo "check.sh: $json failed validation" >&2; exit 1; }
+else
+  python3 - "$json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "hotpath-v1", "bad schema"
+assert len(d["backends"]) > 0, "no backend rows"
+EOF
+fi
+echo "check.sh: $json validated"
 
 echo "check.sh: all green"

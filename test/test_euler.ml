@@ -1120,6 +1120,157 @@ let qcheck_cases =
       prop_exact_riemann_star_positive;
       prop_rh_ratios_monotone ]
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free hot path: bitwise pins against the boxed APIs       *)
+(* ------------------------------------------------------------------ *)
+
+(* The [_into]/[_pr] variants are independent transcriptions of the
+   boxed implementations, not wrappers; these pins are what keeps the
+   two families in lockstep (max abs diff exactly 0, not within a
+   tolerance). *)
+
+let all_recon_kinds =
+  List.filter_map
+    (fun n -> Option.map (fun k -> (n, k)) (Euler.Recon.of_string n))
+    Euler.Recon.all_names
+
+let test_hotpath_recon_pin () =
+  let rng = Random.State.make [| 20260806 |] in
+  let wl = Array.make 4 0. and wr = Array.make 4 0. in
+  List.iter
+    (fun (name, kind) ->
+      let width = Euler.Recon.stencil_width kind in
+      for _ = 1 to 200 do
+        let w =
+          Array.init width (fun _ -> Random.State.float rng 4. -. 2.)
+        in
+        let l, r = Euler.Recon.left_right_window kind w in
+        Euler.Recon.left_right_into kind w ~wl ~wr ~k:2;
+        check_bool (name ^ " left bitwise") true (wl.(2) = l);
+        check_bool (name ^ " right bitwise") true (wr.(2) = r)
+      done)
+    all_recon_kinds
+
+let test_hotpath_characteristic_pin () =
+  let rng = Random.State.make [| 7 |] in
+  let l = Array.make 16 0.
+  and r = Array.make 16 0.
+  and ev = Array.make 4 0.
+  and pr = Array.make 8 0.
+  and q = Array.make 4 0.
+  and w_old = Array.make 4 0.
+  and w_new = Array.make 4 0. in
+  let rand_state () =
+    ( 0.1 +. Random.State.float rng 3.,
+      Random.State.float rng 4. -. 2.,
+      Random.State.float rng 4. -. 2.,
+      0.1 +. Random.State.float rng 3. )
+  in
+  for _ = 1 to 200 do
+    let (rho_l, un_l, ut_l, p_l) as left = rand_state () in
+    let (rho_r, un_r, ut_r, p_r) as right = rand_state () in
+    let basis = Euler.Characteristic.of_roe_average ~gamma ~left ~right in
+    pr.(0) <- rho_l; pr.(1) <- un_l; pr.(2) <- ut_l; pr.(3) <- p_l;
+    pr.(4) <- rho_r; pr.(5) <- un_r; pr.(6) <- ut_r; pr.(7) <- p_r;
+    Euler.Characteristic.roe_into ~gamma ~pr ~l ~r ~ev;
+    let lm = Euler.Characteristic.left_matrix basis
+    and rm = Euler.Characteristic.right_matrix basis in
+    for i = 0 to 15 do
+      check_bool "L bitwise" true (l.(i) = lm.(i));
+      check_bool "R bitwise" true (r.(i) = rm.(i))
+    done;
+    let e0, e1, e2, e3 = Euler.Characteristic.eigenvalues basis in
+    check_bool "eigenvalues bitwise" true
+      (ev.(0) = e0 && ev.(1) = e1 && ev.(2) = e2 && ev.(3) = e3);
+    (* project_into with the copied-out matrix reproduces the basis
+       projection exactly. *)
+    for i = 0 to 3 do
+      q.(i) <- Random.State.float rng 2. -. 1.
+    done;
+    Euler.Characteristic.to_characteristic basis q w_old;
+    Euler.Characteristic.project_into lm q w_new;
+    for i = 0 to 3 do
+      check_bool "projection bitwise" true (w_old.(i) = w_new.(i))
+    done
+  done
+
+let test_hotpath_riemann_pin () =
+  let rng = Random.State.make [| 99 |] in
+  let s = Euler.Riemann.make_scratch () in
+  let f = Array.make 4 0.
+  and fp = Array.make 4 0.
+  and pr = Array.make 8 0. in
+  List.iter
+    (fun (name, kind) ->
+      for _ = 1 to 200 do
+        let rho_l = 0.1 +. Random.State.float rng 3.
+        and un_l = Random.State.float rng 4. -. 2.
+        and ut_l = Random.State.float rng 4. -. 2.
+        and p_l = 0.1 +. Random.State.float rng 3.
+        and rho_r = 0.1 +. Random.State.float rng 3.
+        and un_r = Random.State.float rng 4. -. 2.
+        and ut_r = Random.State.float rng 4. -. 2.
+        and p_r = 0.1 +. Random.State.float rng 3. in
+        Euler.Riemann.flux_into kind ~gamma ~rho_l ~un_l ~ut_l ~p_l ~rho_r
+          ~un_r ~ut_r ~p_r ~f;
+        pr.(0) <- rho_l; pr.(1) <- un_l; pr.(2) <- ut_l; pr.(3) <- p_l;
+        pr.(4) <- rho_r; pr.(5) <- un_r; pr.(6) <- ut_r; pr.(7) <- p_r;
+        Euler.Riemann.flux_pr_into kind ~gamma ~pr ~s ~f:fp;
+        for i = 0 to 3 do
+          check_bool (name ^ " flux bitwise") true (f.(i) = fp.(i))
+        done
+      done)
+    Euler.Riemann.all
+
+let test_hotpath_rhs_schedulers_identical () =
+  (* The arena-backed RHS must produce bit-identical divergences no
+     matter which scheduler (and hence which lane decomposition) runs
+     the sweeps: lanes only partition rows/columns, they never change
+     the arithmetic.  17x13 exercises uneven chunking with 3 lanes. *)
+  let g = Euler.Grid.make ~nx:17 ~ny:13 ~lx:1. ~ly:1. () in
+  List.iter
+    (fun (name, recon) ->
+      let st = Euler.State.create g in
+      for o = 0 to g.Euler.Grid.cells - 1 do
+        let x = float_of_int o in
+        (* Smooth field with an embedded jump; physical everywhere,
+           ghosts included. *)
+        let jump = if o mod 37 < 18 then 0.8 else 0. in
+        let rho = 1. +. (0.3 *. sin (0.05 *. x)) +. jump in
+        let u = 0.4 *. cos (0.03 *. x) in
+        let v = -0.2 *. sin (0.02 *. x) in
+        let p = 1. +. (0.5 *. cos (0.04 *. x)) +. jump in
+        st.Euler.State.q.(0).(o) <- rho;
+        st.Euler.State.q.(1).(o) <- rho *. u;
+        st.Euler.State.q.(2).(o) <- rho *. v;
+        st.Euler.State.q.(3).(o) <-
+          Euler.Gas.total_energy ~gamma ~rho ~u ~v ~p
+      done;
+      let cfg = { Euler.Rhs.recon; riemann = Euler.Riemann.Hllc } in
+      let dqdt_of exec =
+        let d = Array.init 4 (fun _ -> Array.make g.Euler.Grid.cells 0.) in
+        Euler.Rhs.compute cfg exec st d;
+        Parallel.Exec.shutdown exec;
+        d
+      in
+      let a = dqdt_of (Parallel.Exec.sequential ()) in
+      List.iter
+        (fun (ename, exec) ->
+          let b = dqdt_of exec in
+          let diff = ref 0. in
+          for k = 0 to 3 do
+            for o = 0 to g.Euler.Grid.cells - 1 do
+              let d = Float.abs (a.(k).(o) -. b.(k).(o)) in
+              if d > !diff then diff := d
+            done
+          done;
+          check_float 0.
+            (Printf.sprintf "%s: %s = sequential" name ename)
+            0. !diff)
+        [ ("spmd(3)", Parallel.Exec.spmd ~lanes:3);
+          ("fork-join(3)", Parallel.Exec.fork_join ~lanes:3) ])
+    all_recon_kinds
+
 let () =
   Alcotest.run "euler"
     [ ( "gas",
@@ -1237,4 +1388,13 @@ let () =
           Alcotest.test_case "schlieren" `Quick test_field_io_schlieren;
           Alcotest.test_case "vtk" `Quick test_field_io_vtk;
           Alcotest.test_case "ascii" `Quick test_field_io_ascii ] );
+      ( "hotpath",
+        [ Alcotest.test_case "recon into pins window" `Quick
+            test_hotpath_recon_pin;
+          Alcotest.test_case "characteristic into pins basis" `Quick
+            test_hotpath_characteristic_pin;
+          Alcotest.test_case "riemann pr pins flux" `Quick
+            test_hotpath_riemann_pin;
+          Alcotest.test_case "rhs schedulers bit-identical" `Quick
+            test_hotpath_rhs_schedulers_identical ] );
       ("properties", qcheck_cases) ]

@@ -135,6 +135,31 @@ let test_exec_dynamic_matches_static () =
   and d = run (Some (Parallel.Chunk.Dynamic 13)) in
   Alcotest.(check (array (float 0.))) "identical results" s d
 
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Parallel.Pool.with_pool ~lanes:2 (fun pool ->
+      (* Static chunking over [0,100) with 2 lanes puts i=75 on lane 1
+         (a parked worker) and i=10 on lane 0 (the caller); the barrier
+         must complete and the exception re-raise in the caller in both
+         cases. *)
+      List.iter
+        (fun bad ->
+          let raised =
+            try
+              Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                  if i = bad then raise (Boom i));
+              false
+            with Boom i -> i = bad
+          in
+          check_bool (Printf.sprintf "Boom %d re-raised" bad) true raised)
+        [ 75; 10 ];
+      (* A failed region must not poison the pool. *)
+      let hits = Atomic.make 0 in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun _ ->
+          Atomic.incr hits);
+      check_int "pool usable afterwards" 10 (Atomic.get hits))
+
 (* ------------------------------------------------------------------ *)
 (* Fork_join                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -202,6 +227,131 @@ let test_exec_region_counting () =
   (* Empty region does not count. *)
   Parallel.Exec.parallel_for sched ~lo:0 ~hi:0 ignore;
   check_int "empty not counted" 0 (Parallel.Exec.regions sched)
+
+let test_exec_for_lanes_cover () =
+  (* Every index in the range runs exactly once and sees a lane id in
+     [0, lanes), under both schedules, on every scheduler. *)
+  List.iter
+    (fun (name, sched) ->
+      List.iter
+        (fun (sname, schedule) ->
+          let n = 500 in
+          let hits = Array.init n (fun _ -> Atomic.make 0) in
+          let lanes = Parallel.Exec.lanes sched in
+          let bad_lane = Atomic.make false in
+          Parallel.Exec.parallel_for_lanes ?schedule sched ~lo:0 ~hi:n
+            (fun ~lane i ->
+              if lane < 0 || lane >= lanes then Atomic.set bad_lane true;
+              Atomic.incr hits.(i));
+          Array.iteri
+            (fun i c ->
+              check_int
+                (Printf.sprintf "%s/%s idx %d once" name sname i)
+                1 (Atomic.get c))
+            hits;
+          check_bool
+            (Printf.sprintf "%s/%s lane ids in range" name sname)
+            false (Atomic.get bad_lane))
+        [ ("static", None); ("dynamic", Some (Parallel.Chunk.Dynamic 7)) ];
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_exec_for_lanes_edges () =
+  (* More lanes than iterations, and an empty range. *)
+  List.iter
+    (fun (name, sched) ->
+      let hits = Array.init 2 (fun _ -> Atomic.make 0) in
+      Parallel.Exec.parallel_for_lanes sched ~lo:0 ~hi:2 (fun ~lane:_ i ->
+          Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          check_int (Printf.sprintf "%s short idx %d" name i) 1
+            (Atomic.get c))
+        hits;
+      let ran = Atomic.make false in
+      Parallel.Exec.parallel_for_lanes sched ~lo:5 ~hi:5 (fun ~lane:_ _ ->
+          Atomic.set ran true);
+      check_bool (name ^ " empty range runs nothing") false (Atomic.get ran);
+      Parallel.Exec.shutdown sched)
+    [ ("sequential", Parallel.Exec.sequential ());
+      ("spmd", Parallel.Exec.spmd ~lanes:3);
+      ("fork-join", Parallel.Exec.fork_join ~lanes:3) ]
+
+let test_exec_bucket_words () =
+  let sched = Parallel.Exec.sequential () in
+  Parallel.Exec.parallel_for ~region:Parallel.Exec.Rhs sched ~lo:0 ~hi:100
+    (fun i -> ignore (Sys.opaque_identity (Array.make 64 (float_of_int i))));
+  (match List.assoc_opt Parallel.Exec.Rhs (Parallel.Exec.buckets sched) with
+   | None -> Alcotest.fail "rhs bucket missing"
+   | Some b ->
+     check_int "one region" 1 b.Parallel.Exec.count;
+     check_bool "allocation attributed to the bucket" true
+       (b.Parallel.Exec.minor_words > 0.));
+  Parallel.Exec.reset_buckets sched;
+  check_bool "buckets reset" true (Parallel.Exec.buckets sched = [])
+
+(* ------------------------------------------------------------------ *)
+(* Workspace and Clock                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_workspace_reuse () =
+  let ws = Parallel.Workspace.create ~lanes:2 () in
+  let a = Parallel.Workspace.buffer ws ~lane:0 ~slot:3 100 in
+  check_bool "length >= n" true (Array.length a >= 100);
+  let b = Parallel.Workspace.buffer ws ~lane:0 ~slot:3 80 in
+  check_bool "same array back" true (a == b);
+  let c = Parallel.Workspace.buffer ws ~lane:1 ~slot:3 10 in
+  check_bool "lanes independent" true (not (c == a));
+  check_int "lanes" 2 (Parallel.Workspace.lanes ws)
+
+let test_workspace_growth () =
+  let ws = Parallel.Workspace.create ~lanes:1 () in
+  let g0 = Parallel.Workspace.growths ws in
+  let a = Parallel.Workspace.buffer ws ~lane:0 ~slot:0 10 in
+  check_int "first touch grows" (g0 + 1) (Parallel.Workspace.growths ws);
+  let b =
+    Parallel.Workspace.buffer ws ~lane:0 ~slot:0 (Array.length a + 1)
+  in
+  check_bool "grown" true (Array.length b > Array.length a);
+  check_int "second growth" (g0 + 2) (Parallel.Workspace.growths ws);
+  ignore (Parallel.Workspace.buffer ws ~lane:0 ~slot:0 5);
+  check_int "steady state allocates nothing" (g0 + 2)
+    (Parallel.Workspace.growths ws)
+
+let test_workspace_invalid () =
+  let ws = Parallel.Workspace.create ~lanes:2 ~slots:4 () in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check_bool "bad lane" true
+    (raises (fun () ->
+         ignore (Parallel.Workspace.buffer ws ~lane:2 ~slot:0 1)));
+  check_bool "bad slot" true
+    (raises (fun () ->
+         ignore (Parallel.Workspace.buffer ws ~lane:0 ~slot:4 1)));
+  check_bool "bad n" true
+    (raises (fun () ->
+         ignore (Parallel.Workspace.buffer ws ~lane:0 ~slot:0 (-1))));
+  check_bool "bad lanes" true
+    (raises (fun () -> ignore (Parallel.Workspace.create ~lanes:0 ())))
+
+let test_exec_workspace_sized () =
+  List.iter
+    (fun (name, sched) ->
+      check_int (name ^ " workspace lanes")
+        (Parallel.Exec.lanes sched)
+        (Parallel.Workspace.lanes (Parallel.Exec.workspace sched));
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_clock_monotonic () =
+  let t0 = Parallel.Clock.now_ns () in
+  let t1 = Parallel.Clock.now_ns () in
+  check_bool "positive" true (t0 > 0.);
+  check_bool "non-decreasing" true (t1 >= t0);
+  let s0 = Parallel.Clock.now_s () in
+  let s1 = Parallel.Clock.now_s () in
+  check_bool "seconds non-decreasing" true (s1 >= s0);
+  check_bool "seconds agree with ns" true
+    (Float.abs ((Parallel.Clock.now_ns () *. 1e-9) -. s1) < 1.)
 
 let test_exec_describe () =
   Alcotest.(check string) "seq" "sequential"
@@ -349,7 +499,9 @@ let () =
             test_pool_dynamic_schedule;
           Alcotest.test_case "schedule parsing" `Quick test_schedule_parsing;
           Alcotest.test_case "dynamic matches static" `Quick
-            test_exec_dynamic_matches_static ] );
+            test_exec_dynamic_matches_static;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates ] );
       ( "fork_join",
         [ Alcotest.test_case "correct" `Quick test_fork_join_correct;
           Alcotest.test_case "region count" `Quick
@@ -359,7 +511,19 @@ let () =
           Alcotest.test_case "reduce max" `Quick test_exec_reduce_max;
           Alcotest.test_case "region counting" `Quick
             test_exec_region_counting;
+          Alcotest.test_case "for_lanes coverage" `Quick
+            test_exec_for_lanes_cover;
+          Alcotest.test_case "for_lanes edge cases" `Quick
+            test_exec_for_lanes_edges;
+          Alcotest.test_case "bucket gc words" `Quick test_exec_bucket_words;
           Alcotest.test_case "describe" `Quick test_exec_describe ] );
+      ( "workspace",
+        [ Alcotest.test_case "reuse" `Quick test_workspace_reuse;
+          Alcotest.test_case "growth" `Quick test_workspace_growth;
+          Alcotest.test_case "invalid" `Quick test_workspace_invalid;
+          Alcotest.test_case "exec sizing" `Quick test_exec_workspace_sized;
+          Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic ]
+      );
       ( "cost_model",
         [ Alcotest.test_case "one core" `Quick test_model_one_core_no_overhead;
           Alcotest.test_case "spin scales" `Quick test_model_spin_scales;
