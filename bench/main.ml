@@ -4,7 +4,9 @@
      dune exec bench/main.exe            -- everything, scaled sizes
      dune exec bench/main.exe -- fig1    -- one experiment
      experiments: fig1 fig3 fig4 fig4-large table-flags micro hotpath
-     options: --quick (smaller grids), --out DIR (artefact directory)
+                  scaling
+     options: --quick (smaller grids), --out DIR (artefact directory),
+              --lanes N|auto (lane sweep ceiling for scaling)
 
    The machine this reproduction runs on has a single hardware core;
    multicore wall clocks for Fig. 4 therefore come from the calibrated
@@ -15,6 +17,16 @@
 
 let out_dir = ref "bench_out"
 let quick = ref false
+
+(* --lanes N|auto: ceiling of the lane sweep in the scaling study.
+   [None] (the default, same as "auto") means
+   [Domain.recommended_domain_count ()]. *)
+let lanes_arg : int option ref = ref None
+
+let max_lanes () =
+  match !lanes_arg with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
 
 let ensure_out () =
   if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
@@ -662,6 +674,146 @@ let hotpath () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Core-scaling study (BENCH_scaling.json)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Measured (not modelled) scaling of the reference solver across
+   schedulers and lane counts, with the fused multi-phase path and the
+   per-loop path both timed.  This is the runtime half of the paper's
+   with-loop-folding story: the SPMD pool runs a whole fused RK stage
+   as one dispatch, the fork/join scheduler pays one spawn/join per
+   loop exactly as per-loop auto-parallelisation would, and the
+   difference is a printed number.  On a single-core host the lane
+   sweep degenerates to lanes = 1 unless --lanes asks for more; the
+   artefact still records the per-scheduler region counts, which are
+   machine-independent. *)
+
+type scale_row = {
+  s_exec : string; (* "sequential" | "spmd" | "fork-join" *)
+  s_lanes : int;
+  s_fused : bool;
+  s_ms_per_step : float;
+  s_cells_per_s : float;
+  s_speedup : float; (* vs the sequential run with the same fused flag *)
+  s_regions_per_step : float;
+}
+
+let scaling_measure ~kind ~lanes ~fused ~cells_per_h ~steps =
+  let exec =
+    match kind with
+    | `Seq -> Parallel.Exec.sequential ()
+    | `Spmd -> Parallel.Exec.spmd ~lanes
+    | `Fork_join -> Parallel.Exec.fork_join ~lanes
+  in
+  let config = { Euler.Solver.benchmark_config with Euler.Solver.fused } in
+  let prob = Euler.Setup.two_channel ~cells_per_h () in
+  let inst = Engine.Registry.create ~exec ~config "reference" prob in
+  (* One unmeasured step grows the workspace arenas and (fused path)
+     pays the only standalone GetDT reduction, so the measured loop
+     sees the steady-state region count: 3 dispatches per RK3 step
+     fused, one region per loop unfused. *)
+  ignore (Engine.Backend.step inst);
+  Parallel.Exec.reset_regions exec;
+  Parallel.Exec.reset_buckets exec;
+  let t0 = Parallel.Clock.now_s () in
+  for _ = 1 to steps do ignore (Engine.Backend.step inst) done;
+  let wall = Parallel.Clock.now_s () -. t0 in
+  let regions = Parallel.Exec.regions exec in
+  let g = (Engine.Backend.state inst).Euler.State.grid in
+  let cells = g.Euler.Grid.nx * g.Euler.Grid.ny in
+  Parallel.Exec.shutdown exec;
+  let fsteps = float_of_int steps in
+  { s_exec =
+      (match kind with
+       | `Seq -> "sequential"
+       | `Spmd -> "spmd"
+       | `Fork_join -> "fork-join");
+    s_lanes = lanes;
+    s_fused = fused;
+    s_ms_per_step = wall /. fsteps *. 1e3;
+    s_cells_per_s =
+      (if wall <= 0. then 0. else float_of_int cells *. fsteps /. wall);
+    s_speedup = 1.; (* filled in once the sequential row is known *)
+    s_regions_per_step = float_of_int regions /. fsteps }
+
+let scaling () =
+  header "Scaling -- lanes x scheduler x fused/unfused (measured)";
+  ensure_out ();
+  let cells_per_h = if !quick then 8 else 48 in
+  let steps = if !quick then 3 else 10 in
+  let lanes_max = max 1 (max_lanes ()) in
+  let n = 2 * cells_per_h in
+  Printf.printf
+    "%dx%d two-channel grid, %s scheme, %d measured steps, lanes 1..%d\n"
+    n n "pc+rusanov (RK3)" steps lanes_max;
+  let sweep fused =
+    scaling_measure ~kind:`Seq ~lanes:1 ~fused ~cells_per_h ~steps
+    :: List.concat_map
+         (fun kind ->
+           List.init lanes_max (fun i ->
+               scaling_measure ~kind ~lanes:(i + 1) ~fused ~cells_per_h
+                 ~steps))
+         [ `Spmd; `Fork_join ]
+  in
+  let with_speedup rows =
+    let seq = List.hd rows in
+    List.map
+      (fun r -> { r with s_speedup = seq.s_ms_per_step /. r.s_ms_per_step })
+      rows
+  in
+  let rows = with_speedup (sweep true) @ with_speedup (sweep false) in
+  Printf.printf "%-12s %6s %8s %12s %12s %9s %14s\n" "exec" "lanes"
+    "fused" "ms/step" "cells/s" "speedup" "regions/step";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %6d %8b %12.3f %12.3g %9.2f %14.2f\n" r.s_exec
+        r.s_lanes r.s_fused r.s_ms_per_step r.s_cells_per_s r.s_speedup
+        r.s_regions_per_step)
+    rows;
+  (* The folding win, as one printed number per claim: the fused SPMD
+     path at the widest lane count vs the same configuration unfused,
+     and vs fork/join (which cannot fold by construction). *)
+  let find exec fused =
+    List.find_opt
+      (fun r -> r.s_exec = exec && r.s_fused = fused && r.s_lanes = lanes_max)
+      rows
+  in
+  (match (find "spmd" true, find "spmd" false, find "fork-join" true) with
+   | Some sf, Some su, Some fj ->
+     Printf.printf
+       "\nwith-loop folding, spmd(%d): %.2f -> %.2f regions/step (%.1fx \
+        fewer barriers), %.3f -> %.3f ms/step (%.2fx)\n"
+       lanes_max su.s_regions_per_step sf.s_regions_per_step
+       (su.s_regions_per_step /. sf.s_regions_per_step)
+       su.s_ms_per_step sf.s_ms_per_step
+       (su.s_ms_per_step /. sf.s_ms_per_step);
+     Printf.printf
+       "fork/join(%d) cannot fold: %.2f regions/step on the same fused \
+        solver (one spawn/join per loop)\n"
+       lanes_max fj.s_regions_per_step
+   | _ -> ());
+  let oc = open_out (path "BENCH_scaling.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"scaling-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc
+    "  \"problem\": \"two_channel\",\n  \"grid\": [%d, %d],\n  \"steps\": \
+     %d,\n  \"max_lanes\": %d,\n  \"rows\": [\n"
+    n n steps lanes_max;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"exec\": \"%s\", \"lanes\": %d, \"fused\": %b, \
+         \"ms_per_step\": %.6f, \"cells_per_second\": %.6e, \"speedup\": \
+         %.4f, \"regions_per_step\": %.4f }%s\n"
+        r.s_exec r.s_lanes r.s_fused r.s_ms_per_step r.s_cells_per_s
+        r.s_speedup r.s_regions_per_step
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_scaling.json")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -670,7 +822,8 @@ let experiments =
     ("fig4-large", fig4_large);
     ("table-flags", table_flags);
     ("micro", micro);
-    ("hotpath", hotpath) ]
+    ("hotpath", hotpath);
+    ("scaling", scaling) ]
 
 let () =
   let chosen = ref [] in
@@ -679,14 +832,23 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
-        | "--out" -> ()
+        | "--out" | "--lanes" -> ()
         | "all" -> ()
         | _ when i > 1 && Sys.argv.(i - 1) = "--out" -> out_dir := arg
+        | _ when i > 1 && Sys.argv.(i - 1) = "--lanes" ->
+          (if arg = "auto" then lanes_arg := None
+           else
+             match int_of_string_opt arg with
+             | Some l when l > 0 -> lanes_arg := Some l
+             | _ ->
+               Printf.eprintf "--lanes expects a positive integer or auto\n";
+               exit 2)
         | _ ->
           if List.mem_assoc arg experiments then chosen := arg :: !chosen
           else begin
             Printf.eprintf
-              "unknown experiment %s (have: %s, all, --quick, --out DIR)\n"
+              "unknown experiment %s (have: %s, all, --quick, --out DIR, \
+               --lanes N|auto)\n"
               arg
               (String.concat " " (List.map fst experiments));
             exit 2

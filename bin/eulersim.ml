@@ -75,6 +75,19 @@ let scheduler_conv =
   in
   Arg.conv (parse, print)
 
+(* "auto" resolves the lane count from the hardware, like OMP_NUM_THREADS
+   left unset. *)
+let lanes_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "auto" -> Ok (Domain.recommended_domain_count ())
+    | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "expected a positive lane count or 'auto'"))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* The whole-array and mini-SaC backends implement only the §5
    benchmark scheme; rather than erroring out, downgrade the scheme
    and say so. *)
@@ -88,13 +101,14 @@ let effective_config backend (config : Euler.Solver.config) =
       "note: backend %s supports only the benchmark scheme; using \
        piecewise-constant + rusanov + rk3\n"
       backend;
-    { b with cfl = config.cfl }
+    { b with cfl = config.cfl; fused = config.fused }
   | _ -> config
 
-let run problem nx ms recon riemann rk cfl steps t_end backend scheduler
-    lanes csv pgm =
+let run problem nx ms recon riemann rk cfl unfused steps t_end backend
+    scheduler lanes csv pgm =
   let config =
-    effective_config backend { Euler.Solver.recon; riemann; rk; cfl }
+    effective_config backend
+      { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused }
   in
   let prob =
     match problem with
@@ -186,6 +200,13 @@ let cmd =
     Arg.(value & opt rk_conv Euler.Rk.Tvd_rk3
          & info [ "rk" ] ~doc:"time integrator")
   and cfl = Arg.(value & opt float 0.5 & info [ "cfl" ] ~doc:"CFL number")
+  and unfused =
+    Arg.(value & flag
+         & info [ "unfused" ]
+             ~doc:"dispatch one parallel region per loop nest instead of \
+                   fusing each RK stage into one multi-phase region \
+                   (results are bitwise identical; only barrier overhead \
+                   differs)")
   and steps =
     Arg.(value & opt (some int) None
          & info [ "steps" ] ~doc:"march a fixed number of steps")
@@ -201,7 +222,10 @@ let cmd =
     Arg.(value & opt scheduler_conv `Seq
          & info [ "sched" ] ~doc:"scheduler: seq, spmd or forkjoin")
   and lanes =
-    Arg.(value & opt int 2 & info [ "lanes" ] ~doc:"parallel lanes")
+    Arg.(value & opt lanes_conv 2
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"parallel lanes, or $(b,auto) for the machine's \
+                   recommended domain count")
   and csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"write the final field/profile as CSV")
@@ -212,7 +236,7 @@ let cmd =
   Cmd.v
     (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
     Term.(
-      const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ steps
-      $ t_end $ backend $ scheduler $ lanes $ csv $ pgm)
+      const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
+      $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm)
 
 let () = exit (Cmd.eval cmd)

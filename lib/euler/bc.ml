@@ -77,38 +77,93 @@ let segment_kind segments coord =
   | Segmented _ -> invalid_arg "Bc: nested Segmented"
   | k -> k
 
-let apply_side st side kind =
+(* Fill every ghost layer of one side at one along-boundary index.
+   This is the unit of work both the sequential [apply_side] loop and
+   the fused phase bodies share, so fused and unfused runs execute the
+   exact same stores. *)
+let fill_along st side kind along =
   let g = st.State.grid in
-  let along_range =
-    match side with
-    | West | East -> (-g.Grid.ng, g.Grid.ny + g.Grid.ng - 1)
-    | South | North -> (-g.Grid.ng, g.Grid.nx + g.Grid.ng - 1)
+  let k =
+    match kind with
+    | Segmented segments ->
+      let coord =
+        match side with
+        | West | East -> Grid.yc g along
+        | South | North -> Grid.xc g along
+      in
+      segment_kind segments coord
+    | k -> k
   in
-  let coord_of along =
-    match side with
-    | West | East -> Grid.yc g along
-    | South | North -> Grid.xc g along
-  in
-  let lo, hi = along_range in
-  for along = lo to hi do
-    let k =
-      match kind with
-      | Segmented segments -> segment_kind segments (coord_of along)
-      | k -> k
-    in
-    (match k with
-     | Segmented _ -> invalid_arg "Bc: nested Segmented"
-     | _ -> ());
-    for gl = 1 to g.Grid.ng do
-      fill_ghost st side ~along ~gl k
-    done
+  (match k with
+   | Segmented _ -> invalid_arg "Bc: nested Segmented"
+   | _ -> ());
+  for gl = 1 to g.Grid.ng do
+    fill_ghost st side ~along ~gl k
   done
 
+let along_range st side =
+  let g = st.State.grid in
+  match side with
+  | West | East -> (-g.Grid.ng, g.Grid.ny + g.Grid.ng - 1)
+  | South | North -> (-g.Grid.ng, g.Grid.nx + g.Grid.ng - 1)
+
+let apply_side st side kind =
+  let lo, hi = along_range st side in
+  for along = lo to hi do
+    fill_along st side kind along
+  done
+
+let kind_of sides side =
+  match List.assoc_opt side sides with Some k -> k | None -> Outflow
+
 let apply st sides =
-  let kind_of side =
-    match List.assoc_opt side sides with Some k -> k | None -> Outflow
-  in
-  apply_side st West (kind_of West);
-  apply_side st East (kind_of East);
-  apply_side st South (kind_of South);
-  apply_side st North (kind_of North)
+  apply_side st West (kind_of sides West);
+  apply_side st East (kind_of sides East);
+  apply_side st South (kind_of sides South);
+  apply_side st North (kind_of sides North)
+
+(* Dependency analysis for fusing the four sides into phases:
+
+   - West and East write disjoint ghost columns and read interior
+     columns the other never writes, {e provided} [nx >= ng] (a
+     reflective mirror reaches [ng - 1] cells inward); same for
+     South/North with [ny >= ng].
+   - South/North span the full padded width, so they {e read} the
+     corner ghosts West/East just wrote — they must run after a
+     barrier, exactly matching [apply]'s sequential W, E, S, N order.
+
+   Hence two phases: {West ∥ East} then {South ∥ North}.  Each
+   along-index is filled by exactly one body call, so the stores are
+   identical to the sequential order no matter how lanes chunk the
+   range.  Grids too narrow for the independence argument (e.g. 1D
+   problems with [ny = 1 < ng]) fall back to one single-iteration
+   phase running the sequential [apply]. *)
+let phases st sides =
+  let g = st.State.grid in
+  let ng = g.Grid.ng and nx = g.Grid.nx and ny = g.Grid.ny in
+  if nx >= ng && ny >= ng then begin
+    let vspan = ny + (2 * ng) and hspan = nx + (2 * ng) in
+    let kw = kind_of sides West
+    and ke = kind_of sides East
+    and ks = kind_of sides South
+    and kn = kind_of sides North in
+    [ { Parallel.Exec.region = Parallel.Exec.Bc;
+        lo = 0;
+        hi = 2 * vspan;
+        body =
+          (fun ~lane:_ i ->
+            if i < vspan then fill_along st West kw (i - ng)
+            else fill_along st East ke (i - vspan - ng)) };
+      { Parallel.Exec.region = Parallel.Exec.Bc;
+        lo = 0;
+        hi = 2 * hspan;
+        body =
+          (fun ~lane:_ i ->
+            if i < hspan then fill_along st South ks (i - ng)
+            else fill_along st North kn (i - hspan - ng)) } ]
+  end
+  else
+    [ { Parallel.Exec.region = Parallel.Exec.Bc;
+        lo = 0;
+        hi = 1;
+        body = (fun ~lane:_ _ -> apply st sides) } ]

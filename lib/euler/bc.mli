@@ -34,4 +34,14 @@ val apply : State.t -> (side * kind) list -> unit
     South/North over the full padded width, so corner ghosts end up
     consistent. *)
 
+val phases : State.t -> (side * kind) list -> Parallel.Exec.phase list
+(** The ghost fill as fusable phases for {!Parallel.Exec.parallel_phases}:
+    {West ∥ East} in one phase, then {South ∥ North} (which read the
+    corner ghosts the first phase wrote) after the barrier — the same
+    stores as {!apply} in a compatible order, so results are bitwise
+    identical under any scheduler.  Grids too narrow for the two sides
+    of a phase to be independent ([nx < ng] or [ny < ng], e.g. 1D
+    problems) yield a single-iteration phase running the sequential
+    fill. *)
+
 val side_name : side -> string

@@ -193,7 +193,12 @@ let line_fluxes ~gamma cfg ~n ~ng ~rho ~mn ~mt ~en ~fx =
   let s = fresh_scratch ~width:(Recon.stencil_width cfg.recon) in
   line_fluxes_into ~gamma cfg s ~n ~ng ~rho ~mn ~mt ~en ~fx
 
-let compute cfg exec (st : State.t) dqdt =
+(* The x-sweep (over rows) and y-sweep (over columns) as phase records
+   so both [compute] (one region per sweep, the unfused form) and
+   [Rk.step_fused] (all stage phases in one dispatch) execute the exact
+   same closures — bitwise identity between the paths is by
+   construction, not by re-derivation. *)
+let phases cfg exec (st : State.t) dqdt =
   let g = st.State.grid in
   let ng = g.Grid.ng
   and nx = g.Grid.nx
@@ -216,61 +221,75 @@ let compute cfg exec (st : State.t) dqdt =
      touch, then reused across rows, columns, stages and steps.  Both
      sweeps fully rewrite the prefix they read, so sharing slots is
      safe. *)
-  (* --- x sweep: one parallel region over rows ------------------- *)
-  Parallel.Exec.parallel_for_lanes exec ~region:Parallel.Exec.Rhs ~lo:0
-    ~hi:ny (fun ~lane iy ->
-      let len = nx + (2 * ng) in
+  (* --- x sweep: one phase over rows ------------------------------ *)
+  let x_body ~lane iy =
+    let len = nx + (2 * ng) in
+    let rho = Parallel.Workspace.buffer ws ~lane ~slot:slot_rho len
+    and mn = Parallel.Workspace.buffer ws ~lane ~slot:slot_mn len
+    and mt = Parallel.Workspace.buffer ws ~lane ~slot:slot_mt len
+    and en = Parallel.Workspace.buffer ws ~lane ~slot:slot_en len
+    and fx = Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((nx + 1) * 4) in
+    let s = scratch_of_workspace ws ~lane ~width in
+    let base = (iy + ng) * stride in
+    Array.blit q_rho base rho 0 len;
+    Array.blit q_mx base mn 0 len;
+    Array.blit q_my base mt 0 len;
+    Array.blit q_e base en 0 len;
+    line_fluxes_into ~gamma cfg s ~n:nx ~ng ~rho ~mn ~mt ~en ~fx;
+    let inv_dx = 1. /. g.Grid.dx in
+    for i = 0 to nx - 1 do
+      let o = base + i + ng in
+      let jl = i * 4 and jr = (i + 1) * 4 in
+      d_rho.(o) <- -.(fx.(jr) -. fx.(jl)) *. inv_dx;
+      d_mx.(o) <- -.(fx.(jr + 1) -. fx.(jl + 1)) *. inv_dx;
+      d_my.(o) <- -.(fx.(jr + 2) -. fx.(jl + 2)) *. inv_dx;
+      d_e.(o) <- -.(fx.(jr + 3) -. fx.(jl + 3)) *. inv_dx
+    done
+  in
+  let x_phase =
+    { Parallel.Exec.region = Parallel.Exec.Rhs; lo = 0; hi = ny; body = x_body }
+  in
+  if ny <= 1 then [ x_phase ]
+  else begin
+    (* --- y sweep: one phase over columns; accumulates into the
+       x-sweep's divergence, so it must run after its barrier ------- *)
+    let y_body ~lane ix =
+      let len = ny + (2 * ng) in
       let rho = Parallel.Workspace.buffer ws ~lane ~slot:slot_rho len
       and mn = Parallel.Workspace.buffer ws ~lane ~slot:slot_mn len
       and mt = Parallel.Workspace.buffer ws ~lane ~slot:slot_mt len
       and en = Parallel.Workspace.buffer ws ~lane ~slot:slot_en len
-      and fx =
-        Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((nx + 1) * 4)
-      in
+      and fx = Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((ny + 1) * 4) in
       let s = scratch_of_workspace ws ~lane ~width in
-      let base = (iy + ng) * stride in
-      Array.blit q_rho base rho 0 len;
-      Array.blit q_mx base mn 0 len;
-      Array.blit q_my base mt 0 len;
-      Array.blit q_e base en 0 len;
-      line_fluxes_into ~gamma cfg s ~n:nx ~ng ~rho ~mn ~mt ~en ~fx;
-      let inv_dx = 1. /. g.Grid.dx in
-      for i = 0 to nx - 1 do
-        let o = base + i + ng in
+      for c = 0 to len - 1 do
+        let o = (c * stride) + ix + ng in
+        rho.(c) <- q_rho.(o);
+        (* The rotated frame swaps normal and transverse momenta. *)
+        mn.(c) <- q_my.(o);
+        mt.(c) <- q_mx.(o);
+        en.(c) <- q_e.(o)
+      done;
+      line_fluxes_into ~gamma cfg s ~n:ny ~ng ~rho ~mn ~mt ~en ~fx;
+      let inv_dy = 1. /. g.Grid.dy in
+      for i = 0 to ny - 1 do
+        let o = ((i + ng) * stride) + ix + ng in
         let jl = i * 4 and jr = (i + 1) * 4 in
-        d_rho.(o) <- -.(fx.(jr) -. fx.(jl)) *. inv_dx;
-        d_mx.(o) <- -.(fx.(jr + 1) -. fx.(jl + 1)) *. inv_dx;
-        d_my.(o) <- -.(fx.(jr + 2) -. fx.(jl + 2)) *. inv_dx;
-        d_e.(o) <- -.(fx.(jr + 3) -. fx.(jl + 3)) *. inv_dx
-      done);
-  (* --- y sweep: one parallel region over columns ----------------- *)
-  if ny > 1 then
-    Parallel.Exec.parallel_for_lanes exec ~region:Parallel.Exec.Rhs ~lo:0
-      ~hi:nx (fun ~lane ix ->
-        let len = ny + (2 * ng) in
-        let rho = Parallel.Workspace.buffer ws ~lane ~slot:slot_rho len
-        and mn = Parallel.Workspace.buffer ws ~lane ~slot:slot_mn len
-        and mt = Parallel.Workspace.buffer ws ~lane ~slot:slot_mt len
-        and en = Parallel.Workspace.buffer ws ~lane ~slot:slot_en len
-        and fx =
-          Parallel.Workspace.buffer ws ~lane ~slot:slot_fx ((ny + 1) * 4)
-        in
-        let s = scratch_of_workspace ws ~lane ~width in
-        for c = 0 to len - 1 do
-          let o = (c * stride) + ix + ng in
-          rho.(c) <- q_rho.(o);
-          (* The rotated frame swaps normal and transverse momenta. *)
-          mn.(c) <- q_my.(o);
-          mt.(c) <- q_mx.(o);
-          en.(c) <- q_e.(o)
-        done;
-        line_fluxes_into ~gamma cfg s ~n:ny ~ng ~rho ~mn ~mt ~en ~fx;
-        let inv_dy = 1. /. g.Grid.dy in
-        for i = 0 to ny - 1 do
-          let o = ((i + ng) * stride) + ix + ng in
-          let jl = i * 4 and jr = (i + 1) * 4 in
-          d_rho.(o) <- d_rho.(o) -. ((fx.(jr) -. fx.(jl)) *. inv_dy);
-          d_my.(o) <- d_my.(o) -. ((fx.(jr + 1) -. fx.(jl + 1)) *. inv_dy);
-          d_mx.(o) <- d_mx.(o) -. ((fx.(jr + 2) -. fx.(jl + 2)) *. inv_dy);
-          d_e.(o) <- d_e.(o) -. ((fx.(jr + 3) -. fx.(jl + 3)) *. inv_dy)
-        done)
+        d_rho.(o) <- d_rho.(o) -. ((fx.(jr) -. fx.(jl)) *. inv_dy);
+        d_my.(o) <- d_my.(o) -. ((fx.(jr + 1) -. fx.(jl + 1)) *. inv_dy);
+        d_mx.(o) <- d_mx.(o) -. ((fx.(jr + 2) -. fx.(jl + 2)) *. inv_dy);
+        d_e.(o) <- d_e.(o) -. ((fx.(jr + 3) -. fx.(jl + 3)) *. inv_dy)
+      done
+    in
+    [ x_phase;
+      { Parallel.Exec.region = Parallel.Exec.Rhs;
+        lo = 0;
+        hi = nx;
+        body = y_body } ]
+  end
+
+let compute cfg exec st dqdt =
+  List.iter
+    (fun (p : Parallel.Exec.phase) ->
+      Parallel.Exec.parallel_for_lanes exec ~region:p.Parallel.Exec.region
+        ~lo:p.Parallel.Exec.lo ~hi:p.Parallel.Exec.hi p.Parallel.Exec.body)
+    (phases cfg exec st dqdt)

@@ -26,6 +26,20 @@ val compute :
     @raise Invalid_argument if the grid has fewer ghost layers than the
     reconstruction needs. *)
 
+val phases :
+  config ->
+  Parallel.Exec.t ->
+  State.t ->
+  float array array ->
+  Parallel.Exec.phase list
+(** The flux-divergence computation as fusable phases: the x-sweep over
+    rows, then (for 2D grids) the y-sweep over columns, which
+    accumulates into the x-sweep's result and therefore needs the
+    inter-phase barrier.  [compute] runs exactly these closures one
+    region at a time, so fusing them into a single dispatch yields
+    bitwise-identical [dqdt].  The same preconditions as [compute]
+    apply. *)
+
 val line_fluxes :
   gamma:float ->
   config ->

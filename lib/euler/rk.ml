@@ -19,29 +19,73 @@ type workspace = {
   s1 : State.t;
   s2 : State.t;
   dqdt : float array array;
+  (* Per-lane running maxima of the CFL eigenvalue, [Exec.lane_pad]
+     floats apart so lanes never share a cache line; filled by the
+     fused final stage, folded by [step_fused]. *)
+  lane_max : float array;
 }
 
-let make_workspace (st : State.t) =
+let make_workspace ?(lanes = 1) (st : State.t) =
   { s1 = State.copy st;
     s2 = State.copy st;
     dqdt =
       Array.init State.nvar (fun _ ->
-          Array.make st.State.grid.Grid.cells 0.) }
+          Array.make st.State.grid.Grid.cells 0.);
+    lane_max =
+      Array.make (lanes * Parallel.Exec.lane_pad) Float.neg_infinity }
 
-(* dst = ca * a + cb * b + cd * dt * d on interior cells, one parallel
-   region over rows. *)
-let combine exec (g : Grid.t) ~dst ~ca ~a ~cb ~b ~cd d =
+(* One row of dst = ca * a + cb * b + cd * dt * d on interior cells —
+   shared by the unfused [combine] region and the fused stage phases,
+   so both paths execute the exact same stores. *)
+let combine_row (g : Grid.t) ~dst ~ca ~a ~cb ~b ~cd d iy =
   let nx = g.Grid.nx
   and ng = g.Grid.ng
   and stride = g.Grid.row_stride in
-  Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rk_combine ~lo:0 ~hi:g.Grid.ny (fun iy ->
-      let base = ((iy + ng) * stride) + ng in
-      for k = 0 to State.nvar - 1 do
-        let dk = dst.(k) and ak = a.(k) and bk = b.(k) and ddk = d.(k) in
-        for i = base to base + nx - 1 do
-          dk.(i) <- (ca *. ak.(i)) +. (cb *. bk.(i)) +. (cd *. ddk.(i))
-        done
-      done)
+  let base = ((iy + ng) * stride) + ng in
+  for k = 0 to State.nvar - 1 do
+    let dk = dst.(k) and ak = a.(k) and bk = b.(k) and ddk = d.(k) in
+    for i = base to base + nx - 1 do
+      dk.(i) <- (ca *. ak.(i)) +. (cb *. bk.(i)) +. (cd *. ddk.(i))
+    done
+  done
+
+let combine exec (g : Grid.t) ~dst ~ca ~a ~cb ~b ~cd d =
+  Parallel.Exec.parallel_for exec ~region:Parallel.Exec.Rk_combine ~lo:0
+    ~hi:g.Grid.ny (fun iy -> combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy)
+
+(* The GetDT eigenvalue scan over one freshly-combined row, folded into
+   the final combine phase.  The per-cell arithmetic is a term-for-term
+   transcription of [Time_step.max_eigenvalue] (same operation order),
+   and max is order-independent, so the dt sequence of a fused run is
+   bit-identical to the standalone reduction. *)
+let eig_row ~gamma (g : Grid.t) ~dst ~lane_max ~lane iy =
+  let nx = g.Grid.nx
+  and ng = g.Grid.ng
+  and stride = g.Grid.row_stride in
+  let one_d = Grid.is_1d g in
+  let q_rho = dst.(State.i_rho)
+  and q_mx = dst.(State.i_mx)
+  and q_my = dst.(State.i_my)
+  and q_e = dst.(State.i_e) in
+  let cell = lane * Parallel.Exec.lane_pad in
+  let base = ((iy + ng) * stride) + ng in
+  for ix = 0 to nx - 1 do
+    let o = base + ix in
+    let rho = q_rho.(o)
+    and mx = q_mx.(o)
+    and my = q_my.(o)
+    and e = q_e.(o) in
+    let p =
+      (gamma -. 1.) *. (e -. (((mx *. mx) +. (my *. my)) /. (2. *. rho)))
+    in
+    let u = mx /. rho and v = my /. rho in
+    let c = Float.sqrt (gamma *. p /. rho) in
+    let ev_x = (Float.abs u +. c) /. g.Grid.dx in
+    let ev =
+      if one_d then ev_x else ev_x +. ((Float.abs v +. c) /. g.Grid.dy)
+    in
+    if ev > lane_max.(cell) then lane_max.(cell) <- ev
+  done
 
 let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
   let g = st.State.grid in
@@ -72,3 +116,56 @@ let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
     rhs ws.s2 d;
     combine exec g ~dst:q ~ca:(1. /. 3.) ~a:q ~cb:(2. /. 3.) ~b:q2
       ~cd:(2. /. 3. *. dt) d
+
+(* The folded step: each stage's ghost fill, sweeps and combine become
+   one [parallel_phases] dispatch (one SPMD region instead of four),
+   and the final stage's combine also accumulates the per-lane CFL
+   eigenvalue of the {e new} state, eliminating next step's standalone
+   GetDT region.  The per-phase closures are the same ones [step] runs
+   region-by-region, so the states produced are bitwise identical. *)
+let step_fused kind ~bc_phases ~rhs_phases ~exec ~dt (st : State.t) ws =
+  let g = st.State.grid in
+  let gamma = st.State.gamma in
+  let q = st.State.q
+  and q1 = ws.s1.State.q
+  and q2 = ws.s2.State.q
+  and d = ws.dqdt in
+  let lane_max = ws.lane_max in
+  let stage ~src ~dst ~ca ~a ~cb ~b ~cd ~last =
+    let combine_body =
+      if last then begin
+        Array.fill lane_max 0 (Array.length lane_max) Float.neg_infinity;
+        fun ~lane iy ->
+          combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy;
+          eig_row ~gamma g ~dst ~lane_max ~lane iy
+      end
+      else fun ~lane:_ iy -> combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy
+    in
+    let combine_phase =
+      { Parallel.Exec.region = Parallel.Exec.Rk_combine;
+        lo = 0;
+        hi = g.Grid.ny;
+        body = combine_body }
+    in
+    Parallel.Exec.parallel_phases exec
+      (Array.of_list (bc_phases src @ rhs_phases src d @ [ combine_phase ]))
+  in
+  (match kind with
+   | Euler1 ->
+     stage ~src:st ~dst:q ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:true
+   | Tvd_rk2 ->
+     stage ~src:st ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:false;
+     stage ~src:ws.s1 ~dst:q ~ca:0.5 ~a:q ~cb:0.5 ~b:q1 ~cd:(0.5 *. dt)
+       ~last:true
+   | Tvd_rk3 ->
+     stage ~src:st ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:false;
+     stage ~src:ws.s1 ~dst:q2 ~ca:0.75 ~a:q ~cb:0.25 ~b:q1 ~cd:(0.25 *. dt)
+       ~last:false;
+     stage ~src:ws.s2 ~dst:q ~ca:(1. /. 3.) ~a:q ~cb:(2. /. 3.) ~b:q2
+       ~cd:(2. /. 3. *. dt) ~last:true);
+  let m = ref Float.neg_infinity in
+  for l = 0 to (Array.length lane_max / Parallel.Exec.lane_pad) - 1 do
+    let v = lane_max.(l * Parallel.Exec.lane_pad) in
+    if v > !m then m := v
+  done;
+  !m

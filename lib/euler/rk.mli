@@ -17,7 +17,9 @@ type workspace
 (** Scratch states and flux-divergence storage, reusable across
     steps. *)
 
-val make_workspace : State.t -> workspace
+val make_workspace : ?lanes:int -> State.t -> workspace
+(** [lanes] (default 1) sizes the per-lane eigenvalue slots
+    {!step_fused} accumulates into; pass the scheduler's lane count. *)
 
 val step :
   kind ->
@@ -31,3 +33,25 @@ val step :
 (** Advances the state in place by [dt].  [rhs] must fill interior
     flux divergences (see {!Rhs.compute}); [bc] must fill ghost
     layers.  Interior updates run as one parallel region per stage. *)
+
+val step_fused :
+  kind ->
+  bc_phases:(State.t -> Parallel.Exec.phase list) ->
+  rhs_phases:(State.t -> float array array -> Parallel.Exec.phase list) ->
+  exec:Parallel.Exec.t ->
+  dt:float ->
+  State.t ->
+  workspace ->
+  float
+(** The with-loop-folded step: each RK stage (ghost fill → x-sweep →
+    y-sweep → combine) runs as {e one}
+    {!Parallel.Exec.parallel_phases} dispatch, and the final stage's
+    combine phase also accumulates the per-lane maximum CFL eigenvalue
+    of the new state, which is returned (so the caller can form next
+    step's dt without a standalone GetDT region).  [bc_phases] and
+    [rhs_phases] supply the per-stage phases (see {!Bc.phases},
+    {!Rhs.phases}).  State updates are bitwise identical to {!step}
+    with the equivalent [bc]/[rhs], and the returned eigenvalue is
+    bit-identical to [Time_step.max_eigenvalue] on the advanced state,
+    under every scheduler.  The workspace must have been created with
+    the scheduler's lane count. *)

@@ -3,19 +3,22 @@ type config = {
   riemann : Riemann.kind;
   rk : Rk.kind;
   cfl : float;
+  fused : bool;
 }
 
 let default_config =
   { recon = Recon.Weno3;
     riemann = Riemann.Hllc;
     rk = Rk.Tvd_rk3;
-    cfl = 0.5 }
+    cfl = 0.5;
+    fused = true }
 
 let benchmark_config =
   { recon = Recon.Piecewise_constant;
     riemann = Riemann.Rusanov;
     rk = Rk.Tvd_rk3;
-    cfl = 0.5 }
+    cfl = 0.5;
+    fused = true }
 
 type t = {
   config : config;
@@ -25,6 +28,11 @@ type t = {
   workspace : Rk.workspace;
   mutable time : float;
   mutable steps : int;
+  (* Max CFL eigenvalue of [state], accumulated in-sweep by the last
+     fused stage; [nan] when stale (before the first step, or after an
+     unfused step), in which case [dt] falls back to the standalone
+     GetDT reduction. *)
+  mutable eig : float;
 }
 
 let create ?exec ~config ~bcs state =
@@ -37,24 +45,39 @@ let create ?exec ~config ~bcs state =
     bcs;
     exec;
     state;
-    workspace = Rk.make_workspace state;
+    workspace = Rk.make_workspace ~lanes:(Parallel.Exec.lanes exec) state;
     time = 0.;
-    steps = 0 }
+    steps = 0;
+    eig = Float.nan }
 
 let step_dt s dt =
   let rhs_cfg =
     { Rhs.recon = s.config.recon; riemann = s.config.riemann }
   in
-  Rk.step s.config.rk
-    ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
-    ~bc:(fun st ->
-      Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
-          Bc.apply st s.bcs))
-    ~exec:s.exec ~dt s.state s.workspace;
+  if s.config.fused then
+    s.eig <-
+      Rk.step_fused s.config.rk
+        ~bc_phases:(fun st -> Bc.phases st s.bcs)
+        ~rhs_phases:(fun st d -> Rhs.phases rhs_cfg s.exec st d)
+        ~exec:s.exec ~dt s.state s.workspace
+  else begin
+    Rk.step s.config.rk
+      ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
+      ~bc:(fun st ->
+        Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
+            Bc.apply st s.bcs))
+      ~exec:s.exec ~dt s.state s.workspace;
+    s.eig <- Float.nan
+  end;
   s.time <- s.time +. dt;
   s.steps <- s.steps + 1
 
-let dt s = Time_step.dt ~cfl:s.config.cfl s.exec s.state
+let dt s =
+  if Float.is_nan s.eig then Time_step.dt ~cfl:s.config.cfl s.exec s.state
+  else begin
+    if s.config.cfl <= 0. then invalid_arg "Time_step.dt: cfl must be positive";
+    s.config.cfl /. s.eig
+  end
 
 let step s =
   let dt = dt s in
@@ -68,9 +91,8 @@ let run_steps s n =
 
 let run_until s target =
   while s.time < target -. 1e-14 do
-    let dt = Time_step.dt ~cfl:s.config.cfl s.exec s.state in
-    let dt = Float.min dt (target -. s.time) in
-    step_dt s dt
+    let step_size = Float.min (dt s) (target -. s.time) in
+    step_dt s step_size
   done
 
 let regions_per_step s =

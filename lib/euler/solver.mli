@@ -11,6 +11,14 @@ type config = {
   riemann : Riemann.kind;
   rk : Rk.kind;
   cfl : float;
+  fused : bool;
+      (** Run each RK stage as one fused multi-phase dispatch
+          ({!Rk.step_fused}) with the GetDT eigenvalue folded into the
+          final sweep — the with-loop-folding execution shape; [false]
+          dispatches one region per loop nest, the per-loop OpenMP
+          shape.  Results are bitwise identical either way; only the
+          number of parallel regions (and hence barrier overhead)
+          differs. *)
 }
 
 val default_config : config
@@ -31,6 +39,10 @@ type t = {
   workspace : Rk.workspace;
   mutable time : float;
   mutable steps : int;
+  mutable eig : float;
+      (** Max CFL eigenvalue of [state] accumulated by the last fused
+          step; [nan] when no in-sweep value is available (then {!dt}
+          runs the standalone reduction). *)
 }
 
 val create :
@@ -44,7 +56,10 @@ val create :
 
 val dt : t -> float
 (** The CFL time step at the current state (GetDT); {!step} is
-    exactly [step_dt] of this value. *)
+    exactly [step_dt] of this value.  After a fused step the
+    eigenvalue was already accumulated in-sweep, so no parallel region
+    is dispatched; the value is bit-identical to the standalone
+    reduction either way. *)
 
 val step_dt : t -> float -> unit
 (** Advances one step of the given size — the entry point the engine

@@ -11,7 +11,13 @@ let max_eigenvalue exec (st : State.t) =
   and q_mx = st.State.q.(State.i_mx)
   and q_my = st.State.q.(State.i_my)
   and q_e = st.State.q.(State.i_e) in
-  Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:(nx * ny) (fun cell ->
+  (* parallel_reduce_lanes rather than parallel_reduce_max: the body
+     stores into a preallocated per-lane slot (an unboxed float-array
+     write) instead of returning a float, which would box one word per
+     cell per call without flambda. *)
+  Parallel.Exec.parallel_reduce_lanes exec ~lo:0 ~hi:(nx * ny)
+    ~init:Float.neg_infinity ~combine:Float.max
+    (fun ~acc ~cell:slot ~lane:_ cell ->
       let ix = cell mod nx and iy = cell / nx in
       let o = Grid.offset g ix iy in
       let rho = q_rho.(o)
@@ -24,7 +30,10 @@ let max_eigenvalue exec (st : State.t) =
       let u = mx /. rho and v = my /. rho in
       let c = Float.sqrt (gamma *. p /. rho) in
       let ev_x = (Float.abs u +. c) /. g.Grid.dx in
-      if one_d then ev_x else ev_x +. ((Float.abs v +. c) /. g.Grid.dy))
+      let ev =
+        if one_d then ev_x else ev_x +. ((Float.abs v +. c) /. g.Grid.dy)
+      in
+      if ev > acc.(slot) then acc.(slot) <- ev)
 
 let dt ~cfl exec st =
   if cfl <= 0. then invalid_arg "Time_step.dt: cfl must be positive";

@@ -44,11 +44,24 @@ type slot = {
   mutable b_promoted_words : float;
 }
 
+type phase = {
+  region : region;
+  lo : int;
+  hi : int;
+  body : lane:int -> int -> unit;
+}
+
+(* Per-lane reduction slots are spread [lane_pad] floats apart so two
+   lanes' running accumulators never share a cache line (8 floats =
+   64 bytes). *)
+let lane_pad = 8
+
 type t = {
   kind : kind;
   count : int Atomic.t;
   slots : slot array; (* indexed by region_index *)
   workspace : Workspace.t;
+  partials : float array; (* lanes * lane_pad reduction slots *)
 }
 
 let make_slots () =
@@ -63,7 +76,8 @@ let make kind ~lanes =
   { kind;
     count = Atomic.make 0;
     slots = make_slots ();
-    workspace = Workspace.create ~lanes () }
+    workspace = Workspace.create ~lanes ();
+    partials = Array.make (lanes * lane_pad) 0. }
 
 let sequential () = make Sequential ~lanes:1
 
@@ -120,6 +134,103 @@ let parallel_for_lanes ?schedule ?(region = Other) t ~lo ~hi body =
 
 let parallel_for ?schedule ?region t ~lo ~hi body =
   parallel_for_lanes ?schedule ?region t ~lo ~hi (fun ~lane:_ i -> body i)
+
+(* One lane's static share of one phase. *)
+let phase_chunk p ~lanes ~lane =
+  if p.hi > p.lo then begin
+    let r = Chunk.chunk_of ~lo:p.lo ~hi:p.hi ~parts:lanes ~which:lane in
+    for i = r.Chunk.lo to r.Chunk.hi - 1 do
+      p.body ~lane i
+    done
+  end
+
+let parallel_phases t phases =
+  let n = Array.length phases in
+  if n > 0 then begin
+    match t.kind with
+    | Sequential ->
+      (* The instrumentation pass: one region, phases timed back to
+         back so the per-region buckets match what the SPMD dispatch
+         attributes. *)
+      Atomic.incr t.count;
+      Array.iter
+        (fun p ->
+          timed t p.region (fun () ->
+              for i = p.lo to p.hi - 1 do
+                p.body ~lane:0 i
+              done))
+        phases
+    | Spmd pool ->
+      (* The folded form: one dispatch, in-region barriers between
+         phases.  Lane 0 crosses every barrier, so sampling the clock
+         in the on_phase hook attributes each inter-barrier interval
+         (work + barrier wait) to that phase's region. *)
+      Atomic.incr t.count;
+      let lanes = Pool.lanes pool in
+      let m0, p0, _ = Gc.counters () in
+      let last_t = ref (Clock.now_ns ())
+      and last_m = ref m0
+      and last_p = ref p0 in
+      Pool.run_phases pool ~phases:n
+        ~on_phase:(fun k ->
+          let now = Clock.now_ns () in
+          let m1, p1, _ = Gc.counters () in
+          record t phases.(k).region (now -. !last_t) (m1 -. !last_m)
+            (p1 -. !last_p);
+          last_t := now;
+          last_m := m1;
+          last_p := p1)
+        (fun ~phase ~lane -> phase_chunk phases.(phase) ~lanes ~lane)
+    | Fork_join_sched lanes ->
+      (* The OpenMP model cannot fold barriers: each phase pays its
+         own spawn/join region.  Keeping that cost visible is the
+         point of the comparison. *)
+      Array.iter
+        (fun p ->
+          if p.hi > p.lo then begin
+            Atomic.incr t.count;
+            let m0, p0, _ = Gc.counters () in
+            let t0 = Clock.now_ns () in
+            Fork_join.parallel_for_lanes ~lanes ~lo:p.lo ~hi:p.hi p.body;
+            let ns = Clock.now_ns () -. t0 in
+            let m1, p1, _ = Gc.counters () in
+            record t p.region ns (m1 -. m0) (p1 -. p0)
+          end)
+        phases
+  end
+
+let parallel_reduce_lanes ?schedule ?(region = Reduce) t ~lo ~hi ~init
+    ~combine body =
+  if hi <= lo then init
+  else begin
+    Atomic.incr t.count;
+    let m0, p0, _ = Gc.counters () in
+    let t0 = Clock.now_ns () in
+    let acc = t.partials in
+    let parts = lanes t in
+    for l = 0 to parts - 1 do
+      acc.(l * lane_pad) <- init
+    done;
+    (match t.kind with
+     | Sequential ->
+       for i = lo to hi - 1 do
+         body ~acc ~cell:0 ~lane:0 i
+       done
+     | Spmd pool ->
+       Pool.parallel_for_lanes ?schedule pool ~lo ~hi (fun ~lane i ->
+           body ~acc ~cell:(lane * lane_pad) ~lane i)
+     | Fork_join_sched n ->
+       Fork_join.parallel_for_lanes ~lanes:n ~lo ~hi (fun ~lane i ->
+           body ~acc ~cell:(lane * lane_pad) ~lane i));
+    let result = ref acc.(0) in
+    for l = 1 to parts - 1 do
+      result := combine !result acc.(l * lane_pad)
+    done;
+    let ns = Clock.now_ns () -. t0 in
+    let m1, p1, _ = Gc.counters () in
+    record t region ns (m1 -. m0) (p1 -. p0);
+    !result
+  end
 
 let reduce_chunk body (r : Chunk.range) =
   let acc = ref Float.neg_infinity in

@@ -75,6 +75,65 @@ val parallel_for_lanes :
     exactly once under both static and dynamic schedules; under
     {!sequential} the lane is always [0]. *)
 
+type phase = {
+  region : region;  (** timing bucket the phase is charged to *)
+  lo : int;
+  hi : int;
+  body : lane:int -> int -> unit;
+}
+(** One stage of a fused multi-phase region: a data-parallel loop over
+    [\[lo, hi)] whose body receives the executing lane id. *)
+
+val parallel_phases : t -> phase array -> unit
+(** [parallel_phases t phases] runs the phases in order, each one a
+    statically-chunked data-parallel loop, with a {e barrier} between
+    consecutive phases — phase [k+1] never starts before every lane
+    has finished phase [k].  This is the with-loop-folding
+    transformation at the scheduler level:
+
+    - under {!spmd} the whole sequence is {e one} dispatch of the
+      persistent pool ({!regions} grows by 1); lanes synchronise on an
+      in-region sense-reversing barrier (see {!Pool.run_phases})
+      instead of returning to the orchestrator between phases;
+    - under {!sequential} the phases run inline as one counted region
+      (the instrumentation pass);
+    - under {!fork_join} each non-empty phase pays its own spawn/join
+      region, exactly as per-loop OpenMP auto-parallelisation would —
+      the model deliberately cannot fold.
+
+    Per-phase wall time and GC words are still attributed to each
+    phase's [region] bucket (under SPMD by sampling the clock on the
+    orchestrating lane at every barrier crossing, so a dispatch's
+    phase buckets sum to its wall time).  An empty [phases] array is a
+    no-op.  Chunking is always static; results are independent of the
+    scheduler because lanes only partition index ranges. *)
+
+val lane_pad : int
+(** Spacing, in floats, between per-lane reduction slots (one cache
+    line), as used by {!parallel_reduce_lanes}. *)
+
+val parallel_reduce_lanes :
+  ?schedule:Chunk.schedule ->
+  ?region:region ->
+  t ->
+  lo:int ->
+  hi:int ->
+  init:float ->
+  combine:(float -> float -> float) ->
+  (acc:float array -> cell:int -> lane:int -> int -> unit) ->
+  float
+(** Allocation-free parallel reduction.  Each lane accumulates into
+    its private slot [acc.(cell)] (a plain float-array store — no
+    float boxing, no tuples, unlike {!parallel_reduce_max} whose body
+    returns a boxed float per index); slots live [lane_pad] floats
+    apart in a buffer owned by the scheduler, so lanes never contend
+    on a cache line.  Slots start at [init] (which must be a neutral
+    element of [combine]); after the barrier the orchestrator folds
+    the per-lane slots with [combine] (called once per lane, not per
+    index).  Returns [init] on an empty range.  [combine] must be
+    associative and commutative — under [Dynamic] scheduling the
+    assignment of indices to lanes is nondeterministic. *)
+
 val parallel_reduce_max :
   ?region:region -> t -> lo:int -> hi:int -> (int -> float) -> float
 (** Parallel maximum of [f i] over the range (the GetDT pattern);

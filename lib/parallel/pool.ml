@@ -8,6 +8,12 @@ type t = {
   mutable stopping : bool;
   mutable barriers : int;
   mutable alive : bool;
+  (* In-region sense-reversing barrier state (run_phases).  Reset at
+     the start of every multi-phase dispatch, while no lane is between
+     barriers, so a dispatch that died mid-sequence cannot poison the
+     next one. *)
+  arrivals : int Atomic.t;
+  sense : bool Atomic.t;
 }
 
 (* Spin politely: pure spinning on a machine with fewer cores than
@@ -52,7 +58,9 @@ let create ~lanes =
       job = ignore;
       stopping = false;
       barriers = 0;
-      alive = true }
+      alive = true;
+      arrivals = Atomic.make 0;
+      sense = Atomic.make false }
   in
   pool.workers <-
     Array.init (lanes - 1) (fun i ->
@@ -72,6 +80,49 @@ let run pool f =
   match Atomic.exchange pool.error None with
   | None -> ()
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* One crossing of the in-region barrier.  Every lane must call this
+   the same number of times per dispatch; the last arriver resets the
+   arrival count and flips the global sense, releasing the spinners.
+   Atomics are sequentially consistent in OCaml 5, so a lane observing
+   the flipped sense also observes every plain write the other lanes
+   made before their own arrival. *)
+let phase_barrier pool local_sense =
+  let s = not !local_sense in
+  local_sense := s;
+  if Atomic.fetch_and_add pool.arrivals 1 = pool.lanes - 1 then begin
+    Atomic.set pool.arrivals 0;
+    Atomic.set pool.sense s
+  end
+  else spin_until (fun () -> Atomic.get pool.sense = s)
+
+let run_phases pool ~phases ?on_phase body =
+  if phases < 0 then invalid_arg "Pool.run_phases: negative phase count";
+  if phases > 0 then begin
+    if not pool.alive then invalid_arg "Pool.run_phases: pool is shut down";
+    (* No lane is between barriers here, so the barrier state can be
+       reset unconditionally for this dispatch. *)
+    Atomic.set pool.arrivals 0;
+    Atomic.set pool.sense false;
+    run pool (fun lane ->
+        let local_sense = ref false in
+        for k = 0 to phases - 1 do
+          (* A lane that raises must still attend the remaining
+             barriers or every other lane hangs; park the exception
+             and keep crossing. *)
+          (try body ~phase:k ~lane with e -> record_error pool e);
+          if k < phases - 1 then begin
+            phase_barrier pool local_sense;
+            if lane = 0 then
+              match on_phase with
+              | Some f -> (try f k with e -> record_error pool e)
+              | None -> ()
+          end
+        done);
+    (* The final phase's join is [run]'s own finished-counter barrier;
+       only reached when no lane raised. *)
+    match on_phase with Some f -> f (phases - 1) | None -> ()
+  end
 
 let parallel_for_lanes ?(schedule = Chunk.Static) pool ~lo ~hi body =
   if hi > lo then
@@ -110,6 +161,8 @@ let shutdown pool =
     pool.workers <- [||]
   end
 
+let stop = shutdown
+
 let with_pool ~lanes f =
   let pool = create ~lanes in
-  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+  Fun.protect ~finally:(fun () -> stop pool) (fun () -> f pool)

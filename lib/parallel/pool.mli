@@ -31,6 +31,29 @@ val run : t -> (int -> unit) -> unit
     the region is re-raised here, on the orchestrating domain, with
     its original backtrace.  The pool remains usable afterwards. *)
 
+val run_phases :
+  t ->
+  phases:int ->
+  ?on_phase:(int -> unit) ->
+  (phase:int -> lane:int -> unit) ->
+  unit
+(** [run_phases pool ~phases body] executes [body ~phase:k ~lane] for
+    [k = 0 .. phases-1] on every lane in {e one} dispatch: lanes stay
+    resident and synchronise between phases on an in-region
+    sense-reversing barrier (a handful of shared-memory operations)
+    instead of returning to the orchestrator — the with-loop-folding
+    transformation the paper credits to sac2c, performed at the
+    runtime level.  Within a phase all lanes run concurrently; a lane
+    only enters phase [k+1] once every lane has finished phase [k].
+
+    [on_phase k] (if given) runs on the orchestrating lane right after
+    the barrier of phase [k] — the hook instrumentation uses to sample
+    per-phase timestamps.  Exceptions behave as in {!run}: a raising
+    lane still attends every remaining barrier, and the first recorded
+    exception is re-raised here after the final join.  Only the
+    dispatch itself counts in {!barriers_crossed}; in-region barriers
+    are the cost being saved and are deliberately not charged. *)
+
 val parallel_for :
   ?schedule:Chunk.schedule -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Data-parallel loop over [\[lo, hi)]; default [Static]
@@ -53,7 +76,14 @@ val barriers_crossed : t -> int
 
 val shutdown : t -> unit
 (** Terminates and joins the workers.  The pool must not be used
-    afterwards; calling [shutdown] twice is harmless. *)
+    afterwards.  Idempotent: calling [shutdown] twice, or after a
+    region whose barrier re-raised a worker exception, is a no-op
+    rather than a hang (the error is parked per-region and every lane
+    always reaches the join, so the workers are parked and joinable
+    whenever no region is in flight). *)
+
+val stop : t -> unit
+(** Alias of {!shutdown}. *)
 
 val with_pool : lanes:int -> (t -> 'a) -> 'a
 (** Scoped creation: shuts the pool down even if the body raises. *)

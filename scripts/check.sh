@@ -1,9 +1,11 @@
 #!/bin/sh
 # Tier-1 health check: build everything, run the full test suite, and
 # exercise the engine-driven bench harness end to end on the Fig. 1
-# experiment (fast, no multicore hardware needed), plus a hot-path
-# bench smoke: every registry backend on a tiny grid, with the emitted
-# BENCH_hotpath.json validated for shape.
+# experiment (fast, no multicore hardware needed), plus two bench
+# smokes: hotpath (every registry backend on a tiny grid) and a 2-lane
+# scaling sweep (sequential/spmd/fork-join, fused and unfused), with
+# the emitted BENCH_hotpath.json and BENCH_scaling.json validated for
+# shape.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,5 +28,41 @@ assert len(d["backends"]) > 0, "no backend rows"
 EOF
 fi
 echo "check.sh: $json validated"
+
+# Scaling smoke: 2 lanes is enough to prove the sweep covers every
+# scheduler at every lane count with both the fused and the unfused
+# solver path, and that the fused path holds the <= 4 regions/step
+# contract the with-loop-folding work guarantees.
+dune exec bench/main.exe -- scaling --quick --lanes 2 --out "$smoke_dir"
+scaling_json="$smoke_dir/BENCH_scaling.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "scaling-v1"
+    and .max_lanes == 2
+    and ([.rows[].exec] | unique == ["fork-join", "sequential", "spmd"])
+    and ([.rows[] | select(.exec != "sequential") | .lanes]
+         | unique == [1, 2])
+    and ([.rows[].fused] | unique == [false, true])
+    and ([.rows[] | select(.fused and .exec != "fork-join")
+          | .regions_per_step] | max <= 4)
+    and ([.rows[] | .ms_per_step] | min > 0)' "$scaling_json" \
+    >/dev/null || {
+      echo "check.sh: $scaling_json failed validation" >&2; exit 1; }
+else
+  python3 - "$scaling_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "scaling-v1", "bad schema"
+assert d["max_lanes"] == 2, "bad max_lanes"
+rows = d["rows"]
+assert sorted({r["exec"] for r in rows}) == ["fork-join", "sequential", "spmd"]
+assert sorted({r["lanes"] for r in rows if r["exec"] != "sequential"}) == [1, 2]
+assert sorted({r["fused"] for r in rows}) == [False, True]
+assert all(r["regions_per_step"] <= 4 for r in rows
+           if r["fused"] and r["exec"] != "fork-join"), "fused regions > 4"
+assert all(r["ms_per_step"] > 0 for r in rows)
+EOF
+fi
+echo "check.sh: $scaling_json validated"
 
 echo "check.sh: all green"

@@ -57,12 +57,13 @@ let test_run_steps_accounting () =
   let m = Engine.Run.run_steps inst 5 in
   check_int "steps" 5 m.Engine.Metrics.steps;
   check_bool "time advanced" true (m.Engine.Metrics.sim_time > 0.);
-  (* The reference benchmark-config 1D step opens 3 rhs + 3 rk-combine
-     regions plus 1 reduce for GetDT = 7 regions per step. *)
-  check_int "regions" 35 m.Engine.Metrics.regions;
-  check_int "regions matches exec" 35
+  (* The fused reference 1D step is one dispatch per RK stage; the dt
+     eigenvalue rides in the final sweep, so only the first step pays
+     a standalone GetDT region: 4 + 4 * 3 = 16 regions over 5 steps. *)
+  check_int "regions" 16 m.Engine.Metrics.regions;
+  check_int "regions matches exec" 16
     (Parallel.Exec.regions (Engine.Backend.exec inst));
-  check_float "regions/step" 7. (Engine.Metrics.regions_per_step m)
+  check_float "regions/step" 3.2 (Engine.Metrics.regions_per_step m)
 
 let test_run_until_hits_target () =
   let inst = Engine.Registry.create "reference" (sod ()) in
@@ -102,9 +103,11 @@ let test_timing_buckets () =
   let bc = bucket Parallel.Exec.Bc in
   let reduce = bucket Parallel.Exec.Reduce in
   let rk = bucket Parallel.Exec.Rk_combine in
-  check_int "3 rhs regions/step" 12 rhs.Parallel.Exec.count;
+  check_int "3 rhs phases/step" 12 rhs.Parallel.Exec.count;
   check_int "3 bc fills/step" 12 bc.Parallel.Exec.count;
-  check_int "1 reduce/step" 4 reduce.Parallel.Exec.count;
+  (* Fused: the dt reduction is in-sweep after the first step, so only
+     one standalone reduce appears over the whole run. *)
+  check_int "reduce on first step only" 1 reduce.Parallel.Exec.count;
   check_int "3 rk combines/step" 12 rk.Parallel.Exec.count;
   List.iter
     (fun (b : Parallel.Exec.bucket) ->
@@ -158,6 +161,54 @@ let test_array_notes_with_loops () =
   | Some n -> check_bool "counted some with-loops" true (n > 0.)
 
 (* ------------------------------------------------------------------ *)
+(* Cost model against measured instrumentation                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_model_tracks_measured_regions () =
+  (* The cost model's regions_per_step input comes from Exec
+     instrumentation; pin the whole coupling so neither side can
+     silently drift.  Measured counts for the 2D benchmark scheme
+     (RK3): fused = one dispatch per stage plus the first step's
+     standalone GetDT ((1 + 3*4)/4 = 3.25 over 4 steps); unfused = 1
+     reduce + 3 stages x (x-sweep + y-sweep + combine) = 10. *)
+  let measure fused =
+    let prob = Euler.Setup.two_channel ~cells_per_h:6 () in
+    let s =
+      Euler.Solver.create
+        ~config:{ Euler.Solver.benchmark_config with Euler.Solver.fused }
+        ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+    in
+    Euler.Solver.run_steps s 4;
+    Euler.Solver.regions_per_step s
+  in
+  let fused = measure true and unfused = measure false in
+  check_float "measured fused regions/step" 3.25 fused;
+  check_float "measured unfused regions/step" 10. unfused;
+  check_bool "fused under the 4 regions/step ceiling" true (fused <= 4.);
+  (* Feed both measurements to the model: the predicted per-step gap
+     must be exactly the region-count gap times the per-region
+     overhead — the folding win is pure synchronisation savings. *)
+  let open Parallel.Cost_model in
+  let w regions_per_step =
+    { serial_s = 1e-4; parallel_s = 1e-2; regions_per_step }
+  in
+  List.iter
+    (fun (name, sched, cores) ->
+      let gap =
+        predict_step default sched (w unfused) ~cores
+        -. predict_step default sched (w fused) ~cores
+      in
+      let expected =
+        (unfused -. fused) *. overhead_per_region default sched ~cores
+      in
+      Alcotest.(check (float 1e-9))
+        (name ^ ": predicted gap = region gap x overhead")
+        expected gap)
+    [ ("spin@4", Spin_barrier, 4);
+      ("fork@4", Os_fork_join, 4);
+      ("spin@16", Spin_barrier, 16) ]
+
+(* ------------------------------------------------------------------ *)
 (* Reduce clamp (satellite: fork/join with lanes > range)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -197,4 +248,7 @@ let () =
             test_array_notes_with_loops ] );
       ( "exec",
         [ Alcotest.test_case "fork/join short reduce" `Quick
-            test_fork_join_reduce_short_range ] ) ]
+            test_fork_join_reduce_short_range ] );
+      ( "cost_model",
+        [ Alcotest.test_case "tracks measured regions" `Quick
+            test_cost_model_tracks_measured_regions ] ) ]

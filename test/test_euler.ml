@@ -692,7 +692,11 @@ let test_solver_sod_all_configs_stable () =
       List.iter
         (fun riemann ->
           let config =
-            { Euler.Solver.recon; riemann; rk = Euler.Rk.Tvd_rk3; cfl = 0.4 }
+            { Euler.Solver.recon;
+              riemann;
+              rk = Euler.Rk.Tvd_rk3;
+              cfl = 0.4;
+              fused = true }
           in
           let s = make_sod_solver ~config 60 in
           Euler.Solver.run_until s 0.15;
@@ -714,7 +718,8 @@ let test_solver_123_positivity () =
     { Euler.Solver.recon = Euler.Recon.Weno3;
       riemann = Euler.Riemann.Hll;
       rk = Euler.Rk.Tvd_rk3;
-      cfl = 0.4 }
+      cfl = 0.4;
+      fused = true }
   in
   let s =
     Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
@@ -789,11 +794,25 @@ let test_solver_run_until_exact () =
   check_float 1e-12 "time hit exactly" 0.123 s.Euler.Solver.time
 
 let test_solver_regions_counted () =
+  (* Fused path: one dispatch per RK stage, and the dt reduction is
+     folded into the last stage's sweep, so only the very first step
+     pays a standalone GetDT region: (1 + 3) + 3 + 3 = 10 regions over
+     3 steps — under the tentpole's ceiling of 4 regions/step. *)
   let s = make_sod_solver 32 in
   Euler.Solver.run_steps s 3;
-  (* RK3 on a 1D grid: 1 dt reduction + 3 x (rhs + update) = 7
-     regions per step. *)
-  check_float 1e-9 "regions/step" 7. (Euler.Solver.regions_per_step s)
+  check_float 1e-9 "fused regions/step" (10. /. 3.)
+    (Euler.Solver.regions_per_step s);
+  check_bool "fused regions/step <= 4" true
+    (Euler.Solver.regions_per_step s <= 4.);
+  (* Unfused (the per-loop Fortran shape): 1 dt reduction + 3 x (rhs
+     sweep + rk combine) = 7 regions per step on a 1D grid. *)
+  let config =
+    { Euler.Solver.default_config with Euler.Solver.fused = false }
+  in
+  let s = make_sod_solver ~config 32 in
+  Euler.Solver.run_steps s 3;
+  check_float 1e-9 "unfused regions/step" 7.
+    (Euler.Solver.regions_per_step s)
 
 (* ------------------------------------------------------------------ *)
 (* Two-channel problem                                                 *)
@@ -1271,6 +1290,122 @@ let test_hotpath_rhs_schedulers_identical () =
           ("fork-join(3)", Parallel.Exec.fork_join ~lanes:3) ])
     all_recon_kinds
 
+(* ------------------------------------------------------------------ *)
+(* Fused stage pipeline (with-loop folding at the solver scale)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance [steps] steps of the two-channel problem and return the
+   final solver plus the dt sequence.  The dt sequence is the most
+   sensitive witness: any divergence compounds step over step. *)
+let fused_advance ~fused ~exec ~steps config =
+  let prob = Euler.Setup.two_channel ~cells_per_h:6 () in
+  let s =
+    Euler.Solver.create ~exec
+      ~config:{ config with Euler.Solver.fused }
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  let dts = Array.init steps (fun _ -> Euler.Solver.step s) in
+  (s, dts)
+
+let test_fused_matches_unfused_matrix () =
+  (* Fused and unfused pipelines share the exact same phase closures,
+     so every scheme combination must agree to the last bit — state
+     and dt sequence alike. *)
+  List.iter
+    (fun recon ->
+      List.iter
+        (fun riemann ->
+          let config =
+            { Euler.Solver.default_config with
+              Euler.Solver.recon;
+              riemann;
+              cfl = 0.4 }
+          in
+          let run fused =
+            fused_advance ~fused ~exec:(Parallel.Exec.sequential ())
+              ~steps:6 config
+          in
+          let sf, df = run true and su, du = run false in
+          let name =
+            Euler.Recon.name recon ^ "+" ^ Euler.Riemann.name riemann
+          in
+          Alcotest.(check (array (float 0.)))
+            (name ^ " dt sequence bitwise") du df;
+          check_float 0. (name ^ " states bitwise") 0.
+            (Euler.State.max_abs_diff su.Euler.Solver.state
+               sf.Euler.Solver.state))
+        solvers)
+    all_schemes
+
+let test_fused_schedulers_identical () =
+  (* The folded dispatch must not depend on how lanes chunk the
+     phases: spmd and fork/join, fused and unfused, all equal the
+     sequential unfused baseline bitwise. *)
+  let config = Euler.Solver.default_config in
+  let su, du =
+    fused_advance ~fused:false ~exec:(Parallel.Exec.sequential ()) ~steps:6
+      config
+  in
+  List.iter
+    (fun (name, exec, fused) ->
+      let s, d = fused_advance ~fused ~exec ~steps:6 config in
+      Parallel.Exec.shutdown exec;
+      Alcotest.(check (array (float 0.))) (name ^ " dt sequence") du d;
+      check_float 0. (name ^ " state") 0.
+        (Euler.State.max_abs_diff su.Euler.Solver.state s.Euler.Solver.state))
+    [ ("seq fused", Parallel.Exec.sequential (), true);
+      ("spmd(3) fused", Parallel.Exec.spmd ~lanes:3, true);
+      ("fork-join(3) fused", Parallel.Exec.fork_join ~lanes:3, true);
+      ("spmd(3) unfused", Parallel.Exec.spmd ~lanes:3, false);
+      ("fork-join(3) unfused", Parallel.Exec.fork_join ~lanes:3, false) ]
+
+let test_fused_1d_fallback () =
+  (* 1D grids (ny = 1 < ng) take Bc.phases' sequential-fallback phase;
+     results must still be bitwise identical, also under spmd. *)
+  let run fused exec =
+    let prob = Euler.Setup.sod ~nx:40 () in
+    let s =
+      Euler.Solver.create ~exec
+        ~config:{ Euler.Solver.default_config with Euler.Solver.fused }
+        ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+    in
+    let dts = Array.init 8 (fun _ -> Euler.Solver.step s) in
+    Parallel.Exec.shutdown exec;
+    (s, dts)
+  in
+  let su, du = run false (Parallel.Exec.sequential ()) in
+  List.iter
+    (fun (name, exec) ->
+      let s, d = run true exec in
+      Alcotest.(check (array (float 0.))) (name ^ " 1d dt sequence") du d;
+      check_float 0. (name ^ " 1d state") 0.
+        (Euler.State.max_abs_diff su.Euler.Solver.state s.Euler.Solver.state))
+    [ ("seq", Parallel.Exec.sequential ());
+      ("spmd(3)", Parallel.Exec.spmd ~lanes:3) ]
+
+let test_fused_dt_matches_standalone () =
+  (* The in-sweep eigenvalue cache must be bit-identical to a fresh
+     standalone GetDT reduction on the advanced state — the dt fold
+     changes where the max is computed, never its value. *)
+  let exec = Parallel.Exec.spmd ~lanes:3 in
+  let s, _ = fused_advance ~fused:true ~exec ~steps:4 Euler.Solver.default_config in
+  let cached = Euler.Solver.dt s in
+  Parallel.Exec.shutdown exec;
+  let standalone =
+    Euler.Time_step.dt ~cfl:s.Euler.Solver.config.Euler.Solver.cfl
+      (Parallel.Exec.sequential ())
+      s.Euler.Solver.state
+  in
+  check_float 0. "in-sweep dt = standalone dt" standalone cached;
+  (* 1D, sequential, default solver path. *)
+  let s1 = make_sod_solver 48 in
+  Euler.Solver.run_steps s1 5;
+  check_float 0. "1d in-sweep dt = standalone dt"
+    (Euler.Time_step.dt ~cfl:s1.Euler.Solver.config.Euler.Solver.cfl
+       (Parallel.Exec.sequential ())
+       s1.Euler.Solver.state)
+    (Euler.Solver.dt s1)
+
 let () =
   Alcotest.run "euler"
     [ ( "gas",
@@ -1397,4 +1532,13 @@ let () =
             test_hotpath_riemann_pin;
           Alcotest.test_case "rhs schedulers bit-identical" `Quick
             test_hotpath_rhs_schedulers_identical ] );
+      ( "fused",
+        [ Alcotest.test_case "matches unfused across schemes" `Quick
+            test_fused_matches_unfused_matrix;
+          Alcotest.test_case "schedulers bit-identical" `Quick
+            test_fused_schedulers_identical;
+          Alcotest.test_case "1d fallback bit-identical" `Quick
+            test_fused_1d_fallback;
+          Alcotest.test_case "in-sweep dt = standalone" `Quick
+            test_fused_dt_matches_standalone ] );
       ("properties", qcheck_cases) ]

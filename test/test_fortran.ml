@@ -129,7 +129,11 @@ let test_equiv_full_menu () =
   List.iter
     (fun (recon, riemann) ->
       let config =
-        { Euler.Solver.recon; riemann; rk = Euler.Rk.Tvd_rk3; cfl = 0.4 }
+        { Euler.Solver.recon;
+          riemann;
+          rk = Euler.Rk.Tvd_rk3;
+          cfl = 0.4;
+          fused = true }
       in
       let p1 = Euler.Setup.sod ~nx:50 () in
       let reference =

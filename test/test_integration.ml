@@ -297,7 +297,11 @@ let prop_fortran_matches_reference_random =
         | _ -> Euler.Riemann.Hll
       in
       let config =
-        { Euler.Solver.recon; riemann; rk = Euler.Rk.Tvd_rk3; cfl = 0.4 }
+        { Euler.Solver.recon;
+          riemann;
+          rk = Euler.Rk.Tvd_rk3;
+          cfl = 0.4;
+          fused = true }
       in
       let init () =
         let grid = Euler.Grid.make_1d ~nx:48 ~lx:1. () in

@@ -160,6 +160,77 @@ let test_pool_exception_propagates () =
           Atomic.incr hits);
       check_int "pool usable afterwards" 10 (Atomic.get hits))
 
+let test_pool_run_phases_barrier () =
+  (* Phase k+1 reads what *other* lanes wrote in phase k, so any
+     missing or broken in-region barrier shows up as a wrong sum.
+     Repeat dispatches to exercise the sense reset between them. *)
+  Parallel.Pool.with_pool ~lanes:3 (fun pool ->
+      let b0 = Parallel.Pool.barriers_crossed pool in
+      for round = 1 to 4 do
+        let a = Array.make 3 0 in
+        let sums = Array.make 3 0 in
+        Parallel.Pool.run_phases pool ~phases:2 (fun ~phase ~lane ->
+            if phase = 0 then a.(lane) <- (10 * round) + lane
+            else sums.(lane) <- a.(0) + a.(1) + a.(2));
+        let expected = (30 * round) + 3 in
+        Array.iteri
+          (fun l s ->
+            check_int (Printf.sprintf "round %d lane %d sum" round l)
+              expected s)
+          sums
+      done;
+      (* One dispatch per run_phases; in-region barriers are free. *)
+      check_int "one barrier pair per dispatch" (b0 + 4)
+        (Parallel.Pool.barriers_crossed pool))
+
+let test_pool_run_phases_on_phase () =
+  Parallel.Pool.with_pool ~lanes:2 (fun pool ->
+      let seen = ref [] in
+      Parallel.Pool.run_phases pool ~phases:3
+        ~on_phase:(fun k -> seen := k :: !seen)
+        (fun ~phase:_ ~lane:_ -> ());
+      Alcotest.(check (list int)) "hook ran once per phase" [ 2; 1; 0 ] !seen;
+      (* Zero phases: nothing runs, nothing hangs. *)
+      Parallel.Pool.run_phases pool ~phases:0
+        ~on_phase:(fun _ -> Alcotest.fail "hook on empty dispatch")
+        (fun ~phase:_ ~lane:_ -> Alcotest.fail "body on empty dispatch"))
+
+let test_pool_run_phases_exception () =
+  (* A lane raising mid-sequence must still attend every remaining
+     barrier; the first exception resurfaces at the join and the pool
+     stays usable. *)
+  Parallel.Pool.with_pool ~lanes:2 (fun pool ->
+      let raised =
+        try
+          Parallel.Pool.run_phases pool ~phases:3 (fun ~phase ~lane ->
+              if phase = 1 && lane = 1 then raise (Boom phase));
+          false
+        with Boom 1 -> true
+      in
+      check_bool "exception from middle phase re-raised" true raised;
+      let hits = Atomic.make 0 in
+      Parallel.Pool.run_phases pool ~phases:2 (fun ~phase:_ ~lane:_ ->
+          Atomic.incr hits);
+      check_int "pool usable afterwards" 4 (Atomic.get hits))
+
+let test_pool_stop_idempotent () =
+  (* stop twice is a no-op... *)
+  let pool = Parallel.Pool.create ~lanes:2 in
+  Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 ignore;
+  Parallel.Pool.stop pool;
+  Parallel.Pool.stop pool;
+  (* ...including right after a region whose barrier re-raised a
+     worker exception (the regression this satellite pins: a hang or
+     double-join here would deadlock the suite). *)
+  let pool = Parallel.Pool.create ~lanes:2 in
+  (try
+     Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+         if i >= 5 then raise (Boom i))
+   with Boom _ -> ());
+  Parallel.Pool.stop pool;
+  Parallel.Pool.stop pool;
+  check_bool "stop is idempotent" true true
+
 (* ------------------------------------------------------------------ *)
 (* Fork_join                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -289,6 +360,118 @@ let test_exec_bucket_words () =
        (b.Parallel.Exec.minor_words > 0.));
   Parallel.Exec.reset_buckets sched;
   check_bool "buckets reset" true (Parallel.Exec.buckets sched = [])
+
+let test_exec_parallel_phases () =
+  (* Two dependent phases (phase 1 reads across phase 0's whole output)
+     must produce the same values on every scheduler, and region
+     accounting must reflect the folding: one dispatch under
+     sequential/spmd, one region per phase under fork/join. *)
+  let n = 200 in
+  let expected = Array.init n (fun i -> float_of_int (i + (n - 1 - i))) in
+  List.iter
+    (fun (name, sched) ->
+      let a = Array.make n 0. and b = Array.make n 0. in
+      let r0 = Parallel.Exec.regions sched in
+      Parallel.Exec.parallel_phases sched
+        [| { Parallel.Exec.region = Parallel.Exec.Rhs;
+             lo = 0;
+             hi = n;
+             body = (fun ~lane:_ i -> a.(i) <- float_of_int i) };
+           { Parallel.Exec.region = Parallel.Exec.Rk_combine;
+             lo = 0;
+             hi = n;
+             body = (fun ~lane:_ i -> b.(i) <- a.(i) +. a.(n - 1 - i)) } |];
+      Alcotest.(check (array (float 0.))) (name ^ " phase values") expected b;
+      let folded =
+        match name with "fork-join" -> 2 | _ -> 1
+      in
+      check_int (name ^ " regions for one dispatch") (r0 + folded)
+        (Parallel.Exec.regions sched);
+      (* Empty phase array and empty ranges cost nothing. *)
+      Parallel.Exec.parallel_phases sched [||];
+      Parallel.Exec.parallel_phases sched
+        [| { Parallel.Exec.region = Parallel.Exec.Other;
+             lo = 5;
+             hi = 5;
+             body = (fun ~lane:_ _ -> Alcotest.fail "empty phase ran") } |];
+      check_int (name ^ " empty dispatches")
+        (r0 + folded
+        + match name with "fork-join" -> 0 | _ -> 1)
+        (Parallel.Exec.regions sched);
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_exec_phase_attribution () =
+  (* Each phase is charged to its own region bucket, once per dispatch,
+     and the per-phase buckets cannot exceed the dispatch wall time
+     observed from outside. *)
+  List.iter
+    (fun (name, sched) ->
+      Parallel.Exec.reset_buckets sched;
+      let n = 5_000 in
+      let a = Array.make n 0. in
+      let t0 = Parallel.Clock.now_ns () in
+      Parallel.Exec.parallel_phases sched
+        [| { Parallel.Exec.region = Parallel.Exec.Rhs;
+             lo = 0;
+             hi = n;
+             body = (fun ~lane:_ i -> a.(i) <- Float.sqrt (float_of_int i)) };
+           { Parallel.Exec.region = Parallel.Exec.Rk_combine;
+             lo = 0;
+             hi = n;
+             body = (fun ~lane:_ i -> a.(i) <- a.(i) *. 2.) } |];
+      let wall = Parallel.Clock.now_ns () -. t0 in
+      let bucket r =
+        match List.assoc_opt r (Parallel.Exec.buckets sched) with
+        | Some b -> b
+        | None ->
+          Alcotest.failf "%s: missing bucket %s" name
+            (Parallel.Exec.region_name r)
+      in
+      let rhs = bucket Parallel.Exec.Rhs
+      and rk = bucket Parallel.Exec.Rk_combine in
+      check_int (name ^ " rhs charged once") 1 rhs.Parallel.Exec.count;
+      check_int (name ^ " rk charged once") 1 rk.Parallel.Exec.count;
+      check_bool (name ^ " phase times non-negative") true
+        (rhs.Parallel.Exec.total_ns >= 0. && rk.Parallel.Exec.total_ns >= 0.);
+      check_bool (name ^ " phase buckets sum to <= dispatch wall") true
+        (rhs.Parallel.Exec.total_ns +. rk.Parallel.Exec.total_ns
+         <= wall +. 1e5);
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
+
+let test_exec_reduce_lanes () =
+  List.iter
+    (fun (name, sched) ->
+      (* Max via per-lane slots must agree exactly with the boxed
+         reduction (max is order-independent). *)
+      let f i = float_of_int (i * (100 - i)) in
+      let via_slots =
+        Parallel.Exec.parallel_reduce_lanes sched ~lo:0 ~hi:100
+          ~init:Float.neg_infinity ~combine:Float.max
+          (fun ~acc ~cell ~lane:_ i ->
+            if f i > acc.(cell) then acc.(cell) <- f i)
+      in
+      check_float (name ^ " max via lanes") 2500. via_slots;
+      (* A sum reduction exercises [combine] over the per-lane
+         partials (small integers: float addition is exact). *)
+      let sum =
+        Parallel.Exec.parallel_reduce_lanes sched ~lo:0 ~hi:1000 ~init:0.
+          ~combine:( +. )
+          (fun ~acc ~cell ~lane:_ i ->
+            acc.(cell) <- acc.(cell) +. float_of_int i)
+      in
+      check_float (name ^ " sum via lanes") 499500. sum;
+      (* Empty range returns init without opening a region. *)
+      let r0 = Parallel.Exec.regions sched in
+      check_float (name ^ " empty returns init") 42.
+        (Parallel.Exec.parallel_reduce_lanes sched ~lo:7 ~hi:7 ~init:42.
+           ~combine:( +. )
+           (fun ~acc:_ ~cell:_ ~lane:_ _ -> Alcotest.fail "body ran"));
+      check_int (name ^ " empty opens no region") r0
+        (Parallel.Exec.regions sched);
+      Parallel.Exec.shutdown sched)
+    (exec_kinds ())
 
 (* ------------------------------------------------------------------ *)
 (* Workspace and Clock                                                 *)
@@ -501,7 +684,15 @@ let () =
           Alcotest.test_case "dynamic matches static" `Quick
             test_exec_dynamic_matches_static;
           Alcotest.test_case "exception propagates" `Quick
-            test_pool_exception_propagates ] );
+            test_pool_exception_propagates;
+          Alcotest.test_case "run_phases barrier" `Quick
+            test_pool_run_phases_barrier;
+          Alcotest.test_case "run_phases hook" `Quick
+            test_pool_run_phases_on_phase;
+          Alcotest.test_case "run_phases exception" `Quick
+            test_pool_run_phases_exception;
+          Alcotest.test_case "stop idempotent" `Quick
+            test_pool_stop_idempotent ] );
       ( "fork_join",
         [ Alcotest.test_case "correct" `Quick test_fork_join_correct;
           Alcotest.test_case "region count" `Quick
@@ -516,6 +707,11 @@ let () =
           Alcotest.test_case "for_lanes edge cases" `Quick
             test_exec_for_lanes_edges;
           Alcotest.test_case "bucket gc words" `Quick test_exec_bucket_words;
+          Alcotest.test_case "parallel_phases" `Quick
+            test_exec_parallel_phases;
+          Alcotest.test_case "phase attribution" `Quick
+            test_exec_phase_attribution;
+          Alcotest.test_case "reduce lanes" `Quick test_exec_reduce_lanes;
           Alcotest.test_case "describe" `Quick test_exec_describe ] );
       ( "workspace",
         [ Alcotest.test_case "reuse" `Quick test_workspace_reuse;
