@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- everything, scaled sizes
      dune exec bench/main.exe -- fig1    -- one experiment
      experiments: fig1 fig3 fig4 fig4-large table-flags micro hotpath
-                  scaling
+                  scaling checkpoint
      options: --quick (smaller grids), --out DIR (artefact directory),
               --lanes N|auto (lane sweep ceiling for scaling)
 
@@ -814,6 +814,93 @@ let scaling () =
   Printf.printf "wrote %s\n" (path "BENCH_scaling.json")
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint overhead (BENCH_checkpoint.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The cost of the persistence subsystem, stated the way a user plans
+   a run: milliseconds per snapshot next to milliseconds per step, at
+   two grid sizes.  Measured with autosave every step (the worst
+   case) so every measured step pays exactly one encode + CRC +
+   atomic write; the policy's wall clock is separated out by the
+   driver's checkpoint accounting, not inferred by subtraction. *)
+
+type ckpt_row = {
+  c_grid : int;
+  c_steps : int;
+  c_ms_per_step : float;  (* stepping only, autosave off *)
+  c_ms_per_snapshot : float;
+  c_snapshot_bytes : int;  (* one snapshot *)
+  c_payload_fraction : float;
+  c_overhead_fraction : float;  (* snapshot time / plain step time *)
+}
+
+let checkpoint_measure ~cells_per_h ~steps =
+  let dir = path "ckpt" in
+  let prob = Euler.Setup.two_channel ~cells_per_h () in
+  let inst =
+    Engine.Registry.create ~config:Euler.Solver.benchmark_config "reference"
+      prob
+  in
+  ignore (Engine.Backend.step inst);
+  let plain = Engine.Run.run_steps inst steps in
+  let saving =
+    Engine.Run.run_steps
+      ~autosave:(Engine.Run.autosave ~every_steps:1 ~retain:2 dir)
+      inst steps
+  in
+  let fsteps = float_of_int steps in
+  let ms_step =
+    plain.Engine.Metrics.wall_s /. fsteps *. 1e3
+  in
+  let ms_snap = Engine.Metrics.ms_per_checkpoint saving in
+  { c_grid = 2 * cells_per_h;
+    c_steps = steps;
+    c_ms_per_step = ms_step;
+    c_ms_per_snapshot = ms_snap;
+    c_snapshot_bytes =
+      saving.Engine.Metrics.checkpoint_bytes
+      / max 1 saving.Engine.Metrics.checkpoints;
+    c_payload_fraction = Engine.Metrics.checkpoint_payload_fraction saving;
+    c_overhead_fraction = (if ms_step <= 0. then 0. else ms_snap /. ms_step) }
+
+let checkpoint () =
+  header "Checkpoint -- snapshot overhead vs step cost";
+  ensure_out ();
+  let plan = if !quick then [ (16, 5) ] else [ (64, 10); (256, 5) ] in
+  let rows =
+    List.map (fun (cells_per_h, steps) -> checkpoint_measure ~cells_per_h ~steps) plan
+  in
+  Printf.printf "%-10s %8s %12s %14s %14s %10s %10s\n" "grid" "steps"
+    "ms/step" "ms/snapshot" "bytes" "payload" "overhead";
+  List.iter
+    (fun r ->
+      Printf.printf "%4dx%-5d %8d %12.3f %14.3f %14d %9.1f%% %9.1f%%\n"
+        r.c_grid r.c_grid r.c_steps r.c_ms_per_step r.c_ms_per_snapshot
+        r.c_snapshot_bytes
+        (100. *. r.c_payload_fraction)
+        (100. *. r.c_overhead_fraction))
+    rows;
+  let oc = open_out (path "BENCH_checkpoint.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"checkpoint-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc
+    "  \"problem\": \"two_channel\",\n  \"backend\": \"reference\",\n  \
+     \"cadence\": \"every step, retain 2\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"grid\": [%d, %d], \"steps\": %d, \"ms_per_step\": %.6f, \
+         \"ms_per_snapshot\": %.6f, \"snapshot_bytes\": %d, \
+         \"payload_fraction\": %.4f, \"overhead_fraction\": %.4f }%s\n"
+        r.c_grid r.c_grid r.c_steps r.c_ms_per_step r.c_ms_per_snapshot
+        r.c_snapshot_bytes r.c_payload_fraction r.c_overhead_fraction
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_checkpoint.json")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -823,7 +910,8 @@ let experiments =
     ("table-flags", table_flags);
     ("micro", micro);
     ("hotpath", hotpath);
-    ("scaling", scaling) ]
+    ("scaling", scaling);
+    ("checkpoint", checkpoint) ]
 
 let () =
   let chosen = ref [] in

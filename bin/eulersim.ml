@@ -105,11 +105,8 @@ let effective_config backend (config : Euler.Solver.config) =
   | _ -> config
 
 let run problem nx ms recon riemann rk cfl unfused steps t_end backend
-    scheduler lanes csv pgm =
-  let config =
-    effective_config backend
-      { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused }
-  in
+    scheduler lanes csv pgm ckpt_dir ckpt_every ckpt_every_s ckpt_retain
+    resume =
   let prob =
     match problem with
     | "sod" -> Euler.Setup.sod ~nx ()
@@ -126,26 +123,95 @@ let run problem nx ms recon riemann rk cfl unfused steps t_end backend
     | `Spmd -> Parallel.Exec.spmd ~lanes
     | `Fork_join -> Parallel.Exec.fork_join ~lanes
   in
+  let fail msg =
+    Parallel.Exec.shutdown exec;
+    Printf.eprintf "eulersim: %s\n" msg;
+    exit 2
+  in
   Printf.printf "problem: %s\n" prob.Euler.Setup.description;
+  (* On resume the snapshot's descriptor is authoritative for the
+     backend and scheme: the run must continue with the numerics it
+     was saved under.  The CLI still supplies the problem (grid, BCs),
+     the scheduler, and fused/unfused. *)
+  let inst, backend, config =
+    match resume with
+    | None ->
+      let config =
+        effective_config backend
+          { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused }
+      in
+      let inst =
+        try Engine.Registry.create ~exec ~config backend prob
+        with Invalid_argument msg -> fail msg
+      in
+      (inst, backend, config)
+    | Some spec -> (
+      let resolve () =
+        match spec with
+        | "latest" -> (
+          match ckpt_dir with
+          | None -> fail "--resume latest requires --checkpoint-dir"
+          | Some dir -> (
+            match
+              Engine.Registry.resume_latest ~exec ~fused:(not unfused) ~dir
+                prob
+            with
+            | None -> fail ("no intact checkpoint found in " ^ dir)
+            | Some (path, inst) -> (path, inst)))
+        | path ->
+          ( path,
+            Engine.Registry.resume_file ~exec ~fused:(not unfused) ~path
+              prob )
+      in
+      try
+        let path, inst = resolve () in
+        Printf.printf "resumed: %s (step %d, t = %.6g)\n" path
+          (Engine.Backend.steps inst)
+          (Engine.Backend.time inst);
+        let snap = Engine.Backend.snapshot inst in
+        (inst, Engine.Snap.backend snap, Engine.Snap.config snap)
+      with
+      | Persist.Snapshot.Corrupt msg -> fail ("corrupt checkpoint: " ^ msg)
+      | Persist.Snapshot.Mismatch msg ->
+        fail ("checkpoint does not match this run: " ^ msg)
+      | Invalid_argument msg -> fail msg
+      | Sys_error msg -> fail msg)
+  in
   Printf.printf "scheme: %s + %s + %s, CFL %g; backend: %s; sched: %s\n"
     (Euler.Recon.name config.recon)
     (Euler.Riemann.name config.riemann)
     (Euler.Rk.name config.rk)
     config.cfl backend
     (Parallel.Exec.describe exec);
-  let inst =
-    try Engine.Registry.create ~exec ~config backend prob
-    with Invalid_argument msg ->
-      Parallel.Exec.shutdown exec;
-      Printf.eprintf "eulersim: %s\n" msg;
-      exit 2
+  let autosave =
+    match ckpt_dir with
+    | Some dir when ckpt_every > 0 || ckpt_every_s > 0. ->
+      Some
+        (Engine.Run.autosave
+           ?every_steps:(if ckpt_every > 0 then Some ckpt_every else None)
+           ?every_seconds:
+             (if ckpt_every_s > 0. then Some ckpt_every_s else None)
+           ~retain:ckpt_retain dir)
+    | _ -> None
   in
+  (* --steps is the TOTAL step target, so an interrupted-and-resumed
+     run and an uninterrupted one are invoked identically and finish
+     at the same step. *)
   let metrics =
     match (steps, t_end) with
-    | Some n, _ -> Engine.Run.run_steps inst n
-    | None, Some t -> Engine.Run.run_until inst t
-    | None, None -> Engine.Run.run_steps inst 100
+    | Some n, _ ->
+      Engine.Run.run_steps ?autosave inst
+        (max 0 (n - Engine.Backend.steps inst))
+    | None, Some t -> Engine.Run.run_until ?autosave inst t
+    | None, None ->
+      Engine.Run.run_steps ?autosave inst
+        (max 0 (100 - Engine.Backend.steps inst))
   in
+  (match ckpt_dir with
+   | Some dir ->
+     let path = Engine.Run.save ~dir inst in
+     Printf.printf "checkpoint: %s\n" path
+   | None -> ());
   print_endline (Engine.Metrics.to_string metrics);
   Printf.printf "%.2f ms/step\n"
     (metrics.Engine.Metrics.wall_s
@@ -232,11 +298,38 @@ let cmd =
   and pgm =
     Arg.(value & opt (some string) None
          & info [ "pgm" ] ~doc:"write the final density as a PGM image")
+  and ckpt_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"write checkpoints into $(docv); a final checkpoint is \
+                   always written when the march ends")
+  and ckpt_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"checkpoint every $(docv) total steps (0 = only the \
+                   final one)")
+  and ckpt_every_s =
+    Arg.(value & opt float 0.
+         & info [ "checkpoint-every-s" ] ~docv:"SECONDS"
+             ~doc:"checkpoint every $(docv) wall-clock seconds")
+  and ckpt_retain =
+    Arg.(value & opt int 3
+         & info [ "checkpoint-retain" ] ~docv:"K"
+             ~doc:"keep the newest $(docv) periodic checkpoints")
+  and resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"PATH|latest"
+             ~doc:"resume from a checkpoint file, or from the newest \
+                   intact checkpoint in --checkpoint-dir with \
+                   $(b,latest); the snapshot's backend and scheme \
+                   override the CLI flags, and --steps counts total \
+                   steps including the resumed ones")
   in
   Cmd.v
     (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
     Term.(
       const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
-      $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm)
+      $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm $ ckpt_dir
+      $ ckpt_every $ ckpt_every_s $ ckpt_retain $ resume)
 
 let () = exit (Cmd.eval cmd)

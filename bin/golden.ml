@@ -1,0 +1,69 @@
+(* golden: manage the blessed end-state snapshot store under
+   test/golden/.  `golden check` re-runs the pinned backend/scheme
+   matrix and compares against the committed snapshots; `golden bless`
+   deliberately regenerates them (the only sanctioned way the .swck
+   files change). *)
+
+open Cmdliner
+
+let root_arg =
+  Arg.(value & opt string Engine.Golden_suite.default_root
+       & info [ "root" ] ~docv:"DIR" ~doc:"golden store directory")
+
+let describe (e : Engine.Golden_suite.entry) =
+  Printf.sprintf "%-14s %-14s %s" e.backend e.label
+    (Engine.Golden_suite.key e)
+
+let bless root =
+  List.iter
+    (fun (e, path) ->
+      Printf.printf "blessed %s -> %s\n" (describe e) path)
+    (Engine.Golden_suite.bless_all ~root);
+  0
+
+let check root tol =
+  let results = Engine.Golden_suite.check_all ~tol ~root () in
+  let failed = ref 0 and missing = ref 0 in
+  List.iter
+    (fun ((e : Engine.Golden_suite.entry), r) ->
+      match r with
+      | Engine.Golden_suite.Pass rep ->
+        Printf.printf "PASS %s (max %.3e)\n" (describe e)
+          rep.Engine.Validate.max_abs
+      | Engine.Golden_suite.Fail rep ->
+        incr failed;
+        Printf.printf "FAIL %s\n%s\n" (describe e)
+          (Engine.Validate.to_string rep)
+      | Engine.Golden_suite.Missing ->
+        incr missing;
+        Printf.printf "MISS %s (no golden blessed)\n" (describe e))
+    results;
+  Printf.printf "%d checked, %d failed, %d missing\n"
+    (List.length results) !failed !missing;
+  if !failed > 0 || !missing > 0 then 1 else 0
+
+let bless_cmd =
+  Cmd.v
+    (Cmd.info "bless"
+       ~doc:"regenerate every golden snapshot (a deliberate act: commit \
+             the resulting .swck diffs with the change that moved the \
+             numerics)")
+    Term.(const bless $ root_arg)
+
+let check_cmd =
+  let tol =
+    Arg.(value & opt float 1e-12
+         & info [ "tol" ] ~doc:"comparison tolerance (max |difference|)")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"re-run the pinned matrix and compare against the store; \
+             missing goldens count as failures")
+    Term.(const check $ root_arg $ tol)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "golden" ~doc:"blessed end-state snapshot management")
+    [ bless_cmd; check_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -23,12 +23,17 @@ module type BACKEND = sig
   val exec : t -> Parallel.Exec.t
   val notes : t -> (string * float) list
   val cost_scheduler : Parallel.Cost_model.scheduler
+  val snapshot : t -> Persist.Snapshot.t
+  val restore : spec -> Persist.Snapshot.t -> t
 end
 
 type instance =
   | Instance : (module BACKEND with type t = 'a) * 'a -> instance
 
 let make (module B : BACKEND) s = Instance ((module B), B.create s)
+
+let restore (module B : BACKEND) s snap =
+  Instance ((module B), B.restore s snap)
 
 let name (Instance ((module B), _)) = B.name
 let dt (Instance ((module B), b)) = B.dt b
@@ -39,13 +44,16 @@ let state (Instance ((module B), b)) = B.state b
 let exec (Instance ((module B), b)) = B.exec b
 let notes (Instance ((module B), b)) = B.notes b
 let cost_scheduler (Instance ((module B), _)) = B.cost_scheduler
+let snapshot (Instance ((module B), b)) = B.snapshot b
 
 let step inst =
   let d = dt inst in
   step_dt inst d;
   d
 
-let metrics ?(wall_s = 0.) ?(minor_words = 0.) ?(promoted_words = 0.) inst =
+let metrics ?(wall_s = 0.) ?(minor_words = 0.) ?(promoted_words = 0.)
+    ?(checkpoints = 0) ?(checkpoint_s = 0.) ?(checkpoint_bytes = 0)
+    ?(checkpoint_payload_bytes = 0) inst =
   { Metrics.backend = name inst;
     steps = steps inst;
     sim_time = time inst;
@@ -55,4 +63,8 @@ let metrics ?(wall_s = 0.) ?(minor_words = 0.) ?(promoted_words = 0.) inst =
     promoted_words;
     regions = Parallel.Exec.regions (exec inst);
     buckets = Parallel.Exec.buckets (exec inst);
-    notes = notes inst }
+    notes = notes inst;
+    checkpoints;
+    checkpoint_s;
+    checkpoint_bytes;
+    checkpoint_payload_bytes }

@@ -60,6 +60,29 @@ module type BACKEND = sig
   (** Which synchronisation regime the scaling model should charge
       this backend with: spin barriers for the SaC-side
       implementations, kernel fork/join for the Fortran baseline. *)
+
+  val snapshot : t -> Persist.Snapshot.t
+  (** Capture the full live state — conserved payloads (ghosts
+      included), step count, simulation time and the {!Snap}
+      descriptor — as a value {!restore} can resume from
+      bitwise-identically.  The snapshot copies; it never aliases the
+      running solver. *)
+
+  val restore : spec -> Persist.Snapshot.t -> t
+  (** Rebuild a mid-run solver from a snapshot.  The spec supplies
+      everything a snapshot does not persist: the problem (for
+      boundary conditions and the grid/gamma template), the scheme
+      configuration and the scheduler.  The snapshot's descriptor is
+      validated against the spec first ({!Snap.check}).
+
+      A solver restored at step [n] and marched to step [m] produces
+      bitwise-identical state, [dt] sequence and snapshots as one
+      that ran to [m] uninterrupted — under any scheduler, fused or
+      unfused.
+      @raise Persist.Snapshot.Mismatch on a descriptor disagreement
+      (wrong backend, scheme, grid shape or gamma).
+      @raise Persist.Snapshot.Corrupt on missing descriptor keys or
+      fields. *)
 end
 
 type instance =
@@ -67,6 +90,10 @@ type instance =
       (** A backend packed with a live solver of its own state type. *)
 
 val make : (module BACKEND) -> spec -> instance
+
+val restore : (module BACKEND) -> spec -> Persist.Snapshot.t -> instance
+(** Like {!make}, but resuming from a snapshot via the module's
+    [restore]. *)
 
 (** Accessors dispatching through the packed module. *)
 
@@ -79,6 +106,7 @@ val state : instance -> Euler.State.t
 val exec : instance -> Parallel.Exec.t
 val notes : instance -> (string * float) list
 val cost_scheduler : instance -> Parallel.Cost_model.scheduler
+val snapshot : instance -> Persist.Snapshot.t
 
 val step : instance -> float
 (** [dt] then [step_dt]; returns the [dt] taken. *)
@@ -87,7 +115,12 @@ val metrics :
   ?wall_s:float ->
   ?minor_words:float ->
   ?promoted_words:float ->
+  ?checkpoints:int ->
+  ?checkpoint_s:float ->
+  ?checkpoint_bytes:int ->
+  ?checkpoint_payload_bytes:int ->
   instance -> Metrics.t
 (** Snapshot of the instance's lifetime counters.  [wall_s],
-    [minor_words] and [promoted_words] default to 0 — the driver
-    measures them around its stepping loop and fills them in. *)
+    [minor_words], [promoted_words] and the checkpoint accounting
+    default to 0 — the driver measures them around its stepping loop
+    and fills them in. *)

@@ -25,6 +25,25 @@ module Reference : Backend.BACKEND = struct
   let exec (s : t) = s.Euler.Solver.exec
   let notes _ = []
   let cost_scheduler = Parallel.Cost_model.Spin_barrier
+
+  let snapshot (s : t) =
+    Snap.of_backend ~backend:name ~config:s.Euler.Solver.config
+      ~steps:s.Euler.Solver.steps ~time:s.Euler.Solver.time
+      s.Euler.Solver.state
+
+  (* The restored solver's in-sweep eigenvalue cache starts stale, so
+     the first [dt] after a resume runs the standalone GetDT
+     reduction — documented (and pinned by tests) to be bit-identical
+     to the fused in-sweep value, so the dt sequence of a resumed run
+     matches the uninterrupted one exactly. *)
+  let restore (spec : Backend.spec) snap =
+    Snap.check ~backend:name ~config:spec.config
+      spec.problem.Euler.Setup.state snap;
+    let s = create spec in
+    Snap.restore_state snap ~into:s.Euler.Solver.state;
+    s.Euler.Solver.time <- snap.Persist.Snapshot.sim_time;
+    s.Euler.Solver.steps <- snap.Persist.Snapshot.steps;
+    s
 end
 
 module Array_style : Backend.BACKEND = struct
@@ -50,6 +69,24 @@ module Array_style : Backend.BACKEND = struct
       ("with-loops/step", Euler.Array_style.with_loops_per_step t) ]
 
   let cost_scheduler = Parallel.Cost_model.Spin_barrier
+
+  let snapshot t =
+    Snap.of_backend ~backend:name
+      ~config:
+        { Euler.Solver.benchmark_config with
+          Euler.Solver.cfl = Euler.Array_style.cfl_of t }
+      ~steps:(Euler.Array_style.steps t)
+      ~time:(Euler.Array_style.time t)
+      (Euler.Array_style.state t)
+
+  let restore (spec : Backend.spec) snap =
+    Snap.check ~backend:name ~config:spec.config
+      spec.problem.Euler.Setup.state snap;
+    let t = create spec in
+    Snap.restore_state snap ~into:(Euler.Array_style.state t);
+    Euler.Array_style.warm_start t ~time:snap.Persist.Snapshot.sim_time
+      ~steps:snap.Persist.Snapshot.steps;
+    t
 end
 
 module Make_fortran (A : sig
@@ -77,6 +114,33 @@ end) : Backend.BACKEND = struct
   let exec t = t.exec
   let notes _ = []
   let cost_scheduler = Parallel.Cost_model.Os_fork_join
+
+  let snapshot t =
+    let f = t.f in
+    Snap.of_backend ~backend:name
+      ~config:
+        { Euler.Solver.recon = f.Fortran_baseline.F_solver.recon;
+          riemann = f.Fortran_baseline.F_solver.riemann;
+          rk = f.Fortran_baseline.F_solver.rk;
+          cfl = f.Fortran_baseline.F_solver.storage.Fortran_baseline.Storage.cfl;
+          fused = true }
+      ~steps:f.Fortran_baseline.F_solver.steps
+      ~time:f.Fortran_baseline.F_solver.time
+      (Fortran_baseline.F_solver.state f)
+
+  let restore (spec : Backend.spec) snap =
+    Snap.check ~backend:name ~config:spec.config
+      spec.problem.Euler.Setup.state snap;
+    let t = create spec in
+    let f = t.f in
+    Snap.restore_q snap
+      ~into:f.Fortran_baseline.F_solver.storage.Fortran_baseline.Storage.qc;
+    f.Fortran_baseline.F_solver.time <- snap.Persist.Snapshot.sim_time;
+    f.Fortran_baseline.F_solver.steps <- snap.Persist.Snapshot.steps;
+    (* Ghosts and primitive arrays must be refreshed from the restored
+       conserved fields before the next stage touches them. *)
+    f.Fortran_baseline.F_solver.stage_ready <- false;
+    t
 end
 
 module Fortran = Make_fortran (struct
@@ -187,6 +251,38 @@ module Sacprog : Backend.BACKEND = struct
       ("calls", float_of_int s.Sac.Eval.calls) ]
 
   let cost_scheduler = Parallel.Cost_model.Spin_barrier
+
+  let snapshot t =
+    Snap.of_backend ~backend:name
+      ~config:{ Euler.Solver.benchmark_config with Euler.Solver.cfl = t.cfl }
+      ~steps:t.steps ~time:t.time (state t)
+
+  (* The interpreter's state lives as an interior-only [3, nx] array;
+     ghosts are refilled from the boundary conditions inside the SaC
+     program every step, so rebuilding [q] from the snapshot's
+     interior is a complete restore. *)
+  let restore (spec : Backend.spec) snap =
+    Snap.check ~backend:name ~config:spec.config
+      spec.problem.Euler.Setup.state snap;
+    let t = create spec in
+    let st = Euler.State.copy t.template in
+    Snap.restore_state snap ~into:st;
+    let g = st.Euler.State.grid in
+    let q =
+      Tensor.Nd.init [| 3; g.Euler.Grid.nx |] (fun iv ->
+          let o = Euler.Grid.offset g iv.(1) 0 in
+          let k =
+            match iv.(0) with
+            | 0 -> Euler.State.i_rho
+            | 1 -> Euler.State.i_mx
+            | _ -> Euler.State.i_e
+          in
+          st.Euler.State.q.(k).(o))
+    in
+    t.q <- Sac.Value.Vdarr q;
+    t.time <- snap.Persist.Snapshot.sim_time;
+    t.steps <- snap.Persist.Snapshot.steps;
+    t
 end
 
 let builtin : (module Backend.BACKEND) list =

@@ -1,0 +1,57 @@
+type entry = {
+  backend : string;
+  config : Euler.Solver.config;
+  problem : unit -> Euler.Setup.problem;
+  steps : int;
+  label : string;
+}
+
+let default_root = "test/golden"
+
+let benchmark = Euler.Solver.benchmark_config
+
+let sod64 () = Euler.Setup.sod ~nx:64 ()
+let quadrant16 () = Euler.Setup.quadrant ~nx:16 ()
+
+let entry ?(config = benchmark) ?(steps = 20) ~label backend problem =
+  { backend; config; problem; steps; label }
+
+(* The blessed matrix: every backend on the 1D benchmark case, the 2D
+   capable ones on the quadrant, and the reference solver once on the
+   high-order default scheme so golden coverage is not
+   benchmark-config only.  Small grids keep the committed files a few
+   tens of KB each. *)
+let all : entry list =
+  List.map
+    (fun b -> entry ~label:"sod-64" b sod64)
+    [ "reference"; "array"; "fortran"; "fortran-outer"; "sacprog" ]
+  @ List.map
+      (fun b -> entry ~steps:10 ~label:"quadrant-16" b quadrant16)
+      [ "reference"; "array"; "fortran"; "fortran-outer" ]
+  @ [ entry ~config:Euler.Solver.default_config ~label:"sod-64-default"
+        "reference" sod64 ]
+
+let key e =
+  Snap.golden_key ~backend:e.backend ~config:e.config
+    (e.problem ()).Euler.Setup.state.Euler.State.grid
+
+let bless ~root e =
+  let inst = Registry.create ~config:e.config e.backend (e.problem ()) in
+  ignore (Run.run_steps inst e.steps);
+  Persist.Golden.bless ~root ~key:(key e) (Backend.snapshot inst)
+
+let bless_all ~root = List.map (fun e -> (e, bless ~root e)) all
+
+type result = Pass of Validate.report | Fail of Validate.report | Missing
+
+let check ?(tol = 1e-12) ~root e =
+  match
+    Validate.against_golden ~config:e.config ~steps:e.steps ~root e.backend
+      (e.problem ())
+  with
+  | None -> Missing
+  | Some report -> if Validate.within report tol then Pass report
+                   else Fail report
+
+let check_all ?tol ~root () =
+  List.map (fun e -> (e, check ?tol ~root e)) all

@@ -1,0 +1,49 @@
+(** The blessed end-state matrix.
+
+    A golden is a full checkpoint snapshot of a backend's state after
+    a fixed short march, committed under [test/golden/].  The suite
+    pins the matrix of (backend x scheme x grid) combinations the
+    repository guarantees: regenerating them must be a deliberate act
+    ([scripts/bless_golden.sh] or [golden bless]), never a side effect
+    of a code change — a checked-in diff of a [.swck] file IS the
+    review signal that the numerics moved. *)
+
+type entry = {
+  backend : string;
+  config : Euler.Solver.config;
+  problem : unit -> Euler.Setup.problem;  (** fresh state per call *)
+  steps : int;  (** CFL-limited steps marched before blessing *)
+  label : string;  (** human name of the case, e.g. ["sod-64"] *)
+}
+
+val default_root : string
+(** ["test/golden"] — the committed store, relative to the repo
+    root. *)
+
+val all : entry list
+(** The pinned matrix: all five backends on Sod nx=64 (20 steps,
+    benchmark scheme), the 2D-capable four on the quadrant nx=16
+    (10 steps), plus the reference solver on Sod under
+    {!Euler.Solver.default_config} (WENO3 + HLLC). *)
+
+val key : entry -> string
+(** The store key, {!Snap.golden_key} of the entry. *)
+
+val bless : root:string -> entry -> string
+(** Run the entry and (atomically) write its end-state snapshot into
+    the store; returns the file path. *)
+
+val bless_all : root:string -> (entry * string) list
+
+type result =
+  | Pass of Validate.report  (** agreed within tolerance *)
+  | Fail of Validate.report  (** diverged — report says where *)
+  | Missing  (** no golden blessed for this entry *)
+
+val check : ?tol:float -> root:string -> entry -> result
+(** Re-run the entry and compare against the stored golden.  [tol]
+    defaults to [1e-12] — not exact zero, so goldens stay portable
+    across machines whose libm rounding differs in the last ulp.
+    @raise Persist.Snapshot.Corrupt if the stored file is damaged. *)
+
+val check_all : ?tol:float -> root:string -> unit -> (entry * result) list

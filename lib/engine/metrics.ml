@@ -9,6 +9,10 @@ type t = {
   regions : int;
   buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
   notes : (string * float) list;
+  checkpoints : int;
+  checkpoint_s : float;
+  checkpoint_bytes : int;
+  checkpoint_payload_bytes : int;
 }
 
 let regions_per_step m =
@@ -26,6 +30,15 @@ let cells_per_second m =
   else float_of_int (m.steps * m.cells) /. m.wall_s
 
 let bucket m region = List.assoc_opt region m.buckets
+
+let ms_per_checkpoint m =
+  if m.checkpoints = 0 then 0.
+  else m.checkpoint_s *. 1e3 /. float_of_int m.checkpoints
+
+let checkpoint_payload_fraction m =
+  if m.checkpoint_bytes = 0 then 0.
+  else
+    float_of_int m.checkpoint_payload_bytes /. float_of_int m.checkpoint_bytes
 
 let pp ppf m =
   Format.fprintf ppf
@@ -47,6 +60,12 @@ let pp ppf m =
         (b.Parallel.Exec.max_ns /. 1e3)
         b.Parallel.Exec.minor_words)
     m.buckets;
+  if m.checkpoints > 0 then
+    Format.fprintf ppf
+      "@,  checkpoints: %d written in %.3f s (%.2f ms each, %d bytes, \
+       %.1f%% payload)"
+      m.checkpoints m.checkpoint_s (ms_per_checkpoint m) m.checkpoint_bytes
+      (100. *. checkpoint_payload_fraction m);
   List.iter
     (fun (k, v) -> Format.fprintf ppf "@,  %-10s %g" k v)
     m.notes;

@@ -26,6 +26,17 @@ type t = {
   notes : (string * float) list;
       (** backend-specific extras, e.g. the with-loop counts of the
           array-style and mini-SaC implementations *)
+  checkpoints : int;
+      (** snapshots written by the driver's autosave policy during
+          this call *)
+  checkpoint_s : float;
+      (** wall-clock seconds spent encoding + writing those snapshots
+          (included in [wall_s]) *)
+  checkpoint_bytes : int;  (** total bytes written, all snapshots *)
+  checkpoint_payload_bytes : int;
+      (** bytes of those that are raw field payloads (the rest is
+          format framing: magic, descriptor, section headers,
+          checksums) *)
 }
 
 val regions_per_step : t -> float
@@ -45,6 +56,15 @@ val cells_per_second : t -> float
     ([steps * cells / wall_s]); [0.] when no wall time was recorded. *)
 
 val bucket : t -> Parallel.Exec.region -> Parallel.Exec.bucket option
+
+val ms_per_checkpoint : t -> float
+(** Average wall-clock milliseconds per snapshot written; [0.] when
+    none were. Compare against the per-step cost to judge checkpoint
+    overhead (see EXPERIMENTS.md). *)
+
+val checkpoint_payload_fraction : t -> float
+(** Fraction of the bytes written that are field payload (the rest is
+    format framing); [0.] when no snapshot was written. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering (used by [eulersim] and the

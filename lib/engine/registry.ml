@@ -18,3 +18,16 @@ let find_exn key =
 
 let create ?exec ?config key problem =
   Backend.make (find_exn key) (Backend.spec ?exec ?config problem)
+
+let resume ?exec ?fused snap problem =
+  let key = Snap.backend snap in
+  let config = Snap.config ?fused snap in
+  Backend.restore (find_exn key) (Backend.spec ?exec ~config problem) snap
+
+let resume_file ?exec ?fused ~path problem =
+  resume ?exec ?fused (Persist.Snapshot.read ~path) problem
+
+let resume_latest ?exec ?fused ~dir problem =
+  match Persist.Checkpoint.latest_valid dir with
+  | None -> None
+  | Some (path, snap) -> Some (path, resume ?exec ?fused snap problem)

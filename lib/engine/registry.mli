@@ -23,3 +23,39 @@ val create :
     the problem (state copied).  Defaults as {!Backend.spec}.
     @raise Invalid_argument on an unknown name or a spec the backend
     rejects. *)
+
+val resume :
+  ?exec:Parallel.Exec.t ->
+  ?fused:bool ->
+  Persist.Snapshot.t ->
+  Euler.Setup.problem ->
+  Backend.instance
+(** Rebuild a mid-run instance from a snapshot.  The backend name and
+    the scheme configuration come from the snapshot's descriptor — the
+    caller supplies only what snapshots don't persist: the problem
+    (boundary conditions, grid/gamma template), the scheduler, and
+    whether the reference solver should run fused ([fused] defaults to
+    [true]; resumes are bitwise-identical either way).
+    @raise Invalid_argument on an unknown backend name.
+    @raise Persist.Snapshot.Mismatch when the snapshot disagrees with
+    the problem (grid shape, gamma, scheme). *)
+
+val resume_file :
+  ?exec:Parallel.Exec.t ->
+  ?fused:bool ->
+  path:string ->
+  Euler.Setup.problem ->
+  Backend.instance
+(** {!resume} from a snapshot file.
+    @raise Persist.Snapshot.Corrupt on a damaged file. *)
+
+val resume_latest :
+  ?exec:Parallel.Exec.t ->
+  ?fused:bool ->
+  dir:string ->
+  Euler.Setup.problem ->
+  (string * Backend.instance) option
+(** Resume from the newest {e intact} checkpoint in [dir] — corrupt
+    files (e.g. a write torn by a crash) are skipped in favour of the
+    next-older one, which is why the autosave policy retains several.
+    [None] when the directory holds no readable checkpoint. *)

@@ -4,33 +4,105 @@
    which is exact for sequential execs and lane 0's share otherwise. *)
 let now () = Parallel.Clock.now_s ()
 
-type snapshot_trigger = Steps of int | Sim_time of float
+type autosave = {
+  dir : string;
+  every_steps : int option;
+  every_seconds : float option;
+  retain : int;
+}
 
-let run_steps ?on_step inst n =
+let autosave ?every_steps ?every_seconds ?(retain = 3) dir =
+  (match every_steps with
+   | Some n when n < 1 ->
+     invalid_arg "Run.autosave: every_steps must be >= 1"
+   | _ -> ());
+  (match every_seconds with
+   | Some s when s <= 0. ->
+     invalid_arg "Run.autosave: every_seconds must be positive"
+   | _ -> ());
+  if every_steps = None && every_seconds = None then
+    invalid_arg "Run.autosave: at least one trigger required";
+  if retain < 1 then invalid_arg "Run.autosave: retain must be >= 1";
+  { dir; every_steps; every_seconds; retain }
+
+let save ~dir inst =
+  let path, _ = Persist.Checkpoint.save ~dir (Backend.snapshot inst) in
+  path
+
+(* Mutable accounting threaded through one driver call. *)
+type ckpt_stats = {
+  mutable count : int;
+  mutable wall : float;
+  mutable bytes : int;
+  mutable payload : int;
+  mutable last_save_t : float;
+}
+
+let write_checkpoint (a : autosave) (st : ckpt_stats) inst =
+  let t0 = now () in
+  let snap = Backend.snapshot inst in
+  let _, size = Persist.Checkpoint.save ~dir:a.dir snap in
+  Persist.Checkpoint.retain ~dir:a.dir ~keep:a.retain;
+  st.count <- st.count + 1;
+  st.wall <- st.wall +. (now () -. t0);
+  st.bytes <- st.bytes + size;
+  st.payload <- st.payload + Persist.Snapshot.payload_bytes snap;
+  st.last_save_t <- now ()
+
+(* The step trigger fires on the backend's TOTAL step count, not the
+   steps of this driver call, so the checkpoint cadence of a resumed
+   run lines up with the uninterrupted one (step 10's checkpoint is
+   written at step 10 whether or not the process restarted at 7). *)
+let maybe_checkpoint autosave stats inst =
+  match autosave with
+  | None -> ()
+  | Some a ->
+    let due_steps =
+      match a.every_steps with
+      | Some n -> Backend.steps inst mod n = 0
+      | None -> false
+    in
+    let due_time =
+      match a.every_seconds with
+      | Some s -> now () -. stats.last_save_t >= s
+      | None -> false
+    in
+    if due_steps || due_time then write_checkpoint a stats inst
+
+let fresh_stats () =
+  { count = 0; wall = 0.; bytes = 0; payload = 0; last_save_t = now () }
+
+let finish inst stats ~t0 ~m0 ~p0 =
+  let wall_s = now () -. t0 in
+  let m1, p1, _ = Gc.counters () in
+  Backend.metrics ~wall_s ~minor_words:(m1 -. m0) ~promoted_words:(p1 -. p0)
+    ~checkpoints:stats.count ~checkpoint_s:stats.wall
+    ~checkpoint_bytes:stats.bytes ~checkpoint_payload_bytes:stats.payload
+    inst
+
+let run_steps ?on_step ?autosave inst n =
+  let stats = fresh_stats () in
   let m0, p0, _ = Gc.counters () in
   let t0 = now () in
   for _ = 1 to n do
     let d = Backend.step inst in
-    match on_step with None -> () | Some f -> f inst d
+    (match on_step with None -> () | Some f -> f inst d);
+    maybe_checkpoint autosave stats inst
   done;
-  let wall_s = now () -. t0 in
-  let m1, p1, _ = Gc.counters () in
-  Backend.metrics ~wall_s ~minor_words:(m1 -. m0) ~promoted_words:(p1 -. p0)
-    inst
+  finish inst stats ~t0 ~m0 ~p0
 
-let run_until ?on_step inst target =
+let run_until ?on_step ?autosave inst target =
+  let stats = fresh_stats () in
   let m0, p0, _ = Gc.counters () in
   let t0 = now () in
   while Backend.time inst < target -. 1e-14 do
     let d = Backend.dt inst in
     let d = Float.min d (target -. Backend.time inst) in
     Backend.step_dt inst d;
-    (match on_step with None -> () | Some f -> f inst d)
+    (match on_step with None -> () | Some f -> f inst d);
+    maybe_checkpoint autosave stats inst
   done;
-  let wall_s = now () -. t0 in
-  let m1, p1, _ = Gc.counters () in
-  Backend.metrics ~wall_s ~minor_words:(m1 -. m0) ~promoted_words:(p1 -. p0)
-    inst
+  finish inst stats ~t0 ~m0 ~p0
 
 let emit ?profile_csv ?field_csv ?pgm inst =
   let st = Backend.state inst in

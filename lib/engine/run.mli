@@ -4,21 +4,55 @@
     backend for the CFL step, clamps it when a target time must be hit
     exactly, advances, and wraps the whole march in wall-clock and
     region instrumentation, so every implementation is measured — and
-    emits output — identically. *)
+    emits output — identically.
 
-type snapshot_trigger = Steps of int | Sim_time of float
+    The driver also owns the autosave policy: pass an {!autosave} to
+    have snapshots written as the march progresses, with retention of
+    the last [retain] checkpoints so a crash can always fall back to
+    an earlier intact file. *)
+
+type autosave = private {
+  dir : string;  (** checkpoint directory, created on first save *)
+  every_steps : int option;
+      (** write when the backend's {e total} step count is a multiple
+          of this — cadence is anchored to the run, not the process,
+          so a resumed run checkpoints at the same steps as an
+          uninterrupted one *)
+  every_seconds : float option;
+      (** write when this much monotonic wall time elapsed since the
+          last save of this driver call *)
+  retain : int;  (** keep the newest [retain] checkpoints, delete older *)
+}
+
+val autosave :
+  ?every_steps:int ->
+  ?every_seconds:float ->
+  ?retain:int ->
+  string ->
+  autosave
+(** [autosave dir] builds a policy writing to [dir].  [retain]
+    defaults to 3.
+    @raise Invalid_argument if neither trigger is given, a trigger is
+    non-positive, or [retain < 1]. *)
+
+val save : dir:string -> Backend.instance -> string
+(** One-shot snapshot of the instance into [dir] (atomic write);
+    returns the checkpoint path. *)
 
 val run_steps :
   ?on_step:(Backend.instance -> float -> unit) ->
+  ?autosave:autosave ->
   Backend.instance ->
   int ->
   Metrics.t
 (** March a fixed number of CFL-limited steps (the paper's benchmark
     mode).  [on_step] observes the instance and the [dt] just taken
-    after every step (snapshots, progress). *)
+    after every step (snapshots, progress); autosave checkpoints are
+    written after the [on_step] hook. *)
 
 val run_until :
   ?on_step:(Backend.instance -> float -> unit) ->
+  ?autosave:autosave ->
   Backend.instance ->
   float ->
   Metrics.t

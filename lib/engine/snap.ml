@@ -1,0 +1,132 @@
+module S = Persist.Snapshot
+
+let field_names = [ "rho"; "rho*u"; "rho*v"; "E" ]
+
+let padded_shape (g : Euler.Grid.t) =
+  [| g.Euler.Grid.ny + (2 * g.Euler.Grid.ng);
+     g.Euler.Grid.nx + (2 * g.Euler.Grid.ng) |]
+
+let descriptor ~backend ~(config : Euler.Solver.config) (st : Euler.State.t) =
+  let g = st.Euler.State.grid in
+  [ ("backend", backend);
+    ("recon", Euler.Recon.name config.Euler.Solver.recon);
+    ("riemann", Euler.Riemann.name config.Euler.Solver.riemann);
+    ("rk", Euler.Rk.name config.Euler.Solver.rk);
+    ("cfl", S.d_float config.Euler.Solver.cfl);
+    ("nx", S.d_int g.Euler.Grid.nx);
+    ("ny", S.d_int g.Euler.Grid.ny);
+    ("ng", S.d_int g.Euler.Grid.ng);
+    ("dx", S.d_float g.Euler.Grid.dx);
+    ("dy", S.d_float g.Euler.Grid.dy);
+    ("x0", S.d_float g.Euler.Grid.x0);
+    ("y0", S.d_float g.Euler.Grid.y0);
+    ("gamma", S.d_float st.Euler.State.gamma) ]
+
+let of_backend ~backend ~config ~steps ~time (st : Euler.State.t) =
+  let shape = padded_shape st.Euler.State.grid in
+  { S.descriptor = descriptor ~backend ~config st;
+    steps;
+    sim_time = time;
+    fields =
+      List.mapi
+        (fun k name ->
+          (name, Tensor.Nd.of_array shape (Array.copy st.Euler.State.q.(k))))
+        field_names }
+
+(* Floats are compared on their bits: the descriptor stores them as
+   hexadecimal literals, so capture -> restore round trips exactly and
+   any difference is a genuinely different run, not a formatting
+   artifact. *)
+let float_differs a b =
+  not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let check ~backend ~(config : Euler.Solver.config) (template : Euler.State.t)
+    snap =
+  let g = template.Euler.State.grid in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let str key expected =
+    let got = S.get_exn snap key in
+    if not (String.equal got expected) then
+      note "%s: snapshot has %s, run expects %s" key got expected
+  in
+  let int key expected =
+    let got = S.get_int snap key in
+    if got <> expected then note "%s: snapshot has %d, run expects %d" key got expected
+  in
+  let flt key expected =
+    let got = S.get_float snap key in
+    if float_differs got expected then
+      note "%s: snapshot has %h, run expects %h" key got expected
+  in
+  str "backend" backend;
+  str "recon" (Euler.Recon.name config.Euler.Solver.recon);
+  str "riemann" (Euler.Riemann.name config.Euler.Solver.riemann);
+  str "rk" (Euler.Rk.name config.Euler.Solver.rk);
+  flt "cfl" config.Euler.Solver.cfl;
+  int "nx" g.Euler.Grid.nx;
+  int "ny" g.Euler.Grid.ny;
+  int "ng" g.Euler.Grid.ng;
+  flt "dx" g.Euler.Grid.dx;
+  flt "dy" g.Euler.Grid.dy;
+  flt "x0" g.Euler.Grid.x0;
+  flt "y0" g.Euler.Grid.y0;
+  flt "gamma" template.Euler.State.gamma;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name snap.S.fields with
+      | None -> note "field %S missing from snapshot" name
+      | Some nd ->
+        if Tensor.Nd.size nd <> g.Euler.Grid.cells then
+          note "field %S has %d cells, run expects %d" name
+            (Tensor.Nd.size nd) g.Euler.Grid.cells)
+    field_names;
+  if snap.S.steps < 0 then note "negative step count %d" snap.S.steps;
+  match List.rev !problems with
+  | [] -> ()
+  | ps ->
+    raise
+      (S.Mismatch
+         ("snapshot does not describe this run: " ^ String.concat "; " ps))
+
+let restore_q snap ~into =
+  List.iteri
+    (fun k name ->
+      let nd = S.field snap name in
+      let n = Array.length into.(k) in
+      if Tensor.Nd.size nd <> n then
+        raise
+          (S.Mismatch
+             (Printf.sprintf
+                "snapshot field %S has %d cells, destination expects %d" name
+                (Tensor.Nd.size nd) n));
+      Array.blit nd.Tensor.Nd.data 0 into.(k) 0 n)
+    field_names
+
+let restore_state snap ~into = restore_q snap ~into:into.Euler.State.q
+
+let config ?(fused = true) snap =
+  let parse what of_string =
+    let s = S.get_exn snap what in
+    match of_string s with
+    | Some v -> v
+    | None ->
+      raise
+        (S.Corrupt
+           (Printf.sprintf "snapshot records unknown %s %S" what s))
+  in
+  { Euler.Solver.recon = parse "recon" Euler.Recon.of_string;
+    riemann = parse "riemann" Euler.Riemann.of_string;
+    rk = parse "rk" Euler.Rk.of_string;
+    cfl = S.get_float snap "cfl";
+    fused }
+
+let backend snap = S.get_exn snap "backend"
+
+let golden_key ~backend ~(config : Euler.Solver.config) (g : Euler.Grid.t) =
+  let sanitize s = String.map (fun c -> if c = ':' then '.' else c) s in
+  Printf.sprintf "%s--%s-%s-%s--%dx%d" backend
+    (sanitize (Euler.Recon.name config.Euler.Solver.recon))
+    (Euler.Riemann.name config.Euler.Solver.riemann)
+    (Euler.Rk.name config.Euler.Solver.rk)
+    g.Euler.Grid.nx g.Euler.Grid.ny

@@ -1,0 +1,62 @@
+(** Euler-aware snapshot glue: the descriptor vocabulary, validation
+    and field marshalling the backends share.
+
+    [Persist.Snapshot] knows only descriptors and tensors; this
+    module fixes what the engine stores in them — the backend name,
+    the scheme (reconstruction, Riemann solver, RK kind, CFL), the
+    grid geometry and gamma, plus one full padded payload per
+    conserved variable (ghosts included, so a restored state is
+    byte-for-byte the captured one).  The [fused] execution flag is
+    deliberately {e not} recorded: fused and unfused stepping are
+    bitwise identical, so a snapshot may be resumed under either. *)
+
+val field_names : string list
+(** Snapshot payload names, in {!Euler.State.t} variable order:
+    ["rho"; "rho*u"; "rho*v"; "E"]. *)
+
+val of_backend :
+  backend:string ->
+  config:Euler.Solver.config ->
+  steps:int ->
+  time:float ->
+  Euler.State.t ->
+  Persist.Snapshot.t
+(** Capture a state (payloads are copied; the snapshot does not alias
+    the live solver). *)
+
+val check :
+  backend:string ->
+  config:Euler.Solver.config ->
+  Euler.State.t ->
+  Persist.Snapshot.t ->
+  unit
+(** Validate a snapshot against the run it is about to be restored
+    into: backend name, scheme names, CFL, grid extents and spacings
+    (bitwise), gamma (bitwise), and the presence and sizes of all
+    field payloads.
+    @raise Persist.Snapshot.Mismatch listing every disagreement.
+    @raise Persist.Snapshot.Corrupt on missing descriptor keys. *)
+
+val restore_q : Persist.Snapshot.t -> into:float array array -> unit
+(** Blit the four conserved payloads into caller-owned flat arrays
+    (same padded layout as {!Euler.State.t.q}).
+    @raise Persist.Snapshot.Corrupt on a missing field.
+    @raise Persist.Snapshot.Mismatch on a size mismatch. *)
+
+val restore_state : Persist.Snapshot.t -> into:Euler.State.t -> unit
+(** {!restore_q} into a state's payloads. *)
+
+val config : ?fused:bool -> Persist.Snapshot.t -> Euler.Solver.config
+(** Rebuild the scheme configuration a snapshot records ([fused]
+    defaults to [true]; it is an execution choice, not part of the
+    persisted state).
+    @raise Persist.Snapshot.Corrupt on unknown scheme names. *)
+
+val backend : Persist.Snapshot.t -> string
+(** The recorded backend name.
+    @raise Persist.Snapshot.Corrupt if absent. *)
+
+val golden_key :
+  backend:string -> config:Euler.Solver.config -> Euler.Grid.t -> string
+(** The golden-store key for a (backend x scheme x grid) cell, e.g.
+    ["reference--pc-rusanov-rk3--64x1"]. *)

@@ -55,6 +55,31 @@ let cross_check ?config ?(steps = 10) a b problem =
   compare_states ~backend_a:(Backend.name ia) ~backend_b:(Backend.name ib)
     ~steps sa sb
 
+let against_golden ?config ?(steps = 10) ~root key problem =
+  let inst = Registry.create ?config key problem in
+  let config =
+    match config with Some c -> c | None -> Euler.Solver.benchmark_config
+  in
+  let gkey =
+    Snap.golden_key ~backend:key ~config
+      problem.Euler.Setup.state.Euler.State.grid
+  in
+  match Persist.Golden.load ~root ~key:gkey with
+  | None -> None
+  | Some snap ->
+    if snap.Persist.Snapshot.steps <> steps then
+      raise
+        (Persist.Snapshot.Mismatch
+           (Printf.sprintf
+              "golden %S was blessed at %d steps, validation ran %d" gkey
+              snap.Persist.Snapshot.steps steps));
+    ignore (Run.run_steps inst steps);
+    let blessed = Euler.State.copy problem.Euler.Setup.state in
+    Snap.restore_state snap ~into:blessed;
+    Some
+      (compare_states ~backend_a:(Backend.name inst) ~backend_b:"golden"
+         ~steps (Backend.state inst) blessed)
+
 let within report tol = report.max_abs <= tol
 
 let pp ppf r =

@@ -36,6 +36,23 @@ val cross_check :
     scheme, which all backends support.
     @raise Invalid_argument on unknown names or rejected specs. *)
 
+val against_golden :
+  ?config:Euler.Solver.config ->
+  ?steps:int ->
+  root:string ->
+  string ->
+  Euler.Setup.problem ->
+  report option
+(** [against_golden ~root key problem] marches backend [key] for
+    [steps] (default 10) and compares the end state against the
+    blessed snapshot stored under [root] for this
+    (backend, scheme, grid) — the key is {!Snap.golden_key}.  [None]
+    when no golden exists for the combination (a skip, not a pass);
+    [backend_b] is ["golden"] in the report.
+    @raise Persist.Snapshot.Mismatch if a golden exists but was
+    blessed at a different step count.
+    @raise Persist.Snapshot.Corrupt if the stored file is damaged. *)
+
 val within : report -> float -> bool
 (** [within r tol] — did the fields agree to [tol] everywhere? *)
 

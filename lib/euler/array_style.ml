@@ -35,6 +35,12 @@ let state t = t.st
 let time t = t.time
 let steps t = t.steps
 let exec t = t.exec
+let cfl_of t = t.cfl
+
+let warm_start t ~time ~steps =
+  t.time <- time;
+  t.steps <- steps
+
 let with_loops t = t.ops
 
 let with_loops_per_step t =

@@ -31,9 +31,24 @@ val create :
     runs through it. *)
 
 val state : t -> State.t
+(** The live state the solver owns (not a copy): the engine's
+    checkpoint restore blits conserved payloads straight into it. *)
+
 val time : t -> float
 val steps : t -> int
 val exec : t -> Parallel.Exec.t
+
+val cfl_of : t -> float
+(** The CFL number this instance was created with (persisted in
+    checkpoint descriptors). *)
+
+val warm_start : t -> time:float -> steps:int -> unit
+(** Mark the solver as resuming mid-run at the given clock.  Only the
+    owned state and the clock carry information across a step — the
+    RK stage copies are fully rewritten (ghosts via the boundary
+    fill, interior via the stage scatter) before being read — so a
+    restored state plus [warm_start] reproduces an uninterrupted run
+    bitwise. *)
 
 val cfl : float
 (** The default CFL number, 0.5, matching

@@ -1,6 +1,8 @@
-let with_out path f =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+(* All writers go through the persistence layer's atomic-write helper:
+   readers (plot scripts, a checkpoint scan) never observe a
+   half-written file, only the previous version or the complete new
+   one. *)
+let with_out path f = Persist.Atomic_write.to_file path f
 
 let write_profile_csv ~path ~columns =
   match columns with

@@ -1,6 +1,10 @@
 (** Output of profiles and 2D fields: CSV, PGM images and terminal
     ASCII contours — the reproduction's stand-ins for the paper's
-    figures. *)
+    figures.
+
+    Every file writer is atomic ({!Persist.Atomic_write}): the data is
+    staged in [<path>.tmp] and renamed into place, so a watcher (or a
+    crash) never sees a partially written output. *)
 
 val write_profile_csv :
   path:string ->

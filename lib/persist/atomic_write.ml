@@ -1,0 +1,15 @@
+let temp_path path = path ^ ".tmp"
+
+let to_file path f =
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string path s = to_file path (fun oc -> output_string oc s)

@@ -1,0 +1,24 @@
+(** Crash-safe file writes: temp file + atomic rename.
+
+    Every artifact the repository persists (checkpoints, golden
+    snapshots, CSV/PGM/VTK output) goes through this helper, so a
+    process killed mid-write can never leave a truncated file under
+    the final name — the destination either keeps its previous
+    content or holds the complete new one.  A crash can at worst
+    abandon a [*.tmp] sibling, which readers ignore and the next
+    successful write of the same path reclaims. *)
+
+val temp_path : string -> string
+(** The sibling scratch name ([path ^ ".tmp"]) the write lands on
+    before the rename.  Exposed so directory scanners can exclude
+    it. *)
+
+val to_file : string -> (out_channel -> unit) -> unit
+(** [to_file path f] opens [temp_path path] (binary mode), runs [f]
+    on the channel, closes it and renames it onto [path].  If [f]
+    raises, the temp file is removed and the exception re-raised;
+    [path] is untouched.  Concurrent writers of the same [path] are
+    not supported (they would share the scratch name). *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] is [to_file path (output_string _ s)]. *)

@@ -1,0 +1,55 @@
+let prefix = "ckpt-"
+let suffix = ".swck"
+
+let file_name ~steps = Printf.sprintf "%s%09d%s" prefix steps suffix
+
+let steps_of_file name =
+  if
+    String.starts_with ~prefix name
+    && String.ends_with ~suffix name
+    && String.length name > String.length prefix + String.length suffix
+  then
+    int_of_string_opt
+      (String.sub name (String.length prefix)
+         (String.length name - String.length prefix - String.length suffix))
+  else None
+
+let list dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         Option.map
+           (fun steps -> (steps, Filename.concat dir name))
+           (steps_of_file name))
+  |> List.sort compare
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let save ~dir snap =
+  mkdir_p dir;
+  let path = Filename.concat dir (file_name ~steps:snap.Snapshot.steps) in
+  let bytes = Snapshot.write ~path snap in
+  (path, bytes)
+
+let retain ~dir ~keep =
+  if keep < 1 then invalid_arg "Checkpoint.retain: keep must be >= 1";
+  let cks = list dir in
+  let excess = List.length cks - keep in
+  List.iteri
+    (fun i (_, path) ->
+      if i < excess then try Sys.remove path with Sys_error _ -> ())
+    cks
+
+let latest_valid dir =
+  let rec scan = function
+    | [] -> None
+    | (_, path) :: older -> (
+      match Snapshot.read ~path with
+      | snap -> Some (path, snap)
+      | exception (Snapshot.Corrupt _ | Sys_error _) -> scan older)
+  in
+  scan (List.rev (list dir))

@@ -1,0 +1,39 @@
+(** Checkpoint directories: naming, retention and crash-tolerant
+    discovery.
+
+    A checkpoint directory holds snapshots named
+    [ckpt-<steps, zero-padded>.swck], written atomically so the
+    newest file is always complete — a crash mid-autosave can only
+    abandon a [*.tmp] scratch file (ignored here) or corrupt nothing
+    at all.  {!latest_valid} additionally re-verifies every CRC on
+    the way in and silently falls back to the newest snapshot that
+    checks out, so resume survives even a corrupted-on-disk tail. *)
+
+val file_name : steps:int -> string
+(** ["ckpt-000000123.swck"] for step 123. *)
+
+val mkdir_p : string -> unit
+(** Create a directory (and its parents) if missing. *)
+
+val steps_of_file : string -> int option
+(** Inverse of {!file_name} on a basename; [None] for foreign names
+    (including [*.tmp] scratch files). *)
+
+val list : string -> (int * string) list
+(** Checkpoints in [dir] as [(steps, full path)], sorted by ascending
+    step count.  Missing directories list as empty. *)
+
+val save : dir:string -> Snapshot.t -> string * int
+(** Atomically write the snapshot as [dir/ckpt-<steps>.swck]
+    (creating [dir] if needed) and return the path and encoded
+    size. *)
+
+val retain : dir:string -> keep:int -> unit
+(** Delete the oldest checkpoints until at most [keep] remain.
+    @raise Invalid_argument if [keep < 1]. *)
+
+val latest_valid : string -> (string * Snapshot.t) option
+(** The newest checkpoint in the directory that decodes with all
+    checksums intact; corrupted or truncated files are skipped (they
+    are left in place for forensics, never deleted here).  [None] if
+    the directory holds no valid checkpoint. *)

@@ -1,0 +1,30 @@
+let suffix = ".swck"
+
+let path ~root ~key =
+  if key = "" then invalid_arg "Golden.path: empty key";
+  String.iter
+    (fun c ->
+      if c = '/' || c = '\\' then
+        invalid_arg
+          (Printf.sprintf "Golden.path: key %S contains a path separator" key))
+    key;
+  Filename.concat root (key ^ suffix)
+
+let bless ~root ~key snap =
+  let p = path ~root ~key in
+  Checkpoint.mkdir_p root;
+  ignore (Snapshot.write ~path:p snap);
+  p
+
+let load ~root ~key =
+  let p = path ~root ~key in
+  if Sys.file_exists p then Some (Snapshot.read ~path:p) else None
+
+let keys ~root =
+  let entries = try Sys.readdir root with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         if String.ends_with ~suffix name then
+           Some (String.sub name 0 (String.length name - String.length suffix))
+         else None)
+  |> List.sort compare

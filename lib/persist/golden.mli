@@ -1,0 +1,28 @@
+(** The golden-state store: blessed end-state snapshots keyed by a
+    caller-chosen string (the engine keys them by
+    backend x scheme x grid), kept under version control so the test
+    suite gets O(1) regression checks — load the blessed snapshot and
+    diff, instead of recompute-and-compare against a second
+    implementation.
+
+    Blessing is always a deliberate act ([scripts/bless_golden.sh] or
+    [golden bless]); nothing in the library regenerates a blessed
+    file implicitly. *)
+
+val path : root:string -> key:string -> string
+(** [root/key.swck].  Keys must be valid file basenames; slashes are
+    rejected so a key cannot escape the store.
+    @raise Invalid_argument on an empty key or one containing a path
+    separator. *)
+
+val bless : root:string -> key:string -> Snapshot.t -> string
+(** Atomically (over)write the blessed snapshot for [key], creating
+    [root] if needed; returns the path written. *)
+
+val load : root:string -> key:string -> Snapshot.t option
+(** [None] if no snapshot is blessed for [key].
+    @raise Snapshot.Corrupt if the blessed file is damaged — a golden
+    store that fails its own checksums must never pass silently. *)
+
+val keys : root:string -> string list
+(** All blessed keys, sorted. *)

@@ -1,0 +1,267 @@
+exception Corrupt of string
+exception Mismatch of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type t = {
+  descriptor : (string * string) list;
+  steps : int;
+  sim_time : float;
+  fields : (string * Tensor.Nd.t) list;
+}
+
+let magic = "SWCKPT1\n"
+let version = 1
+let endian_tag = 0x01020304l
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let d_float f = Printf.sprintf "%h" f
+let d_int = string_of_int
+
+let get t key = List.assoc_opt key t.descriptor
+
+let get_exn t key =
+  match get t key with
+  | Some v -> v
+  | None -> corrupt "snapshot descriptor lacks key %S" key
+
+let get_int t key =
+  match int_of_string_opt (get_exn t key) with
+  | Some v -> v
+  | None -> corrupt "snapshot descriptor key %S is not an integer" key
+
+let get_float t key =
+  match float_of_string_opt (get_exn t key) with
+  | Some v -> v
+  | None -> corrupt "snapshot descriptor key %S is not a float" key
+
+let field t name =
+  match List.assoc_opt name t.fields with
+  | Some nd -> nd
+  | None -> corrupt "snapshot lacks field %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let meta_section = "meta"
+let descriptor_section = "descriptor"
+let field_prefix = "field:"
+
+let check_token what s =
+  if s = "" then invalid_arg ("Snapshot.encode: empty " ^ what);
+  String.iter
+    (fun c ->
+      if c = '\n' || (what = "descriptor key" && c = ' ') then
+        invalid_arg
+          (Printf.sprintf "Snapshot.encode: %s %S contains %s" what s
+             (if c = '\n' then "a newline" else "a space")))
+    s
+
+let descriptor_payload t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      check_token "descriptor key" k;
+      if String.contains v '\n' then
+        invalid_arg
+          (Printf.sprintf
+             "Snapshot.encode: descriptor value for %S contains a newline" k);
+      Buffer.add_string b k;
+      Buffer.add_char b ' ';
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    t.descriptor;
+  Buffer.contents b
+
+let meta_payload t =
+  if t.steps < 0 then invalid_arg "Snapshot.encode: negative step count";
+  let b = Buffer.create 16 in
+  Buffer.add_int64_le b (Int64.of_int t.steps);
+  Buffer.add_int64_le b (Int64.bits_of_float t.sim_time);
+  Buffer.contents b
+
+let field_payload nd =
+  let shape = Tensor.Nd.shape nd in
+  let b = Buffer.create ((8 * Tensor.Nd.size nd) + 4 + (4 * Array.length shape)) in
+  Buffer.add_int32_le b (Int32.of_int (Array.length shape));
+  Array.iter (fun d -> Buffer.add_int32_le b (Int32.of_int d)) shape;
+  Array.iter
+    (fun x -> Buffer.add_int64_le b (Int64.bits_of_float x))
+    nd.Tensor.Nd.data;
+  Buffer.contents b
+
+let add_section buf name payload =
+  Buffer.add_int32_le buf (Int32.of_int (String.length name));
+  Buffer.add_string buf name;
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Crc32.of_string payload)
+
+let encode t =
+  List.iteri
+    (fun i (name, _) ->
+      check_token "field name" name;
+      List.iteri
+        (fun j (other, _) ->
+          if i < j && String.equal name other then
+            invalid_arg
+              (Printf.sprintf "Snapshot.encode: duplicate field %S" name))
+        t.fields)
+    t.fields;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_int32_le buf (Int32.of_int version);
+  Buffer.add_int32_le buf endian_tag;
+  Buffer.add_int32_le buf (Int32.of_int (2 + List.length t.fields));
+  add_section buf meta_section (meta_payload t);
+  add_section buf descriptor_section (descriptor_payload t);
+  List.iter
+    (fun (name, nd) -> add_section buf (field_prefix ^ name) (field_payload nd))
+    t.fields;
+  let body = Buffer.contents buf in
+  Buffer.add_int32_le buf (Crc32.of_string body);
+  Buffer.contents buf
+
+let payload_bytes t =
+  List.fold_left (fun acc (_, nd) -> acc + (8 * Tensor.Nd.size nd)) 0 t.fields
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let u32 s pos what =
+  if pos + 4 > String.length s then corrupt "snapshot truncated in %s" what;
+  let v = String.get_int32_le s pos in
+  (* Lengths and counts are all far below 2^31; a negative value here
+     means garbage bytes, not a huge snapshot. *)
+  if Int32.compare v 0l < 0 then corrupt "snapshot %s is negative" what;
+  Int32.to_int v
+
+let u64 s pos what =
+  if pos + 8 > String.length s then corrupt "snapshot truncated in %s" what;
+  let v = String.get_int64_le s pos in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    corrupt "snapshot %s out of range" what;
+  Int64.to_int v
+
+let parse_meta payload =
+  if String.length payload <> 16 then
+    corrupt "snapshot meta section has %d bytes, expected 16"
+      (String.length payload);
+  let steps = u64 payload 0 "step count" in
+  let sim_time = Int64.float_of_bits (String.get_int64_le payload 8) in
+  (steps, sim_time)
+
+let parse_descriptor payload =
+  String.split_on_char '\n' payload
+  |> List.filter (fun line -> line <> "")
+  |> List.map (fun line ->
+         match String.index_opt line ' ' with
+         | None -> corrupt "snapshot descriptor line %S lacks a value" line
+         | Some i ->
+           ( String.sub line 0 i,
+             String.sub line (i + 1) (String.length line - i - 1) ))
+
+let parse_field name payload =
+  let rank = u32 payload 0 (name ^ " rank") in
+  if rank > 16 then corrupt "snapshot field %S has absurd rank %d" name rank;
+  let shape = Array.init rank (fun i -> u32 payload (4 + (4 * i)) (name ^ " extent")) in
+  let header = 4 + (4 * rank) in
+  let size = Array.fold_left ( * ) 1 shape in
+  if String.length payload <> header + (8 * size) then
+    corrupt "snapshot field %S payload is %d bytes, expected %d" name
+      (String.length payload)
+      (header + (8 * size));
+  let data =
+    Array.init size (fun i ->
+        Int64.float_of_bits (String.get_int64_le payload (header + (8 * i))))
+  in
+  Tensor.Nd.of_array shape data
+
+let decode s =
+  let len = String.length s in
+  if len < String.length magic + 12 + 4 then
+    corrupt "snapshot truncated: %d bytes is smaller than any valid file" len;
+  if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    corrupt "bad magic: not a snapshot file";
+  let v = u32 s 8 "format version" in
+  if v <> version then
+    corrupt "unsupported snapshot format version %d (reader supports %d)" v
+      version;
+  let tag = String.get_int32_le s 12 in
+  if not (Int32.equal tag endian_tag) then
+    corrupt "endianness tag 0x%08lx does not match 0x%08lx (foreign byte \
+             order or corrupted header)" tag endian_tag;
+  let stored_crc = String.get_int32_le s (len - 4) in
+  let actual_crc = Crc32.update 0l s ~pos:0 ~len:(len - 4) in
+  if not (Int32.equal stored_crc actual_crc) then
+    corrupt "whole-file checksum mismatch (stored 0x%08lx, computed 0x%08lx; \
+             file truncated or corrupted)" stored_crc actual_crc;
+  let nsections = u32 s 16 "section count" in
+  let pos = ref 20 in
+  let sections = ref [] in
+  for _ = 1 to nsections do
+    let name_len = u32 s !pos "section name length" in
+    pos := !pos + 4;
+    if !pos + name_len > len - 4 then corrupt "snapshot truncated in section name";
+    let name = String.sub s !pos name_len in
+    pos := !pos + name_len;
+    let payload_len = u64 s !pos (Printf.sprintf "section %S length" name) in
+    pos := !pos + 8;
+    if !pos + payload_len > len - 4 then
+      corrupt "snapshot truncated in section %S payload" name;
+    let payload = String.sub s !pos payload_len in
+    pos := !pos + payload_len;
+    let crc = String.get_int32_le s !pos in
+    pos := !pos + 4;
+    let actual = Crc32.of_string payload in
+    if not (Int32.equal crc actual) then
+      corrupt "section %S checksum mismatch (stored 0x%08lx, computed 0x%08lx)"
+        name crc actual;
+    sections := (name, payload) :: !sections
+  done;
+  if !pos <> len - 4 then
+    corrupt "snapshot has %d trailing bytes after the last section"
+      (len - 4 - !pos);
+  let sections = List.rev !sections in
+  let steps, sim_time =
+    match List.assoc_opt meta_section sections with
+    | Some p -> parse_meta p
+    | None -> corrupt "snapshot lacks the %S section" meta_section
+  in
+  let descriptor =
+    match List.assoc_opt descriptor_section sections with
+    | Some p -> parse_descriptor p
+    | None -> corrupt "snapshot lacks the %S section" descriptor_section
+  in
+  let fields =
+    List.filter_map
+      (fun (name, payload) ->
+        if String.starts_with ~prefix:field_prefix name then begin
+          let fname =
+            String.sub name (String.length field_prefix)
+              (String.length name - String.length field_prefix)
+          in
+          Some (fname, parse_field fname payload)
+        end
+        else None)
+      sections
+  in
+  { descriptor; steps; sim_time; fields }
+
+(* ------------------------------------------------------------------ *)
+(* File I/O                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write ~path t =
+  let s = encode t in
+  Atomic_write.write_string path s;
+  String.length s
+
+let read ~path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  decode s

@@ -1,0 +1,102 @@
+(** The versioned binary snapshot format.
+
+    A snapshot is the durable unit of the checkpoint/restart
+    subsystem: a string-keyed descriptor (what produced this state —
+    backend, scheme, grid geometry), a step count and simulation
+    time, and named tensor payloads (the conserved fields).  The
+    module is deliberately Euler-agnostic — it persists descriptors
+    and tensors, nothing more — so the solver layers can depend on it
+    without a cycle; the engine's [Snap] module supplies the
+    Euler-aware descriptor vocabulary and validation.
+
+    {2 File layout (version 1, all integers little-endian)}
+
+    {v
+    offset 0   magic   "SWCKPT1\n"                      8 bytes
+           8   u32     format version        (= 1)
+          12   u32     endianness tag        (= 0x01020304)
+          16   u32     section count
+          20   sections, each:
+                 u32 name length | name bytes
+                 u64 payload length | payload bytes
+                 u32 CRC-32 of the payload
+      len-4    u32     CRC-32 of bytes [0, len-4)
+    v}
+
+    Sections: ["meta"] (u64 step count, f64 simulation time),
+    ["descriptor"] (text lines ["key value\n"]) and one
+    ["field:<name>"] per payload (u32 rank, u32 extents, f64 data).
+    Floats are stored as raw IEEE-754 bits (payloads) or hexadecimal
+    literals (descriptor values), so a write/read round trip is
+    bitwise exact.
+
+    Readers verify magic, version, endianness, the whole-file CRC,
+    every section CRC and all framing bounds before returning;
+    corruption of any kind raises {!Corrupt} with a diagnostic —
+    never a silently wrong snapshot. *)
+
+exception Corrupt of string
+(** The bytes are not a valid snapshot (bad magic, unsupported
+    version, foreign endianness, truncation, checksum mismatch,
+    malformed section).  The message says which check failed. *)
+
+exception Mismatch of string
+(** The snapshot is well-formed but describes a different run than
+    the one it is being restored into (raised by descriptor
+    validators such as the engine's [Snap.check]). *)
+
+type t = {
+  descriptor : (string * string) list;
+      (** Ordered key/value pairs.  Keys must be non-empty and free
+          of spaces and newlines, values free of newlines (enforced
+          by {!encode}). *)
+  steps : int;  (** Step count at capture (>= 0). *)
+  sim_time : float;  (** Simulation time at capture. *)
+  fields : (string * Tensor.Nd.t) list;
+      (** Named payloads; names must be unique and newline-free. *)
+}
+
+(** {1 Descriptor helpers} *)
+
+val d_float : float -> string
+(** Hexadecimal float literal ([%h]); parses back bitwise equal. *)
+
+val d_int : int -> string
+
+val get : t -> string -> string option
+val get_exn : t -> string -> string  (** @raise Corrupt if absent. *)
+
+val get_int : t -> string -> int
+(** @raise Corrupt if absent or unparsable. *)
+
+val get_float : t -> string -> float
+(** Accepts hexadecimal and decimal literals.
+    @raise Corrupt if absent or unparsable. *)
+
+val field : t -> string -> Tensor.Nd.t
+(** @raise Corrupt if the named payload is absent. *)
+
+(** {1 Encoding} *)
+
+val encode : t -> string
+(** Serialise to the version-1 byte layout.
+    @raise Invalid_argument on malformed descriptor keys/values,
+    duplicate or malformed field names, or a negative step count. *)
+
+val decode : string -> t
+(** @raise Corrupt as described above. *)
+
+val payload_bytes : t -> int
+(** Raw field data bytes (8 per element) — the incompressible part of
+    the file; [payload_bytes t / String.length (encode t)] is the
+    payload fraction {!Metrics}-style reporting quotes. *)
+
+(** {1 File I/O} *)
+
+val write : path:string -> t -> int
+(** Atomic write ({!Atomic_write}); returns the encoded size in
+    bytes.  A crash mid-write leaves any previous file at [path]
+    intact. *)
+
+val read : path:string -> t
+(** @raise Corrupt on invalid content; [Sys_error] if unreadable. *)

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate the blessed end-state snapshots under test/golden/.
+#
+# Blessing is deliberate: run this only when a change is SUPPOSED to
+# move the numerics (and commit the .swck diffs together with that
+# change, so the review sees the blessed states moved).  The test
+# suite and `golden check` compare against the committed files and
+# fail on any drift.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bin/golden.exe
+_build/default/bin/golden.exe bless --root test/golden
+_build/default/bin/golden.exe check --root test/golden
+echo "bless_golden: store regenerated and verified"

@@ -5,13 +5,22 @@
 # smokes: hotpath (every registry backend on a tiny grid) and a 2-lane
 # scaling sweep (sequential/spmd/fork-join, fused and unfused), with
 # the emitted BENCH_hotpath.json and BENCH_scaling.json validated for
-# shape.
+# shape.  The checkpoint/restart subsystem gets its own smoke
+# (save -> kill -> resume, bitwise acceptance) plus a golden-store
+# check and the checkpoint-overhead bench artefact.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune exec bench/main.exe -- fig1 --quick
+
+# Checkpoint/restart: deterministic resume, torn-write fallback and
+# kill -9 survival, all through the CLI.
+sh scripts/ckpt_smoke.sh
+
+# The committed golden store must match what the backends compute now.
+dune exec bin/golden.exe -- check --root test/golden
 
 smoke_dir="bench_out/smoke"
 dune exec bench/main.exe -- hotpath --quick --out "$smoke_dir"
@@ -64,5 +73,30 @@ assert all(r["ms_per_step"] > 0 for r in rows)
 EOF
 fi
 echo "check.sh: $scaling_json validated"
+
+# Checkpoint-overhead artefact: ms/snapshot vs ms/step must be
+# measured and the payload must dominate the bytes written.
+dune exec bench/main.exe -- checkpoint --quick --out "$smoke_dir"
+ckpt_json="$smoke_dir/BENCH_checkpoint.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "checkpoint-v1"
+    and (.rows | length > 0)
+    and ([.rows[].ms_per_snapshot] | min > 0)
+    and ([.rows[].payload_fraction] | min > 0.5)' "$ckpt_json" \
+    >/dev/null || {
+      echo "check.sh: $ckpt_json failed validation" >&2; exit 1; }
+else
+  python3 - "$ckpt_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "checkpoint-v1", "bad schema"
+rows = d["rows"]
+assert rows, "no rows"
+assert all(r["ms_per_snapshot"] > 0 for r in rows)
+assert all(r["payload_fraction"] > 0.5 for r in rows)
+EOF
+fi
+echo "check.sh: $ckpt_json validated"
 
 echo "check.sh: all green"

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Checkpoint/restart smoke: exercises the save -> kill -> resume path
+# end to end through the eulersim CLI, with bitwise acceptance.
+#
+#   1. Deterministic resume: run 20 steps saving every 5, then resume
+#      a second run from the step-10 checkpoint and require the two
+#      step-20 checkpoints to be byte-identical (same CRCs included).
+#   2. Torn-write fallback: truncate the newest checkpoint and require
+#      --resume latest to fall back to the previous retained one and
+#      still reproduce the byte-identical end state.
+#   3. Kill -9 mid-run: start a long run in the background, SIGKILL it
+#      once checkpoints exist, and require a resume to complete.
+#
+# Invokes the built binary directly (not through `dune exec`) so the
+# kill hits the simulator process itself, and so no build lock is held
+# while the background run sleeps.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bin/eulersim.exe
+sim=_build/default/bin/eulersim.exe
+work="bench_out/ckpt-smoke"
+rm -rf "$work"
+mkdir -p "$work/a" "$work/b" "$work/c"
+
+run_args="sod --nx 64 --steps 20 --checkpoint-every 5"
+
+# --- 1. deterministic resume ------------------------------------------------
+"$sim" $run_args --checkpoint-dir "$work/a" >/dev/null
+cp "$work/a/ckpt-000000010.swck" "$work/b/"
+"$sim" $run_args --checkpoint-dir "$work/b" --resume latest >/dev/null
+cmp "$work/a/ckpt-000000020.swck" "$work/b/ckpt-000000020.swck" || {
+  echo "ckpt_smoke: resumed end state differs from uninterrupted run" >&2
+  exit 1
+}
+echo "ckpt_smoke: resume is bitwise-identical"
+
+# --- 2. torn-write fallback -------------------------------------------------
+cp "$work/a"/ckpt-*.swck "$work/c/"
+head -c 100 "$work/c/ckpt-000000020.swck" > "$work/c/torn" \
+  && mv "$work/c/torn" "$work/c/ckpt-000000020.swck"
+out=$("$sim" $run_args --checkpoint-dir "$work/c" --resume latest)
+echo "$out" | grep -q "resumed: $work/c/ckpt-000000015.swck" || {
+  echo "ckpt_smoke: expected fallback to the step-15 checkpoint; got:" >&2
+  echo "$out" >&2
+  exit 1
+}
+cmp "$work/a/ckpt-000000020.swck" "$work/c/ckpt-000000020.swck" || {
+  echo "ckpt_smoke: post-fallback end state differs" >&2
+  exit 1
+}
+echo "ckpt_smoke: torn checkpoint skipped, fallback resume identical"
+
+# --- 3. kill -9 mid-run -----------------------------------------------------
+mkdir -p "$work/k"
+"$sim" sod --nx 256 --steps 1000000 --checkpoint-every 25 \
+  --checkpoint-dir "$work/k" >/dev/null 2>&1 &
+pid=$!
+tries=0
+until [ "$(ls "$work/k" 2>/dev/null | grep -c '\.swck$')" -ge 2 ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 300 ]; then
+    kill -9 "$pid" 2>/dev/null || true
+    echo "ckpt_smoke: no checkpoints appeared within 30s" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null || true
+resumed_at=$("$sim" sod --nx 256 --steps 1 --checkpoint-dir "$work/k" \
+  --resume latest | grep '^resumed:') || {
+  echo "ckpt_smoke: resume after kill -9 failed" >&2
+  exit 1
+}
+echo "ckpt_smoke: survived kill -9 ($resumed_at)"
+
+echo "ckpt_smoke: all green"

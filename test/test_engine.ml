@@ -5,6 +5,7 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_float = Alcotest.(check (float 1e-12))
+let check_string = Alcotest.(check string)
 
 let sod () = Euler.Setup.sod ~nx:64 ()
 
@@ -222,6 +223,284 @@ let test_fork_join_reduce_short_range () =
   check_float "empty range" neg_infinity
     (Parallel.Exec.parallel_reduce_max exec ~lo:0 ~hi:0 (fun _ -> 1.))
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restart                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "engine-ckpt-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Persist.Checkpoint.mkdir_p dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun e -> Sys.remove (Filename.concat dir e))
+           (Sys.readdir dir);
+         Sys.rmdir dir
+       with Sys_error _ -> ()))
+    (fun () -> f dir)
+
+(* Bitwise state equality: zero max |difference| in every conserved
+   variable, not a tolerance. *)
+let check_states_identical label a b =
+  List.iter
+    (fun (d : Engine.Validate.divergence) ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%s: %s identical" label d.Engine.Validate.var)
+        0. d.Engine.Validate.max_abs)
+    (Engine.Validate.divergences a b)
+
+let check_dts_identical label a b =
+  check_int (label ^ ": same step count") (List.length a) (List.length b);
+  List.iteri
+    (fun i (x, y) ->
+      check_bool
+        (Printf.sprintf "%s: dt[%d] bitwise" label i)
+        true
+        (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)))
+    (List.combine a b)
+
+let march inst n =
+  List.init n (fun _ -> Engine.Backend.step inst)
+
+(* The acceptance criterion of the subsystem: checkpoint at step [n1],
+   resume (through a full encode/decode of the binary format), march
+   to [n1 + n2] — every dt and every conserved value must equal the
+   uninterrupted run's, bitwise. *)
+let check_resume_bitwise ?(label = "") ~mk_exec ?fused ~config ~problem n1 n2
+    backend =
+  let label = if label = "" then backend else label ^ "/" ^ backend in
+  let execs = ref [] in
+  let exec () =
+    let e = mk_exec () in
+    execs := e :: !execs;
+    e
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Parallel.Exec.shutdown !execs)
+    (fun () ->
+      let uninterrupted =
+        Engine.Registry.create ~exec:(exec ()) ~config backend (problem ())
+      in
+      let dts_a = march uninterrupted (n1 + n2) in
+      let first =
+        Engine.Registry.create ~exec:(exec ()) ~config backend (problem ())
+      in
+      let dts_b1 = march first n1 in
+      let snap =
+        Persist.Snapshot.decode
+          (Persist.Snapshot.encode (Engine.Backend.snapshot first))
+      in
+      check_int (label ^ ": snapshot steps") n1 snap.Persist.Snapshot.steps;
+      let resumed = Engine.Registry.resume ~exec:(exec ()) ?fused snap (problem ()) in
+      check_int (label ^ ": resumed steps") n1 (Engine.Backend.steps resumed);
+      check_states_identical (label ^ " at n1") (Engine.Backend.state first)
+        (Engine.Backend.state resumed);
+      let dts_b2 = march resumed n2 in
+      check_dts_identical label dts_a (dts_b1 @ dts_b2);
+      check_states_identical label
+        (Engine.Backend.state uninterrupted)
+        (Engine.Backend.state resumed);
+      (* The continuations' snapshots are byte-identical too. *)
+      check_string (label ^ ": snapshots byte-identical")
+        (Persist.Snapshot.encode (Engine.Backend.snapshot uninterrupted))
+        (Persist.Snapshot.encode (Engine.Backend.snapshot resumed)))
+
+let seq () = Parallel.Exec.sequential ()
+
+let test_resume_bitwise_all_backends () =
+  List.iter
+    (check_resume_bitwise ~mk_exec:seq
+       ~config:Euler.Solver.benchmark_config
+       ~problem:(fun () -> Euler.Setup.sod ~nx:32 ())
+       6 6)
+    (Engine.Registry.names ());
+  (* 2D coverage for the backends that support it. *)
+  List.iter
+    (check_resume_bitwise ~label:"2d" ~mk_exec:seq
+       ~config:Euler.Solver.benchmark_config
+       ~problem:(fun () -> Euler.Setup.quadrant ~nx:8 ())
+       4 4)
+    [ "reference"; "array"; "fortran"; "fortran-outer" ]
+
+let test_resume_bitwise_schedulers () =
+  List.iter
+    (fun (label, mk_exec) ->
+      List.iter
+        (fun fused ->
+          check_resume_bitwise
+            ~label:(Printf.sprintf "%s/%s" label
+                      (if fused then "fused" else "unfused"))
+            ~mk_exec ~fused
+            ~config:
+              { Euler.Solver.benchmark_config with Euler.Solver.fused }
+            ~problem:(fun () -> Euler.Setup.sod ~nx:32 ())
+            5 5 "reference")
+        [ true; false ])
+    [ ("seq", seq);
+      ("spmd", fun () -> Parallel.Exec.spmd ~lanes:2);
+      ("forkjoin", fun () -> Parallel.Exec.fork_join ~lanes:2) ]
+
+let test_resume_bitwise_scheme_matrix () =
+  List.iter
+    (fun (label, config) ->
+      check_resume_bitwise ~label ~mk_exec:seq ~config
+        ~problem:(fun () -> Euler.Setup.sod ~nx:32 ())
+        5 5 "reference")
+    [ ("weno3-hllc-rk3", Euler.Solver.default_config);
+      ( "weno5-roe-rk2",
+        { Euler.Solver.default_config with
+          Euler.Solver.recon = Euler.Recon.Weno5;
+          riemann = Euler.Riemann.Roe;
+          rk = Euler.Rk.Tvd_rk2 } );
+      ( "tvd2-hll-euler1",
+        { Euler.Solver.default_config with
+          Euler.Solver.recon = Euler.Recon.Tvd2 Euler.Limiter.Minmod;
+          riemann = Euler.Riemann.Hll;
+          rk = Euler.Rk.Euler1 } ) ]
+
+let test_resume_rejects_mismatch () =
+  let snap =
+    let inst =
+      Engine.Registry.create ~config:Euler.Solver.benchmark_config
+        "reference" (Euler.Setup.sod ~nx:32 ())
+    in
+    ignore (march inst 3);
+    Engine.Backend.snapshot inst
+  in
+  let expect_mismatch name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: resumed instead of raising Mismatch" name
+    | exception Persist.Snapshot.Mismatch msg ->
+      check_bool (name ^ " diagnostic") true (String.length msg > 0)
+  in
+  expect_mismatch "wrong grid" (fun () ->
+      Engine.Registry.resume snap (Euler.Setup.sod ~nx:16 ()));
+  expect_mismatch "wrong gamma" (fun () ->
+      Engine.Registry.resume snap (Euler.Setup.sod ~gamma:1.67 ~nx:32 ()));
+  expect_mismatch "wrong scheme" (fun () ->
+      Engine.Backend.restore
+        (Engine.Registry.find_exn "reference")
+        (Engine.Backend.spec ~config:Euler.Solver.default_config
+           (Euler.Setup.sod ~nx:32 ()))
+        snap);
+  expect_mismatch "wrong backend" (fun () ->
+      Engine.Backend.restore
+        (Engine.Registry.find_exn "array")
+        (Engine.Backend.spec ~config:Euler.Solver.benchmark_config
+           (Euler.Setup.sod ~nx:32 ()))
+        snap)
+
+let test_autosave_cadence_and_retention () =
+  with_tmpdir (fun dir ->
+      let inst =
+        Engine.Registry.create ~config:Euler.Solver.benchmark_config
+          "reference" (sod ())
+      in
+      let m =
+        Engine.Run.run_steps
+          ~autosave:(Engine.Run.autosave ~every_steps:2 ~retain:3 dir)
+          inst 10
+      in
+      check_int "five snapshots written" 5 m.Engine.Metrics.checkpoints;
+      Alcotest.(check (list int)) "newest three retained" [ 6; 8; 10 ]
+        (List.map fst (Persist.Checkpoint.list dir));
+      check_bool "bytes accounted" true
+        (m.Engine.Metrics.checkpoint_bytes > 0);
+      check_bool "payload fraction sane" true
+        (let f = Engine.Metrics.checkpoint_payload_fraction m in
+         f > 0.5 && f < 1.);
+      check_bool "checkpoint wall accounted" true
+        (Engine.Metrics.ms_per_checkpoint m >= 0.);
+      (* The newest checkpoint IS the live state. *)
+      match Engine.Registry.resume_latest ~dir (sod ()) with
+      | None -> Alcotest.fail "expected a resumable checkpoint"
+      | Some (_, resumed) ->
+        check_int "resumed at 10" 10 (Engine.Backend.steps resumed);
+        check_states_identical "autosave tail"
+          (Engine.Backend.state inst)
+          (Engine.Backend.state resumed))
+
+(* Crash simulation: the newest checkpoint is torn mid-write; resume
+   must fall back to the previous retained one and still reach the
+   uninterrupted end state bitwise. *)
+let test_crash_falls_back_to_retained () =
+  with_tmpdir (fun dir ->
+      let uninterrupted =
+        Engine.Registry.create ~config:Euler.Solver.benchmark_config
+          "reference" (sod ())
+      in
+      ignore (march uninterrupted 10);
+      let crashed =
+        Engine.Registry.create ~config:Euler.Solver.benchmark_config
+          "reference" (sod ())
+      in
+      ignore
+        (Engine.Run.run_steps
+           ~autosave:(Engine.Run.autosave ~every_steps:2 ~retain:3 dir)
+           crashed 10);
+      let newest = Filename.concat dir (Persist.Checkpoint.file_name ~steps:10) in
+      let bytes = In_channel.with_open_bin newest In_channel.input_all in
+      Out_channel.with_open_bin newest (fun oc ->
+          Out_channel.output_string oc
+            (String.sub bytes 0 (String.length bytes - 7)));
+      match Engine.Registry.resume_latest ~dir (sod ()) with
+      | None -> Alcotest.fail "expected fallback to an intact checkpoint"
+      | Some (path, resumed) ->
+        check_string "fell back to step 8"
+          (Filename.concat dir (Persist.Checkpoint.file_name ~steps:8))
+          path;
+        check_int "resumed at 8" 8 (Engine.Backend.steps resumed);
+        ignore (march resumed 2);
+        check_states_identical "crash recovery"
+          (Engine.Backend.state uninterrupted)
+          (Engine.Backend.state resumed))
+
+(* dune runtest runs from _build/default/test, where the committed
+   store is staged by the (deps (glob_files golden/*.swck)) stanza;
+   `dune exec test/test_engine.exe` runs from the repo root. *)
+let golden_root =
+  if Sys.file_exists "golden" then "golden" else "test/golden"
+
+let test_golden_suite_matrix_shape () =
+  let entries = Engine.Golden_suite.all in
+  check_bool "matrix covers every backend" true
+    (List.for_all
+       (fun b ->
+         List.exists (fun (e : Engine.Golden_suite.entry) -> e.backend = b)
+           entries)
+       (Engine.Registry.names ()));
+  (* Keys are unique and filesystem-safe. *)
+  let keys = List.map Engine.Golden_suite.key entries in
+  check_int "keys unique" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun k ->
+      check_bool (k ^ " is a safe basename") true
+        (not (String.contains k '/') && not (String.contains k ':')))
+    keys
+
+let test_golden_suite_against_committed () =
+  List.iter
+    (fun ((e : Engine.Golden_suite.entry), r) ->
+      let name =
+        Printf.sprintf "%s %s" e.Engine.Golden_suite.backend
+          e.Engine.Golden_suite.label
+      in
+      match r with
+      | Engine.Golden_suite.Pass _ -> ()
+      | Engine.Golden_suite.Missing ->
+        Alcotest.failf "%s: golden missing (run scripts/bless_golden.sh)"
+          name
+      | Engine.Golden_suite.Fail rep ->
+        Alcotest.failf "%s: diverged from blessed state\n%s" name
+          (Engine.Validate.to_string rep))
+    (Engine.Golden_suite.check_all ~root:golden_root ())
+
 let () =
   Alcotest.run "engine"
     [ ( "registry",
@@ -251,4 +530,23 @@ let () =
             test_fork_join_reduce_short_range ] );
       ( "cost_model",
         [ Alcotest.test_case "tracks measured regions" `Quick
-            test_cost_model_tracks_measured_regions ] ) ]
+            test_cost_model_tracks_measured_regions ] );
+      ( "resume",
+        [ Alcotest.test_case "bitwise across backends" `Quick
+            test_resume_bitwise_all_backends;
+          Alcotest.test_case "bitwise across schedulers" `Slow
+            test_resume_bitwise_schedulers;
+          Alcotest.test_case "bitwise across schemes" `Quick
+            test_resume_bitwise_scheme_matrix;
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_resume_rejects_mismatch ] );
+      ( "autosave",
+        [ Alcotest.test_case "cadence and retention" `Quick
+            test_autosave_cadence_and_retention;
+          Alcotest.test_case "crash falls back" `Quick
+            test_crash_falls_back_to_retained ] );
+      ( "golden",
+        [ Alcotest.test_case "matrix shape" `Quick
+            test_golden_suite_matrix_shape;
+          Alcotest.test_case "against committed store" `Slow
+            test_golden_suite_against_committed ] ) ]
