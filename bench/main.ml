@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- everything, scaled sizes
      dune exec bench/main.exe -- fig1    -- one experiment
      experiments: fig1 fig3 fig4 fig4-large table-flags micro hotpath
-                  scaling checkpoint
+                  scaling checkpoint tiling
      options: --quick (smaller grids), --out DIR (artefact directory),
               --lanes N|auto (lane sweep ceiling for scaling)
 
@@ -901,6 +901,145 @@ let checkpoint () =
   Printf.printf "wrote %s\n" (path "BENCH_checkpoint.json")
 
 (* ------------------------------------------------------------------ *)
+(* Tiled decomposition (BENCH_tiling.json)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* What ghost-cell stitching costs: the reference solver run
+   monolithically and as an R x C tile array, per scheduler.  Results
+   are bitwise identical by construction (the tests enforce it), so
+   the only honest numbers are throughput and the share of region wall
+   time spent in the halo-exchange phase.  Growths stability doubles
+   as the zero-steady-state-allocation check: after the warm-up step
+   the lane arenas must never grow again, tiled or not. *)
+
+type tiling_row = {
+  l_exec : string;
+  l_lanes : int;
+  l_tiles : int * int;
+  l_ms_per_step : float;
+  l_cells_per_s : float;
+  l_halo_share : float; (* halo bucket / all buckets, wall time *)
+  l_regions_per_step : float;
+  l_growths_stable : bool;
+}
+
+let tiling_measure ~kind ~lanes ~tiles ~cells_per_h ~steps =
+  let exec =
+    match kind with
+    | `Seq -> Parallel.Exec.sequential ()
+    | `Spmd -> Parallel.Exec.spmd ~lanes
+    | `Fork_join -> Parallel.Exec.fork_join ~lanes
+  in
+  let config =
+    { Euler.Solver.benchmark_config with Euler.Solver.tiles }
+  in
+  let prob = Euler.Setup.two_channel ~cells_per_h () in
+  let inst = Engine.Registry.create ~exec ~config "reference" prob in
+  ignore (Engine.Backend.step inst);
+  let grown = Parallel.Workspace.growths (Parallel.Exec.workspace exec) in
+  Parallel.Exec.reset_regions exec;
+  Parallel.Exec.reset_buckets exec;
+  let t0 = Parallel.Clock.now_s () in
+  for _ = 1 to steps do ignore (Engine.Backend.step inst) done;
+  let wall = Parallel.Clock.now_s () -. t0 in
+  let regions = Parallel.Exec.regions exec in
+  let buckets = Parallel.Exec.buckets exec in
+  let total_ns =
+    List.fold_left
+      (fun acc (_, b) -> acc +. b.Parallel.Exec.total_ns)
+      0. buckets
+  in
+  let halo_ns =
+    match List.assoc_opt Parallel.Exec.Halo buckets with
+    | Some b -> b.Parallel.Exec.total_ns
+    | None -> 0.
+  in
+  let growths_stable =
+    Parallel.Workspace.growths (Parallel.Exec.workspace exec) = grown
+  in
+  let g = (Engine.Backend.state inst).Euler.State.grid in
+  let cells = g.Euler.Grid.nx * g.Euler.Grid.ny in
+  Parallel.Exec.shutdown exec;
+  let fsteps = float_of_int steps in
+  { l_exec =
+      (match kind with
+       | `Seq -> "sequential"
+       | `Spmd -> "spmd"
+       | `Fork_join -> "fork-join");
+    l_lanes = lanes;
+    l_tiles = tiles;
+    l_ms_per_step = wall /. fsteps *. 1e3;
+    l_cells_per_s =
+      (if wall <= 0. then 0. else float_of_int cells *. fsteps /. wall);
+    l_halo_share = (if total_ns <= 0. then 0. else halo_ns /. total_ns);
+    l_regions_per_step = float_of_int regions /. fsteps;
+    l_growths_stable = growths_stable }
+
+let tiling () =
+  header "Tiling -- R x C decomposition x scheduler (halo exchange cost)";
+  ensure_out ();
+  let cells_per_h = if !quick then 8 else 48 in
+  let steps = if !quick then 3 else 10 in
+  let lanes_max = max 1 (max_lanes ()) in
+  let n = 2 * cells_per_h in
+  let tile_configs = [ (1, 1); (2, 2); (3, 2) ] in
+  Printf.printf
+    "%dx%d two-channel grid, %s scheme, %d measured steps, halo depth = ng\n"
+    n n "pc+rusanov (RK3)" steps;
+  let rows =
+    List.concat_map
+      (fun (kind, lanes) ->
+        List.map
+          (fun tiles -> tiling_measure ~kind ~lanes ~tiles ~cells_per_h ~steps)
+          tile_configs)
+      [ (`Seq, 1); (`Spmd, lanes_max); (`Fork_join, lanes_max) ]
+  in
+  Printf.printf "%-12s %6s %7s %12s %12s %10s %14s %8s\n" "exec" "lanes"
+    "tiles" "ms/step" "cells/s" "halo" "regions/step" "steady";
+  List.iter
+    (fun r ->
+      let tr, tc = r.l_tiles in
+      Printf.printf "%-12s %6d %4dx%-2d %12.3f %12.3g %9.1f%% %14.2f %8b\n"
+        r.l_exec r.l_lanes tr tc r.l_ms_per_step r.l_cells_per_s
+        (100. *. r.l_halo_share) r.l_regions_per_step r.l_growths_stable)
+    rows;
+  (* The stitched fused stage stays one dispatch: tiling must not pay
+     extra barriers, only the (cheap, bucketed) halo phase inside the
+     region it already had. *)
+  (match
+     List.find_opt (fun r -> r.l_exec = "spmd" && r.l_tiles = (2, 2)) rows
+   with
+   | Some r ->
+     Printf.printf
+       "\ntiled spmd(%d) 2x2: %.2f regions/step (fused ceiling 4), halo \
+        share %.1f%% of region time\n"
+       lanes_max r.l_regions_per_step
+       (100. *. r.l_halo_share)
+   | None -> ());
+  let oc = open_out (path "BENCH_tiling.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"tiling-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc
+    "  \"problem\": \"two_channel\",\n  \"grid\": [%d, %d],\n  \"steps\": \
+     %d,\n  \"max_lanes\": %d,\n  \"rows\": [\n"
+    n n steps lanes_max;
+  List.iteri
+    (fun i r ->
+      let tr, tc = r.l_tiles in
+      Printf.fprintf oc
+        "    { \"exec\": \"%s\", \"lanes\": %d, \"tiles\": [%d, %d], \
+         \"ms_per_step\": %.6f, \"cells_per_second\": %.6e, \
+         \"halo_share\": %.6f, \"regions_per_step\": %.4f, \
+         \"growths_stable\": %b }%s\n"
+        r.l_exec r.l_lanes tr tc r.l_ms_per_step r.l_cells_per_s
+        r.l_halo_share r.l_regions_per_step r.l_growths_stable
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_tiling.json")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -911,7 +1050,8 @@ let experiments =
     ("micro", micro);
     ("hotpath", hotpath);
     ("scaling", scaling);
-    ("checkpoint", checkpoint) ]
+    ("checkpoint", checkpoint);
+    ("tiling", tiling) ]
 
 let () =
   let chosen = ref [] in

@@ -88,6 +88,19 @@ let lanes_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+(* "RxC" (e.g. 2x2, 3x2) tile decompositions; 1x1 is monolithic. *)
+let tiles_conv =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ r; c ] -> (
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some r, Some c when r >= 1 && c >= 1 -> Ok (r, c)
+      | _ -> Error (`Msg "expected ROWSxCOLS with positive counts, e.g. 2x2"))
+    | _ -> Error (`Msg "expected ROWSxCOLS, e.g. 2x2")
+  in
+  let print ppf (r, c) = Format.fprintf ppf "%dx%d" r c in
+  Arg.conv (parse, print)
+
 (* The whole-array and mini-SaC backends implement only the §5
    benchmark scheme; rather than erroring out, downgrade the scheme
    and say so. *)
@@ -101,10 +114,10 @@ let effective_config backend (config : Euler.Solver.config) =
       "note: backend %s supports only the benchmark scheme; using \
        piecewise-constant + rusanov + rk3\n"
       backend;
-    { b with cfl = config.cfl; fused = config.fused }
+    { b with cfl = config.cfl; fused = config.fused; tiles = config.tiles }
   | _ -> config
 
-let run problem nx ms recon riemann rk cfl unfused steps t_end backend
+let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
     scheduler lanes csv pgm ckpt_dir ckpt_every ckpt_every_s ckpt_retain
     resume =
   let prob =
@@ -138,7 +151,7 @@ let run problem nx ms recon riemann rk cfl unfused steps t_end backend
     | None ->
       let config =
         effective_config backend
-          { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused }
+          { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused; tiles }
       in
       let inst =
         try Engine.Registry.create ~exec ~config backend prob
@@ -153,15 +166,15 @@ let run problem nx ms recon riemann rk cfl unfused steps t_end backend
           | None -> fail "--resume latest requires --checkpoint-dir"
           | Some dir -> (
             match
-              Engine.Registry.resume_latest ~exec ~fused:(not unfused) ~dir
-                prob
+              Engine.Registry.resume_latest ~exec ~fused:(not unfused) ~tiles
+                ~dir prob
             with
             | None -> fail ("no intact checkpoint found in " ^ dir)
             | Some (path, inst) -> (path, inst)))
         | path ->
           ( path,
-            Engine.Registry.resume_file ~exec ~fused:(not unfused) ~path
-              prob )
+            Engine.Registry.resume_file ~exec ~fused:(not unfused) ~tiles
+              ~path prob )
       in
       try
         let path, inst = resolve () in
@@ -169,7 +182,7 @@ let run problem nx ms recon riemann rk cfl unfused steps t_end backend
           (Engine.Backend.steps inst)
           (Engine.Backend.time inst);
         let snap = Engine.Backend.snapshot inst in
-        (inst, Engine.Snap.backend snap, Engine.Snap.config snap)
+        (inst, Engine.Snap.backend snap, Engine.Snap.config ~tiles snap)
       with
       | Persist.Snapshot.Corrupt msg -> fail ("corrupt checkpoint: " ^ msg)
       | Persist.Snapshot.Mismatch msg ->
@@ -183,6 +196,10 @@ let run problem nx ms recon riemann rk cfl unfused steps t_end backend
     (Euler.Rk.name config.rk)
     config.cfl backend
     (Parallel.Exec.describe exec);
+  (let r, c = config.tiles in
+   if (r, c) <> (1, 1) then
+     Printf.printf "tiles: %dx%d (halo depth %d)\n" r c
+       prob.Euler.Setup.state.Euler.State.grid.Euler.Grid.ng);
   let autosave =
     match ckpt_dir with
     | Some dir when ckpt_every > 0 || ckpt_every_s > 0. ->
@@ -273,6 +290,13 @@ let cmd =
                    fusing each RK stage into one multi-phase region \
                    (results are bitwise identical; only barrier overhead \
                    differs)")
+  and tiles =
+    Arg.(value & opt tiles_conv (1, 1)
+         & info [ "tiles" ] ~docv:"RxC"
+             ~doc:"tile decomposition, e.g. $(b,2x2) (reference backend \
+                   only; results are bitwise identical to 1x1 — inter-tile \
+                   ghost strips are stitched by a halo-exchange phase each \
+                   RK stage)")
   and steps =
     Arg.(value & opt (some int) None
          & info [ "steps" ] ~doc:"march a fixed number of steps")
@@ -329,7 +353,7 @@ let cmd =
     (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
     Term.(
       const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
-      $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm $ ckpt_dir
-      $ ckpt_every $ ckpt_every_s $ ckpt_retain $ resume)
+      $ tiles $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm
+      $ ckpt_dir $ ckpt_every $ ckpt_every_s $ ckpt_retain $ resume)
 
 let () = exit (Cmd.eval cmd)

@@ -7,6 +7,17 @@ let benchmark_scheme_only ~name (c : Euler.Solver.config) =
           (piecewise-constant + Rusanov + TVD-RK3)"
          name)
 
+(* Only the reference backend owns a [Euler.Solver], which is where
+   the tile layer lives; the comparison backends keep their flat
+   arrays. *)
+let no_tiling ~name (c : Euler.Solver.config) =
+  if c.Euler.Solver.tiles <> (1, 1) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine backend %S does not support tiled decomposition; use the \
+          reference backend (or tiles 1x1)"
+         name)
+
 module Reference : Backend.BACKEND = struct
   type t = Euler.Solver.t
 
@@ -21,7 +32,12 @@ module Reference : Backend.BACKEND = struct
   let step_dt = Euler.Solver.step_dt
   let time (s : t) = s.Euler.Solver.time
   let steps (s : t) = s.Euler.Solver.steps
-  let state (s : t) = s.Euler.Solver.state
+
+  (* Under tiling [current_state] gathers the per-tile states into the
+     monolithic mirror first (ghost ring included), so everything
+     downstream — snapshots, goldens, diagnostics — sees exactly what
+     a monolithic run would produce. *)
+  let state (s : t) = Euler.Solver.current_state s
   let exec (s : t) = s.Euler.Solver.exec
   let notes _ = []
   let cost_scheduler = Parallel.Cost_model.Spin_barrier
@@ -29,7 +45,7 @@ module Reference : Backend.BACKEND = struct
   let snapshot (s : t) =
     Snap.of_backend ~backend:name ~config:s.Euler.Solver.config
       ~steps:s.Euler.Solver.steps ~time:s.Euler.Solver.time
-      s.Euler.Solver.state
+      (Euler.Solver.current_state s)
 
   (* The restored solver's in-sweep eigenvalue cache starts stale, so
      the first [dt] after a resume runs the standalone GetDT
@@ -41,6 +57,11 @@ module Reference : Backend.BACKEND = struct
       spec.problem.Euler.Setup.state snap;
     let s = create spec in
     Snap.restore_state snap ~into:s.Euler.Solver.state;
+    (* Push the restored monolithic payload back into the per-tile
+       states (a no-op without tiling) — which is what makes
+       monolithic checkpoints resumable under tiling and vice versa:
+       the snapshot format never records the decomposition. *)
+    Euler.Solver.commit_state s;
     s.Euler.Solver.time <- snap.Persist.Snapshot.sim_time;
     s.Euler.Solver.steps <- snap.Persist.Snapshot.steps;
     s
@@ -53,6 +74,7 @@ module Array_style : Backend.BACKEND = struct
 
   let create (s : Backend.spec) =
     benchmark_scheme_only ~name s.config;
+    no_tiling ~name s.config;
     Euler.Array_style.create ~cfl:s.config.Euler.Solver.cfl ~exec:s.exec
       ~bcs:s.problem.Euler.Setup.bcs
       (Euler.State.copy s.problem.Euler.Setup.state)
@@ -101,6 +123,7 @@ end) : Backend.BACKEND = struct
   let name = A.name
 
   let create (s : Backend.spec) =
+    no_tiling ~name s.config;
     { f =
         Fortran_baseline.F_solver.of_problem ~autopar:A.autopar
           ~config:s.config s.problem;
@@ -123,7 +146,8 @@ end) : Backend.BACKEND = struct
           riemann = f.Fortran_baseline.F_solver.riemann;
           rk = f.Fortran_baseline.F_solver.rk;
           cfl = f.Fortran_baseline.F_solver.storage.Fortran_baseline.Storage.cfl;
-          fused = true }
+          fused = true;
+          tiles = (1, 1) }
       ~steps:f.Fortran_baseline.F_solver.steps
       ~time:f.Fortran_baseline.F_solver.time
       (Fortran_baseline.F_solver.state f)
@@ -170,6 +194,7 @@ module Sacprog : Backend.BACKEND = struct
 
   let create (s : Backend.spec) =
     benchmark_scheme_only ~name s.config;
+    no_tiling ~name s.config;
     let st = s.problem.Euler.Setup.state in
     let g = st.Euler.State.grid in
     if not (Euler.Grid.is_1d g) then

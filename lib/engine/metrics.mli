@@ -20,9 +20,11 @@ type t = {
       (** parallel regions executed through the backend's scheduler
           (equals {!Parallel.Exec.regions} of its exec) *)
   buckets : (Parallel.Exec.region * Parallel.Exec.bucket) list;
-      (** per-region-kind instrumentation buckets (rhs, bc, reduce,
-          rk-combine), from {!Parallel.Exec.buckets} — wall time plus
-          minor/promoted words per region kind *)
+      (** per-region-kind instrumentation buckets (rhs, bc, halo,
+          reduce, rk-combine), from {!Parallel.Exec.buckets} — wall
+          time plus minor/promoted words per region kind; [halo] is
+          the inter-tile ghost-strip exchange of tiled runs (empty on
+          monolithic ones) *)
   notes : (string * float) list;
       (** backend-specific extras, e.g. the with-loop counts of the
           array-style and mini-SaC implementations *)

@@ -19,15 +19,15 @@ let find_exn key =
 let create ?exec ?config key problem =
   Backend.make (find_exn key) (Backend.spec ?exec ?config problem)
 
-let resume ?exec ?fused snap problem =
+let resume ?exec ?fused ?tiles snap problem =
   let key = Snap.backend snap in
-  let config = Snap.config ?fused snap in
+  let config = Snap.config ?fused ?tiles snap in
   Backend.restore (find_exn key) (Backend.spec ?exec ~config problem) snap
 
-let resume_file ?exec ?fused ~path problem =
-  resume ?exec ?fused (Persist.Snapshot.read ~path) problem
+let resume_file ?exec ?fused ?tiles ~path problem =
+  resume ?exec ?fused ?tiles (Persist.Snapshot.read ~path) problem
 
-let resume_latest ?exec ?fused ~dir problem =
+let resume_latest ?exec ?fused ?tiles ~dir problem =
   match Persist.Checkpoint.latest_valid dir with
   | None -> None
-  | Some (path, snap) -> Some (path, resume ?exec ?fused snap problem)
+  | Some (path, snap) -> Some (path, resume ?exec ?fused ?tiles snap problem)

@@ -27,15 +27,18 @@ val create :
 val resume :
   ?exec:Parallel.Exec.t ->
   ?fused:bool ->
+  ?tiles:int * int ->
   Persist.Snapshot.t ->
   Euler.Setup.problem ->
   Backend.instance
 (** Rebuild a mid-run instance from a snapshot.  The backend name and
     the scheme configuration come from the snapshot's descriptor — the
     caller supplies only what snapshots don't persist: the problem
-    (boundary conditions, grid/gamma template), the scheduler, and
-    whether the reference solver should run fused ([fused] defaults to
-    [true]; resumes are bitwise-identical either way).
+    (boundary conditions, grid/gamma template), the scheduler, whether
+    the reference solver should run fused ([fused] defaults to [true])
+    and under which tile decomposition ([tiles] defaults to [(1, 1)]).
+    Resumes are bitwise-identical across all of those choices, so a
+    monolithic checkpoint resumes under tiling and vice versa.
     @raise Invalid_argument on an unknown backend name.
     @raise Persist.Snapshot.Mismatch when the snapshot disagrees with
     the problem (grid shape, gamma, scheme). *)
@@ -43,6 +46,7 @@ val resume :
 val resume_file :
   ?exec:Parallel.Exec.t ->
   ?fused:bool ->
+  ?tiles:int * int ->
   path:string ->
   Euler.Setup.problem ->
   Backend.instance
@@ -52,6 +56,7 @@ val resume_file :
 val resume_latest :
   ?exec:Parallel.Exec.t ->
   ?fused:bool ->
+  ?tiles:int * int ->
   dir:string ->
   Euler.Setup.problem ->
   (string * Backend.instance) option

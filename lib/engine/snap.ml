@@ -105,7 +105,7 @@ let restore_q snap ~into =
 
 let restore_state snap ~into = restore_q snap ~into:into.Euler.State.q
 
-let config ?(fused = true) snap =
+let config ?(fused = true) ?(tiles = (1, 1)) snap =
   let parse what of_string =
     let s = S.get_exn snap what in
     match of_string s with
@@ -119,7 +119,8 @@ let config ?(fused = true) snap =
     riemann = parse "riemann" Euler.Riemann.of_string;
     rk = parse "rk" Euler.Rk.of_string;
     cfl = S.get_float snap "cfl";
-    fused }
+    fused;
+    tiles }
 
 let backend snap = S.get_exn snap "backend"
 

@@ -46,10 +46,14 @@ val restore_q : Persist.Snapshot.t -> into:float array array -> unit
 val restore_state : Persist.Snapshot.t -> into:Euler.State.t -> unit
 (** {!restore_q} into a state's payloads. *)
 
-val config : ?fused:bool -> Persist.Snapshot.t -> Euler.Solver.config
+val config :
+  ?fused:bool -> ?tiles:int * int -> Persist.Snapshot.t ->
+  Euler.Solver.config
 (** Rebuild the scheme configuration a snapshot records ([fused]
-    defaults to [true]; it is an execution choice, not part of the
-    persisted state).
+    defaults to [true], [tiles] to [(1, 1)]; both are execution
+    choices, not part of the persisted state — tiled runs snapshot
+    through a gather to the monolithic format, so any snapshot may be
+    resumed under any decomposition).
     @raise Persist.Snapshot.Corrupt on unknown scheme names. *)
 
 val backend : Persist.Snapshot.t -> string

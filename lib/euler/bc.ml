@@ -122,6 +122,20 @@ let apply st sides =
   apply_side st South (kind_of sides South);
   apply_side st North (kind_of sides North)
 
+(* Tile-aware entry points: fill only the sides where this tile meets
+   the physical boundary, preserving the monolithic W, E then S, N
+   order.  [Tiled] runs [fill_west_east] over all tiles in one phase
+   and [fill_south_north] in the next — the same two-pass structure as
+   [phases], at tile granularity.  Interior sides are halos, owned by
+   the exchange phase, and must not be touched here. *)
+let fill_west_east st sides ~west ~east =
+  if west then apply_side st West (kind_of sides West);
+  if east then apply_side st East (kind_of sides East)
+
+let fill_south_north st sides ~south ~north =
+  if south then apply_side st South (kind_of sides South);
+  if north then apply_side st North (kind_of sides North)
+
 (* Dependency analysis for fusing the four sides into phases:
 
    - West and East write disjoint ghost columns and read interior

@@ -34,6 +34,17 @@ val apply : State.t -> (side * kind) list -> unit
     South/North over the full padded width, so corner ghosts end up
     consistent. *)
 
+val fill_west_east :
+  State.t -> (side * kind) list -> west:bool -> east:bool -> unit
+(** Tile-aware entry: fill West then East ghost layers, but only for
+    the sides flagged [true] (the sides where a tile touches the
+    physical boundary — halo sides belong to the exchange pass).
+    Together with {!fill_south_north} this replays {!apply}'s
+    W, E, S, N order across two tile phases. *)
+
+val fill_south_north :
+  State.t -> (side * kind) list -> south:bool -> north:bool -> unit
+
 val phases : State.t -> (side * kind) list -> Parallel.Exec.phase list
 (** The ghost fill as fusable phases for {!Parallel.Exec.parallel_phases}:
     {West ∥ East} in one phase, then {South ∥ North} (which read the

@@ -6,6 +6,8 @@ type t = {
   dy : float;
   x0 : float;
   y0 : float;
+  ix0 : int;
+  iy0 : int;
   row_stride : int;
   cells : int;
 }
@@ -23,8 +25,32 @@ let make ?(ng = 3) ?(x0 = 0.) ?(y0 = 0.) ~nx ~ny ~lx ~ly () =
     dy = (if ny = 1 then lx /. float_of_int nx else ly /. float_of_int ny);
     x0;
     y0;
+    ix0 = 0;
+    iy0 = 0;
     row_stride;
     cells = row_stride * (ny + (2 * ng)) }
+
+let sub g ~ix0 ~iy0 ~nx ~ny =
+  if nx < 1 || ny < 1 then invalid_arg "Grid.sub: need at least one cell";
+  if ix0 < 0 || iy0 < 0 || ix0 + nx > g.nx || iy0 + ny > g.ny then
+    invalid_arg "Grid.sub: sub-domain exceeds the parent interior";
+  (* dx/dy/x0/y0 are copied verbatim (never recomputed from the tile
+     extents) and the global index offsets accumulate, so [xc]/[yc] on
+     the sub-grid are bitwise-identical to the parent's at the same
+     global cell — segmented boundary conditions select segments by
+     coordinate and must not be perturbed by tiling. *)
+  let row_stride = nx + (2 * g.ng) in
+  { nx;
+    ny;
+    ng = g.ng;
+    dx = g.dx;
+    dy = g.dy;
+    x0 = g.x0;
+    y0 = g.y0;
+    ix0 = g.ix0 + ix0;
+    iy0 = g.iy0 + iy0;
+    row_stride;
+    cells = row_stride * (ny + (2 * g.ng)) }
 
 let make_1d ?ng ?x0 ~nx ~lx () = make ?ng ?x0 ~nx ~ny:1 ~lx ~ly:1. ()
 
@@ -32,8 +58,8 @@ let is_1d g = g.ny = 1
 
 let offset g ix iy = ((iy + g.ng) * g.row_stride) + ix + g.ng
 
-let xc g ix = g.x0 +. ((float_of_int ix +. 0.5) *. g.dx)
-let yc g iy = g.y0 +. ((float_of_int iy +. 0.5) *. g.dy)
+let xc g ix = g.x0 +. ((float_of_int (g.ix0 + ix) +. 0.5) *. g.dx)
+let yc g iy = g.y0 +. ((float_of_int (g.iy0 + iy) +. 0.5) *. g.dy)
 
 let interior_cells g = g.nx * g.ny
 

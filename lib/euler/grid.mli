@@ -16,6 +16,8 @@ type t = private {
   dy : float;        (** cell height (irrelevant when [ny = 1]) *)
   x0 : float;        (** x coordinate of the interior's lower edge *)
   y0 : float;        (** y coordinate of the interior's lower edge *)
+  ix0 : int;         (** global index of local column 0 (0 unless {!sub}) *)
+  iy0 : int;         (** global index of local row 0 (0 unless {!sub}) *)
   row_stride : int;  (** [nx + 2 ng] *)
   cells : int;       (** total padded cell count *)
 }
@@ -30,6 +32,15 @@ val make :
 
 val make_1d : ?ng:int -> ?x0:float -> nx:int -> lx:float -> unit -> t
 (** A grid with [ny = 1]. *)
+
+val sub : t -> ix0:int -> iy0:int -> nx:int -> ny:int -> t
+(** [sub g ~ix0 ~iy0 ~nx ~ny] is the tile covering parent interior
+    cells [\[ix0, ix0+nx) x \[iy0, iy0+ny)] with its own [ng]-deep
+    ghost ring.  [dx]/[dy] are copied bitwise from the parent (never
+    recomputed from the tile extents) and the global index offsets
+    [ix0]/[iy0] accumulate, so {!xc}/{!yc} on the tile agree
+    bit-for-bit with the parent's at the same global cell.
+    @raise Invalid_argument if the range leaves the parent interior. *)
 
 val is_1d : t -> bool
 

@@ -41,6 +41,8 @@ let ghost_needed = function
   | Tvd2 _ | Tvd3 _ | Weno3 -> 2
   | Weno5 -> 3
 
+let required_ghosts = ghost_needed
+
 let stencil_width = function
   | Piecewise_constant | Tvd2 _ | Tvd3 _ | Weno3 -> 4
   | Weno5 -> 6

@@ -35,6 +35,13 @@ val ghost_needed : kind -> int
 (** Stencil half-width: 1 for PC, 2 for the 4-point schemes, 3 for
     WENO5.  Grids must carry at least this many ghost layers. *)
 
+val required_ghosts : kind -> int
+(** The number of ghost layers a grid (and, under tiling, the
+    inter-tile halo — the two share [ng]) must provide for the scheme:
+    an alias of {!ghost_needed}, exposed under the name the solver
+    validates against at {!Solver.create} so error messages and call
+    sites read the same way. *)
+
 val stencil_width : kind -> int
 (** Window length consumed by {!left_right_window}: [2 * ghost_needed]
     (with a minimum of 4 so PC shares the common path). *)

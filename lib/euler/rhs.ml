@@ -287,6 +287,16 @@ let phases cfg exec (st : State.t) dqdt =
         body = y_body } ]
   end
 
+(* Tile-aware entry: the sweep closures without the phase wrapping,
+   so [Tiled] can splice one tile's rows/columns into phases that are
+   flattened over {e all} tiles.  Same closures as [phases] — the
+   bitwise-identity argument is unchanged. *)
+let bodies cfg exec st dqdt =
+  match phases cfg exec st dqdt with
+  | [ x ] -> (x.Parallel.Exec.body, None)
+  | [ x; y ] -> (x.Parallel.Exec.body, Some y.Parallel.Exec.body)
+  | _ -> assert false
+
 let compute cfg exec st dqdt =
   List.iter
     (fun (p : Parallel.Exec.phase) ->

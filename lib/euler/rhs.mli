@@ -40,6 +40,19 @@ val phases :
     bitwise-identical [dqdt].  The same preconditions as [compute]
     apply. *)
 
+val bodies :
+  config ->
+  Parallel.Exec.t ->
+  State.t ->
+  float array array ->
+  (lane:int -> int -> unit) * (lane:int -> int -> unit) option
+(** Tile-aware entry: the x-sweep body (index = interior row) and, for
+    2D grids, the y-sweep body (index = interior column) of {!phases},
+    without the phase wrapping — so a tiled driver can flatten many
+    tiles' rows into one phase.  The y-sweep accumulates into the
+    x-sweep's divergence and must only run after all x-sweep calls on
+    the same tile have completed. *)
+
 val line_fluxes :
   gamma:float ->
   config ->

@@ -87,35 +87,64 @@ let eig_row ~gamma (g : Grid.t) ~dst ~lane_max ~lane iy =
     if ev > lane_max.(cell) then lane_max.(cell) <- ev
   done
 
-let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
-  let g = st.State.grid in
-  let q = st.State.q
-  and q1 = ws.s1.State.q
-  and q2 = ws.s2.State.q
-  and d = ws.dqdt in
+(* The stage schedule: which state each stage reads and writes, and
+   the convex-combination coefficients, as data.  Every stepping path
+   — unfused [step], folded [step_fused], and the tiled driver in
+   [Tiled] — walks the same schedule, so the coefficient arithmetic
+   (note [cd] is computed here, e.g. [0.5 *. dt]) is shared and the
+   paths stay bitwise-identical by construction. *)
+type slot = Q | S1 | S2
+
+type stage_spec = {
+  src : slot;
+  dst : slot;
+  ca : float;
+  a : slot;
+  cb : float;
+  b : slot;
+  cd : float;
+  last : bool;
+}
+
+let schedule kind ~dt =
   match kind with
   | Euler1 ->
-    bc st;
-    rhs st d;
-    combine exec g ~dst:q ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d
+    [ { src = Q; dst = Q; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
+        last = true } ]
   | Tvd_rk2 ->
-    bc st;
-    rhs st d;
-    combine exec g ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d;
-    bc ws.s1;
-    rhs ws.s1 d;
-    combine exec g ~dst:q ~ca:0.5 ~a:q ~cb:0.5 ~b:q1 ~cd:(0.5 *. dt) d
+    [ { src = Q; dst = S1; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
+        last = false };
+      { src = S1; dst = Q; ca = 0.5; a = Q; cb = 0.5; b = S1;
+        cd = 0.5 *. dt; last = true } ]
   | Tvd_rk3 ->
-    bc st;
-    rhs st d;
-    combine exec g ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt d;
-    bc ws.s1;
-    rhs ws.s1 d;
-    combine exec g ~dst:q2 ~ca:0.75 ~a:q ~cb:0.25 ~b:q1 ~cd:(0.25 *. dt) d;
-    bc ws.s2;
-    rhs ws.s2 d;
-    combine exec g ~dst:q ~ca:(1. /. 3.) ~a:q ~cb:(2. /. 3.) ~b:q2
-      ~cd:(2. /. 3. *. dt) d
+    [ { src = Q; dst = S1; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
+        last = false };
+      { src = S1; dst = S2; ca = 0.75; a = Q; cb = 0.25; b = S1;
+        cd = 0.25 *. dt; last = false };
+      { src = S2; dst = Q; ca = 1. /. 3.; a = Q; cb = 2. /. 3.; b = S2;
+        cd = 2. /. 3. *. dt; last = true } ]
+
+let fold_lane_max lane_max =
+  let m = ref Float.neg_infinity in
+  for l = 0 to (Array.length lane_max / Parallel.Exec.lane_pad) - 1 do
+    let v = lane_max.(l * Parallel.Exec.lane_pad) in
+    if v > !m then m := v
+  done;
+  !m
+
+let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
+  let g = st.State.grid in
+  let state_of = function Q -> st | S1 -> ws.s1 | S2 -> ws.s2 in
+  let q_of sl = (state_of sl).State.q in
+  let d = ws.dqdt in
+  List.iter
+    (fun sp ->
+      let src = state_of sp.src in
+      bc src;
+      rhs src d;
+      combine exec g ~dst:(q_of sp.dst) ~ca:sp.ca ~a:(q_of sp.a) ~cb:sp.cb
+        ~b:(q_of sp.b) ~cd:sp.cd d)
+    (schedule kind ~dt)
 
 (* The folded step: each stage's ghost fill, sweeps and combine become
    one [parallel_phases] dispatch (one SPMD region instead of four),
@@ -126,46 +155,31 @@ let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
 let step_fused kind ~bc_phases ~rhs_phases ~exec ~dt (st : State.t) ws =
   let g = st.State.grid in
   let gamma = st.State.gamma in
-  let q = st.State.q
-  and q1 = ws.s1.State.q
-  and q2 = ws.s2.State.q
-  and d = ws.dqdt in
+  let state_of = function Q -> st | S1 -> ws.s1 | S2 -> ws.s2 in
+  let q_of sl = (state_of sl).State.q in
+  let d = ws.dqdt in
   let lane_max = ws.lane_max in
-  let stage ~src ~dst ~ca ~a ~cb ~b ~cd ~last =
-    let combine_body =
-      if last then begin
-        Array.fill lane_max 0 (Array.length lane_max) Float.neg_infinity;
-        fun ~lane iy ->
-          combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy;
-          eig_row ~gamma g ~dst ~lane_max ~lane iy
-      end
-      else fun ~lane:_ iy -> combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy
-    in
-    let combine_phase =
-      { Parallel.Exec.region = Parallel.Exec.Rk_combine;
-        lo = 0;
-        hi = g.Grid.ny;
-        body = combine_body }
-    in
-    Parallel.Exec.parallel_phases exec
-      (Array.of_list (bc_phases src @ rhs_phases src d @ [ combine_phase ]))
-  in
-  (match kind with
-   | Euler1 ->
-     stage ~src:st ~dst:q ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:true
-   | Tvd_rk2 ->
-     stage ~src:st ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:false;
-     stage ~src:ws.s1 ~dst:q ~ca:0.5 ~a:q ~cb:0.5 ~b:q1 ~cd:(0.5 *. dt)
-       ~last:true
-   | Tvd_rk3 ->
-     stage ~src:st ~dst:q1 ~ca:1. ~a:q ~cb:0. ~b:q ~cd:dt ~last:false;
-     stage ~src:ws.s1 ~dst:q2 ~ca:0.75 ~a:q ~cb:0.25 ~b:q1 ~cd:(0.25 *. dt)
-       ~last:false;
-     stage ~src:ws.s2 ~dst:q ~ca:(1. /. 3.) ~a:q ~cb:(2. /. 3.) ~b:q2
-       ~cd:(2. /. 3. *. dt) ~last:true);
-  let m = ref Float.neg_infinity in
-  for l = 0 to (Array.length lane_max / Parallel.Exec.lane_pad) - 1 do
-    let v = lane_max.(l * Parallel.Exec.lane_pad) in
-    if v > !m then m := v
-  done;
-  !m
+  List.iter
+    (fun sp ->
+      let dst = q_of sp.dst and a = q_of sp.a and b = q_of sp.b in
+      let ca = sp.ca and cb = sp.cb and cd = sp.cd in
+      let combine_body =
+        if sp.last then begin
+          Array.fill lane_max 0 (Array.length lane_max) Float.neg_infinity;
+          fun ~lane iy ->
+            combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy;
+            eig_row ~gamma g ~dst ~lane_max ~lane iy
+        end
+        else fun ~lane:_ iy -> combine_row g ~dst ~ca ~a ~cb ~b ~cd d iy
+      in
+      let combine_phase =
+        { Parallel.Exec.region = Parallel.Exec.Rk_combine;
+          lo = 0;
+          hi = g.Grid.ny;
+          body = combine_body }
+      in
+      let src = state_of sp.src in
+      Parallel.Exec.parallel_phases exec
+        (Array.of_list (bc_phases src @ rhs_phases src d @ [ combine_phase ])))
+    (schedule kind ~dt);
+  fold_lane_max lane_max

@@ -21,6 +21,61 @@ val make_workspace : ?lanes:int -> State.t -> workspace
 (** [lanes] (default 1) sizes the per-lane eigenvalue slots
     {!step_fused} accumulates into; pass the scheduler's lane count. *)
 
+(** Which of the three stage states a {!stage_spec} field refers to:
+    the solution [Q] or the scratch stages [S1]/[S2]. *)
+type slot = Q | S1 | S2
+
+type stage_spec = {
+  src : slot;   (** state whose ghosts/fluxes the stage evaluates *)
+  dst : slot;   (** state the combine writes *)
+  ca : float;   (** coefficient of [a] *)
+  a : slot;
+  cb : float;   (** coefficient of [b] *)
+  b : slot;
+  cd : float;   (** coefficient of the divergence — already times dt *)
+  last : bool;  (** final stage: fold in the CFL eigenvalue scan *)
+}
+(** One RK stage as data:
+    [dst = ca * a + cb * b + cd * dqdt(src)]. *)
+
+val schedule : kind -> dt:float -> stage_spec list
+(** The stage schedule every stepping path (unfused, fused, tiled)
+    walks.  Coefficient arithmetic (e.g. [0.5 *. dt]) happens here,
+    once, which is what keeps the paths bitwise-identical. *)
+
+val combine_row :
+  Grid.t ->
+  dst:float array array ->
+  ca:float ->
+  a:float array array ->
+  cb:float ->
+  b:float array array ->
+  cd:float ->
+  float array array ->
+  int ->
+  unit
+(** One interior row of [dst = ca * a + cb * b + cd * d] — the unit of
+    work shared by the unfused combine region, the fused stage phases
+    and the tiled driver, so every path executes the same stores. *)
+
+val eig_row :
+  gamma:float ->
+  Grid.t ->
+  dst:float array array ->
+  lane_max:float array ->
+  lane:int ->
+  int ->
+  unit
+(** The GetDT eigenvalue scan over one freshly-combined interior row,
+    accumulating into [lane_max.(lane * Exec.lane_pad)].  Term-for-term
+    the arithmetic of [Time_step.max_eigenvalue]; max is
+    order-independent, so folding it into the combine keeps the dt
+    sequence bit-identical to the standalone reduction. *)
+
+val fold_lane_max : float array -> float
+(** Folds the per-lane maxima ({!Parallel.Exec.lane_pad}-spaced slots,
+    as initialised by the last fused stage) into one value. *)
+
 val step :
   kind ->
   rhs:(State.t -> float array array -> unit) ->

@@ -4,6 +4,7 @@ type config = {
   rk : Rk.kind;
   cfl : float;
   fused : bool;
+  tiles : int * int;
 }
 
 let default_config =
@@ -11,14 +12,16 @@ let default_config =
     riemann = Riemann.Hllc;
     rk = Rk.Tvd_rk3;
     cfl = 0.5;
-    fused = true }
+    fused = true;
+    tiles = (1, 1) }
 
 let benchmark_config =
   { recon = Recon.Piecewise_constant;
     riemann = Riemann.Rusanov;
     rk = Rk.Tvd_rk3;
     cfl = 0.5;
-    fused = true }
+    fused = true;
+    tiles = (1, 1) }
 
 type t = {
   config : config;
@@ -26,6 +29,11 @@ type t = {
   exec : Parallel.Exec.t;
   state : State.t;
   workspace : Rk.workspace;
+  (* The tiled execution engine, when [config.tiles <> (1, 1)].  The
+     authoritative data then lives in the per-tile states; [state] is
+     the monolithic mirror, refreshed by [current_state] (gather) and
+     pushed back by [commit_state] (scatter). *)
+  tiled : Tiled.t option;
   mutable time : float;
   mutable steps : int;
   (* Max CFL eigenvalue of [state], accumulated in-sweep by the last
@@ -39,45 +47,82 @@ let create ?exec ~config ~bcs state =
   let exec =
     match exec with Some e -> e | None -> Parallel.Exec.sequential ()
   in
-  if state.State.grid.Grid.ng < Recon.ghost_needed config.recon then
-    invalid_arg "Solver.create: grid lacks ghost layers for this scheme";
+  let needed = Recon.required_ghosts config.recon in
+  if state.State.grid.Grid.ng < needed then
+    invalid_arg
+      (Printf.sprintf
+         "Solver.create: scheme %s needs %d ghost layers (which is also the \
+          inter-tile halo depth) but the grid carries ng=%d"
+         (Recon.name config.recon) needed state.State.grid.Grid.ng);
+  let tiled =
+    let rows, cols = config.tiles in
+    if rows = 1 && cols = 1 then None
+    else
+      let plan = Tiling.make ~rows ~cols state.State.grid in
+      Some
+        (Tiled.create ~plan
+           ~rhs_cfg:{ Rhs.recon = config.recon; riemann = config.riemann }
+           ~rk:config.rk ~bcs ~exec state)
+  in
   { config;
     bcs;
     exec;
     state;
     workspace = Rk.make_workspace ~lanes:(Parallel.Exec.lanes exec) state;
+    tiled;
     time = 0.;
     steps = 0;
     eig = Float.nan }
 
 let step_dt s dt =
-  let rhs_cfg =
-    { Rhs.recon = s.config.recon; riemann = s.config.riemann }
-  in
-  if s.config.fused then
-    s.eig <-
-      Rk.step_fused s.config.rk
-        ~bc_phases:(fun st -> Bc.phases st s.bcs)
-        ~rhs_phases:(fun st d -> Rhs.phases rhs_cfg s.exec st d)
-        ~exec:s.exec ~dt s.state s.workspace
-  else begin
-    Rk.step s.config.rk
-      ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
-      ~bc:(fun st ->
-        Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
-            Bc.apply st s.bcs))
-      ~exec:s.exec ~dt s.state s.workspace;
-    s.eig <- Float.nan
-  end;
+  (match s.tiled with
+   | Some td ->
+     if s.config.fused then s.eig <- Tiled.step_fused td ~dt
+     else begin
+       Tiled.step td ~dt;
+       s.eig <- Float.nan
+     end
+   | None ->
+     let rhs_cfg =
+       { Rhs.recon = s.config.recon; riemann = s.config.riemann }
+     in
+     if s.config.fused then
+       s.eig <-
+         Rk.step_fused s.config.rk
+           ~bc_phases:(fun st -> Bc.phases st s.bcs)
+           ~rhs_phases:(fun st d -> Rhs.phases rhs_cfg s.exec st d)
+           ~exec:s.exec ~dt s.state s.workspace
+     else begin
+       Rk.step s.config.rk
+         ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
+         ~bc:(fun st ->
+           Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
+               Bc.apply st s.bcs))
+         ~exec:s.exec ~dt s.state s.workspace;
+       s.eig <- Float.nan
+     end);
   s.time <- s.time +. dt;
   s.steps <- s.steps + 1
 
 let dt s =
-  if Float.is_nan s.eig then Time_step.dt ~cfl:s.config.cfl s.exec s.state
+  if Float.is_nan s.eig then
+    match s.tiled with
+    | None -> Time_step.dt ~cfl:s.config.cfl s.exec s.state
+    | Some td ->
+      if s.config.cfl <= 0. then
+        invalid_arg "Time_step.dt: cfl must be positive";
+      s.config.cfl /. Tiled.max_eigenvalue td
   else begin
     if s.config.cfl <= 0. then invalid_arg "Time_step.dt: cfl must be positive";
     s.config.cfl /. s.eig
   end
+
+let current_state s =
+  (match s.tiled with Some td -> Tiled.gather td ~into:s.state | None -> ());
+  s.state
+
+let commit_state s =
+  match s.tiled with Some td -> Tiled.scatter td ~src:s.state | None -> ()
 
 let step s =
   let dt = dt s in

@@ -19,6 +19,12 @@ type config = {
           shape.  Results are bitwise identical either way; only the
           number of parallel regions (and hence barrier overhead)
           differs. *)
+  tiles : int * int;
+      (** [(rows, cols)] tile decomposition (see {!Tiling}); [(1, 1)]
+          — the default — is the monolithic path.  Tiled runs are
+          bitwise-identical to monolithic ones under every scheduler,
+          fused or not; a fused RK stage over all tiles is still one
+          dispatch, with halo exchange as its first phase. *)
 }
 
 val default_config : config
@@ -37,6 +43,11 @@ type t = {
   exec : Parallel.Exec.t;
   state : State.t;
   workspace : Rk.workspace;
+  tiled : Tiled.t option;
+      (** The tiled engine when [config.tiles <> (1, 1)]; the per-tile
+          states are then authoritative and [state] is a monolithic
+          mirror — read it through {!current_state}, write it back
+          with {!commit_state}. *)
   mutable time : float;
   mutable steps : int;
   mutable eig : float;
@@ -52,7 +63,22 @@ val create :
   State.t ->
   t
 (** Wraps a freshly initialised state (defaults to the sequential
-    scheduler).  The state is owned by the solver afterwards. *)
+    scheduler).  The state is owned by the solver afterwards; under
+    tiling it is scattered into per-tile states here.
+    @raise Invalid_argument if the grid carries fewer ghost layers
+    than {!Recon.required_ghosts} demands for the scheme (the same
+    depth the inter-tile halo uses), or if the tile decomposition is
+    invalid for the grid (see {!Tiling.make}). *)
+
+val current_state : t -> State.t
+(** The solver's state on the monolithic grid.  Under tiling this
+    gathers the per-tile states (ghost ring included) into [state]
+    first, so snapshots of tiled runs are byte-for-byte those of the
+    monolithic solver; without tiling it is [state] itself. *)
+
+val commit_state : t -> unit
+(** Pushes [state] back into the per-tile states (the restore path);
+    a no-op without tiling. *)
 
 val dt : t -> float
 (** The CFL time step at the current state (GetDT); {!step} is

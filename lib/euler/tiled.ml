@@ -1,0 +1,322 @@
+(* Tiled stepping: the monolithic RK stage re-threaded through an
+   R x C array of tiles, each with private storage, stitched by halo
+   exchange.
+
+   One fused RK stage over all tiles is still ONE
+   [Parallel.Exec.parallel_phases] dispatch:
+
+     halo exchange  ->  BC West/East  ->  BC South/North
+        ->  x-sweep (all tiles' rows)  ->  y-sweep (all tiles' columns)
+        ->  combine (+ eigenvalue scan on the last stage)
+
+   with the in-region barriers supplying the orderings the monolithic
+   path gets for free from shared storage:
+
+   - halo strips are ng-deep copies of the neighbour's *interior*,
+     which nothing writes during the exchange, and each tile writes
+     only its own halo — so all 4 x tiles exchange bodies are
+     independent within the phase;
+   - the BC fills replay the monolithic W, E then S, N order: the
+     S/N pass spans the full padded width and reads the corner cells
+     the W/E pass (or, on halo columns, the exchange) just wrote;
+   - sweeps read only full padded rows of interior rows (x) or full
+     padded columns of interior columns (y), never a tile-corner
+     cell, which is why no diagonal exchange exists;
+   - each interior cell is computed by exactly one body call from
+     inputs bitwise-equal to the monolithic run's, so the state after
+     every stage — and the dt sequence, since max is
+     order-independent — is bitwise-identical to the monolithic
+     solver.
+
+   All per-tile storage (stage states, divergence) is allocated at
+   [create]; pencil scratch comes from the scheduler's shared per-lane
+   arena exactly as in the monolithic path, so the steady-state hot
+   path allocates nothing beyond the small per-stage closures the
+   monolithic path also builds. *)
+
+type tile = {
+  st : State.t;
+  s1 : State.t;
+  s2 : State.t;
+  dqdt : float array array;
+  west : int;  (* neighbour tile index, -1 on the physical boundary *)
+  east : int;
+  south : int;
+  north : int;
+}
+
+type t = {
+  plan : Tiling.plan;
+  rhs_cfg : Rhs.config;
+  rk : Rk.kind;
+  bcs : (Bc.side * Bc.kind) list;
+  exec : Parallel.Exec.t;
+  gamma : float;
+  tiles : tile array;  (* row-major, [r * cols + c] *)
+  sts : State.t array; (* tiles.(i).st, cached for gather/scatter *)
+  lane_max : float array;
+  (* Flattened index spaces: phase index -> (tile, local row/column).
+     Built once at [create]; the hot path only reads them. *)
+  rows_total : int;
+  row_tile : int array;
+  row_iy : int array;
+  cols_total : int;
+  col_tile : int array;
+  col_ix : int array;
+  one_d : bool;
+}
+
+let state_of tl = function Rk.Q -> tl.st | Rk.S1 -> tl.s1 | Rk.S2 -> tl.s2
+let q_of tl sl = (state_of tl sl).State.q
+
+let create ~plan ~rhs_cfg ~rk ~bcs ~exec (src : State.t) =
+  let gamma = src.State.gamma in
+  let sts = Tiling.states plan ~gamma in
+  Tiling.scatter plan ~src ~into:sts;
+  let cols = Tiling.cols plan in
+  let tiles =
+    Array.mapi
+      (fun i st ->
+        let r = i / cols and c = i mod cols in
+        let idx side =
+          match Tiling.neighbor plan ~r ~c side with
+          | Some (nr, nc) -> (nr * cols) + nc
+          | None -> -1
+        in
+        { st;
+          s1 = State.copy st;
+          s2 = State.copy st;
+          dqdt =
+            Array.init State.nvar (fun _ ->
+                Array.make st.State.grid.Grid.cells 0.);
+          west = idx Bc.West;
+          east = idx Bc.East;
+          south = idx Bc.South;
+          north = idx Bc.North })
+      sts
+  in
+  let ntiles = Array.length tiles in
+  let rows_total =
+    Array.fold_left (fun a tl -> a + tl.st.State.grid.Grid.ny) 0 tiles
+  and cols_total =
+    Array.fold_left (fun a tl -> a + tl.st.State.grid.Grid.nx) 0 tiles
+  in
+  let row_tile = Array.make rows_total 0
+  and row_iy = Array.make rows_total 0
+  and col_tile = Array.make cols_total 0
+  and col_ix = Array.make cols_total 0 in
+  let ri = ref 0 and ci = ref 0 in
+  for i = 0 to ntiles - 1 do
+    let g = tiles.(i).st.State.grid in
+    for iy = 0 to g.Grid.ny - 1 do
+      row_tile.(!ri) <- i;
+      row_iy.(!ri) <- iy;
+      incr ri
+    done;
+    for ix = 0 to g.Grid.nx - 1 do
+      col_tile.(!ci) <- i;
+      col_ix.(!ci) <- ix;
+      incr ci
+    done
+  done;
+  { plan;
+    rhs_cfg;
+    rk;
+    bcs;
+    exec;
+    gamma;
+    tiles;
+    sts;
+    lane_max =
+      Array.make
+        (Parallel.Exec.lanes exec * Parallel.Exec.lane_pad)
+        Float.neg_infinity;
+    rows_total;
+    row_tile;
+    row_iy;
+    cols_total;
+    col_tile;
+    col_ix;
+    one_d = Grid.is_1d (Tiling.grid plan) }
+
+let plan t = t.plan
+
+(* --- halo exchange ------------------------------------------------- *)
+
+(* Copy [ng] columns of interior rows from the neighbour into a
+   West/East halo strip.  One blit per variable per row. *)
+let copy_we ~(dst : State.t) ~dst_ix ~(src : State.t) ~src_ix =
+  let dg = dst.State.grid and sg = src.State.grid in
+  let ng = dg.Grid.ng in
+  for iy = 0 to dg.Grid.ny - 1 do
+    let doff = Grid.offset dg dst_ix iy and soff = Grid.offset sg src_ix iy in
+    for k = 0 to State.nvar - 1 do
+      Array.blit src.State.q.(k) soff dst.State.q.(k) doff ng
+    done
+  done
+
+(* Copy [ng] rows of interior columns into a South/North halo strip. *)
+let copy_sn ~(dst : State.t) ~dst_iy ~(src : State.t) ~src_iy =
+  let dg = dst.State.grid and sg = src.State.grid in
+  let ng = dg.Grid.ng and nx = dg.Grid.nx in
+  for j = 0 to ng - 1 do
+    let doff = Grid.offset dg 0 (dst_iy + j)
+    and soff = Grid.offset sg 0 (src_iy + j) in
+    for k = 0 to State.nvar - 1 do
+      Array.blit src.State.q.(k) soff dst.State.q.(k) doff nx
+    done
+  done
+
+(* One halo-exchange work item: tile [i / 4], side [i mod 4].  Reads
+   the neighbour's interior (never written during the phase), writes
+   this tile's halo (written by nobody else) — all items in the phase
+   are mutually independent. *)
+let exchange t sl i =
+  let tl = t.tiles.(i / 4) in
+  let dst = state_of tl sl in
+  let dg = dst.State.grid in
+  match i mod 4 with
+  | 0 ->
+    if tl.west >= 0 then begin
+      let src = state_of t.tiles.(tl.west) sl in
+      copy_we ~dst ~dst_ix:(-dg.Grid.ng) ~src
+        ~src_ix:(src.State.grid.Grid.nx - dg.Grid.ng)
+    end
+  | 1 ->
+    if tl.east >= 0 then begin
+      let src = state_of t.tiles.(tl.east) sl in
+      copy_we ~dst ~dst_ix:dg.Grid.nx ~src ~src_ix:0
+    end
+  | 2 ->
+    if tl.south >= 0 then begin
+      let src = state_of t.tiles.(tl.south) sl in
+      copy_sn ~dst ~dst_iy:(-dg.Grid.ng) ~src
+        ~src_iy:(src.State.grid.Grid.ny - dg.Grid.ng)
+    end
+  | _ ->
+    if tl.north >= 0 then begin
+      let src = state_of t.tiles.(tl.north) sl in
+      copy_sn ~dst ~dst_iy:dg.Grid.ny ~src ~src_iy:0
+    end
+
+(* --- one RK stage as phases ---------------------------------------- *)
+
+(* [eig] selects whether the last stage's combine also accumulates the
+   CFL eigenvalue (the fused path's in-sweep GetDT); the unfused path
+   passes [false] and uses the standalone reduction, mirroring the
+   monolithic split. *)
+let stage_phases t (sp : Rk.stage_spec) ~eig =
+  let ntiles = Array.length t.tiles in
+  let halo_phase =
+    { Parallel.Exec.region = Parallel.Exec.Halo;
+      lo = 0;
+      hi = 4 * ntiles;
+      body = (fun ~lane:_ i -> exchange t sp.Rk.src i) }
+  in
+  let bc_we =
+    { Parallel.Exec.region = Parallel.Exec.Bc;
+      lo = 0;
+      hi = ntiles;
+      body =
+        (fun ~lane:_ i ->
+          let tl = t.tiles.(i) in
+          Bc.fill_west_east (state_of tl sp.Rk.src) t.bcs ~west:(tl.west < 0)
+            ~east:(tl.east < 0)) }
+  and bc_sn =
+    { Parallel.Exec.region = Parallel.Exec.Bc;
+      lo = 0;
+      hi = ntiles;
+      body =
+        (fun ~lane:_ i ->
+          let tl = t.tiles.(i) in
+          Bc.fill_south_north (state_of tl sp.Rk.src) t.bcs
+            ~south:(tl.south < 0) ~north:(tl.north < 0)) }
+  in
+  let bodies =
+    Array.map
+      (fun tl -> Rhs.bodies t.rhs_cfg t.exec (state_of tl sp.Rk.src) tl.dqdt)
+      t.tiles
+  in
+  let x_phase =
+    { Parallel.Exec.region = Parallel.Exec.Rhs;
+      lo = 0;
+      hi = t.rows_total;
+      body =
+        (fun ~lane i -> (fst bodies.(t.row_tile.(i))) ~lane t.row_iy.(i)) }
+  in
+  let combine_body =
+    if sp.Rk.last && eig then begin
+      Array.fill t.lane_max 0 (Array.length t.lane_max) Float.neg_infinity;
+      fun ~lane i ->
+        let tl = t.tiles.(t.row_tile.(i)) in
+        let g = tl.st.State.grid in
+        let iy = t.row_iy.(i) in
+        Rk.combine_row g ~dst:(q_of tl sp.Rk.dst) ~ca:sp.Rk.ca
+          ~a:(q_of tl sp.Rk.a) ~cb:sp.Rk.cb ~b:(q_of tl sp.Rk.b) ~cd:sp.Rk.cd
+          tl.dqdt iy;
+        Rk.eig_row ~gamma:t.gamma g ~dst:(q_of tl sp.Rk.dst)
+          ~lane_max:t.lane_max ~lane iy
+    end
+    else
+      fun ~lane:_ i ->
+        let tl = t.tiles.(t.row_tile.(i)) in
+        Rk.combine_row tl.st.State.grid ~dst:(q_of tl sp.Rk.dst) ~ca:sp.Rk.ca
+          ~a:(q_of tl sp.Rk.a) ~cb:sp.Rk.cb ~b:(q_of tl sp.Rk.b) ~cd:sp.Rk.cd
+          tl.dqdt t.row_iy.(i)
+  in
+  let combine_phase =
+    { Parallel.Exec.region = Parallel.Exec.Rk_combine;
+      lo = 0;
+      hi = t.rows_total;
+      body = combine_body }
+  in
+  if t.one_d then [| halo_phase; bc_we; bc_sn; x_phase; combine_phase |]
+  else begin
+    let y_phase =
+      { Parallel.Exec.region = Parallel.Exec.Rhs;
+        lo = 0;
+        hi = t.cols_total;
+        body =
+          (fun ~lane i ->
+            match snd bodies.(t.col_tile.(i)) with
+            | Some b -> b ~lane t.col_ix.(i)
+            | None -> assert false) }
+    in
+    [| halo_phase; bc_we; bc_sn; x_phase; y_phase; combine_phase |]
+  end
+
+(* --- stepping ------------------------------------------------------ *)
+
+let step_fused t ~dt =
+  List.iter
+    (fun sp -> Parallel.Exec.parallel_phases t.exec (stage_phases t sp ~eig:true))
+    (Rk.schedule t.rk ~dt);
+  Rk.fold_lane_max t.lane_max
+
+let step t ~dt =
+  List.iter
+    (fun sp ->
+      Array.iter
+        (fun (p : Parallel.Exec.phase) ->
+          Parallel.Exec.parallel_for_lanes t.exec ~region:p.Parallel.Exec.region
+            ~lo:p.Parallel.Exec.lo ~hi:p.Parallel.Exec.hi p.Parallel.Exec.body)
+        (stage_phases t sp ~eig:false))
+    (Rk.schedule t.rk ~dt)
+
+(* GetDT across tiles: one [parallel_reduce_lanes] over the flattened
+   interior rows of all tiles, the per-row scan being [Rk.eig_row] —
+   the term-for-term transcription of [Time_step.max_eigenvalue]'s
+   per-cell arithmetic.  The maximum of the same multiset of per-cell
+   values is bitwise-equal to the monolithic reduction. *)
+let max_eigenvalue t =
+  Parallel.Exec.parallel_reduce_lanes t.exec ~lo:0 ~hi:t.rows_total
+    ~init:Float.neg_infinity ~combine:Float.max
+    (fun ~acc ~cell:_ ~lane i ->
+      let tl = t.tiles.(t.row_tile.(i)) in
+      Rk.eig_row ~gamma:t.gamma tl.st.State.grid ~dst:tl.st.State.q
+        ~lane_max:acc ~lane t.row_iy.(i))
+
+(* --- gather / scatter ---------------------------------------------- *)
+
+let gather t ~into = Tiling.gather t.plan ~tiles:t.sts ~into
+let scatter t ~src = Tiling.scatter t.plan ~src ~into:t.sts

@@ -1,0 +1,63 @@
+(** Tiled stepping: RK stages over an [R x C] array of tiles with
+    halo exchange.
+
+    Each tile is a private {!State.t} on a {!Grid.sub} sub-grid (plus
+    stage scratch and divergence storage); inter-tile coupling happens
+    {e only} through the halo-exchange phase, which copies [ng]-deep
+    strips of neighbour interiors into this tile's off-interior ring.
+    Physical boundaries are still {!Bc}'s job, restricted per tile to
+    the sides that touch the domain edge.
+
+    One fused RK stage over all tiles is one
+    {!Parallel.Exec.parallel_phases} dispatch — halo exchange, BC
+    West/East, BC South/North, x-sweep (all tiles' rows flattened),
+    y-sweep (all tiles' columns), combine (+ CFL eigenvalue scan on the
+    last stage) — so an RK3 step stays at 3 regions under SPMD.  The
+    phase barriers reproduce exactly the orderings the monolithic
+    solver gets from shared storage, and each cell is computed by one
+    body call from bitwise-equal inputs, so tiled runs are
+    bitwise-identical to monolithic ones (states, ghost rings and dt
+    sequences alike) under every scheduler, fused or not.
+
+    All per-tile storage is allocated at {!create}; pencil scratch
+    comes from the scheduler's shared per-lane arena, so the
+    steady-state hot path allocates nothing beyond the per-stage
+    closures the monolithic path also builds. *)
+
+type t
+
+val create :
+  plan:Tiling.plan ->
+  rhs_cfg:Rhs.config ->
+  rk:Rk.kind ->
+  bcs:(Bc.side * Bc.kind) list ->
+  exec:Parallel.Exec.t ->
+  State.t ->
+  t
+(** Builds per-tile states by scattering [src] (which stays untouched
+    and must live on the plan's grid). *)
+
+val plan : t -> Tiling.plan
+
+val step_fused : t -> dt:float -> float
+(** Advances all tiles by [dt], one fused dispatch per RK stage;
+    returns the max CFL eigenvalue of the new state (accumulated
+    in-sweep by the last stage, shared across tiles — bit-identical to
+    {!max_eigenvalue}). *)
+
+val step : t -> dt:float -> unit
+(** The unfused form: the exact same phase closures, dispatched one
+    region each (so fork/join-style accounting applies).  State
+    updates are bitwise-identical to {!step_fused}. *)
+
+val max_eigenvalue : t -> float
+(** Standalone GetDT: one {!Parallel.Exec.parallel_reduce_lanes} over
+    the flattened interior rows of all tiles.  Bitwise-equal to
+    [Time_step.max_eigenvalue] on the gathered monolithic state. *)
+
+val gather : t -> into:State.t -> unit
+(** Reassembles the monolithic padded state (ghost ring included) —
+    the bridge to the unchanged {!Snap} snapshot format. *)
+
+val scatter : t -> src:State.t -> unit
+(** Overwrites all tiles from a monolithic state (restore path). *)

@@ -1,0 +1,179 @@
+(* Partition arithmetic for tiled domain decomposition.
+
+   A plan slices a monolithic grid into an R x C array of tiles along
+   cell boundaries.  Each tile is a [Grid.sub] of the parent with its
+   own ng-deep ghost ring; between neighbouring tiles that ring is a
+   halo (filled by exchange), on the physical boundary it is a ghost
+   region (filled by [Bc]).  The plan itself is pure arithmetic —
+   extents, offsets, the neighbour map and the gather/scatter copies —
+   so it can be unit-tested without ever running a solver. *)
+
+type plan = {
+  grid : Grid.t;
+  rows : int;
+  cols : int;
+  col_nx : int array;
+  row_ny : int array;
+  col_off : int array;
+  row_off : int array;
+}
+
+let split n parts =
+  if parts < 1 then invalid_arg "Tiling.split: parts must be >= 1";
+  if n < parts then
+    invalid_arg
+      (Printf.sprintf "Tiling.split: cannot split %d cells into %d tiles" n
+         parts);
+  (* Balanced: the first [n mod parts] tiles get one extra cell, so
+     e.g. 7 cells over 3 tiles gives widths 3, 2, 2. *)
+  let q = n / parts and r = n mod parts in
+  Array.init parts (fun i -> if i < r then q + 1 else q)
+
+let offsets sizes =
+  let off = Array.make (Array.length sizes) 0 in
+  for i = 1 to Array.length sizes - 1 do
+    off.(i) <- off.(i - 1) + sizes.(i - 1)
+  done;
+  off
+
+let make ~rows ~cols g =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Tiling.make: tile counts must be >= 1";
+  if g.Grid.ny = 1 && rows > 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Tiling.make: a 1D grid (ny = 1) only tiles along x; use 1x%d \
+          instead of %dx%d"
+         (rows * cols) rows cols);
+  let col_nx = split g.Grid.nx cols in
+  let row_ny = split g.Grid.ny rows in
+  let ng = g.Grid.ng in
+  (* A halo strip is copied from the neighbour's *interior*, and a
+     reflective physical fill mirrors up to ng cells inward, so every
+     tile must be at least ng cells wide in any direction that is
+     actually split. *)
+  if cols > 1 && col_nx.(cols - 1) < ng then
+    invalid_arg
+      (Printf.sprintf
+         "Tiling.make: %d columns over nx=%d gives tiles narrower than the \
+          halo depth (ng=%d)"
+         cols g.Grid.nx ng);
+  if rows > 1 && row_ny.(rows - 1) < ng then
+    invalid_arg
+      (Printf.sprintf
+         "Tiling.make: %d rows over ny=%d gives tiles shorter than the halo \
+          depth (ng=%d)"
+         rows g.Grid.ny ng);
+  { grid = g;
+    rows;
+    cols;
+    col_nx;
+    row_ny;
+    col_off = offsets col_nx;
+    row_off = offsets row_ny }
+
+let grid p = p.grid
+let rows p = p.rows
+let cols p = p.cols
+let tiles p = p.rows * p.cols
+
+let tile_index p ~r ~c =
+  if r < 0 || r >= p.rows || c < 0 || c >= p.cols then
+    invalid_arg "Tiling.tile_index: tile out of range";
+  (r * p.cols) + c
+
+let col_extent p c =
+  if c < 0 || c >= p.cols then invalid_arg "Tiling.col_extent: out of range";
+  (p.col_off.(c), p.col_nx.(c))
+
+let row_extent p r =
+  if r < 0 || r >= p.rows then invalid_arg "Tiling.row_extent: out of range";
+  (p.row_off.(r), p.row_ny.(r))
+
+let tile_grid p ~r ~c =
+  ignore (tile_index p ~r ~c);
+  Grid.sub p.grid ~ix0:p.col_off.(c) ~iy0:p.row_off.(r) ~nx:p.col_nx.(c)
+    ~ny:p.row_ny.(r)
+
+let neighbor p ~r ~c side =
+  ignore (tile_index p ~r ~c);
+  match side with
+  | Bc.West -> if c > 0 then Some (r, c - 1) else None
+  | Bc.East -> if c < p.cols - 1 then Some (r, c + 1) else None
+  | Bc.South -> if r > 0 then Some (r - 1, c) else None
+  | Bc.North -> if r < p.rows - 1 then Some (r + 1, c) else None
+
+(* Gather ownership: every padded cell of the monolithic array is
+   written by exactly one tile — its interior cells, extended into the
+   ghost ring on the sides where the tile touches the physical
+   boundary (so corner ghosts come from corner tiles).  The ranges are
+   tile-local inclusive index bounds. *)
+let gather_x_range p ~c =
+  let ng = p.grid.Grid.ng in
+  ( (if c = 0 then -ng else 0),
+    if c = p.cols - 1 then p.col_nx.(c) + ng - 1 else p.col_nx.(c) - 1 )
+
+let gather_y_range p ~r =
+  let ng = p.grid.Grid.ng in
+  ( (if r = 0 then -ng else 0),
+    if r = p.rows - 1 then p.row_ny.(r) + ng - 1 else p.row_ny.(r) - 1 )
+
+let states p ~gamma =
+  Array.init (tiles p) (fun i ->
+      State.create ~gamma (tile_grid p ~r:(i / p.cols) ~c:(i mod p.cols)))
+
+let check_tiles p ts =
+  if Array.length ts <> tiles p then
+    invalid_arg "Tiling: tile-state array does not match the plan"
+
+(* Scatter copies the tile's *entire* padded block out of the
+   monolithic padded array: interior, physical ghosts and halo cells
+   alike all have monolithic counterparts because the halo depth
+   equals ng.  One blit per padded row per variable. *)
+let scatter p ~src ~into =
+  check_tiles p into;
+  if src.State.grid <> p.grid then
+    invalid_arg "Tiling.scatter: source state is not on the plan's grid";
+  let ng = p.grid.Grid.ng in
+  for r = 0 to p.rows - 1 do
+    for c = 0 to p.cols - 1 do
+      let tl = into.((r * p.cols) + c) in
+      let tg = tl.State.grid in
+      for ty = -ng to tg.Grid.ny + ng - 1 do
+        let soff =
+          Grid.offset p.grid (p.col_off.(c) - ng) (p.row_off.(r) + ty)
+        and doff = Grid.offset tg (-ng) ty in
+        for k = 0 to State.nvar - 1 do
+          Array.blit src.State.q.(k) soff tl.State.q.(k) doff
+            tg.Grid.row_stride
+        done
+      done
+    done
+  done
+
+(* Gather copies each tile's owned range (see [gather_x_range]) back;
+   the union of owned ranges is exactly the monolithic padded array,
+   with no overlaps, so a gathered state is byte-for-byte what the
+   monolithic solver would hold — including the ghost ring. *)
+let gather p ~tiles:ts ~into =
+  check_tiles p ts;
+  if into.State.grid <> p.grid then
+    invalid_arg "Tiling.gather: destination state is not on the plan's grid";
+  for r = 0 to p.rows - 1 do
+    for c = 0 to p.cols - 1 do
+      let tl = ts.((r * p.cols) + c) in
+      let tg = tl.State.grid in
+      let x_lo, x_hi = gather_x_range p ~c in
+      let y_lo, y_hi = gather_y_range p ~r in
+      let len = x_hi - x_lo + 1 in
+      for ty = y_lo to y_hi do
+        let soff = Grid.offset tg x_lo ty
+        and doff =
+          Grid.offset p.grid (p.col_off.(c) + x_lo) (p.row_off.(r) + ty)
+        in
+        for k = 0 to State.nvar - 1 do
+          Array.blit tl.State.q.(k) soff into.State.q.(k) doff len
+        done
+      done
+    done
+  done

@@ -1,0 +1,86 @@
+(** Partition arithmetic for tiled domain decomposition.
+
+    A {!plan} slices a monolithic {!Grid.t} into an [R x C] array of
+    tiles along cell boundaries.  Tiles are indexed [(r, c)] with row
+    0 at the south and column 0 at the west, stored row-major
+    ([r * cols + c]) wherever an array of per-tile values appears.
+    Each tile is a {!Grid.sub} of the parent carrying the same
+    [ng]-deep ring of off-interior cells; between neighbouring tiles
+    the ring is a {e halo} (filled by exchange from the neighbour's
+    interior), on the physical boundary it is a ghost region (filled
+    by {!Bc} exactly as in the monolithic solver).
+
+    The plan is pure arithmetic — extents, offsets, neighbour map,
+    gather/scatter — with no solver state, so the partition logic is
+    unit-testable in isolation. *)
+
+type plan
+
+val split : int -> int -> int array
+(** [split n parts] divides [n] cells into [parts] balanced tile
+    extents, larger tiles first: [split 7 3 = [|3; 2; 2|]].
+    @raise Invalid_argument if [parts < 1] or [n < parts]. *)
+
+val make : rows:int -> cols:int -> Grid.t -> plan
+(** Builds the partition plan.  1D grids ([ny = 1]) only tile along x
+    ([rows] must be 1 — column tiling is the degenerate case).  Every
+    tile must be at least [ng] cells wide in any direction that is
+    split, because halo strips are copied from neighbour {e interiors}
+    and reflective fills mirror up to [ng] cells inward.
+    @raise Invalid_argument with a message naming the offending
+    dimension otherwise. *)
+
+val grid : plan -> Grid.t
+(** The monolithic parent grid. *)
+
+val rows : plan -> int
+val cols : plan -> int
+
+val tiles : plan -> int
+(** [rows * cols]. *)
+
+val tile_index : plan -> r:int -> c:int -> int
+(** Row-major index of tile [(r, c)].
+    @raise Invalid_argument out of range. *)
+
+val col_extent : plan -> int -> int * int
+(** [(global ix of the tile column's first interior cell, width)]. *)
+
+val row_extent : plan -> int -> int * int
+
+val tile_grid : plan -> r:int -> c:int -> Grid.t
+(** The tile's sub-grid (see {!Grid.sub}: exact geometry, global
+    coordinate offsets). *)
+
+val neighbor : plan -> r:int -> c:int -> Bc.side -> (int * int) option
+(** The neighbouring tile across one side, or [None] when that side
+    is the physical boundary.  Corner tiles have exactly two
+    neighbours, edge tiles three, interior tiles four; diagonal
+    neighbours never appear because no kernel reads tile-corner halo
+    cells (sweeps read full padded rows of interior rows, or full
+    padded columns of interior columns — never both extensions at
+    once). *)
+
+val gather_x_range : plan -> c:int -> int * int
+(** Tile-local inclusive x-range of the padded cells tile column [c]
+    {e owns} on gather: the interior, extended [ng] cells outward on
+    the sides where the tile touches the physical boundary.  Owned
+    ranges partition the monolithic padded array exactly (no overlap,
+    no gap), so gather is a bijective copy. *)
+
+val gather_y_range : plan -> r:int -> int * int
+
+val states : plan -> gamma:float -> State.t array
+(** Zero-filled per-tile states, row-major. *)
+
+val scatter : plan -> src:State.t -> into:State.t array -> unit
+(** Copies each tile's {e entire} padded block (interior, physical
+    ghosts and halos — all have monolithic counterparts because the
+    halo depth equals [ng]) out of the monolithic state.
+    @raise Invalid_argument if the states do not match the plan. *)
+
+val gather : plan -> tiles:State.t array -> into:State.t -> unit
+(** Inverse of {!scatter} over owned ranges: reassembles the
+    monolithic padded array byte-for-byte, ghost ring included.
+    [gather p ~tiles ~into] after [scatter p ~src ~into:tiles] leaves
+    [into] bitwise-equal to [src]. *)

@@ -3,23 +3,25 @@ type kind =
   | Spmd of Pool.t
   | Fork_join_sched of int
 
-type region = Rhs | Bc | Reduce | Rk_combine | Other
+type region = Rhs | Bc | Halo | Reduce | Rk_combine | Other
 
 let region_name = function
   | Rhs -> "rhs"
   | Bc -> "bc"
+  | Halo -> "halo"
   | Reduce -> "reduce"
   | Rk_combine -> "rk-combine"
   | Other -> "other"
 
-let all_regions = [ Rhs; Bc; Reduce; Rk_combine; Other ]
+let all_regions = [ Rhs; Bc; Halo; Reduce; Rk_combine; Other ]
 
 let region_index = function
   | Rhs -> 0
   | Bc -> 1
-  | Reduce -> 2
-  | Rk_combine -> 3
-  | Other -> 4
+  | Halo -> 2
+  | Reduce -> 3
+  | Rk_combine -> 4
+  | Other -> 5
 
 type bucket = {
   count : int;

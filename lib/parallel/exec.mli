@@ -13,12 +13,13 @@ type t
 
 (** Labels classifying what a region computes, so instrumentation can
     attribute time to the solver stages the paper discusses: flux/RHS
-    evaluation, boundary fill, reductions (GetDT) and Runge-Kutta
-    stage combinations. *)
-type region = Rhs | Bc | Reduce | Rk_combine | Other
+    evaluation, boundary fill, inter-tile halo exchange, reductions
+    (GetDT) and Runge-Kutta stage combinations. *)
+type region = Rhs | Bc | Halo | Reduce | Rk_combine | Other
 
 val region_name : region -> string
-(** ["rhs"], ["bc"], ["reduce"], ["rk-combine"], ["other"]. *)
+(** ["rhs"], ["bc"], ["halo"], ["reduce"], ["rk-combine"],
+    ["other"]. *)
 
 val all_regions : region list
 

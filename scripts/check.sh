@@ -7,7 +7,10 @@
 # the emitted BENCH_hotpath.json and BENCH_scaling.json validated for
 # shape.  The checkpoint/restart subsystem gets its own smoke
 # (save -> kill -> resume, bitwise acceptance) plus a golden-store
-# check and the checkpoint-overhead bench artefact.
+# check and the checkpoint-overhead bench artefact.  Tiled domain
+# decomposition is covered twice: the BENCH_tiling.json artefact
+# (halo-exchange share, fused dispatch budget, steady arenas) and a
+# CLI smoke comparing tiled checkpoints against monolithic bytes.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -98,5 +101,58 @@ assert all(r["payload_fraction"] > 0.5 for r in rows)
 EOF
 fi
 echo "check.sh: $ckpt_json validated"
+
+# Tiling bench artefact: every scheduler must be measured monolithic
+# and tiled, the fused dispatch budget must hold under tiling, and the
+# lane arenas must be steady after warm-up (zero steady-state
+# allocation with halo exchange in the loop).
+dune exec bench/main.exe -- tiling --quick --lanes 2 --out "$smoke_dir"
+tiling_json="$smoke_dir/BENCH_tiling.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "tiling-v1"
+    and ([.rows[].exec] | unique == ["fork-join", "sequential", "spmd"])
+    and ([.rows[].tiles] | unique == [[1, 1], [2, 2], [3, 2]])
+    and ([.rows[] | select(.exec != "fork-join") | .regions_per_step]
+         | max <= 4)
+    and ([.rows[] | select(.tiles != [1, 1]) | .halo_share] | min > 0)
+    and ([.rows[] | select(.tiles == [1, 1]) | .halo_share] | max == 0)
+    and ([.rows[].growths_stable] | unique == [true])
+    and ([.rows[].ms_per_step] | min > 0)' "$tiling_json" \
+    >/dev/null || {
+      echo "check.sh: $tiling_json failed validation" >&2; exit 1; }
+else
+  python3 - "$tiling_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "tiling-v1", "bad schema"
+rows = d["rows"]
+assert sorted({r["exec"] for r in rows}) == ["fork-join", "sequential", "spmd"]
+assert sorted({tuple(r["tiles"]) for r in rows}) == [(1, 1), (2, 2), (3, 2)]
+assert all(r["regions_per_step"] <= 4 for r in rows
+           if r["exec"] != "fork-join"), "tiled fused regions > 4"
+assert all(r["halo_share"] > 0 for r in rows if r["tiles"] != [1, 1])
+assert all(r["halo_share"] == 0 for r in rows if r["tiles"] == [1, 1])
+assert all(r["growths_stable"] for r in rows), "arena grew mid-run"
+assert all(r["ms_per_step"] > 0 for r in rows)
+EOF
+fi
+echo "check.sh: $tiling_json validated"
+
+# Tiled decomposition smoke through the CLI: a 2x2 and an uneven 3x2
+# run must produce checkpoints byte-identical to the monolithic run's
+# (the gather-on-snapshot contract), on a genuinely 2D problem.
+tile_dir="bench_out/smoke/tiles"
+rm -rf "$tile_dir"
+for t in 1x1 2x2 3x2; do
+  mkdir -p "$tile_dir/$t"
+  dune exec bin/eulersim.exe -- quadrant --nx 24 --tiles "$t" --steps 6 \
+    --checkpoint-dir "$tile_dir/$t" --checkpoint-every 6 >/dev/null
+done
+for t in 2x2 3x2; do
+  cmp "$tile_dir/1x1/ckpt-000000006.swck" "$tile_dir/$t/ckpt-000000006.swck" \
+    || { echo "check.sh: --tiles $t diverged from monolithic" >&2; exit 1; }
+done
+echo "check.sh: tiled runs bitwise-identical to monolithic"
 
 echo "check.sh: all green"

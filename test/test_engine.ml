@@ -363,6 +363,44 @@ let test_resume_bitwise_scheme_matrix () =
           riemann = Euler.Riemann.Hll;
           rk = Euler.Rk.Euler1 } ) ]
 
+let test_resume_cross_tiling () =
+  (* Tiled runs snapshot through a gather to the monolithic format, so
+     checkpoints cross the decomposition boundary in both directions:
+     a monolithic checkpoint resumes under tiling and vice versa, and
+     every continuation equals the uninterrupted monolithic run
+     bitwise — dt sequence, state and re-snapshot alike. *)
+  let problem () = Euler.Setup.quadrant ~nx:12 () in
+  let config tiles =
+    { Euler.Solver.benchmark_config with Euler.Solver.tiles }
+  in
+  let start tiles =
+    Engine.Registry.create ~config:(config tiles) "reference" (problem ())
+  in
+  let uninterrupted = start (1, 1) in
+  let dts_a = march uninterrupted 8 in
+  List.iter
+    (fun (label, t1, t2) ->
+      let first = start t1 in
+      let dts_b1 = march first 4 in
+      let snap =
+        Persist.Snapshot.decode
+          (Persist.Snapshot.encode (Engine.Backend.snapshot first))
+      in
+      let resumed = Engine.Registry.resume ~tiles:t2 snap (problem ()) in
+      check_states_identical (label ^ " at n1") (Engine.Backend.state first)
+        (Engine.Backend.state resumed);
+      let dts_b2 = march resumed 4 in
+      check_dts_identical label dts_a (dts_b1 @ dts_b2);
+      check_states_identical label
+        (Engine.Backend.state uninterrupted)
+        (Engine.Backend.state resumed);
+      check_string (label ^ ": snapshots byte-identical")
+        (Persist.Snapshot.encode (Engine.Backend.snapshot uninterrupted))
+        (Persist.Snapshot.encode (Engine.Backend.snapshot resumed)))
+    [ ("mono->tiled", (1, 1), (2, 2));
+      ("tiled->mono", (2, 2), (1, 1));
+      ("tiled->tiled-uneven", (2, 2), (3, 2)) ]
+
 let test_resume_rejects_mismatch () =
   let snap =
     let inst =
@@ -538,6 +576,8 @@ let () =
             test_resume_bitwise_schedulers;
           Alcotest.test_case "bitwise across schemes" `Quick
             test_resume_bitwise_scheme_matrix;
+          Alcotest.test_case "bitwise across decompositions" `Quick
+            test_resume_cross_tiling;
           Alcotest.test_case "mismatch rejected" `Quick
             test_resume_rejects_mismatch ] );
       ( "autosave",

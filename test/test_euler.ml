@@ -696,7 +696,8 @@ let test_solver_sod_all_configs_stable () =
               riemann;
               rk = Euler.Rk.Tvd_rk3;
               cfl = 0.4;
-              fused = true }
+              fused = true;
+              tiles = (1, 1) }
           in
           let s = make_sod_solver ~config 60 in
           Euler.Solver.run_until s 0.15;
@@ -719,7 +720,8 @@ let test_solver_123_positivity () =
       riemann = Euler.Riemann.Hll;
       rk = Euler.Rk.Tvd_rk3;
       cfl = 0.4;
-      fused = true }
+      fused = true;
+      tiles = (1, 1) }
   in
   let s =
     Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
@@ -1406,6 +1408,255 @@ let test_fused_dt_matches_standalone () =
        s1.Euler.Solver.state)
     (Euler.Solver.dt s1)
 
+(* ------------------------------------------------------------------ *)
+(* Tiled domain decomposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_tiling_split () =
+  Alcotest.(check (array int)) "7 into 3 (larger first)" [| 3; 2; 2 |]
+    (Euler.Tiling.split 7 3);
+  Alcotest.(check (array int)) "even split" [| 4; 4; 4 |]
+    (Euler.Tiling.split 12 3);
+  Alcotest.(check (array int)) "single part" [| 5 |] (Euler.Tiling.split 5 1);
+  check_int "extents sum to n" 23
+    (Array.fold_left ( + ) 0 (Euler.Tiling.split 23 5));
+  expect_invalid "more parts than cells" (fun () -> Euler.Tiling.split 2 3);
+  expect_invalid "zero parts" (fun () -> Euler.Tiling.split 4 0)
+
+let test_tiling_1d () =
+  (* 1D grids only tile along x: a 1xC plan works, any rows > 1 is
+     rejected up front with a message, not a downstream crash. *)
+  let g = Euler.Grid.make_1d ~nx:40 ~lx:1. () in
+  let p = Euler.Tiling.make ~rows:1 ~cols:3 g in
+  check_int "tiles" 3 (Euler.Tiling.tiles p);
+  let widths =
+    List.init 3 (fun c -> snd (Euler.Tiling.col_extent p c))
+  in
+  Alcotest.(check (list int)) "column widths" [ 14; 13; 13 ] widths;
+  List.iteri
+    (fun c g ->
+      check_int (Printf.sprintf "tile %d ny" c) 1 g.Euler.Grid.ny)
+    (List.init 3 (fun c -> Euler.Tiling.tile_grid p ~r:0 ~c));
+  expect_invalid "row tiling of a 1d grid" (fun () ->
+      Euler.Tiling.make ~rows:2 ~cols:1 g);
+  expect_invalid "tiles narrower than the halo" (fun () ->
+      Euler.Tiling.make ~rows:1 ~cols:20 g)
+
+let test_tiling_neighbors () =
+  let g = Euler.Grid.make ~nx:24 ~ny:24 ~lx:1. ~ly:1. () in
+  let p = Euler.Tiling.make ~rows:3 ~cols:3 g in
+  let n r c side = Euler.Tiling.neighbor p ~r ~c side in
+  (* South-west corner: physical on W and S, neighbours E and N. *)
+  check_bool "corner W physical" true (n 0 0 Euler.Bc.West = None);
+  check_bool "corner S physical" true (n 0 0 Euler.Bc.South = None);
+  check_bool "corner E" true (n 0 0 Euler.Bc.East = Some (0, 1));
+  check_bool "corner N" true (n 0 0 Euler.Bc.North = Some (1, 0));
+  (* Interior tile: all four neighbours. *)
+  check_bool "interior W" true (n 1 1 Euler.Bc.West = Some (1, 0));
+  check_bool "interior E" true (n 1 1 Euler.Bc.East = Some (1, 2));
+  check_bool "interior S" true (n 1 1 Euler.Bc.South = Some (0, 1));
+  check_bool "interior N" true (n 1 1 Euler.Bc.North = Some (2, 1));
+  (* North-east corner mirrors the south-west one. *)
+  check_bool "ne corner E physical" true (n 2 2 Euler.Bc.East = None);
+  check_bool "ne corner N physical" true (n 2 2 Euler.Bc.North = None);
+  check_bool "ne corner W" true (n 2 2 Euler.Bc.West = Some (2, 1));
+  check_bool "ne corner S" true (n 2 2 Euler.Bc.South = Some (1, 2))
+
+let test_tiling_gather_scatter_identity () =
+  (* scatter then gather must reproduce the monolithic padded array
+     byte-for-byte, ghost ring included: the owned ranges partition it
+     exactly.  Every padded cell gets a unique value so any overlap,
+     gap or misaligned blit shows up. *)
+  List.iter
+    (fun (rows, cols, nx, ny) ->
+      let g =
+        if ny = 1 then Euler.Grid.make_1d ~nx ~lx:1. ()
+        else Euler.Grid.make ~nx ~ny ~lx:1. ~ly:1. ()
+      in
+      let src = Euler.State.create g in
+      Array.iteri
+        (fun k q ->
+          Array.iteri
+            (fun i _ -> q.(i) <- (float_of_int k *. 1.0e6) +. float_of_int i)
+            q)
+        src.Euler.State.q;
+      let p = Euler.Tiling.make ~rows ~cols g in
+      let tiles = Euler.Tiling.states p ~gamma:src.Euler.State.gamma in
+      Euler.Tiling.scatter p ~src ~into:tiles;
+      let out = Euler.State.create g in
+      Euler.Tiling.gather p ~tiles ~into:out;
+      let name = Printf.sprintf "%dx%d on %dx%d grid" rows cols nx ny in
+      Array.iteri
+        (fun k q ->
+          check_bool
+            (Printf.sprintf "%s var %d bitwise" name k)
+            true
+            (Array.for_all2 ( = ) q out.Euler.State.q.(k)))
+        src.Euler.State.q)
+    [ (1, 1, 16, 16); (2, 2, 16, 16); (3, 2, 13, 11); (1, 3, 40, 1) ]
+
+(* Advance the two-channel problem [steps] steps under an R x C
+   decomposition; the monolithic baseline is tiles = (1, 1). *)
+let tiled_advance ~tiles ~fused ~exec ~steps config =
+  let prob = Euler.Setup.two_channel ~cells_per_h:6 () in
+  let s =
+    Euler.Solver.create ~exec
+      ~config:{ config with Euler.Solver.fused; tiles }
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  let dts = Array.init steps (fun _ -> Euler.Solver.step s) in
+  (s, dts)
+
+let test_tiled_bitwise_scheme_matrix () =
+  (* Every reconstruction x Riemann combination, tiled 2x2 and uneven
+     3x2, against the monolithic run: dt sequences float-for-float and
+     final states bit-for-bit.  Tiling is a data-layout choice, never
+     a numerical one. *)
+  List.iter
+    (fun recon ->
+      List.iter
+        (fun riemann ->
+          let config =
+            { Euler.Solver.default_config with
+              Euler.Solver.recon;
+              riemann;
+              cfl = 0.4 }
+          in
+          let run tiles =
+            tiled_advance ~tiles ~fused:true
+              ~exec:(Parallel.Exec.sequential ()) ~steps:4 config
+          in
+          let sm, dm = run (1, 1) in
+          let name =
+            Euler.Recon.name recon ^ "+" ^ Euler.Riemann.name riemann
+          in
+          List.iter
+            (fun tiles ->
+              let st, dt = run tiles in
+              let r, c = tiles in
+              let tname = Printf.sprintf "%s %dx%d" name r c in
+              Alcotest.(check (array (float 0.)))
+                (tname ^ " dt sequence bitwise") dm dt;
+              check_float 0. (tname ^ " state bitwise") 0.
+                (Euler.State.max_abs_diff sm.Euler.Solver.state
+                   (Euler.Solver.current_state st)))
+            [ (2, 2); (3, 2) ])
+        solvers)
+    all_schemes
+
+let test_tiled_schedulers_identical () =
+  (* The stitched run must not depend on the scheduler or on fusing:
+     all six combinations equal the monolithic sequential baseline
+     bitwise, on both an even and an uneven decomposition. *)
+  let config = Euler.Solver.default_config in
+  let sm, dm =
+    tiled_advance ~tiles:(1, 1) ~fused:true
+      ~exec:(Parallel.Exec.sequential ()) ~steps:6 config
+  in
+  List.iter
+    (fun tiles ->
+      let r, c = tiles in
+      List.iter
+        (fun (name, exec, fused) ->
+          let s, d = tiled_advance ~tiles ~fused ~exec ~steps:6 config in
+          let st = Euler.Solver.current_state s in
+          Parallel.Exec.shutdown exec;
+          let tname = Printf.sprintf "%s %dx%d" name r c in
+          Alcotest.(check (array (float 0.))) (tname ^ " dt sequence") dm d;
+          check_float 0. (tname ^ " state") 0.
+            (Euler.State.max_abs_diff sm.Euler.Solver.state st))
+        [ ("seq fused", Parallel.Exec.sequential (), true);
+          ("seq unfused", Parallel.Exec.sequential (), false);
+          ("spmd(3) fused", Parallel.Exec.spmd ~lanes:3, true);
+          ("spmd(3) unfused", Parallel.Exec.spmd ~lanes:3, false);
+          ("fork-join(3) fused", Parallel.Exec.fork_join ~lanes:3, true);
+          ("fork-join(3) unfused", Parallel.Exec.fork_join ~lanes:3, false) ]
+    )
+    [ (2, 2); (3, 2) ]
+
+let test_tiled_1d_bitwise () =
+  (* Column tiling of a 1D Sod tube (the ny = 1 < ng special case all
+     the way through halo exchange and the sequential BC fallback). *)
+  let run tiles =
+    let prob = Euler.Setup.sod ~nx:40 () in
+    let s =
+      Euler.Solver.create
+        ~config:{ Euler.Solver.default_config with Euler.Solver.tiles }
+        ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+    in
+    let dts = Array.init 8 (fun _ -> Euler.Solver.step s) in
+    (Euler.Solver.current_state s, dts)
+  in
+  let qm, dm = run (1, 1) in
+  let qt, dt = run (1, 3) in
+  Alcotest.(check (array (float 0.))) "1d dt sequence" dm dt;
+  check_float 0. "1d state" 0. (Euler.State.max_abs_diff qm qt)
+
+let test_tiled_regions_and_allocation () =
+  (* The fused tiled step must stay within the folding budget — one
+     dispatch per RK stage plus the single first-step GetDT region,
+     (1 + 3) + 3 + 3 over 3 steps — and the lane arenas must stop
+     growing after the warm-up step (zero steady-state allocation). *)
+  let exec = Parallel.Exec.sequential () in
+  let prob = Euler.Setup.two_channel ~cells_per_h:6 () in
+  let s =
+    Euler.Solver.create ~exec
+      ~config:{ Euler.Solver.default_config with Euler.Solver.tiles = (2, 2) }
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  Euler.Solver.run_steps s 3;
+  check_float 1e-9 "tiled fused regions/step" (10. /. 3.)
+    (Euler.Solver.regions_per_step s);
+  check_bool "tiled fused regions/step <= 4" true
+    (Euler.Solver.regions_per_step s <= 4.);
+  let ws = Parallel.Exec.workspace exec in
+  let grown = Parallel.Workspace.growths ws in
+  Euler.Solver.run_steps s 5;
+  check_int "steady-state arena growths" grown (Parallel.Workspace.growths ws)
+
+let test_tiled_ghost_validation () =
+  (* Satellite 1: the solver refuses up front when the grid's ghost
+     ring (= the inter-tile halo depth) is too shallow for the
+     reconstruction stencil. *)
+  check_int "pc needs 1" 1 (Euler.Recon.required_ghosts Euler.Recon.Piecewise_constant);
+  check_int "weno5 needs 3" 3
+    (Euler.Recon.required_ghosts Euler.Recon.Weno5);
+  let g = Euler.Grid.make_1d ~ng:1 ~nx:32 ~lx:1. () in
+  let st = Euler.State.create g in
+  Euler.State.init_primitive st (fun ~x:_ ~y:_ -> (1., 0., 0., 1.));
+  let bcs =
+    [ (Euler.Bc.West, Euler.Bc.Outflow); (Euler.Bc.East, Euler.Bc.Outflow) ]
+  in
+  expect_invalid "weno5 on ng=1 grid" (fun () ->
+      Euler.Solver.create
+        ~config:
+          { Euler.Solver.default_config with
+            Euler.Solver.recon = Euler.Recon.Weno5 }
+        ~bcs st);
+  (* pc fits in one ghost layer, so the same grid is accepted. *)
+  let s =
+    Euler.Solver.create
+      ~config:
+        { Euler.Solver.default_config with
+          Euler.Solver.recon = Euler.Recon.Piecewise_constant;
+          riemann = Euler.Riemann.Rusanov }
+      ~bcs st
+  in
+  ignore (Euler.Solver.step s);
+  (* And a decomposition whose tiles are narrower than the halo is
+     rejected at create, naming the dimension. *)
+  let prob = Euler.Setup.sod ~nx:40 () in
+  expect_invalid "tiles narrower than halo" (fun () ->
+      Euler.Solver.create
+        ~config:
+          { Euler.Solver.default_config with Euler.Solver.tiles = (1, 20) }
+        ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state)
+
 let () =
   Alcotest.run "euler"
     [ ( "gas",
@@ -1541,4 +1792,19 @@ let () =
             test_fused_1d_fallback;
           Alcotest.test_case "in-sweep dt = standalone" `Quick
             test_fused_dt_matches_standalone ] );
+      ( "tiling",
+        [ Alcotest.test_case "split arithmetic" `Quick test_tiling_split;
+          Alcotest.test_case "1d column tiling" `Quick test_tiling_1d;
+          Alcotest.test_case "neighbour map" `Quick test_tiling_neighbors;
+          Alcotest.test_case "gather . scatter = id" `Quick
+            test_tiling_gather_scatter_identity;
+          Alcotest.test_case "bitwise across schemes" `Quick
+            test_tiled_bitwise_scheme_matrix;
+          Alcotest.test_case "bitwise across schedulers" `Quick
+            test_tiled_schedulers_identical;
+          Alcotest.test_case "1d bitwise" `Quick test_tiled_1d_bitwise;
+          Alcotest.test_case "regions and allocation" `Quick
+            test_tiled_regions_and_allocation;
+          Alcotest.test_case "ghost/halo validation" `Quick
+            test_tiled_ghost_validation ] );
       ("properties", qcheck_cases) ]

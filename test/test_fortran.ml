@@ -133,7 +133,8 @@ let test_equiv_full_menu () =
           riemann;
           rk = Euler.Rk.Tvd_rk3;
           cfl = 0.4;
-          fused = true }
+          fused = true;
+          tiles = (1, 1) }
       in
       let p1 = Euler.Setup.sod ~nx:50 () in
       let reference =

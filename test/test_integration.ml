@@ -301,7 +301,8 @@ let prop_fortran_matches_reference_random =
           riemann;
           rk = Euler.Rk.Tvd_rk3;
           cfl = 0.4;
-          fused = true }
+          fused = true;
+          tiles = (1, 1) }
       in
       let init () =
         let grid = Euler.Grid.make_1d ~nx:48 ~lx:1. () in
