@@ -1040,6 +1040,122 @@ let tiling () =
   Printf.printf "wrote %s\n" (path "BENCH_tiling.json")
 
 (* ------------------------------------------------------------------ *)
+(* Order-of-accuracy harness (BENCH_convergence.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Grid-refinement slopes for every reconstruction tier on the smooth
+   registry scenario (self-convergence, no exact solution needed), and
+   exact-Riemann L1 errors on the shock tubes (where discontinuities
+   cap the attainable order at ~1).  [min_order] is the acceptance
+   floor per scheme: below the formal order because TVD limiting and
+   WENO weight adaptation cost accuracy at smooth extrema, which the
+   acoustic pulse deliberately has.  The smooth studies run a short
+   horizon ([smooth_t]) so the first-order schemes are measured while
+   still in their asymptotic range — over the pulse's full crossing
+   time their diffusion flattens the profile and the observed slope
+   collapses.  WENO5's floor is the lowest relative to its formal
+   order: at this pulse amplitude (1e-3) its absolute error reaches
+   ~3e-8 on the finer rungs, where slope measurement saturates. *)
+
+let smooth_t = 0.05
+
+let convergence_schemes =
+  [ (Euler.Recon.Piecewise_constant, Euler.Riemann.Rusanov, 0.6);
+    (Euler.Recon.Tvd2 Euler.Limiter.Minmod, Euler.Riemann.Hllc, 1.3);
+    (Euler.Recon.Weno3, Euler.Riemann.Hllc, 2.5);
+    (Euler.Recon.Weno5, Euler.Riemann.Hllc, 1.6) ]
+
+type conv_row = {
+  v_kind : string; (* "self" | "exact" *)
+  v_min_order : float;
+  v_study : Engine.Convergence.study;
+  v_monotone : bool;
+  v_pass : bool;
+}
+
+let convergence () =
+  header "Convergence -- observed order of accuracy (scenario registry)";
+  ensure_out ();
+  let ladder = if !quick then [ 40; 80; 160 ] else [ 50; 100; 200; 400 ] in
+  let pulse = Engine.Scenario.find_exn "pulse" in
+  let smooth =
+    List.map
+      (fun (recon, riemann, v_min_order) ->
+        let config =
+          { Euler.Solver.default_config with Euler.Solver.recon; riemann }
+        in
+        let st =
+          Engine.Convergence.self_study ~t:smooth_t pulse ~config ladder
+        in
+        { v_kind = "self";
+          v_min_order;
+          v_study = st;
+          v_monotone = Engine.Convergence.monotone st.Engine.Convergence.samples;
+          v_pass =
+            st.Engine.Convergence.order >= v_min_order
+            && Engine.Convergence.monotone st.Engine.Convergence.samples })
+      convergence_schemes
+  in
+  let shock =
+    List.map
+      (fun name ->
+        let s = Engine.Scenario.find_exn name in
+        let config = Engine.Scenario.config s in
+        let st = Engine.Convergence.exact_study s ~config ladder in
+        let mono = Engine.Convergence.monotone st.Engine.Convergence.samples in
+        { v_kind = "exact";
+          v_min_order = 0.4;
+          v_study = st;
+          v_monotone = mono;
+          v_pass = mono && st.Engine.Convergence.order >= 0.4 })
+      [ "sod"; "lax" ]
+  in
+  let rows = smooth @ shock in
+  Printf.printf "%-6s %-10s %-22s %8s %9s %9s %9s %6s\n" "kind" "scenario"
+    "scheme" "nominal" "floor" "observed" "monotone" "pass";
+  List.iter
+    (fun r ->
+      let s = r.v_study in
+      Printf.printf "%-6s %-10s %-22s %8.1f %9.2f %9.2f %9b %6b\n" r.v_kind
+        s.Engine.Convergence.scenario s.Engine.Convergence.scheme
+        s.Engine.Convergence.nominal r.v_min_order
+        s.Engine.Convergence.order r.v_monotone r.v_pass;
+      List.iter
+        (fun { Engine.Convergence.nx; error } ->
+          Printf.printf "         nx %4d   L1 = %.6e\n" nx error)
+        s.Engine.Convergence.samples)
+    rows;
+  let oc = open_out (path "BENCH_convergence.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"convergence-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc "  \"ladder\": [%s],\n  \"rows\": [\n"
+    (String.concat ", " (List.map string_of_int ladder));
+  List.iteri
+    (fun i r ->
+      let s = r.v_study in
+      Printf.fprintf oc
+        "    { \"kind\": \"%s\", \"scenario\": \"%s\", \"scheme\": \"%s\", \
+         \"nominal_order\": %.2f, \"min_order\": %.2f, \"observed_order\": \
+         %.4f, \"monotone\": %b, \"pass\": %b, \"samples\": [%s] }%s\n"
+        r.v_kind s.Engine.Convergence.scenario s.Engine.Convergence.scheme
+        s.Engine.Convergence.nominal r.v_min_order
+        s.Engine.Convergence.order r.v_monotone r.v_pass
+        (String.concat ", "
+           (List.map
+              (fun { Engine.Convergence.nx; error } ->
+                Printf.sprintf "{ \"nx\": %d, \"l1\": %.6e }" nx error)
+              s.Engine.Convergence.samples))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_convergence.json");
+  if List.exists (fun r -> not r.v_pass) rows then begin
+    Printf.eprintf "convergence: a scheme fell below its order floor\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -1051,7 +1167,8 @@ let experiments =
     ("hotpath", hotpath);
     ("scaling", scaling);
     ("checkpoint", checkpoint);
-    ("tiling", tiling) ]
+    ("tiling", tiling);
+    ("convergence", convergence) ]
 
 let () =
   let chosen = ref [] in

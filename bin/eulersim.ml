@@ -5,19 +5,21 @@
 
 open Cmdliner
 
+(* Problem names come from the scenario registry — a scenario added
+   there is immediately selectable here, and an unknown name is an
+   error naming the vocabulary, never a silent fallback. *)
 let problem_conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "sod" | "lax" | "123" | "two-channel" | "uniform" | "pulse"
-    | "quadrant" ->
-      Ok (String.lowercase_ascii s)
-    | _ ->
+    match Engine.Scenario.find s with
+    | Some scen -> Ok scen
+    | None ->
       Error
         (`Msg
-           "expected one of: sod, lax, 123, pulse, uniform, quadrant, \
-            two-channel")
+           ("unknown problem; available: "
+            ^ String.concat ", " (Engine.Scenario.names ())))
   in
-  Arg.conv (parse, Format.pp_print_string)
+  Arg.conv
+    (parse, fun ppf s -> Format.pp_print_string ppf s.Engine.Scenario.name)
 
 let recon_conv =
   let parse s =
@@ -120,16 +122,6 @@ let effective_config backend (config : Euler.Solver.config) =
 let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
     scheduler lanes csv pgm ckpt_dir ckpt_every ckpt_every_s ckpt_retain
     resume =
-  let prob =
-    match problem with
-    | "sod" -> Euler.Setup.sod ~nx ()
-    | "lax" -> Euler.Setup.lax ~nx ()
-    | "123" -> Euler.Setup.test123 ~nx ()
-    | "pulse" -> Euler.Setup.acoustic_pulse ~nx ()
-    | "uniform" -> Euler.Setup.uniform ~nx ~ny:nx ()
-    | "quadrant" -> Euler.Setup.quadrant ~nx ()
-    | _ -> Euler.Setup.two_channel ~ms ~cells_per_h:(nx / 2) ()
-  in
   let exec =
     match scheduler with
     | `Seq -> Parallel.Exec.sequential ()
@@ -140,6 +132,13 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
     Parallel.Exec.shutdown exec;
     Printf.eprintf "eulersim: %s\n" msg;
     exit 2
+  in
+  (* --nx left unset means the scenario's registered default; a
+     resolution the scenario rejects (e.g. dmr needs a multiple of 4)
+     is a clean CLI error. *)
+  let prob =
+    try Engine.Scenario.problem ?nx ~ms problem
+    with Invalid_argument msg -> fail msg
   in
   Printf.printf "problem: %s\n" prob.Euler.Setup.description;
   (* On resume the snapshot's descriptor is authoritative for the
@@ -264,14 +263,18 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
 
 let cmd =
   let problem =
-    Arg.(value & pos 0 problem_conv "sod"
+    Arg.(value
+         & pos 0 problem_conv (Engine.Scenario.find_exn "sod")
          & info [] ~docv:"PROBLEM"
-             ~doc:"sod, lax, 123, pulse, uniform, quadrant or two-channel")
+             ~doc:
+               ("one of: " ^ String.concat ", " (Engine.Scenario.names ())))
   and nx =
-    Arg.(value & opt int 200
-         & info [ "n"; "nx" ] ~docv:"N" ~doc:"grid cells per side")
+    Arg.(value & opt (some int) None
+         & info [ "n"; "nx" ] ~docv:"N"
+             ~doc:"grid cells per side (default: the scenario's \
+                   registered resolution)")
   and ms =
-    Arg.(value & opt float 2.2
+    Arg.(value & opt float Engine.Scenario.default_ms
          & info [ "ms" ] ~doc:"shock Mach number (two-channel)")
   and recon =
     Arg.(value & opt recon_conv Euler.Recon.Weno3

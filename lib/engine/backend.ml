@@ -14,6 +14,7 @@ module type BACKEND = sig
   type t
 
   val name : string
+  val supports_2d : bool
   val create : spec -> t
   val dt : t -> float
   val step_dt : t -> float -> unit

@@ -29,6 +29,12 @@ module type BACKEND = sig
   val name : string
   (** Registry key, e.g. ["reference"]. *)
 
+  val supports_2d : bool
+  (** Whether the backend accepts 2D grids ([ny > 1]).  The mini-SaC
+      interpreter is 1D-only; drivers that enumerate scenario x
+      backend matrices ({!Golden_suite}) consult this instead of
+      probing [create] for the Invalid_argument. *)
+
   val create : spec -> t
   (** Copies the problem state; the spec's scheduler is owned by the
       backend afterwards.

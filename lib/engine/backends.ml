@@ -22,6 +22,7 @@ module Reference : Backend.BACKEND = struct
   type t = Euler.Solver.t
 
   let name = "reference"
+  let supports_2d = true
 
   let create (s : Backend.spec) =
     Euler.Solver.create ~exec:s.exec ~config:s.config
@@ -71,6 +72,7 @@ module Array_style : Backend.BACKEND = struct
   type t = Euler.Array_style.t
 
   let name = "array"
+  let supports_2d = true
 
   let create (s : Backend.spec) =
     benchmark_scheme_only ~name s.config;
@@ -121,6 +123,7 @@ end) : Backend.BACKEND = struct
   }
 
   let name = A.name
+  let supports_2d = true
 
   let create (s : Backend.spec) =
     no_tiling ~name s.config;
@@ -191,6 +194,7 @@ module Sacprog : Backend.BACKEND = struct
   }
 
   let name = "sacprog"
+  let supports_2d = false
 
   let create (s : Backend.spec) =
     benchmark_scheme_only ~name s.config;

@@ -1,0 +1,153 @@
+type sample = { nx : int; error : float }
+
+type study = {
+  scenario : string;
+  scheme : string;
+  nominal : float;
+  samples : sample list;
+  order : float;
+}
+
+let scheme_name (c : Euler.Solver.config) =
+  Printf.sprintf "%s+%s+%s"
+    (Euler.Recon.name c.Euler.Solver.recon)
+    (Euler.Riemann.name c.Euler.Solver.riemann)
+    (Euler.Rk.name c.Euler.Solver.rk)
+
+let spatial_order = function
+  | Euler.Recon.Piecewise_constant -> 1.
+  | Euler.Recon.Tvd2 _ -> 2.
+  | Euler.Recon.Tvd3 _ -> 3.
+  | Euler.Recon.Weno3 -> 3.
+  | Euler.Recon.Weno5 -> 5.
+
+let temporal_order = function
+  | Euler.Rk.Euler1 -> 1.
+  | Euler.Rk.Tvd_rk2 -> 2.
+  | Euler.Rk.Tvd_rk3 -> 3.
+
+(* With dt tied to dx through the CFL condition, the formal order of
+   the pair is the lesser of the two. *)
+let nominal_order (c : Euler.Solver.config) =
+  Float.min
+    (spatial_order c.Euler.Solver.recon)
+    (temporal_order c.Euler.Solver.rk)
+
+let require_1d (s : Scenario.t) what =
+  if s.Scenario.dims <> Scenario.D1 then
+    invalid_arg
+      (Printf.sprintf "Engine.Convergence.%s: scenario %S is not 1D" what
+         s.Scenario.name)
+
+(* March the reference solver (sequential, monolithic — convergence is
+   a property of the scheme, pinned bitwise-equal across every other
+   execution path) and return the interior density profile. *)
+let density_at (s : Scenario.t) ~config ~nx ~t =
+  let prob = Scenario.problem ~nx s in
+  let solver =
+    Euler.Solver.create ~config ~bcs:prob.Euler.Setup.bcs
+      prob.Euler.Setup.state
+  in
+  Euler.Solver.run_until solver t;
+  (solver.Euler.Solver.state, Euler.State.density_profile solver.Euler.Solver.state)
+
+let l1 a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Engine.Convergence: profile lengths differ";
+  let sum = ref 0. in
+  Array.iteri (fun i x -> sum := !sum +. Float.abs (x -. b.(i))) a;
+  !sum /. float_of_int (Array.length a)
+
+(* Conservative coarsening: a coarse cell is the mean of the two fine
+   cells it covers, so coarse and fine profiles are compared as
+   averages over identical volumes. *)
+let coarsen fine =
+  let n = Array.length fine in
+  if n mod 2 <> 0 then invalid_arg "Engine.Convergence: odd fine grid";
+  Array.init (n / 2) (fun i -> 0.5 *. (fine.(2 * i) +. fine.((2 * i) + 1)))
+
+let self_errors (s : Scenario.t) ~config ~t nxs =
+  require_1d s "self_errors";
+  let profiles =
+    List.map (fun nx -> (nx, snd (density_at s ~config ~nx ~t))) nxs
+  in
+  let rec pair = function
+    | (nc, coarse) :: ((nf, fine) :: _ as rest) ->
+      if nf <> 2 * nc then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.Convergence.self_errors: %d does not double %d" nf nc);
+      { nx = nc; error = l1 coarse (coarsen fine) } :: pair rest
+    | _ -> []
+  in
+  pair profiles
+
+let exact_errors (s : Scenario.t) ~config ~t nxs =
+  require_1d s "exact_errors";
+  match s.Scenario.reference with
+  | Scenario.Exact_riemann { left; right; x0 } ->
+    List.map
+      (fun nx ->
+        let st, rho = density_at s ~config ~nx ~t in
+        let g = st.Euler.State.grid in
+        let xs = Array.init nx (fun ix -> Euler.Grid.xc g ix) in
+        let sol =
+          Euler.Exact_riemann.profile ~gamma:st.Euler.State.gamma ~left
+            ~right ~x0 ~t ~xs
+        in
+        { nx; error = l1 rho (Array.map (fun (r, _, _) -> r) sol) })
+      nxs
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Engine.Convergence.exact_errors: scenario %S carries no exact \
+          Riemann reference"
+         s.Scenario.name)
+
+(* Least-squares slope of log(error) against log(1/nx): the observed
+   order of accuracy across all refinement levels at once (more
+   robust than a single pairwise ratio). *)
+let observed_order samples =
+  let pts =
+    List.filter_map
+      (fun { nx; error } ->
+        if error > 0. then
+          Some (-.Float.log (float_of_int nx), Float.log error)
+        else None)
+      samples
+  in
+  match pts with
+  | [] | [ _ ] -> Float.nan
+  | pts ->
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let monotone samples =
+  let rec go = function
+    | { error = a; _ } :: ({ error = b; _ } :: _ as rest) ->
+      a > b && go rest
+    | _ -> true
+  in
+  go samples
+
+let self_study ?t (s : Scenario.t) ~config nxs =
+  let t = match t with Some t -> t | None -> s.Scenario.t_end in
+  let samples = self_errors s ~config ~t nxs in
+  { scenario = s.Scenario.name;
+    scheme = scheme_name config;
+    nominal = nominal_order config;
+    samples;
+    order = observed_order samples }
+
+let exact_study ?t (s : Scenario.t) ~config nxs =
+  let t = match t with Some t -> t | None -> s.Scenario.t_end in
+  let samples = exact_errors s ~config ~t nxs in
+  { scenario = s.Scenario.name;
+    scheme = scheme_name config;
+    nominal = 1.;
+    samples;
+    order = observed_order samples }

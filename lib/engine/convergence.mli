@@ -1,0 +1,87 @@
+(** Order-of-accuracy harness over the scenario registry.
+
+    Two methodologies, chosen by what ground truth a scenario carries
+    ({!Scenario.reference}):
+
+    - {b self-convergence} on smooth scenarios: march the same
+      scenario at a doubling ladder of resolutions, coarsen each fine
+      solution onto its coarser neighbour by conservative cell-pair
+      averaging, and read the scheme's order from how fast the
+      inter-level L1 differences shrink (Richardson's argument — no
+      exact solution needed);
+    - {b exact-solution L1} on shock tubes: compare the density
+      profile against {!Euler.Exact_riemann.profile} at the
+      comparison time.  Discontinuities cap the attainable order at
+      one regardless of the scheme, so here the claim is monotone
+      error decay at slope ≈ 1, not the scheme's formal order.
+
+    All runs use the sequential reference solver — convergence is a
+    property of the numerics, and every other backend, scheduler and
+    decomposition is pinned bitwise-identical to it. *)
+
+type sample = {
+  nx : int;
+  error : float;  (** mean (L1) density error at this resolution *)
+}
+
+type study = {
+  scenario : string;
+  scheme : string;  (** e.g. ["weno3+hllc+rk3"] *)
+  nominal : float;  (** formal order of the scheme pair *)
+  samples : sample list;  (** coarse to fine *)
+  order : float;  (** observed least-squares slope *)
+}
+
+val scheme_name : Euler.Solver.config -> string
+
+val nominal_order : Euler.Solver.config -> float
+(** The formal order of the (reconstruction, integrator) pair: the
+    lesser of the spatial order (pc 1, tvd2 2, tvd3/weno3 3, weno5 5)
+    and the RK order, since the CFL condition ties [dt] to [dx]. *)
+
+val self_errors :
+  Scenario.t ->
+  config:Euler.Solver.config ->
+  t:float ->
+  int list ->
+  sample list
+(** Inter-level L1 differences for a doubling resolution ladder
+    (e.g. [[50; 100; 200]] yields samples at 50 and 100).
+    @raise Invalid_argument if the scenario is not 1D or the ladder
+    does not double. *)
+
+val exact_errors :
+  Scenario.t ->
+  config:Euler.Solver.config ->
+  t:float ->
+  int list ->
+  sample list
+(** L1 density error against the exact Riemann solution at each
+    resolution.
+    @raise Invalid_argument if the scenario carries no
+    {!Scenario.Exact_riemann} reference. *)
+
+val observed_order : sample list -> float
+(** Least-squares slope of [log error] vs [log (1/nx)]; [nan] with
+    fewer than two usable samples. *)
+
+val monotone : sample list -> bool
+(** Strictly decreasing errors, coarse to fine. *)
+
+val self_study :
+  ?t:float ->
+  Scenario.t ->
+  config:Euler.Solver.config ->
+  int list ->
+  study
+(** {!self_errors} plus the fitted order; [t] defaults to the
+    scenario's comparison time. *)
+
+val exact_study :
+  ?t:float ->
+  Scenario.t ->
+  config:Euler.Solver.config ->
+  int list ->
+  study
+(** {!exact_errors} plus the fitted order; [nominal] is 1 (the
+    shock-capture ceiling). *)

@@ -1,42 +1,52 @@
 type entry = {
   backend : string;
+  scenario : Scenario.t;
   config : Euler.Solver.config;
-  problem : unit -> Euler.Setup.problem;
   steps : int;
   label : string;
 }
 
 let default_root = "test/golden"
 
-let benchmark = Euler.Solver.benchmark_config
+let entry ?config ~backend (s : Scenario.t) =
+  let config = match config with Some c -> c | None -> Scenario.config s in
+  { backend;
+    scenario = s;
+    config;
+    steps = s.Scenario.golden_steps;
+    label = Printf.sprintf "%s-%d" s.Scenario.name s.Scenario.golden_nx }
 
-let sod64 () = Euler.Setup.sod ~nx:64 ()
-let quadrant16 () = Euler.Setup.quadrant ~nx:16 ()
-
-let entry ?(config = benchmark) ?(steps = 20) ~label backend problem =
-  { backend; config; problem; steps; label }
-
-(* The blessed matrix: every backend on the 1D benchmark case, the 2D
-   capable ones on the quadrant, and the reference solver once on the
+(* The blessed matrix is the cross product of the two registries:
+   every scenario on every backend that can represent it (the mini-SaC
+   interpreter is 1D-only), plus the reference solver once on the
    high-order default scheme so golden coverage is not
-   benchmark-config only.  Small grids keep the committed files a few
-   tens of KB each. *)
+   benchmark-config only.  Golden grids are deliberately small — the
+   committed end states are a few tens of KB each. *)
 let all : entry list =
-  List.map
-    (fun b -> entry ~label:"sod-64" b sod64)
-    [ "reference"; "array"; "fortran"; "fortran-outer"; "sacprog" ]
-  @ List.map
-      (fun b -> entry ~steps:10 ~label:"quadrant-16" b quadrant16)
-      [ "reference"; "array"; "fortran"; "fortran-outer" ]
-  @ [ entry ~config:Euler.Solver.default_config ~label:"sod-64-default"
-        "reference" sod64 ]
+  let cells =
+    List.concat_map
+      (fun (s : Scenario.t) ->
+        List.filter_map
+          (fun (module B : Backend.BACKEND) ->
+            if s.Scenario.dims = Scenario.D1 || B.supports_2d then
+              Some (entry ~backend:B.name s)
+            else None)
+          (Registry.all ()))
+      (Scenario.all ())
+  in
+  cells
+  @ [ { (entry ~config:Euler.Solver.default_config ~backend:"reference"
+           (Scenario.find_exn "sod"))
+        with label = "sod-64-default" } ]
+
+let problem e = Scenario.golden_problem e.scenario
 
 let key e =
-  Snap.golden_key ~backend:e.backend ~config:e.config
-    (e.problem ()).Euler.Setup.state.Euler.State.grid
+  Snap.golden_key ~scenario:e.scenario.Scenario.name ~backend:e.backend
+    ~config:e.config (problem e).Euler.Setup.state.Euler.State.grid
 
 let bless ~root e =
-  let inst = Registry.create ~config:e.config e.backend (e.problem ()) in
+  let inst = Registry.create ~config:e.config e.backend (problem e) in
   ignore (Run.run_steps inst e.steps);
   Persist.Golden.bless ~root ~key:(key e) (Backend.snapshot inst)
 
@@ -46,8 +56,8 @@ type result = Pass of Validate.report | Fail of Validate.report | Missing
 
 let check ?(tol = 1e-12) ~root e =
   match
-    Validate.against_golden ~config:e.config ~steps:e.steps ~root e.backend
-      (e.problem ())
+    Validate.against_golden ~scenario:e.scenario.Scenario.name
+      ~config:e.config ~steps:e.steps ~root e.backend (problem e)
   with
   | None -> Missing
   | Some report -> if Validate.within report tol then Pass report

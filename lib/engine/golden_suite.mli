@@ -2,16 +2,19 @@
 
     A golden is a full checkpoint snapshot of a backend's state after
     a fixed short march, committed under [test/golden/].  The suite
-    pins the matrix of (backend x scheme x grid) combinations the
-    repository guarantees: regenerating them must be a deliberate act
+    pins the matrix of (scenario x backend x scheme) combinations the
+    repository guarantees — the cross product of the {!Scenario} and
+    {!Registry} registries, so a newly registered scenario is blessed
+    and validated on every capable backend with no further wiring.
+    Regenerating the store must be a deliberate act
     ([scripts/bless_golden.sh] or [golden bless]), never a side effect
     of a code change — a checked-in diff of a [.swck] file IS the
     review signal that the numerics moved. *)
 
 type entry = {
   backend : string;
+  scenario : Scenario.t;
   config : Euler.Solver.config;
-  problem : unit -> Euler.Setup.problem;  (** fresh state per call *)
   steps : int;  (** CFL-limited steps marched before blessing *)
   label : string;  (** human name of the case, e.g. ["sod-64"] *)
 }
@@ -21,13 +24,19 @@ val default_root : string
     root. *)
 
 val all : entry list
-(** The pinned matrix: all five backends on Sod nx=64 (20 steps,
-    benchmark scheme), the 2D-capable four on the quadrant nx=16
-    (10 steps), plus the reference solver on Sod under
-    {!Euler.Solver.default_config} (WENO3 + HLLC). *)
+(** The pinned matrix: every registered scenario at its golden
+    resolution on every backend that supports its dimensionality
+    ({!Backend.BACKEND.supports_2d}), each at the scenario's
+    recommended-CFL benchmark scheme, plus the reference solver on Sod
+    under {!Euler.Solver.default_config} (WENO3 + HLLC) so golden
+    coverage is not benchmark-config only. *)
+
+val problem : entry -> Euler.Setup.problem
+(** A fresh problem at the entry's golden resolution. *)
 
 val key : entry -> string
-(** The store key, {!Snap.golden_key} of the entry. *)
+(** The store key, {!Snap.golden_key} of the entry (scenario
+    prefixed). *)
 
 val bless : root:string -> entry -> string
 (** Run the entry and (atomically) write its end-state snapshot into

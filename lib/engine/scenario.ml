@@ -1,0 +1,121 @@
+type dims = D1 | D2
+
+let dims_name = function D1 -> "1d" | D2 -> "2d"
+
+type reference =
+  | No_reference
+  | Exact_riemann of {
+      left : float * float * float;
+      right : float * float * float;
+      x0 : float;
+    }
+  | Smooth
+
+type t = {
+  name : string;
+  description : string;
+  dims : dims;
+  default_nx : int;
+  golden_nx : int;
+  golden_steps : int;
+  t_end : float;
+  cfl : float;
+  reference : reference;
+  make : nx:int -> ms:float -> Euler.Setup.problem;
+}
+
+let default_ms = 2.2
+
+let scenario ?(dims = D1) ?(default_nx = 200) ?(golden_nx = 64)
+    ?(golden_steps = 20) ?(cfl = 0.5) ?(reference = No_reference) ~t_end
+    ~description name make =
+  { name;
+    description;
+    dims;
+    default_nx;
+    golden_nx;
+    golden_steps;
+    t_end;
+    cfl;
+    reference;
+    make }
+
+(* The registry.  Names are the CLI vocabulary; keep them stable.
+   Golden grids are deliberately small (the blessed end states are
+   committed files); [t_end] is each case's standard comparison time
+   from the literature. *)
+let table =
+  [ scenario "sod" ~t_end:0.2
+      ~description:"Sod shock tube (paper SS3.1)"
+      ~reference:
+        (Exact_riemann
+           { left = Euler.Setup.sod_left;
+             right = Euler.Setup.sod_right;
+             x0 = 0.5 })
+      (fun ~nx ~ms:_ -> Euler.Setup.sod ~nx ());
+    scenario "lax" ~t_end:0.13
+      ~description:"Lax problem (stronger shock tube)"
+      ~reference:
+        (Exact_riemann
+           { left = (0.445, 0.698, 3.528);
+             right = (0.5, 0., 0.571);
+             x0 = 0.5 })
+      (fun ~nx ~ms:_ -> Euler.Setup.lax ~nx ());
+    scenario "123" ~t_end:0.15
+      ~description:"Einfeldt 1-2-3 double rarefaction (near-vacuum)"
+      ~reference:
+        (Exact_riemann
+           { left = (1., -2., 0.4); right = (1., 2., 0.4); x0 = 0.5 })
+      (fun ~nx ~ms:_ -> Euler.Setup.test123 ~nx ());
+    scenario "pulse" ~t_end:0.25 ~reference:Smooth
+      ~description:"smooth acoustic pulse (order-of-accuracy case)"
+      (fun ~nx ~ms:_ -> Euler.Setup.acoustic_pulse ~nx ());
+    scenario "shu-osher" ~t_end:1.8
+      ~description:"Shu-Osher shock/entropy-wave interaction"
+      (fun ~nx ~ms:_ -> Euler.Setup.shu_osher ~nx ());
+    scenario "blast" ~t_end:0.012 ~cfl:0.4
+      ~description:"strong blast wave (pressure ratio 1e5)"
+      ~reference:
+        (Exact_riemann
+           { left = Euler.Setup.blast_left;
+             right = Euler.Setup.blast_right;
+             x0 = 0.5 })
+      (fun ~nx ~ms:_ -> Euler.Setup.blast ~nx ());
+    scenario "uniform" ~dims:D2 ~golden_nx:16 ~golden_steps:10 ~t_end:0.5
+      ~description:"uniform 2D flow (any scheme must keep it constant)"
+      (fun ~nx ~ms:_ -> Euler.Setup.uniform ~nx ~ny:nx ());
+    scenario "quadrant" ~dims:D2 ~golden_nx:16 ~golden_steps:10 ~t_end:0.3
+      ~description:"2D Riemann quadrant problem (Lax-Liu #3)"
+      (fun ~nx ~ms:_ -> Euler.Setup.quadrant ~nx ());
+    scenario "two-channel" ~dims:D2 ~golden_nx:16 ~golden_steps:10 ~t_end:1.
+      ~description:"two-channel shock interaction (paper SS3.2)"
+      (fun ~nx ~ms ->
+        Euler.Setup.two_channel ~ms ~cells_per_h:(max 2 (nx / 2)) ());
+    scenario "dmr" ~dims:D2 ~golden_nx:32 ~golden_steps:10 ~t_end:0.2
+      ~cfl:0.4
+      ~description:
+        "double Mach reflection (Ms = 10, time-dependent top boundary)"
+      (fun ~nx ~ms:_ -> Euler.Setup.dmr ~nx ()) ]
+
+let all () = table
+let names () = List.map (fun s -> s.name) table
+
+let find key =
+  let key = String.lowercase_ascii key in
+  List.find_opt (fun s -> String.equal s.name key) table
+
+let find_exn key =
+  match find key with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine.Scenario: unknown scenario %S (have: %s)" key
+         (String.concat ", " (names ())))
+
+let problem ?nx ?(ms = default_ms) s =
+  let nx = match nx with Some n -> n | None -> s.default_nx in
+  s.make ~nx ~ms
+
+let golden_problem s = s.make ~nx:s.golden_nx ~ms:default_ms
+
+let config s = { Euler.Solver.benchmark_config with Euler.Solver.cfl = s.cfl }

@@ -1,0 +1,74 @@
+(** The scenario registry: validation problems as first-class,
+    string-keyed entries, mirroring {!Registry}'s backend registry.
+
+    Everything that enumerates problems — the [eulersim] CLI, the
+    golden end-state matrix ({!Golden_suite}), the bench harness's
+    scenario sweeps and the convergence harness ({!Convergence}) —
+    draws from this single table, so a scenario added here is
+    automatically selectable, blessed, benchmarked and validated
+    everywhere. *)
+
+type dims = D1 | D2
+
+val dims_name : dims -> string
+(** ["1d"] / ["2d"]. *)
+
+(** What ground truth (if any) a scenario carries for error
+    measurement. *)
+type reference =
+  | No_reference
+  | Exact_riemann of {
+      left : float * float * float;
+      right : float * float * float;
+      x0 : float;
+    }
+      (** The initial data is a 1D Riemann problem: L1 errors come
+          from {!Euler.Exact_riemann.profile} at the comparison
+          time. *)
+  | Smooth
+      (** The solution stays smooth to [t_end]: order-of-accuracy
+          slopes come from grid-refinement self-convergence. *)
+
+type t = {
+  name : string;  (** registry key and CLI name, e.g. ["sod"] *)
+  description : string;
+  dims : dims;
+  default_nx : int;  (** CLI default resolution *)
+  golden_nx : int;  (** resolution of the blessed golden state *)
+  golden_steps : int;  (** CFL-limited steps marched before blessing *)
+  t_end : float;  (** the literature's standard comparison time *)
+  cfl : float;  (** recommended CFL number *)
+  reference : reference;
+  make : nx:int -> ms:float -> Euler.Setup.problem;
+      (** fresh problem; [ms] is the shock Mach number (only
+          ["two-channel"] reads it) *)
+}
+
+val default_ms : float
+(** [2.2], the paper's production Mach number. *)
+
+val all : unit -> t list
+(** Every registered scenario, 1D cases first. *)
+
+val names : unit -> string list
+
+val find : string -> t option
+(** Case-insensitive lookup. *)
+
+val find_exn : string -> t
+(** @raise Invalid_argument on an unknown name, listing the known
+    ones. *)
+
+val problem : ?nx:int -> ?ms:float -> t -> Euler.Setup.problem
+(** Instantiate at [nx] (default [default_nx]) and [ms] (default
+    {!default_ms}).
+    @raise Invalid_argument on a resolution the scenario rejects
+    (e.g. ["dmr"] needs [nx] divisible by 4). *)
+
+val golden_problem : t -> Euler.Setup.problem
+(** The problem at the blessed-golden resolution. *)
+
+val config : t -> Euler.Solver.config
+(** {!Euler.Solver.benchmark_config} at the scenario's recommended
+    CFL — the scheme every backend supports, used for goldens and
+    cross-backend checks. *)

@@ -124,9 +124,14 @@ let config ?(fused = true) ?(tiles = (1, 1)) snap =
 
 let backend snap = S.get_exn snap "backend"
 
-let golden_key ~backend ~(config : Euler.Solver.config) (g : Euler.Grid.t) =
+let golden_key ?scenario ~backend ~(config : Euler.Solver.config)
+    (g : Euler.Grid.t) =
   let sanitize s = String.map (fun c -> if c = ':' then '.' else c) s in
-  Printf.sprintf "%s--%s-%s-%s--%dx%d" backend
+  (* Without a scenario label, keys for two problems sharing a grid
+     shape (all the 1D shock tubes at nx = 64) would collide in the
+     store — so every registry-driven caller passes one. *)
+  let prefix = match scenario with None -> "" | Some s -> sanitize s ^ "--" in
+  Printf.sprintf "%s%s--%s-%s-%s--%dx%d" prefix backend
     (sanitize (Euler.Recon.name config.Euler.Solver.recon))
     (Euler.Riemann.name config.Euler.Solver.riemann)
     (Euler.Rk.name config.Euler.Solver.rk)

@@ -61,6 +61,10 @@ val backend : Persist.Snapshot.t -> string
     @raise Persist.Snapshot.Corrupt if absent. *)
 
 val golden_key :
+  ?scenario:string ->
   backend:string -> config:Euler.Solver.config -> Euler.Grid.t -> string
-(** The golden-store key for a (backend x scheme x grid) cell, e.g.
-    ["reference--pc-rusanov-rk3--64x1"]. *)
+(** The golden-store key for a (scenario x backend x scheme x grid)
+    cell, e.g. ["sod--reference--pc-rusanov-rk3--64x1"].  [scenario]
+    prefixes the key; without it two scenarios sharing a grid shape
+    would collide, so registry-driven callers always pass the
+    {!Scenario} name. *)

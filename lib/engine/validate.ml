@@ -55,13 +55,13 @@ let cross_check ?config ?(steps = 10) a b problem =
   compare_states ~backend_a:(Backend.name ia) ~backend_b:(Backend.name ib)
     ~steps sa sb
 
-let against_golden ?config ?(steps = 10) ~root key problem =
+let against_golden ?scenario ?config ?(steps = 10) ~root key problem =
   let inst = Registry.create ?config key problem in
   let config =
     match config with Some c -> c | None -> Euler.Solver.benchmark_config
   in
   let gkey =
-    Snap.golden_key ~backend:key ~config
+    Snap.golden_key ?scenario ~backend:key ~config
       problem.Euler.Setup.state.Euler.State.grid
   in
   match Persist.Golden.load ~root ~key:gkey with

@@ -37,6 +37,7 @@ val cross_check :
     @raise Invalid_argument on unknown names or rejected specs. *)
 
 val against_golden :
+  ?scenario:string ->
   ?config:Euler.Solver.config ->
   ?steps:int ->
   root:string ->
@@ -46,7 +47,8 @@ val against_golden :
 (** [against_golden ~root key problem] marches backend [key] for
     [steps] (default 10) and compares the end state against the
     blessed snapshot stored under [root] for this
-    (backend, scheme, grid) — the key is {!Snap.golden_key}.  [None]
+    (scenario, backend, scheme, grid) — the key is
+    {!Snap.golden_key}, with [scenario] as its label prefix.  [None]
     when no golden exists for the combination (a skip, not a pass);
     [backend_b] is ["golden"] in the report.
     @raise Persist.Snapshot.Mismatch if a golden exists but was

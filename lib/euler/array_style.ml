@@ -203,20 +203,22 @@ let get_dt t =
 
 let step_dt t dt =
   let timed r f = Parallel.Exec.timed t.exec r f in
-  let bc st = timed Parallel.Exec.Bc (fun () -> Bc.apply st t.bcs) in
+  let bc ~tbc st = timed Parallel.Exec.Bc (fun () -> Bc.apply ~t:tbc st t.bcs) in
   let rhs src = timed Parallel.Exec.Rhs (fun () -> rhs t src) in
   let combine ~dst ~ca ~a ~cb ~b ~cd d =
     timed Parallel.Exec.Rk_combine (fun () ->
         combine t ~dst ~ca ~a ~cb ~b ~cd d)
   in
-  (* TVD-RK3, with ghost refresh before every flux evaluation. *)
-  bc t.st;
+  (* TVD-RK3, with ghost refresh before every flux evaluation; the
+     stage states approximate the solution at t, t + dt and t + dt/2,
+     which is where time-dependent boundaries are evaluated. *)
+  bc ~tbc:t.time t.st;
   let d = rhs t.st in
   combine ~dst:t.s1 ~ca:1. ~a:t.st ~cb:0. ~b:t.st ~cd:dt d;
-  bc t.s1;
+  bc ~tbc:(t.time +. dt) t.s1;
   let d = rhs t.s1 in
   combine ~dst:t.s2 ~ca:0.75 ~a:t.st ~cb:0.25 ~b:t.s1 ~cd:(0.25 *. dt) d;
-  bc t.s2;
+  bc ~tbc:(t.time +. (0.5 *. dt)) t.s2;
   let d = rhs t.s2 in
   combine ~dst:t.st ~ca:(1. /. 3.) ~a:t.st ~cb:(2. /. 3.) ~b:t.s2
     ~cd:(2. /. 3. *. dt) d;

@@ -5,6 +5,7 @@ type kind =
   | Reflective
   | Inflow of { rho : float; u : float; v : float; p : float }
   | Segmented of (float * float * kind) list
+  | Time_dependent of (float -> kind)
 
 let side_name = function
   | West -> "west"
@@ -44,7 +45,7 @@ let fill_ghost st side ~along ~gl kind =
     | Inflow { rho; u; v; p } ->
       let dix, diy = ghost in
       set_cell st ~ix:dix ~iy:diy ~rho ~u ~v ~p
-    | Segmented _ -> assert false
+    | Segmented _ | Time_dependent _ -> assert false
   in
   match side with
   | West ->
@@ -73,30 +74,42 @@ let segment_kind segments coord =
     | [] -> Reflective
     | (a, b, k) :: rest -> if coord >= a && coord < b then k else find rest
   in
-  match find segments with
-  | Segmented _ -> invalid_arg "Bc: nested Segmented"
+  find segments
+
+(* [Time_dependent] closures may return any kind (including
+   [Segmented], whose pieces may themselves be time-dependent), so
+   resolution alternates between evaluating closures at [t] and
+   looking up the segment covering [coord], with a depth bound against
+   closures that never settle. *)
+let max_resolve_depth = 8
+
+let rec resolve_time ~t ~depth = function
+  | Time_dependent f ->
+    if depth >= max_resolve_depth then
+      invalid_arg "Bc: Time_dependent resolution does not terminate";
+    resolve_time ~t ~depth:(depth + 1) (f t)
+  | k -> k
+
+let resolve ~t ~coord kind =
+  match resolve_time ~t ~depth:0 kind with
+  | Segmented segments -> (
+    match resolve_time ~t ~depth:0 (segment_kind segments coord) with
+    | Segmented _ -> invalid_arg "Bc: nested Segmented"
+    | k -> k)
   | k -> k
 
 (* Fill every ghost layer of one side at one along-boundary index.
    This is the unit of work both the sequential [apply_side] loop and
    the fused phase bodies share, so fused and unfused runs execute the
    exact same stores. *)
-let fill_along st side kind along =
+let fill_along ~t st side kind along =
   let g = st.State.grid in
-  let k =
-    match kind with
-    | Segmented segments ->
-      let coord =
-        match side with
-        | West | East -> Grid.yc g along
-        | South | North -> Grid.xc g along
-      in
-      segment_kind segments coord
-    | k -> k
+  let coord =
+    match side with
+    | West | East -> Grid.yc g along
+    | South | North -> Grid.xc g along
   in
-  (match k with
-   | Segmented _ -> invalid_arg "Bc: nested Segmented"
-   | _ -> ());
+  let k = resolve ~t ~coord kind in
   for gl = 1 to g.Grid.ng do
     fill_ghost st side ~along ~gl k
   done
@@ -107,20 +120,20 @@ let along_range st side =
   | West | East -> (-g.Grid.ng, g.Grid.ny + g.Grid.ng - 1)
   | South | North -> (-g.Grid.ng, g.Grid.nx + g.Grid.ng - 1)
 
-let apply_side st side kind =
+let apply_side ~t st side kind =
   let lo, hi = along_range st side in
   for along = lo to hi do
-    fill_along st side kind along
+    fill_along ~t st side kind along
   done
 
 let kind_of sides side =
   match List.assoc_opt side sides with Some k -> k | None -> Outflow
 
-let apply st sides =
-  apply_side st West (kind_of sides West);
-  apply_side st East (kind_of sides East);
-  apply_side st South (kind_of sides South);
-  apply_side st North (kind_of sides North)
+let apply ~t st sides =
+  apply_side ~t st West (kind_of sides West);
+  apply_side ~t st East (kind_of sides East);
+  apply_side ~t st South (kind_of sides South);
+  apply_side ~t st North (kind_of sides North)
 
 (* Tile-aware entry points: fill only the sides where this tile meets
    the physical boundary, preserving the monolithic W, E then S, N
@@ -128,13 +141,13 @@ let apply st sides =
    and [fill_south_north] in the next — the same two-pass structure as
    [phases], at tile granularity.  Interior sides are halos, owned by
    the exchange phase, and must not be touched here. *)
-let fill_west_east st sides ~west ~east =
-  if west then apply_side st West (kind_of sides West);
-  if east then apply_side st East (kind_of sides East)
+let fill_west_east ~t st sides ~west ~east =
+  if west then apply_side ~t st West (kind_of sides West);
+  if east then apply_side ~t st East (kind_of sides East)
 
-let fill_south_north st sides ~south ~north =
-  if south then apply_side st South (kind_of sides South);
-  if north then apply_side st North (kind_of sides North)
+let fill_south_north ~t st sides ~south ~north =
+  if south then apply_side ~t st South (kind_of sides South);
+  if north then apply_side ~t st North (kind_of sides North)
 
 (* Dependency analysis for fusing the four sides into phases:
 
@@ -152,7 +165,7 @@ let fill_south_north st sides ~south ~north =
    range.  Grids too narrow for the independence argument (e.g. 1D
    problems with [ny = 1 < ng]) fall back to one single-iteration
    phase running the sequential [apply]. *)
-let phases st sides =
+let phases ~t st sides =
   let g = st.State.grid in
   let ng = g.Grid.ng and nx = g.Grid.nx and ny = g.Grid.ny in
   if nx >= ng && ny >= ng then begin
@@ -166,18 +179,18 @@ let phases st sides =
         hi = 2 * vspan;
         body =
           (fun ~lane:_ i ->
-            if i < vspan then fill_along st West kw (i - ng)
-            else fill_along st East ke (i - vspan - ng)) };
+            if i < vspan then fill_along ~t st West kw (i - ng)
+            else fill_along ~t st East ke (i - vspan - ng)) };
       { Parallel.Exec.region = Parallel.Exec.Bc;
         lo = 0;
         hi = 2 * hspan;
         body =
           (fun ~lane:_ i ->
-            if i < hspan then fill_along st South ks (i - ng)
-            else fill_along st North kn (i - hspan - ng)) } ]
+            if i < hspan then fill_along ~t st South ks (i - ng)
+            else fill_along ~t st North kn (i - hspan - ng)) } ]
   end
   else
     [ { Parallel.Exec.region = Parallel.Exec.Bc;
         lo = 0;
         hi = 1;
-        body = (fun ~lane:_ _ -> apply st sides) } ]
+        body = (fun ~lane:_ _ -> apply ~t st sides) } ]

@@ -23,19 +23,41 @@ type kind =
           (y for West/East, x for South/North) lies in [\[a, b)].
           Uncovered stretches default to [Reflective].  Nesting
           [Segmented] is not allowed. *)
+  | Time_dependent of (float -> kind)
+      (** The condition at simulation time [t] is whatever the closure
+          returns at [t] — typically a [Segmented] whose split point
+          moves, like the double-Mach-reflection top boundary tracking
+          the oblique shock.  Every filling entry point takes the
+          current time and resolves this before touching ghost cells;
+          the returned kind may itself be [Segmented] (whose pieces may
+          again be time-dependent), but resolution must settle within a
+          small fixed depth. *)
 
-val apply_side : State.t -> side -> kind -> unit
-(** Fill the ghost layers of one side.
+val resolve : t:float -> coord:float -> kind -> kind
+(** The flat ([Outflow]/[Reflective]/[Inflow]) condition governing the
+    boundary cell at along-boundary coordinate [coord] at time [t]:
+    evaluates [Time_dependent] closures and selects [Segmented]
+    pieces until neither remains.  Exposed so alternative solver
+    implementations (the Fortran baseline) share the exact resolution
+    semantics.
+    @raise Invalid_argument on nested [Segmented] or non-terminating
+    [Time_dependent] nesting. *)
+
+val apply_side : t:float -> State.t -> side -> kind -> unit
+(** Fill the ghost layers of one side, resolving time-dependent
+    conditions at simulation time [t].
     @raise Invalid_argument on nested [Segmented]. *)
 
-val apply : State.t -> (side * kind) list -> unit
+val apply : t:float -> State.t -> (side * kind) list -> unit
 (** Fill all four sides; sides absent from the list get [Outflow].
     West/East are filled over the full padded height first, then
     South/North over the full padded width, so corner ghosts end up
-    consistent. *)
+    consistent.  [t] is the time the ghost state should hold — the
+    stage time under multi-stage integrators, not the step's start
+    time. *)
 
 val fill_west_east :
-  State.t -> (side * kind) list -> west:bool -> east:bool -> unit
+  t:float -> State.t -> (side * kind) list -> west:bool -> east:bool -> unit
 (** Tile-aware entry: fill West then East ghost layers, but only for
     the sides flagged [true] (the sides where a tile touches the
     physical boundary — halo sides belong to the exchange pass).
@@ -43,9 +65,10 @@ val fill_west_east :
     W, E, S, N order across two tile phases. *)
 
 val fill_south_north :
-  State.t -> (side * kind) list -> south:bool -> north:bool -> unit
+  t:float -> State.t -> (side * kind) list -> south:bool -> north:bool -> unit
 
-val phases : State.t -> (side * kind) list -> Parallel.Exec.phase list
+val phases :
+  t:float -> State.t -> (side * kind) list -> Parallel.Exec.phase list
 (** The ghost fill as fusable phases for {!Parallel.Exec.parallel_phases}:
     {West ∥ East} in one phase, then {South ∥ North} (which read the
     corner ghosts the first phase wrote) after the barrier — the same

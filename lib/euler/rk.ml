@@ -103,6 +103,7 @@ type stage_spec = {
   cb : float;
   b : slot;
   cd : float;
+  tfrac : float;
   last : bool;
 }
 
@@ -110,19 +111,24 @@ let schedule kind ~dt =
   match kind with
   | Euler1 ->
     [ { src = Q; dst = Q; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
-        last = true } ]
+        tfrac = 0.; last = true } ]
   | Tvd_rk2 ->
     [ { src = Q; dst = S1; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
-        last = false };
+        tfrac = 0.; last = false };
       { src = S1; dst = Q; ca = 0.5; a = Q; cb = 0.5; b = S1;
-        cd = 0.5 *. dt; last = true } ]
+        cd = 0.5 *. dt; tfrac = 1.; last = true } ]
   | Tvd_rk3 ->
     [ { src = Q; dst = S1; ca = 1.; a = Q; cb = 0.; b = Q; cd = dt;
-        last = false };
+        tfrac = 0.; last = false };
       { src = S1; dst = S2; ca = 0.75; a = Q; cb = 0.25; b = S1;
-        cd = 0.25 *. dt; last = false };
+        cd = 0.25 *. dt; tfrac = 1.; last = false };
       { src = S2; dst = Q; ca = 1. /. 3.; a = Q; cb = 2. /. 3.; b = S2;
-        cd = 2. /. 3. *. dt; last = true } ]
+        cd = 2. /. 3. *. dt; tfrac = 0.5; last = true } ]
+
+(* The time a stage's ghost state should hold, computed in exactly one
+   place so every stepping path feeds time-dependent boundary
+   conditions bit-identical stage times. *)
+let stage_time ~t ~dt sp = t +. (sp.tfrac *. dt)
 
 let fold_lane_max lane_max =
   let m = ref Float.neg_infinity in
@@ -132,7 +138,7 @@ let fold_lane_max lane_max =
   done;
   !m
 
-let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
+let step kind ~rhs ~bc ~exec ~t ~dt (st : State.t) ws =
   let g = st.State.grid in
   let state_of = function Q -> st | S1 -> ws.s1 | S2 -> ws.s2 in
   let q_of sl = (state_of sl).State.q in
@@ -140,7 +146,7 @@ let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
   List.iter
     (fun sp ->
       let src = state_of sp.src in
-      bc src;
+      bc ~t:(stage_time ~t ~dt sp) src;
       rhs src d;
       combine exec g ~dst:(q_of sp.dst) ~ca:sp.ca ~a:(q_of sp.a) ~cb:sp.cb
         ~b:(q_of sp.b) ~cd:sp.cd d)
@@ -152,7 +158,7 @@ let step kind ~rhs ~bc ~exec ~dt (st : State.t) ws =
    eigenvalue of the {e new} state, eliminating next step's standalone
    GetDT region.  The per-phase closures are the same ones [step] runs
    region-by-region, so the states produced are bitwise identical. *)
-let step_fused kind ~bc_phases ~rhs_phases ~exec ~dt (st : State.t) ws =
+let step_fused kind ~bc_phases ~rhs_phases ~exec ~t ~dt (st : State.t) ws =
   let g = st.State.grid in
   let gamma = st.State.gamma in
   let state_of = function Q -> st | S1 -> ws.s1 | S2 -> ws.s2 in
@@ -180,6 +186,8 @@ let step_fused kind ~bc_phases ~rhs_phases ~exec ~dt (st : State.t) ws =
       in
       let src = state_of sp.src in
       Parallel.Exec.parallel_phases exec
-        (Array.of_list (bc_phases src @ rhs_phases src d @ [ combine_phase ])))
+        (Array.of_list
+           (bc_phases ~t:(stage_time ~t ~dt sp) src
+            @ rhs_phases src d @ [ combine_phase ])))
     (schedule kind ~dt);
   fold_lane_max lane_max

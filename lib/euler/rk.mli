@@ -33,6 +33,11 @@ type stage_spec = {
   cb : float;   (** coefficient of [b] *)
   b : slot;
   cd : float;   (** coefficient of the divergence — already times dt *)
+  tfrac : float;
+  (** the stage's ghost-fill time as a fraction of [dt] past the
+      step's start time: the TVD stage states approximate the solution
+      at [t], [t + dt] and (RK3) [t + dt/2], and time-dependent
+      boundaries must be evaluated there *)
   last : bool;  (** final stage: fold in the CFL eigenvalue scan *)
 }
 (** One RK stage as data:
@@ -42,6 +47,12 @@ val schedule : kind -> dt:float -> stage_spec list
 (** The stage schedule every stepping path (unfused, fused, tiled)
     walks.  Coefficient arithmetic (e.g. [0.5 *. dt]) happens here,
     once, which is what keeps the paths bitwise-identical. *)
+
+val stage_time : t:float -> dt:float -> stage_spec -> float
+(** [t +. (tfrac *. dt)] — the single definition of a stage's
+    boundary-condition time, shared by every stepping path so
+    time-dependent ghost fills agree bit-for-bit between fused,
+    unfused and tiled runs. *)
 
 val combine_row :
   Grid.t ->
@@ -79,21 +90,25 @@ val fold_lane_max : float array -> float
 val step :
   kind ->
   rhs:(State.t -> float array array -> unit) ->
-  bc:(State.t -> unit) ->
+  bc:(t:float -> State.t -> unit) ->
   exec:Parallel.Exec.t ->
+  t:float ->
   dt:float ->
   State.t ->
   workspace ->
   unit
-(** Advances the state in place by [dt].  [rhs] must fill interior
-    flux divergences (see {!Rhs.compute}); [bc] must fill ghost
-    layers.  Interior updates run as one parallel region per stage. *)
+(** Advances the state in place from time [t] by [dt].  [rhs] must
+    fill interior flux divergences (see {!Rhs.compute}); [bc] must
+    fill ghost layers, and receives each stage's {!stage_time} so
+    time-dependent conditions hold the stage's state.  Interior
+    updates run as one parallel region per stage. *)
 
 val step_fused :
   kind ->
-  bc_phases:(State.t -> Parallel.Exec.phase list) ->
+  bc_phases:(t:float -> State.t -> Parallel.Exec.phase list) ->
   rhs_phases:(State.t -> float array array -> Parallel.Exec.phase list) ->
   exec:Parallel.Exec.t ->
+  t:float ->
   dt:float ->
   State.t ->
   workspace ->

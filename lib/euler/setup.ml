@@ -31,6 +31,27 @@ let test123 ?gamma ~nx () =
   riemann_1d ?gamma ~nx ~left:(1., -2., 0.4) ~right:(1., 2., 0.4)
     ~x_diaphragm:0.5 ~description:"Einfeldt 1-2-3 test" ()
 
+let blast ?gamma ~nx () =
+  riemann_1d ?gamma ~nx ~left:(1., 0., 1000.) ~right:(1., 0., 0.01)
+    ~x_diaphragm:0.5 ~description:"strong blast wave (pressure ratio 1e5)" ()
+
+let blast_left = (1., 0., 1000.)
+let blast_right = (1., 0., 0.01)
+
+let shu_osher ?(gamma = Gas.gamma_air) ~nx () =
+  (* Shu & Osher's shock/entropy-wave interaction: a Mach-3 shock
+     running into a sinusoidally perturbed density field.  The classic
+     domain is [-5, 5] with the shock at x = -4 and comparison time
+     t = 1.8. *)
+  let grid = Grid.make_1d ~x0:(-5.) ~nx ~lx:10. () in
+  let st = State.create ~gamma grid in
+  State.init_primitive st (fun ~x ~y:_ ->
+      if x < -4. then (3.857143, 2.629369, 0., 10.33333)
+      else (1. +. (0.2 *. Float.sin (5. *. x)), 0., 0., 1.));
+  { state = st;
+    bcs = [ (Bc.West, Bc.Outflow); (Bc.East, Bc.Outflow) ];
+    description = "Shu-Osher shock/entropy-wave interaction" }
+
 let uniform ?(gamma = Gas.gamma_air) ?(rho = 1.) ?(u = 0.3) ?(v = -0.2)
     ?(p = 1.) ~nx ~ny () =
   let grid = Grid.make ~nx ~ny ~lx:1. ~ly:1. () in
@@ -110,6 +131,63 @@ let quadrant ?(gamma = Gas.gamma_air) ~nx () =
         (Bc.South, Bc.Outflow);
         (Bc.North, Bc.Outflow) ];
     description = "2D Riemann quadrant problem (Lax-Liu #3)" }
+
+let dmr ?(gamma = Gas.gamma_air) ~nx () =
+  if nx < 8 || nx mod 4 <> 0 then
+    invalid_arg "Setup.dmr: nx must be a multiple of 4, at least 8 (the \
+                 domain is 4 x 1)";
+  let ny = nx / 4 in
+  let grid = Grid.make ~nx ~ny ~lx:4. ~ly:1. () in
+  let st = State.create ~gamma grid in
+  (* A Mach-10 shock inclined 60 degrees to the wall, its foot at
+     x = 1/6 on the bottom boundary (Woodward & Colella).  Quiescent
+     pre-shock gas at (rho, p) = (1.4, 1) puts the sound speed at 1,
+     so the shock runs at speed 10 along its normal. *)
+  let ms = 10. in
+  let rho0 = 1.4 and p0 = 1. in
+  let post = Rankine_hugoniot.post_shock ~gamma ~ms ~rho0 ~p0 in
+  let theta = Float.pi /. 3. in
+  let sin_t = Float.sin theta
+  and cos_t = Float.cos theta
+  and tan_t = Float.tan theta in
+  (* Post-shock gas moves along the shock normal (sin60, -cos60). *)
+  let u_post = post.Rankine_hugoniot.u *. sin_t
+  and v_post = -.(post.Rankine_hugoniot.u *. cos_t) in
+  let x_foot = 1. /. 6. in
+  State.init_primitive st (fun ~x ~y ->
+      if x < x_foot +. (y /. tan_t) then
+        (post.Rankine_hugoniot.rho, u_post, v_post, post.Rankine_hugoniot.p)
+      else (rho0, 0., 0., p0));
+  let inflow_post =
+    Bc.Inflow
+      { rho = post.Rankine_hugoniot.rho;
+        u = u_post;
+        v = v_post;
+        p = post.Rankine_hugoniot.p }
+  and inflow_pre = Bc.Inflow { rho = rho0; u = 0.; v = 0.; p = p0 } in
+  let far = 1e9 in
+  (* Where the incident shock crosses the top boundary at time [t]:
+     its trace on y = 1 moves right at shock_speed / sin(60).  The
+     ghost row must keep tracking it or the reflected-shock structure
+     is polluted from above — the boundary condition that forces
+     time-dependent ghost fills through every stepping path. *)
+  let shock_speed = post.Rankine_hugoniot.shock_speed in
+  let x_top t = x_foot +. (1. /. tan_t) +. (shock_speed /. sin_t *. t) in
+  { state = st;
+    bcs =
+      [ (Bc.West, inflow_post);
+        (Bc.East, Bc.Outflow);
+        (* Post-shock inflow ahead of the foot, reflecting wall (the
+           wedge surface) beyond it — Segmented's uncovered default. *)
+        (Bc.South, Bc.Segmented [ (-.far, x_foot, inflow_post) ]);
+        (Bc.North,
+         Bc.Time_dependent
+           (fun t ->
+             let xs = x_top t in
+             Bc.Segmented [ (-.far, xs, inflow_post); (xs, far, inflow_pre) ]))
+      ];
+    description =
+      Printf.sprintf "double Mach reflection (Ms = 10, %dx%d cells)" nx ny }
 
 let sod_exact_profile ?(gamma = Gas.gamma_air) ~nx ~t () =
   let grid = Grid.make_1d ~nx ~lx:1. () in

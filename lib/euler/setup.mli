@@ -10,6 +10,11 @@ type problem = {
   description : string;
 }
 
+val sod_left : float * float * float
+val sod_right : float * float * float
+(** The Sod Riemann states [(rho, u, p)], exposed for exact-solution
+    error metrics. *)
+
 val sod : ?gamma:float -> nx:int -> unit -> problem
 (** The Sod shock tube (paper §3.1): diaphragm at [x = 0.5] of a unit
     domain, top state [(rho, u, p) = (1, 0, 1)], bottom state
@@ -25,6 +30,23 @@ val test123 : ?gamma:float -> nx:int -> unit -> problem
 (** Einfeldt's 1-2-3 double-rarefaction test
     ([(1, -2, 0.4)] / [(1, 2, 0.4)]): near-vacuum centre, exercises
     the positivity fallback; compare at [t = 0.15]. *)
+
+val blast : ?gamma:float -> nx:int -> unit -> problem
+(** A strong 1D blast wave: [(1, 0, 1000)] / [(1, 0, 0.01)] across a
+    diaphragm at [x = 0.5] — a five-decade pressure ratio that
+    stresses positivity; compare at [t = 0.012]. *)
+
+val blast_left : float * float * float
+val blast_right : float * float * float
+(** The blast-wave Riemann states, exposed for exact-solution error
+    metrics. *)
+
+val shu_osher : ?gamma:float -> nx:int -> unit -> problem
+(** Shu & Osher's shock/entropy-wave interaction on [\[-5, 5\]]: a
+    Mach-3 shock at [x = -4] running into
+    [rho = 1 + 0.2 sin(5x)] at rest; compare at [t = 1.8].  The
+    standard test of a scheme's ability to carry smooth structure
+    through a shock. *)
 
 val uniform :
   ?gamma:float -> ?rho:float -> ?u:float -> ?v:float -> ?p:float ->
@@ -56,6 +78,15 @@ val quadrant : ?gamma:float -> nx:int -> unit -> problem
     Produces interacting shocks and a characteristic mushroom jet
     along the diagonal; used as the 2D cross-validation case for the
     mini-SaC port (its clamp padding matches outflow ghosts). *)
+
+val dmr : ?gamma:float -> nx:int -> unit -> problem
+(** Double Mach reflection (Woodward & Colella) on [\[0, 4\] x \[0, 1\]]:
+    a Mach-10 shock inclined 60 degrees to the bottom wall, its foot at
+    [x = 1/6].  The bottom boundary is post-shock inflow ahead of the
+    foot and a reflecting wall beyond; the top boundary is
+    {!Bc.Time_dependent}, tracking the incident shock's trace so ghost
+    rows always hold the correct pre/post-shock split; compare at
+    [t = 0.2].  [nx] must be a multiple of 4 ([ny = nx / 4]). *)
 
 val sod_exact_profile :
   ?gamma:float -> nx:int -> t:float -> unit ->

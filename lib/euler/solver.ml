@@ -77,9 +77,9 @@ let create ?exec ~config ~bcs state =
 let step_dt s dt =
   (match s.tiled with
    | Some td ->
-     if s.config.fused then s.eig <- Tiled.step_fused td ~dt
+     if s.config.fused then s.eig <- Tiled.step_fused td ~t:s.time ~dt
      else begin
-       Tiled.step td ~dt;
+       Tiled.step td ~t:s.time ~dt;
        s.eig <- Float.nan
      end
    | None ->
@@ -89,16 +89,16 @@ let step_dt s dt =
      if s.config.fused then
        s.eig <-
          Rk.step_fused s.config.rk
-           ~bc_phases:(fun st -> Bc.phases st s.bcs)
+           ~bc_phases:(fun ~t st -> Bc.phases ~t st s.bcs)
            ~rhs_phases:(fun st d -> Rhs.phases rhs_cfg s.exec st d)
-           ~exec:s.exec ~dt s.state s.workspace
+           ~exec:s.exec ~t:s.time ~dt s.state s.workspace
      else begin
        Rk.step s.config.rk
          ~rhs:(fun st d -> Rhs.compute rhs_cfg s.exec st d)
-         ~bc:(fun st ->
+         ~bc:(fun ~t st ->
            Parallel.Exec.timed s.exec Parallel.Exec.Bc (fun () ->
-               Bc.apply st s.bcs))
-         ~exec:s.exec ~dt s.state s.workspace;
+               Bc.apply ~t st s.bcs))
+         ~exec:s.exec ~t:s.time ~dt s.state s.workspace;
        s.eig <- Float.nan
      end);
   s.time <- s.time +. dt;

@@ -205,7 +205,7 @@ let exchange t sl i =
    CFL eigenvalue (the fused path's in-sweep GetDT); the unfused path
    passes [false] and uses the standalone reduction, mirroring the
    monolithic split. *)
-let stage_phases t (sp : Rk.stage_spec) ~eig =
+let stage_phases t (sp : Rk.stage_spec) ~t_stage ~eig =
   let ntiles = Array.length t.tiles in
   let halo_phase =
     { Parallel.Exec.region = Parallel.Exec.Halo;
@@ -220,8 +220,8 @@ let stage_phases t (sp : Rk.stage_spec) ~eig =
       body =
         (fun ~lane:_ i ->
           let tl = t.tiles.(i) in
-          Bc.fill_west_east (state_of tl sp.Rk.src) t.bcs ~west:(tl.west < 0)
-            ~east:(tl.east < 0)) }
+          Bc.fill_west_east ~t:t_stage (state_of tl sp.Rk.src) t.bcs
+            ~west:(tl.west < 0) ~east:(tl.east < 0)) }
   and bc_sn =
     { Parallel.Exec.region = Parallel.Exec.Bc;
       lo = 0;
@@ -229,7 +229,7 @@ let stage_phases t (sp : Rk.stage_spec) ~eig =
       body =
         (fun ~lane:_ i ->
           let tl = t.tiles.(i) in
-          Bc.fill_south_north (state_of tl sp.Rk.src) t.bcs
+          Bc.fill_south_north ~t:t_stage (state_of tl sp.Rk.src) t.bcs
             ~south:(tl.south < 0) ~north:(tl.north < 0)) }
   in
   let bodies =
@@ -287,20 +287,22 @@ let stage_phases t (sp : Rk.stage_spec) ~eig =
 
 (* --- stepping ------------------------------------------------------ *)
 
-let step_fused t ~dt =
+let step_fused t ~t:time ~dt =
   List.iter
-    (fun sp -> Parallel.Exec.parallel_phases t.exec (stage_phases t sp ~eig:true))
+    (fun sp ->
+      Parallel.Exec.parallel_phases t.exec
+        (stage_phases t sp ~t_stage:(Rk.stage_time ~t:time ~dt sp) ~eig:true))
     (Rk.schedule t.rk ~dt);
   Rk.fold_lane_max t.lane_max
 
-let step t ~dt =
+let step t ~t:time ~dt =
   List.iter
     (fun sp ->
       Array.iter
         (fun (p : Parallel.Exec.phase) ->
           Parallel.Exec.parallel_for_lanes t.exec ~region:p.Parallel.Exec.region
             ~lo:p.Parallel.Exec.lo ~hi:p.Parallel.Exec.hi p.Parallel.Exec.body)
-        (stage_phases t sp ~eig:false))
+        (stage_phases t sp ~t_stage:(Rk.stage_time ~t:time ~dt sp) ~eig:false))
     (Rk.schedule t.rk ~dt)
 
 (* GetDT across tiles: one [parallel_reduce_lanes] over the flattened

@@ -39,13 +39,15 @@ val create :
 
 val plan : t -> Tiling.plan
 
-val step_fused : t -> dt:float -> float
-(** Advances all tiles by [dt], one fused dispatch per RK stage;
-    returns the max CFL eigenvalue of the new state (accumulated
-    in-sweep by the last stage, shared across tiles — bit-identical to
-    {!max_eigenvalue}). *)
+val step_fused : t -> t:float -> dt:float -> float
+(** Advances all tiles from simulation time [t] by [dt], one fused
+    dispatch per RK stage; each stage's boundary fill runs at
+    {!Rk.stage_time} so time-dependent conditions match the monolithic
+    paths bit-for-bit.  Returns the max CFL eigenvalue of the new
+    state (accumulated in-sweep by the last stage, shared across
+    tiles — bit-identical to {!max_eigenvalue}). *)
 
-val step : t -> dt:float -> unit
+val step : t -> t:float -> dt:float -> unit
 (** The unfused form: the exact same phase closures, dispatched one
     region each (so fork/join-style accounting applies).  State
     updates are bitwise-identical to {!step_fused}. *)

@@ -343,8 +343,9 @@ let save_q0 t exec =
 
 (* SUBROUTINE ApplyBC: ghost fill, same order and semantics as
    Euler.Bc (west/east over the full padded height, then south/north
-   over the full padded width). *)
-let apply_bc t =
+   over the full padded width).  [tbc] is the simulation time the
+   ghost state should hold — the stage time under RK2/RK3. *)
+let apply_bc t ~tbc =
   let s = t.storage in
   let g = s.grid in
   let ng = g.Euler.Grid.ng in
@@ -362,16 +363,10 @@ let apply_bc t =
     s.qc.(3).(dst) <-
       (p /. (s.gam -. 1.)) +. (0.5 *. rho *. ((u *. u) +. (v *. v)))
   in
-  let resolve kind coord =
-    match kind with
-    | Euler.Bc.Segmented segs ->
-      let rec find = function
-        | [] -> Euler.Bc.Reflective
-        | (a, b, k) :: rest -> if coord >= a && coord < b then k else find rest
-      in
-      find segs
-    | k -> k
-  in
+  (* Segment lookup and time-dependent evaluation are Euler.Bc's
+     resolution, shared verbatim so the two implementations can never
+     disagree on which condition governs a boundary cell. *)
+  let resolve kind coord = Euler.Bc.resolve ~t:tbc ~coord kind in
   let kind_of side =
     match List.assoc_opt side t.bcs with
     | Some k -> k
@@ -416,7 +411,8 @@ let apply_bc t =
         | Euler.Bc.Reflective -> copy_from ~src:mirror ~dst:ghost ~negate
         | Euler.Bc.Inflow { rho; u; v; p } ->
           set_inflow ~dst:ghost ~rho ~u ~v ~p
-        | Euler.Bc.Segmented _ -> invalid_arg "F_solver: nested Segmented"
+        | Euler.Bc.Segmented _ | Euler.Bc.Time_dependent _ ->
+          invalid_arg "F_solver: unresolved boundary kind"
       done
     done
   in
@@ -431,7 +427,8 @@ let apply_bc t =
    did. *)
 let prepare t exec =
   if not t.stage_ready then begin
-    Parallel.Exec.timed exec Parallel.Exec.Bc (fun () -> apply_bc t);
+    Parallel.Exec.timed exec Parallel.Exec.Bc (fun () ->
+        apply_bc t ~tbc:t.time);
     compute_primitives t exec;
     t.stage_ready <- true
   end
@@ -442,8 +439,8 @@ let get_dt t exec =
 
 let dt = get_dt
 
-let stage t exec =
-  Parallel.Exec.timed exec Parallel.Exec.Bc (fun () -> apply_bc t);
+let stage t exec ~tbc =
+  Parallel.Exec.timed exec Parallel.Exec.Bc (fun () -> apply_bc t ~tbc);
   compute_primitives t exec;
   flux_x t exec;
   if not (Euler.Grid.is_1d t.storage.grid) then flux_y t exec;
@@ -452,7 +449,10 @@ let stage t exec =
 let step_dt t exec dt =
   prepare t exec;
   save_q0 t exec;
-  (* Stage 1 reuses the primitives [prepare] just computed. *)
+  (* Stage 1 reuses the primitives [prepare] just computed (ghosts at
+     the step's start time); the later stage states approximate the
+     solution at t + dt and (RK3) t + dt/2, which is where
+     time-dependent boundaries are evaluated. *)
   flux_x t exec;
   if not (Euler.Grid.is_1d t.storage.grid) then flux_y t exec;
   flux_div t exec;
@@ -460,12 +460,12 @@ let step_dt t exec dt =
   (match t.rk with
    | Euler.Rk.Euler1 -> ()
    | Euler.Rk.Tvd_rk2 ->
-     stage t exec;
+     stage t exec ~tbc:(t.time +. dt);
      update t exec ~ca:0.5 ~cb:0.5 ~cd:(0.5 *. dt)
    | Euler.Rk.Tvd_rk3 ->
-     stage t exec;
+     stage t exec ~tbc:(t.time +. dt);
      update t exec ~ca:0.75 ~cb:0.25 ~cd:(0.25 *. dt);
-     stage t exec;
+     stage t exec ~tbc:(t.time +. (0.5 *. dt));
      update t exec ~ca:(1. /. 3.) ~cb:(2. /. 3.) ~cd:(2. /. 3. *. dt));
   t.time <- t.time +. dt;
   t.steps <- t.steps + 1;

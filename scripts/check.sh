@@ -139,6 +139,47 @@ EOF
 fi
 echo "check.sh: $tiling_json validated"
 
+# Convergence harness: grid-refinement slopes per scheme on the smooth
+# pulse and exact-Riemann L1 decay on the shock tubes.  The experiment
+# itself exits non-zero if any scheme falls below its order floor; the
+# JSON shape check keeps the artefact consumable.
+dune exec bench/main.exe -- convergence --quick --out "$smoke_dir"
+conv_json="$smoke_dir/BENCH_convergence.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "convergence-v1"
+    and ([.rows[].kind] | unique == ["exact", "self"])
+    and ([.rows[].pass] | unique == [true])
+    and ([.rows[].monotone] | unique == [true])
+    and ([.rows[] | .samples | length] | min >= 2)
+    and ([.rows[] | select(.kind == "self")
+          | .observed_order >= .min_order] | unique == [true])' \
+    "$conv_json" >/dev/null || {
+      echo "check.sh: $conv_json failed validation" >&2; exit 1; }
+else
+  python3 - "$conv_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "convergence-v1", "bad schema"
+rows = d["rows"]
+assert sorted({r["kind"] for r in rows}) == ["exact", "self"]
+assert all(r["pass"] for r in rows), "a scheme fell below its floor"
+assert all(r["monotone"] for r in rows), "errors not monotone"
+assert all(len(r["samples"]) >= 2 for r in rows)
+assert all(r["observed_order"] >= r["min_order"]
+           for r in rows if r["kind"] == "self")
+EOF
+fi
+echo "check.sh: $conv_json validated"
+
+# Double Mach reflection through the CLI: the time-dependent north
+# boundary (the oblique shock's analytic trajectory) must march a
+# short run cleanly end to end.
+dune exec bin/eulersim.exe -- dmr --nx 32 --steps 8 --cfl 0.4 \
+  --recon pc --riemann rusanov >/dev/null \
+  || { echo "check.sh: dmr CLI smoke failed" >&2; exit 1; }
+echo "check.sh: dmr time-dependent boundary smoke passed"
+
 # Tiled decomposition smoke through the CLI: a 2x2 and an uneven 3x2
 # run must produce checkpoints byte-identical to the monolithic run's
 # (the gather-on-snapshot contract), on a genuinely 2D problem.

@@ -539,6 +539,132 @@ let test_golden_suite_against_committed () =
           (Engine.Validate.to_string rep))
     (Engine.Golden_suite.check_all ~root:golden_root ())
 
+(* ------------------------------------------------------------------ *)
+(* Scenario registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_names () =
+  let names = Engine.Scenario.names () in
+  check_int "ten scenarios" 10 (List.length names);
+  List.iter
+    (fun n -> check_bool (n ^ " registered") true (List.mem n names))
+    [ "sod"; "lax"; "123"; "pulse"; "shu-osher"; "blast"; "uniform";
+      "quadrant"; "two-channel"; "dmr" ];
+  (* 1D cases enumerate before 2D ones. *)
+  let ds =
+    List.map
+      (fun s -> s.Engine.Scenario.dims)
+      (Engine.Scenario.all ())
+  in
+  check_bool "1d first" true
+    (ds = List.sort compare ds);
+  check_bool "lookup is case-insensitive" true
+    (Option.is_some (Engine.Scenario.find "Sod"));
+  check_bool "unknown is None" true
+    (Option.is_none (Engine.Scenario.find "kelvin-helmholtz"));
+  Alcotest.check_raises "find_exn lists the known names"
+    (Invalid_argument
+       (Printf.sprintf "Engine.Scenario: unknown scenario \"x\" (have: %s)"
+          (String.concat ", " names)))
+    (fun () -> ignore (Engine.Scenario.find_exn "x"))
+
+let test_scenario_problem_validation () =
+  let dmr = Engine.Scenario.find_exn "dmr" in
+  check_bool "dmr rejects nx not divisible by 4" true
+    (try
+       ignore (Engine.Scenario.problem ~nx:50 dmr);
+       false
+     with Invalid_argument _ -> true);
+  let prob = Engine.Scenario.golden_problem dmr in
+  let g = prob.Euler.Setup.state.Euler.State.grid in
+  check_int "dmr golden aspect" g.Euler.Grid.nx (4 * g.Euler.Grid.ny);
+  (* Every scenario instantiates at its registered defaults. *)
+  List.iter
+    (fun s -> ignore (Engine.Scenario.problem s))
+    (Engine.Scenario.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: near-vacuum and extreme-pressure scenarios       *)
+(* ------------------------------------------------------------------ *)
+
+(* The Einfeldt 123 tube pulls the centre toward vacuum; the blast
+   wave carries a 1e5 pressure ratio.  Both are where naive solvers
+   emit NaNs — every backend must march them to finite states. *)
+let test_failure_injection () =
+  List.iter
+    (fun name ->
+      let s = Engine.Scenario.find_exn name in
+      List.iter
+        (fun backend ->
+          let inst =
+            Engine.Registry.create
+              ~config:(Engine.Scenario.config s)
+              backend
+              (Engine.Scenario.golden_problem s)
+          in
+          ignore (Engine.Run.run_steps inst s.Engine.Scenario.golden_steps);
+          let st = Engine.Backend.state inst in
+          let label = Printf.sprintf "%s on %s" name backend in
+          Array.iteri
+            (fun k comp ->
+              Array.iter
+                (fun v ->
+                  if not (Float.is_finite v) then
+                    Alcotest.failf "%s: non-finite in component %d" label k)
+                comp)
+            st.Euler.State.q;
+          check_bool (label ^ " keeps density positive") true
+            (Euler.State.min_density st > 0.);
+          check_bool (label ^ " keeps pressure positive") true
+            (Euler.State.min_pressure st > 0.))
+        (Engine.Registry.names ()))
+    [ "123"; "blast" ]
+
+(* ------------------------------------------------------------------ *)
+(* Convergence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Grid-refinement slopes on the smooth pulse must sit between an
+   empirical floor (limiting and WENO weight adaptation cost accuracy
+   at extrema; first-order diffusion erodes the pulse) and the formal
+   order plus measurement slack.  The short horizon keeps even the
+   first-order scheme in its asymptotic range. *)
+let test_pulse_refinement_orders () =
+  let pulse = Engine.Scenario.find_exn "pulse" in
+  List.iter
+    (fun (recon, riemann, floor) ->
+      let config =
+        { Euler.Solver.default_config with Euler.Solver.recon; riemann }
+      in
+      let st =
+        Engine.Convergence.self_study ~t:0.05 pulse ~config [ 40; 80; 160 ]
+      in
+      let name = st.Engine.Convergence.scheme in
+      check_bool (name ^ " errors shrink monotonically") true
+        (Engine.Convergence.monotone st.Engine.Convergence.samples);
+      if st.Engine.Convergence.order < floor then
+        Alcotest.failf "%s: observed order %.2f below floor %.2f" name
+          st.Engine.Convergence.order floor;
+      if st.Engine.Convergence.order > st.Engine.Convergence.nominal +. 1.
+      then
+        Alcotest.failf "%s: observed order %.2f implausibly above nominal %.1f"
+          name st.Engine.Convergence.order st.Engine.Convergence.nominal)
+    [ (Euler.Recon.Piecewise_constant, Euler.Riemann.Rusanov, 0.6);
+      (Euler.Recon.Tvd2 Euler.Limiter.Minmod, Euler.Riemann.Hllc, 1.3);
+      (Euler.Recon.Weno3, Euler.Riemann.Hllc, 2.5);
+      (Euler.Recon.Weno5, Euler.Riemann.Hllc, 1.6) ]
+
+let test_sod_l1_monotone () =
+  let sod = Engine.Scenario.find_exn "sod" in
+  let st =
+    Engine.Convergence.exact_study sod
+      ~config:(Engine.Scenario.config sod)
+      [ 40; 80; 160 ]
+  in
+  check_bool "L1 vs exact Riemann decreases under refinement" true
+    (Engine.Convergence.monotone st.Engine.Convergence.samples);
+  check_bool "slope is positive" true (st.Engine.Convergence.order > 0.)
+
 let () =
   Alcotest.run "engine"
     [ ( "registry",
@@ -585,6 +711,18 @@ let () =
             test_autosave_cadence_and_retention;
           Alcotest.test_case "crash falls back" `Quick
             test_crash_falls_back_to_retained ] );
+      ( "scenario",
+        [ Alcotest.test_case "names" `Quick test_scenario_names;
+          Alcotest.test_case "problem validation" `Quick
+            test_scenario_problem_validation ] );
+      ( "failure injection",
+        [ Alcotest.test_case "123 and blast stay finite" `Slow
+            test_failure_injection ] );
+      ( "convergence",
+        [ Alcotest.test_case "pulse refinement orders" `Slow
+            test_pulse_refinement_orders;
+          Alcotest.test_case "sod L1 monotone" `Slow
+            test_sod_l1_monotone ] );
       ( "golden",
         [ Alcotest.test_case "matrix shape" `Quick
             test_golden_suite_matrix_shape;

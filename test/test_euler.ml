@@ -541,7 +541,7 @@ let test_exact_rarefaction_continuous () =
 let test_bc_outflow () =
   let prob = Euler.Setup.sod ~nx:8 () in
   let st = prob.Euler.Setup.state in
-  Euler.Bc.apply st prob.Euler.Setup.bcs;
+  Euler.Bc.apply ~t:0. st prob.Euler.Setup.bcs;
   (* Ghost cells copy the nearest interior cell. *)
   let rho_g, u_g, _, p_g = Euler.State.primitive st (-1) 0 in
   let rho_i, u_i, _, p_i = Euler.State.primitive st 0 0 in
@@ -553,13 +553,13 @@ let test_bc_reflective () =
   let g = Euler.Grid.make ~nx:4 ~ny:4 ~lx:1. ~ly:1. () in
   let st = Euler.State.create g in
   Euler.State.init_primitive st (fun ~x ~y:_ -> (1., 0.5 +. x, 0.2, 1.));
-  Euler.Bc.apply_side st Euler.Bc.West Euler.Bc.Reflective;
+  Euler.Bc.apply_side ~t:0. st Euler.Bc.West Euler.Bc.Reflective;
   let _, u_g, v_g, _ = Euler.State.primitive st (-1) 1
   and _, u_m, v_m, _ = Euler.State.primitive st 0 1 in
   check_float 1e-12 "normal velocity negated" (-.u_m) u_g;
   check_float 1e-12 "transverse velocity kept" v_m v_g;
   (* North wall negates v instead. *)
-  Euler.Bc.apply_side st Euler.Bc.North Euler.Bc.Reflective;
+  Euler.Bc.apply_side ~t:0. st Euler.Bc.North Euler.Bc.Reflective;
   let _, u_g, v_g, _ = Euler.State.primitive st 1 4
   and _, u_m, v_m, _ = Euler.State.primitive st 1 3 in
   check_float 1e-12 "v negated" (-.v_m) v_g;
@@ -569,7 +569,7 @@ let test_bc_inflow () =
   let g = Euler.Grid.make ~nx:4 ~ny:4 ~lx:1. ~ly:1. () in
   let st = Euler.State.create g in
   Euler.State.init_primitive st (fun ~x:_ ~y:_ -> (1., 0., 0., 1.));
-  Euler.Bc.apply_side st Euler.Bc.West
+  Euler.Bc.apply_side ~t:0. st Euler.Bc.West
     (Euler.Bc.Inflow { rho = 2.9; u = 1.7; v = 0.; p = 5.4 });
   let rho, u, v, p = Euler.State.primitive st (-2) 2 in
   check_float 1e-12 "inflow rho" 2.9 rho;
@@ -582,7 +582,7 @@ let test_bc_segmented () =
   let st = Euler.State.create g in
   Euler.State.init_primitive st (fun ~x:_ ~y:_ -> (1., 0.3, 0.1, 1.));
   (* Inflow below y = 1, default (reflective wall) above. *)
-  Euler.Bc.apply_side st Euler.Bc.West
+  Euler.Bc.apply_side ~t:0. st Euler.Bc.West
     (Euler.Bc.Segmented
        [ (0., 1., Euler.Bc.Inflow { rho = 2.; u = 1.; v = 0.; p = 3. }) ]);
   let rho, _, _, _ = Euler.State.primitive st (-1) 0 in
@@ -597,8 +597,50 @@ let test_bc_nested_segmented_rejected () =
   Euler.State.init_primitive st (fun ~x:_ ~y:_ -> (1., 0., 0., 1.));
   check_bool "nested rejected" true
     (try
-       Euler.Bc.apply_side st Euler.Bc.West
+       Euler.Bc.apply_side ~t:0. st Euler.Bc.West
          (Euler.Bc.Segmented [ (0., 1., Euler.Bc.Segmented []) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bc_time_dependent () =
+  let g = Euler.Grid.make ~nx:4 ~ny:4 ~lx:2. ~ly:2. () in
+  let st = Euler.State.create g in
+  Euler.State.init_primitive st (fun ~x:_ ~y:_ -> (1., 0.5, 0., 1.));
+  (* A clocked boundary: inflow before t = 1, outflow after. *)
+  let kind =
+    Euler.Bc.Time_dependent
+      (fun t ->
+        if t < 1. then Euler.Bc.Inflow { rho = 2.; u = 1.; v = 0.; p = 3. }
+        else Euler.Bc.Outflow)
+  in
+  Euler.Bc.apply_side ~t:0. st Euler.Bc.West kind;
+  let rho, _, _, _ = Euler.State.primitive st (-1) 0 in
+  check_float 1e-12 "early: inflow" 2. rho;
+  Euler.Bc.apply_side ~t:2. st Euler.Bc.West kind;
+  let rho, _, _, _ = Euler.State.primitive st (-1) 0 in
+  check_float 1e-12 "late: outflow copies interior" 1. rho;
+  (* The closure may return Segmented (the DMR top boundary): resolve
+     collapses both layers at a given coordinate, and the uncovered
+     region falls back to the Reflective default. *)
+  let moving =
+    Euler.Bc.Time_dependent
+      (fun t ->
+        Euler.Bc.Segmented
+          [ (-1e9, t, Euler.Bc.Inflow { rho = 2.; u = 1.; v = 0.; p = 3. }) ])
+  in
+  (match Euler.Bc.resolve ~t:0.6 ~coord:0.5 moving with
+  | Euler.Bc.Inflow { rho; _ } -> check_float 1e-12 "resolved inflow" 2. rho
+  | _ -> Alcotest.fail "expected Inflow behind the moving front");
+  (match Euler.Bc.resolve ~t:0.6 ~coord:0.7 moving with
+  | Euler.Bc.Reflective -> ()
+  | _ -> Alcotest.fail "expected Reflective default ahead of the front");
+  (* A closure that never grounds out in a flat kind is rejected, not
+     spun on forever. *)
+  let rec divergent _t = Euler.Bc.Time_dependent divergent in
+  check_bool "divergent closure rejected" true
+    (try
+       ignore
+         (Euler.Bc.resolve ~t:0. ~coord:0. (Euler.Bc.Time_dependent divergent));
        false
      with Invalid_argument _ -> true)
 
@@ -1657,6 +1699,71 @@ let test_tiled_ghost_validation () =
           { Euler.Solver.default_config with Euler.Solver.tiles = (1, 20) }
         ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state)
 
+(* ------------------------------------------------------------------ *)
+(* Double Mach reflection: time-dependent BCs through every path       *)
+(* ------------------------------------------------------------------ *)
+
+let dmr_advance ~tiles ~fused ~exec ~steps =
+  let prob = Euler.Setup.dmr ~nx:48 () in
+  let s =
+    Euler.Solver.create ~exec
+      ~config:
+        { Euler.Solver.benchmark_config with
+          Euler.Solver.cfl = 0.4;
+          fused;
+          tiles }
+      ~bcs:prob.Euler.Setup.bcs prob.Euler.Setup.state
+  in
+  let dts = Array.init steps (fun _ -> Euler.Solver.step s) in
+  let q = Euler.Solver.current_state s in
+  Parallel.Exec.shutdown exec;
+  (q, dts)
+
+let test_dmr_time_dependent_pin () =
+  (* The DMR top boundary is Time_dependent — a Segmented split that
+     moves with the incident shock — so every stage's ghost fill
+     depends on the stage time.  This pins the unfused sequential
+     baseline against fused, tiled and threaded runs: if any path
+     evaluated the closure at a different time, the states would
+     diverge within a step. *)
+  let steps = 10 in
+  let qm, dm =
+    dmr_advance ~tiles:(1, 1) ~fused:false
+      ~exec:(Parallel.Exec.sequential ()) ~steps
+  in
+  (* Sanity: a Mach-10 march that stayed finite. *)
+  Array.iter
+    (fun comp ->
+      Array.iter
+        (fun v -> check_bool "dmr finite" true (Float.is_finite v))
+        comp)
+    qm.Euler.State.q;
+  List.iter
+    (fun (name, mk_exec, fused, tiles) ->
+      let q, d = dmr_advance ~tiles ~fused ~exec:(mk_exec ()) ~steps in
+      Alcotest.(check (array (float 0.))) (name ^ " dt sequence") dm d;
+      check_float 0. (name ^ " state") 0. (Euler.State.max_abs_diff qm q))
+    [ ("seq fused", Parallel.Exec.sequential, true, (1, 1));
+      ("spmd(3) fused", (fun () -> Parallel.Exec.spmd ~lanes:3), true, (1, 1));
+      ( "fork-join(3) fused",
+        (fun () -> Parallel.Exec.fork_join ~lanes:3),
+        true,
+        (1, 1) );
+      ( "spmd(3) unfused",
+        (fun () -> Parallel.Exec.spmd ~lanes:3),
+        false,
+        (1, 1) );
+      ("seq fused 2x2", Parallel.Exec.sequential, true, (2, 2));
+      ("seq unfused 2x2", Parallel.Exec.sequential, false, (2, 2));
+      ( "spmd(3) fused 2x2",
+        (fun () -> Parallel.Exec.spmd ~lanes:3),
+        true,
+        (2, 2) );
+      ( "fork-join(3) fused 3x2",
+        (fun () -> Parallel.Exec.fork_join ~lanes:3),
+        true,
+        (3, 2) ) ]
+
 let () =
   Alcotest.run "euler"
     [ ( "gas",
@@ -1735,7 +1842,9 @@ let () =
           Alcotest.test_case "inflow" `Quick test_bc_inflow;
           Alcotest.test_case "segmented" `Quick test_bc_segmented;
           Alcotest.test_case "nested rejected" `Quick
-            test_bc_nested_segmented_rejected ] );
+            test_bc_nested_segmented_rejected;
+          Alcotest.test_case "time-dependent" `Quick test_bc_time_dependent ]
+      );
       ( "time-step",
         [ Alcotest.test_case "uniform EV" `Quick test_dt_uniform;
           Alcotest.test_case "1d ignores y" `Quick test_dt_1d_ignores_y;
@@ -1806,5 +1915,7 @@ let () =
           Alcotest.test_case "regions and allocation" `Quick
             test_tiled_regions_and_allocation;
           Alcotest.test_case "ghost/halo validation" `Quick
-            test_tiled_ghost_validation ] );
+            test_tiled_ghost_validation;
+          Alcotest.test_case "dmr time-dependent bc pin" `Quick
+            test_dmr_time_dependent_pin ] );
       ("properties", qcheck_cases) ]
