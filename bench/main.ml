@@ -550,15 +550,15 @@ type hot_row = {
   h_cells_per_s : float;
 }
 
-let hotpath_measure ~backend ~config ~problem ~steps =
+let hotpath_measure ~name ~config ~create ~steps =
   let exec = Parallel.Exec.sequential () in
-  let inst = Engine.Registry.create ~exec ~config backend problem in
+  let inst = create exec in
   (* One unmeasured step grows the workspace arenas and warms the
      caches, so the measured loop sees the steady-state hot path. *)
   ignore (Engine.Backend.step inst);
   let m = Engine.Run.run_steps inst steps in
   let fsteps = float_of_int steps in
-  { h_backend = backend;
+  { h_backend = name;
     h_scheme =
       Printf.sprintf "%s+%s"
         (Euler.Recon.name config.Euler.Solver.recon)
@@ -580,30 +580,52 @@ let hotpath () =
   let cells_per_h = if !quick then 8 else 64 in
   let steps = if !quick then 5 else 10 in
   let sac_nx = if !quick then 40 else 100 in
-  let sac_steps = if !quick then 2 else 4 in
+  let sac_interp_steps = if !quick then 2 else 4 in
+  let sac_vm_steps = if !quick then 5 else 50 in
   let two_channel () = Euler.Setup.two_channel ~cells_per_h () in
+  let bench = Euler.Solver.benchmark_config in
   (* Every registry backend runs the benchmark scheme it supports; the
      reference solver additionally runs the paper's flow-computation
      scheme (WENO3 + HLLC), which is the headline row for the
-     allocation comparison.  The interpreted mini-SaC backend is 1D
-     and orders of magnitude slower, so it gets a small Sod tube. *)
+     allocation comparison.  The mini-SaC backend is 1D, so it gets a
+     Sod tube, in three flavours sharing the problem: the registered
+     bytecode-VM backend ("sacprog-vm"), the tree-walking interpreter
+     behind the same engine module ("sacprog-interp", much slower and
+     kept to few steps), and the reference solver on the identical
+     configuration ("reference-sod"), which anchors the
+     VM-vs-compiled-code ratio. *)
+  let registry name config problem steps =
+    ( name, config, steps,
+      fun exec -> Engine.Registry.create ~exec ~config name problem )
+  in
+  let sod () = Euler.Setup.sod ~nx:sac_nx () in
   let plan =
-    ("reference", Euler.Solver.default_config, two_channel (), steps)
+    registry "reference" Euler.Solver.default_config (two_channel ()) steps
     :: List.map
          (fun backend ->
            if backend = "sacprog" then
-             ( backend, Euler.Solver.benchmark_config,
-               Euler.Setup.sod ~nx:sac_nx (), sac_steps )
-           else
-             (backend, Euler.Solver.benchmark_config, two_channel (), steps))
+             ( "sacprog-vm", bench, sac_vm_steps,
+               fun exec ->
+                 Engine.Registry.create ~exec ~config:bench "sacprog" (sod ())
+             )
+           else registry backend bench (two_channel ()) steps)
          (Engine.Registry.names ())
+    @ [ ( "sacprog-interp", bench, sac_interp_steps,
+          fun exec ->
+            Engine.Backend.make
+              (module Engine.Backends.Sacprog_interp)
+              (Engine.Backend.spec ~exec ~config:bench (sod ())) );
+        ( "reference-sod", bench, sac_vm_steps,
+          fun exec ->
+            Engine.Registry.create ~exec ~config:bench "reference" (sod ())
+        ) ]
   in
   let rows, errors =
     List.fold_left
-      (fun (rows, errs) (backend, config, problem, steps) ->
-        match hotpath_measure ~backend ~config ~problem ~steps with
+      (fun (rows, errs) (name, config, steps, create) ->
+        match hotpath_measure ~name ~config ~create ~steps with
         | row -> (row :: rows, errs)
-        | exception e -> (rows, (backend, Printexc.to_string e) :: errs))
+        | exception e -> (rows, (name, Printexc.to_string e) :: errs))
       ([], []) plan
   in
   let rows = List.rev rows and errors = List.rev errors in
@@ -633,8 +655,45 @@ let hotpath () =
          (before /. r.h_minor_per_step)
      | _ -> ())
   end;
+  (* The mini-SaC ratios of the PR that introduced the bytecode VM:
+     how much faster the VM runs than the tree-walking interpreter,
+     and how close it gets to the natively compiled reference on the
+     identical Sod configuration. *)
+  let find_ms name =
+    Option.map
+      (fun r -> r.h_ms_per_step)
+      (List.find_opt (fun r -> r.h_backend = name) rows)
+  in
+  let speedup_vs_interp =
+    match (find_ms "sacprog-vm", find_ms "sacprog-interp") with
+    | Some vm, Some interp when vm > 0. -> Some (interp /. vm)
+    | _ -> None
+  in
+  let slowdown_vs_reference =
+    match (find_ms "sacprog-vm", find_ms "reference-sod") with
+    | Some vm, Some r when r > 0. -> Some (vm /. r)
+    | _ -> None
+  in
+  (match (speedup_vs_interp, slowdown_vs_reference) with
+   | Some su, Some sd ->
+     Printf.printf
+       "\nmini-SaC VM: %.1fx faster than the interpreter, %.2fx the \
+        reference solver on the same Sod run\n"
+       su sd
+   | _ -> ());
+  let sac_extras r =
+    if r.h_backend <> "sacprog-vm" then ""
+    else
+      (match speedup_vs_interp with
+       | Some su -> Printf.sprintf ", \"speedup_vs_interp\": %.3f" su
+       | None -> "")
+      ^
+      match slowdown_vs_reference with
+      | Some sd -> Printf.sprintf ", \"slowdown_vs_reference_sod\": %.3f" sd
+      | None -> ""
+  in
   let oc = open_out (path "BENCH_hotpath.json") in
-  Printf.fprintf oc "{\n  \"schema\": \"hotpath-v1\",\n  \"quick\": %b,\n"
+  Printf.fprintf oc "{\n  \"schema\": \"hotpath-v2\",\n  \"quick\": %b,\n"
     !quick;
   Printf.fprintf oc "  \"baseline\": {\n";
   Printf.fprintf oc
@@ -656,10 +715,11 @@ let hotpath () =
         "    { \"name\": \"%s\", \"scheme\": \"%s\", \"cells\": %d, \
          \"lanes\": %d, \"steps\": %d, \"time_per_step_s\": %.6e, \
          \"minor_words_per_step\": %.1f, \"promoted_words_per_step\": \
-         %.1f, \"cells_per_second\": %.6e }%s\n"
+         %.1f, \"cells_per_second\": %.6e%s }%s\n"
         r.h_backend r.h_scheme r.h_cells r.h_lanes r.h_steps
         (r.h_ms_per_step /. 1e3)
         r.h_minor_per_step r.h_promoted_per_step r.h_cells_per_s
+        (sac_extras r)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

@@ -180,9 +180,13 @@ module Fortran_outer = Make_fortran (struct
   let autopar = Fortran_baseline.F_solver.Outer
 end)
 
-module Sacprog : Backend.BACKEND = struct
+module Make_sacprog (A : sig
+  val name : string
+  val engine : Sacprog.Runner.engine
+end) : Backend.BACKEND = struct
   type t = {
-    ctx : Sac.Eval.ctx;
+    run : string -> Sac.Value.t list -> Sac.Value.t;
+    eval_stats : unit -> Sac.Eval.stats;
     template : Euler.State.t;  (* grid + gamma + ghost layout *)
     mutable q : Sac.Value.t;  (* [3, nx] conserved state *)
     gam : float;
@@ -193,7 +197,7 @@ module Sacprog : Backend.BACKEND = struct
     mutable steps : int;
   }
 
-  let name = "sacprog"
+  let name = A.name
   let supports_2d = false
 
   let create (s : Backend.spec) =
@@ -202,9 +206,21 @@ module Sacprog : Backend.BACKEND = struct
     let st = s.problem.Euler.Setup.state in
     let g = st.Euler.State.grid in
     if not (Euler.Grid.is_1d g) then
-      invalid_arg "Engine backend \"sacprog\" is 1D only";
+      invalid_arg (Printf.sprintf "Engine backend %S is 1D only" name);
     let compiled = Sacprog.Runner.compile_euler_1d () in
-    let ctx = Sac.Eval.make_ctx ~exec:s.exec compiled.Sacprog.Runner.program in
+    let run, eval_stats =
+      match A.engine with
+      | `Vm ->
+        let ctx =
+          Sac.Vm.make_ctx ~exec:s.exec compiled.Sacprog.Runner.bytecode
+        in
+        (Sac.Vm.run_fun ctx, fun () -> Sac.Vm.stats ctx)
+      | `Interp ->
+        let ctx =
+          Sac.Eval.make_ctx ~exec:s.exec compiled.Sacprog.Runner.program
+        in
+        (Sac.Eval.run_fun ctx, fun () -> Sac.Eval.stats ctx)
+    in
     let q =
       Tensor.Nd.init [| 3; g.Euler.Grid.nx |] (fun iv ->
           let o = Euler.Grid.offset g iv.(1) 0 in
@@ -216,7 +232,8 @@ module Sacprog : Backend.BACKEND = struct
           in
           st.Euler.State.q.(k).(o))
     in
-    { ctx;
+    { run;
+      eval_stats;
       template = Euler.State.copy st;
       q = Sac.Value.Vdarr q;
       gam = st.Euler.State.gamma;
@@ -226,14 +243,14 @@ module Sacprog : Backend.BACKEND = struct
       time = 0.;
       steps = 0 }
 
-  (* The interpreter's with-loops already run (and are counted)
-     through [exec] when large enough; [timed] additionally charges
-     the whole evaluator call to a bucket so the mini-SaC backend
-     reports the same instrumentation shape as the native ones. *)
+  (* The engine's with-loops already run (and are counted) through
+     [exec] when large enough; [timed] additionally charges the whole
+     engine call to a bucket so the mini-SaC backend reports the same
+     instrumentation shape as the native ones. *)
   let dt t =
     Parallel.Exec.timed t.exec Parallel.Exec.Reduce (fun () ->
         Sac.Value.to_float
-          (Sac.Eval.run_fun t.ctx "dt_of"
+          (t.run "dt_of"
              [ t.q;
                Sac.Value.Vdbl t.gam;
                Sac.Value.Vdbl t.dx;
@@ -242,7 +259,7 @@ module Sacprog : Backend.BACKEND = struct
   let step_dt t dt =
     let q =
       Parallel.Exec.timed t.exec Parallel.Exec.Rhs (fun () ->
-          Sac.Eval.run_fun t.ctx "step_dt"
+          t.run "step_dt"
             [ t.q;
               Sac.Value.Vdbl dt;
               Sac.Value.Vdbl t.gam;
@@ -274,7 +291,7 @@ module Sacprog : Backend.BACKEND = struct
   let exec t = t.exec
 
   let notes t =
-    let s = Sac.Eval.stats t.ctx in
+    let s = t.eval_stats () in
     [ ("with-loops", float_of_int s.Sac.Eval.with_loops);
       ("elements", float_of_int s.Sac.Eval.elements);
       ("calls", float_of_int s.Sac.Eval.calls) ]
@@ -286,7 +303,7 @@ module Sacprog : Backend.BACKEND = struct
       ~config:{ Euler.Solver.benchmark_config with Euler.Solver.cfl = t.cfl }
       ~steps:t.steps ~time:t.time (state t)
 
-  (* The interpreter's state lives as an interior-only [3, nx] array;
+  (* The engine's state lives as an interior-only [3, nx] array;
      ghosts are refilled from the boundary conditions inside the SaC
      program every step, so rebuilding [q] from the snapshot's
      interior is a complete restore. *)
@@ -313,6 +330,20 @@ module Sacprog : Backend.BACKEND = struct
     t.steps <- snap.Persist.Snapshot.steps;
     t
 end
+
+module Sacprog = Make_sacprog (struct
+  let name = "sacprog"
+  let engine = `Vm
+end)
+
+(* Not registered: the interpreter engine is reachable for
+   differential testing and benchmarking by instantiating
+   [Backend.make] on this module directly, without adding a second
+   user-facing backend name (or a second golden lineage). *)
+module Sacprog_interp = Make_sacprog (struct
+  let name = "sacprog-interp"
+  let engine = `Interp
+end)
 
 let builtin : (module Backend.BACKEND) list =
   [ (module Reference);

@@ -8,10 +8,13 @@
     - ["fortran"] / ["fortran-outer"] —
       {!Fortran_baseline.F_solver} with inner-/outer-loop
       auto-parallelisation (any scheme configuration).
-    - ["sacprog"] — the interpreted mini-SaC program
+    - ["sacprog"] — the mini-SaC program
       {!Sacprog.Programs.euler_1d} run through the [Sac] compiler
-      pipeline (1D, benchmark scheme only; evaluator calls are
-      charged coarsely to the reduce/rhs buckets). *)
+      pipeline and executed on the {!Sac.Vm} bytecode VM (1D,
+      benchmark scheme only; engine calls are charged coarsely to the
+      reduce/rhs buckets).  {!Sacprog_interp} is the same backend on
+      the tree-walking {!Sac.Eval} interpreter — bitwise identical,
+      kept unregistered for differential testing and benchmarking. *)
 
 module Reference : Backend.BACKEND
 module Array_style : Backend.BACKEND
@@ -23,7 +26,14 @@ end) : Backend.BACKEND
 
 module Fortran : Backend.BACKEND
 module Fortran_outer : Backend.BACKEND
+
+module Make_sacprog (_ : sig
+  val name : string
+  val engine : Sacprog.Runner.engine
+end) : Backend.BACKEND
+
 module Sacprog : Backend.BACKEND
+module Sacprog_interp : Backend.BACKEND
 
 val builtin : (module Backend.BACKEND) list
 (** What {!Registry} serves, in presentation order. *)

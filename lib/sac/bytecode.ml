@@ -1,0 +1,135 @@
+(* Compact bytecode for mini-SaC: the compilation target that sits
+   after the optimisation cycle.  A program is a constant pool, a
+   string table for late-bound names, a flat function table (one entry
+   per fundef, overload instances included) and a table of with-loop
+   descriptors.  Function bodies are stack code over {!Value.t};
+   with-loops are single opcodes whose descriptor carries both a
+   generic stack-code body (the always-correct path) and the original
+   body expression, from which {!Vm} specialises an unboxed scalar
+   kernel at run time once the capture types are known. *)
+
+type wgen = Wgenarray | Wmodarray | Wfold of Ast.foldop
+
+type instr =
+  | Const of int              (* push constant-pool entry *)
+  | Load of int               (* push frame slot *)
+  | Store of int              (* pop into frame slot *)
+  | Jump of int               (* absolute target *)
+  | JumpIfFalse of int        (* pop; to_bool; branch when false *)
+  | AndJump of int            (* peek; skip rhs when [Vbool false] *)
+  | OrJump of int             (* peek; skip rhs when [Vbool true] *)
+  | Bin of Ast.binop
+  | Un of Ast.unop
+  | MakeVec of int            (* pop n elements, push vector literal *)
+  | Index                     (* pop index, pop base, push element *)
+  | CallStatic of int * int   (* function-table index, arg count *)
+  | CallDyn of int * int      (* name-table index, arg count *)
+  | CallBuiltin of int * int  (* name-table index, arg count *)
+  | With of int               (* with-descriptor index; operands on stack *)
+  | Ret
+  | NoRet                     (* fell off the end of a function body *)
+
+type wdesc = {
+  w_id : int;                    (* index into the descriptor table *)
+  w_fun : string;                (* enclosing function, for statistics *)
+  w_gen : wgen;
+  w_ivar : string;
+  w_captures : int array;        (* slots read from the enclosing frame *)
+  w_capture_names : string array;(* parallel to [w_captures] *)
+  w_body : instr array;          (* generic body; frame = ivar :: captures *)
+  w_body_expr : Ast.expr;        (* source of run-time kernel specialisation *)
+  w_body_slots : int;
+  w_body_stack : int;
+}
+
+type func = {
+  f_name : string;
+  f_params : int;                (* parameters occupy slots 0..n-1 *)
+  f_def : Ast.fundef;            (* identity link for overload resolution *)
+  f_code : instr array;
+  f_slots : int;
+  f_stack : int;                 (* maximum operand-stack depth *)
+}
+
+type program = {
+  consts : Value.t array;
+  names : string array;
+  funcs : func array;
+  withs : wdesc array;
+  source : Ast.program;          (* the optimised AST this was lowered from *)
+}
+
+type summary = {
+  n_funcs : int;
+  n_instrs : int;                (* function code plus generic with bodies *)
+  n_consts : int;
+  n_withs : int;
+}
+
+let summary p =
+  { n_funcs = Array.length p.funcs;
+    n_instrs =
+      Array.fold_left (fun a f -> a + Array.length f.f_code) 0 p.funcs
+      + Array.fold_left (fun a w -> a + Array.length w.w_body) 0 p.withs;
+    n_consts = Array.length p.consts;
+    n_withs = Array.length p.withs }
+
+(* ---------------- disassembler ---------------- *)
+
+let gen_name = function
+  | Wgenarray -> "genarray"
+  | Wmodarray -> "modarray"
+  | Wfold op -> "fold(" ^ Ast.foldop_name op ^ ")"
+
+let pp_instr p ppf i =
+  let name k = p.names.(k) in
+  match i with
+  | Const k -> Format.fprintf ppf "const %d (%a)" k Value.pp p.consts.(k)
+  | Load s -> Format.fprintf ppf "load %d" s
+  | Store s -> Format.fprintf ppf "store %d" s
+  | Jump t -> Format.fprintf ppf "jmp %d" t
+  | JumpIfFalse t -> Format.fprintf ppf "jfalse %d" t
+  | AndJump t -> Format.fprintf ppf "and %d" t
+  | OrJump t -> Format.fprintf ppf "or %d" t
+  | Bin op -> Format.fprintf ppf "bin %s" (Ast.binop_name op)
+  | Un Ast.Neg -> Format.fprintf ppf "un -"
+  | Un Ast.Not -> Format.fprintf ppf "un !"
+  | MakeVec n -> Format.fprintf ppf "vec %d" n
+  | Index -> Format.fprintf ppf "index"
+  | CallStatic (f, n) ->
+    Format.fprintf ppf "call %s/%d" p.funcs.(f).f_name n
+  | CallDyn (k, n) -> Format.fprintf ppf "dyncall %s/%d" (name k) n
+  | CallBuiltin (k, n) -> Format.fprintf ppf "builtin %s/%d" (name k) n
+  | With w -> Format.fprintf ppf "with w%d" w
+  | Ret -> Format.fprintf ppf "ret"
+  | NoRet -> Format.fprintf ppf "noret"
+
+let pp_code p ppf code =
+  Array.iteri
+    (fun i ins -> Format.fprintf ppf "  %3d: %a@\n" i (pp_instr p) ins)
+    code
+
+let pp ppf p =
+  Format.fprintf ppf "== constants ==@\n";
+  Array.iteri
+    (fun i v -> Format.fprintf ppf "  c%d = %a@\n" i Value.pp v)
+    p.consts;
+  Format.fprintf ppf "== functions ==@\n";
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "fun %s/%d (slots %d, stack %d):@\n" f.f_name
+        f.f_params f.f_slots f.f_stack;
+      pp_code p ppf f.f_code)
+    p.funcs;
+  Format.fprintf ppf "== with-loops ==@\n";
+  Array.iter
+    (fun w ->
+      Format.fprintf ppf
+        "with w%d in %s: %s, ivar %s, captures [%s] (slots %d, stack %d):@\n"
+        w.w_id w.w_fun (gen_name w.w_gen) w.w_ivar
+        (String.concat ", " (Array.to_list w.w_capture_names))
+        w.w_body_slots w.w_body_stack;
+      pp_code p ppf w.w_body)
+    p.withs
+
+let to_string p = Format.asprintf "%a" pp p

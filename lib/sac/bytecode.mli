@@ -1,0 +1,78 @@
+(** Compact bytecode for mini-SaC.
+
+    The product of {!Compile}: a constant pool, a name table for
+    late-bound (overloaded or builtin) calls, a flat function table
+    with symbol-table-resolved [CallStatic] sites, and one descriptor
+    per [with]-loop.  Function bodies are stack code over {!Value.t};
+    a [With] opcode carries its bounds and generator operands on the
+    stack and dispatches to {!Vm}'s loop drivers, which bottom out in
+    tight loops over unboxed float arrays when the body can be
+    specialised to a scalar kernel (and fall back to the descriptor's
+    generic stack-code body otherwise). *)
+
+type wgen = Wgenarray | Wmodarray | Wfold of Ast.foldop
+
+type instr =
+  | Const of int              (** push constant-pool entry *)
+  | Load of int               (** push frame slot *)
+  | Store of int              (** pop into frame slot *)
+  | Jump of int               (** absolute target *)
+  | JumpIfFalse of int        (** pop; [to_bool]; branch when false *)
+  | AndJump of int            (** peek; skip rhs when [Vbool false] *)
+  | OrJump of int             (** peek; skip rhs when [Vbool true] *)
+  | Bin of Ast.binop
+  | Un of Ast.unop
+  | MakeVec of int            (** pop [n] elements, push vector literal *)
+  | Index                     (** pop index, pop base, push element *)
+  | CallStatic of int * int   (** function-table index, arg count *)
+  | CallDyn of int * int      (** name-table index, arg count *)
+  | CallBuiltin of int * int  (** name-table index, arg count *)
+  | With of int               (** with-descriptor index *)
+  | Ret
+  | NoRet                     (** fell off the end of a function body *)
+
+type wdesc = {
+  w_id : int;
+  w_fun : string;                 (** enclosing function, for statistics *)
+  w_gen : wgen;
+  w_ivar : string;
+  w_captures : int array;         (** slots read from the enclosing frame *)
+  w_capture_names : string array;
+  w_body : instr array;           (** generic body; frame = ivar :: captures *)
+  w_body_expr : Ast.expr;         (** source of run-time kernel specialisation *)
+  w_body_slots : int;
+  w_body_stack : int;
+}
+
+type func = {
+  f_name : string;
+  f_params : int;
+  f_def : Ast.fundef;
+  f_code : instr array;
+  f_slots : int;
+  f_stack : int;
+}
+
+type program = {
+  consts : Value.t array;
+  names : string array;
+  funcs : func array;
+  withs : wdesc array;
+  source : Ast.program;
+}
+
+type summary = {
+  n_funcs : int;
+  n_instrs : int;   (** function code plus generic with-loop bodies *)
+  n_consts : int;
+  n_withs : int;
+}
+
+val summary : program -> summary
+
+val pp : Format.formatter -> program -> unit
+(** Disassembler: constant pool, per-function listings, with-loop
+    descriptors with their generic bodies.  The format is stable — the
+    golden-listing compiler tests pin it. *)
+
+val to_string : program -> string

@@ -1,0 +1,307 @@
+(* Lowering optimised mini-SaC to {!Bytecode}.
+
+   One pass over each fundef: variables become frame slots (flat
+   per-function numbering; mini-SaC scoping threads assignments
+   through [if]/[for] bodies, so a name maps to one slot), literals
+   are pooled (floats deduplicated by bit pattern so [0.0] and [-0.0]
+   stay distinct), and calls are resolved against the symbol table at
+   compile time: a call to a non-overloaded program function becomes
+   [CallStatic] (direct function-table index), an overloaded one
+   [CallDyn] (runtime resolution on exact argument types, as the
+   evaluator does), anything else [CallBuiltin].
+
+   Each [with]-loop becomes a descriptor: bounds and generator
+   operands are compiled into the enclosing function's stack code, the
+   body into a standalone generic sub-program over a small frame
+   ([ivar] in slot 0, captured free variables after it), and the body
+   expression itself is retained for the VM's run-time kernel
+   specialisation. *)
+
+open Ast
+
+(* Growable instruction/constant buffers (OCaml 5.1 has no Dynarray). *)
+module Buf = struct
+  type 'a t = { mutable a : 'a array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let cap = max 8 (2 * Array.length t.a) in
+      let a = Array.make cap x in
+      Array.blit t.a 0 a 0 t.n;
+      t.a <- a
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.n - 1
+
+  let set t i x = t.a.(i) <- x
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+type state = {
+  prog : Ast.program;
+  consts : Value.t Buf.t;
+  const_ids : (string, int) Hashtbl.t;  (* keyed by tagged bit pattern *)
+  names : string Buf.t;
+  name_ids : (string, int) Hashtbl.t;
+  withs : Bytecode.wdesc Buf.t;
+}
+
+let const_key (v : Value.t) =
+  match v with
+  | Value.Vdbl x -> "d" ^ Int64.to_string (Int64.bits_of_float x)
+  | Value.Vint n -> "i" ^ string_of_int n
+  | Value.Vbool b -> "b" ^ string_of_bool b
+  | _ -> assert false
+
+let const_id st v =
+  let k = const_key v in
+  match Hashtbl.find_opt st.const_ids k with
+  | Some i -> i
+  | None ->
+    let i = Buf.push st.consts v in
+    Hashtbl.add st.const_ids k i;
+    i
+
+let name_id st s =
+  match Hashtbl.find_opt st.name_ids s with
+  | Some i -> i
+  | None ->
+    let i = Buf.push st.names s in
+    Hashtbl.add st.name_ids s i;
+    i
+
+(* Per-code-unit (function body or with-loop body) compilation
+   context: slot map, emitted code, operand-stack depth tracking. *)
+type unit_ctx = {
+  st : state;
+  fname : string;                   (* enclosing function, for descriptors *)
+  slots : (string, int) Hashtbl.t;
+  mutable nslots : int;
+  code : Bytecode.instr Buf.t;
+  mutable depth : int;
+  mutable max_depth : int;
+}
+
+let fresh_unit st fname =
+  { st;
+    fname;
+    slots = Hashtbl.create 16;
+    nslots = 0;
+    code = Buf.create ();
+    depth = 0;
+    max_depth = 0 }
+
+let slot_of u v =
+  match Hashtbl.find_opt u.slots v with
+  | Some s -> s
+  | None ->
+    let s = u.nslots in
+    u.nslots <- u.nslots + 1;
+    Hashtbl.add u.slots v s;
+    s
+
+let emit u i = ignore (Buf.push u.code i)
+
+(* Emit a jump-family instruction with a placeholder target; returns
+   its index for [patch_here]. *)
+let emit_hole u mk = Buf.push u.code (mk (-1))
+
+let patch_here u at mk = Buf.set u.code at (mk u.code.Buf.n)
+
+let bump u n =
+  u.depth <- u.depth + n;
+  if u.depth > u.max_depth then u.max_depth <- u.depth
+
+let first_fun_index (prog : Ast.program) f =
+  let rec go i = function
+    | [] -> None
+    | (fd : Ast.fundef) :: _ when fd.fname = f -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 prog
+
+let rec compile_expr u e =
+  match e with
+  | Dbl x ->
+    emit u (Bytecode.Const (const_id u.st (Value.Vdbl x)));
+    bump u 1
+  | Int n ->
+    emit u (Bytecode.Const (const_id u.st (Value.Vint n)));
+    bump u 1
+  | Bool b ->
+    emit u (Bytecode.Const (const_id u.st (Value.Vbool b)));
+    bump u 1
+  | Var v ->
+    emit u (Bytecode.Load (slot_of u v));
+    bump u 1
+  | Vec es ->
+    List.iter (compile_expr u) es;
+    emit u (Bytecode.MakeVec (List.length es));
+    bump u (1 - List.length es)
+  | Binop (And, a, b) ->
+    compile_expr u a;
+    let j = emit_hole u (fun t -> Bytecode.AndJump t) in
+    compile_expr u b;
+    emit u (Bytecode.Bin And);
+    bump u (-1);
+    patch_here u j (fun t -> Bytecode.AndJump t)
+  | Binop (Or, a, b) ->
+    compile_expr u a;
+    let j = emit_hole u (fun t -> Bytecode.OrJump t) in
+    compile_expr u b;
+    emit u (Bytecode.Bin Or);
+    bump u (-1);
+    patch_here u j (fun t -> Bytecode.OrJump t)
+  | Binop (op, a, b) ->
+    compile_expr u a;
+    compile_expr u b;
+    emit u (Bytecode.Bin op);
+    bump u (-1)
+  | Unop (op, a) ->
+    compile_expr u a;
+    emit u (Bytecode.Un op)
+  | Cond (c, a, b) ->
+    compile_expr u c;
+    let jf = emit_hole u (fun t -> Bytecode.JumpIfFalse t) in
+    bump u (-1);
+    let d0 = u.depth in
+    compile_expr u a;
+    let jend = emit_hole u (fun t -> Bytecode.Jump t) in
+    patch_here u jf (fun t -> Bytecode.JumpIfFalse t);
+    u.depth <- d0;
+    compile_expr u b;
+    patch_here u jend (fun t -> Bytecode.Jump t)
+  | Call (f, args) ->
+    List.iter (compile_expr u) args;
+    let argc = List.length args in
+    (match first_fun_index u.st.prog f with
+     | Some fi ->
+       let fd = List.nth u.st.prog fi in
+       if (not (Overload.is_overloaded u.st.prog f))
+          && List.length fd.params = argc
+       then emit u (Bytecode.CallStatic (fi, argc))
+       else emit u (Bytecode.CallDyn (name_id u.st f, argc))
+     | None -> emit u (Bytecode.CallBuiltin (name_id u.st f, argc)));
+    bump u (1 - argc)
+  | Idx (a, i) ->
+    compile_expr u a;
+    compile_expr u i;
+    emit u Bytecode.Index;
+    bump u (-1)
+  | With w ->
+    compile_expr u w.lb;
+    compile_expr u w.ub;
+    let popped =
+      match w.gen with
+      | Genarray (s, d) ->
+        compile_expr u s;
+        compile_expr u d;
+        4
+      | Modarray a ->
+        compile_expr u a;
+        3
+      | Fold (_, n) ->
+        compile_expr u n;
+        3
+    in
+    let wd = compile_wdesc u w in
+    emit u (Bytecode.With wd);
+    bump u (1 - popped)
+
+and compile_wdesc u w =
+  (* [free_vars] is called on the bare body expression, so the
+     with-loop's own index variable shows up free — drop it. *)
+  let captures =
+    List.filter (fun v -> v <> w.ivar) (Ast.free_vars w.body)
+  in
+  let body_u = fresh_unit u.st u.fname in
+  (* Body frame: slot 0 holds the index vector, captures follow. *)
+  ignore (slot_of body_u w.ivar);
+  List.iter (fun v -> ignore (slot_of body_u v)) captures;
+  compile_expr body_u w.body;
+  emit body_u Bytecode.Ret;
+  let wd =
+    { Bytecode.w_id = u.st.withs.Buf.n;
+      w_fun = u.fname;
+      w_gen =
+        (match w.gen with
+         | Genarray _ -> Bytecode.Wgenarray
+         | Modarray _ -> Bytecode.Wmodarray
+         | Fold (op, _) -> Bytecode.Wfold op);
+      w_ivar = w.ivar;
+      w_captures = Array.of_list (List.map (slot_of u) captures);
+      w_capture_names = Array.of_list captures;
+      w_body = Buf.to_array body_u.code;
+      w_body_expr = w.body;
+      w_body_slots = body_u.nslots;
+      w_body_stack = max 1 body_u.max_depth }
+  in
+  Buf.push u.st.withs wd
+
+and compile_stmts u stmts = List.iter (compile_stmt u) stmts
+
+and compile_stmt u s =
+  match s with
+  | Assign (v, e) ->
+    compile_expr u e;
+    emit u (Bytecode.Store (slot_of u v));
+    bump u (-1)
+  | Return e ->
+    compile_expr u e;
+    emit u Bytecode.Ret;
+    bump u (-1)
+  | If (c, then_, else_) ->
+    compile_expr u c;
+    let jf = emit_hole u (fun t -> Bytecode.JumpIfFalse t) in
+    bump u (-1);
+    compile_stmts u then_;
+    let jend = emit_hole u (fun t -> Bytecode.Jump t) in
+    patch_here u jf (fun t -> Bytecode.JumpIfFalse t);
+    compile_stmts u else_;
+    patch_here u jend (fun t -> Bytecode.Jump t)
+  | For (v, init, cond, stepe, body) ->
+    compile_expr u init;
+    let sv = slot_of u v in
+    emit u (Bytecode.Store sv);
+    bump u (-1);
+    let top = u.code.Buf.n in
+    compile_expr u cond;
+    let jexit = emit_hole u (fun t -> Bytecode.JumpIfFalse t) in
+    bump u (-1);
+    compile_stmts u body;
+    compile_expr u stepe;
+    emit u (Bytecode.Store sv);
+    bump u (-1);
+    emit u (Bytecode.Jump top);
+    patch_here u jexit (fun t -> Bytecode.JumpIfFalse t)
+
+let compile_fun st (fd : Ast.fundef) =
+  let u = fresh_unit st fd.fname in
+  List.iter (fun p -> ignore (slot_of u p.pname)) fd.params;
+  compile_stmts u fd.fbody;
+  emit u Bytecode.NoRet;
+  { Bytecode.f_name = fd.fname;
+    f_params = List.length fd.params;
+    f_def = fd;
+    f_code = Buf.to_array u.code;
+    f_slots = max 1 u.nslots;
+    f_stack = max 1 u.max_depth }
+
+let program (prog : Ast.program) =
+  let st =
+    { prog;
+      consts = Buf.create ();
+      const_ids = Hashtbl.create 64;
+      names = Buf.create ();
+      name_ids = Hashtbl.create 16;
+      withs = Buf.create () }
+  in
+  let funcs = Array.of_list (List.map (compile_fun st) prog) in
+  { Bytecode.consts = Buf.to_array st.consts;
+    names = Buf.to_array st.names;
+    funcs;
+    withs = Buf.to_array st.withs;
+    source = prog }

@@ -1,0 +1,16 @@
+(** Lowering optimised mini-SaC programs to {!Bytecode}.
+
+    Variables become frame slots, literals are pooled (floats keyed by
+    bit pattern), and call sites are resolved against the symbol table
+    at compile time: non-overloaded program functions get a direct
+    [CallStatic] index, overloaded names a [CallDyn] (resolved on the
+    exact runtime argument types, as {!Eval} does), and everything
+    else a [CallBuiltin].  Each [with]-loop is extracted into a
+    descriptor holding a generic stack-code body plus the original
+    body expression for the VM's run-time kernel specialisation.
+
+    The input is expected to be type-checked (as {!Pipeline.optimize}
+    guarantees); the compiler assigns slots on first sight and does
+    not re-run the scoping analysis. *)
+
+val program : Ast.program -> Bytecode.program

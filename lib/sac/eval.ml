@@ -4,9 +4,22 @@ type stats = {
   mutable with_loops : int;
   mutable elements : int;
   mutable calls : int;
+  fun_calls : (string, int) Hashtbl.t;
+  with_execs : (string, int) Hashtbl.t;
 }
 
-let fresh_stats () = { with_loops = 0; elements = 0; calls = 0 }
+let fresh_stats () =
+  { with_loops = 0;
+    elements = 0;
+    calls = 0;
+    fun_calls = Hashtbl.create 16;
+    with_execs = Hashtbl.create 16 }
+
+let tally tbl k =
+  Hashtbl.replace tbl k
+    (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+
+let toplevel = "<toplevel>"
 
 exception Error of string
 
@@ -15,6 +28,7 @@ type ctx = {
   st : stats;
   exec : Parallel.Exec.t option;
   parallel_threshold : int;
+  mutable cur_fn : string;
 }
 
 let make_ctx ?exec ?(parallel_threshold = 1024) prog =
@@ -23,7 +37,8 @@ let make_ctx ?exec ?(parallel_threshold = 1024) prog =
       if List.mem f.fname Builtins.names then
         raise (Error ("function redefines builtin: " ^ f.fname)))
     prog;
-  { prog; st = fresh_stats (); exec; parallel_threshold }
+  { prog; st = fresh_stats (); exec; parallel_threshold;
+    cur_fn = toplevel }
 
 let stats ctx = ctx.st
 
@@ -132,6 +147,7 @@ let rec eval_expr ctx env e =
   | With w -> eval_with ctx env w
 
 and eval_with ctx env w =
+  tally ctx.st.with_execs ctx.cur_fn;
   let l, u = frame_of (eval_expr ctx env w.lb) (eval_expr ctx env w.ub) in
   let count = frame_size l u in
   let body_at idx =
@@ -207,12 +223,26 @@ and call_fun ctx fd args =
       (Printf.sprintf "%s expects %d arguments, got %d" fd.fname
          (List.length fd.params) (List.length args));
   ctx.st.calls <- ctx.st.calls + 1;
+  tally ctx.st.fun_calls fd.fname;
   let env =
     List.map2 (fun p v -> (p.pname, v)) fd.params args
   in
-  match exec_stmts ctx env fd.fbody with
-  | `Ret v -> v
-  | `Env _ -> err (fd.fname ^ " finished without return")
+  let saved = ctx.cur_fn in
+  ctx.cur_fn <- fd.fname;
+  let restore r =
+    ctx.cur_fn <- saved;
+    r
+  in
+  match
+    (try exec_stmts ctx env fd.fbody
+     with e ->
+       ctx.cur_fn <- saved;
+       raise e)
+  with
+  | `Ret v -> restore v
+  | `Env _ ->
+    ctx.cur_fn <- saved;
+    err (fd.fname ^ " finished without return")
 
 and exec_stmts ctx env = function
   | [] -> `Env env

@@ -15,9 +15,25 @@ type stats = {
   mutable elements : int;
       (** total elements those loops computed. *)
   mutable calls : int;  (** user-function invocations *)
+  fun_calls : (string, int) Hashtbl.t;
+      (** invocations per function name. *)
+  with_execs : (string, int) Hashtbl.t;
+      (** explicit [with]-loop executions per enclosing function
+          ({!toplevel} outside any call); whole-array builtins are
+          counted only in {!with_loops}. *)
 }
 
 val fresh_stats : unit -> stats
+
+val tally : (string, int) Hashtbl.t -> string -> unit
+(** Increment a per-name counter (shared with {!Vm}'s statistics). *)
+
+val toplevel : string
+(** Key used in {!stats.with_execs} outside any function call. *)
+
+val ty_of_value : Value.t -> Ast.ty
+(** The exact (always shape-known) runtime type of a value, as used
+    for dynamic overload resolution. *)
 
 exception Error of string
 

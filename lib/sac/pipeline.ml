@@ -36,6 +36,7 @@ type report = {
   cycles_used : int;
   array_ops_before : int;
   array_ops_after : int;
+  bytecode : Bytecode.summary option;
 }
 
 let cycle options prog =
@@ -72,6 +73,12 @@ let optimize ?(options = default_options) prog =
   ( prog',
     { cycles_used;
       array_ops_before = before;
-      array_ops_after = Opt_fuse.array_op_nodes prog' } )
+      array_ops_after = Opt_fuse.array_op_nodes prog';
+      bytecode = None } )
 
 let compile ?options src = optimize ?options (Parser.parse_program src)
+
+let compile_bytecode ?options src =
+  let prog, report = compile ?options src in
+  let bc = Compile.program prog in
+  (prog, bc, { report with bytecode = Some (Bytecode.summary bc) })

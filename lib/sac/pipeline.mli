@@ -34,6 +34,9 @@ type report = {
   array_ops_after : int;
       (** static with-loop/array-op counts (see
           {!Opt_fuse.array_op_nodes}) *)
+  bytecode : Bytecode.summary option;
+      (** bytecode-stage sizes; [None] unless produced by
+          {!compile_bytecode} *)
 }
 
 val optimize : ?options:options -> Ast.program -> Ast.program * report
@@ -44,3 +47,9 @@ val optimize : ?options:options -> Ast.program -> Ast.program * report
 
 val compile : ?options:options -> string -> Ast.program * report
 (** Parse, type-check and optimise source text. *)
+
+val compile_bytecode :
+  ?options:options -> string -> Ast.program * Bytecode.program * report
+(** {!compile}, then lower the optimised program to {!Bytecode} for
+    execution on {!Vm} (the stage [sac2c] calls code generation).
+    The report's [bytecode] field carries the stage's size summary. *)

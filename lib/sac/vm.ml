@@ -1,0 +1,2868 @@
+(* Bytecode VM for mini-SaC.
+
+   Two execution levels.  Function bodies run on a {!Value.t} stack
+   machine ([run_code]) whose semantics mirror {!Eval} instruction for
+   instruction — same coercions, same error strings, same statistics.
+   With-loop opcodes dispatch to loop drivers that, whenever the body
+   can be specialised, bottom out in [exec_k]: a register machine over
+   unboxed [float array]/[int array] banks compiled at run time from
+   the body expression once the capture kinds and shapes are known
+   (the compiled kernel is cached per descriptor, keyed on those
+   kinds).  Bodies the specialiser cannot handle — nested with-loops,
+   whole-array operations, vector arithmetic — fall back to the
+   descriptor's generic stack-code body, so every program runs and the
+   kernel path is a pure strength reduction: results are bitwise
+   identical either way. *)
+
+open Ast
+module B = Bytecode
+
+let err msg = raise (Eval.Error msg)
+
+(* ---------------- index-space helpers (as in {!Eval}) ------------- *)
+
+let frame_of lb ub =
+  let l = Value.to_ivec lb and u = Value.to_ivec ub in
+  if Array.length l <> Array.length u then
+    err "with-loop bounds have different lengths";
+  (l, u)
+
+let frame_size l u =
+  let n = ref 1 in
+  Array.iteri (fun i li -> n := !n * max 0 (u.(i) - li)) l;
+  !n
+
+let index_of_flat_into l u flat idx =
+  let rem = ref flat in
+  for d = Array.length l - 1 downto 0 do
+    let ext = u.(d) - l.(d) in
+    idx.(d) <- l.(d) + (!rem mod ext);
+    rem := !rem / ext
+  done
+
+let offset_of idx strides =
+  let o = ref 0 in
+  Array.iteri (fun d x -> o := !o + (x * strides.(d))) idx;
+  !o
+
+(* Growable buffers (OCaml 5.1 has no Dynarray). *)
+module Buf = struct
+  type 'a t = { mutable a : 'a array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let cap = max 8 (2 * Array.length t.a) in
+      let a = Array.make cap x in
+      Array.blit t.a 0 a 0 t.n;
+      t.a <- a
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.n - 1
+
+  let get t i = t.a.(i)
+  let set t i x = t.a.(i) <- x
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+(* ---------------- the kernel register machine -------------------- *)
+
+(* Capture banks: the enclosing-frame values a kernel reads, unboxed
+   by kind.  Scalars are copied in before every with-loop execution;
+   arrays and int vectors are aliased (they are immutable). *)
+type banks = {
+  fcap : float array;
+  icap : int array;               (* ints and booleans (0/1) *)
+  acap : float array array;       (* double-array payloads *)
+  ivcap : int array array;
+}
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+(* Register code: [d]/[a]/[b] index the per-lane float ([fr]) or int
+   ([ir]) register files; [idx] is the current index vector.  Jump
+   targets are absolute.  Comparisons follow {!Builtins.arith}: both
+   operands go through float, min/max are selects, int division and
+   modulo raise [Division_by_zero]. *)
+type kinstr =
+  | KFimm of int * float
+  | KIimm of int * int
+  | KFcap of int * int            (* fr.(d) <- fcap.(k) *)
+  | KIcap of int * int            (* ir.(d) <- icap.(k) *)
+  | KIv of int * int              (* ir.(d) <- idx.(k) *)
+  | KIvD of int * int * int       (* ir.(d) <- idx.(ir.(r)); rank check *)
+  | KFadd of int * int * int
+  | KFsub of int * int * int
+  | KFmul of int * int * int
+  | KFdiv of int * int * int
+  | KFrem of int * int * int
+  | KIadd of int * int * int
+  | KIsub of int * int * int
+  | KImul of int * int * int
+  | KIdiv of int * int * int
+  | KImod of int * int * int
+  | KFneg of int * int
+  | KIneg of int * int
+  | KFabs of int * int
+  | KIabs of int * int
+  | KSqrt of int * int
+  | KExp of int * int
+  | KLog of int * int
+  | KPow of int * int * int
+  | KFmin of int * int * int      (* if a <= b then a else b *)
+  | KFmax of int * int * int      (* if a >= b then a else b *)
+  | KImin of int * int * int      (* int select on the float compare *)
+  | KImax of int * int * int
+  | KI2F of int * int             (* fr.(d) <- float ir.(a) *)
+  | KFcmp of cmp * int * int * int
+  | KIcmp of cmp * int * int * int
+  | KBnot of int * int
+  | KFsel of int * int * int * int
+      (* fr.(d) <- if ir.(c) <> 0 then fr.(a) else fr.(b) *)
+  | KIsel of int * int * int * int
+  | KFmov of int * int
+  | KImov of int * int
+  | KFmovs of int array * int array
+      (* fr.(dsts.(i)) <- fr.(srcs.(i)) for every i, one dispatch; no
+         source register may also be a destination *)
+  | KImovs of int array * int array
+  | KJmp of int
+  | KJz of int * int              (* branch when ir.(r) = 0 *)
+  | KJnz of int * int
+  | KFmadd of int * int * int * int
+      (* fr.(d) <- fr.(a) *. fr.(b) +. fr.(c) — two roundings, exactly
+         the separate mul and add it replaces *)
+  | KFaddm of int * int * int * int   (* fr.(d) <- c +. (a *. b) *)
+  | KFmsub of int * int * int * int   (* fr.(d) <- (a *. b) -. c *)
+  | KFsubm of int * int * int * int   (* fr.(d) <- c -. (a *. b) *)
+  | KLoadC of int * int * int     (* fr.(d) <- acap.(ar).(off) *)
+  | KLoad1 of int * int * int * int * int
+      (* dst, arr, const base, index reg, extent — stride-1 dim *)
+  | KLoad2 of int * int * int * int * int * int * int * int * int
+      (* dst, arr, base, r0, ext0, stride0, r1, ext1, stride1 *)
+  | KLoad of int * int * int * (int * int * int) array
+      (* dst, arr, const base, dynamic dims (reg, extent, stride) *)
+  | KLoadIvC of int * int * int   (* ir.(d) <- ivcap.(v).(pos) *)
+  | KLoadIv of int * int * int * int
+      (* ir.(d) <- ivcap.(v).(ir.(r)); bounds-checked against len *)
+
+type kernel = {
+  kpre : kinstr array;
+      (* invariant prefix: runs once per execution per lane *)
+  kcol : kinstr array;
+      (* column-invariant code: depends only on the innermost index
+         dimension.  A sequential walk runs it once per column and
+         replays the saved live-out registers on later rows. *)
+  kcolshift : kinstr array;
+      (* Column block for columns after the first of a sequential
+         ascending rank-2 walk: moves replaying values the previous
+         column already computed one index ahead, then the remaining
+         [kcol] instructions.  Equals [kcol] when nothing is shared. *)
+  kcode : kinstr array;           (* per-element code *)
+  knf : int;
+  kni : int;
+  kout : int;                     (* float register holding the element *)
+  klive_f : int array;            (* col-written float regs read later *)
+  klive_i : int array;            (* col-written int regs read later *)
+  kguards : (int * int * int) array option;
+      (* When [Some gs]: every array load in [kcol]/[kcode] indexes with
+         an affine function [idx.(dim) + off] of the loop index, and
+         [gs] lists one [(dim, off, ext)] triple per checked dimension.
+         An execution whose bounds satisfy every triple (the whole
+         index range lands inside [0, ext)) can run the unchecked
+         thread variants; the checked and unchecked variants are
+         indistinguishable on such executions. *)
+}
+
+let fcmp c (a : float) b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+(* Threaded execution: each instruction is compiled — once per kernel
+   block, lane and capture-shape entry — into a closure that performs
+   its operation and tail-calls its successor, so running a block costs
+   one indirect call per instruction with the operand registers baked
+   into each closure's environment: no fetch, decode or program-counter
+   maintenance.  The register files and index vector are captured
+   directly (their identity is stable for the life of a lane); captured
+   scalar banks ([fcap]/[icap]) likewise; array banks are read through
+   [bk] at call time because [fill_banks] repoints their slots at every
+   with-loop execution.  Jump closures look their target up in [t] when
+   they fire, so both forward and backward targets resolve to the final
+   closures. *)
+let khalt () = ()
+
+let build_thread ?(unchecked = false) (code : kinstr array)
+    (fr : float array) (ir : int array) (idx : int array) (bk : banks) :
+    unit -> unit =
+  let n = Array.length code in
+  if n = 0 then khalt
+  else begin
+    let t = Array.make (n + 1) khalt in
+    for i = n - 1 downto 0 do
+      let next = Array.unsafe_get t (i + 1) in
+      let step =
+        match code.(i) with
+        | KFimm (d, x) ->
+          fun () ->
+            Array.unsafe_set fr d x;
+            next ()
+        | KIimm (d, x) ->
+          fun () ->
+            Array.unsafe_set ir d x;
+            next ()
+        | KFcap (d, k) ->
+          fun () ->
+            Array.unsafe_set fr d (Array.unsafe_get bk.fcap k);
+            next ()
+        | KIcap (d, k) ->
+          fun () ->
+            Array.unsafe_set ir d (Array.unsafe_get bk.icap k);
+            next ()
+        | KIv (d, k) ->
+          fun () ->
+            Array.unsafe_set ir d (Array.unsafe_get idx k);
+            next ()
+        | KIvD (d, r, rank) ->
+          fun () ->
+            let i = Array.unsafe_get ir r in
+            if i < 0 || i >= rank then err "index out of bounds";
+            Array.unsafe_set ir d (Array.unsafe_get idx i);
+            next ()
+        | KFadd (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr a +. Array.unsafe_get fr b);
+            next ()
+        | KFsub (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr a -. Array.unsafe_get fr b);
+            next ()
+        | KFmul (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr a *. Array.unsafe_get fr b);
+            next ()
+        | KFdiv (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr a /. Array.unsafe_get fr b);
+            next ()
+        | KFrem (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Float.rem (Array.unsafe_get fr a) (Array.unsafe_get fr b));
+            next ()
+        | KFmadd (d, a, b, c) ->
+          fun () ->
+            Array.unsafe_set fr d
+              ((Array.unsafe_get fr a *. Array.unsafe_get fr b)
+               +. Array.unsafe_get fr c);
+            next ()
+        | KFaddm (d, c, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr c
+               +. (Array.unsafe_get fr a *. Array.unsafe_get fr b));
+            next ()
+        | KFmsub (d, a, b, c) ->
+          fun () ->
+            Array.unsafe_set fr d
+              ((Array.unsafe_get fr a *. Array.unsafe_get fr b)
+               -. Array.unsafe_get fr c);
+            next ()
+        | KFsubm (d, c, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr c
+               -. (Array.unsafe_get fr a *. Array.unsafe_get fr b));
+            next ()
+        | KIadd (d, a, b) ->
+          fun () ->
+            Array.unsafe_set ir d
+              (Array.unsafe_get ir a + Array.unsafe_get ir b);
+            next ()
+        | KIsub (d, a, b) ->
+          fun () ->
+            Array.unsafe_set ir d
+              (Array.unsafe_get ir a - Array.unsafe_get ir b);
+            next ()
+        | KImul (d, a, b) ->
+          fun () ->
+            Array.unsafe_set ir d
+              (Array.unsafe_get ir a * Array.unsafe_get ir b);
+            next ()
+        | KIdiv (d, a, b) ->
+          fun () ->
+            let y = Array.unsafe_get ir b in
+            if y = 0 then raise Division_by_zero;
+            Array.unsafe_set ir d (Array.unsafe_get ir a / y);
+            next ()
+        | KImod (d, a, b) ->
+          fun () ->
+            let y = Array.unsafe_get ir b in
+            if y = 0 then raise Division_by_zero;
+            Array.unsafe_set ir d (Array.unsafe_get ir a mod y);
+            next ()
+        | KFneg (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (-.(Array.unsafe_get fr a));
+            next ()
+        | KIneg (d, a) ->
+          fun () ->
+            Array.unsafe_set ir d (-(Array.unsafe_get ir a));
+            next ()
+        | KFabs (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (Float.abs (Array.unsafe_get fr a));
+            next ()
+        | KIabs (d, a) ->
+          fun () ->
+            Array.unsafe_set ir d (abs (Array.unsafe_get ir a));
+            next ()
+        | KSqrt (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (Float.sqrt (Array.unsafe_get fr a));
+            next ()
+        | KExp (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (Float.exp (Array.unsafe_get fr a));
+            next ()
+        | KLog (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (Float.log (Array.unsafe_get fr a));
+            next ()
+        | KPow (d, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get fr a ** Array.unsafe_get fr b);
+            next ()
+        | KFmin (d, a, b) ->
+          fun () ->
+            let x = Array.unsafe_get fr a and y = Array.unsafe_get fr b in
+            Array.unsafe_set fr d (if x <= y then x else y);
+            next ()
+        | KFmax (d, a, b) ->
+          fun () ->
+            let x = Array.unsafe_get fr a and y = Array.unsafe_get fr b in
+            Array.unsafe_set fr d (if x >= y then x else y);
+            next ()
+        | KImin (d, a, b) ->
+          fun () ->
+            let x = Array.unsafe_get ir a and y = Array.unsafe_get ir b in
+            Array.unsafe_set ir d
+              (if float_of_int x <= float_of_int y then x else y);
+            next ()
+        | KImax (d, a, b) ->
+          fun () ->
+            let x = Array.unsafe_get ir a and y = Array.unsafe_get ir b in
+            Array.unsafe_set ir d
+              (if float_of_int x >= float_of_int y then x else y);
+            next ()
+        | KI2F (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (float_of_int (Array.unsafe_get ir a));
+            next ()
+        | KFcmp (c, d, a, b) -> (
+          match c with
+          | Ceq ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a = Array.unsafe_get fr b then 1
+                 else 0);
+              next ()
+          | Cne ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a <> Array.unsafe_get fr b then 1
+                 else 0);
+              next ()
+          | Clt ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a < Array.unsafe_get fr b then 1
+                 else 0);
+              next ()
+          | Cle ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a <= Array.unsafe_get fr b then 1
+                 else 0);
+              next ()
+          | Cgt ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a > Array.unsafe_get fr b then 1
+                 else 0);
+              next ()
+          | Cge ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if Array.unsafe_get fr a >= Array.unsafe_get fr b then 1
+                 else 0);
+              next ())
+        | KIcmp (c, d, a, b) -> (
+          match c with
+          | Ceq ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   = float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ()
+          | Cne ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   <> float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ()
+          | Clt ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   < float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ()
+          | Cle ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   <= float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ()
+          | Cgt ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   > float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ()
+          | Cge ->
+            fun () ->
+              Array.unsafe_set ir d
+                (if
+                   float_of_int (Array.unsafe_get ir a)
+                   >= float_of_int (Array.unsafe_get ir b)
+                 then 1
+                 else 0);
+              next ())
+        | KBnot (d, a) ->
+          fun () ->
+            Array.unsafe_set ir d (1 - Array.unsafe_get ir a);
+            next ()
+        | KFsel (d, c, a, b) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (if Array.unsafe_get ir c <> 0 then Array.unsafe_get fr a
+               else Array.unsafe_get fr b);
+            next ()
+        | KIsel (d, c, a, b) ->
+          fun () ->
+            Array.unsafe_set ir d
+              (if Array.unsafe_get ir c <> 0 then Array.unsafe_get ir a
+               else Array.unsafe_get ir b);
+            next ()
+        | KFmov (d, a) ->
+          fun () ->
+            Array.unsafe_set fr d (Array.unsafe_get fr a);
+            next ()
+        | KImov (d, a) ->
+          fun () ->
+            Array.unsafe_set ir d (Array.unsafe_get ir a);
+            next ()
+        | KFmovs (ds, ss) ->
+          let m = Array.length ds in
+          fun () ->
+            for j = 0 to m - 1 do
+              Array.unsafe_set fr (Array.unsafe_get ds j)
+                (Array.unsafe_get fr (Array.unsafe_get ss j))
+            done;
+            next ()
+        | KImovs (ds, ss) ->
+          let m = Array.length ds in
+          fun () ->
+            for j = 0 to m - 1 do
+              Array.unsafe_set ir (Array.unsafe_get ds j)
+                (Array.unsafe_get ir (Array.unsafe_get ss j))
+            done;
+            next ()
+        | KJmp tg -> fun () -> (Array.unsafe_get t tg) ()
+        | KJz (r, tg) ->
+          fun () ->
+            if Array.unsafe_get ir r = 0 then (Array.unsafe_get t tg) ()
+            else next ()
+        | KJnz (r, tg) ->
+          fun () ->
+            if Array.unsafe_get ir r <> 0 then (Array.unsafe_get t tg) ()
+            else next ()
+        | KLoadC (d, ar, off) ->
+          fun () ->
+            Array.unsafe_set fr d
+              (Array.unsafe_get (Array.unsafe_get bk.acap ar) off);
+            next ()
+        | KLoad1 (d, ar, base, r, ext) ->
+          if unchecked then
+            fun () ->
+              Array.unsafe_set fr d
+                (Array.unsafe_get (Array.unsafe_get bk.acap ar)
+                   (base + Array.unsafe_get ir r));
+              next ()
+          else
+            fun () ->
+              let i = Array.unsafe_get ir r in
+              if i < 0 || i >= ext then err "index out of bounds";
+              Array.unsafe_set fr d
+                (Array.unsafe_get (Array.unsafe_get bk.acap ar) (base + i));
+              next ()
+        | KLoad2 (d, ar, base, r0, e0, s0, r1, e1, s1) ->
+          if unchecked then
+            fun () ->
+              Array.unsafe_set fr d
+                (Array.unsafe_get
+                   (Array.unsafe_get bk.acap ar)
+                   (base
+                   + (Array.unsafe_get ir r0 * s0)
+                   + (Array.unsafe_get ir r1 * s1)));
+              next ()
+          else
+            fun () ->
+              let i0 = Array.unsafe_get ir r0 in
+              if i0 < 0 || i0 >= e0 then err "index out of bounds";
+              let i1 = Array.unsafe_get ir r1 in
+              if i1 < 0 || i1 >= e1 then err "index out of bounds";
+              Array.unsafe_set fr d
+                (Array.unsafe_get
+                   (Array.unsafe_get bk.acap ar)
+                   (base + (i0 * s0) + (i1 * s1)));
+              next ()
+        | KLoad (d, ar, base, dyn) ->
+          if unchecked then
+            fun () ->
+              let off = ref base in
+              Array.iter
+                (fun (r, _, strd) ->
+                  off := !off + (Array.unsafe_get ir r * strd))
+                dyn;
+              Array.unsafe_set fr d
+                (Array.unsafe_get (Array.unsafe_get bk.acap ar) !off);
+              next ()
+          else
+            fun () ->
+              let off = ref base in
+              Array.iter
+                (fun (r, ext, strd) ->
+                  let i = Array.unsafe_get ir r in
+                  if i < 0 || i >= ext then err "index out of bounds";
+                  off := !off + (i * strd))
+                dyn;
+              Array.unsafe_set fr d
+                (Array.unsafe_get (Array.unsafe_get bk.acap ar) !off);
+              next ()
+        | KLoadIvC (d, v, pos) ->
+          fun () ->
+            Array.unsafe_set ir d
+              (Array.unsafe_get (Array.unsafe_get bk.ivcap v) pos);
+            next ()
+        | KLoadIv (d, v, r, len) ->
+          fun () ->
+            let i = Array.unsafe_get ir r in
+            if i < 0 || i >= len then err "index out of bounds";
+            Array.unsafe_set ir d
+              (Array.unsafe_get (Array.unsafe_get bk.ivcap v) i);
+            next ()
+      in
+      t.(i) <- step
+    done;
+    t.(0)
+  end
+
+(* ---------------- run-time kernel specialisation ------------------ *)
+
+(* Raised (and caught) when the body cannot be specialised: nested
+   with-loops, whole-array or int-vector arithmetic, user-function
+   calls, dynamically-typed conditionals.  The generic stack-code body
+   then runs instead and reproduces {!Eval}'s behaviour exactly,
+   including error messages and statistics. *)
+exception Bail
+
+(* What a capture looks like at specialisation time: its bank slot,
+   plus the shape information the compiler bakes into load offsets. *)
+type cinfo =
+  | CF of int
+  | CI of int
+  | CB of int
+  | CArr of int * int array       (* bank slot, shape *)
+  | CIv of int * int              (* bank slot, length *)
+
+(* Abstract locations during kernel compilation. *)
+type kreg =
+  | RF of int                     (* float register *)
+  | RI of int                     (* int register *)
+  | RB of int                     (* int register holding 0/1 *)
+  | RIc of int                    (* compile-time int constant *)
+  | RIVc of int array             (* compile-time int vector *)
+  | RIVcap of int * int           (* captured int vector: bank, length *)
+  | RIvar                         (* the with-loop index vector *)
+  | RArr of int * int array       (* captured array: bank, shape *)
+
+(* Each register carries a dependence mask: bit [d] set when its value
+   may vary with index dimension [d] (-1 = conservatively everything).
+   The mask decides the register's home: 0 hoists to the invariant
+   prefix; a mask inside [colmask] (the innermost dimension, for rank
+   >= 2) goes to the column-invariant block; anything else is
+   per-element code.  Registers defined inside a conditional arm are
+   pinned to per-element code and recorded as depending on
+   everything. *)
+type kc = {
+  kprog : Ast.program;
+  caps : (string, cinfo) Hashtbl.t;
+  kivar : string;
+  krank : int;
+  colmask : int;                  (* innermost-dim bit, 0 if rank < 2 *)
+  pre : kinstr Buf.t;             (* loop-invariant prefix *)
+  col : kinstr Buf.t;             (* column-invariant code *)
+  main : kinstr Buf.t;            (* per-element code *)
+  mutable nf : int;
+  mutable ni : int;
+  fdep : int Buf.t;               (* per float register: dependence mask *)
+  idep : int Buf.t;
+  cse : (Ast.expr, kreg) Hashtbl.t;
+  mutable trail : Ast.expr list;  (* cse keys, for branch rollback *)
+  mutable bdepth : int;           (* > 0 inside a conditional arm *)
+  mutable spec : bool;            (* speculating: no raising instrs *)
+}
+
+(* Raised when speculative arm compilation would emit an instruction
+   that can raise at run time; the conditional then falls back to
+   branches.  Only instructions that can never fault (float arithmetic,
+   moves, constant-offset loads) may run speculatively. *)
+exception SpecBail
+
+let spec_ok = function
+  | KIdiv _ | KImod _ | KIvD _ | KLoad _ | KLoad1 _ | KLoad2 _ | KLoadIv _ ->
+    false
+  | _ -> true
+
+let fdep kc r = Buf.get kc.fdep r
+let idep kc r = Buf.get kc.idep r
+
+(* All-dimensions mask, for dynamic index-vector reads. *)
+let alldims kc = (1 lsl kc.krank) - 1
+
+(* Allocate a register and emit the instruction writing it into the
+   buffer its dependence mask selects — but never hoist out of a
+   conditional arm, where execution is guarded.  Jumps only ever
+   target [main], and conditional machinery is emitted with
+   [emit_main], so [pre] and [col] stay straight-line. *)
+let newf kc dep mk =
+  let d = kc.nf in
+  let ins = mk d in
+  if kc.spec && not (spec_ok ins) then raise SpecBail;
+  kc.nf <- d + 1;
+  if kc.bdepth > 0 then begin
+    ignore (Buf.push kc.fdep (-1));
+    ignore (Buf.push kc.main ins)
+  end
+  else begin
+    ignore (Buf.push kc.fdep dep);
+    let buf =
+      if dep = 0 then kc.pre
+      else if dep land lnot kc.colmask = 0 then kc.col
+      else kc.main
+    in
+    ignore (Buf.push buf ins)
+  end;
+  d
+
+let newi kc dep mk =
+  let d = kc.ni in
+  let ins = mk d in
+  if kc.spec && not (spec_ok ins) then raise SpecBail;
+  kc.ni <- d + 1;
+  if kc.bdepth > 0 then begin
+    ignore (Buf.push kc.idep (-1));
+    ignore (Buf.push kc.main ins)
+  end
+  else begin
+    ignore (Buf.push kc.idep dep);
+    let buf =
+      if dep = 0 then kc.pre
+      else if dep land lnot kc.colmask = 0 then kc.col
+      else kc.main
+    in
+    ignore (Buf.push buf ins)
+  end;
+  d
+
+(* Registers written from both arms of a conditional. *)
+let reserve_f kc =
+  let d = kc.nf in
+  kc.nf <- d + 1;
+  ignore (Buf.push kc.fdep (-1));
+  d
+
+let reserve_i kc =
+  let d = kc.ni in
+  kc.ni <- d + 1;
+  ignore (Buf.push kc.idep (-1));
+  d
+
+let emit_main kc i = ignore (Buf.push kc.main i)
+
+let mark kc = kc.trail
+
+(* Forget CSE entries made on a conditionally-executed path. *)
+let rollback kc m =
+  let rec go l =
+    if l != m then
+      match l with
+      | [] -> assert false
+      | e :: rest ->
+        Hashtbl.remove kc.cse e;
+        go rest
+  in
+  go kc.trail;
+  kc.trail <- m
+
+(* Transactional compilation, for speculative conditional arms: a
+   snapshot captures every buffer length and counter, and [restore]
+   drops everything emitted or allocated since. *)
+let snapshot kc =
+  ( kc.pre.Buf.n,
+    kc.col.Buf.n,
+    kc.main.Buf.n,
+    kc.nf,
+    kc.ni,
+    kc.fdep.Buf.n,
+    kc.idep.Buf.n,
+    kc.trail )
+
+let restore kc (pn, cn, mn, nf, ni, fdn, idn, trail) =
+  kc.pre.Buf.n <- pn;
+  kc.col.Buf.n <- cn;
+  kc.main.Buf.n <- mn;
+  kc.nf <- nf;
+  kc.ni <- ni;
+  kc.fdep.Buf.n <- fdn;
+  kc.idep.Buf.n <- idn;
+  rollback kc trail
+
+(* Does [e] contain a conditional construct (whose guarded parts must
+   compile in place during the main walk)? *)
+let rec has_guard = function
+  | Dbl _ | Int _ | Bool _ | Var _ | With _ -> false
+  | Cond _ | Binop ((And | Or), _, _) -> true
+  | Vec es -> List.exists has_guard es
+  | Binop (_, a, b) -> has_guard a || has_guard b
+  | Unop (_, a) -> has_guard a
+  | Idx (a, i) -> has_guard a || has_guard i
+  | Call (_, args) -> List.exists has_guard args
+
+let force_i kc r =
+  match r with
+  | RI d -> d
+  | RIc n -> newi kc 0 (fun d -> KIimm (d, n))
+  | _ -> raise Bail
+
+let force_f kc r =
+  match r with
+  | RF d -> d
+  | RI d -> newf kc (idep kc d) (fun o -> KI2F (o, d))
+  | RIc n -> newf kc 0 (fun d -> KFimm (d, float_of_int n))
+  | _ -> raise Bail
+
+let cmp_of = function
+  | Eq -> Ceq
+  | Ne -> Cne
+  | Lt -> Clt
+  | Le -> Cle
+  | Gt -> Cgt
+  | Ge -> Cge
+  | _ -> assert false
+
+let rec ck kc e =
+  match Hashtbl.find_opt kc.cse e with
+  | Some r -> r
+  | None ->
+    let r = ck_new kc e in
+    Hashtbl.add kc.cse e r;
+    kc.trail <- e :: kc.trail;
+    r
+
+and ck_new kc e =
+  match e with
+  | Dbl x -> RF (newf kc 0 (fun d -> KFimm (d, x)))
+  | Int n -> RIc n
+  | Bool b -> RB (newi kc 0 (fun d -> KIimm (d, if b then 1 else 0)))
+  | Var v ->
+    if v = kc.kivar then RIvar
+    else (
+      match Hashtbl.find_opt kc.caps v with
+      | Some (CF k) -> RF (newf kc 0 (fun d -> KFcap (d, k)))
+      | Some (CI k) -> RI (newi kc 0 (fun d -> KIcap (d, k)))
+      | Some (CB k) -> RB (newi kc 0 (fun d -> KIcap (d, k)))
+      | Some (CArr (k, shp)) -> RArr (k, shp)
+      | Some (CIv (k, len)) -> RIVcap (k, len)
+      | None -> raise Bail)
+  | Vec es ->
+    let rs = List.map (ck kc) es in
+    if List.for_all (function RIc _ -> true | _ -> false) rs then
+      RIVc
+        (Array.of_list
+           (List.map (function RIc n -> n | _ -> assert false) rs))
+    else raise Bail
+  | Binop (And, a, b) -> ck_shortcircuit kc true a b
+  | Binop (Or, a, b) -> ck_shortcircuit kc false a b
+  | Binop ((Add | Sub | Mul | Div | Mod) as op, a, b) ->
+    ck_arith kc op a b
+  | Binop (op, a, b) -> ck_cmp kc op a b
+  | Unop (Neg, a) -> (
+    match ck kc a with
+    | RIc n -> RIc (-n)
+    | RI r -> RI (newi kc (idep kc r) (fun d -> KIneg (d, r)))
+    | RF r -> RF (newf kc (fdep kc r) (fun d -> KFneg (d, r)))
+    | RIVc v -> RIVc (Array.map (fun x -> -x) v)
+    | _ -> raise Bail)
+  | Unop (Not, a) -> (
+    match ck kc a with
+    | RB r -> RB (newi kc (idep kc r) (fun d -> KBnot (d, r)))
+    | _ -> raise Bail)
+  | Cond (c, a, b) -> ck_cond kc c a b
+  | Idx (a, i) -> ck_idx kc a i
+  | Call (f, args) -> ck_call kc f args
+  | With _ -> raise Bail
+
+(* [a && b] / [a || b].  The lhs must already be boolean (otherwise
+   {!Eval} may still short-circuit or raise — the generic path sorts
+   that out); the rhs is compiled under a guard with CSE rolled back
+   afterwards, exactly like a conditional arm. *)
+and ck_shortcircuit kc is_and a b =
+  if kc.spec then raise SpecBail;
+  let ca = match ck kc a with RB r -> r | _ -> raise Bail in
+  let d = reserve_i kc in
+  emit_main kc (KImov (d, ca));
+  let j = Buf.push kc.main (KJmp (-1)) in
+  kc.bdepth <- kc.bdepth + 1;
+  let m = mark kc in
+  let cb = match ck kc b with RB r -> r | _ -> raise Bail in
+  emit_main kc (KImov (d, cb));
+  rollback kc m;
+  kc.bdepth <- kc.bdepth - 1;
+  let t = kc.main.Buf.n in
+  Buf.set kc.main j (if is_and then KJz (d, t) else KJnz (d, t));
+  RB d
+
+and ck_arith kc op a b =
+  let ra = ck kc a in
+  let rb = ck kc b in
+  match (ra, rb) with
+  | RIc x, RIc y
+    when not ((op = Div || op = Mod) && y = 0) ->
+    RIc
+      (match op with
+       | Add -> x + y
+       | Sub -> x - y
+       | Mul -> x * y
+       | Div -> x / y
+       | Mod -> x mod y
+       | _ -> assert false)
+  | (RI _ | RIc _), (RI _ | RIc _) ->
+    let x = force_i kc ra in
+    let y = force_i kc rb in
+    let dep = idep kc x lor idep kc y in
+    let mk =
+      match op with
+      | Add -> fun d -> KIadd (d, x, y)
+      | Sub -> fun d -> KIsub (d, x, y)
+      | Mul -> fun d -> KImul (d, x, y)
+      | Div -> fun d -> KIdiv (d, x, y)
+      | Mod -> fun d -> KImod (d, x, y)
+      | _ -> assert false
+    in
+    RI (newi kc dep mk)
+  | (RF _ | RI _ | RIc _), (RF _ | RI _ | RIc _) ->
+    let x = force_f kc ra in
+    let y = force_f kc rb in
+    let dep = fdep kc x lor fdep kc y in
+    let mk =
+      match op with
+      | Add -> fun d -> KFadd (d, x, y)
+      | Sub -> fun d -> KFsub (d, x, y)
+      | Mul -> fun d -> KFmul (d, x, y)
+      | Div -> fun d -> KFdiv (d, x, y)
+      | Mod -> fun d -> KFrem (d, x, y)
+      | _ -> assert false
+    in
+    RF (newf kc dep mk)
+  | _ -> raise Bail
+
+and ck_cmp kc op a b =
+  let c = cmp_of op in
+  let ra = ck kc a in
+  let rb = ck kc b in
+  match (ra, rb) with
+  | RB x, RB y ->
+    if op <> Eq && op <> Ne then raise Bail;
+    RB (newi kc (idep kc x lor idep kc y) (fun d -> KIcmp (c, d, x, y)))
+  | RIc x, RIc y ->
+    RB
+      (newi kc 0 (fun d ->
+           KIimm
+             ( d,
+               if fcmp c (float_of_int x) (float_of_int y) then 1
+               else 0 )))
+  | (RI _ | RIc _), (RI _ | RIc _) ->
+    let x = force_i kc ra in
+    let y = force_i kc rb in
+    RB (newi kc (idep kc x lor idep kc y) (fun d -> KIcmp (c, d, x, y)))
+  | (RF _ | RI _ | RIc _), (RF _ | RI _ | RIc _) ->
+    let x = force_f kc ra in
+    let y = force_f kc rb in
+    RB (newf_cmp kc x y c)
+  | _ -> raise Bail
+
+and newf_cmp kc x y c =
+  newi kc (fdep kc x lor fdep kc y) (fun d -> KFcmp (c, d, x, y))
+
+(* A conditional keeps its kernel type only when both arms agree
+   (int-ish, float, or boolean); mixed arms would lose {!Eval}'s
+   per-branch typing (e.g. an int arm feeding integer division), so
+   they bail out.
+
+   Arms built solely from instructions that can never fault are
+   compiled speculatively — both evaluate unconditionally, homed by
+   their own dependence masks, and a select picks the live value.
+   This keeps column-invariant arm arithmetic out of the per-element
+   path and costs nothing semantically: the untaken arm computes a
+   value nobody observes and no error Eval would not also reach. *)
+and ck_cond kc c a b =
+  let cr = match ck kc c with RB r -> r | _ -> raise Bail in
+  match ck_cond_spec kc cr a b with
+  | Some r -> r
+  | None ->
+    (* inside an enclosing speculation there is no branchy fallback:
+       a guarded arm must not run unconditionally *)
+    if kc.spec then raise SpecBail;
+    ck_cond_branchy kc cr a b
+
+and ck_cond_spec kc cr a b =
+  begin
+    let snap = snapshot kc in
+    let was = kc.spec in
+    kc.spec <- true;
+    let picked =
+      try
+        let ra = ck kc a in
+        let rb = ck kc b in
+        match (ra, rb) with
+        | RF _, RF _ | (RI _ | RIc _), (RI _ | RIc _) | RB _, RB _ ->
+          Some (ra, rb)
+        | _ -> None
+      with SpecBail | Bail -> None
+    in
+    kc.spec <- was;
+    match picked with
+    | None ->
+      restore kc snap;
+      None
+    | Some (ra, rb) ->
+      let depc = idep kc cr in
+      (match (ra, rb) with
+       | RF x, RF y ->
+         Some
+           (RF
+              (newf kc
+                 (depc lor fdep kc x lor fdep kc y)
+                 (fun d -> KFsel (d, cr, x, y))))
+       | (RI _ | RIc _), (RI _ | RIc _) ->
+         let x = force_i kc ra in
+         let y = force_i kc rb in
+         Some
+           (RI
+              (newi kc
+                 (depc lor idep kc x lor idep kc y)
+                 (fun d -> KIsel (d, cr, x, y))))
+       | RB x, RB y ->
+         Some
+           (RB
+              (newi kc
+                 (depc lor idep kc x lor idep kc y)
+                 (fun d -> KIsel (d, cr, x, y))))
+       | _ -> assert false)
+  end
+
+and ck_cond_branchy kc cr a b =
+  let df = reserve_f kc in
+  let di = reserve_i kc in
+  let store r =
+    match r with
+    | RF s -> emit_main kc (KFmov (df, s))
+    | RI s -> emit_main kc (KImov (di, s))
+    | RIc n -> emit_main kc (KIimm (di, n))
+    | RB s -> emit_main kc (KImov (di, s))
+    | _ -> raise Bail
+  in
+  let j1 = Buf.push kc.main (KJmp (-1)) in
+  kc.bdepth <- kc.bdepth + 1;
+  let m = mark kc in
+  let ra = ck kc a in
+  store ra;
+  rollback kc m;
+  let j2 = Buf.push kc.main (KJmp (-1)) in
+  Buf.set kc.main j1 (KJz (cr, kc.main.Buf.n));
+  let rb = ck kc b in
+  store rb;
+  rollback kc m;
+  kc.bdepth <- kc.bdepth - 1;
+  Buf.set kc.main j2 (KJmp kc.main.Buf.n);
+  match (ra, rb) with
+  | RB _, RB _ -> RB di
+  | (RI _ | RIc _), (RI _ | RIc _) -> RI di
+  | RF _, RF _ -> RF df
+  | _ -> raise Bail
+
+and ck_idx kc a i =
+  let ra = ck kc a in
+  match ra with
+  | RArr (bank, shape) -> ck_idx_arr kc bank shape i
+  | RIVcap (bank, len) -> ck_idx_ivcap kc bank len i
+  | RIvar -> ck_idx_ivar kc i
+  | RIVc v -> (
+    match ck kc i with
+    | RIc k | RIVc [| k |] ->
+      if k >= 0 && k < Array.length v then RIc v.(k) else raise Bail
+    | _ -> raise Bail)
+  | _ -> raise Bail
+
+(* Array indexing.  Constant in-range components fold into the base
+   offset; dynamic ones become bounds-checked (reg, extent, stride)
+   triples.  A fully-invariant load hoists to the prefix. *)
+and ck_idx_arr kc bank shape i =
+  let rank = Array.length shape in
+  let strides = Tensor.Shape.strides shape in
+  let comps =
+    match i with
+    | Vec es ->
+      if List.length es <> rank then raise Bail;
+      List.mapi (fun d e -> (d, ck kc e)) es
+    | _ -> (
+      match ck kc i with
+      | RIvar ->
+        if kc.krank <> rank then raise Bail;
+        List.init rank (fun d ->
+            (d, RI (newi kc (1 lsl d) (fun r -> KIv (r, d)))))
+      | RIVc v ->
+        if Array.length v <> rank then raise Bail;
+        List.init rank (fun d -> (d, RIc v.(d)))
+      | RIVcap (bk, len) ->
+        if len <> rank then raise Bail;
+        List.init rank (fun d ->
+            (d, RI (newi kc 0 (fun r -> KLoadIvC (r, bk, d)))))
+      | (RI _ | RIc _) as r ->
+        if rank <> 1 then raise Bail;
+        [ (0, r) ]
+      | _ -> raise Bail)
+  in
+  let base = ref 0 in
+  let dyn = ref [] in
+  let dep = ref 0 in
+  List.iter
+    (fun (d, r) ->
+      match r with
+      | RIc n ->
+        if n >= 0 && n < shape.(d) then
+          base := !base + (n * strides.(d))
+        else begin
+          (* out of range: keep it dynamic so the runtime check
+             raises the interpreter's error *)
+          let reg = newi kc 0 (fun o -> KIimm (o, n)) in
+          dyn := (reg, shape.(d), strides.(d)) :: !dyn
+        end
+      | RI reg ->
+        dep := !dep lor idep kc reg;
+        dyn := (reg, shape.(d), strides.(d)) :: !dyn
+      | _ -> raise Bail)
+    comps;
+  let dyn = Array.of_list (List.rev !dyn) in
+  let base = !base in
+  let dep = !dep in
+  match dyn with
+  | [||] -> RF (newf kc 0 (fun d -> KLoadC (d, bank, base)))
+  | [| (r, ext, 1) |] ->
+    RF (newf kc dep (fun d -> KLoad1 (d, bank, base, r, ext)))
+  | [| (r0, e0, s0); (r1, e1, s1) |] ->
+    RF (newf kc dep (fun d -> KLoad2 (d, bank, base, r0, e0, s0, r1, e1, s1)))
+  | _ -> RF (newf kc dep (fun d -> KLoad (d, bank, base, dyn)))
+
+and ck_idx_ivcap kc bank len i =
+  match ck kc i with
+  | RIc n | RIVc [| n |] ->
+    if n >= 0 && n < len then
+      RI (newi kc 0 (fun d -> KLoadIvC (d, bank, n)))
+    else
+      let r = newi kc 0 (fun o -> KIimm (o, n)) in
+      RI (newi kc 0 (fun d -> KLoadIv (d, bank, r, len)))
+  | RI r -> RI (newi kc (idep kc r) (fun d -> KLoadIv (d, bank, r, len)))
+  | RIvar ->
+    if kc.krank <> 1 then raise Bail;
+    let r = newi kc 1 (fun o -> KIv (o, 0)) in
+    RI (newi kc 1 (fun d -> KLoadIv (d, bank, r, len)))
+  | _ -> raise Bail
+
+and ck_idx_ivar kc i =
+  match ck kc i with
+  | RIc k | RIVc [| k |] ->
+    if k >= 0 && k < kc.krank then
+      RI (newi kc (1 lsl k) (fun d -> KIv (d, k)))
+    else raise Bail
+  | RI r -> RI (newi kc (alldims kc) (fun d -> KIvD (d, r, kc.krank)))
+  | _ -> raise Bail
+
+(* Builtin calls with purely scalar semantics; anything that maps over
+   an array (and would tick the with-loop statistics) bails out. *)
+and ck_call kc f args =
+  if Ast.lookup_fun kc.kprog f <> None then raise Bail;
+  match (f, args) with
+  | ("sqrt" | "exp" | "log"), [ a ] ->
+    let r = force_f kc (ck kc a) in
+    let dep = fdep kc r in
+    let mk =
+      match f with
+      | "sqrt" -> fun d -> KSqrt (d, r)
+      | "exp" -> fun d -> KExp (d, r)
+      | _ -> fun d -> KLog (d, r)
+    in
+    RF (newf kc dep mk)
+  | ("fabs" | "abs"), [ a ] -> (
+    match ck kc a with
+    | RIc n -> RIc (abs n)
+    | RI r -> RI (newi kc (idep kc r) (fun d -> KIabs (d, r)))
+    | RF r -> RF (newf kc (fdep kc r) (fun d -> KFabs (d, r)))
+    | _ -> raise Bail)
+  | ("min" | "max"), [ a; b ] -> (
+    let is_min = f = "min" in
+    let ra = ck kc a in
+    let rb = ck kc b in
+    match (ra, rb) with
+    | RIc x, RIc y ->
+      let fx = float_of_int x and fy = float_of_int y in
+      RIc
+        (if (if is_min then fx <= fy else fx >= fy) then x else y)
+    | (RI _ | RIc _), (RI _ | RIc _) ->
+      let x = force_i kc ra in
+      let y = force_i kc rb in
+      let dep = idep kc x lor idep kc y in
+      RI
+        (newi kc dep (fun d ->
+             if is_min then KImin (d, x, y) else KImax (d, x, y)))
+    | (RF _ | RI _ | RIc _), (RF _ | RI _ | RIc _) ->
+      let x = force_f kc ra in
+      let y = force_f kc rb in
+      let dep = fdep kc x lor fdep kc y in
+      RF
+        (newf kc dep (fun d ->
+             if is_min then KFmin (d, x, y) else KFmax (d, x, y)))
+    | _ -> raise Bail)
+  | "pow", [ a; b ] ->
+    let x = force_f kc (ck kc a) in
+    let y = force_f kc (ck kc b) in
+    RF (newf kc (fdep kc x lor fdep kc y) (fun d -> KPow (d, x, y)))
+  | "shape", [ a ] -> (
+    match ck kc a with
+    | RArr (_, shp) -> RIVc shp
+    | RIVcap (_, len) -> RIVc [| len |]
+    | RIVc v -> RIVc [| Array.length v |]
+    | RIvar -> RIVc [| kc.krank |]
+    | RF _ | RI _ | RIc _ -> RIVc [||]
+    | _ -> raise Bail)
+  | "dim", [ a ] -> (
+    match ck kc a with
+    | RArr (_, shp) -> RIc (Array.length shp)
+    | RIVcap _ | RIVc _ | RIvar -> RIc 1
+    | RF _ | RI _ | RIc _ -> RIc 0
+    | _ -> raise Bail)
+  | "sum", [ a ] -> (
+    match ck kc a with
+    | RIVc v -> RIc (Array.fold_left ( + ) 0 v)
+    | _ -> raise Bail)
+  | _ -> raise Bail
+
+(* CSE pre-seeding: compile every composite subexpression the body
+   evaluates unconditionally (skipping conditional arms and the guarded
+   sides of [&&]/[||]) before the main walk.  Shared subexpressions
+   then live in bdepth-0 registers — homed by their dependence masks —
+   and the conditional arms pick them up through the CSE table instead
+   of recompiling private per-element copies.  The evaluated-expression
+   set is unchanged; only the order in which unconditional code runs
+   relative to conditional arms moves, which (as with hoisting) can
+   change which of several runtime errors inside one element surfaces
+   first. *)
+let rec seed kc e =
+  match e with
+  | Dbl _ | Int _ | Bool _ | Var _ | With _ -> ()
+  | Vec es -> List.iter (seedc kc) es
+  | Binop ((And | Or), a, _) -> seedc kc a
+  | Binop (_, a, b) ->
+    seedc kc a;
+    seedc kc b
+  | Unop (_, a) -> seedc kc a
+  | Cond (c, _, _) -> seedc kc c
+  | Idx (a, i) ->
+    seedc kc a;
+    (match i with
+     | Vec es -> List.iter (seedc kc) es
+     | _ -> seedc kc i)
+  | Call (_, args) -> List.iter (seedc kc) args
+
+and seedc kc e =
+  seed kc e;
+  match e with
+  | Binop _ | Unop _ | Idx _ | Call _ ->
+    (* only guard-free expressions compile ahead of the main walk;
+       anything containing a conditional compiles in place so its
+       guarded parts stay guarded *)
+    if not (has_guard e) then ignore (ck kc e)
+  | Cond _ | Dbl _ | Int _ | Bool _ | Var _ | Vec _ | With _ -> ()
+
+(* Registers an instruction reads, as (float, int) register lists —
+   used to find the column block's live-outs. *)
+let kinstr_reads = function
+  | KFimm _ | KIimm _ | KFcap _ | KIcap _ | KIv _ | KJmp _ | KLoadC _
+  | KLoadIvC _ ->
+    ([], [])
+  | KIvD (_, r, _) | KJz (r, _) | KJnz (r, _) | KLoad1 (_, _, _, r, _)
+  | KLoadIv (_, _, r, _) ->
+    ([], [ r ])
+  | KFadd (_, a, b) | KFsub (_, a, b) | KFmul (_, a, b)
+  | KFdiv (_, a, b) | KFrem (_, a, b) | KPow (_, a, b)
+  | KFmin (_, a, b) | KFmax (_, a, b) | KFcmp (_, _, a, b) ->
+    ([ a; b ], [])
+  | KIadd (_, a, b) | KIsub (_, a, b) | KImul (_, a, b)
+  | KIdiv (_, a, b) | KImod (_, a, b) | KImin (_, a, b)
+  | KImax (_, a, b) | KIcmp (_, _, a, b) ->
+    ([], [ a; b ])
+  | KFneg (_, a) | KFabs (_, a) | KSqrt (_, a) | KExp (_, a)
+  | KLog (_, a) | KFmov (_, a) ->
+    ([ a ], [])
+  | KIneg (_, a) | KIabs (_, a) | KBnot (_, a) | KImov (_, a)
+  | KI2F (_, a) ->
+    ([], [ a ])
+  | KFsel (_, c, a, b) -> ([ a; b ], [ c ])
+  | KIsel (_, c, a, b) -> ([], [ c; a; b ])
+  | KFmadd (_, a, b, c) | KFmsub (_, a, b, c) -> ([ a; b; c ], [])
+  | KFaddm (_, c, a, b) | KFsubm (_, c, a, b) -> ([ c; a; b ], [])
+  | KLoad2 (_, _, _, r0, _, _, r1, _, _) -> ([], [ r0; r1 ])
+  | KLoad (_, _, _, dyn) ->
+    ([], Array.to_list (Array.map (fun (r, _, _) -> r) dyn))
+  | KFmovs (_, ss) -> (Array.to_list ss, [])
+  | KImovs (_, ss) -> ([], Array.to_list ss)
+
+(* Peephole over a straight-line instruction sequence: fuse a multiply
+   whose result feeds exactly one adjacent add/sub into a single
+   mul-then-add/sub instruction.  The fused opcode performs the same
+   two separately-rounded IEEE operations in the same operand order,
+   so results are bitwise identical to the unfused pair; only dispatch
+   cost is saved.  [fread.(r)] counts every read of float register [r]
+   across the whole kernel (output included), so [fread.(t) = 1] means
+   the adjacent consumer is the sole use of the intermediate. *)
+let peephole ~fread code =
+  let jumpy =
+    Array.exists (function KJmp _ | KJz _ | KJnz _ -> true | _ -> false) code
+  in
+  if jumpy then code
+  else begin
+    let out = ref [] in
+    let n = Array.length code in
+    let i = ref 0 in
+    while !i < n do
+      let fused =
+        if !i + 1 >= n then None
+        else
+          match (code.(!i), code.(!i + 1)) with
+          | KFmul (t, a, b), KFadd (d, x, y) when x = t && y <> t && fread.(t) = 1
+            ->
+            Some (KFmadd (d, a, b, y))
+          | KFmul (t, a, b), KFadd (d, x, y) when y = t && x <> t && fread.(t) = 1
+            ->
+            Some (KFaddm (d, x, a, b))
+          | KFmul (t, a, b), KFsub (d, x, y) when x = t && y <> t && fread.(t) = 1
+            ->
+            Some (KFmsub (d, a, b, y))
+          | KFmul (t, a, b), KFsub (d, x, y) when y = t && x <> t && fread.(t) = 1
+            ->
+            Some (KFsubm (d, x, a, b))
+          | _ -> None
+      in
+      match fused with
+      | Some ins ->
+        out := ins :: !out;
+        i := !i + 2
+      | None ->
+        out := code.(!i) :: !out;
+        incr i
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+(* The int register an instruction writes, if any. *)
+let kinstr_iwrite = function
+  | KIimm (d, _) | KIcap (d, _) | KIv (d, _) | KIvD (d, _, _)
+  | KIadd (d, _, _) | KIsub (d, _, _) | KImul (d, _, _) | KIdiv (d, _, _)
+  | KImod (d, _, _) | KIneg (d, _) | KIabs (d, _) | KImin (d, _, _)
+  | KImax (d, _, _) | KFcmp (_, d, _, _) | KIcmp (_, d, _, _)
+  | KBnot (d, _) | KIsel (d, _, _, _) | KImov (d, _) | KLoadIvC (d, _, _)
+  | KLoadIv (d, _, _, _) ->
+    Some d
+  | KFimm _ | KFcap _ | KFadd _ | KFsub _ | KFmul _ | KFdiv _ | KFrem _
+  | KFmadd _ | KFaddm _ | KFmsub _ | KFsubm _ | KFneg _ | KFabs _
+  | KSqrt _ | KExp _ | KLog _ | KPow _ | KFmin _ | KFmax _ | KI2F _
+  | KFsel _ | KFmov _ | KFmovs _ | KJmp _ | KJz _ | KJnz _ | KLoadC _
+  | KLoad1 _ | KLoad2 _ | KLoad _ ->
+    None
+  (* Multi-write: callers that track int defs (the affine walk) handle
+     this constructor explicitly before consulting [kinstr_iwrite]. *)
+  | KImovs _ -> None
+
+(* Abstract value of an int register during the affine walk. *)
+type iabs = AConst of int | AAff of int * int | ATop
+
+(* Forward affine walk over the straight-line blocks, in execution
+   order.  Returns the per-dimension range constraints under which
+   every array load in [col] and [code] is in bounds for the whole
+   index range, or [None] when some load index is not affine in the
+   loop index (or the per-element block branches, so a linear walk
+   would be unsound). *)
+let load_guards ~pre ~col ~code ni =
+  let jumpy =
+    Array.exists (function KJmp _ | KJz _ | KJnz _ -> true | _ -> false) code
+  in
+  if jumpy then None
+  else begin
+    let st = Array.make (max 1 ni) ATop in
+    let ok = ref true in
+    let gs = ref [] in
+    let guard ~collect r ext =
+      if collect then
+        match st.(r) with
+        | AAff (d, o) -> gs := (d, o, ext) :: !gs
+        | AConst c -> if c < 0 || c >= ext then ok := false
+        | ATop -> ok := false
+    in
+    let step ~collect ins =
+      (match ins with
+       | KLoad1 (_, _, _, r, ext) -> guard ~collect r ext
+       | KLoad2 (_, _, _, r0, e0, _, r1, e1, _) ->
+         guard ~collect r0 e0;
+         guard ~collect r1 e1
+       | KLoad (_, _, _, dyn) ->
+         Array.iter (fun (r, ext, _) -> guard ~collect r ext) dyn
+       | _ -> ());
+      match ins with
+      | KIimm (d, c) -> st.(d) <- AConst c
+      | KIv (d, k) -> st.(d) <- AAff (k, 0)
+      | KIadd (d, a, b) ->
+        st.(d) <-
+          (match (st.(a), st.(b)) with
+           | AConst x, AConst y -> AConst (x + y)
+           | AAff (k, o), AConst c | AConst c, AAff (k, o) ->
+             AAff (k, o + c)
+           | _ -> ATop)
+      | KIsub (d, a, b) ->
+        st.(d) <-
+          (match (st.(a), st.(b)) with
+           | AConst x, AConst y -> AConst (x - y)
+           | AAff (k, o), AConst c -> AAff (k, o - c)
+           | _ -> ATop)
+      | KImovs (ds, _) -> Array.iter (fun d -> st.(d) <- ATop) ds
+      | ins -> (
+        match kinstr_iwrite ins with
+        | Some d -> st.(d) <- ATop
+        | None -> ())
+    in
+    Array.iter (step ~collect:false) pre;
+    Array.iter (step ~collect:true) col;
+    Array.iter (step ~collect:true) code;
+    if !ok then Some (Array.of_list !gs) else None
+  end
+
+(* Loop-carried column sharing.  Column blocks like the Rusanov flux's
+   evaluate the same quantities at column index j and at j + 1; when
+   the sequential fill walks columns in ascending order, the j-family
+   at column c + 1 is exactly the (j+1)-family computed at column c.
+   [share_columns] detects instruction dags that are equal up to a +1
+   shift of the innermost index and builds an alternative column block
+   for every column after the first: register moves replaying the
+   shifted values, then only the instructions that still need
+   recomputing.  A replayed value was produced by identical
+   instructions over identical cells one column earlier, so results
+   are bitwise unchanged; as with the column-outer walk itself, only
+   the order in which runtime errors inside the range surface can
+   move. *)
+type sym =
+  | SPreF of int                  (* float reg not defined in the block *)
+  | SPreI of int
+  | SConst of int
+  | SAff of int * int             (* idx dimension, offset *)
+  | SOp of string * sym array     (* op tag + operand value dags *)
+
+let cmp_tag = function
+  | Ceq -> "eq"
+  | Cne -> "ne"
+  | Clt -> "lt"
+  | Cle -> "le"
+  | Cgt -> "gt"
+  | Cge -> "ge"
+
+let share_columns ~coldim ~nf ~ni ~pre code =
+  let n = Array.length code in
+  let jumpy =
+    Array.exists
+      (function KJmp _ | KJz _ | KJnz _ | KFmovs _ | KImovs _ -> true
+                | _ -> false)
+      code
+  in
+  if n = 0 || n > 128 || jumpy then code
+  else begin
+    let fsym = Array.init (max 1 nf) (fun r -> SPreF r) in
+    let isym = Array.init (max 1 ni) (fun r -> SPreI r) in
+    (* Seed known integer constants from the invariant prefix so the
+       column block's index arithmetic folds to affine form.  Other
+       prefix-computed registers stay opaque leaves, which is sound:
+       they hold the same value at every column. *)
+    Array.iter
+      (fun ins ->
+        match ins with
+        | KIimm (d, c) -> isym.(d) <- SConst c
+        | KIadd (d, a, b) -> (
+          match (isym.(a), isym.(b)) with
+          | SConst x, SConst y -> isym.(d) <- SConst (x + y)
+          | _ -> ())
+        | KIsub (d, a, b) -> (
+          match (isym.(a), isym.(b)) with
+          | SConst x, SConst y -> isym.(d) <- SConst (x - y)
+          | _ -> ())
+        | KIneg (d, a) -> (
+          match isym.(a) with
+          | SConst x -> isym.(d) <- SConst (-x)
+          | _ -> ())
+        | _ -> ())
+      pre;
+    let fs r = fsym.(r) and is r = isym.(r) in
+    (* Definitions eligible for sharing: (pos, is_float, dest, sym). *)
+    let defs = ref [] in
+    let fdef p d s =
+      fsym.(d) <- s;
+      defs := (p, true, d, s) :: !defs
+    in
+    let idef p d s =
+      isym.(d) <- s;
+      defs := (p, false, d, s) :: !defs
+    in
+    Array.iteri
+      (fun p ins ->
+        match ins with
+        | KFimm (d, x) ->
+          fdef p d (SOp (Printf.sprintf "fi:%Lx" (Int64.bits_of_float x), [||]))
+        | KFcap (d, k) -> fdef p d (SOp (Printf.sprintf "fc:%d" k, [||]))
+        | KFadd (d, a, b) -> fdef p d (SOp ("fa", [| fs a; fs b |]))
+        | KFsub (d, a, b) -> fdef p d (SOp ("fsb", [| fs a; fs b |]))
+        | KFmul (d, a, b) -> fdef p d (SOp ("fm", [| fs a; fs b |]))
+        | KFdiv (d, a, b) -> fdef p d (SOp ("fd", [| fs a; fs b |]))
+        | KFrem (d, a, b) -> fdef p d (SOp ("frm", [| fs a; fs b |]))
+        | KFmadd (d, a, b, c) ->
+          fdef p d (SOp ("fma", [| fs a; fs b; fs c |]))
+        | KFaddm (d, c, a, b) ->
+          fdef p d (SOp ("fam", [| fs c; fs a; fs b |]))
+        | KFmsub (d, a, b, c) ->
+          fdef p d (SOp ("fms", [| fs a; fs b; fs c |]))
+        | KFsubm (d, c, a, b) ->
+          fdef p d (SOp ("fsm", [| fs c; fs a; fs b |]))
+        | KFneg (d, a) -> fdef p d (SOp ("fn", [| fs a |]))
+        | KFabs (d, a) -> fdef p d (SOp ("fab", [| fs a |]))
+        | KSqrt (d, a) -> fdef p d (SOp ("fsq", [| fs a |]))
+        | KExp (d, a) -> fdef p d (SOp ("fex", [| fs a |]))
+        | KLog (d, a) -> fdef p d (SOp ("flg", [| fs a |]))
+        | KPow (d, a, b) -> fdef p d (SOp ("fpw", [| fs a; fs b |]))
+        | KFmin (d, a, b) -> fdef p d (SOp ("fmn", [| fs a; fs b |]))
+        | KFmax (d, a, b) -> fdef p d (SOp ("fmx", [| fs a; fs b |]))
+        | KI2F (d, a) -> fdef p d (SOp ("i2f", [| is a |]))
+        | KFsel (d, c, a, b) ->
+          fdef p d (SOp ("fsl", [| is c; fs a; fs b |]))
+        | KFmov (d, a) -> fdef p d (fs a)
+        | KLoadC (d, ar, off) ->
+          fdef p d (SOp (Printf.sprintf "ldc:%d:%d" ar off, [||]))
+        | KLoad1 (d, ar, base, r, ext) ->
+          fdef p d (SOp (Printf.sprintf "ld1:%d:%d:%d" ar base ext, [| is r |]))
+        | KLoad2 (d, ar, base, r0, e0, s0, r1, e1, s1) ->
+          fdef p d
+            (SOp
+               ( Printf.sprintf "ld2:%d:%d:%d:%d:%d:%d" ar base e0 s0 e1 s1,
+                 [| is r0; is r1 |] ))
+        | KLoad (d, ar, base, dyn) ->
+          let tag =
+            Array.fold_left
+              (fun acc (_, ext, strd) ->
+                acc ^ Printf.sprintf ":%d:%d" ext strd)
+              (Printf.sprintf "ldn:%d:%d" ar base)
+              dyn
+          in
+          fdef p d (SOp (tag, Array.map (fun (r, _, _) -> is r) dyn))
+        | KIimm (d, c) -> isym.(d) <- SConst c
+        | KIcap (d, k) -> idef p d (SOp (Printf.sprintf "ic:%d" k, [||]))
+        | KIv (d, k) -> idef p d (SAff (k, 0))
+        | KIvD (d, r, rank) ->
+          idef p d (SOp (Printf.sprintf "ivd:%d" rank, [| is r |]))
+        | KIadd (d, a, b) -> (
+          match (is a, is b) with
+          | SConst x, SConst y -> isym.(d) <- SConst (x + y)
+          | SAff (k, o), SConst c | SConst c, SAff (k, o) ->
+            idef p d (SAff (k, o + c))
+          | sa, sb -> idef p d (SOp ("ia", [| sa; sb |])))
+        | KIsub (d, a, b) -> (
+          match (is a, is b) with
+          | SConst x, SConst y -> isym.(d) <- SConst (x - y)
+          | SAff (k, o), SConst c -> idef p d (SAff (k, o - c))
+          | sa, sb -> idef p d (SOp ("isb", [| sa; sb |])))
+        | KImul (d, a, b) -> idef p d (SOp ("im", [| is a; is b |]))
+        | KIdiv (d, a, b) -> idef p d (SOp ("id", [| is a; is b |]))
+        | KImod (d, a, b) -> idef p d (SOp ("imd", [| is a; is b |]))
+        | KIneg (d, a) -> idef p d (SOp ("in", [| is a |]))
+        | KIabs (d, a) -> idef p d (SOp ("iab", [| is a |]))
+        | KImin (d, a, b) -> idef p d (SOp ("imn", [| is a; is b |]))
+        | KImax (d, a, b) -> idef p d (SOp ("imx", [| is a; is b |]))
+        | KBnot (d, a) -> idef p d (SOp ("bn", [| is a |]))
+        | KFcmp (c, d, a, b) ->
+          idef p d (SOp ("fcp:" ^ cmp_tag c, [| fs a; fs b |]))
+        | KIcmp (c, d, a, b) ->
+          idef p d (SOp ("icp:" ^ cmp_tag c, [| is a; is b |]))
+        | KIsel (d, c, a, b) ->
+          idef p d (SOp ("isl", [| is c; is a; is b |]))
+        | KImov (d, a) -> idef p d (is a)
+        | KLoadIvC (d, v, pos) ->
+          idef p d (SOp (Printf.sprintf "lvc:%d:%d" v pos, [||]))
+        | KLoadIv (d, v, r, len) ->
+          idef p d (SOp (Printf.sprintf "lv:%d:%d" v len, [| is r |]))
+        | KJmp _ | KJz _ | KJnz _ | KFmovs _ | KImovs _ -> ())
+      code;
+    let defs = Array.of_list (List.rev !defs) in
+    (* [eqs a b]: does dag [b] equal dag [a] advanced one column? *)
+    let rec eqs a b =
+      match (a, b) with
+      | SPreF x, SPreF y | SPreI x, SPreI y -> x = y
+      | SConst x, SConst y -> x = y
+      | SAff (d1, o1), SAff (d2, o2) ->
+        d1 = d2 && o2 = (if d1 = coldim then o1 + 1 else o1)
+      | SOp (t1, xs), SOp (t2, ys) ->
+        String.equal t1 t2
+        && Array.length xs = Array.length ys
+        && (let ok = ref true in
+            Array.iteri (fun i x -> if not (eqs x ys.(i)) then ok := false) xs;
+            !ok)
+      | _ -> false
+    in
+    let skip = Array.make n false in
+    let moves = ref [] in           (* (pos, is_float, dst, src) *)
+    Array.iter
+      (fun (p, isf, d, s) ->
+        let found = ref false in
+        Array.iter
+          (fun (p2, isf2, d2, s2) ->
+            if (not !found) && p2 <> p && isf2 = isf && eqs s s2 then begin
+              found := true;
+              skip.(p) <- true;
+              moves := (p, isf, d, d2) :: !moves
+            end)
+          defs)
+      defs;
+    (* A move must read a register that is recomputed every column, not
+       one that is itself replayed: drop chains until stable. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      moves :=
+        List.filter
+          (fun (p, isf, _, src) ->
+            let src_skipped =
+              Array.exists
+                (fun (p2, isf2, d2, _) -> skip.(p2) && isf2 = isf && d2 = src)
+                defs
+            in
+            if src_skipped then begin
+              skip.(p) <- false;
+              changed := true
+            end;
+            not src_skipped)
+          !moves
+    done;
+    if !moves = [] then code
+    else begin
+      (* Bundle the replay moves into at most one bulk move per
+         register file: one closure dispatch instead of one per value.
+         Sources are unskipped defs so no source is also a destination,
+         making the bundle order-insensitive. *)
+      let fmoves = List.filter (fun (_, isf, _, _) -> isf) !moves in
+      let imoves = List.filter (fun (_, isf, _, _) -> not isf) !moves in
+      let bundle isf = function
+        | [] -> []
+        | [ (_, _, dst, src) ] ->
+          [ (if isf then KFmov (dst, src) else KImov (dst, src)) ]
+        | ms ->
+          let ds = Array.of_list (List.rev_map (fun (_, _, d, _) -> d) ms) in
+          let ss = Array.of_list (List.rev_map (fun (_, _, _, s) -> s) ms) in
+          [ (if isf then KFmovs (ds, ss) else KImovs (ds, ss)) ]
+      in
+      let head = bundle true fmoves @ bundle false imoves in
+      let rest = ref [] in
+      Array.iteri
+        (fun p ins -> if not skip.(p) then rest := ins :: !rest)
+        code;
+      Array.of_list (head @ List.rev !rest)
+    end
+  end
+
+(* Row-specialised per-element threads.  A rank-2 kernel whose first
+   dimension has a small extent (the solver arrays are [3, nx]) runs
+   its per-element block once per (row, column) with the row index
+   taking just a handful of values.  Folding a fixed row value through
+   the block turns the row-index read into a constant, collapses the
+   row-dispatch compare/select chains into register moves, and bakes
+   the row into load base offsets.  Every folded instruction (index
+   reads, compares, selects, moves, immediates) is non-erroring and
+   every load is retained in order with its residual checks, so the
+   specialised block is indistinguishable from the generic one for its
+   row: same values bitwise, same error set and order.  [None] when
+   the block branches, reads index dimensions dynamically, or the row
+   count is too large to be worth caching. *)
+(* Forward copy propagation over a straight-line block: after
+   [KFmov (d, s)], later reads of [d] become reads of [s] until either
+   register is redefined (same for [KImov]).  The moves stay put — the
+   backward dead-store sweep drops the ones that end up unread.  Only
+   operand names change; no instruction moves or disappears here, so
+   values, error set and error order are untouched. *)
+let copy_prop ~nf ~ni code =
+  if Array.exists (function KJmp _ | KJz _ | KJnz _ -> true | _ -> false) code
+  then code
+  else begin
+    let fa = Array.init (max 1 nf) (fun r -> r) in
+    let ia = Array.init (max 1 ni) (fun r -> r) in
+    let df d =
+      Array.iteri (fun j a -> if a = d then fa.(j) <- j) fa;
+      fa.(d) <- d
+    in
+    let di d =
+      Array.iteri (fun j a -> if a = d then ia.(j) <- j) ia;
+      ia.(d) <- d
+    in
+    Array.map
+      (fun ins ->
+        match ins with
+        | KFmov (d, s) ->
+          let s = fa.(s) in
+          df d;
+          if s <> d then fa.(d) <- s;
+          KFmov (d, s)
+        | KImov (d, s) ->
+          let s = ia.(s) in
+          di d;
+          if s <> d then ia.(d) <- s;
+          KImov (d, s)
+        | KFimm (d, _) | KFcap (d, _) | KLoadC (d, _, _) ->
+          df d;
+          ins
+        | KIimm (d, _) | KIcap (d, _) | KIv (d, _) | KLoadIvC (d, _, _) ->
+          di d;
+          ins
+        | KFadd (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFadd (d, a, b)
+        | KFsub (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFsub (d, a, b)
+        | KFmul (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFmul (d, a, b)
+        | KFdiv (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFdiv (d, a, b)
+        | KFrem (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFrem (d, a, b)
+        | KPow (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KPow (d, a, b)
+        | KFmin (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFmin (d, a, b)
+        | KFmax (d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          df d;
+          KFmax (d, a, b)
+        | KFneg (d, a) ->
+          let a = fa.(a) in
+          df d;
+          KFneg (d, a)
+        | KFabs (d, a) ->
+          let a = fa.(a) in
+          df d;
+          KFabs (d, a)
+        | KSqrt (d, a) ->
+          let a = fa.(a) in
+          df d;
+          KSqrt (d, a)
+        | KExp (d, a) ->
+          let a = fa.(a) in
+          df d;
+          KExp (d, a)
+        | KLog (d, a) ->
+          let a = fa.(a) in
+          df d;
+          KLog (d, a)
+        | KFmadd (d, a, b, c) ->
+          let a = fa.(a) and b = fa.(b) and c = fa.(c) in
+          df d;
+          KFmadd (d, a, b, c)
+        | KFmsub (d, a, b, c) ->
+          let a = fa.(a) and b = fa.(b) and c = fa.(c) in
+          df d;
+          KFmsub (d, a, b, c)
+        | KFaddm (d, c, a, b) ->
+          let c = fa.(c) and a = fa.(a) and b = fa.(b) in
+          df d;
+          KFaddm (d, c, a, b)
+        | KFsubm (d, c, a, b) ->
+          let c = fa.(c) and a = fa.(a) and b = fa.(b) in
+          df d;
+          KFsubm (d, c, a, b)
+        | KFsel (d, c, a, b) ->
+          let c = ia.(c) and a = fa.(a) and b = fa.(b) in
+          df d;
+          KFsel (d, c, a, b)
+        | KI2F (d, a) ->
+          let a = ia.(a) in
+          df d;
+          KI2F (d, a)
+        | KLoad1 (d, ar, base, r, ext) ->
+          let r = ia.(r) in
+          df d;
+          KLoad1 (d, ar, base, r, ext)
+        | KLoad2 (d, ar, base, r0, e0, s0, r1, e1, s1) ->
+          let r0 = ia.(r0) and r1 = ia.(r1) in
+          df d;
+          KLoad2 (d, ar, base, r0, e0, s0, r1, e1, s1)
+        | KLoad (d, ar, base, dyn) ->
+          let dyn = Array.map (fun (r, e, s) -> (ia.(r), e, s)) dyn in
+          df d;
+          KLoad (d, ar, base, dyn)
+        | KFcmp (c, d, a, b) ->
+          let a = fa.(a) and b = fa.(b) in
+          di d;
+          KFcmp (c, d, a, b)
+        | KIcmp (c, d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KIcmp (c, d, a, b)
+        | KIadd (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KIadd (d, a, b)
+        | KIsub (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KIsub (d, a, b)
+        | KImul (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KImul (d, a, b)
+        | KIdiv (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KIdiv (d, a, b)
+        | KImod (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KImod (d, a, b)
+        | KImin (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KImin (d, a, b)
+        | KImax (d, a, b) ->
+          let a = ia.(a) and b = ia.(b) in
+          di d;
+          KImax (d, a, b)
+        | KIneg (d, a) ->
+          let a = ia.(a) in
+          di d;
+          KIneg (d, a)
+        | KIabs (d, a) ->
+          let a = ia.(a) in
+          di d;
+          KIabs (d, a)
+        | KBnot (d, a) ->
+          let a = ia.(a) in
+          di d;
+          KBnot (d, a)
+        | KIsel (d, c, a, b) ->
+          let c = ia.(c) and a = ia.(a) and b = ia.(b) in
+          di d;
+          KIsel (d, c, a, b)
+        | KIvD (d, r, x) ->
+          let r = ia.(r) in
+          di d;
+          KIvD (d, r, x)
+        | KLoadIv (d, v, r, len) ->
+          let r = ia.(r) in
+          di d;
+          KLoadIv (d, v, r, len)
+        | KFmovs (ds, ss) ->
+          let ss = Array.map (fun s -> fa.(s)) ss in
+          Array.iter df ds;
+          KFmovs (ds, ss)
+        | KImovs (ds, ss) ->
+          let ss = Array.map (fun s -> ia.(s)) ss in
+          Array.iter di ds;
+          KImovs (ds, ss)
+        | KJmp _ | KJz _ | KJnz _ -> ins)
+      code
+  end
+
+let specialise_rows k l0 nrows =
+  let code = k.kcode in
+  let bad =
+    Array.exists
+      (function KJmp _ | KJz _ | KJnz _ | KIvD _ -> true | _ -> false)
+      code
+  in
+  if bad || nrows < 1 || nrows > 8 then None
+  else begin
+    let specialise rowval =
+      let iconst = Array.make k.kni None in
+      let seed ins =
+        match ins with
+        | KIimm (d, c) -> iconst.(d) <- Some c
+        | KIadd (d, a, b) -> (
+          match (iconst.(a), iconst.(b)) with
+          | Some x, Some y -> iconst.(d) <- Some (x + y)
+          | _ -> ())
+        | KIsub (d, a, b) -> (
+          match (iconst.(a), iconst.(b)) with
+          | Some x, Some y -> iconst.(d) <- Some (x - y)
+          | _ -> ())
+        | KIneg (d, a) -> (
+          match iconst.(a) with
+          | Some x -> iconst.(d) <- Some (-x)
+          | _ -> ())
+        | _ -> ()
+      in
+      Array.iter seed k.kpre;
+      let buf = ref [] in
+      let emit i = buf := i :: !buf in
+      let imm d v =
+        iconst.(d) <- Some v;
+        emit (KIimm (d, v))
+      in
+      Array.iter
+        (fun ins ->
+          let ic r = iconst.(r) in
+          match ins with
+          | KIv (d, 0) -> imm d rowval
+          | KIimm (d, c) -> imm d c
+          | KIadd (d, a, b) -> (
+            match (ic a, ic b) with
+            | Some x, Some y -> imm d (x + y)
+            | _ -> emit ins)
+          | KIsub (d, a, b) -> (
+            match (ic a, ic b) with
+            | Some x, Some y -> imm d (x - y)
+            | _ -> emit ins)
+          | KImul (d, a, b) -> (
+            match (ic a, ic b) with
+            | Some x, Some y -> imm d (x * y)
+            | _ -> emit ins)
+          | KIneg (d, a) -> (
+            match ic a with
+            | Some x -> imm d (-x)
+            | _ -> emit ins)
+          | KIabs (d, a) -> (
+            match ic a with
+            | Some x -> imm d (abs x)
+            | _ -> emit ins)
+          | KBnot (d, a) -> (
+            match ic a with
+            | Some x -> imm d (1 - x)
+            | _ -> emit ins)
+          | KIcmp (c, d, a, b) -> (
+            match (ic a, ic b) with
+            | Some x, Some y ->
+              let t =
+                match c with
+                | Ceq -> x = y
+                | Cne -> x <> y
+                | Clt -> x < y
+                | Cle -> x <= y
+                | Cgt -> x > y
+                | Cge -> x >= y
+              in
+              imm d (if t then 1 else 0)
+            | _ -> emit ins)
+          | KIsel (d, c, a, b) -> (
+            match ic c with
+            | Some v -> (
+              let s = if v <> 0 then a else b in
+              match ic s with
+              | Some x -> imm d x
+              | None -> emit (KImov (d, s)))
+            | None -> emit ins)
+          | KFsel (d, c, a, b) -> (
+            match ic c with
+            | Some v -> emit (KFmov (d, (if v <> 0 then a else b)))
+            | None -> emit ins)
+          | KImov (d, a) -> (
+            match ic a with
+            | Some x -> imm d x
+            | None -> emit ins)
+          | KLoad1 (d, ar, base, r, ext) -> (
+            match ic r with
+            | Some v when v >= 0 && v < ext -> emit (KLoadC (d, ar, base + v))
+            | _ -> emit ins)
+          | KLoad2 (d, ar, base, r0, e0, s0, r1, e1, s1) -> (
+            match ic r0 with
+            | Some v when v >= 0 && v < e0 ->
+              emit (KLoad1 (d, ar, base + (v * s0), r1, e1))
+            | _ -> (
+              match ic r1 with
+              | Some v when v >= 0 && v < e1 ->
+                emit (KLoad1 (d, ar, base + (v * s1), r0, e0))
+              | _ -> emit ins))
+          | _ -> emit ins)
+        code;
+      let arr = copy_prop ~nf:k.knf ~ni:k.kni (Array.of_list (List.rev !buf)) in
+      (* Drop value moves and immediates nothing reads any more. *)
+      let m = Array.length arr in
+      let keep = Array.make m true in
+      let livef = Array.make k.knf false in
+      let livei = Array.make k.kni false in
+      livef.(k.kout) <- true;
+      for p = m - 1 downto 0 do
+        let dead =
+          match arr.(p) with
+          | KIimm (d, _) | KImov (d, _) -> not livei.(d)
+          | KFimm (d, _) | KFmov (d, _) -> not livef.(d)
+          | _ -> false
+        in
+        if dead then keep.(p) <- false
+        else begin
+          let fs, is_ = kinstr_reads arr.(p) in
+          List.iter (fun r -> livef.(r) <- true) fs;
+          List.iter (fun r -> livei.(r) <- true) is_
+        end
+      done;
+      let out = ref [] in
+      for p = m - 1 downto 0 do
+        if keep.(p) then out := arr.(p) :: !out
+      done;
+      Array.of_list !out
+    in
+    Some (Array.init nrows (fun r -> specialise (l0 + r)))
+  end
+
+let compile_kernel prog (w : B.wdesc) rank caps =
+  let kc =
+    { kprog = prog;
+      caps;
+      kivar = w.B.w_ivar;
+      krank = rank;
+      colmask = (if rank >= 2 then 1 lsl (rank - 1) else 0);
+      pre = Buf.create ();
+      col = Buf.create ();
+      main = Buf.create ();
+      nf = 0;
+      ni = 0;
+      fdep = Buf.create ();
+      idep = Buf.create ();
+      cse = Hashtbl.create 64;
+      trail = [];
+      bdepth = 0;
+      spec = false }
+  in
+  try
+    seedc kc w.B.w_body_expr;
+    let out =
+      match ck kc w.B.w_body_expr with
+      | RF d -> d
+      | RI r -> newf kc (idep kc r) (fun d -> KI2F (d, r))
+      | RIc n -> newf kc 0 (fun d -> KFimm (d, float_of_int n))
+      | _ -> raise Bail
+    in
+    let kpre = Buf.to_array kc.pre in
+    let kcol = Buf.to_array kc.col in
+    let kmain = Buf.to_array kc.main in
+    let fread = Array.make (max 1 kc.nf) 0 in
+    let count code =
+      Array.iter
+        (fun ins ->
+          let fs, _ = kinstr_reads ins in
+          List.iter (fun r -> fread.(r) <- fread.(r) + 1) fs)
+        code
+    in
+    count kpre;
+    count kcol;
+    count kmain;
+    fread.(out) <- fread.(out) + 1;
+    let kpre = peephole ~fread kpre in
+    let kcol = peephole ~fread kcol in
+    let kcode = peephole ~fread kmain in
+    (* Column live-outs: col-homed registers the per-element code (or
+       the output) still reads; these are what a sequential walk saves
+       per column and replays on later rows. *)
+    let col_homed dep = dep <> 0 && dep land lnot kc.colmask = 0 in
+    let usef = Array.make (max 1 kc.nf) false in
+    let usei = Array.make (max 1 kc.ni) false in
+    Array.iter
+      (fun ins ->
+        let fs, is = kinstr_reads ins in
+        List.iter (fun r -> if col_homed (fdep kc r) then usef.(r) <- true) fs;
+        List.iter (fun r -> if col_homed (idep kc r) then usei.(r) <- true) is)
+      kcode;
+    if col_homed (fdep kc out) then usef.(out) <- true;
+    let live use =
+      let l = ref [] in
+      Array.iteri (fun r u -> if u then l := r :: !l) use;
+      Array.of_list (List.rev !l)
+    in
+    let kguards = load_guards ~pre:kpre ~col:kcol ~code:kcode kc.ni in
+    let kcolshift =
+      if rank = 2 && Array.length kcol > 0 then
+        share_columns ~coldim:(rank - 1) ~nf:kc.nf ~ni:kc.ni ~pre:kpre kcol
+      else kcol
+    in
+    Some
+      { kpre;
+        kcol;
+        kcolshift;
+        kcode;
+        knf = max 1 kc.nf;
+        kni = max 1 kc.ni;
+        kout = out;
+        klive_f = live usef;
+        klive_i = live usei;
+        kguards }
+  with Bail -> None
+
+(* ---------------- contexts and kernel caches --------------------- *)
+
+(* Per-lane kernel state: register files, the current index vector and
+   its row-major offset, maintained incrementally while a lane walks
+   consecutive flat positions ([klast]); [kgen] says which with-loop
+   execution the invariant prefix last ran for. *)
+type klane = {
+  kfr : float array;
+  kir : int array;
+  kidx : int array;
+  mutable koff : int;
+  mutable klast : int;
+  mutable kgen : int;
+  mutable kmemf : float array;
+      (* column memo: ncols x |klive_f| saved column live-outs *)
+  mutable kmemi : int array;
+  tpre : unit -> unit;            (* threaded kpre/kcol/kcode *)
+  tcol : unit -> unit;
+  tcode : unit -> unit;
+  tcol_u : unit -> unit;
+      (* unchecked-load variants, selected per execution when the
+         kernel's [kguards] hold for the actual bounds *)
+  tcode_u : unit -> unit;
+  tcolsh : unit -> unit;          (* threaded [kcolshift] *)
+  tcolsh_u : unit -> unit;
+  mutable krows : (int * int * bool * (unit -> unit) array option) option;
+      (* row-specialised threads, cached per (low row, row count,
+         guards-elided); [Some (_, _, _, None)] records that the block
+         cannot be specialised for those bounds *)
+}
+
+(* One cache entry per distinct capture signature of a descriptor. *)
+type centry = {
+  ckey : int array;
+  ck : kernel option;             (* None: body is generic-only *)
+  cbanks : banks;
+  clanes : klane option array;
+}
+
+type ctx = {
+  bc : B.program;
+  st : Eval.stats;
+  exec : Parallel.Exec.t option;
+  parallel_threshold : int;
+  kernels : bool;
+  kcaches : centry list ref array;  (* indexed by w_id *)
+  nlanes : int;
+  mutable wgen : int;             (* with-execution counter *)
+}
+
+let make_ctx ?exec ?(parallel_threshold = 1024) ?(kernels = true) bc =
+  List.iter
+    (fun f ->
+      if List.mem f.fname Builtins.names then
+        raise (Eval.Error ("function redefines builtin: " ^ f.fname)))
+    bc.B.source;
+  { bc;
+    st = Eval.fresh_stats ();
+    exec;
+    parallel_threshold;
+    kernels;
+    kcaches = Array.init (Array.length bc.B.withs) (fun _ -> ref []);
+    nlanes = (match exec with Some e -> Parallel.Exec.lanes e | None -> 1);
+    wgen = 0 }
+
+let stats ctx = ctx.st
+
+let note ctx n =
+  ctx.st.Eval.with_loops <- ctx.st.Eval.with_loops + 1;
+  ctx.st.Eval.elements <- ctx.st.Eval.elements + n
+
+(* Cache key: frame rank, then each capture's kind (and shape — load
+   offsets and strides are baked into the kernel). *)
+let entry_key w frame rank =
+  let key = ref [ rank ] in
+  Array.iter
+    (fun slot ->
+      match frame.(slot) with
+      | Value.Vdbl _ -> key := 1 :: !key
+      | Value.Vint _ -> key := 2 :: !key
+      | Value.Vbool _ -> key := 3 :: !key
+      | Value.Vivec v -> key := Array.length v :: 4 :: !key
+      | Value.Vdarr t ->
+        key := 5 :: !key;
+        let shp = Tensor.Nd.shape t in
+        key := Array.length shp :: !key;
+        Array.iter (fun d -> key := d :: !key) shp)
+    w.B.w_captures;
+  Array.of_list (List.rev !key)
+
+let make_entry ctx w frame rank key =
+  let caps = Hashtbl.create 16 in
+  let nf = ref 0 and ni = ref 0 and na = ref 0 and nv = ref 0 in
+  Array.iteri
+    (fun j slot ->
+      let name = w.B.w_capture_names.(j) in
+      match frame.(slot) with
+      | Value.Vdbl _ ->
+        Hashtbl.replace caps name (CF !nf);
+        incr nf
+      | Value.Vint _ ->
+        Hashtbl.replace caps name (CI !ni);
+        incr ni
+      | Value.Vbool _ ->
+        Hashtbl.replace caps name (CB !ni);
+        incr ni
+      | Value.Vivec v ->
+        Hashtbl.replace caps name (CIv (!nv, Array.length v));
+        incr nv
+      | Value.Vdarr t ->
+        Hashtbl.replace caps name
+          (CArr (!na, Array.copy (Tensor.Nd.shape t)));
+        incr na)
+    w.B.w_captures;
+  { ckey = key;
+    ck = compile_kernel ctx.bc.B.source w rank caps;
+    cbanks =
+      { fcap = Array.make (max 1 !nf) 0.0;
+        icap = Array.make (max 1 !ni) 0;
+        acap = Array.make (max 1 !na) [||];
+        ivcap = Array.make (max 1 !nv) [||] };
+    clanes = Array.make ctx.nlanes None }
+
+(* Copy the current capture values into the entry's banks (same
+   kind-bucket order as [make_entry]). *)
+let fill_banks b w frame =
+  let nf = ref 0 and ni = ref 0 and na = ref 0 and nv = ref 0 in
+  Array.iter
+    (fun slot ->
+      match frame.(slot) with
+      | Value.Vdbl x ->
+        b.fcap.(!nf) <- x;
+        incr nf
+      | Value.Vint n ->
+        b.icap.(!ni) <- n;
+        incr ni
+      | Value.Vbool bl ->
+        b.icap.(!ni) <- (if bl then 1 else 0);
+        incr ni
+      | Value.Vivec v ->
+        b.ivcap.(!nv) <- v;
+        incr nv
+      | Value.Vdarr t ->
+        b.acap.(!na) <- t.Tensor.Nd.data;
+        incr na)
+    w.B.w_captures
+
+(* Does the cached key match the current captures?  Mirrors
+   [entry_key]'s layout without allocating — this runs on every
+   with-loop execution. *)
+let key_matches key w frame rank =
+  let pos = ref 1 in
+  let n = Array.length key in
+  let ok = ref (n > 0 && key.(0) = rank) in
+  let take v =
+    if !ok then
+      if !pos < n && Array.unsafe_get key !pos = v then incr pos
+      else ok := false
+  in
+  Array.iter
+    (fun slot ->
+      if !ok then
+        match frame.(slot) with
+        | Value.Vdbl _ -> take 1
+        | Value.Vint _ -> take 2
+        | Value.Vbool _ -> take 3
+        | Value.Vivec v ->
+          take 4;
+          take (Array.length v)
+        | Value.Vdarr t ->
+          take 5;
+          let shp = Tensor.Nd.shape t in
+          take (Array.length shp);
+          Array.iter take shp)
+    w.B.w_captures;
+  !ok && !pos = n
+
+(* The kernel specialised to the current capture kinds, or [None] when
+   the body is generic-only, kernels are off, or we are already inside
+   a parallel region (nested loops would race on the shared banks). *)
+let get_kernel ctx ~par w frame rank =
+  if (not ctx.kernels) || par then None
+  else begin
+    let cache = ctx.kcaches.(w.B.w_id) in
+    let entry =
+      match
+        List.find_opt (fun e -> key_matches e.ckey w frame rank) !cache
+      with
+      | Some e -> e
+      | None ->
+        let e = make_entry ctx w frame rank (entry_key w frame rank) in
+        cache := e :: !cache;
+        e
+    in
+    match entry.ck with
+    | None -> None
+    | Some k ->
+      fill_banks entry.cbanks w frame;
+      ctx.wgen <- ctx.wgen + 1;
+      Some (k, entry)
+  end
+
+let lane_state ctx entry k rank lane =
+  match entry.clanes.(lane) with
+  | Some st ->
+    if st.kgen <> ctx.wgen then begin
+      st.tpre ();
+      st.klast <- min_int;
+      st.kgen <- ctx.wgen
+    end;
+    st
+  | None ->
+    let kfr = Array.make k.knf 0.0 in
+    let kir = Array.make k.kni 0 in
+    let kidx = Array.make rank 0 in
+    let bk = entry.cbanks in
+    let tcol = build_thread k.kcol kfr kir kidx bk in
+    let tcode = build_thread k.kcode kfr kir kidx bk in
+    let tcolsh =
+      if k.kcolshift == k.kcol then tcol
+      else build_thread k.kcolshift kfr kir kidx bk
+    in
+    let tcol_u, tcode_u, tcolsh_u =
+      match k.kguards with
+      | None -> (tcol, tcode, tcolsh)
+      | Some _ ->
+        let cu = build_thread ~unchecked:true k.kcol kfr kir kidx bk in
+        ( cu,
+          build_thread ~unchecked:true k.kcode kfr kir kidx bk,
+          if k.kcolshift == k.kcol then cu
+          else build_thread ~unchecked:true k.kcolshift kfr kir kidx bk )
+    in
+    let st =
+      { kfr;
+        kir;
+        kidx;
+        koff = 0;
+        klast = min_int;
+        kgen = ctx.wgen;
+        kmemf = [||];
+        kmemi = [||];
+        tpre = build_thread k.kpre kfr kir kidx bk;
+        tcol;
+        tcode;
+        tcol_u;
+        tcode_u;
+        tcolsh;
+        tcolsh_u;
+        krows = None }
+    in
+    st.tpre ();
+    entry.clanes.(lane) <- Some st;
+    st
+
+(* Advance [kidx]/[koff] from flat position [klast] to [klast + 1]. *)
+let bump_odometer st l u strides =
+  let d = ref (Array.length l - 1) in
+  let continue_ = ref true in
+  while !continue_ do
+    let dd = !d in
+    let x = st.kidx.(dd) + 1 in
+    if x < u.(dd) then begin
+      st.kidx.(dd) <- x;
+      st.koff <- st.koff + strides.(dd);
+      continue_ := false
+    end
+    else begin
+      st.koff <- st.koff - ((u.(dd) - 1 - l.(dd)) * strides.(dd));
+      st.kidx.(dd) <- l.(dd);
+      decr d
+    end
+  done
+
+(* Per-element step without column memoisation: runs the column block
+   (usually empty) and the per-element code.  Used by parallel lanes,
+   whose chunks start mid-range, and by kernels with no column code. *)
+let kelem k st l u strides data flat =
+  if flat = st.klast + 1 then bump_odometer st l u strides
+  else begin
+    index_of_flat_into l u flat st.kidx;
+    st.koff <- offset_of st.kidx strides
+  end;
+  if Array.length k.kcol > 0 then st.tcol ();
+  st.tcode ();
+  Array.unsafe_set data st.koff (Array.unsafe_get st.kfr k.kout);
+  st.klast <- flat
+
+(* Grow the lane's column-memo scratch to [ncols] columns. *)
+let ensure_memo k st ncols =
+  let nf = ncols * Array.length k.klive_f in
+  if Array.length st.kmemf < nf then st.kmemf <- Array.make nf 0.0;
+  let ni = ncols * Array.length k.klive_i in
+  if Array.length st.kmemi < ni then st.kmemi <- Array.make ni 0
+
+(* On the first row ([first]), run the column block and save its
+   live-outs at column [c]; on later rows, replay them.  Row-major
+   order walks the innermost dimension fastest, so a sequential fill
+   visits every column once before any repeats. *)
+let col_step k st tcol c ~first =
+  let nlf = Array.length k.klive_f in
+  let nli = Array.length k.klive_i in
+  if first then begin
+    tcol ();
+    let bf = c * nlf in
+    for j = 0 to nlf - 1 do
+      Array.unsafe_set st.kmemf (bf + j)
+        (Array.unsafe_get st.kfr (Array.unsafe_get k.klive_f j))
+    done;
+    let bi = c * nli in
+    for j = 0 to nli - 1 do
+      Array.unsafe_set st.kmemi (bi + j)
+        (Array.unsafe_get st.kir (Array.unsafe_get k.klive_i j))
+    done
+  end
+  else begin
+    let bf = c * nlf in
+    for j = 0 to nlf - 1 do
+      Array.unsafe_set st.kfr (Array.unsafe_get k.klive_f j)
+        (Array.unsafe_get st.kmemf (bf + j))
+    done;
+    let bi = c * nli in
+    for j = 0 to nli - 1 do
+      Array.unsafe_set st.kir (Array.unsafe_get k.klive_i j)
+        (Array.unsafe_get st.kmemi (bi + j))
+    done
+  end
+
+(* Do the kernel's load guards hold over the bounds [l, u)?  Callers
+   only ask for non-empty ranges, where [u.(d) - 1] is the largest
+   index in dimension [d]. *)
+let guards_hold k l u =
+  match k.kguards with
+  | None -> false
+  | Some gs ->
+    let ok = ref true in
+    Array.iter
+      (fun (d, o, ext) ->
+        if l.(d) + o < 0 || u.(d) - 1 + o >= ext then ok := false)
+      gs;
+    !ok
+
+(* Cached row-specialised threads for the current bounds, or None when
+   the per-element block cannot be specialised. *)
+let row_threads st k bk l u elide =
+  let l0 = l.(0) in
+  let nrows = u.(0) - l.(0) in
+  match st.krows with
+  | Some (a, b, e, ths) when a = l0 && b = nrows && e = elide -> ths
+  | _ ->
+    let ths =
+      match specialise_rows k l0 nrows with
+      | None -> None
+      | Some codes ->
+        Some
+          (Array.map
+             (fun c -> build_thread ~unchecked:elide c st.kfr st.kir st.kidx bk)
+             codes)
+    in
+    st.krows <- Some (l0, nrows, elide, ths);
+    ths
+
+let kernel_fill ctx k entry data shape l u count =
+  let rank = Array.length l in
+  let strides = Tensor.Shape.strides shape in
+  if count > 0 then
+    match ctx.exec with
+    | Some exec when count >= ctx.parallel_threshold ->
+      Parallel.Exec.parallel_for_lanes exec ~lo:0 ~hi:count
+        (fun ~lane flat ->
+          let st = lane_state ctx entry k rank lane in
+          kelem k st l u strides data flat)
+    | _ ->
+      let st = lane_state ctx entry k rank 0 in
+      let elide = guards_hold k l u in
+      let tcode = if elide then st.tcode_u else st.tcode in
+      if Array.length k.kcol = 0 then begin
+        for flat = 0 to count - 1 do
+          if flat = st.klast + 1 then bump_odometer st l u strides
+          else begin
+            index_of_flat_into l u flat st.kidx;
+            st.koff <- offset_of st.kidx strides
+          end;
+          tcode ();
+          Array.unsafe_set data st.koff (Array.unsafe_get st.kfr k.kout);
+          st.klast <- flat
+        done
+      end
+      else begin
+        (* Column-outer walk: run the column block once per column,
+           then sweep the outer dimensions with the per-element code
+           while the column registers sit untouched in the register
+           file.  Element values are written to the same offsets as the
+           row-major walk; only the visit order — and hence which of
+           several runtime errors inside the loop surfaces first —
+           changes. *)
+        let tcol = if elide then st.tcol_u else st.tcol in
+        let ncols = u.(rank - 1) - l.(rank - 1) in
+        let nrows = count / ncols in
+        (if rank = 2 then begin
+           (* Ascending rank-2 walk: columns after the first may run the
+              shift block, replaying previous-column values; the
+              per-element block runs row-specialised threads when the
+              row extent is small enough to fold away. *)
+           let tcolsh = if elide then st.tcolsh_u else st.tcolsh in
+           let s0 = strides.(0) and s1 = strides.(1) in
+           let kidx = st.kidx in
+           match row_threads st k entry.cbanks l u elide with
+           | Some ths ->
+             Array.unsafe_set kidx 0 l.(0);
+             for jc = 0 to ncols - 1 do
+               Array.unsafe_set kidx 1 (l.(1) + jc);
+               if jc = 0 then tcol () else tcolsh ();
+               let off = ref ((l.(0) * s0) + ((l.(1) + jc) * s1)) in
+               for row = 0 to nrows - 1 do
+                 (Array.unsafe_get ths row) ();
+                 Array.unsafe_set data !off (Array.unsafe_get st.kfr k.kout);
+                 off := !off + s0
+               done
+             done
+           | None ->
+             for jc = 0 to ncols - 1 do
+               Array.unsafe_set kidx 0 l.(0);
+               Array.unsafe_set kidx 1 (l.(1) + jc);
+               if jc = 0 then tcol () else tcolsh ();
+               let off = ref ((l.(0) * s0) + ((l.(1) + jc) * s1)) in
+               for _row = 0 to nrows - 1 do
+                 tcode ();
+                 Array.unsafe_set data !off (Array.unsafe_get st.kfr k.kout);
+                 Array.unsafe_set kidx 0 (Array.unsafe_get kidx 0 + 1);
+                 off := !off + s0
+               done
+             done
+         end
+         else
+           for jc = 0 to ncols - 1 do
+             let off = ref 0 in
+             for d = 0 to rank - 2 do
+               st.kidx.(d) <- l.(d);
+               off := !off + (l.(d) * strides.(d))
+             done;
+             st.kidx.(rank - 1) <- l.(rank - 1) + jc;
+             off := !off + ((l.(rank - 1) + jc) * strides.(rank - 1));
+             tcol ();
+             for _row = 0 to nrows - 1 do
+               tcode ();
+               Array.unsafe_set data !off (Array.unsafe_get st.kfr k.kout);
+               let d = ref (rank - 2) in
+               let cont = ref true in
+               while !cont && !d >= 0 do
+                 let dd = !d in
+                 let x = st.kidx.(dd) + 1 in
+                 if x < u.(dd) then begin
+                   st.kidx.(dd) <- x;
+                   off := !off + strides.(dd);
+                   cont := false
+                 end
+                 else begin
+                   st.kidx.(dd) <- l.(dd);
+                   off := !off - ((u.(dd) - 1 - l.(dd)) * strides.(dd));
+                   decr d
+                 end
+               done
+             done
+           done);
+        st.klast <- min_int
+      end
+
+(* ---------------- the stack machine ------------------------------ *)
+
+let pop_args stack sp argc =
+  sp := !sp - argc;
+  let rec build j =
+    if j = argc then [] else stack.(!sp + j) :: build (j + 1)
+  in
+  build 0
+
+(* Verbatim {!Eval} indexing semantics. *)
+let index_value va vi =
+  match (va, vi) with
+  | Value.Vdarr t, Value.Vivec iv ->
+    if Array.length iv <> Tensor.Nd.rank t then
+      err "index rank does not match array rank";
+    (try Value.Vdbl (Tensor.Nd.get t iv)
+     with Invalid_argument _ -> err "index out of bounds")
+  | Value.Vdarr t, Value.Vint i when Tensor.Nd.rank t = 1 ->
+    (try Value.Vdbl (Tensor.Nd.get t [| i |])
+     with Invalid_argument _ -> err "index out of bounds")
+  | Value.Vivec v, Value.Vint i ->
+    if i < 0 || i >= Array.length v then err "index out of bounds"
+    else Value.Vint v.(i)
+  | Value.Vivec v, Value.Vivec [| i |] ->
+    if i < 0 || i >= Array.length v then err "index out of bounds"
+    else Value.Vint v.(i)
+  | _ -> err "bad indexing operands"
+
+let func_index ctx fd =
+  let funcs = ctx.bc.B.funcs in
+  let n = Array.length funcs in
+  let rec go i =
+    if i >= n then err ("no such function: " ^ fd.fname)
+    else if funcs.(i).B.f_def == fd then i
+    else go (i + 1)
+  in
+  go 0
+
+let rec run_code ctx ~par fname (code : B.instr array) frame stack =
+  let sp = ref 0 in
+  let pc = ref 0 in
+  let ret = ref (Value.Vint 0) in
+  let running = ref true in
+  let push v =
+    stack.(!sp) <- v;
+    incr sp
+  in
+  let pop () =
+    decr sp;
+    stack.(!sp)
+  in
+  while !running do
+    match Array.unsafe_get code !pc with
+    | B.Const k ->
+      push (Array.unsafe_get ctx.bc.B.consts k);
+      incr pc
+    | B.Load s ->
+      push frame.(s);
+      incr pc
+    | B.Store s ->
+      frame.(s) <- pop ();
+      incr pc
+    | B.Jump t -> pc := t
+    | B.JumpIfFalse t ->
+      if Value.to_bool (pop ()) then incr pc else pc := t
+    | B.AndJump t -> (
+      match stack.(!sp - 1) with
+      | Value.Vbool false -> pc := t
+      | _ -> incr pc)
+    | B.OrJump t -> (
+      match stack.(!sp - 1) with
+      | Value.Vbool true -> pc := t
+      | _ -> incr pc)
+    | B.Bin op ->
+      let b = pop () in
+      let a = pop () in
+      push (Builtins.arith ~note:(note ctx) op a b);
+      incr pc
+    | B.Un op ->
+      let a = pop () in
+      push (Builtins.unary ~note:(note ctx) op a);
+      incr pc
+    | B.MakeVec n ->
+      sp := !sp - n;
+      let vs = ref [] in
+      for j = n - 1 downto 0 do
+        vs := stack.(!sp + j) :: !vs
+      done;
+      let vs = !vs in
+      push
+        (if
+           List.for_all
+             (function Value.Vint _ -> true | _ -> false)
+             vs
+         then Value.Vivec (Array.of_list (List.map Value.to_int vs))
+         else
+           Value.Vdarr
+             (Tensor.Nd.of_list1 (List.map Value.to_float vs)));
+      incr pc
+    | B.Index ->
+      let vi = pop () in
+      let va = pop () in
+      push (index_value va vi);
+      incr pc
+    | B.CallStatic (fi, argc) ->
+      let args = pop_args stack sp argc in
+      let f = ctx.bc.B.funcs.(fi) in
+      let ok =
+        List.for_all2
+          (fun a p -> Overload.arg_ok (Eval.ty_of_value a) p.pty)
+          args f.B.f_def.params
+      in
+      (if ok then push (call_fn ctx ~par fi args)
+       else
+         match
+           Overload.resolve ctx.bc.B.source f.B.f_name
+             (List.map Eval.ty_of_value args)
+         with
+         | Ok fd -> push (call_fn ctx ~par (func_index ctx fd) args)
+         | Error msg -> err msg);
+      incr pc
+    | B.CallDyn (k, argc) ->
+      let args = pop_args stack sp argc in
+      let name = ctx.bc.B.names.(k) in
+      (match
+         Overload.resolve ctx.bc.B.source name
+           (List.map Eval.ty_of_value args)
+       with
+       | Ok fd -> push (call_fn ctx ~par (func_index ctx fd) args)
+       | Error msg -> err msg);
+      incr pc
+    | B.CallBuiltin (k, argc) ->
+      let args = pop_args stack sp argc in
+      let name = ctx.bc.B.names.(k) in
+      (match Builtins.call ~note:(note ctx) name args with
+       | Some v -> push v
+       | None -> err ("unknown function " ^ name));
+      incr pc
+    | B.With wi ->
+      let w = ctx.bc.B.withs.(wi) in
+      (match w.B.w_gen with
+       | B.Wgenarray ->
+         let dflt = pop () in
+         let shp = pop () in
+         let ub = pop () in
+         let lb = pop () in
+         push (exec_genarray ctx ~par w frame lb ub shp dflt)
+       | B.Wmodarray ->
+         let src = pop () in
+         let ub = pop () in
+         let lb = pop () in
+         push (exec_modarray ctx ~par w frame lb ub src)
+       | B.Wfold op ->
+         let neutral = pop () in
+         let ub = pop () in
+         let lb = pop () in
+         push (exec_fold ctx ~par w frame op lb ub neutral));
+      incr pc
+    | B.Ret ->
+      ret := pop ();
+      running := false
+    | B.NoRet -> err (fname ^ " finished without return")
+  done;
+  !ret
+
+and call_fn ctx ~par fi args =
+  let f = ctx.bc.B.funcs.(fi) in
+  let n = List.length args in
+  if n <> f.B.f_params then
+    err
+      (Printf.sprintf "%s expects %d arguments, got %d" f.B.f_name
+         f.B.f_params n);
+  ctx.st.Eval.calls <- ctx.st.Eval.calls + 1;
+  Eval.tally ctx.st.Eval.fun_calls f.B.f_name;
+  let frame = Array.make f.B.f_slots (Value.Vint 0) in
+  List.iteri (fun j v -> frame.(j) <- v) args;
+  let stack = Array.make f.B.f_stack (Value.Vint 0) in
+  run_code ctx ~par f.B.f_name f.B.f_code frame stack
+
+and exec_genarray ctx ~par w frame lb ub shp dflt =
+  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  let l, u = frame_of lb ub in
+  let count = frame_size l u in
+  note ctx count;
+  let shape = Value.to_ivec shp in
+  if Array.length shape <> Array.length l then
+    err "genarray shape rank does not match with-loop bounds";
+  Array.iteri
+    (fun d ext ->
+      if l.(d) < 0 || u.(d) > ext then
+        err "with-loop partition exceeds genarray shape")
+    shape;
+  let dv = Value.to_float dflt in
+  let data = Array.make (Tensor.Shape.size shape) dv in
+  if count > 0 then fill ctx ~par w frame data shape l u count;
+  Value.Vdarr (Tensor.Nd.of_array shape data)
+
+and exec_modarray ctx ~par w frame lb ub src =
+  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  let l, u = frame_of lb ub in
+  let count = frame_size l u in
+  note ctx count;
+  let t = Value.to_tensor src in
+  let shape = Tensor.Nd.shape t in
+  if Array.length shape <> Array.length l then
+    err "modarray rank does not match with-loop bounds";
+  Array.iteri
+    (fun d ext ->
+      if l.(d) < 0 || u.(d) > ext then
+        err "with-loop partition exceeds modarray shape")
+    shape;
+  let data =
+    Array.init (Tensor.Nd.size t) (fun i -> Tensor.Nd.get_flat t i)
+  in
+  if count > 0 then fill ctx ~par w frame data shape l u count;
+  Value.Vdarr (Tensor.Nd.of_array shape data)
+
+and exec_fold ctx ~par w frame op lb ub neutral =
+  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  let l, u = frame_of lb ub in
+  let count = frame_size l u in
+  note ctx count;
+  let f =
+    match op with
+    | Fsum -> ( +. )
+    | Fprod -> ( *. )
+    | Fmax -> Float.max
+    | Fmin -> Float.min
+  in
+  let acc = ref (Value.to_float neutral) in
+  let rank = Array.length l in
+  (* Folds always run sequentially, as in {!Eval}. *)
+  (if count > 0 then
+     match get_kernel ctx ~par w frame rank with
+     | Some (k, entry) ->
+       let strides = Array.make rank 0 in
+       let st = lane_state ctx entry k rank 0 in
+       let has_col = Array.length k.kcol > 0 in
+       let ncols = if has_col then u.(rank - 1) - l.(rank - 1) else 1 in
+       if has_col then ensure_memo k st ncols;
+       let elide = guards_hold k l u in
+       let tcol = if elide then st.tcol_u else st.tcol in
+       let tcode = if elide then st.tcode_u else st.tcode in
+       let c = ref 0 in
+       for flat = 0 to count - 1 do
+         if flat = st.klast + 1 then bump_odometer st l u strides
+         else index_of_flat_into l u flat st.kidx;
+         if has_col then col_step k st tcol !c ~first:(flat < ncols);
+         tcode ();
+         acc := f !acc (Array.unsafe_get st.kfr k.kout);
+         st.klast <- flat;
+         incr c;
+         if !c = ncols then c := 0
+       done
+     | None ->
+       let idx = Array.make rank 0 in
+       let bframe = Array.make w.B.w_body_slots (Value.Vint 0) in
+       bframe.(0) <- Value.Vivec idx;
+       Array.iteri
+         (fun j slot -> bframe.(j + 1) <- frame.(slot))
+         w.B.w_captures;
+       let stack = Array.make w.B.w_body_stack (Value.Vint 0) in
+       for flat = 0 to count - 1 do
+         index_of_flat_into l u flat idx;
+         acc :=
+           f !acc
+             (Value.to_float
+                (run_code ctx ~par w.B.w_fun w.B.w_body bframe stack))
+       done);
+  Value.Vdbl !acc
+
+and fill ctx ~par w frame data shape l u count =
+  let rank = Array.length l in
+  match get_kernel ctx ~par w frame rank with
+  | Some (k, entry) -> kernel_fill ctx k entry data shape l u count
+  | None -> generic_fill ctx ~par w frame data shape l u count
+
+and generic_fill ctx ~par w frame data shape l u count =
+  let strides = Tensor.Shape.strides shape in
+  let rank = Array.length l in
+  let ncaps = Array.length w.B.w_captures in
+  let new_lane () =
+    let idx = Array.make rank 0 in
+    let bframe = Array.make w.B.w_body_slots (Value.Vint 0) in
+    bframe.(0) <- Value.Vivec idx;
+    for j = 0 to ncaps - 1 do
+      bframe.(j + 1) <- frame.(w.B.w_captures.(j))
+    done;
+    (idx, bframe, Array.make w.B.w_body_stack (Value.Vint 0))
+  in
+  let elem ~par (idx, bframe, stack) flat =
+    index_of_flat_into l u flat idx;
+    let v = run_code ctx ~par w.B.w_fun w.B.w_body bframe stack in
+    data.(offset_of idx strides) <- Value.to_float v
+  in
+  match ctx.exec with
+  | Some exec when (not par) && count >= ctx.parallel_threshold ->
+    let lanes = Array.make ctx.nlanes None in
+    Parallel.Exec.parallel_for_lanes exec ~lo:0 ~hi:count
+      (fun ~lane flat ->
+        let st =
+          match lanes.(lane) with
+          | Some st -> st
+          | None ->
+            let st = new_lane () in
+            lanes.(lane) <- Some st;
+            st
+        in
+        elem ~par:true st flat)
+  | _ ->
+    let st = new_lane () in
+    for flat = 0 to count - 1 do
+      elem ~par st flat
+    done
+
+let run_fun ctx name args =
+  match lookup_fun ctx.bc.B.source name with
+  | Some _ -> (
+    match
+      Overload.resolve ctx.bc.B.source name
+        (List.map Eval.ty_of_value args)
+    with
+    | Ok fd -> call_fn ctx ~par:false (func_index ctx fd) args
+    | Error msg -> err msg)
+  | None -> err ("no such function: " ^ name)

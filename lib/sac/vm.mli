@@ -1,0 +1,46 @@
+(** Bytecode VM for mini-SaC.
+
+    Executes {!Bytecode.program}s (the product of {!Compile}) with the
+    observable semantics of {!Eval}: the same values bit for bit, the
+    same error messages, and the same {!Eval.stats} counts.  One
+    caveat: inside a single with-loop range the specialised drivers
+    may visit elements in a different order than {!Eval}'s row-major
+    walk (column-outer execution, cross-column replay), so when
+    several elements of one range would each raise, which error
+    surfaces first can differ — the set of possible errors, and
+    whether the range errors at all, cannot.
+    Function bodies run on a {!Value.t} stack machine; with-loop
+    opcodes dispatch to loop drivers that — once the capture kinds and
+    shapes are known at run time — specialise the body expression into
+    a register kernel over unboxed float/int arrays, cached per
+    descriptor and capture signature.  Bodies the specialiser cannot
+    handle (nested with-loops, whole-array operations, vector
+    arithmetic, user-function calls) fall back to the descriptor's
+    generic stack-code body, so specialisation is a pure strength
+    reduction: every program runs either way, with identical results.
+
+    Explicit genarray/modarray partitions of at least
+    [parallel_threshold] elements run as parallel regions when [exec]
+    is given (folds stay sequential, as in {!Eval}). *)
+
+type ctx
+
+val make_ctx :
+  ?exec:Parallel.Exec.t ->
+  ?parallel_threshold:int ->
+  ?kernels:bool ->
+  Bytecode.program ->
+  ctx
+(** [kernels:false] disables run-time kernel specialisation, forcing
+    every with-loop onto the generic stack-code path — useful for
+    differential testing.  Other parameters as {!Eval.make_ctx}.
+    @raise Eval.Error if a program function redefines a builtin. *)
+
+val stats : ctx -> Eval.stats
+
+val run_fun : ctx -> string -> Value.t list -> Value.t
+(** Calls a program function by name, resolving overloads on the
+    exact runtime argument types as {!Eval.run_fun} does.
+    @raise Eval.Error on missing functions, arity mismatches, bad
+    with-loop frames, or bodies that finish without [return]
+    @raise Value.Type_error on dynamically ill-typed operations. *)

@@ -1,24 +1,41 @@
 type compiled = {
   program : Sac.Ast.program;
+  bytecode : Sac.Bytecode.program;
   report : Sac.Pipeline.report;
 }
 
-let compile_euler_1d ?options () =
-  let program, report = Sac.Pipeline.compile ?options Programs.euler_1d in
-  { program; report }
+type engine = [ `Interp | `Vm ]
 
-let sod_state ?exec compiled ~nx ~steps =
-  let ctx = Sac.Eval.make_ctx ?exec compiled.program in
-  let q0 = Sac.Eval.run_fun ctx "sod_init" [ Sac.Value.Vint nx ] in
+let compile_euler_1d ?options () =
+  let program, bytecode, report =
+    Sac.Pipeline.compile_bytecode ?options Programs.euler_1d
+  in
+  { program; bytecode; report }
+
+(* Both engines expose the same run-by-name interface; the bytecode VM
+   is the default, the tree-walking interpreter stays available for
+   differential testing. *)
+let engine_of ?exec engine compiled =
+  match engine with
+  | `Vm ->
+    let ctx = Sac.Vm.make_ctx ?exec compiled.bytecode in
+    (Sac.Vm.run_fun ctx, fun () -> Sac.Vm.stats ctx)
+  | `Interp ->
+    let ctx = Sac.Eval.make_ctx ?exec compiled.program in
+    (Sac.Eval.run_fun ctx, fun () -> Sac.Eval.stats ctx)
+
+let sod_state ?exec ?(engine = `Vm) compiled ~nx ~steps =
+  let run_fun, stats = engine_of ?exec engine compiled in
+  let q0 = run_fun "sod_init" [ Sac.Value.Vint nx ] in
   let result =
-    Sac.Eval.run_fun ctx "run"
+    run_fun "run"
       [ q0;
         Sac.Value.Vint steps;
         Sac.Value.Vdbl Euler.Gas.gamma_air;
         Sac.Value.Vdbl (1. /. float_of_int nx);
         Sac.Value.Vdbl 0.5 ]
   in
-  (Sac.Eval.stats ctx, Sac.Value.to_tensor result)
+  (stats (), Sac.Value.to_tensor result)
 
 let native_sod_state ~nx ~steps =
   let prob = Euler.Setup.sod ~nx () in
@@ -39,15 +56,17 @@ let native_sod_state ~nx ~steps =
       st.Euler.State.q.(k).(o))
 
 let compile_euler_2d ?options () =
-  let program, report = Sac.Pipeline.compile ?options Programs.euler_2d in
-  { program; report }
+  let program, bytecode, report =
+    Sac.Pipeline.compile_bytecode ?options Programs.euler_2d
+  in
+  { program; bytecode; report }
 
-let quadrant_state ?exec compiled ~n ~steps =
-  let ctx = Sac.Eval.make_ctx ?exec compiled.program in
-  let q0 = Sac.Eval.run_fun ctx "quadrant_init" [ Sac.Value.Vint n ] in
+let quadrant_state ?exec ?(engine = `Vm) compiled ~n ~steps =
+  let run_fun, stats = engine_of ?exec engine compiled in
+  let q0 = run_fun "quadrant_init" [ Sac.Value.Vint n ] in
   let d = 1. /. float_of_int n in
   let result =
-    Sac.Eval.run_fun ctx "run2"
+    run_fun "run2"
       [ q0;
         Sac.Value.Vint steps;
         Sac.Value.Vdbl Euler.Gas.gamma_air;
@@ -55,7 +74,7 @@ let quadrant_state ?exec compiled ~n ~steps =
         Sac.Value.Vdbl d;
         Sac.Value.Vdbl 0.5 ]
   in
-  (Sac.Eval.stats ctx, Sac.Value.to_tensor result)
+  (stats (), Sac.Value.to_tensor result)
 
 let native_quadrant_state ~n ~steps =
   let prob = Euler.Setup.quadrant ~nx:n () in

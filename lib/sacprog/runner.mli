@@ -8,15 +8,22 @@
 
 type compiled = {
   program : Sac.Ast.program;
+  bytecode : Sac.Bytecode.program;
   report : Sac.Pipeline.report;
 }
 
+type engine = [ `Interp | `Vm ]
+(** Which execution engine runs the compiled program: the bytecode VM
+    ({!Sac.Vm}, the default) or the tree-walking interpreter
+    ({!Sac.Eval}, kept for differential testing).  Both produce
+    bitwise-identical results. *)
+
 val compile_euler_1d : ?options:Sac.Pipeline.options -> unit -> compiled
-(** Parse, type-check and optimise {!Programs.euler_1d}. *)
+(** Parse, type-check, optimise and lower {!Programs.euler_1d}. *)
 
 val sod_state :
-  ?exec:Parallel.Exec.t -> compiled -> nx:int -> steps:int ->
-  Sac.Eval.stats * Tensor.Nd.t
+  ?exec:Parallel.Exec.t -> ?engine:engine -> compiled -> nx:int ->
+  steps:int -> Sac.Eval.stats * Tensor.Nd.t
 (** Runs the mini-SaC solver [steps] steps on an [nx]-cell Sod tube
     (gamma 1.4, CFL 0.5) and returns the evaluator statistics plus
     the final [3 x nx] conserved state. *)
@@ -27,11 +34,11 @@ val native_sod_state : nx:int -> steps:int -> Tensor.Nd.t
     layout for comparison. *)
 
 val compile_euler_2d : ?options:Sac.Pipeline.options -> unit -> compiled
-(** Parse, type-check and optimise {!Programs.euler_2d}. *)
+(** Parse, type-check, optimise and lower {!Programs.euler_2d}. *)
 
 val quadrant_state :
-  ?exec:Parallel.Exec.t -> compiled -> n:int -> steps:int ->
-  Sac.Eval.stats * Tensor.Nd.t
+  ?exec:Parallel.Exec.t -> ?engine:engine -> compiled -> n:int ->
+  steps:int -> Sac.Eval.stats * Tensor.Nd.t
 (** Runs the mini-SaC 2D solver on an [n x n] quadrant problem and
     returns the statistics plus the final [4 x n x n] conserved
     state. *)

@@ -25,18 +25,39 @@ sh scripts/ckpt_smoke.sh
 # The committed golden store must match what the backends compute now.
 dune exec bin/golden.exe -- check --root test/golden
 
+# The bytecode VM must drive a Sod run through the registered sacprog
+# backend end to end before the bench relies on it.
+dune exec bin/eulersim.exe -- sod --nx 32 --steps 5 --backend sacprog \
+  >/dev/null || { echo "check.sh: sacprog VM smoke failed" >&2; exit 1; }
+echo "check.sh: sacprog bytecode-VM smoke passed"
+
 smoke_dir="bench_out/smoke"
 dune exec bench/main.exe -- hotpath --quick --out "$smoke_dir"
 json="$smoke_dir/BENCH_hotpath.json"
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "hotpath-v1" and (.backends | length > 0)' "$json" \
+  jq -e '
+    .schema == "hotpath-v2"
+    and (.backends | length > 0)
+    and ([.backends[] | select(.name == "sacprog-vm")] | length == 1)
+    and ([.backends[] | select(.name == "sacprog-interp")] | length == 1)
+    and ([.backends[] | select(.name == "reference-sod")] | length == 1)
+    and ([.backends[] | select(.name == "sacprog-vm")
+          | .speedup_vs_interp] | min >= 1)
+    and ([.backends[] | select(.name == "sacprog-vm")
+          | .slowdown_vs_reference_sod] | min > 0)' "$json" \
     >/dev/null || { echo "check.sh: $json failed validation" >&2; exit 1; }
 else
   python3 - "$json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "hotpath-v1", "bad schema"
+assert d["schema"] == "hotpath-v2", "bad schema"
 assert len(d["backends"]) > 0, "no backend rows"
+rows = {r["name"]: r for r in d["backends"]}
+for name in ("sacprog-vm", "sacprog-interp", "reference-sod"):
+    assert name in rows, "missing " + name
+vm = rows["sacprog-vm"]
+assert vm["speedup_vs_interp"] >= 1, "VM slower than the interpreter"
+assert vm["slowdown_vs_reference_sod"] > 0, "bad reference ratio"
 EOF
 fi
 echo "check.sh: $json validated"

@@ -1,0 +1,436 @@
+(* Tests for the bytecode stage: golden disassembly listings pinning
+   the [Bytecode.pp] format, a differential suite running every
+   shipped program through the tree-walking interpreter and the VM
+   (kernels on, kernels off, parallel) asserting bitwise-identical
+   values and statistics, and error-message parity between the two
+   engines. *)
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let value_testable = Alcotest.testable Sac.Value.pp Sac.Value.equal
+
+let darr xs = Sac.Value.Vdarr (Tensor.Nd.of_list1 xs)
+let vd x = Sac.Value.Vdbl x
+let vi n = Sac.Value.Vint n
+
+let compile ?(options = Sac.Pipeline.default_options) src =
+  Sac.Pipeline.compile_bytecode ~options src
+
+(* ------------------------------------------------------------------ *)
+(* Golden disassembly listings                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled at -O0 so the listing pins the translation, not the
+   optimiser.  Covers the scalar opcodes: constants, loads/stores,
+   jumps (for/if), static and builtin calls. *)
+let golden_scalar_src =
+  {|double sq(double x) { return (x * x); }
+double f(double a, int n) {
+  s = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + sq(a);
+  }
+  if (s > 2.0) { s = s - 1.0; } else { s = min(s, a); }
+  return (sqrt(s));
+}
+|}
+
+let golden_scalar_listing =
+  {|== constants ==
+  c0 = 0
+  c1 = 0
+  c2 = 1
+  c3 = 2
+  c4 = 1
+== functions ==
+fun sq/1 (slots 1, stack 2):
+    0: load 0
+    1: load 0
+    2: bin *
+    3: ret
+    4: noret
+fun f/2 (slots 4, stack 2):
+    0: const 0 (0)
+    1: store 2
+    2: const 1 (0)
+    3: store 3
+    4: load 3
+    5: load 1
+    6: bin <
+    7: jfalse 18
+    8: load 2
+    9: load 0
+   10: call sq/1
+   11: bin +
+   12: store 2
+   13: load 3
+   14: const 2 (1)
+   15: bin +
+   16: store 3
+   17: jmp 4
+   18: load 2
+   19: const 3 (2)
+   20: bin >
+   21: jfalse 27
+   22: load 2
+   23: const 4 (1)
+   24: bin -
+   25: store 2
+   26: jmp 31
+   27: load 2
+   28: load 0
+   29: builtin min/2
+   30: store 2
+   31: load 2
+   32: builtin sqrt/1
+   33: ret
+   34: noret
+== with-loops ==
+|}
+
+(* Covers the with-loop descriptors: genarray and fold forms, capture
+   lists, standalone body listings. *)
+let golden_with_src =
+  {|double[.] scale(double[.] v, double k) {
+  return (with { ([0] <= iv < shape(v)) : v[iv] * k; } : genarray(shape(v), 0.0));
+}
+double total(double[.] v) {
+  return (with { ([0] <= iv < shape(v)) : v[iv]; } : fold(+, 0.0));
+}
+|}
+
+let golden_with_listing =
+  {|== constants ==
+  c0 = 0
+  c1 = 0
+== functions ==
+fun scale/2 (slots 2, stack 4):
+    0: const 0 (0)
+    1: vec 1
+    2: load 0
+    3: builtin shape/1
+    4: load 0
+    5: builtin shape/1
+    6: const 1 (0)
+    7: with w0
+    8: ret
+    9: noret
+fun total/1 (slots 1, stack 3):
+    0: const 0 (0)
+    1: vec 1
+    2: load 0
+    3: builtin shape/1
+    4: const 1 (0)
+    5: with w1
+    6: ret
+    7: noret
+== with-loops ==
+with w0 in scale: genarray, ivar iv, captures [v, k] (slots 3, stack 2):
+    0: load 1
+    1: load 0
+    2: index
+    3: load 2
+    4: bin *
+    5: ret
+with w1 in total: fold(+), ivar iv, captures [v] (slots 2, stack 2):
+    0: load 1
+    1: load 0
+    2: index
+    3: ret
+|}
+
+(* Covers dynamic dispatch of overloaded calls and the short-circuit
+   jumps. *)
+let golden_overload_src =
+  {|double g(double x) { return (x + 1.0); }
+double g(double x, double y) { return (x * y); }
+bool h(bool a, bool b, double x) { return (a && (g(x) > 0.0 || b)); }
+|}
+
+let golden_overload_listing =
+  {|== constants ==
+  c0 = 1
+  c1 = 0
+== functions ==
+fun g/1 (slots 1, stack 2):
+    0: load 0
+    1: const 0 (1)
+    2: bin +
+    3: ret
+    4: noret
+fun g/2 (slots 2, stack 2):
+    0: load 0
+    1: load 1
+    2: bin *
+    3: ret
+    4: noret
+fun h/3 (slots 3, stack 3):
+    0: load 0
+    1: and 10
+    2: load 2
+    3: dyncall g/1
+    4: const 1 (0)
+    5: bin >
+    6: or 9
+    7: load 1
+    8: bin ||
+    9: bin &&
+   10: ret
+   11: noret
+== with-loops ==
+|}
+
+let golden_cases =
+  [ ("scalar", golden_scalar_src, golden_scalar_listing);
+    ("with-loops", golden_with_src, golden_with_listing);
+    ("overloads", golden_overload_src, golden_overload_listing) ]
+
+let test_golden_listings () =
+  List.iter
+    (fun (label, src, expected) ->
+      let _, bc, _ = compile ~options:Sac.Pipeline.o0 src in
+      check_string label expected (Sac.Bytecode.to_string bc))
+    golden_cases
+
+let test_report_summary () =
+  let _, bc, report = compile Sacprog.Programs.euler_1d in
+  let s =
+    match report.Sac.Pipeline.bytecode with
+    | Some s -> s
+    | None -> Alcotest.fail "compile_bytecode must fill report.bytecode"
+  in
+  check_int "n_funcs" (Array.length bc.Sac.Bytecode.funcs) s.Sac.Bytecode.n_funcs;
+  check_int "n_withs" (Array.length bc.Sac.Bytecode.withs) s.Sac.Bytecode.n_withs;
+  check_int "n_consts" (Array.length bc.Sac.Bytecode.consts)
+    s.Sac.Bytecode.n_consts;
+  Alcotest.(check bool) "has instructions" true (s.Sac.Bytecode.n_instrs > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Differential suite: interpreter vs VM                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A case is a program plus a call sequence; [Prev] feeds the previous
+   call's result through (solver programs build their state first). *)
+type arg = V of Sac.Value.t | Prev
+
+let run_seq runner seq =
+  let last =
+    List.fold_left
+      (fun prev (name, args) ->
+        let args =
+          List.map (function V v -> v | Prev -> Option.get prev) args
+        in
+        Some (runner name args))
+      None seq
+  in
+  Option.get last
+
+type engine = Interp | Vm | Vm_generic | Vm_parallel
+
+let engine_label = function
+  | Interp -> "interp"
+  | Vm -> "vm"
+  | Vm_generic -> "vm-generic"
+  | Vm_parallel -> "vm-parallel"
+
+let run_engine engine prog bc seq =
+  match engine with
+  | Interp ->
+    let ctx = Sac.Eval.make_ctx prog in
+    let r = run_seq (Sac.Eval.run_fun ctx) seq in
+    (r, Sac.Eval.stats ctx)
+  | Vm ->
+    let ctx = Sac.Vm.make_ctx bc in
+    let r = run_seq (Sac.Vm.run_fun ctx) seq in
+    (r, Sac.Vm.stats ctx)
+  | Vm_generic ->
+    let ctx = Sac.Vm.make_ctx ~kernels:false bc in
+    let r = run_seq (Sac.Vm.run_fun ctx) seq in
+    (r, Sac.Vm.stats ctx)
+  | Vm_parallel ->
+    let exec = Parallel.Exec.spmd ~lanes:4 in
+    let ctx = Sac.Vm.make_ctx ~exec ~parallel_threshold:4 bc in
+    let r = run_seq (Sac.Vm.run_fun ctx) seq in
+    let s = Sac.Vm.stats ctx in
+    Parallel.Exec.shutdown exec;
+    (r, s)
+
+let tbl_sorted t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let check_stats label (a : Sac.Eval.stats) (b : Sac.Eval.stats) =
+  check_int (label ^ ": with_loops") a.Sac.Eval.with_loops
+    b.Sac.Eval.with_loops;
+  check_int (label ^ ": elements") a.Sac.Eval.elements b.Sac.Eval.elements;
+  check_int (label ^ ": calls") a.Sac.Eval.calls b.Sac.Eval.calls;
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": fun_calls")
+    (tbl_sorted a.Sac.Eval.fun_calls)
+    (tbl_sorted b.Sac.Eval.fun_calls);
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": with_execs")
+    (tbl_sorted a.Sac.Eval.with_execs)
+    (tbl_sorted b.Sac.Eval.with_execs)
+
+(* Every shipped program, with entry calls small enough for a quick
+   run, plus targeted sources exercising semantics the solvers don't:
+   overload dispatch, integer folds, bool/vector kernels, fallback
+   bodies the specialiser rejects. *)
+let differential_cases =
+  [ ( "dfdx",
+      Sacprog.Programs.df_dx_no_boundary,
+      [ ("dfDxNoBoundary", [ V (darr [ 1.; 2.; 4.; 8. ]); V (vd 0.5) ]) ] );
+    ( "getdt",
+      Sacprog.Programs.get_dt,
+      [ ( "getDt",
+          [ V (darr [ 0.5; -1. ]); V (darr [ 1.; 1. ]);
+            V (darr [ 1.; 0.5 ]); V (vd 1.4); V (vd 0.01); V (vd 0.5) ] ) ] );
+    ( "euler1d",
+      Sacprog.Programs.euler_1d,
+      [ ("sod_init", [ V (vi 32) ]);
+        ( "run",
+          [ Prev; V (vi 5); V (vd 1.4); V (vd (1. /. 32.)); V (vd 0.5) ] ) ] );
+    ( "euler2d",
+      Sacprog.Programs.euler_2d,
+      [ ("quadrant_init", [ V (vi 8) ]);
+        ( "run2",
+          [ Prev; V (vi 2); V (vd 1.4); V (vd 0.125); V (vd 0.125);
+            V (vd 0.5) ] ) ] );
+    ( "poisson1d",
+      Sacprog.Programs.poisson_1d,
+      [ ("poisson1d", [ V (darr [ 1.; 2.; 3.; 4.; 5. ]); V (vd 0.1) ]) ] );
+    ( "overloads",
+      golden_overload_src,
+      [ ("h", [ V (Sac.Value.Vbool true); V (Sac.Value.Vbool false);
+                V (vd 2.0) ]) ] );
+    ( "int-fold",
+      "double f(int n) { return (1.0 * (with { ([0] <= iv < [n]) : iv[0] \
+       * iv[0]; } : fold(+, 0))); }",
+      [ ("f", [ V (vi 100) ]) ] );
+    ( "mixed-cond-kernel",
+      (* int-vs-double conditional arms: the specialiser must bail to
+         the generic body, which still has to match the interpreter. *)
+      "double[.] f(int n) { return (with { ([0] <= iv < [n]) : 1.0 * \
+       (iv[0] > 2 ? 1 : 0.5); } : genarray([n], 0.0)); }",
+      [ ("f", [ V (vi 9) ]) ] );
+    ( "nested-with",
+      "double[.,.] f(int n) { return (with { ([0,0] <= iv < [n,n]) : \
+       (with { ([0] <= jv < [n]) : 1.0 * (iv[0] + jv[0]); } : fold(+, \
+       0.0)); } : genarray([n,n], 0.0)); }",
+      [ ("f", [ V (vi 7) ]) ] );
+    ( "modarray",
+      "double[.] f(double[.] v) { return (with { ([1] <= iv < [3]) : \
+       v[iv] * 10.0; } : modarray(v)); }",
+      [ ("f", [ V (darr [ 1.; 2.; 3.; 4. ]) ]) ] );
+    ( "builtin-heavy",
+      "double f(double[.] v) { return (maxval(fabs(v)) + minval(v) + \
+       sum(sqrt(fabs(v)))); }",
+      [ ("f", [ V (darr [ -4.; 9.; -16. ]) ]) ] ) ]
+
+let test_differential () =
+  List.iter
+    (fun (label, src, seq) ->
+      let prog, bc, _ = compile src in
+      let r0, s0 = run_engine Interp prog bc seq in
+      List.iter
+        (fun e ->
+          let r, s = run_engine e prog bc seq in
+          let l = label ^ "/" ^ engine_label e in
+          Alcotest.check value_testable l r0 r;
+          check_stats l s0 s)
+        [ Vm; Vm_generic; Vm_parallel ])
+    differential_cases
+
+(* -O0 bytecode must agree too: the optimiser rewrites many forms the
+   lowering otherwise sees (no folding, no unrolling). *)
+let test_differential_o0 () =
+  List.iter
+    (fun (label, src, seq) ->
+      let prog, bc, _ = compile ~options:Sac.Pipeline.o0 src in
+      let r0, _ = run_engine Interp prog bc seq in
+      let r1, _ = run_engine Vm prog bc seq in
+      Alcotest.check value_testable (label ^ "/O0") r0 r1)
+    differential_cases
+
+(* ------------------------------------------------------------------ *)
+(* Error-message parity                                                *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_of f =
+  try
+    ignore (f ());
+    "ok"
+  with
+  | Sac.Eval.Error m -> "Eval.Error: " ^ m
+  | Division_by_zero -> "Division_by_zero"
+  | Sac.Value.Type_error m -> "Type_error: " ^ m
+
+let error_cases =
+  [ ( "oob",
+      "double f(double[.] v) { return (v[10]); }",
+      "f",
+      [ darr [ 1.; 2. ] ] );
+    ( "oob-kernel",
+      "double[.] f(double[.] v, int n) { return (with { ([0] <= iv < \
+       [n]) : v[iv[0] + 100]; } : genarray([n], 0.0)); }",
+      "f",
+      [ darr [ 1.; 2.; 3. ]; vi 3 ] );
+    ( "div-by-zero",
+      "int f(int n) { return (5 / n); }",
+      "f",
+      [ vi 0 ] );
+    ( "div-by-zero-kernel",
+      "double[.] f(int n) { return (with { ([0] <= iv < [n]) : 1.0 * \
+       (5 / (iv[0] - iv[0])); } : genarray([n], 0.0)); }",
+      "f",
+      [ vi 4 ] );
+    ( "unknown-function",
+      "double f(double x) { return (x); }",
+      "nope",
+      [ vd 1.0 ] );
+    ( "no-instance",
+      "double f(double x) { return (x); }",
+      "f",
+      [ vd 1.0; vd 2.0 ] ) ]
+
+let test_error_parity () =
+  List.iter
+    (fun (label, src, name, args) ->
+      let prog, bc, _ = compile src in
+      let interp =
+        outcome_of (fun () ->
+            Sac.Eval.run_fun (Sac.Eval.make_ctx prog) name args)
+      in
+      let vm =
+        outcome_of (fun () -> Sac.Vm.run_fun (Sac.Vm.make_ctx bc) name args)
+      in
+      check_string label interp vm;
+      Alcotest.(check bool) (label ^ " errors") true (interp <> "ok"))
+    error_cases
+
+(* ------------------------------------------------------------------ *)
+(* Runner / backend plumbing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_engines_agree () =
+  let compiled = Sacprog.Runner.compile_euler_1d () in
+  let _, q_vm = Sacprog.Runner.sod_state compiled ~nx:24 ~steps:4 in
+  let _, q_in =
+    Sacprog.Runner.sod_state ~engine:`Interp compiled ~nx:24 ~steps:4
+  in
+  Alcotest.(check (float 0.))
+    "sod VM = interpreter (bitwise)" 0.
+    (Sacprog.Runner.max_abs_diff q_vm q_in)
+
+let () =
+  Alcotest.run "bytecode"
+    [ ( "disassembly",
+        [ Alcotest.test_case "golden listings" `Quick test_golden_listings;
+          Alcotest.test_case "report summary" `Quick test_report_summary ] );
+      ( "differential",
+        [ Alcotest.test_case "interpreter vs VM" `Quick test_differential;
+          Alcotest.test_case "at -O0" `Quick test_differential_o0;
+          Alcotest.test_case "error parity" `Quick test_error_parity;
+          Alcotest.test_case "runner engines" `Quick
+            test_runner_engines_agree ] ) ]
