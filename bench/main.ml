@@ -550,29 +550,40 @@ type hot_row = {
   h_cells_per_s : float;
 }
 
-let hotpath_measure ~name ~config ~create ~steps =
-  let exec = Parallel.Exec.sequential () in
-  let inst = create exec in
-  (* One unmeasured step grows the workspace arenas and warms the
-     caches, so the measured loop sees the steady-state hot path. *)
-  ignore (Engine.Backend.step inst);
-  let m = Engine.Run.run_steps inst steps in
-  let fsteps = float_of_int steps in
-  { h_backend = name;
-    h_scheme =
-      Printf.sprintf "%s+%s"
-        (Euler.Recon.name config.Euler.Solver.recon)
-        (Euler.Riemann.name config.Euler.Solver.riemann);
-    h_cells = m.Engine.Metrics.cells;
-    h_lanes = Parallel.Exec.lanes exec;
-    h_steps = steps;
-    h_ms_per_step = m.Engine.Metrics.wall_s /. fsteps *. 1e3;
-    h_minor_per_step = m.Engine.Metrics.minor_words /. fsteps;
-    h_promoted_per_step = m.Engine.Metrics.promoted_words /. fsteps;
-    h_cells_per_s =
-      (if m.Engine.Metrics.wall_s <= 0. then 0.
-       else float_of_int m.Engine.Metrics.cells *. fsteps
-            /. m.Engine.Metrics.wall_s) }
+let hotpath_measure ?(trials = 1) ~name ~config ~create ~steps () =
+  let measure () =
+    let exec = Parallel.Exec.sequential () in
+    let inst = create exec in
+    (* One unmeasured step grows the workspace arenas and warms the
+       caches, so the measured loop sees the steady-state hot path. *)
+    ignore (Engine.Backend.step inst);
+    let m = Engine.Run.run_steps inst steps in
+    let fsteps = float_of_int steps in
+    { h_backend = name;
+      h_scheme =
+        Printf.sprintf "%s+%s"
+          (Euler.Recon.name config.Euler.Solver.recon)
+          (Euler.Riemann.name config.Euler.Solver.riemann);
+      h_cells = m.Engine.Metrics.cells;
+      h_lanes = Parallel.Exec.lanes exec;
+      h_steps = steps;
+      h_ms_per_step = m.Engine.Metrics.wall_s /. fsteps *. 1e3;
+      h_minor_per_step = m.Engine.Metrics.minor_words /. fsteps;
+      h_promoted_per_step = m.Engine.Metrics.promoted_words /. fsteps;
+      h_cells_per_s =
+        (if m.Engine.Metrics.wall_s <= 0. then 0.
+         else float_of_int m.Engine.Metrics.cells *. fsteps
+              /. m.Engine.Metrics.wall_s) }
+  in
+  (* Best-of-N: scheduler and GC noise only ever inflates a trial, so
+     the minimum ms/step is the faithful estimate of the hot path.
+     The allocation counters are deterministic across trials. *)
+  let best = ref (measure ()) in
+  for _ = 2 to trials do
+    let r = measure () in
+    if r.h_ms_per_step < !best.h_ms_per_step then best := r
+  done;
+  !best
 
 let hotpath () =
   header "Hot path -- GC pressure and throughput per backend";
@@ -581,7 +592,9 @@ let hotpath () =
   let steps = if !quick then 5 else 10 in
   let sac_nx = if !quick then 40 else 100 in
   let sac_interp_steps = if !quick then 2 else 4 in
-  let sac_vm_steps = if !quick then 5 else 50 in
+  (* 500 steps x ~0.1 ms: anything shorter and the VM-vs-reference
+     parity ratio is dominated by timer noise. *)
+  let sac_vm_steps = if !quick then 100 else 500 in
   let two_channel () = Euler.Setup.two_channel ~cells_per_h () in
   let bench = Euler.Solver.benchmark_config in
   (* Every registry backend runs the benchmark scheme it supports; the
@@ -594,8 +607,12 @@ let hotpath () =
      kept to few steps), and the reference solver on the identical
      configuration ("reference-sod"), which anchors the
      VM-vs-compiled-code ratio. *)
+  (* The small Sod rows finish in milliseconds, so their ratio (the
+     VM-parity headline) is noise-dominated on one trial; best-of-5
+     keeps it honest without stretching the big two-channel rows. *)
+  let sod_trials = if !quick then 3 else 5 in
   let registry name config problem steps =
-    ( name, config, steps,
+    ( name, config, steps, 1,
       fun exec -> Engine.Registry.create ~exec ~config name problem )
   in
   let sod () = Euler.Setup.sod ~nx:sac_nx () in
@@ -604,26 +621,26 @@ let hotpath () =
     :: List.map
          (fun backend ->
            if backend = "sacprog" then
-             ( "sacprog-vm", bench, sac_vm_steps,
+             ( "sacprog-vm", bench, sac_vm_steps, sod_trials,
                fun exec ->
                  Engine.Registry.create ~exec ~config:bench "sacprog" (sod ())
              )
            else registry backend bench (two_channel ()) steps)
          (Engine.Registry.names ())
-    @ [ ( "sacprog-interp", bench, sac_interp_steps,
+    @ [ ( "sacprog-interp", bench, sac_interp_steps, 1,
           fun exec ->
             Engine.Backend.make
               (module Engine.Backends.Sacprog_interp)
               (Engine.Backend.spec ~exec ~config:bench (sod ())) );
-        ( "reference-sod", bench, sac_vm_steps,
+        ( "reference-sod", bench, sac_vm_steps, sod_trials,
           fun exec ->
             Engine.Registry.create ~exec ~config:bench "reference" (sod ())
         ) ]
   in
   let rows, errors =
     List.fold_left
-      (fun (rows, errs) (name, config, steps, create) ->
-        match hotpath_measure ~name ~config ~create ~steps with
+      (fun (rows, errs) (name, config, steps, trials, create) ->
+        match hotpath_measure ~trials ~name ~config ~create ~steps () with
         | row -> (row :: rows, errs)
         | exception e -> (rows, (name, Printexc.to_string e) :: errs))
       ([], []) plan
@@ -681,6 +698,71 @@ let hotpath () =
         reference solver on the same Sod run\n"
        su sd
    | _ -> ());
+  (* Fold-kernel section: the getDt CFL reduction is a rank-1
+     fold(max) with-loop the VM specialises to a register kernel and,
+     past the parallel threshold, reduces across lanes (bitwise
+     identical -- max is exactly associative).  The nx-cell Sod rows
+     above never clear the 1024-element threshold, so the parallel
+     fold is timed here on its own large array.  On the single-core
+     reference machine the lane number shows dispatch overhead, not
+     speedup; on a multicore host it is a genuine scaling figure. *)
+  let fold_n = if !quick then 20_000 else 200_000 in
+  let fold_reps = if !quick then 20 else 200 in
+  let fold_lanes = max 2 (min 4 (max_lanes ())) in
+  let _, fold_bc, _ =
+    Sac.Pipeline.compile_bytecode Sacprog.Programs.get_dt
+  in
+  let fold_args =
+    let mk f = Sac.Value.Vdarr (Tensor.Nd.init_flat [| fold_n |] f) in
+    [ mk (fun i -> 0.5 *. Float.sin (float_of_int i *. 1e-3));
+      mk (fun i -> 1.0 +. 0.1 *. Float.cos (float_of_int i *. 1e-3));
+      mk (fun _ -> 1.0);
+      Sac.Value.Vdbl 1.4; Sac.Value.Vdbl 0.01; Sac.Value.Vdbl 0.5 ]
+  in
+  let fold_time ?(kernels = true) ?(reps = fold_reps) exec =
+    let ctx = Sac.Vm.make_ctx ?exec ~kernels fold_bc in
+    let first = Sac.Vm.run_fun ctx "getDt" fold_args in
+    let t0 = Parallel.Clock.now_s () in
+    for _ = 2 to reps do
+      ignore (Sac.Vm.run_fun ctx "getDt" fold_args)
+    done;
+    let per_call =
+      (Parallel.Clock.now_s () -. t0) /. float_of_int (reps - 1)
+    in
+    let s = Sac.Vm.stats ctx in
+    let folds =
+      Hashtbl.fold (fun _ n acc -> acc + n) s.Sac.Eval.fold_execs 0
+    in
+    (first, per_call *. 1e3, folds, Sac.Vm.fold_kernel_execs ctx)
+  in
+  let seq_val, seq_ms, seq_folds, seq_kfolds = fold_time None in
+  (* The pre-fold-kernel baseline: same VM, kernel specialisation off,
+     so the fold body runs through the generic stack interpreter per
+     element — what hotpath-v2 measured implicitly. *)
+  let base_val, base_ms, _, base_kfolds =
+    fold_time ~kernels:false ~reps:(max 3 (fold_reps / 20)) None
+  in
+  let par_exec = Parallel.Exec.spmd ~lanes:fold_lanes in
+  let par_val, par_ms, _, par_kfolds = fold_time (Some par_exec) in
+  Parallel.Exec.shutdown par_exec;
+  let fold_bitwise =
+    Sac.Value.equal seq_val par_val && Sac.Value.equal seq_val base_val
+  in
+  let fold_speedup = if par_ms > 0. then seq_ms /. par_ms else 0. in
+  let kernel_speedup = if seq_ms > 0. then base_ms /. seq_ms else 0. in
+  assert (base_kfolds = 0);
+  Printf.printf
+    "\nfold kernel (getDt, %d elements, %d calls): %.3f ms/call \
+     sequential (%.1fx over the %.3f ms/call generic walk), %.3f \
+     ms/call at %d lanes (%.2fx, bitwise %s); %d/%d folds kernelised\n"
+    fold_n fold_reps seq_ms kernel_speedup base_ms par_ms fold_lanes
+    fold_speedup
+    (if fold_bitwise then "equal" else "DIFFERENT")
+    seq_kfolds seq_folds;
+  if not fold_bitwise then begin
+    Printf.eprintf "hotpath: parallel fold diverged from sequential\n";
+    exit 1
+  end;
   let sac_extras r =
     if r.h_backend <> "sacprog-vm" then ""
     else
@@ -693,8 +775,30 @@ let hotpath () =
       | None -> ""
   in
   let oc = open_out (path "BENCH_hotpath.json") in
-  Printf.fprintf oc "{\n  \"schema\": \"hotpath-v2\",\n  \"quick\": %b,\n"
+  Printf.fprintf oc
+    "{\n  \"schema\": \"hotpath-v3\",\n  \"quick\": %b,\n  \
+     \"parity_target\": 1.2,\n"
     !quick;
+  Printf.fprintf oc "  \"fold\": {\n";
+  Printf.fprintf oc
+    "    \"note\": \"getDt fold(max) register kernel on one large \
+     array; lane timing is dispatch overhead on a single-core host, \
+     scaling on a multicore one\",\n";
+  Printf.fprintf oc "    \"elements\": %d,\n    \"calls\": %d,\n" fold_n
+    fold_reps;
+  Printf.fprintf oc "    \"seq_ms_per_call\": %.6f,\n" seq_ms;
+  Printf.fprintf oc "    \"nokernel_ms_per_call\": %.6f,\n" base_ms;
+  Printf.fprintf oc "    \"kernel_speedup\": %.3f,\n" kernel_speedup;
+  Printf.fprintf oc
+    "    \"par_lanes\": %d,\n    \"par_ms_per_call\": %.6f,\n" fold_lanes
+    par_ms;
+  Printf.fprintf oc "    \"par_speedup\": %.3f,\n" fold_speedup;
+  Printf.fprintf oc "    \"bitwise_equal\": %b,\n" fold_bitwise;
+  Printf.fprintf oc
+    "    \"fold_execs\": %d,\n    \"fold_kernel_execs\": %d,\n    \
+     \"par_fold_kernel_execs\": %d\n"
+    seq_folds seq_kfolds par_kfolds;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"baseline\": {\n";
   Printf.fprintf oc
     "    \"note\": \"pre-arena hot path, 128x128 two-channel, sequential, \

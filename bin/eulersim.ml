@@ -120,8 +120,8 @@ let effective_config backend (config : Euler.Solver.config) =
   | _ -> config
 
 let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
-    scheduler lanes csv pgm ckpt_dir ckpt_every ckpt_every_s ckpt_retain
-    resume =
+    scheduler lanes par_threshold csv pgm ckpt_dir ckpt_every ckpt_every_s
+    ckpt_retain resume =
   let exec =
     match scheduler with
     | `Seq -> Parallel.Exec.sequential ()
@@ -153,7 +153,9 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
           { Euler.Solver.recon; riemann; rk; cfl; fused = not unfused; tiles }
       in
       let inst =
-        try Engine.Registry.create ~exec ~config backend prob
+        try
+          Engine.Registry.create ~exec ?par_threshold:par_threshold ~config
+            backend prob
         with Invalid_argument msg -> fail msg
       in
       (inst, backend, config)
@@ -165,15 +167,16 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
           | None -> fail "--resume latest requires --checkpoint-dir"
           | Some dir -> (
             match
-              Engine.Registry.resume_latest ~exec ~fused:(not unfused) ~tiles
-                ~dir prob
+              Engine.Registry.resume_latest ~exec
+                ?par_threshold:par_threshold ~fused:(not unfused) ~tiles ~dir
+                prob
             with
             | None -> fail ("no intact checkpoint found in " ^ dir)
             | Some (path, inst) -> (path, inst)))
         | path ->
           ( path,
-            Engine.Registry.resume_file ~exec ~fused:(not unfused) ~tiles
-              ~path prob )
+            Engine.Registry.resume_file ~exec ?par_threshold:par_threshold
+              ~fused:(not unfused) ~tiles ~path prob )
       in
       try
         let path, inst = resolve () in
@@ -319,6 +322,13 @@ let cmd =
          & info [ "lanes" ] ~docv:"N"
              ~doc:"parallel lanes, or $(b,auto) for the machine's \
                    recommended domain count")
+  and par_threshold =
+    Arg.(value & opt (some int) None
+         & info [ "par-threshold" ] ~docv:"N"
+             ~doc:"minimum with-loop/fold partition (elements) the sacprog \
+                   VM dispatches across lanes (default 1024); smaller grids \
+                   run sequentially regardless of --sched.  Native backends \
+                   ignore it")
   and csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"write the final field/profile as CSV")
@@ -356,7 +366,8 @@ let cmd =
     (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
     Term.(
       const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
-      $ tiles $ steps $ t_end $ backend $ scheduler $ lanes $ csv $ pgm
-      $ ckpt_dir $ ckpt_every $ ckpt_every_s $ ckpt_retain $ resume)
+      $ tiles $ steps $ t_end $ backend $ scheduler $ lanes $ par_threshold
+      $ csv $ pgm $ ckpt_dir $ ckpt_every $ ckpt_every_s $ ckpt_retain
+      $ resume)
 
 let () = exit (Cmd.eval cmd)

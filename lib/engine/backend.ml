@@ -2,13 +2,19 @@ type spec = {
   problem : Euler.Setup.problem;
   config : Euler.Solver.config;
   exec : Parallel.Exec.t;
+  par_threshold : int option;
+      (* minimum with-loop/fold partition (elements) dispatched across
+         lanes; only the sacprog backends consume it (the native
+         backends parallelise unconditionally).  None = the VM default
+         of 1024. *)
 }
 
-let spec ?exec ?(config = Euler.Solver.benchmark_config) problem =
+let spec ?exec ?par_threshold ?(config = Euler.Solver.benchmark_config)
+    problem =
   let exec =
     match exec with Some e -> e | None -> Parallel.Exec.sequential ()
   in
-  { problem; config; exec }
+  { problem; config; exec; par_threshold }
 
 module type BACKEND = sig
   type t

@@ -12,10 +12,16 @@ type spec = {
   problem : Euler.Setup.problem;  (** state is copied at creation *)
   config : Euler.Solver.config;
   exec : Parallel.Exec.t;  (** scheduler; also the metrics sink *)
+  par_threshold : int option;
+      (** minimum with-loop/fold partition (elements) dispatched
+          across lanes by the sacprog backends; [None] = the VM
+          default of 1024 (see {!Sac.Vm.make_ctx}).  The native
+          backends ignore it. *)
 }
 
 val spec :
   ?exec:Parallel.Exec.t ->
+  ?par_threshold:int ->
   ?config:Euler.Solver.config ->
   Euler.Setup.problem ->
   spec

@@ -187,6 +187,7 @@ end) : Backend.BACKEND = struct
   type t = {
     run : string -> Sac.Value.t list -> Sac.Value.t;
     eval_stats : unit -> Sac.Eval.stats;
+    fold_kernels : unit -> int;  (* VM only; 0 on the interpreter *)
     template : Euler.State.t;  (* grid + gamma + ghost layout *)
     mutable q : Sac.Value.t;  (* [3, nx] conserved state *)
     gam : float;
@@ -208,18 +209,24 @@ end) : Backend.BACKEND = struct
     if not (Euler.Grid.is_1d g) then
       invalid_arg (Printf.sprintf "Engine backend %S is 1D only" name);
     let compiled = Sacprog.Runner.compile_euler_1d () in
-    let run, eval_stats =
+    let run, eval_stats, fold_kernels =
       match A.engine with
       | `Vm ->
         let ctx =
-          Sac.Vm.make_ctx ~exec:s.exec compiled.Sacprog.Runner.bytecode
+          Sac.Vm.make_ctx ~exec:s.exec
+            ?parallel_threshold:s.Backend.par_threshold
+            compiled.Sacprog.Runner.bytecode
         in
-        (Sac.Vm.run_fun ctx, fun () -> Sac.Vm.stats ctx)
+        ( Sac.Vm.run_fun ctx,
+          (fun () -> Sac.Vm.stats ctx),
+          fun () -> Sac.Vm.fold_kernel_execs ctx )
       | `Interp ->
         let ctx =
-          Sac.Eval.make_ctx ~exec:s.exec compiled.Sacprog.Runner.program
+          Sac.Eval.make_ctx ~exec:s.exec
+            ?parallel_threshold:s.Backend.par_threshold
+            compiled.Sacprog.Runner.program
         in
-        (Sac.Eval.run_fun ctx, fun () -> Sac.Eval.stats ctx)
+        (Sac.Eval.run_fun ctx, (fun () -> Sac.Eval.stats ctx), fun () -> 0)
     in
     let q =
       Tensor.Nd.init [| 3; g.Euler.Grid.nx |] (fun iv ->
@@ -234,6 +241,7 @@ end) : Backend.BACKEND = struct
     in
     { run;
       eval_stats;
+      fold_kernels;
       template = Euler.State.copy st;
       q = Sac.Value.Vdarr q;
       gam = st.Euler.State.gamma;
@@ -292,9 +300,14 @@ end) : Backend.BACKEND = struct
 
   let notes t =
     let s = t.eval_stats () in
+    let folds =
+      Hashtbl.fold (fun _ n a -> a + n) s.Sac.Eval.fold_execs 0
+    in
     [ ("with-loops", float_of_int s.Sac.Eval.with_loops);
       ("elements", float_of_int s.Sac.Eval.elements);
-      ("calls", float_of_int s.Sac.Eval.calls) ]
+      ("calls", float_of_int s.Sac.Eval.calls);
+      ("folds", float_of_int folds);
+      ("fold-kernels", float_of_int (t.fold_kernels ())) ]
 
   let cost_scheduler = Parallel.Cost_model.Spin_barrier
 

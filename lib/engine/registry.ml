@@ -16,18 +16,23 @@ let find_exn key =
       (Printf.sprintf "Engine.Registry: unknown backend %S (have: %s)" key
          (String.concat ", " (names ())))
 
-let create ?exec ?config key problem =
-  Backend.make (find_exn key) (Backend.spec ?exec ?config problem)
+let create ?exec ?par_threshold ?config key problem =
+  Backend.make (find_exn key)
+    (Backend.spec ?exec ?par_threshold ?config problem)
 
-let resume ?exec ?fused ?tiles snap problem =
+let resume ?exec ?par_threshold ?fused ?tiles snap problem =
   let key = Snap.backend snap in
   let config = Snap.config ?fused ?tiles snap in
-  Backend.restore (find_exn key) (Backend.spec ?exec ~config problem) snap
+  Backend.restore (find_exn key)
+    (Backend.spec ?exec ?par_threshold ~config problem)
+    snap
 
-let resume_file ?exec ?fused ?tiles ~path problem =
-  resume ?exec ?fused ?tiles (Persist.Snapshot.read ~path) problem
+let resume_file ?exec ?par_threshold ?fused ?tiles ~path problem =
+  resume ?exec ?par_threshold ?fused ?tiles (Persist.Snapshot.read ~path)
+    problem
 
-let resume_latest ?exec ?fused ?tiles ~dir problem =
+let resume_latest ?exec ?par_threshold ?fused ?tiles ~dir problem =
   match Persist.Checkpoint.latest_valid dir with
   | None -> None
-  | Some (path, snap) -> Some (path, resume ?exec ?fused ?tiles snap problem)
+  | Some (path, snap) ->
+    Some (path, resume ?exec ?par_threshold ?fused ?tiles snap problem)

@@ -15,6 +15,7 @@ val find_exn : string -> (module Backend.BACKEND)
 
 val create :
   ?exec:Parallel.Exec.t ->
+  ?par_threshold:int ->
   ?config:Euler.Solver.config ->
   string ->
   Euler.Setup.problem ->
@@ -26,6 +27,7 @@ val create :
 
 val resume :
   ?exec:Parallel.Exec.t ->
+  ?par_threshold:int ->
   ?fused:bool ->
   ?tiles:int * int ->
   Persist.Snapshot.t ->
@@ -45,6 +47,7 @@ val resume :
 
 val resume_file :
   ?exec:Parallel.Exec.t ->
+  ?par_threshold:int ->
   ?fused:bool ->
   ?tiles:int * int ->
   path:string ->
@@ -55,6 +58,7 @@ val resume_file :
 
 val resume_latest :
   ?exec:Parallel.Exec.t ->
+  ?par_threshold:int ->
   ?fused:bool ->
   ?tiles:int * int ->
   dir:string ->

@@ -28,6 +28,14 @@ type instr =
   | With of int               (* with-descriptor index; operands on stack *)
   | Ret
   | NoRet                     (* fell off the end of a function body *)
+  (* Superinstructions: the peephole pass in {!Compile} fuses the hot
+     load/load/arith and load/const/arith stack chains into single
+     opcodes.  Semantics are exactly the unfused sequence; And/Or are
+     never fused (their operands straddle a short-circuit jump). *)
+  | LoadLoadBin of int * int * Ast.binop
+                              (* push arith(frame a, frame b) *)
+  | LoadConstBin of int * int * Ast.binop
+                              (* push arith(frame s, const k) *)
 
 type wdesc = {
   w_id : int;                    (* index into the descriptor table *)
@@ -103,6 +111,11 @@ let pp_instr p ppf i =
   | With w -> Format.fprintf ppf "with w%d" w
   | Ret -> Format.fprintf ppf "ret"
   | NoRet -> Format.fprintf ppf "noret"
+  | LoadLoadBin (a, b, op) ->
+    Format.fprintf ppf "llbin %d %d %s" a b (Ast.binop_name op)
+  | LoadConstBin (s, k, op) ->
+    Format.fprintf ppf "lcbin %d %d (%a) %s" s k Value.pp p.consts.(k)
+      (Ast.binop_name op)
 
 let pp_code p ppf code =
   Array.iteri

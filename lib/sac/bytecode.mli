@@ -30,6 +30,12 @@ type instr =
   | With of int               (** with-descriptor index *)
   | Ret
   | NoRet                     (** fell off the end of a function body *)
+  | LoadLoadBin of int * int * Ast.binop
+      (** superinstruction: push [arith op frame.(a) frame.(b)] —
+          fused [Load a; Load b; Bin op] *)
+  | LoadConstBin of int * int * Ast.binop
+      (** superinstruction: push [arith op frame.(s) consts.(k)] —
+          fused [Load s; Const k; Bin op] *)
 
 type wdesc = {
   w_id : int;

@@ -278,6 +278,66 @@ and compile_stmt u s =
     emit u (Bytecode.Jump top);
     patch_here u jexit (fun t -> Bytecode.JumpIfFalse t)
 
+(* ---------------- superinstruction fusion ---------------- *)
+
+(* Peephole over straight-line code: fuse the hot [Load; Load; Bin]
+   and [Load; Const; Bin] stack chains into single opcodes.  A fusion
+   is only legal when control flow cannot enter the middle of the
+   group, so any jump target ends a basic block; all jump targets are
+   remapped through the old->new index map afterwards (a target can
+   only name a group head — interior indices were checked).  [And]/
+   [Or] never appear in a fusible group anyway (their rhs sits behind
+   an [AndJump]/[OrJump] short-circuit), but are excluded explicitly
+   so the fused opcodes never have to short-circuit. *)
+let fusible (op : Ast.binop) =
+  match op with And | Or -> false | _ -> true
+
+let fuse_unit (code : Bytecode.instr array) =
+  let n = Array.length code in
+  let target = Array.make (n + 1) false in
+  Array.iter
+    (function
+      | Bytecode.Jump t | Bytecode.JumpIfFalse t
+      | Bytecode.AndJump t | Bytecode.OrJump t -> target.(t) <- true
+      | _ -> ())
+    code;
+  let out = Buf.create () in
+  let newpos = Array.make (n + 1) 0 in
+  let i = ref 0 in
+  while !i < n do
+    newpos.(!i) <- out.Buf.n;
+    let fused =
+      if !i + 2 < n && (not target.(!i + 1)) && not target.(!i + 2) then
+        match code.(!i), code.(!i + 1), code.(!i + 2) with
+        | Bytecode.Load a, Bytecode.Load b, Bytecode.Bin op
+          when fusible op ->
+          Some (Bytecode.LoadLoadBin (a, b, op))
+        | Bytecode.Load s, Bytecode.Const k, Bytecode.Bin op
+          when fusible op ->
+          Some (Bytecode.LoadConstBin (s, k, op))
+        | _ -> None
+      else None
+    in
+    match fused with
+    | Some ins ->
+      ignore (Buf.push out ins);
+      newpos.(!i + 1) <- out.Buf.n;
+      newpos.(!i + 2) <- out.Buf.n;
+      i := !i + 3
+    | None ->
+      ignore (Buf.push out code.(!i));
+      incr i
+  done;
+  newpos.(n) <- out.Buf.n;
+  Array.map
+    (function
+      | Bytecode.Jump t -> Bytecode.Jump newpos.(t)
+      | Bytecode.JumpIfFalse t -> Bytecode.JumpIfFalse newpos.(t)
+      | Bytecode.AndJump t -> Bytecode.AndJump newpos.(t)
+      | Bytecode.OrJump t -> Bytecode.OrJump newpos.(t)
+      | ins -> ins)
+    (Buf.to_array out)
+
 let compile_fun st (fd : Ast.fundef) =
   let u = fresh_unit st fd.fname in
   List.iter (fun p -> ignore (slot_of u p.pname)) fd.params;
@@ -290,7 +350,7 @@ let compile_fun st (fd : Ast.fundef) =
     f_slots = max 1 u.nslots;
     f_stack = max 1 u.max_depth }
 
-let program (prog : Ast.program) =
+let program ?(superinstructions = true) (prog : Ast.program) =
   let st =
     { prog;
       consts = Buf.create ();
@@ -300,8 +360,21 @@ let program (prog : Ast.program) =
       withs = Buf.create () }
   in
   let funcs = Array.of_list (List.map (compile_fun st) prog) in
+  let withs = Buf.to_array st.withs in
+  let funcs, withs =
+    if superinstructions then
+      ( Array.map
+          (fun f ->
+            { f with Bytecode.f_code = fuse_unit f.Bytecode.f_code })
+          funcs,
+        Array.map
+          (fun w ->
+            { w with Bytecode.w_body = fuse_unit w.Bytecode.w_body })
+          withs )
+    else (funcs, withs)
+  in
   { Bytecode.consts = Buf.to_array st.consts;
     names = Buf.to_array st.names;
     funcs;
-    withs = Buf.to_array st.withs;
+    withs;
     source = prog }

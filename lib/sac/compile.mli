@@ -9,8 +9,15 @@
     descriptor holding a generic stack-code body plus the original
     body expression for the VM's run-time kernel specialisation.
 
+    A final peephole pass (on by default) fuses the hot
+    [Load; Load; Bin] and [Load; Const; Bin] stack chains into the
+    {!Bytecode.LoadLoadBin}/{!Bytecode.LoadConstBin}
+    superinstructions, per basic block, remapping jump targets;
+    [superinstructions:false] keeps the one-opcode-per-operation
+    encoding (useful for differential testing).
+
     The input is expected to be type-checked (as {!Pipeline.optimize}
     guarantees); the compiler assigns slots on first sight and does
     not re-run the scoping analysis. *)
 
-val program : Ast.program -> Bytecode.program
+val program : ?superinstructions:bool -> Ast.program -> Bytecode.program

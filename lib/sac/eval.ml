@@ -6,6 +6,7 @@ type stats = {
   mutable calls : int;
   fun_calls : (string, int) Hashtbl.t;
   with_execs : (string, int) Hashtbl.t;
+  fold_execs : (string, int) Hashtbl.t;
 }
 
 let fresh_stats () =
@@ -13,7 +14,8 @@ let fresh_stats () =
     elements = 0;
     calls = 0;
     fun_calls = Hashtbl.create 16;
-    with_execs = Hashtbl.create 16 }
+    with_execs = Hashtbl.create 16;
+    fold_execs = Hashtbl.create 16 }
 
 let tally tbl k =
   Hashtbl.replace tbl k
@@ -198,10 +200,11 @@ and eval_with ctx env w =
         if l.(d) < 0 || u.(d) > ext then
           err "with-loop partition exceeds modarray shape")
       shape;
-    let data = Array.init (Tensor.Nd.size t) (fun i -> Tensor.Nd.get_flat t i) in
+    let data = Array.copy t.Tensor.Nd.data in
     if count > 0 then fill_partition data shape;
     Value.Vdarr (Tensor.Nd.of_array shape data)
   | Fold (op, neutral) ->
+    tally ctx.st.fold_execs ctx.cur_fn;
     let acc = ref (Value.to_float (eval_expr ctx env neutral)) in
     let f =
       match op with

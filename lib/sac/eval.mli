@@ -21,6 +21,9 @@ type stats = {
       (** explicit [with]-loop executions per enclosing function
           ({!toplevel} outside any call); whole-array builtins are
           counted only in {!with_loops}. *)
+  fold_execs : (string, int) Hashtbl.t;
+      (** the [fold]-generator subset of {!with_execs}, per enclosing
+          function — every fold is counted in both tables. *)
 }
 
 val fresh_stats : unit -> stats

@@ -8,6 +8,7 @@ type options = {
   do_copy : bool;
   do_specialize : bool;
   inline_auto_threshold : int;
+  do_superinstructions : bool;
 }
 
 let default_options =
@@ -19,7 +20,8 @@ let default_options =
     do_dce = true;
     do_copy = true;
     do_specialize = true;
-    inline_auto_threshold = 0 }
+    inline_auto_threshold = 0;
+    do_superinstructions = true }
 
 let o0 =
   { maxoptcyc = 0;
@@ -30,7 +32,8 @@ let o0 =
     do_dce = false;
     do_copy = false;
     do_specialize = false;
-    inline_auto_threshold = 0 }
+    inline_auto_threshold = 0;
+    do_superinstructions = true }
 
 type report = {
   cycles_used : int;
@@ -78,7 +81,9 @@ let optimize ?(options = default_options) prog =
 
 let compile ?options src = optimize ?options (Parser.parse_program src)
 
-let compile_bytecode ?options src =
-  let prog, report = compile ?options src in
-  let bc = Compile.program prog in
+let compile_bytecode ?(options = default_options) src =
+  let prog, report = compile ~options src in
+  let bc =
+    Compile.program ~superinstructions:options.do_superinstructions prog
+  in
   (prog, bc, { report with bytecode = Some (Bytecode.summary bc) })

@@ -19,6 +19,9 @@ type options = {
   inline_auto_threshold : int;
       (** also inline unmarked functions of at most this body size
           (0 disables) *)
+  do_superinstructions : bool;
+      (** fuse load/arith stack chains into superinstructions during
+          bytecode lowering (see {!Compile.program}) *)
 }
 
 val default_options : options
@@ -26,7 +29,9 @@ val default_options : options
     everything enabled, auto-inline threshold 0. *)
 
 val o0 : options
-(** Everything off (one parse-and-go pass). *)
+(** Everything off (one parse-and-go pass).  Superinstruction fusion
+    stays on — it is a property of the bytecode encoding, not of the
+    AST optimisation cycle. *)
 
 type report = {
   cycles_used : int;

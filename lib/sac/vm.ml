@@ -166,15 +166,30 @@ type kernel = {
   kout : int;                     (* float register holding the element *)
   klive_f : int array;            (* col-written float regs read later *)
   klive_i : int array;            (* col-written int regs read later *)
-  kguards : (int * int * int) array option;
-      (* When [Some gs]: every array load in [kcol]/[kcode] indexes with
-         an affine function [idx.(dim) + off] of the loop index, and
-         [gs] lists one [(dim, off, ext)] triple per checked dimension.
-         An execution whose bounds satisfy every triple (the whole
-         index range lands inside [0, ext)) can run the unchecked
-         thread variants; the checked and unchecked variants are
-         indistinguishable on such executions. *)
+  kguards : kguard array option;
+      (* When [Some gs]: every array load in [kcol]/[kcode] indexes
+         within [0, ext) provided every guard holds for the actual
+         bounds (affine indices constrain the iteration range;
+         min/max-clamped indices constrain the fill-constant clamp
+         registers).  An execution whose bounds and prefix registers
+         satisfy every guard can run the unchecked thread variants;
+         the checked and unchecked variants are indistinguishable on
+         such executions. *)
 }
+
+(* A guard is a disjunction of conjunctions of primitive bounds: some
+   alternative's bounds must all hold.  [Glo] proves a load index >= 0,
+   [Ghi] proves it < ext. *)
+and kguard =
+  | Glo of gbnd list list
+  | Ghi of int * gbnd list list
+
+and gbnd =
+  | GC of int                     (* constant *)
+  | GR of int * int               (* prefix register value + offset *)
+  | GIv of int * int              (* loop index dimension + offset:
+                                     evaluated at [l] for lower bounds
+                                     and at [u - 1] for upper bounds *)
 
 let fcmp c (a : float) b =
   match c with
@@ -1342,15 +1357,50 @@ let kinstr_iwrite = function
      this constructor explicitly before consulting [kinstr_iwrite]. *)
   | KImovs _ -> None
 
-(* Abstract value of an int register during the affine walk. *)
-type iabs = AConst of int | AAff of int * int | ATop
+(* Abstract value of an int register during the affine walk.  [ABox]
+   carries in-boundedness certificates for min/max-clamped values in
+   disjunctive normal form: the value is >= 0 if some alternative in
+   the lower list has all its bounds >= 0, and < ext if some
+   alternative in the upper list has all its bounds < ext ([[]] = no
+   certificate).  Certificates are not compositional — arithmetic on a
+   clamped value drops to [ATop] — but a clamp like
+   [min (max (iv - 1) 0) (n - 1)] feeding a load directly is exactly
+   the idiom boundary paddings use. *)
+type iabs =
+  | AConst of int
+  | AAff of int * int
+  | APre of int                   (* prefix register: fill-constant *)
+  | ABox of gbnd list list * gbnd list list
+  | ATop
+
+(* Lower/upper certificate alternatives of an abstract value. *)
+let abs_lo = function
+  | AConst c -> [ [ GC c ] ]
+  | AAff (d, o) -> [ [ GIv (d, o) ] ]
+  | APre r -> [ [ GR (r, 0) ] ]
+  | ABox (lo, _) -> lo
+  | ATop -> []
+
+let abs_hi = function
+  | AConst c -> [ [ GC c ] ]
+  | AAff (d, o) -> [ [ GIv (d, o) ] ]
+  | APre r -> [ [ GR (r, 0) ] ]
+  | ABox (_, hi) -> hi
+  | ATop -> []
+
+(* Conjunction of two DNF certificate sets: every pairing of one
+   alternative from each. *)
+let gcross a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | _ -> List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a
 
 (* Forward affine walk over the straight-line blocks, in execution
-   order.  Returns the per-dimension range constraints under which
-   every array load in [col] and [code] is in bounds for the whole
-   index range, or [None] when some load index is not affine in the
-   loop index (or the per-element block branches, so a linear walk
-   would be unsound). *)
+   order.  Returns the constraints under which every array load in
+   [col] and [code] is in bounds for the whole index range, or [None]
+   when some load index is neither affine in the loop index nor
+   clamped to certified bounds (or the per-element block branches, so
+   a linear walk would be unsound). *)
 let load_guards ~pre ~col ~code ni =
   let jumpy =
     Array.exists (function KJmp _ | KJz _ | KJnz _ -> true | _ -> false) code
@@ -1360,14 +1410,45 @@ let load_guards ~pre ~col ~code ni =
     let st = Array.make (max 1 ni) ATop in
     let ok = ref true in
     let gs = ref [] in
+    (* Resolve constant bounds now; [None] = some alternative is
+       trivially true (no guard needed), [Some []] = nothing provable. *)
+    let simplify test alts =
+      let triv = ref false in
+      let alts =
+        List.filter_map
+          (fun clause ->
+            if List.exists (function GC c -> not (test c) | _ -> false)
+                 clause
+            then None
+            else begin
+              match
+                List.filter (function GC _ -> false | _ -> true) clause
+              with
+              | [] ->
+                triv := true;
+                None
+              | keep -> Some keep
+            end)
+          alts
+      in
+      if !triv then None else Some alts
+    in
     let guard ~collect r ext =
       if collect then
         match st.(r) with
-        | AAff (d, o) -> gs := (d, o, ext) :: !gs
         | AConst c -> if c < 0 || c >= ext then ok := false
-        | ATop -> ok := false
+        | a -> (
+          (match simplify (fun c -> c >= 0) (abs_lo a) with
+           | None -> ()
+           | Some [] -> ok := false
+           | Some alts -> gs := Glo alts :: !gs);
+          match simplify (fun c -> c < ext) (abs_hi a) with
+          | None -> ()
+          | Some [] -> ok := false
+          | Some alts -> gs := Ghi (ext, alts) :: !gs)
     in
-    let step ~collect ins =
+    let step ~inpre ins =
+      let collect = not inpre in
       (match ins with
        | KLoad1 (_, _, _, r, ext) -> guard ~collect r ext
        | KLoad2 (_, _, _, r0, e0, _, r1, e1, _) ->
@@ -1376,31 +1457,58 @@ let load_guards ~pre ~col ~code ni =
        | KLoad (_, _, _, dyn) ->
          Array.iter (fun (r, ext, _) -> guard ~collect r ext) dyn
        | _ -> ());
-      match ins with
-      | KIimm (d, c) -> st.(d) <- AConst c
-      | KIv (d, k) -> st.(d) <- AAff (k, 0)
-      | KIadd (d, a, b) ->
-        st.(d) <-
-          (match (st.(a), st.(b)) with
-           | AConst x, AConst y -> AConst (x + y)
-           | AAff (k, o), AConst c | AConst c, AAff (k, o) ->
-             AAff (k, o + c)
-           | _ -> ATop)
-      | KIsub (d, a, b) ->
-        st.(d) <-
-          (match (st.(a), st.(b)) with
-           | AConst x, AConst y -> AConst (x - y)
-           | AAff (k, o), AConst c -> AAff (k, o - c)
-           | _ -> ATop)
-      | KImovs (ds, _) -> Array.iter (fun d -> st.(d) <- ATop) ds
-      | ins -> (
-        match kinstr_iwrite ins with
-        | Some d -> st.(d) <- ATop
-        | None -> ())
+      (match ins with
+       | KIimm (d, c) -> st.(d) <- AConst c
+       | KIv (d, k) -> st.(d) <- AAff (k, 0)
+       | KIadd (d, a, b) ->
+         st.(d) <-
+           (match (st.(a), st.(b)) with
+            | AConst x, AConst y -> AConst (x + y)
+            | AAff (k, o), AConst c | AConst c, AAff (k, o) ->
+              AAff (k, o + c)
+            | _ -> ATop)
+       | KIsub (d, a, b) ->
+         st.(d) <-
+           (match (st.(a), st.(b)) with
+            | AConst x, AConst y -> AConst (x - y)
+            | AAff (k, o), AConst c -> AAff (k, o - c)
+            | _ -> ATop)
+       | KImax (d, a, b) ->
+         (* max is >= either operand alone, and < ext only when both
+            operands are. *)
+         let va = st.(a) and vb = st.(b) in
+         let lo = abs_lo va @ abs_lo vb in
+         let hi = gcross (abs_hi va) (abs_hi vb) in
+         st.(d) <- (if lo = [] && hi = [] then ATop else ABox (lo, hi))
+       | KImin (d, a, b) ->
+         (* dually: min is < ext when either operand is, and >= 0 only
+            when both are. *)
+         let va = st.(a) and vb = st.(b) in
+         let lo = gcross (abs_lo va) (abs_lo vb) in
+         let hi = abs_hi va @ abs_hi vb in
+         st.(d) <- (if lo = [] && hi = [] then ATop else ABox (lo, hi))
+       | KImov (d, s) -> st.(d) <- st.(s)
+       | KImovs (ds, _) -> Array.iter (fun d -> st.(d) <- ATop) ds
+       | ins -> (
+         match kinstr_iwrite ins with
+         | Some d -> st.(d) <- ATop
+         | None -> ()));
+      (* Prefix registers are never rewritten (register allocation is
+         single-assignment outside conditional merges, which live in
+         the per-element block), so their fill-time values certify
+         bounds for the whole execution. *)
+      if inpre then
+        match ins with
+        | KImovs (ds, _) -> Array.iter (fun d -> st.(d) <- APre d) ds
+        | ins -> (
+          match kinstr_iwrite ins with
+          | Some d -> (
+            match st.(d) with ATop -> st.(d) <- APre d | _ -> ())
+          | None -> ())
     in
-    Array.iter (step ~collect:false) pre;
-    Array.iter (step ~collect:true) col;
-    Array.iter (step ~collect:true) code;
+    Array.iter (step ~inpre:true) pre;
+    Array.iter (step ~inpre:false) col;
+    Array.iter (step ~inpre:false) code;
     if !ok then Some (Array.of_list !gs) else None
   end
 
@@ -2074,6 +2182,773 @@ let compile_kernel prog (w : B.wdesc) rank caps =
         kguards }
   with Bail -> None
 
+(* ---------------- batched (strip) execution ----------------------- *)
+
+(* Straight-line kernel blocks can also run one instruction over a
+   whole strip of the innermost dimension: each kinstr compiles into a
+   closure that loops its operation across the strip's lanes, so the
+   threaded walk's per-element dispatch (one indirect call per
+   instruction per element) is amortised over up to [batch_width]
+   elements and the per-element cost collapses to the arithmetic
+   itself.  Lanes never interact — element [j]'s value is produced by
+   exactly the scalar instruction sequence reading and writing lane
+   [j] of every vector register — so results are bitwise identical to
+   the per-element walk.  Only the order in which elements are
+   visited changes, and that is unobservable for batchable blocks:
+   loads run unchecked (callers enter the batched path only when
+   {!guards_hold} proved every [kcol]/[kcode] load in range for the
+   actual bounds), and the sole remaining fault, integer division or
+   modulo by zero, raises the payload-free [Division_by_zero] — a
+   straight-line block executes the same instruction on the same
+   elements in either order, so whether the exception fires (and
+   which exception) is order-independent.  Jumps would let lanes
+   diverge and dynamic index-vector reads carry index-dependent
+   bounds errors; blocks containing either keep the threaded walk. *)
+let batch_width = 128
+
+let batchable code =
+  Array.for_all
+    (function
+      | KJmp _ | KJz _ | KJnz _ | KIvD _ | KLoadIv _ -> false
+      | _ -> true)
+    code
+
+let kinstr_fwrite = function
+  | KFimm (d, _) | KFcap (d, _) | KFadd (d, _, _) | KFsub (d, _, _)
+  | KFmul (d, _, _) | KFdiv (d, _, _) | KFrem (d, _, _)
+  | KFmadd (d, _, _, _) | KFaddm (d, _, _, _) | KFmsub (d, _, _, _)
+  | KFsubm (d, _, _, _) | KFneg (d, _) | KFabs (d, _) | KSqrt (d, _)
+  | KExp (d, _) | KLog (d, _) | KPow (d, _, _) | KFmin (d, _, _)
+  | KFmax (d, _, _) | KI2F (d, _) | KFsel (d, _, _, _) | KFmov (d, _)
+  | KLoadC (d, _, _) | KLoad1 (d, _, _, _, _)
+  | KLoad2 (d, _, _, _, _, _, _, _, _) | KLoad (d, _, _, _) ->
+    Some d
+  | _ -> None
+
+(* Registers a block writes: what the invariant prefix leaves in the
+   scalar register files and the batched blocks read back as
+   broadcasts. *)
+let kdests code =
+  let fs = ref [] and is_ = ref [] in
+  Array.iter
+    (fun ins ->
+      (match kinstr_fwrite ins with
+       | Some d -> fs := d :: !fs
+       | None -> ());
+      (match kinstr_iwrite ins with
+       | Some d -> is_ := d :: !is_
+       | None -> ());
+      match ins with
+      | KFmovs (ds, _) -> Array.iter (fun d -> fs := d :: !fs) ds
+      | KImovs (ds, _) -> Array.iter (fun d -> is_ := d :: !is_) ds
+      | _ -> ())
+    code;
+  (Array.of_list !fs, Array.of_list !is_)
+
+(* Batched register files: one [batch_width]-wide vector per scalar
+   register.  [bstart.(0)] holds the absolute index of the strip's
+   first element along the ramped (innermost) dimension and [blen.(0)]
+   the strip length; both are single-cell arrays so the compiled
+   closures read the current strip without any boxing.  The batched
+   blocks share the lane's scalar [kidx] for the non-ramped
+   dimensions (broadcast at each [KIv]) and its capture banks. *)
+type bstate = {
+  bfr : float array array;
+  bir : int array array;
+  bstart : int array;
+  blen : int array;
+  btcol : unit -> unit;           (* batched [kcol] *)
+  btcode : unit -> unit;          (* batched [kcode]; [khalt] unless... *)
+  bcode_ok : bool;                (* ...the per-element block is
+                                     straight-line *)
+  bpre_f : int array;             (* [kpre] float dests, seeded per fill *)
+  bpre_i : int array;
+}
+
+(* Lane-shape of an int register across a strip: [BUnif] — every lane
+   holds the same value; [BRamp] — lane [j] holds lane 0's value plus
+   [j] (the strip's own index, possibly offset); [BOther] — arbitrary
+   per-lane.  Registers are written exactly once across the kernel's
+   blocks (allocation is SSA-like and the batched path never runs the
+   shift block), so one forward pass over [kpre]-dests, [kcol] and
+   [kcode] fixes each register's shape for good. *)
+type bcls = BUnif | BRamp | BOther
+
+let classify_block cls ramp code =
+  Array.iter
+    (fun ins ->
+      match ins with
+      | KIv (d, k) -> cls.(d) <- (if k = ramp then BRamp else BUnif)
+      | KIimm (d, _) | KIcap (d, _) | KLoadIvC (d, _, _) ->
+        cls.(d) <- BUnif
+      | KIadd (d, a, b) ->
+        cls.(d) <-
+          (match (cls.(a), cls.(b)) with
+           | BUnif, BUnif -> BUnif
+           | BRamp, BUnif | BUnif, BRamp -> BRamp
+           | _ -> BOther)
+      | KIsub (d, a, b) ->
+        cls.(d) <-
+          (match (cls.(a), cls.(b)) with
+           | BUnif, BUnif | BRamp, BRamp -> BUnif
+           | BRamp, BUnif -> BRamp
+           | _ -> BOther)
+      | KImov (d, a) -> cls.(d) <- cls.(a)
+      | KImovs (ds, ss) ->
+        Array.iteri (fun p d -> cls.(d) <- cls.(ss.(p))) ds
+      | KImul (d, a, b) | KIdiv (d, a, b) | KImod (d, a, b)
+      | KImin (d, a, b) | KImax (d, a, b) ->
+        cls.(d) <-
+          (match (cls.(a), cls.(b)) with
+           | BUnif, BUnif -> BUnif
+           | _ -> BOther)
+      | KIneg (d, a) | KIabs (d, a) | KBnot (d, a) ->
+        cls.(d) <- (match cls.(a) with BUnif -> BUnif | _ -> BOther)
+      | KIcmp (_, d, a, b) ->
+        cls.(d) <-
+          (match (cls.(a), cls.(b)) with
+           | BUnif, BUnif -> BUnif
+           | _ -> BOther)
+      | KIsel (d, c, a, b) ->
+        cls.(d) <-
+          (match (cls.(c), cls.(a), cls.(b)) with
+           | BUnif, BUnif, BUnif -> BUnif
+           | _ -> BOther)
+      | ins -> (
+        match kinstr_iwrite ins with
+        | Some d -> cls.(d) <- BOther
+        | None -> ()))
+    code
+
+(* A load whose every index register is [BUnif] or [BRamp] reads only
+   lane 0 of those registers: the per-lane offsets form an arithmetic
+   sequence starting at the lane-0 offset. *)
+let load_lane0 cls = function
+  | KLoad1 (_, _, _, r, _) -> cls.(r) <> BOther
+  | KLoad2 (_, _, _, r0, _, _, r1, _, _) ->
+    cls.(r0) <> BOther && cls.(r1) <> BOther
+  | KLoad (_, _, _, dyn) ->
+    Array.for_all (fun (r, _, _) -> cls.(r) <> BOther) dyn
+  | _ -> false
+
+(* Int instructions that may run on lane 0 alone when nothing reads
+   their other lanes.  Raising instructions are excluded: skipping a
+   lane could suppress a [Division_by_zero] the scalar walk raises. *)
+let lane0_ok = function
+  | KIimm _ | KIcap _ | KIv _ | KIadd _ | KIsub _ | KImul _ | KImov _
+  | KLoadIvC _ ->
+    true
+  | _ -> false
+
+(* Backward pass: which int registers must hold all lanes?  Mirrors
+   the compile-time choices exactly — specialised loads read lane 0
+   only; everything else reads all lanes unless its own destination
+   needs lane 0 only and the instruction is [lane0_ok]. *)
+let mark_fullneed cls fullneed code =
+  for i = Array.length code - 1 downto 0 do
+    let ins = code.(i) in
+    let full =
+      match ins with
+      | KLoad1 _ | KLoad2 _ | KLoad _ -> not (load_lane0 cls ins)
+      | ins when lane0_ok ins -> (
+        match kinstr_iwrite ins with
+        | Some d -> fullneed.(d)
+        | None -> true)
+      | _ -> true
+    in
+    if full then begin
+      let _, is_ = kinstr_reads ins in
+      List.iter (fun r -> fullneed.(r) <- true) is_
+    end
+  done
+
+(* Strip-compile a straight-line block.  Same closure threading as
+   {!build_thread}; every closure loops lanes [0, blen.(0)).  Loads
+   are always unchecked here (see the batched-path precondition
+   above); [ramp] names the index dimension driven by the strip. *)
+let build_batch ~ramp ~cls ~fullneed (code : kinstr array)
+    (bfr : float array array) (bir : int array array) (idx : int array)
+    (bk : banks) (bstart : int array) (blen : int array) : unit -> unit =
+  let n = Array.length code in
+  if n = 0 then khalt
+  else begin
+    let t = Array.make (n + 1) khalt in
+    for i = n - 1 downto 0 do
+      let next = Array.unsafe_get t (i + 1) in
+      let step =
+        match code.(i) with
+        | KFimm (d, x) ->
+          let vd = bfr.(d) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KIimm (d, x) ->
+          let vd = bir.(d) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KFcap (d, k) ->
+          let vd = bfr.(d) in
+          fun () ->
+            let x = Array.unsafe_get bk.fcap k in
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KIcap (d, k) ->
+          let vd = bir.(d) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let x = Array.unsafe_get bk.icap k in
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KIv (d, k) ->
+          let vd = bir.(d) in
+          let one = not fullneed.(d) in
+          if k = ramp then
+            fun () ->
+              let s = Array.unsafe_get bstart 0 in
+              let n = if one then 1 else Array.unsafe_get blen 0 in
+              for j = 0 to n - 1 do
+                Array.unsafe_set vd j (s + j)
+              done;
+              next ()
+          else
+            fun () ->
+              let x = Array.unsafe_get idx k in
+              let n = if one then 1 else Array.unsafe_get blen 0 in
+              for j = 0 to n - 1 do
+                Array.unsafe_set vd j x
+              done;
+              next ()
+        | KFadd (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j +. Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFsub (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j -. Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFmul (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j *. Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFdiv (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j /. Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFrem (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Float.rem (Array.unsafe_get va j) (Array.unsafe_get vb j))
+            done;
+            next ()
+        | KFmadd (d, a, b, c) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b)
+          and vc = bfr.(c) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                ((Array.unsafe_get va j *. Array.unsafe_get vb j)
+                 +. Array.unsafe_get vc j)
+            done;
+            next ()
+        | KFaddm (d, c, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b)
+          and vc = bfr.(c) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get vc j
+                 +. (Array.unsafe_get va j *. Array.unsafe_get vb j))
+            done;
+            next ()
+        | KFmsub (d, a, b, c) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b)
+          and vc = bfr.(c) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                ((Array.unsafe_get va j *. Array.unsafe_get vb j)
+                 -. Array.unsafe_get vc j)
+            done;
+            next ()
+        | KFsubm (d, c, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b)
+          and vc = bfr.(c) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get vc j
+                 -. (Array.unsafe_get va j *. Array.unsafe_get vb j))
+            done;
+            next ()
+        | KIadd (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j + Array.unsafe_get vb j)
+            done;
+            next ()
+        | KIsub (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j - Array.unsafe_get vb j)
+            done;
+            next ()
+        | KImul (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j * Array.unsafe_get vb j)
+            done;
+            next ()
+        | KIdiv (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let y = Array.unsafe_get vb j in
+              if y = 0 then raise Division_by_zero;
+              Array.unsafe_set vd j (Array.unsafe_get va j / y)
+            done;
+            next ()
+        | KImod (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let y = Array.unsafe_get vb j in
+              if y = 0 then raise Division_by_zero;
+              Array.unsafe_set vd j (Array.unsafe_get va j mod y)
+            done;
+            next ()
+        | KFneg (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (-.(Array.unsafe_get va j))
+            done;
+            next ()
+        | KIneg (d, a) ->
+          let vd = bir.(d) and va = bir.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (-(Array.unsafe_get va j))
+            done;
+            next ()
+        | KFabs (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (Float.abs (Array.unsafe_get va j))
+            done;
+            next ()
+        | KIabs (d, a) ->
+          let vd = bir.(d) and va = bir.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (abs (Array.unsafe_get va j))
+            done;
+            next ()
+        | KSqrt (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (Float.sqrt (Array.unsafe_get va j))
+            done;
+            next ()
+        | KExp (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (Float.exp (Array.unsafe_get va j))
+            done;
+            next ()
+        | KLog (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (Float.log (Array.unsafe_get va j))
+            done;
+            next ()
+        | KPow (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (Array.unsafe_get va j ** Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFmin (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let x = Array.unsafe_get va j and y = Array.unsafe_get vb j in
+              Array.unsafe_set vd j (if x <= y then x else y)
+            done;
+            next ()
+        | KFmax (d, a, b) ->
+          let vd = bfr.(d) and va = bfr.(a) and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let x = Array.unsafe_get va j and y = Array.unsafe_get vb j in
+              Array.unsafe_set vd j (if x >= y then x else y)
+            done;
+            next ()
+        | KImin (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let x = Array.unsafe_get va j and y = Array.unsafe_get vb j in
+              Array.unsafe_set vd j
+                (if float_of_int x <= float_of_int y then x else y)
+            done;
+            next ()
+        | KImax (d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              let x = Array.unsafe_get va j and y = Array.unsafe_get vb j in
+              Array.unsafe_set vd j
+                (if float_of_int x >= float_of_int y then x else y)
+            done;
+            next ()
+        | KI2F (d, a) ->
+          let vd = bfr.(d) and va = bir.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (float_of_int (Array.unsafe_get va j))
+            done;
+            next ()
+        | KFcmp (c, d, a, b) ->
+          let vd = bir.(d) and va = bfr.(a) and vb = bfr.(b) in
+          (match c with
+           | Ceq ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j = Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ()
+           | Cne ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j <> Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ()
+           | Clt ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j < Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ()
+           | Cle ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j <= Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ()
+           | Cgt ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j > Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ()
+           | Cge ->
+             fun () ->
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (if Array.unsafe_get va j >= Array.unsafe_get vb j then 1
+                    else 0)
+               done;
+               next ())
+        | KIcmp (c, d, a, b) ->
+          let vd = bir.(d) and va = bir.(a) and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (if
+                   fcmp c
+                     (float_of_int (Array.unsafe_get va j))
+                     (float_of_int (Array.unsafe_get vb j))
+                 then 1
+                 else 0)
+            done;
+            next ()
+        | KBnot (d, a) ->
+          let vd = bir.(d) and va = bir.(a) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j (1 - Array.unsafe_get va j)
+            done;
+            next ()
+        | KFsel (d, c, a, b) ->
+          let vd = bfr.(d) and vc = bir.(c) and va = bfr.(a)
+          and vb = bfr.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (if Array.unsafe_get vc j <> 0 then Array.unsafe_get va j
+                 else Array.unsafe_get vb j)
+            done;
+            next ()
+        | KIsel (d, c, a, b) ->
+          let vd = bir.(d) and vc = bir.(c) and va = bir.(a)
+          and vb = bir.(b) in
+          fun () ->
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j
+                (if Array.unsafe_get vc j <> 0 then Array.unsafe_get va j
+                 else Array.unsafe_get vb j)
+            done;
+            next ()
+        | KFmov (d, a) ->
+          let vd = bfr.(d) and va = bfr.(a) in
+          fun () ->
+            Array.blit va 0 vd 0 (Array.unsafe_get blen 0);
+            next ()
+        | KImov (d, a) ->
+          let vd = bir.(d) and va = bir.(a) in
+          let one = not fullneed.(d) in
+          fun () ->
+            Array.blit va 0 vd 0
+              (if one then 1 else Array.unsafe_get blen 0);
+            next ()
+        | KFmovs (ds, ss) ->
+          let m = Array.length ds in
+          fun () ->
+            for p = 0 to m - 1 do
+              Array.blit
+                bfr.(Array.unsafe_get ss p) 0
+                bfr.(Array.unsafe_get ds p) 0
+                (Array.unsafe_get blen 0)
+            done;
+            next ()
+        | KImovs (ds, ss) ->
+          let m = Array.length ds in
+          fun () ->
+            for p = 0 to m - 1 do
+              Array.blit
+                bir.(Array.unsafe_get ss p) 0
+                bir.(Array.unsafe_get ds p) 0
+                (Array.unsafe_get blen 0)
+            done;
+            next ()
+        | KLoadC (d, ar, off) ->
+          let vd = bfr.(d) in
+          fun () ->
+            let x = Array.unsafe_get (Array.unsafe_get bk.acap ar) off in
+            for j = 0 to Array.unsafe_get blen 0 - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KLoad1 (d, ar, base, r, _) ->
+          (* Affine index: the per-lane offsets form an arithmetic
+             sequence from the lane-0 offset — unit step here (the
+             folded dimension has stride 1), so ramps copy with
+             [Array.blit] and uniforms broadcast one cell. *)
+          let vd = bfr.(d) and vr = bir.(r) in
+          (match cls.(r) with
+           | BRamp ->
+             fun () ->
+               let a = Array.unsafe_get bk.acap ar in
+               Array.blit a
+                 (base + Array.unsafe_get vr 0)
+                 vd 0
+                 (Array.unsafe_get blen 0);
+               next ()
+           | BUnif ->
+             fun () ->
+               let a = Array.unsafe_get bk.acap ar in
+               let x = Array.unsafe_get a (base + Array.unsafe_get vr 0) in
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j x
+               done;
+               next ()
+           | BOther ->
+             fun () ->
+               let a = Array.unsafe_get bk.acap ar in
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (Array.unsafe_get a (base + Array.unsafe_get vr j))
+               done;
+               next ())
+        | KLoad2 (d, ar, base, r0, _, s0, r1, _, s1) ->
+          let vd = bfr.(d) and v0 = bir.(r0) and v1 = bir.(r1) in
+          (match (cls.(r0), cls.(r1)) with
+           | (BUnif | BRamp), (BUnif | BRamp) ->
+             let step =
+               (match cls.(r0) with BRamp -> s0 | _ -> 0)
+               + (match cls.(r1) with BRamp -> s1 | _ -> 0)
+             in
+             if step = 1 then
+               fun () ->
+                 let a = Array.unsafe_get bk.acap ar in
+                 Array.blit a
+                   (base
+                   + (Array.unsafe_get v0 0 * s0)
+                   + (Array.unsafe_get v1 0 * s1))
+                   vd 0
+                   (Array.unsafe_get blen 0);
+                 next ()
+             else if step = 0 then
+               fun () ->
+                 let a = Array.unsafe_get bk.acap ar in
+                 let x =
+                   Array.unsafe_get a
+                     (base
+                     + (Array.unsafe_get v0 0 * s0)
+                     + (Array.unsafe_get v1 0 * s1))
+                 in
+                 for j = 0 to Array.unsafe_get blen 0 - 1 do
+                   Array.unsafe_set vd j x
+                 done;
+                 next ()
+             else
+               fun () ->
+                 let a = Array.unsafe_get bk.acap ar in
+                 let off =
+                   ref
+                     (base
+                     + (Array.unsafe_get v0 0 * s0)
+                     + (Array.unsafe_get v1 0 * s1))
+                 in
+                 for j = 0 to Array.unsafe_get blen 0 - 1 do
+                   Array.unsafe_set vd j (Array.unsafe_get a !off);
+                   off := !off + step
+                 done;
+                 next ()
+           | BUnif, BOther when s1 = 1 ->
+             (* Uniform row, gathered unit-stride column (the clamped
+                indices of boundary paddings): hoist the row offset and
+                gather with a single add per lane. *)
+             fun () ->
+               let a = Array.unsafe_get bk.acap ar in
+               let b0 = base + (Array.unsafe_get v0 0 * s0) in
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (Array.unsafe_get a (b0 + Array.unsafe_get v1 j))
+               done;
+               next ()
+           | _ ->
+             fun () ->
+               let a = Array.unsafe_get bk.acap ar in
+               for j = 0 to Array.unsafe_get blen 0 - 1 do
+                 Array.unsafe_set vd j
+                   (Array.unsafe_get a
+                      (base
+                      + (Array.unsafe_get v0 j * s0)
+                      + (Array.unsafe_get v1 j * s1)))
+               done;
+               next ())
+        | KLoad (d, ar, base, dyn) ->
+          let vd = bfr.(d) in
+          let regs = Array.map (fun (r, _, _) -> bir.(r)) dyn in
+          let strd = Array.map (fun (_, _, s) -> s) dyn in
+          let nd = Array.length dyn in
+          if Array.for_all (fun (r, _, _) -> cls.(r) <> BOther) dyn then begin
+            let step = ref 0 in
+            Array.iter
+              (fun (r, _, s) -> if cls.(r) = BRamp then step := !step + s)
+              dyn;
+            let step = !step in
+            fun () ->
+              let a = Array.unsafe_get bk.acap ar in
+              let off = ref base in
+              for p = 0 to nd - 1 do
+                off :=
+                  !off
+                  + (Array.unsafe_get (Array.unsafe_get regs p) 0
+                     * Array.unsafe_get strd p)
+              done;
+              if step = 1 then
+                Array.blit a !off vd 0 (Array.unsafe_get blen 0)
+              else begin
+                for j = 0 to Array.unsafe_get blen 0 - 1 do
+                  Array.unsafe_set vd j (Array.unsafe_get a !off);
+                  off := !off + step
+                done
+              end;
+              next ()
+          end
+          else
+            fun () ->
+              let a = Array.unsafe_get bk.acap ar in
+              for j = 0 to Array.unsafe_get blen 0 - 1 do
+                let off = ref base in
+                for p = 0 to nd - 1 do
+                  off :=
+                    !off
+                    + (Array.unsafe_get (Array.unsafe_get regs p) j
+                       * Array.unsafe_get strd p)
+                done;
+                Array.unsafe_set vd j (Array.unsafe_get a !off)
+              done;
+              next ()
+        | KLoadIvC (d, v, pos) ->
+          let vd = bir.(d) in
+          let one = not fullneed.(d) in
+          fun () ->
+            let x = Array.unsafe_get (Array.unsafe_get bk.ivcap v) pos in
+            let n = if one then 1 else Array.unsafe_get blen 0 in
+            for j = 0 to n - 1 do
+              Array.unsafe_set vd j x
+            done;
+            next ()
+        | KJmp _ | KJz _ | KJnz _ | KIvD _ | KLoadIv _ ->
+          (* excluded by [batchable] *)
+          assert false
+      in
+      t.(i) <- step
+    done;
+    t.(0)
+  end
+
 (* ---------------- contexts and kernel caches --------------------- *)
 
 (* Per-lane kernel state: register files, the current index vector and
@@ -2103,6 +2978,10 @@ type klane = {
       (* row-specialised threads, cached per (low row, row count,
          guards-elided); [Some (_, _, _, None)] records that the block
          cannot be specialised for those bounds *)
+  mutable kbatch : bstate option;
+      (* strip-compiled blocks, built on first use; [kbtried] records
+         a kernel whose blocks are not batchable *)
+  mutable kbtried : bool;
 }
 
 (* One cache entry per distinct capture signature of a descriptor. *)
@@ -2120,8 +2999,15 @@ type ctx = {
   parallel_threshold : int;
   kernels : bool;
   kcaches : centry list ref array;  (* indexed by w_id *)
+  wexecs : int array;
+      (* per-descriptor with-execution counts (indexed by w_id),
+         flushed into [st.with_execs] by {!stats}: bumping an int here
+         is far cheaper than a string-keyed Hashtbl update on every
+         with-loop of the hot path *)
+  fexecs : int array;             (* fold subset, same scheme *)
   nlanes : int;
   mutable wgen : int;             (* with-execution counter *)
+  mutable kfolds : int;           (* fold executions on the kernel path *)
 }
 
 let make_ctx ?exec ?(parallel_threshold = 1024) ?(kernels = true) bc =
@@ -2136,10 +3022,32 @@ let make_ctx ?exec ?(parallel_threshold = 1024) ?(kernels = true) bc =
     parallel_threshold;
     kernels;
     kcaches = Array.init (Array.length bc.B.withs) (fun _ -> ref []);
+    wexecs = Array.make (Array.length bc.B.withs) 0;
+    fexecs = Array.make (Array.length bc.B.withs) 0;
     nlanes = (match exec with Some e -> Parallel.Exec.lanes e | None -> 1);
-    wgen = 0 }
+    wgen = 0;
+    kfolds = 0 }
 
-let stats ctx = ctx.st
+(* Flush the per-descriptor execution counters into the string-keyed
+   stats tables (and zero them, so repeated calls keep accumulating
+   correctly). *)
+let stats ctx =
+  let flush counts tbl =
+    Array.iteri
+      (fun wid n ->
+        if n > 0 then begin
+          let name = ctx.bc.B.withs.(wid).B.w_fun in
+          (match Hashtbl.find_opt tbl name with
+           | Some m -> Hashtbl.replace tbl name (m + n)
+           | None -> Hashtbl.add tbl name n);
+          counts.(wid) <- 0
+        end)
+      counts
+  in
+  flush ctx.wexecs ctx.st.Eval.with_execs;
+  flush ctx.fexecs ctx.st.Eval.fold_execs;
+  ctx.st
+let fold_kernel_execs ctx = ctx.kfolds
 
 let note ctx n =
   ctx.st.Eval.with_loops <- ctx.st.Eval.with_loops + 1;
@@ -2322,11 +3230,80 @@ let lane_state ctx entry k rank lane =
         tcode_u;
         tcolsh;
         tcolsh_u;
-        krows = None }
+        krows = None;
+        kbatch = None;
+        kbtried = false }
     in
     st.tpre ();
     entry.clanes.(lane) <- Some st;
     st
+
+(* The lane's strip-compiled blocks, built on first demand.  The ramp
+   is always the innermost dimension: every batched walk strips along
+   it. *)
+let batch_state k st rank bk =
+  match st.kbatch with
+  | Some _ as s -> s
+  | None ->
+    if st.kbtried then None
+    else begin
+      st.kbtried <- true;
+      if batchable k.kcol then begin
+        let code_ok = batchable k.kcode in
+        let bfr = Array.init k.knf (fun _ -> Array.make batch_width 0.0) in
+        let bir = Array.init k.kni (fun _ -> Array.make batch_width 0) in
+        let bstart = Array.make 1 0 in
+        let blen = Array.make 1 0 in
+        let ramp = rank - 1 in
+        let bpre_f, bpre_i = kdests k.kpre in
+        (* Lane-shape analysis: prefix results are uniform (the seed
+           broadcasts them), then one forward pass over the executed
+           blocks; the backward pass trims index bookkeeping that only
+           specialised loads (lane 0) consume. *)
+        let cls = Array.make k.kni BOther in
+        Array.iter (fun d -> cls.(d) <- BUnif) bpre_i;
+        classify_block cls ramp k.kcol;
+        if code_ok then classify_block cls ramp k.kcode;
+        let fullneed = Array.make k.kni false in
+        if code_ok then mark_fullneed cls fullneed k.kcode;
+        mark_fullneed cls fullneed k.kcol;
+        let bs =
+          { bfr;
+            bir;
+            bstart;
+            blen;
+            btcol =
+              build_batch ~ramp ~cls ~fullneed k.kcol bfr bir st.kidx bk
+                bstart blen;
+            btcode =
+              (if code_ok then
+                 build_batch ~ramp ~cls ~fullneed k.kcode bfr bir st.kidx
+                   bk bstart blen
+               else fun () -> ());
+            bcode_ok = code_ok;
+            bpre_f;
+            bpre_i }
+        in
+        st.kbatch <- Some bs;
+        st.kbatch
+      end
+      else None
+    end
+
+(* Broadcast the invariant prefix's results (computed by the scalar
+   [tpre] at lane refresh) into the batched register files.  Runs once
+   per with-loop execution, before the first strip. *)
+let seed_batch bs st =
+  let fs = bs.bpre_f in
+  for p = 0 to Array.length fs - 1 do
+    let d = Array.unsafe_get fs p in
+    Array.fill bs.bfr.(d) 0 batch_width st.kfr.(d)
+  done;
+  let is_ = bs.bpre_i in
+  for p = 0 to Array.length is_ - 1 do
+    let d = Array.unsafe_get is_ p in
+    Array.fill bs.bir.(d) 0 batch_width st.kir.(d)
+  done
 
 (* Advance [kidx]/[koff] from flat position [klast] to [klast + 1]. *)
 let bump_odometer st l u strides =
@@ -2404,16 +3381,27 @@ let col_step k st tcol c ~first =
 (* Do the kernel's load guards hold over the bounds [l, u)?  Callers
    only ask for non-empty ranges, where [u.(d) - 1] is the largest
    index in dimension [d]. *)
-let guards_hold k l u =
+let guards_hold k kir l u =
   match k.kguards with
   | None -> false
   | Some gs ->
-    let ok = ref true in
-    Array.iter
-      (fun (d, o, ext) ->
-        if l.(d) + o < 0 || u.(d) - 1 + o >= ext then ok := false)
-      gs;
-    !ok
+    let lo_val = function
+      | GC c -> c
+      | GR (r, o) -> kir.(r) + o
+      | GIv (d, o) -> l.(d) + o
+    in
+    let hi_val = function
+      | GC c -> c
+      | GR (r, o) -> kir.(r) + o
+      | GIv (d, o) -> u.(d) - 1 + o
+    in
+    Array.for_all
+      (function
+        | Glo alts ->
+          List.exists (List.for_all (fun b -> lo_val b >= 0)) alts
+        | Ghi (ext, alts) ->
+          List.exists (List.for_all (fun b -> hi_val b < ext)) alts)
+      gs
 
 (* Cached row-specialised threads for the current bounds, or None when
    the per-element block cannot be specialised. *)
@@ -2447,19 +3435,115 @@ let kernel_fill ctx k entry data shape l u count =
           kelem k st l u strides data flat)
     | _ ->
       let st = lane_state ctx entry k rank 0 in
-      let elide = guards_hold k l u in
+      let elide = guards_hold k st.kir l u in
+      match
+        if elide && rank <= 2 then batch_state k st rank entry.cbanks
+        else None
+      with
+      | Some bs when bs.bcode_ok ->
+        (* Strip-batched walk: one instruction dispatch covers up to
+           [batch_width] elements of the innermost dimension.  For
+           rank 2 the column block runs batched once per strip — each
+           lane holds its own column's values, so every row of the
+           strip reads them as vectors and the loop-carried shift
+           block is unnecessary (each column is computed afresh, to
+           bitwise the same values the shift replay would carry). *)
+        seed_batch bs st;
+        let bout = bs.bfr.(k.kout) in
+        let bstart = bs.bstart and blen = bs.blen in
+        (if rank = 1 then begin
+           let s0 = strides.(0) in
+           let lo = l.(0) and hi = u.(0) in
+           let s = ref lo in
+           while !s < hi do
+             let len = min batch_width (hi - !s) in
+             bstart.(0) <- !s;
+             blen.(0) <- len;
+             bs.btcode ();
+             if s0 = 1 then Array.blit bout 0 data !s len
+             else begin
+               let off = ref (!s * s0) in
+               for j = 0 to len - 1 do
+                 Array.unsafe_set data !off (Array.unsafe_get bout j);
+                 off := !off + s0
+               done
+             end;
+             s := !s + len
+           done
+         end
+         else begin
+           let s0 = strides.(0) and s1 = strides.(1) in
+           let kidx = st.kidx in
+           let l1 = l.(1) and u1 = u.(1) in
+           let has_col = Array.length k.kcol > 0 in
+           let s = ref l1 in
+           while !s < u1 do
+             let len = min batch_width (u1 - !s) in
+             bstart.(0) <- !s;
+             blen.(0) <- len;
+             if has_col then bs.btcol ();
+             for r = l.(0) to u.(0) - 1 do
+               Array.unsafe_set kidx 0 r;
+               bs.btcode ();
+               if s1 = 1 then Array.blit bout 0 data ((r * s0) + !s) len
+               else begin
+                 let off = ref ((r * s0) + (!s * s1)) in
+                 for j = 0 to len - 1 do
+                   Array.unsafe_set data !off (Array.unsafe_get bout j);
+                   off := !off + s1
+                 done
+               end
+             done;
+             s := !s + len
+           done
+         end);
+        st.klast <- min_int
+      | _ ->
       let tcode = if elide then st.tcode_u else st.tcode in
       if Array.length k.kcol = 0 then begin
-        for flat = 0 to count - 1 do
-          if flat = st.klast + 1 then bump_odometer st l u strides
-          else begin
-            index_of_flat_into l u flat st.kidx;
-            st.koff <- offset_of st.kidx strides
-          end;
-          tcode ();
-          Array.unsafe_set data st.koff (Array.unsafe_get st.kfr k.kout);
-          st.klast <- flat
-        done
+        (match rank with
+         | 1 ->
+           (* Dense low-rank walks: drive the index registers with
+              plain nested loops instead of the per-element odometer
+              closure — same visit order, same offsets, just no
+              flat-index bookkeeping. *)
+           let kidx = st.kidx and kfr = st.kfr in
+           let out = k.kout and s0 = strides.(0) in
+           let lo = l.(0) and hi = u.(0) - 1 in
+           let off = ref (l.(0) * s0) in
+           for i = lo to hi do
+             Array.unsafe_set kidx 0 i;
+             tcode ();
+             Array.unsafe_set data !off (Array.unsafe_get kfr out);
+             off := !off + s0
+           done
+         | 2 ->
+           let kidx = st.kidx and kfr = st.kfr in
+           let out = k.kout in
+           let s0 = strides.(0) and s1 = strides.(1) in
+           let l1 = l.(1) and hi1 = u.(1) - 1 in
+           for r = l.(0) to u.(0) - 1 do
+             Array.unsafe_set kidx 0 r;
+             let off = ref ((r * s0) + (l1 * s1)) in
+             for c = l1 to hi1 do
+               Array.unsafe_set kidx 1 c;
+               tcode ();
+               Array.unsafe_set data !off (Array.unsafe_get kfr out);
+               off := !off + s1
+             done
+           done
+         | _ ->
+           for flat = 0 to count - 1 do
+             if flat = st.klast + 1 then bump_odometer st l u strides
+             else begin
+               index_of_flat_into l u flat st.kidx;
+               st.koff <- offset_of st.kidx strides
+             end;
+             tcode ();
+             Array.unsafe_set data st.koff (Array.unsafe_get st.kfr k.kout);
+             st.klast <- flat
+           done);
+        st.klast <- min_int
       end
       else begin
         (* Column-outer walk: run the column block once per column,
@@ -2619,6 +3703,14 @@ let rec run_code ctx ~par fname (code : B.instr array) frame stack =
       let a = pop () in
       push (Builtins.arith ~note:(note ctx) op a b);
       incr pc
+    | B.LoadLoadBin (a, b, op) ->
+      push (Builtins.arith ~note:(note ctx) op frame.(a) frame.(b));
+      incr pc
+    | B.LoadConstBin (s, k, op) ->
+      push
+        (Builtins.arith ~note:(note ctx) op frame.(s)
+           (Array.unsafe_get ctx.bc.B.consts k));
+      incr pc
     | B.Un op ->
       let a = pop () in
       push (Builtins.unary ~note:(note ctx) op a);
@@ -2721,7 +3813,7 @@ and call_fn ctx ~par fi args =
   run_code ctx ~par f.B.f_name f.B.f_code frame stack
 
 and exec_genarray ctx ~par w frame lb ub shp dflt =
-  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  ctx.wexecs.(w.B.w_id) <- ctx.wexecs.(w.B.w_id) + 1;
   let l, u = frame_of lb ub in
   let count = frame_size l u in
   note ctx count;
@@ -2734,12 +3826,19 @@ and exec_genarray ctx ~par w frame lb ub shp dflt =
         err "with-loop partition exceeds genarray shape")
     shape;
   let dv = Value.to_float dflt in
-  let data = Array.make (Tensor.Shape.size shape) dv in
+  let size = Tensor.Shape.size shape in
+  (* count = size forces l = 0 and u = ext in every dimension (each
+     factor of the product is <= its extent), so the fill writes every
+     cell and the default initialisation would be dead stores. *)
+  let data =
+    if count = size && count > 0 then Array.create_float size
+    else Array.make size dv
+  in
   if count > 0 then fill ctx ~par w frame data shape l u count;
   Value.Vdarr (Tensor.Nd.of_array shape data)
 
 and exec_modarray ctx ~par w frame lb ub src =
-  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  ctx.wexecs.(w.B.w_id) <- ctx.wexecs.(w.B.w_id) + 1;
   let l, u = frame_of lb ub in
   let count = frame_size l u in
   note ctx count;
@@ -2752,14 +3851,19 @@ and exec_modarray ctx ~par w frame lb ub src =
       if l.(d) < 0 || u.(d) > ext then
         err "with-loop partition exceeds modarray shape")
     shape;
+  (* Same full-cover reasoning as genarray: when the partition spans
+     the whole source the copied cells are all overwritten. *)
+  let size = Tensor.Nd.size t in
   let data =
-    Array.init (Tensor.Nd.size t) (fun i -> Tensor.Nd.get_flat t i)
+    if count = size && count > 0 then Array.create_float size
+    else Array.copy t.Tensor.Nd.data
   in
   if count > 0 then fill ctx ~par w frame data shape l u count;
   Value.Vdarr (Tensor.Nd.of_array shape data)
 
 and exec_fold ctx ~par w frame op lb ub neutral =
-  Eval.tally ctx.st.Eval.with_execs w.B.w_fun;
+  ctx.wexecs.(w.B.w_id) <- ctx.wexecs.(w.B.w_id) + 1;
+  ctx.fexecs.(w.B.w_id) <- ctx.fexecs.(w.B.w_id) + 1;
   let l, u = frame_of lb ub in
   let count = frame_size l u in
   note ctx count;
@@ -2772,29 +3876,145 @@ and exec_fold ctx ~par w frame op lb ub neutral =
   in
   let acc = ref (Value.to_float neutral) in
   let rank = Array.length l in
-  (* Folds always run sequentially, as in {!Eval}. *)
   (if count > 0 then
      match get_kernel ctx ~par w frame rank with
      | Some (k, entry) ->
-       let strides = Array.make rank 0 in
-       let st = lane_state ctx entry k rank 0 in
-       let has_col = Array.length k.kcol > 0 in
-       let ncols = if has_col then u.(rank - 1) - l.(rank - 1) else 1 in
-       if has_col then ensure_memo k st ncols;
-       let elide = guards_hold k l u in
-       let tcol = if elide then st.tcol_u else st.tcol in
-       let tcode = if elide then st.tcode_u else st.tcode in
-       let c = ref 0 in
-       for flat = 0 to count - 1 do
-         if flat = st.klast + 1 then bump_odometer st l u strides
-         else index_of_flat_into l u flat st.kidx;
-         if has_col then col_step k st tcol !c ~first:(flat < ncols);
-         tcode ();
-         acc := f !acc (Array.unsafe_get st.kfr k.kout);
-         st.klast <- flat;
-         incr c;
-         if !c = ncols then c := 0
-       done
+       ctx.kfolds <- ctx.kfolds + 1;
+       let order_free =
+         match op with Fmax | Fmin -> true | Fsum | Fprod -> false
+       in
+       (match ctx.exec with
+        | Some exec when order_free && count >= ctx.parallel_threshold ->
+          (* Parallel reduction: each lane folds its chunk into a
+             private slot, and the orchestrator combines the slots in
+             lane order after the barrier.  Only max/min take this
+             path: they are exactly associative, commutative and
+             idempotent in IEEE arithmetic (no rounding), so the
+             result is bitwise-identical to the sequential walk no
+             matter how the range is chunked, and the neutral element
+             seeding every lane slot is absorbed.  Sum/product would
+             change the rounding order, so they keep the sequential
+             walk and the bitwise pin against {!Eval}.  [get_kernel]
+             already refused nested-parallel calls ([par]). *)
+          let strides = Array.make rank 0 in
+          let has_col = Array.length k.kcol > 0 in
+          acc :=
+            Parallel.Exec.parallel_reduce_lanes exec
+              ~region:Parallel.Exec.Reduce ~lo:0 ~hi:count ~init:!acc
+              ~combine:f
+              (fun ~acc:slots ~cell ~lane flat ->
+                let st = lane_state ctx entry k rank lane in
+                if flat = st.klast + 1 then bump_odometer st l u strides
+                else index_of_flat_into l u flat st.kidx;
+                if has_col then st.tcol ();
+                st.tcode ();
+                Array.unsafe_set slots cell
+                  (f
+                     (Array.unsafe_get slots cell)
+                     (Array.unsafe_get st.kfr k.kout));
+                st.klast <- flat)
+        | _ ->
+          let st = lane_state ctx entry k rank 0 in
+          let elide = guards_hold k st.kir l u in
+          let tcode = if elide then st.tcode_u else st.tcode in
+          if rank = 1 then begin
+            match
+              if elide then batch_state k st rank entry.cbanks else None
+            with
+            | Some bs when bs.bcode_ok ->
+              (* Strip-batched fold: compute the body for a strip of
+                 the range, then combine the strip's lanes in
+                 ascending index order — exactly the sequential
+                 walk's combine sequence, so the result is bitwise
+                 identical for every fold operator, rounding
+                 included. *)
+              seed_batch bs st;
+              let bout = bs.bfr.(k.kout) in
+              let lo = l.(0) and hi = u.(0) in
+              let a = ref !acc in
+              let s = ref lo in
+              while !s < hi do
+                let len = min batch_width (hi - !s) in
+                bs.bstart.(0) <- !s;
+                bs.blen.(0) <- len;
+                bs.btcode ();
+                (match op with
+                 | Fsum ->
+                   for j = 0 to len - 1 do
+                     a := !a +. Array.unsafe_get bout j
+                   done
+                 | Fprod ->
+                   for j = 0 to len - 1 do
+                     a := !a *. Array.unsafe_get bout j
+                   done
+                 | Fmax ->
+                   for j = 0 to len - 1 do
+                     a := Float.max !a (Array.unsafe_get bout j)
+                   done
+                 | Fmin ->
+                   for j = 0 to len - 1 do
+                     a := Float.min !a (Array.unsafe_get bout j)
+                   done);
+                s := !s + len
+              done;
+              acc := !a
+            | _ ->
+            (* Dense rank-1 walk: no odometer, no column block (column
+               homing needs rank >= 2), and one loop per fold op so
+               the combine is a direct call — [Float.max]/[Float.min]
+               exactly (NaN and signed-zero semantics), never a
+               [>=]-select. *)
+            let kidx = st.kidx and kfr = st.kfr in
+            let out = k.kout in
+            let lo = l.(0) and hi = u.(0) - 1 in
+            let a = ref !acc in
+            (match op with
+             | Fsum ->
+               for i = lo to hi do
+                 Array.unsafe_set kidx 0 i;
+                 tcode ();
+                 a := !a +. Array.unsafe_get kfr out
+               done
+             | Fprod ->
+               for i = lo to hi do
+                 Array.unsafe_set kidx 0 i;
+                 tcode ();
+                 a := !a *. Array.unsafe_get kfr out
+               done
+             | Fmax ->
+               for i = lo to hi do
+                 Array.unsafe_set kidx 0 i;
+                 tcode ();
+                 a := Float.max !a (Array.unsafe_get kfr out)
+               done
+             | Fmin ->
+               for i = lo to hi do
+                 Array.unsafe_set kidx 0 i;
+                 tcode ();
+                 a := Float.min !a (Array.unsafe_get kfr out)
+               done);
+            acc := !a
+          end
+          else begin
+            let strides = Array.make rank 0 in
+            let has_col = Array.length k.kcol > 0 in
+            let ncols =
+              if has_col then u.(rank - 1) - l.(rank - 1) else 1
+            in
+            if has_col then ensure_memo k st ncols;
+            let tcol = if elide then st.tcol_u else st.tcol in
+            let c = ref 0 in
+            for flat = 0 to count - 1 do
+              if flat = st.klast + 1 then bump_odometer st l u strides
+              else index_of_flat_into l u flat st.kidx;
+              if has_col then col_step k st tcol !c ~first:(flat < ncols);
+              tcode ();
+              acc := f !acc (Array.unsafe_get st.kfr k.kout);
+              st.klast <- flat;
+              incr c;
+              if !c = ncols then c := 0
+            done
+          end)
      | None ->
        let idx = Array.make rank 0 in
        let bframe = Array.make w.B.w_body_slots (Value.Vint 0) in

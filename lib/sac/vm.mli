@@ -21,7 +21,13 @@
 
     Explicit genarray/modarray partitions of at least
     [parallel_threshold] elements run as parallel regions when [exec]
-    is given (folds stay sequential, as in {!Eval}). *)
+    is given.  Specialised [fold] kernels over max/min also
+    parallelise at that threshold — per-lane accumulator slots
+    combined deterministically in lane order, bitwise-identical to the
+    sequential walk because max/min are exactly associative and
+    commutative in IEEE arithmetic.  Sum/product folds (and generic
+    fold bodies) stay sequential, as in {!Eval}: a lane-partial
+    combine would change their rounding order. *)
 
 type ctx
 
@@ -37,6 +43,12 @@ val make_ctx :
     @raise Eval.Error if a program function redefines a builtin. *)
 
 val stats : ctx -> Eval.stats
+
+val fold_kernel_execs : ctx -> int
+(** Fold executions that ran on a specialised kernel (sequential or
+    parallel), as opposed to the generic stack-code fallback.  A
+    VM-only counter: {!Eval} has no kernels, so it lives outside
+    {!Eval.stats}. *)
 
 val run_fun : ctx -> string -> Value.t list -> Value.t
 (** Calls a program function by name, resolving overloads on the

@@ -14,18 +14,22 @@ let compile_euler_1d ?options () =
 
 (* Both engines expose the same run-by-name interface; the bytecode VM
    is the default, the tree-walking interpreter stays available for
-   differential testing. *)
-let engine_of ?exec engine compiled =
+   differential testing.  [parallel_threshold] (default 1024 elements,
+   see {!Sac.Vm.make_ctx}) gates when a with-loop or fold partition is
+   worth dispatching across lanes. *)
+let engine_of ?exec ?parallel_threshold engine compiled =
   match engine with
   | `Vm ->
-    let ctx = Sac.Vm.make_ctx ?exec compiled.bytecode in
+    let ctx = Sac.Vm.make_ctx ?exec ?parallel_threshold compiled.bytecode in
     (Sac.Vm.run_fun ctx, fun () -> Sac.Vm.stats ctx)
   | `Interp ->
-    let ctx = Sac.Eval.make_ctx ?exec compiled.program in
+    let ctx =
+      Sac.Eval.make_ctx ?exec ?parallel_threshold compiled.program
+    in
     (Sac.Eval.run_fun ctx, fun () -> Sac.Eval.stats ctx)
 
-let sod_state ?exec ?(engine = `Vm) compiled ~nx ~steps =
-  let run_fun, stats = engine_of ?exec engine compiled in
+let sod_state ?exec ?parallel_threshold ?(engine = `Vm) compiled ~nx ~steps =
+  let run_fun, stats = engine_of ?exec ?parallel_threshold engine compiled in
   let q0 = run_fun "sod_init" [ Sac.Value.Vint nx ] in
   let result =
     run_fun "run"
@@ -61,8 +65,9 @@ let compile_euler_2d ?options () =
   in
   { program; bytecode; report }
 
-let quadrant_state ?exec ?(engine = `Vm) compiled ~n ~steps =
-  let run_fun, stats = engine_of ?exec engine compiled in
+let quadrant_state ?exec ?parallel_threshold ?(engine = `Vm) compiled ~n
+    ~steps =
+  let run_fun, stats = engine_of ?exec ?parallel_threshold engine compiled in
   let q0 = run_fun "quadrant_init" [ Sac.Value.Vint n ] in
   let d = 1. /. float_of_int n in
   let result =

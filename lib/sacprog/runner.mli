@@ -22,11 +22,13 @@ val compile_euler_1d : ?options:Sac.Pipeline.options -> unit -> compiled
 (** Parse, type-check, optimise and lower {!Programs.euler_1d}. *)
 
 val sod_state :
-  ?exec:Parallel.Exec.t -> ?engine:engine -> compiled -> nx:int ->
-  steps:int -> Sac.Eval.stats * Tensor.Nd.t
+  ?exec:Parallel.Exec.t -> ?parallel_threshold:int -> ?engine:engine ->
+  compiled -> nx:int -> steps:int -> Sac.Eval.stats * Tensor.Nd.t
 (** Runs the mini-SaC solver [steps] steps on an [nx]-cell Sod tube
     (gamma 1.4, CFL 0.5) and returns the evaluator statistics plus
-    the final [3 x nx] conserved state. *)
+    the final [3 x nx] conserved state.  [parallel_threshold]
+    (default 1024 elements) is the minimum partition size dispatched
+    across lanes when [exec] is given — see {!Sac.Vm.make_ctx}. *)
 
 val native_sod_state : nx:int -> steps:int -> Tensor.Nd.t
 (** The same run through {!Euler.Solver} under
@@ -37,8 +39,8 @@ val compile_euler_2d : ?options:Sac.Pipeline.options -> unit -> compiled
 (** Parse, type-check, optimise and lower {!Programs.euler_2d}. *)
 
 val quadrant_state :
-  ?exec:Parallel.Exec.t -> ?engine:engine -> compiled -> n:int ->
-  steps:int -> Sac.Eval.stats * Tensor.Nd.t
+  ?exec:Parallel.Exec.t -> ?parallel_threshold:int -> ?engine:engine ->
+  compiled -> n:int -> steps:int -> Sac.Eval.stats * Tensor.Nd.t
 (** Runs the mini-SaC 2D solver on an [n x n] quadrant problem and
     returns the statistics plus the final [4 x n x n] conserved
     state. *)

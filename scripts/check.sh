@@ -31,26 +31,55 @@ dune exec bin/eulersim.exe -- sod --nx 32 --steps 5 --backend sacprog \
   >/dev/null || { echo "check.sh: sacprog VM smoke failed" >&2; exit 1; }
 echo "check.sh: sacprog bytecode-VM smoke passed"
 
-smoke_dir="bench_out/smoke"
-dune exec bench/main.exe -- hotpath --quick --out "$smoke_dir"
-json="$smoke_dir/BENCH_hotpath.json"
-if command -v jq >/dev/null 2>&1; then
-  jq -e '
-    .schema == "hotpath-v2"
-    and (.backends | length > 0)
-    and ([.backends[] | select(.name == "sacprog-vm")] | length == 1)
-    and ([.backends[] | select(.name == "sacprog-interp")] | length == 1)
-    and ([.backends[] | select(.name == "reference-sod")] | length == 1)
-    and ([.backends[] | select(.name == "sacprog-vm")
-          | .speedup_vs_interp] | min >= 1)
-    and ([.backends[] | select(.name == "sacprog-vm")
-          | .slowdown_vs_reference_sod] | min > 0)' "$json" \
-    >/dev/null || { echo "check.sh: $json failed validation" >&2; exit 1; }
-else
-  python3 - "$json" <<'EOF'
+# Hotpath artefact validation (hotpath-v3).  The fold section must be
+# present, bitwise-pinned, fully kernelised and faster than the
+# generic (kernels-off) walk; the VM row must beat the interpreter.
+# The <= 1.2x reference-parity floor binds on full-size artefacts
+# (quick grids are overhead-dominated and exempt): a non-quick
+# BENCH_hotpath.json above the floor fails this script with a
+# non-zero exit.  The same predicate runs on the quick smoke here and
+# on bench_out/BENCH_hotpath.json when a full run has left one.
+validate_hotpath() {
+  hp_json="$1"
+  if command -v jq >/dev/null 2>&1; then
+    jq -e '
+      .schema == "hotpath-v3"
+      and .parity_target == 1.2
+      and (.fold
+           | .bitwise_equal == true
+           and .fold_kernel_execs > 0
+           and .fold_kernel_execs == .fold_execs
+           and .par_fold_kernel_execs > 0
+           and .seq_ms_per_call > 0
+           and .kernel_speedup >= 1
+           and .par_lanes >= 2)
+      and (.backends | length > 0)
+      and ([.backends[] | select(.name == "sacprog-vm")] | length == 1)
+      and ([.backends[] | select(.name == "sacprog-interp")] | length == 1)
+      and ([.backends[] | select(.name == "reference-sod")] | length == 1)
+      and ([.backends[] | select(.name == "sacprog-vm")
+            | .speedup_vs_interp] | min >= 1)
+      and ([.backends[] | select(.name == "sacprog-vm")
+            | .slowdown_vs_reference_sod] | min > 0)
+      and (.quick
+           or ([.backends[] | select(.name == "sacprog-vm")
+                | .slowdown_vs_reference_sod] | min) <= .parity_target)' \
+      "$hp_json" >/dev/null \
+      || { echo "check.sh: $hp_json failed validation" >&2; exit 1; }
+  else
+    python3 - "$hp_json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "hotpath-v2", "bad schema"
+assert d["schema"] == "hotpath-v3", "bad schema"
+assert d["parity_target"] == 1.2, "bad parity target"
+fold = d["fold"]
+assert fold["bitwise_equal"] is True, "fold paths diverged"
+assert fold["fold_kernel_execs"] > 0, "no fold kernels"
+assert fold["fold_kernel_execs"] == fold["fold_execs"], "folds not kernelised"
+assert fold["par_fold_kernel_execs"] > 0, "no parallel fold kernels"
+assert fold["seq_ms_per_call"] > 0, "bad fold timing"
+assert fold["kernel_speedup"] >= 1, "fold kernel slower than generic walk"
+assert fold["par_lanes"] >= 2, "parallel fold not measured"
 assert len(d["backends"]) > 0, "no backend rows"
 rows = {r["name"]: r for r in d["backends"]}
 for name in ("sacprog-vm", "sacprog-interp", "reference-sod"):
@@ -58,9 +87,31 @@ for name in ("sacprog-vm", "sacprog-interp", "reference-sod"):
 vm = rows["sacprog-vm"]
 assert vm["speedup_vs_interp"] >= 1, "VM slower than the interpreter"
 assert vm["slowdown_vs_reference_sod"] > 0, "bad reference ratio"
+if not d["quick"]:
+    assert vm["slowdown_vs_reference_sod"] <= d["parity_target"], (
+        "VM misses the %.1fx reference-parity floor: %.3fx"
+        % (d["parity_target"], vm["slowdown_vs_reference_sod"]))
 EOF
+  fi
+  echo "check.sh: $hp_json validated"
+}
+
+smoke_dir="bench_out/smoke"
+dune exec bench/main.exe -- hotpath --quick --out "$smoke_dir"
+json="$smoke_dir/BENCH_hotpath.json"
+validate_hotpath "$json"
+if [ -f bench_out/BENCH_hotpath.json ]; then
+  validate_hotpath bench_out/BENCH_hotpath.json
 fi
-echo "check.sh: $json validated"
+
+# A 2-lane VM run through the CLI: the sacprog backend must accept a
+# parallel scheduler and a lowered parallel threshold together (the
+# with-loops on this grid only cross the default 1024-element cut
+# when --par-threshold drags it down).
+dune exec bin/eulersim.exe -- sod --nx 32 --steps 5 --backend sacprog \
+  --sched spmd --lanes 2 --par-threshold 16 >/dev/null \
+  || { echo "check.sh: 2-lane sacprog VM smoke failed" >&2; exit 1; }
+echo "check.sh: 2-lane sacprog VM smoke passed"
 
 # Scaling smoke: 2 lanes is enough to prove the sweep covers every
 # scheduler at every lane count with both the fused and the unfused

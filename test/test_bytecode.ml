@@ -1,9 +1,11 @@
 (* Tests for the bytecode stage: golden disassembly listings pinning
-   the [Bytecode.pp] format, a differential suite running every
-   shipped program through the tree-walking interpreter and the VM
-   (kernels on, kernels off, parallel) asserting bitwise-identical
-   values and statistics, and error-message parity between the two
-   engines. *)
+   the [Bytecode.pp] format (blessed from files, never hand-edited), a
+   differential suite running every shipped program through the
+   tree-walking interpreter and the VM (kernels on, kernels off,
+   1-lane, N-lane) asserting bitwise-identical values and statistics,
+   adversarial fold bodies pinning the parallel fold-kernel path, a
+   superinstruction on/off parity check, and error-message parity
+   between the engines. *)
 
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -21,177 +23,41 @@ let compile ?(options = Sac.Pipeline.default_options) src =
 (* Golden disassembly listings                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Compiled at -O0 so the listing pins the translation, not the
-   optimiser.  Covers the scalar opcodes: constants, loads/stores,
-   jumps (for/if), static and builtin calls. *)
-let golden_scalar_src =
-  {|double sq(double x) { return (x * x); }
-double f(double a, int n) {
-  s = 0.0;
-  for (i = 0; i < n; i = i + 1) {
-    s = s + sq(a);
-  }
-  if (s > 2.0) { s = s - 1.0; } else { s = min(s, a); }
-  return (sqrt(s));
-}
-|}
+(* The sources and their blessed -O0 listings live under
+   test/golden/bytecode/ as NAME.sac / NAME.lst pairs.  When a change
+   is supposed to move the encoding (a new opcode, a peephole pass),
+   regenerate the listings with scripts/bless_bytecode.sh and commit
+   the .lst diff with the change — never edit a .lst by hand.
+   Compiled at -O0 so the listing pins the translation (including
+   superinstruction fusion, which stays on at -O0), not the
+   optimiser. *)
 
-let golden_scalar_listing =
-  {|== constants ==
-  c0 = 0
-  c1 = 0
-  c2 = 1
-  c3 = 2
-  c4 = 1
-== functions ==
-fun sq/1 (slots 1, stack 2):
-    0: load 0
-    1: load 0
-    2: bin *
-    3: ret
-    4: noret
-fun f/2 (slots 4, stack 2):
-    0: const 0 (0)
-    1: store 2
-    2: const 1 (0)
-    3: store 3
-    4: load 3
-    5: load 1
-    6: bin <
-    7: jfalse 18
-    8: load 2
-    9: load 0
-   10: call sq/1
-   11: bin +
-   12: store 2
-   13: load 3
-   14: const 2 (1)
-   15: bin +
-   16: store 3
-   17: jmp 4
-   18: load 2
-   19: const 3 (2)
-   20: bin >
-   21: jfalse 27
-   22: load 2
-   23: const 4 (1)
-   24: bin -
-   25: store 2
-   26: jmp 31
-   27: load 2
-   28: load 0
-   29: builtin min/2
-   30: store 2
-   31: load 2
-   32: builtin sqrt/1
-   33: ret
-   34: noret
-== with-loops ==
-|}
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Covers the with-loop descriptors: genarray and fold forms, capture
-   lists, standalone body listings. *)
-let golden_with_src =
-  {|double[.] scale(double[.] v, double k) {
-  return (with { ([0] <= iv < shape(v)) : v[iv] * k; } : genarray(shape(v), 0.0));
-}
-double total(double[.] v) {
-  return (with { ([0] <= iv < shape(v)) : v[iv]; } : fold(+, 0.0));
-}
-|}
+let golden_src name = read_file ("golden/bytecode/" ^ name ^ ".sac")
+let golden_listing name = read_file ("golden/bytecode/" ^ name ^ ".lst")
 
-let golden_with_listing =
-  {|== constants ==
-  c0 = 0
-  c1 = 0
-== functions ==
-fun scale/2 (slots 2, stack 4):
-    0: const 0 (0)
-    1: vec 1
-    2: load 0
-    3: builtin shape/1
-    4: load 0
-    5: builtin shape/1
-    6: const 1 (0)
-    7: with w0
-    8: ret
-    9: noret
-fun total/1 (slots 1, stack 3):
-    0: const 0 (0)
-    1: vec 1
-    2: load 0
-    3: builtin shape/1
-    4: const 1 (0)
-    5: with w1
-    6: ret
-    7: noret
-== with-loops ==
-with w0 in scale: genarray, ivar iv, captures [v, k] (slots 3, stack 2):
-    0: load 1
-    1: load 0
-    2: index
-    3: load 2
-    4: bin *
-    5: ret
-with w1 in total: fold(+), ivar iv, captures [v] (slots 2, stack 2):
-    0: load 1
-    1: load 0
-    2: index
-    3: ret
-|}
-
-(* Covers dynamic dispatch of overloaded calls and the short-circuit
-   jumps. *)
-let golden_overload_src =
-  {|double g(double x) { return (x + 1.0); }
-double g(double x, double y) { return (x * y); }
-bool h(bool a, bool b, double x) { return (a && (g(x) > 0.0 || b)); }
-|}
-
-let golden_overload_listing =
-  {|== constants ==
-  c0 = 1
-  c1 = 0
-== functions ==
-fun g/1 (slots 1, stack 2):
-    0: load 0
-    1: const 0 (1)
-    2: bin +
-    3: ret
-    4: noret
-fun g/2 (slots 2, stack 2):
-    0: load 0
-    1: load 1
-    2: bin *
-    3: ret
-    4: noret
-fun h/3 (slots 3, stack 3):
-    0: load 0
-    1: and 10
-    2: load 2
-    3: dyncall g/1
-    4: const 1 (0)
-    5: bin >
-    6: or 9
-    7: load 1
-    8: bin ||
-    9: bin &&
-   10: ret
-   11: noret
-== with-loops ==
-|}
-
-let golden_cases =
-  [ ("scalar", golden_scalar_src, golden_scalar_listing);
-    ("with-loops", golden_with_src, golden_with_listing);
-    ("overloads", golden_overload_src, golden_overload_listing) ]
+(* scalar: constants, loads/stores, jumps (for/if), static and builtin
+   calls, llbin/lcbin superinstructions with remapped jump targets.
+   with-loops: genarray and fold descriptors, capture lists.
+   overloads: dynamic dispatch and short-circuit jumps (whose targets
+   block fusion). *)
+let golden_names = [ "scalar"; "with-loops"; "overloads" ]
 
 let test_golden_listings () =
   List.iter
-    (fun (label, src, expected) ->
-      let _, bc, _ = compile ~options:Sac.Pipeline.o0 src in
-      check_string label expected (Sac.Bytecode.to_string bc))
-    golden_cases
+    (fun name ->
+      let _, bc, _ = compile ~options:Sac.Pipeline.o0 (golden_src name) in
+      check_string
+        (name ^ " (re-bless with scripts/bless_bytecode.sh if the \
+                 encoding intentionally moved)")
+        (golden_listing name)
+        (Sac.Bytecode.to_string bc))
+    golden_names
 
 let test_report_summary () =
   let _, bc, report = compile Sacprog.Programs.euler_1d in
@@ -205,6 +71,25 @@ let test_report_summary () =
   check_int "n_consts" (Array.length bc.Sac.Bytecode.consts)
     s.Sac.Bytecode.n_consts;
   Alcotest.(check bool) "has instructions" true (s.Sac.Bytecode.n_instrs > 0)
+
+(* The peephole must actually shrink the stream it claims to fuse. *)
+let test_fusion_shrinks () =
+  let instrs options src =
+    let _, _, report = compile ~options src in
+    match report.Sac.Pipeline.bytecode with
+    | Some s -> s.Sac.Bytecode.n_instrs
+    | None -> Alcotest.fail "no bytecode summary"
+  in
+  let src = golden_src "scalar" in
+  let fused = instrs Sac.Pipeline.o0 src in
+  let flat =
+    instrs
+      { Sac.Pipeline.o0 with Sac.Pipeline.do_superinstructions = false }
+      src
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused (%d) < unfused (%d)" fused flat)
+    true (fused < flat)
 
 (* ------------------------------------------------------------------ *)
 (* Differential suite: interpreter vs VM                               *)
@@ -226,12 +111,16 @@ let run_seq runner seq =
   in
   Option.get last
 
-type engine = Interp | Vm | Vm_generic | Vm_parallel
+(* Vm_lane1 pins the degenerate pool: a 1-lane SPMD executor with a
+   tiny threshold takes the parallel dispatch path but reduces a
+   single lane slot.  Vm_parallel is the real N-lane path. *)
+type engine = Interp | Vm | Vm_generic | Vm_lane1 | Vm_parallel
 
 let engine_label = function
   | Interp -> "interp"
   | Vm -> "vm"
   | Vm_generic -> "vm-generic"
+  | Vm_lane1 -> "vm-1lane"
   | Vm_parallel -> "vm-parallel"
 
 let run_engine engine prog bc seq =
@@ -248,6 +137,13 @@ let run_engine engine prog bc seq =
     let ctx = Sac.Vm.make_ctx ~kernels:false bc in
     let r = run_seq (Sac.Vm.run_fun ctx) seq in
     (r, Sac.Vm.stats ctx)
+  | Vm_lane1 ->
+    let exec = Parallel.Exec.spmd ~lanes:1 in
+    let ctx = Sac.Vm.make_ctx ~exec ~parallel_threshold:4 bc in
+    let r = run_seq (Sac.Vm.run_fun ctx) seq in
+    let s = Sac.Vm.stats ctx in
+    Parallel.Exec.shutdown exec;
+    (r, s)
   | Vm_parallel ->
     let exec = Parallel.Exec.spmd ~lanes:4 in
     let ctx = Sac.Vm.make_ctx ~exec ~parallel_threshold:4 bc in
@@ -255,6 +151,8 @@ let run_engine engine prog bc seq =
     let s = Sac.Vm.stats ctx in
     Parallel.Exec.shutdown exec;
     (r, s)
+
+let vm_engines = [ Vm; Vm_generic; Vm_lane1; Vm_parallel ]
 
 let tbl_sorted t =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
@@ -271,7 +169,11 @@ let check_stats label (a : Sac.Eval.stats) (b : Sac.Eval.stats) =
   Alcotest.(check (list (pair string int)))
     (label ^ ": with_execs")
     (tbl_sorted a.Sac.Eval.with_execs)
-    (tbl_sorted b.Sac.Eval.with_execs)
+    (tbl_sorted b.Sac.Eval.with_execs);
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": fold_execs")
+    (tbl_sorted a.Sac.Eval.fold_execs)
+    (tbl_sorted b.Sac.Eval.fold_execs)
 
 (* Every shipped program, with entry calls small enough for a quick
    run, plus targeted sources exercising semantics the solvers don't:
@@ -301,7 +203,7 @@ let differential_cases =
       Sacprog.Programs.poisson_1d,
       [ ("poisson1d", [ V (darr [ 1.; 2.; 3.; 4.; 5. ]); V (vd 0.1) ]) ] );
     ( "overloads",
-      golden_overload_src,
+      golden_src "overloads",
       [ ("h", [ V (Sac.Value.Vbool true); V (Sac.Value.Vbool false);
                 V (vd 2.0) ]) ] );
     ( "int-fold",
@@ -328,6 +230,50 @@ let differential_cases =
        sum(sqrt(fabs(v)))); }",
       [ ("f", [ V (darr [ -4.; 9.; -16. ]) ]) ] ) ]
 
+(* Adversarial fold bodies, sized past the test threshold (4) and the
+   production default (1024) so the parallel engines genuinely
+   dispatch them.  Sum stays lane-ordered-sequential (non-associative
+   float addition), max/min take the parallel kernel path, the empty
+   range must yield the init everywhere, the neutral-only case checks
+   the per-lane init seeding is absorbed by idempotence, and rank-2
+   exercises the odometer/column path under lane partitioning. *)
+let fold_cases =
+  [ ( "fold-nonassoc-sum",
+      "double f(int n) { return (with { ([0] <= iv < [n]) : 1.0 / (1.0 * \
+       iv[0] + 1.0); } : fold(+, 0.0)); }",
+      [ ("f", [ V (vi 3000) ]) ] );
+    ( "fold-max-parallel",
+      "double f(int n) { return (with { ([0] <= iv < [n]) : fabs(1.0 * \
+       iv[0] - 1999.5); } : fold(max, 0.0)); }",
+      [ ("f", [ V (vi 4000) ]) ] );
+    ( "fold-min-parallel",
+      "double f(int n) { return (with { ([0] <= iv < [n]) : fabs(1.0 * \
+       iv[0] - 1999.5); } : fold(min, 1000000.0)); }",
+      [ ("f", [ V (vi 4000) ]) ] );
+    ( "fold-empty-range",
+      "double f(int n) { return (with { ([n] <= iv < [n]) : 1.0 * iv[0]; \
+       } : fold(max, 3.5)); }",
+      [ ("f", [ V (vi 7) ]) ] );
+    ( "fold-neutral-only",
+      (* init dominates every element: the parallel reduction seeds
+         every lane slot with init, which max absorbs. *)
+      "double f(int n) { return (with { ([0] <= iv < [n]) : 0.0 - \
+       1000000000.0; } : fold(max, 1000000000.0)); }",
+      [ ("f", [ V (vi 64) ]) ] );
+    ( "fold-rank2",
+      "double f(int n) { return (with { ([0,0] <= iv < [n,n]) : fabs(1.0 \
+       * (iv[0] * 7 - iv[1] * 3)); } : fold(max, 0.0)); }",
+      [ ("f", [ V (vi 80) ]) ] );
+    ( "fold-generic-body",
+      (* a user call the specialiser cannot thread at -O0: the generic
+         body must still agree (at default options inlining usually
+         recovers the kernel — both must match the interpreter). *)
+      "double g(double x) { return (x * 2.0); } double f(int n) { return \
+       (with { ([0] <= iv < [n]) : g(1.0 * iv[0]); } : fold(max, 0.0)); }",
+      [ ("f", [ V (vi 2000) ]) ] ) ]
+
+let all_cases = differential_cases @ fold_cases
+
 let test_differential () =
   List.iter
     (fun (label, src, seq) ->
@@ -339,8 +285,8 @@ let test_differential () =
           let l = label ^ "/" ^ engine_label e in
           Alcotest.check value_testable l r0 r;
           check_stats l s0 s)
-        [ Vm; Vm_generic; Vm_parallel ])
-    differential_cases
+        vm_engines)
+    all_cases
 
 (* -O0 bytecode must agree too: the optimiser rewrites many forms the
    lowering otherwise sees (no folding, no unrolling). *)
@@ -351,7 +297,48 @@ let test_differential_o0 () =
       let r0, _ = run_engine Interp prog bc seq in
       let r1, _ = run_engine Vm prog bc seq in
       Alcotest.check value_testable (label ^ "/O0") r0 r1)
-    differential_cases
+    all_cases
+
+(* Superinstructions are an encoding detail: values AND the observable
+   statistics (per-function call counts, with-loop and fold execution
+   counts) must be identical with fusion on and off, and both must
+   match the interpreter. *)
+let test_superinstructions_transparent () =
+  let off =
+    { Sac.Pipeline.default_options with
+      Sac.Pipeline.do_superinstructions = false }
+  in
+  List.iter
+    (fun (label, src, seq) ->
+      let prog, bc_on, _ = compile src in
+      let _, bc_off, _ = compile ~options:off src in
+      let r0, s0 = run_engine Interp prog bc_on seq in
+      let r_on, s_on = run_engine Vm prog bc_on seq in
+      let r_off, s_off = run_engine Vm prog bc_off seq in
+      Alcotest.check value_testable (label ^ "/fused") r0 r_on;
+      Alcotest.check value_testable (label ^ "/unfused") r0 r_off;
+      check_stats (label ^ "/fused") s0 s_on;
+      check_stats (label ^ "/unfused") s0 s_off)
+    all_cases
+
+(* Every fold in euler_1d (the CFL reduction) is specialisable, so the
+   VM must take the fold-kernel path for each execution. *)
+let test_fold_kernel_counter () =
+  let _, bc, _ = compile Sacprog.Programs.euler_1d in
+  let ctx = Sac.Vm.make_ctx bc in
+  let _ =
+    run_seq (Sac.Vm.run_fun ctx)
+      [ ("sod_init", [ V (vi 32) ]);
+        ( "run",
+          [ Prev; V (vi 5); V (vd 1.4); V (vd (1. /. 32.)); V (vd 0.5) ] ) ]
+  in
+  let s = Sac.Vm.stats ctx in
+  let folds =
+    Hashtbl.fold (fun _ n acc -> acc + n) s.Sac.Eval.fold_execs 0
+  in
+  Alcotest.(check bool) "folds executed" true (folds > 0);
+  check_int "every fold took the kernel path" folds
+    (Sac.Vm.fold_kernel_execs ctx)
 
 (* ------------------------------------------------------------------ *)
 (* Error-message parity                                                *)
@@ -385,6 +372,16 @@ let error_cases =
        (5 / (iv[0] - iv[0])); } : genarray([n], 0.0)); }",
       "f",
       [ vi 4 ] );
+    ( "fold-div-by-zero",
+      "double f(int n) { return (with { ([0] <= iv < [n]) : 1.0 * (5 / \
+       (iv[0] - iv[0])); } : fold(max, 0.0)); }",
+      "f",
+      [ vi 64 ] );
+    ( "fold-oob",
+      "double f(double[.] v, int n) { return (with { ([0] <= iv < [n]) \
+       : v[iv[0] + 100]; } : fold(+, 0.0)); }",
+      "f",
+      [ darr [ 1.; 2.; 3. ]; vi 8 ] );
     ( "unknown-function",
       "double f(double x) { return (x); }",
       "nope",
@@ -409,6 +406,28 @@ let test_error_parity () =
       Alcotest.(check bool) (label ^ " errors") true (interp <> "ok"))
     error_cases
 
+(* The parallel fold path must park and re-raise a lane's exception
+   with the same outcome as a sequential run.  Only the
+   division-by-zero body is pinned here: every element raises the same
+   exception, so which lane parks first cannot change the message. *)
+let test_error_parity_parallel_fold () =
+  let label, src, name, args =
+    List.find (fun (l, _, _, _) -> l = "fold-div-by-zero") error_cases
+  in
+  let prog, bc, _ = compile src in
+  let interp =
+    outcome_of (fun () -> Sac.Eval.run_fun (Sac.Eval.make_ctx prog) name args)
+  in
+  let exec = Parallel.Exec.spmd ~lanes:4 in
+  let vm =
+    outcome_of (fun () ->
+        Sac.Vm.run_fun
+          (Sac.Vm.make_ctx ~exec ~parallel_threshold:4 bc)
+          name args)
+  in
+  Parallel.Exec.shutdown exec;
+  check_string (label ^ "/parallel") interp vm
+
 (* ------------------------------------------------------------------ *)
 (* Runner / backend plumbing                                           *)
 (* ------------------------------------------------------------------ *)
@@ -423,14 +442,38 @@ let test_runner_engines_agree () =
     "sod VM = interpreter (bitwise)" 0.
     (Sacprog.Runner.max_abs_diff q_vm q_in)
 
+(* A tiny threshold must not move the numerics: the runner option only
+   changes which execution strategy computes the same bits. *)
+let test_runner_par_threshold () =
+  let compiled = Sacprog.Runner.compile_euler_1d () in
+  let _, q_default = Sacprog.Runner.sod_state compiled ~nx:24 ~steps:4 in
+  let exec = Parallel.Exec.spmd ~lanes:3 in
+  let _, q_low =
+    Sacprog.Runner.sod_state ~exec ~parallel_threshold:2 compiled ~nx:24
+      ~steps:4
+  in
+  Parallel.Exec.shutdown exec;
+  Alcotest.(check (float 0.))
+    "sod par-threshold 2 = default (bitwise)" 0.
+    (Sacprog.Runner.max_abs_diff q_default q_low)
+
 let () =
   Alcotest.run "bytecode"
     [ ( "disassembly",
         [ Alcotest.test_case "golden listings" `Quick test_golden_listings;
-          Alcotest.test_case "report summary" `Quick test_report_summary ] );
+          Alcotest.test_case "report summary" `Quick test_report_summary;
+          Alcotest.test_case "fusion shrinks" `Quick test_fusion_shrinks ] );
       ( "differential",
         [ Alcotest.test_case "interpreter vs VM" `Quick test_differential;
           Alcotest.test_case "at -O0" `Quick test_differential_o0;
+          Alcotest.test_case "superinstructions transparent" `Quick
+            test_superinstructions_transparent;
+          Alcotest.test_case "fold kernel counter" `Quick
+            test_fold_kernel_counter;
           Alcotest.test_case "error parity" `Quick test_error_parity;
+          Alcotest.test_case "parallel fold error parity" `Quick
+            test_error_parity_parallel_fold;
           Alcotest.test_case "runner engines" `Quick
-            test_runner_engines_agree ] ) ]
+            test_runner_engines_agree;
+          Alcotest.test_case "runner par-threshold" `Quick
+            test_runner_par_threshold ] ) ]
