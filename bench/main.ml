@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- everything, scaled sizes
      dune exec bench/main.exe -- fig1    -- one experiment
      experiments: fig1 fig3 fig4 fig4-large table-flags micro hotpath
-                  scaling checkpoint tiling
+                  scaling checkpoint tiling convergence fleet
      options: --quick (smaller grids), --out DIR (artefact directory),
               --lanes N|auto (lane sweep ceiling for scaling)
 
@@ -1320,6 +1320,215 @@ let convergence () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: multi-run job engine throughput (BENCH_fleet.json)           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf p =
+  match Sys.is_directory p with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+    Sys.rmdir p
+  | false -> Sys.remove p
+  | exception Sys_error _ -> ()
+
+(* A >= 20-job mixed batch: eighteen 1D tubes across three submitters
+   and three priorities, two sacprog tubes, two WENO3+HLLC override
+   tubes, and two 2D quadrant fields (one tiled 2x2) that run in the
+   large-job path. *)
+let fleet_jobs () =
+  let small_steps = if !quick then 12 else 60 in
+  let small_nx = if !quick then 32 else 64 in
+  let quad_nx = if !quick then 16 else 32 in
+  let quad_steps = if !quick then 6 else 12 in
+  let tubes =
+    List.init 18 (fun i ->
+        Fleet.Job.make
+          ~id:(Printf.sprintf "tube-%02d" i)
+          ~submitter:[| "alice"; "bob"; "carol" |].(i / 6)
+          ~priority:[| 0; 3; 7 |].(i mod 3)
+          ~scenario:[| "sod"; "lax"; "123" |].(i mod 3)
+          ~nx:small_nx
+          (Fleet.Job.Steps small_steps))
+  in
+  let sacs =
+    List.init 2 (fun i ->
+        Fleet.Job.make
+          ~id:(Printf.sprintf "sac-%d" i)
+          ~submitter:"alice" ~backend:"sacprog" ~scenario:"sod" ~nx:small_nx
+          (Fleet.Job.Steps small_steps))
+  in
+  let wenos =
+    List.init 2 (fun i ->
+        Fleet.Job.make
+          ~id:(Printf.sprintf "weno-%d" i)
+          ~submitter:"bob" ~priority:5 ~scenario:"sod" ~nx:small_nx
+          ~recon:Euler.Recon.Weno3 ~riemann:Euler.Riemann.Hllc
+          (Fleet.Job.Steps small_steps))
+  in
+  let quads =
+    List.init 2 (fun i ->
+        Fleet.Job.make
+          ~id:(Printf.sprintf "quad-%d" i)
+          ~submitter:"carol" ~scenario:"quadrant" ~nx:quad_nx
+          ~tiles:(if i = 0 then (2, 2) else (1, 1))
+          (Fleet.Job.Steps quad_steps))
+  in
+  (tubes @ sacs @ wenos @ quads, small_steps)
+
+let fleet_floor = 2.0
+
+let fleet_exp () =
+  header "Fleet -- multi-run job engine (fair-share batching + preemption)";
+  ensure_out ();
+  let lanes = max 2 (max_lanes ()) in
+  let jobs, small_steps = fleet_jobs () in
+  (* Tubes batch; the quadrant fields exceed the threshold and run the
+     large-job path, alone on the shared exec. *)
+  let small_cells = 128 in
+  let slice = max 1 (small_steps * 2 / 3) in
+  let ckpt_root = path "fleet_ckpt" in
+  rm_rf ckpt_root;
+  (* Fleet: jobs packed onto the shared lanes, one dispatch per slice
+     of a whole batch, preempting and resuming through checkpoints. *)
+  let fleet_exec = Parallel.Exec.spmd ~lanes in
+  let cfg =
+    Fleet.Scheduler.config ~exec:fleet_exec ~slice_steps:slice ~small_cells
+      ~batch_max:16 ~ckpt_root ()
+  in
+  let q = Fleet.Queue.create () in
+  List.iter (Fleet.Queue.submit q) jobs;
+  let outcomes, fleet_wall =
+    time_it (fun () -> Fleet.Scheduler.drain cfg q)
+  in
+  Parallel.Exec.shutdown fleet_exec;
+  let tel = Fleet.Telemetry.of_outcomes ~wall_s:fleet_wall outcomes in
+  (* Serial baseline, same lane budget: one job at a time, each solve
+     given the whole machine (domain decomposition inside the solver —
+     the strategy the fleet replaces), no checkpoint overhead. *)
+  let serial_exec = Parallel.Exec.spmd ~lanes in
+  let serial_updates = ref 0. in
+  let (), serial_wall =
+    time_it (fun () ->
+        List.iter
+          (fun (job : Fleet.Job.t) ->
+            let inst =
+              Engine.Registry.create ~exec:serial_exec
+                ~config:(Fleet.Job.config job) job.Fleet.Job.backend
+                (Fleet.Job.problem job)
+            in
+            let steps =
+              match job.Fleet.Job.target with
+              | Fleet.Job.Steps n -> n
+              | Fleet.Job.Until _ -> 0
+            in
+            let m = Engine.Run.run_steps inst steps in
+            serial_updates :=
+              !serial_updates
+              +. float_of_int (m.Engine.Metrics.steps * m.Engine.Metrics.cells))
+          jobs)
+  in
+  Parallel.Exec.shutdown serial_exec;
+  let serial_agg =
+    if serial_wall > 0. then !serial_updates /. serial_wall else 0.
+  in
+  let speedup =
+    if serial_agg > 0. then tel.Fleet.Telemetry.agg_cells_per_s /. serial_agg
+    else 0.
+  in
+  let small_jobs, large_jobs =
+    List.partition (fun j -> Fleet.Job.est_cells j <= small_cells) jobs
+  in
+  Printf.printf
+    "%d jobs (%d small batched, %d large) on %d lanes, slice %d steps\n"
+    (List.length jobs) (List.length small_jobs) (List.length large_jobs)
+    lanes slice;
+  Printf.printf "%-10s %-7s %3s %9s %6s %6s %10s %8s %6s\n" "job" "owner"
+    "pri" "backend" "cells" "steps" "ms/step" "preempt" "status";
+  List.iter
+    (fun (o : Fleet.Scheduler.outcome) ->
+      let j = o.Fleet.Scheduler.job in
+      Printf.printf "%-10s %-7s %3d %9s %6d %6d %10.4f %8d %6s\n"
+        j.Fleet.Job.id j.Fleet.Job.submitter j.Fleet.Job.priority
+        j.Fleet.Job.backend o.Fleet.Scheduler.cells o.Fleet.Scheduler.steps
+        (Fleet.Scheduler.ms_per_step o)
+        o.Fleet.Scheduler.preemptions
+        (match o.Fleet.Scheduler.status with
+         | Fleet.Scheduler.Done -> "done"
+         | Fleet.Scheduler.Failed _ -> "FAILED"))
+    outcomes;
+  print_endline (Fleet.Telemetry.to_string tel);
+  Printf.printf
+    "serial baseline: %.3f s, %.4g cells/s aggregate -> fleet speedup %.2fx \
+     (floor %.1fx)\n"
+    serial_wall serial_agg speedup fleet_floor;
+  let oc = open_out (path "BENCH_fleet.json") in
+  Printf.fprintf oc "{\n  \"schema\": \"fleet-v1\",\n  \"quick\": %b,\n"
+    !quick;
+  Printf.fprintf oc
+    "  \"lanes\": %d,\n  \"slice_steps\": %d,\n  \"small_cells\": %d,\n\
+    \  \"batch_max\": %d,\n"
+    lanes slice small_cells 16;
+  Printf.fprintf oc
+    "  \"jobs\": %d,\n  \"small_jobs\": %d,\n  \"large_jobs\": %d,\n\
+    \  \"completed\": %d,\n  \"failed\": %d,\n  \"preemptions\": %d,\n\
+    \  \"resumes\": %d,\n"
+    tel.Fleet.Telemetry.jobs (List.length small_jobs)
+    (List.length large_jobs) tel.Fleet.Telemetry.completed
+    tel.Fleet.Telemetry.failed tel.Fleet.Telemetry.preemptions
+    tel.Fleet.Telemetry.resumes;
+  Printf.fprintf oc
+    "  \"fleet\": { \"wall_s\": %.6f, \"jobs_per_s\": %.4f, \
+     \"agg_cells_per_s\": %.1f, \"p50_ms_per_step\": %.6f, \
+     \"p99_ms_per_step\": %.6f, \"p50_wall_s\": %.6f, \"p99_wall_s\": %.6f \
+     },\n"
+    tel.Fleet.Telemetry.wall_s tel.Fleet.Telemetry.jobs_per_s
+    tel.Fleet.Telemetry.agg_cells_per_s tel.Fleet.Telemetry.p50_ms_per_step
+    tel.Fleet.Telemetry.p99_ms_per_step tel.Fleet.Telemetry.p50_wall_s
+    tel.Fleet.Telemetry.p99_wall_s;
+  Printf.fprintf oc
+    "  \"serial\": { \"wall_s\": %.6f, \"agg_cells_per_s\": %.1f, \"note\": \
+     \"one job at a time, each given the whole lane budget (domain \
+     decomposition inside the solve), no checkpointing\" },\n"
+    serial_wall serial_agg;
+  Printf.fprintf oc
+    "  \"speedup\": %.4f,\n  \"speedup_floor\": %.1f,\n  \"rows\": [\n"
+    speedup fleet_floor;
+  List.iteri
+    (fun i (o : Fleet.Scheduler.outcome) ->
+      let j = o.Fleet.Scheduler.job in
+      Printf.fprintf oc
+        "    { \"id\": \"%s\", \"submitter\": \"%s\", \"priority\": %d, \
+         \"backend\": \"%s\", \"scenario\": \"%s\", \"cells\": %d, \
+         \"steps\": %d, \"steps_run\": %d, \"ms_per_step\": %.6f, \
+         \"preemptions\": %d, \"resumes\": %d, \"status\": \"%s\" }%s\n"
+        j.Fleet.Job.id j.Fleet.Job.submitter j.Fleet.Job.priority
+        j.Fleet.Job.backend j.Fleet.Job.scenario o.Fleet.Scheduler.cells
+        o.Fleet.Scheduler.steps o.Fleet.Scheduler.steps_run
+        (Fleet.Scheduler.ms_per_step o)
+        o.Fleet.Scheduler.preemptions o.Fleet.Scheduler.resumes
+        (match o.Fleet.Scheduler.status with
+         | Fleet.Scheduler.Done -> "done"
+         | Fleet.Scheduler.Failed msg -> "failed: " ^ String.escaped msg)
+        (if i = List.length outcomes - 1 then "" else ","))
+    outcomes;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" (path "BENCH_fleet.json");
+  if tel.Fleet.Telemetry.failed > 0 then begin
+    Printf.eprintf "fleet: %d job(s) failed\n" tel.Fleet.Telemetry.failed;
+    exit 1
+  end;
+  if tel.Fleet.Telemetry.preemptions = 0 then begin
+    Printf.eprintf "fleet: expected preemptions, saw none\n";
+    exit 1
+  end;
+  if speedup < fleet_floor then begin
+    Printf.eprintf "fleet: speedup %.2fx is below the %.1fx floor\n" speedup
+      fleet_floor;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1);
@@ -1332,7 +1541,8 @@ let experiments =
     ("scaling", scaling);
     ("checkpoint", checkpoint);
     ("tiling", tiling);
-    ("convergence", convergence) ]
+    ("convergence", convergence);
+    ("fleet", fleet_exp) ]
 
 let () =
   let chosen = ref [] in

@@ -171,7 +171,13 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
                 ?par_threshold:par_threshold ~fused:(not unfused) ~tiles ~dir
                 prob
             with
-            | None -> fail ("no intact checkpoint found in " ^ dir)
+            | None ->
+              (* Show what WAS there and why each file was rejected,
+                 so a torn autosave or a typo'd directory is
+                 diagnosable from the message alone. *)
+              fail
+                (Printf.sprintf "no intact checkpoint found in %s\n%s" dir
+                   (Persist.Checkpoint.report dir))
             | Some (path, inst) -> (path, inst)))
         | path ->
           ( path,
@@ -264,7 +270,104 @@ let run problem nx ms recon riemann rk cfl unfused tiles steps t_end backend
    | None -> ());
   Parallel.Exec.shutdown exec
 
-let cmd =
+(* eulersim serve: the fleet front-end.  Jobs arrive as files in
+   INBOX/inbox, results leave as files in INBOX/done; scheduling,
+   batching and preemption live in Fleet.Scheduler. *)
+let serve inbox_dir scheduler lanes slice small_cells batch_max retain poll_s
+    drain quiet =
+  let exec =
+    match scheduler with
+    | `Seq -> Parallel.Exec.sequential ()
+    | `Spmd -> Parallel.Exec.spmd ~lanes
+    | `Fork_join -> Parallel.Exec.fork_join ~lanes
+  in
+  let fail msg =
+    Parallel.Exec.shutdown exec;
+    Printf.eprintf "eulersim serve: %s\n" msg;
+    exit 2
+  in
+  let inbox = Fleet.Inbox.make inbox_dir in
+  let sched =
+    try
+      Fleet.Scheduler.config ~exec ~slice_steps:slice ~small_cells ~batch_max
+        ~retain
+        ~ckpt_root:(Fleet.Inbox.ckpt_root inbox)
+        ()
+    with Invalid_argument msg -> fail msg
+  in
+  let log = if quiet then fun _ -> () else print_endline in
+  Printf.printf "serving %s: %s, slice %d steps, batch <= %d, %s\n%!"
+    inbox_dir
+    (Parallel.Exec.describe exec)
+    slice batch_max
+    (if drain then "drain mode (exit when empty)"
+     else Printf.sprintf "polling every %g s" poll_s);
+  let t =
+    try Fleet.Serve.run inbox (Fleet.Serve.config ~poll_s ~drain ~log sched)
+    with Invalid_argument msg -> fail msg
+  in
+  Parallel.Exec.shutdown exec;
+  if quiet then print_endline (Fleet.Telemetry.to_string t);
+  if t.Fleet.Telemetry.failed > 0 then exit 1
+
+let serve_cmd =
+  let inbox_dir =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"INBOX"
+             ~doc:"inbox root directory (created if missing); job files go \
+                   to $(docv)/inbox, results appear in $(docv)/done")
+  and scheduler =
+    Arg.(value & opt scheduler_conv `Seq
+         & info [ "sched" ] ~doc:"scheduler: seq, spmd or forkjoin")
+  and lanes =
+    Arg.(value & opt lanes_conv 2
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"parallel lanes, or $(b,auto)")
+  and slice =
+    Arg.(value & opt int 50
+         & info [ "slice" ] ~docv:"STEPS"
+             ~doc:"steps per scheduling slice; every unfinished job \
+                   checkpoints and requeues at each slice boundary, so \
+                   this is both the preemption grain and the crash-loss \
+                   bound")
+  and small_cells =
+    Arg.(value & opt int 4096
+         & info [ "small-cells" ] ~docv:"CELLS"
+             ~doc:"jobs at most this many interior cells are batched \
+                   many-per-dispatch; larger ones run alone on all lanes")
+  and batch_max =
+    Arg.(value & opt int 16
+         & info [ "batch-max" ] ~docv:"N"
+             ~doc:"max small jobs advanced in one shared dispatch")
+  and retain =
+    Arg.(value & opt int 2
+         & info [ "retain" ] ~docv:"K"
+             ~doc:"checkpoints kept per job")
+  and poll_s =
+    Arg.(value & opt float 0.2
+         & info [ "poll-s" ] ~docv:"SECONDS"
+             ~doc:"idle sleep between inbox polls")
+  and drain =
+    Arg.(value & flag
+         & info [ "drain" ]
+             ~doc:"exit once inbox, active set and queue are all empty \
+                   (batch mode); without it the server polls forever")
+  and quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"suppress per-job lifecycle logging")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run a fleet server over a file-based inbox: claim job files by \
+          atomic rename, schedule them fair-share across lanes with \
+          checkpoint preemption, write result files")
+    Term.(
+      const serve $ inbox_dir $ scheduler $ lanes $ slice $ small_cells
+      $ batch_max $ retain $ poll_s $ drain $ quiet)
+
+let run_term =
   let problem =
     Arg.(value
          & pos 0 problem_conv (Engine.Scenario.find_exn "sod")
@@ -362,12 +465,27 @@ let cmd =
                    override the CLI flags, and --steps counts total \
                    steps including the resumed ones")
   in
-  Cmd.v
-    (Cmd.info "eulersim" ~doc:"unsteady shock-wave simulator (PaCT 2009 reproduction)")
-    Term.(
-      const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
-      $ tiles $ steps $ t_end $ backend $ scheduler $ lanes $ par_threshold
-      $ csv $ pgm $ ckpt_dir $ ckpt_every $ ckpt_every_s $ ckpt_retain
-      $ resume)
+  Term.(
+    const run $ problem $ nx $ ms $ recon $ riemann $ rk $ cfl $ unfused
+    $ tiles $ steps $ t_end $ backend $ scheduler $ lanes $ par_threshold
+    $ csv $ pgm $ ckpt_dir $ ckpt_every $ ckpt_every_s $ ckpt_retain
+    $ resume)
 
-let () = exit (Cmd.eval cmd)
+(* A cmdliner group would route the first positional through
+   sub-command lookup and reject scenario names, breaking the classic
+   single-run CLI (`eulersim sod --steps 100`).  Dispatch by hand
+   instead: a literal leading `serve` goes to the fleet server,
+   anything else to the single-run command. *)
+let () =
+  let info =
+    Cmd.info "eulersim"
+      ~doc:
+        "unsteady shock-wave simulator (PaCT 2009 reproduction); \
+         $(b,eulersim serve INBOX) runs the fleet job server"
+  in
+  let cmd =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+      Cmd.group info [ serve_cmd ]
+    else Cmd.v info run_term
+  in
+  exit (Cmd.eval cmd)

@@ -40,6 +40,21 @@ let checkpoint_payload_fraction m =
   else
     float_of_int m.checkpoint_payload_bytes /. float_of_int m.checkpoint_bytes
 
+let ms_per_step m =
+  if m.steps = 0 then 0. else m.wall_s *. 1e3 /. float_of_int m.steps
+
+let kv m =
+  [ ("backend", m.backend);
+    ("steps", string_of_int m.steps);
+    ("sim_time", Printf.sprintf "%.17g" m.sim_time);
+    ("wall_s", Printf.sprintf "%.6f" m.wall_s);
+    ("cells", string_of_int m.cells);
+    ("cells_per_s", Printf.sprintf "%.6g" (cells_per_second m));
+    ("ms_per_step", Printf.sprintf "%.6g" (ms_per_step m));
+    ("regions_per_step", Printf.sprintf "%.6g" (regions_per_step m));
+    ("minor_words_per_step", Printf.sprintf "%.6g" (minor_words_per_step m));
+    ("checkpoints", string_of_int m.checkpoints) ]
+
 let pp ppf m =
   Format.fprintf ppf
     "@[<v>%s: %d steps to t=%.6g in %.3f s (%d regions, %.2f/step)"

@@ -68,6 +68,16 @@ val checkpoint_payload_fraction : t -> float
 (** Fraction of the bytes written that are field payload (the rest is
     format framing); [0.] when no snapshot was written. *)
 
+val ms_per_step : t -> float
+(** Average wall-clock milliseconds per time step; [0.] before the
+    first step. *)
+
+val kv : t -> (string * string) list
+(** Flat key/value export of the headline numbers (backend, steps,
+    sim_time, wall_s, cells, cells_per_s, ms_per_step,
+    regions_per_step, minor_words_per_step, checkpoints) — the form
+    consumed by fleet result files and structured logs. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering (used by [eulersim] and the
     bench harness). *)

@@ -31,8 +31,8 @@ let resume_file ?exec ?par_threshold ?fused ?tiles ~path problem =
   resume ?exec ?par_threshold ?fused ?tiles (Persist.Snapshot.read ~path)
     problem
 
-let resume_latest ?exec ?par_threshold ?fused ?tiles ~dir problem =
-  match Persist.Checkpoint.latest_valid dir with
+let resume_latest ?exec ?par_threshold ?fused ?tiles ?on_skip ~dir problem =
+  match Persist.Checkpoint.latest_valid ?on_skip dir with
   | None -> None
   | Some (path, snap) ->
     Some (path, resume ?exec ?par_threshold ?fused ?tiles snap problem)

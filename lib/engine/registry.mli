@@ -61,10 +61,15 @@ val resume_latest :
   ?par_threshold:int ->
   ?fused:bool ->
   ?tiles:int * int ->
+  ?on_skip:(string -> string -> unit) ->
   dir:string ->
   Euler.Setup.problem ->
   (string * Backend.instance) option
-(** Resume from the newest {e intact} checkpoint in [dir] — corrupt
-    files (e.g. a write torn by a crash) are skipped in favour of the
-    next-older one, which is why the autosave policy retains several.
-    [None] when the directory holds no readable checkpoint. *)
+(** Resume from the newest {e intact} checkpoint in [dir] — corrupt,
+    truncated or zero-byte files (e.g. a write torn by a [kill -9])
+    are skipped in favour of the next-older one, which is why the
+    autosave policy retains several.  Each skipped file invokes
+    [on_skip path reason] (default: a stderr warning, see
+    {!Persist.Checkpoint.latest_valid}), so unattended resumes leave
+    a trace.  [None] when the directory holds no readable
+    checkpoint. *)

@@ -80,27 +80,41 @@ let finish inst stats ~t0 ~m0 ~p0 =
     ~checkpoint_bytes:stats.bytes ~checkpoint_payload_bytes:stats.payload
     inst
 
-let run_steps ?on_step ?autosave inst n =
+(* The yield hook is consulted after each completed step (and its
+   on_step / autosave bookkeeping); returning true stops the march at
+   that step boundary.  The fleet scheduler uses it to bound a
+   preemption slice without disturbing the step sequence — a yielded
+   march continued later is the same step-by-step trajectory. *)
+let should_yield yield =
+  match yield with None -> false | Some f -> f ()
+
+let run_steps ?on_step ?autosave ?yield inst n =
   let stats = fresh_stats () in
   let m0, p0, _ = Gc.counters () in
   let t0 = now () in
-  for _ = 1 to n do
+  let taken = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !taken < n do
+    incr taken;
     let d = Backend.step inst in
     (match on_step with None -> () | Some f -> f inst d);
-    maybe_checkpoint autosave stats inst
+    maybe_checkpoint autosave stats inst;
+    if should_yield yield then stop := true
   done;
   finish inst stats ~t0 ~m0 ~p0
 
-let run_until ?on_step ?autosave inst target =
+let run_until ?on_step ?autosave ?yield inst target =
   let stats = fresh_stats () in
   let m0, p0, _ = Gc.counters () in
   let t0 = now () in
-  while Backend.time inst < target -. 1e-14 do
+  let stop = ref false in
+  while (not !stop) && Backend.time inst < target -. 1e-14 do
     let d = Backend.dt inst in
     let d = Float.min d (target -. Backend.time inst) in
     Backend.step_dt inst d;
     (match on_step with None -> () | Some f -> f inst d);
-    maybe_checkpoint autosave stats inst
+    maybe_checkpoint autosave stats inst;
+    if should_yield yield then stop := true
   done;
   finish inst stats ~t0 ~m0 ~p0
 

@@ -42,22 +42,28 @@ val save : dir:string -> Backend.instance -> string
 val run_steps :
   ?on_step:(Backend.instance -> float -> unit) ->
   ?autosave:autosave ->
+  ?yield:(unit -> bool) ->
   Backend.instance ->
   int ->
   Metrics.t
 (** March a fixed number of CFL-limited steps (the paper's benchmark
     mode).  [on_step] observes the instance and the [dt] just taken
     after every step (snapshots, progress); autosave checkpoints are
-    written after the [on_step] hook. *)
+    written after the [on_step] hook.  [yield], consulted after each
+    step's bookkeeping, stops the march early at that step boundary
+    when it returns true — the preemption hook of the fleet
+    scheduler.  A yielded march resumed later takes exactly the same
+    steps as an uninterrupted one. *)
 
 val run_until :
   ?on_step:(Backend.instance -> float -> unit) ->
   ?autosave:autosave ->
+  ?yield:(unit -> bool) ->
   Backend.instance ->
   float ->
   Metrics.t
 (** March until the backend's time reaches the target, clipping the
-    final step so it is hit exactly. *)
+    final step so it is hit exactly.  [yield] as in {!run_steps}. *)
 
 val emit :
   ?profile_csv:string ->

@@ -1,0 +1,109 @@
+type t = { root : string }
+
+let job_suffix = ".job"
+let result_suffix = ".result"
+
+let root t = t.root
+let inbox_dir t = Filename.concat t.root "inbox"
+let active_dir t = Filename.concat t.root "active"
+let done_dir t = Filename.concat t.root "done"
+let ckpt_root t = Filename.concat t.root "ckpt"
+
+let make rootdir =
+  let t = { root = rootdir } in
+  List.iter Persist.Checkpoint.mkdir_p
+    [ inbox_dir t; active_dir t; done_dir t; ckpt_root t ];
+  t
+
+(* Only names of the shape <valid id>.job take part in the protocol;
+   anything else (scratch *.tmp files mid-rename, stray editor
+   droppings) is invisible to claim/adopt and to the drain-mode
+   emptiness test. *)
+let id_of_job_file name =
+  if Filename.check_suffix name job_suffix then
+    let id = Filename.chop_suffix name job_suffix in
+    if Job.valid_id id then Some id else None
+  else None
+
+let job_files dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries |> List.filter_map id_of_job_file |> List.sort compare
+
+let job_path dir id = Filename.concat dir (id ^ job_suffix)
+let result_path t id = Filename.concat (done_dir t) (id ^ result_suffix)
+
+let submit t (job : Job.t) =
+  let id = job.Job.id in
+  let clash where path =
+    if Sys.file_exists path then
+      invalid_arg
+        (Printf.sprintf "Fleet.Inbox.submit: job %S already in %s" id where)
+  in
+  clash "inbox" (job_path (inbox_dir t) id);
+  clash "active" (job_path (active_dir t) id);
+  clash "done" (result_path t id);
+  let path = job_path (inbox_dir t) id in
+  Job.save ~path job;
+  path
+
+let to_claim t = List.length (job_files (inbox_dir t))
+let active_ids t = job_files (active_dir t)
+
+let parse_claimed t ids =
+  List.fold_left
+    (fun (jobs, bad) id ->
+      let path = job_path (active_dir t) id in
+      match Job.load ~id ~path with
+      | job -> (job :: jobs, bad)
+      | exception Job.Invalid msg -> (jobs, (id, msg) :: bad)
+      | exception Kv.Malformed msg -> (jobs, (id, msg) :: bad)
+      | exception Sys_error msg -> (jobs, (id, msg) :: bad))
+    ([], []) ids
+  |> fun (jobs, bad) -> (List.rev jobs, List.rev bad)
+
+let claim t =
+  let claimed =
+    List.filter
+      (fun id ->
+        let src = job_path (inbox_dir t) id in
+        let dst = job_path (active_dir t) id in
+        match Sys.rename src dst with
+        | () -> true
+        | exception Sys_error _ -> false (* lost the race; not ours *))
+      (job_files (inbox_dir t))
+  in
+  parse_claimed t claimed
+
+let adopt t =
+  let live =
+    List.filter
+      (fun id ->
+        if Sys.file_exists (result_path t id) then begin
+          (* Crashed between result-write and unlink: the job is
+             done, only the tombstone removal is owed. *)
+          (try Sys.remove (job_path (active_dir t) id)
+           with Sys_error _ -> ());
+          false
+        end
+        else true)
+      (active_ids t)
+  in
+  parse_claimed t live
+
+let finalize t ~id kvs =
+  Kv.write ~path:(result_path t id) kvs;
+  try Sys.remove (job_path (active_dir t) id) with Sys_error _ -> ()
+
+let result t ~id =
+  let path = result_path t id in
+  if Sys.file_exists path then Some (Kv.read ~path) else None
+
+let results t =
+  let entries = try Sys.readdir (done_dir t) with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         if Filename.check_suffix name result_suffix then
+           let id = Filename.chop_suffix name result_suffix in
+           Some (id, Kv.read ~path:(Filename.concat (done_dir t) name))
+         else None)
+  |> List.sort compare

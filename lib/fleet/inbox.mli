@@ -1,0 +1,71 @@
+(** The file-based inbox: the fleet's wire protocol, built entirely
+    from atomic renames so it survives [kill -9] at any instant.
+
+    {2 Layout}
+
+    {v
+    ROOT/inbox/<id>.job     submitted, waiting to be claimed
+    ROOT/active/<id>.job    claimed by a server, running or queued
+    ROOT/done/<id>.result   finished ("key value" lines, see below)
+    ROOT/ckpt/<id>/         the job's checkpoint directory
+    v}
+
+    A submitter writes [inbox/<id>.job] atomically (temp + rename —
+    {!submit} does this; shell clients write [<id>.job.tmp] then
+    [mv]).  A server {e claims} by renaming the file into [active/]:
+    rename is atomic on POSIX, so exactly one server wins a race.
+    Finishing a job is write [done/<id>.result] atomically {e then}
+    unlink the active file — the crash window between the two leaves
+    both present, which {!adopt} resolves on restart (result exists →
+    just unlink; no result → re-enqueue, and the job's checkpoints
+    make the redo cheap and bitwise-faithful).  Every job therefore
+    completes {e exactly once} in the result store, no matter when
+    the server dies.
+
+    Result files carry [status done|failed] plus the scheduler's
+    outcome metrics ({!Scheduler.outcome_kv}). *)
+
+type t
+
+val make : string -> t
+(** Create (or open) an inbox rooted at the given directory,
+    creating the four subdirectories as needed. *)
+
+val root : t -> string
+val inbox_dir : t -> string
+val active_dir : t -> string
+val done_dir : t -> string
+val ckpt_root : t -> string
+
+val submit : t -> Job.t -> string
+(** Atomically drop the job's descriptor into [inbox/]; returns the
+    path.  @raise Invalid_argument when the id is already present in
+    inbox, active or done. *)
+
+val to_claim : t -> int
+(** Claimable ([<valid id>.job]) files currently in [inbox/]. *)
+
+val active_ids : t -> string list
+(** Ids currently claimed (sorted). *)
+
+val claim : t -> Job.t list * (string * string) list
+(** Move every claimable file to [active/] and parse it.  Returns
+    the parsed jobs (in name order) and, separately, [(id, reason)]
+    for files that renamed but failed to parse — the caller should
+    {!finalize} those as failed so the submitter hears back. *)
+
+val adopt : t -> Job.t list * (string * string) list
+(** Crash recovery at server start: reconcile [active/] against
+    [done/].  Active files whose result already exists are unlinked
+    (the crash hit between result-write and unlink); the rest are
+    returned exactly like {!claim} for re-enqueueing. *)
+
+val finalize : t -> id:string -> (string * string) list -> unit
+(** Atomically write [done/<id>.result] with the given pairs, then
+    remove the active file.  Idempotent. *)
+
+val result : t -> id:string -> (string * string) list option
+(** Parse a result file if present. *)
+
+val results : t -> (string * (string * string) list) list
+(** All results, sorted by id. *)

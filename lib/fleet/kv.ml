@@ -1,0 +1,65 @@
+exception Malformed of string
+
+let check_key k =
+  if k = "" then invalid_arg "Fleet.Kv: empty key";
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Fleet.Kv: key %S contains whitespace" k))
+    k
+
+let check_value v =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Fleet.Kv: value %S contains a newline" v))
+    v
+
+let to_string kvs =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun (k, v) ->
+      check_key k;
+      check_value v;
+      Buffer.add_string b k;
+      Buffer.add_char b ' ';
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    kvs;
+  Buffer.contents b
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  List.filter_map
+    (fun line ->
+      let line =
+        if String.ends_with ~suffix:"\r" line then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then None
+      else
+        match String.index_opt line ' ' with
+        | None | Some 0 ->
+          raise (Malformed (Printf.sprintf "not a 'key value' line: %S" line))
+        | Some i ->
+          Some
+            ( String.sub line 0 i,
+              String.sub line (i + 1) (String.length line - i - 1) ))
+    lines
+
+let write ~path kvs = Persist.Atomic_write.write_string path (to_string kvs)
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let get kvs k = List.assoc_opt k kvs
+
+let get_exn kvs k =
+  match get kvs k with
+  | Some v -> v
+  | None -> raise (Malformed (Printf.sprintf "missing key %S" k))

@@ -1,0 +1,30 @@
+(** The fleet's on-disk text format: one ["key value"] pair per line.
+
+    Job files and result files share this shape (it is the snapshot
+    descriptor's vocabulary, kept human-greppable on purpose): keys
+    are non-empty and free of whitespace, values are everything after
+    the first space, blank lines and [#] comments are ignored on
+    read.  Writes go through {!Persist.Atomic_write}, so a reader
+    never observes a half-written file — the invariant the inbox's
+    crash-recovery protocol rests on. *)
+
+exception Malformed of string
+(** A line that is neither blank, a comment, nor ["key value"]. *)
+
+val to_string : (string * string) list -> string
+(** Render pairs as lines.  @raise Invalid_argument on a key with
+    whitespace or an embedded newline in either part. *)
+
+val of_string : string -> (string * string) list
+(** Parse lines back to ordered pairs.  @raise Malformed on a
+    violation, naming the offending line. *)
+
+val write : path:string -> (string * string) list -> unit
+(** Atomically (write-to-temp, rename) persist pairs at [path]. *)
+
+val read : path:string -> (string * string) list
+(** @raise Sys_error if unreadable, [Malformed] if not kv lines. *)
+
+val get : (string * string) list -> string -> string option
+val get_exn : (string * string) list -> string -> string
+(** @raise Malformed when the key is absent. *)

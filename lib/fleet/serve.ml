@@ -1,0 +1,79 @@
+type config = {
+  sched : Scheduler.config;
+  poll_s : float;
+  drain : bool;
+  log : string -> unit;
+}
+
+let config ?(poll_s = 0.2) ?(drain = false) ?(log = print_endline) sched =
+  if poll_s <= 0. then invalid_arg "Fleet.Serve.config: poll_s must be > 0";
+  { sched; poll_s; drain; log }
+
+let kv_line kvs =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+let run ?(on_event = fun (_ : Scheduler.event) -> ()) inbox cfg =
+  let t0 = Parallel.Clock.now_s () in
+  let q = Queue.create () in
+  let outcomes = ref [] in
+  let rejected = ref 0 in
+  let failed_kv msg =
+    [ ("status", "failed");
+      ("error", String.map (fun c -> if c = '\n' then ' ' else c) msg) ]
+  in
+  let enqueue (jobs, bad) =
+    List.iter
+      (fun (id, msg) ->
+        incr rejected;
+        cfg.log (Printf.sprintf "reject %s: %s" id msg);
+        Inbox.finalize inbox ~id (failed_kv msg))
+      bad;
+    List.iter
+      (fun job ->
+        cfg.log ("accept " ^ Job.describe job);
+        Queue.submit q job)
+      jobs
+  in
+  let claim () = enqueue (Inbox.claim inbox) in
+  enqueue (Inbox.adopt inbox);
+  let handle ev =
+    (match ev with
+     | Scheduler.Completed o ->
+       outcomes := o :: !outcomes;
+       Inbox.finalize inbox ~id:o.Scheduler.job.Job.id
+         (Scheduler.outcome_kv o);
+       cfg.log
+         (Printf.sprintf "%s %s: %s"
+            (match o.Scheduler.status with
+             | Scheduler.Done -> "done"
+             | Scheduler.Failed _ -> "failed")
+            o.Scheduler.job.Job.id
+            (kv_line
+               (match o.Scheduler.last with
+                | Some m -> Engine.Metrics.kv m
+                | None -> Scheduler.outcome_kv o)))
+     | Scheduler.Dispatched (job, how) ->
+       cfg.log
+         (Printf.sprintf "dispatch %s (%s)" job.Job.id
+            (match how with
+             | `Fresh -> "fresh"
+             | `Resumed path -> "resumed from " ^ path))
+     | Scheduler.Preempted (job, steps) ->
+       cfg.log (Printf.sprintf "preempt %s at step %d" job.Job.id steps));
+    on_event ev
+  in
+  let running = ref true in
+  while !running do
+    claim ();
+    if not (Queue.is_empty q) then
+      ignore
+        (Scheduler.drain ~on_event:handle ~before_round:claim cfg.sched q)
+    else if cfg.drain && Inbox.to_claim inbox = 0 then running := false
+    else Unix.sleepf cfg.poll_s
+  done;
+  let wall_s = Parallel.Clock.now_s () -. t0 in
+  let t =
+    Telemetry.of_outcomes ~rejected:!rejected ~wall_s (List.rev !outcomes)
+  in
+  cfg.log (Telemetry.to_string t);
+  t

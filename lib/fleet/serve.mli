@@ -1,0 +1,29 @@
+(** The serve loop: an inbox-driven fleet server.
+
+    [run] adopts orphaned work from a previous (possibly [kill -9]'d)
+    incarnation, then loops: claim newly-arrived inbox jobs into the
+    fair-share queue, drain the queue through the scheduler (claiming
+    again at every round boundary, so submissions land mid-drain),
+    finalise each completed job's result file, and either poll for
+    more work or — in drain mode — exit once inbox, active set and
+    queue are all empty. *)
+
+type config = {
+  sched : Scheduler.config;
+  poll_s : float;  (** sleep between idle polls *)
+  drain : bool;  (** exit when no work is left, instead of polling *)
+  log : string -> unit;  (** one line per lifecycle event *)
+}
+
+val config :
+  ?poll_s:float ->
+  ?drain:bool ->
+  ?log:(string -> unit) ->
+  Scheduler.config ->
+  config
+(** Defaults: poll 0.2 s, drain false, log to stdout. *)
+
+val run : ?on_event:(Scheduler.event -> unit) -> Inbox.t -> config -> Telemetry.t
+(** Serve the inbox; returns the telemetry of everything finalised by
+    this incarnation.  [on_event] observes scheduler events after the
+    server's own bookkeeping (tests use it to simulate crashes). *)

@@ -1,0 +1,90 @@
+type t = {
+  jobs : int;
+  completed : int;
+  failed : int;
+  wall_s : float;
+  jobs_per_s : float;
+  agg_cells_per_s : float;
+  steps_run : int;
+  preemptions : int;
+  resumes : int;
+  p50_ms_per_step : float;
+  p99_ms_per_step : float;
+  p50_wall_s : float;
+  p99_wall_s : float;
+}
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n)) |> max 1 |> min n
+    in
+    sorted.(rank - 1)
+  end
+
+let of_outcomes ?(rejected = 0) ~wall_s outcomes =
+  let jobs = List.length outcomes + rejected in
+  let completed =
+    List.length
+      (List.filter (fun o -> o.Scheduler.status = Scheduler.Done) outcomes)
+  in
+  let updates =
+    List.fold_left
+      (fun acc o ->
+        acc
+        +. (float_of_int o.Scheduler.steps_run
+            *. float_of_int o.Scheduler.cells))
+      0. outcomes
+  in
+  let steps_run =
+    List.fold_left (fun acc o -> acc + o.Scheduler.steps_run) 0 outcomes
+  in
+  let ran = List.filter (fun o -> o.Scheduler.steps_run > 0) outcomes in
+  let ms = Array.of_list (List.map Scheduler.ms_per_step ran) in
+  let walls = Array.of_list (List.map (fun o -> o.Scheduler.wall_s) ran) in
+  { jobs;
+    completed;
+    failed = jobs - completed;
+    wall_s;
+    jobs_per_s =
+      (if wall_s > 0. then
+         float_of_int (List.length outcomes) /. wall_s
+       else 0.);
+    agg_cells_per_s = (if wall_s > 0. then updates /. wall_s else 0.);
+    steps_run;
+    preemptions =
+      List.fold_left (fun acc o -> acc + o.Scheduler.preemptions) 0 outcomes;
+    resumes =
+      List.fold_left (fun acc o -> acc + o.Scheduler.resumes) 0 outcomes;
+    p50_ms_per_step = percentile 50. ms;
+    p99_ms_per_step = percentile 99. ms;
+    p50_wall_s = percentile 50. walls;
+    p99_wall_s = percentile 99. walls }
+
+let kv t =
+  [ ("jobs", string_of_int t.jobs);
+    ("completed", string_of_int t.completed);
+    ("failed", string_of_int t.failed);
+    ("wall_s", Printf.sprintf "%.6f" t.wall_s);
+    ("jobs_per_s", Printf.sprintf "%.6g" t.jobs_per_s);
+    ("agg_cells_per_s", Printf.sprintf "%.6g" t.agg_cells_per_s);
+    ("steps_run", string_of_int t.steps_run);
+    ("preemptions", string_of_int t.preemptions);
+    ("resumes", string_of_int t.resumes);
+    ("p50_ms_per_step", Printf.sprintf "%.6g" t.p50_ms_per_step);
+    ("p99_ms_per_step", Printf.sprintf "%.6g" t.p99_ms_per_step);
+    ("p50_wall_s", Printf.sprintf "%.6g" t.p50_wall_s);
+    ("p99_wall_s", Printf.sprintf "%.6g" t.p99_wall_s) ]
+
+let to_string t =
+  Printf.sprintf
+    "%d jobs (%d done, %d failed) in %.3f s: %.3g jobs/s, %.4g cells/s \
+     aggregate, %d steps, %d preemptions, %d resumes\n\
+     per-job ms/step p50 %.4g p99 %.4g; wall p50 %.4g s p99 %.4g s"
+    t.jobs t.completed t.failed t.wall_s t.jobs_per_s t.agg_cells_per_s
+    t.steps_run t.preemptions t.resumes t.p50_ms_per_step t.p99_ms_per_step
+    t.p50_wall_s t.p99_wall_s

@@ -1,0 +1,34 @@
+(** Fleet-level rollups of per-job {!Scheduler.outcome}s: the numbers
+    `bench fleet` publishes and the serve loop prints on exit. *)
+
+type t = {
+  jobs : int;
+  completed : int;  (** outcomes with status [Done] *)
+  failed : int;
+  wall_s : float;  (** the caller's end-to-end wall clock *)
+  jobs_per_s : float;
+  agg_cells_per_s : float;
+      (** total cell updates ([steps_run * cells] summed over jobs)
+          divided by [wall_s] — the fleet's headline throughput *)
+  steps_run : int;  (** total steps executed across the fleet *)
+  preemptions : int;
+  resumes : int;
+  p50_ms_per_step : float;  (** per-job step-latency percentiles *)
+  p99_ms_per_step : float;
+  p50_wall_s : float;  (** per-job compute-wall percentiles *)
+  p99_wall_s : float;
+}
+
+val percentile : float -> float array -> float
+(** Nearest-rank percentile ([p] in [0, 100]) of an unsorted array;
+    [0.] on empty input.  Deterministic — no interpolation. *)
+
+val of_outcomes : ?rejected:int -> wall_s:float -> Scheduler.outcome list -> t
+(** Aggregate; jobs that never ran a step are excluded from the
+    latency percentiles (they would report 0 ms).  [rejected] counts
+    jobs refused before scheduling (e.g. malformed inbox files) —
+    they add to [jobs] and [failed] but contribute no throughput. *)
+
+val kv : t -> (string * string) list
+val to_string : t -> string
+(** One human-readable summary line pair. *)

@@ -44,12 +44,64 @@ let retain ~dir ~keep =
       if i < excess then try Sys.remove path with Sys_error _ -> ())
     cks
 
-let latest_valid dir =
+let default_on_skip path reason =
+  Printf.eprintf "warning: skipping checkpoint %s: %s\n%!" path reason
+
+let latest_valid ?(on_skip = default_on_skip) dir =
   let rec scan = function
     | [] -> None
     | (_, path) :: older -> (
       match Snapshot.read ~path with
       | snap -> Some (path, snap)
-      | exception (Snapshot.Corrupt _ | Sys_error _) -> scan older)
+      | exception Snapshot.Corrupt reason ->
+        on_skip path reason;
+        scan older
+      | exception Sys_error reason ->
+        on_skip path reason;
+        scan older)
   in
   scan (List.rev (list dir))
+
+type verdict = Intact of Snapshot.t | Rejected of string
+
+let examine dir =
+  List.map
+    (fun (_, path) ->
+      match Snapshot.read ~path with
+      | snap -> (path, Intact snap)
+      | exception Snapshot.Corrupt reason -> (path, Rejected reason)
+      | exception Sys_error reason -> (path, Rejected reason))
+    (list dir)
+
+let report dir =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  (match Sys.readdir dir with
+   | exception Sys_error reason -> line "  (cannot list %s: %s)" dir reason
+   | entries ->
+     if Array.length entries = 0 then line "  (directory is empty)"
+     else begin
+       Array.sort compare entries;
+       Array.iter
+         (fun name ->
+           let path = Filename.concat dir name in
+           match steps_of_file name with
+           | Some steps -> (
+             match Snapshot.read ~path with
+             | snap ->
+               line "  %s: intact (step %d, t=%.6g)" name snap.Snapshot.steps
+                 snap.Snapshot.sim_time
+             | exception Snapshot.Corrupt reason ->
+               line "  %s: rejected (step %d): %s" name steps reason
+             | exception Sys_error reason ->
+               line "  %s: rejected: %s" name reason)
+           | None ->
+             if Filename.check_suffix name ".tmp" then
+               line "  %s: abandoned scratch file from an interrupted write"
+                 name
+             else
+               line "  %s: not a checkpoint (expected %sNNNNNNNNN%s)" name
+                 prefix suffix)
+         entries
+     end);
+  Buffer.contents b

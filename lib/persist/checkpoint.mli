@@ -32,8 +32,25 @@ val retain : dir:string -> keep:int -> unit
 (** Delete the oldest checkpoints until at most [keep] remain.
     @raise Invalid_argument if [keep < 1]. *)
 
-val latest_valid : string -> (string * Snapshot.t) option
+val latest_valid :
+  ?on_skip:(string -> string -> unit) -> string -> (string * Snapshot.t) option
 (** The newest checkpoint in the directory that decodes with all
-    checksums intact; corrupted or truncated files are skipped (they
-    are left in place for forensics, never deleted here).  [None] if
-    the directory holds no valid checkpoint. *)
+    checksums intact; corrupted, truncated or zero-byte files — the
+    debris a [kill -9]'d writer leaves behind — are skipped (they are
+    left in place for forensics, never deleted here).  Each skip
+    invokes [on_skip path reason]; the default prints a warning to
+    stderr so unattended resumes (the fleet requeue path) leave a
+    trace.  [None] if the directory holds no valid checkpoint. *)
+
+type verdict = Intact of Snapshot.t | Rejected of string
+
+val examine : string -> (string * verdict) list
+(** Decode every checkpoint-named file in the directory (ascending
+    step order) and report, per path, whether it is intact or why it
+    was rejected.  Diagnostic counterpart of {!latest_valid}. *)
+
+val report : string -> string
+(** Human-readable multi-line listing of the directory for error
+    messages: every entry with its verdict, including foreign files
+    and abandoned [*.tmp] scratch files.  Each line is indented two
+    spaces and newline-terminated. *)

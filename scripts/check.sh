@@ -11,6 +11,9 @@
 # decomposition is covered twice: the BENCH_tiling.json artefact
 # (halo-exchange share, fused dispatch budget, steady arenas) and a
 # CLI smoke comparing tiled checkpoints against monolithic bytes.
+# The fleet job engine gets a serve-CLI smoke (mixed-batch drain,
+# failed-job isolation, kill -9 crash recovery) and the BENCH_fleet
+# artefact with its 2x batching-speedup floor.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -267,5 +270,58 @@ for t in 2x2 3x2; do
     || { echo "check.sh: --tiles $t diverged from monolithic" >&2; exit 1; }
 done
 echo "check.sh: tiled runs bitwise-identical to monolithic"
+
+# Fleet job engine: inbox lifecycle, failed-job isolation and kill -9
+# crash recovery through the serve CLI.
+sh scripts/fleet_smoke.sh
+
+# Fleet bench artefact: a >= 20-job mixed batch must drain with zero
+# failures, real preemptions and resumes, and beat the serial
+# per-job-decomposition baseline by the 2x floor (the experiment
+# itself exits non-zero below the floor; the shape check keeps the
+# artefact consumable).
+dune exec bench/main.exe -- fleet --quick --lanes 2 --out "$smoke_dir"
+fleet_json="$smoke_dir/BENCH_fleet.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    .schema == "fleet-v1"
+    and .speedup_floor == 2.0
+    and .speedup >= .speedup_floor
+    and .failed == 0
+    and .completed == .jobs
+    and .preemptions > 0
+    and .resumes > 0
+    and .small_jobs > 0
+    and .large_jobs > 0
+    and (.rows | length) >= 20
+    and (.rows | length) == .jobs
+    and ([.rows[].status] | unique == ["done"])
+    and ([.rows[].steps_run] | min > 0)
+    and .fleet.agg_cells_per_s > 0
+    and .fleet.p99_ms_per_step >= .fleet.p50_ms_per_step' \
+    "$fleet_json" >/dev/null || {
+      echo "check.sh: $fleet_json failed validation" >&2; exit 1; }
+else
+  python3 - "$fleet_json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "fleet-v1", "bad schema"
+assert d["speedup_floor"] == 2.0, "bad speedup floor"
+assert d["speedup"] >= d["speedup_floor"], (
+    "fleet misses the %.1fx floor: %.3fx" % (d["speedup_floor"], d["speedup"]))
+assert d["failed"] == 0, "failed jobs in the bench batch"
+assert d["completed"] == d["jobs"], "not every job completed"
+assert d["preemptions"] > 0, "no preemptions measured"
+assert d["resumes"] > 0, "no resumes measured"
+assert d["small_jobs"] > 0 and d["large_jobs"] > 0, "batch not mixed"
+rows = d["rows"]
+assert len(rows) >= 20 and len(rows) == d["jobs"], "bad row count"
+assert {r["status"] for r in rows} == {"done"}, "non-done rows"
+assert all(r["steps_run"] > 0 for r in rows), "a job ran no steps"
+assert d["fleet"]["agg_cells_per_s"] > 0, "no aggregate throughput"
+assert d["fleet"]["p99_ms_per_step"] >= d["fleet"]["p50_ms_per_step"]
+EOF
+fi
+echo "check.sh: $fleet_json validated"
 
 echo "check.sh: all green"

@@ -269,6 +269,93 @@ let test_latest_valid_skips_corrupt () =
         (try ignore (Persist.Snapshot.read ~path:newest); false
          with Persist.Snapshot.Corrupt _ -> true))
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  nl = 0
+  || (let found = ref false in
+      for i = 0 to hl - nl do
+        if (not !found) && String.sub hay i nl = needle then found := true
+      done;
+      !found)
+
+(* The crashed-writer debris matrix: a zero-byte file (open succeeded,
+   nothing flushed) and a truncated tail on top of an intact older
+   snapshot.  latest_valid must fall back silently-but-audibly: the
+   resume succeeds AND every rejected candidate is reported through
+   on_skip with a reason. *)
+let test_latest_valid_crashed_writer_debris () =
+  with_tmpdir (fun dir ->
+      ignore (Persist.Checkpoint.save ~dir (snap_at 10));
+      ignore (Persist.Checkpoint.save ~dir (snap_at 20));
+      let trunc = Filename.concat dir (Persist.Checkpoint.file_name ~steps:20) in
+      let bytes = read_file trunc in
+      Out_channel.with_open_bin trunc (fun oc ->
+          Out_channel.output_string oc (String.sub bytes 0 12));
+      let zero = Filename.concat dir (Persist.Checkpoint.file_name ~steps:30) in
+      Out_channel.with_open_bin zero (fun _ -> ());
+      let skips = ref [] in
+      (match
+         Persist.Checkpoint.latest_valid
+           ~on_skip:(fun path reason -> skips := (path, reason) :: !skips)
+           dir
+       with
+       | Some (path, s) ->
+         check_int "fell back to the intact snapshot" 10
+           s.Persist.Snapshot.steps;
+         check_string "path is the intact file"
+           (Filename.concat dir (Persist.Checkpoint.file_name ~steps:10))
+           path
+       | None -> Alcotest.fail "expected fallback past the debris");
+      let skips = List.rev !skips in
+      check_int "both debris files reported" 2 (List.length skips);
+      check_string "newest (zero-byte) rejected first" zero
+        (fst (List.nth skips 0));
+      check_string "then the truncated one" trunc (fst (List.nth skips 1));
+      List.iter
+        (fun (_, reason) ->
+          check_bool "skip carries a reason" true (String.length reason > 0))
+        skips;
+      (* examine agrees with latest_valid, file by file. *)
+      let verdicts = Persist.Checkpoint.examine dir in
+      check_int "examine covers all three" 3 (List.length verdicts);
+      let verdict_of p = List.assoc p verdicts in
+      check_bool "intact verdict" true
+        (match
+           verdict_of (Filename.concat dir (Persist.Checkpoint.file_name ~steps:10))
+         with
+         | Persist.Checkpoint.Intact s -> s.Persist.Snapshot.steps = 10
+         | Persist.Checkpoint.Rejected _ -> false);
+      List.iter
+        (fun p ->
+          check_bool "debris verdict" true
+            (match verdict_of p with
+             | Persist.Checkpoint.Rejected r -> String.length r > 0
+             | Persist.Checkpoint.Intact _ -> false))
+        [ trunc; zero ];
+      (* The human report mentions every file and its fate. *)
+      let report = Persist.Checkpoint.report dir in
+      List.iter
+        (fun needle ->
+          check_bool ("report mentions " ^ needle) true
+            (contains ~needle report))
+        [ Filename.basename trunc; Filename.basename zero; "intact";
+          "rejected" ])
+
+let test_report_empty_and_foreign () =
+  with_tmpdir (fun dir ->
+      check_bool "empty dir reported" true
+        (contains ~needle:"empty" (Persist.Checkpoint.report dir));
+      Out_channel.with_open_bin (Filename.concat dir "notes.txt") (fun oc ->
+          Out_channel.output_string oc "hello");
+      Out_channel.with_open_bin
+        (Filename.concat dir "ckpt-000000005.swck.tmp") (fun _ -> ());
+      let r = Persist.Checkpoint.report dir in
+      List.iter
+        (fun needle ->
+          check_bool ("report mentions " ^ needle) true
+            (contains ~needle r))
+        [ "notes.txt"; "not a checkpoint"; "scratch" ])
+
 let test_empty_dir_and_missing_dir () =
   with_tmpdir (fun dir ->
       check_bool "empty dir" true (Persist.Checkpoint.list dir = []);
@@ -335,6 +422,10 @@ let () =
             test_checkpoint_save_list_retain;
           Alcotest.test_case "latest_valid skips corrupt" `Quick
             test_latest_valid_skips_corrupt;
+          Alcotest.test_case "crashed-writer debris (zero-byte, truncated)"
+            `Quick test_latest_valid_crashed_writer_debris;
+          Alcotest.test_case "report covers empty and foreign files" `Quick
+            test_report_empty_and_foreign;
           Alcotest.test_case "empty and missing dirs" `Quick
             test_empty_dir_and_missing_dir ] );
       ( "golden",
